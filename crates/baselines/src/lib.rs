@@ -1,0 +1,33 @@
+//! # baselines — the match algorithms Rete is compared against
+//!
+//! Section 3.2 of Gupta, Forgy, Newell & Wedig (ISCA 1986) places match
+//! algorithms on a spectrum by how much state they save between
+//! recognize–act cycles:
+//!
+//! * [`NaiveMatcher`] — *no* state: re-matches the complete working
+//!   memory against every production on each change (the
+//!   non-state-saving side of the §3.1 cost model). It is also this
+//!   workspace's correctness oracle: every other matcher is cross-checked
+//!   against it.
+//! * [`TreatMatcher`] — the low end of the spectrum: only per-condition-
+//!   element (alpha) memories, with cross-CE joins recomputed on every
+//!   change. This is the TREAT algorithm used on the DADO machine (§7.1).
+//! * [`OflazerMatcher`] — the high end: tokens for **all** combinations
+//!   of condition elements, Oflazer's scheme (§3.2, §7.3). Its state-size
+//!   counters demonstrate the paper's "state may become very large /
+//!   much of it is never used" critique.
+//!
+//! All three implement [`ops5::Matcher`], so they are drop-in
+//! replacements for the Rete matchers in the interpreter and in every
+//! experiment.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod naive;
+pub mod oflazer;
+pub mod treat;
+
+pub use naive::{NaiveMatcher, NaiveStats};
+pub use oflazer::{OflazerMatcher, OflazerStats};
+pub use treat::{TreatMatcher, TreatStats};

@@ -1,0 +1,250 @@
+//! The naive, non-state-saving matcher (§3.1 of the paper).
+//!
+//! On every working-memory change it recomputes the full set of
+//! satisfied instantiations by joining the *entire* working memory
+//! against every production, then diffs against the previous set. The
+//! work it performs per cycle is proportional to the stable working-
+//! memory size `s` — the `C_non-state-saving = s · c3` side of the
+//! paper's cost model — whereas Rete's is proportional to the change
+//! count `i + d`.
+//!
+//! Because it derives directly from the AST reference semantics
+//! ([`ops5::match_and_bind`]), it doubles as the correctness oracle for
+//! every other matcher in this workspace.
+
+use std::collections::HashSet;
+
+use ops5::{
+    match_and_bind, Instantiation, MatchDelta, Matcher, Program, Value, WmeId, WorkingMemory,
+};
+
+/// Work counters for the naive matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveStats {
+    /// Working-memory changes processed.
+    pub changes: u64,
+    /// Condition-element match attempts (`ce × wme` pairs examined).
+    pub ce_match_attempts: u64,
+    /// Partial joins extended (tuples examined across CEs).
+    pub tuples_examined: u64,
+    /// Instantiations produced across all recomputations (most of which
+    /// are identical to the previous cycle's — the recomputed state the
+    /// paper charges to non-state-saving algorithms).
+    pub instantiations_computed: u64,
+}
+
+/// The non-state-saving reference matcher.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{parse_program, parse_wme, Interpreter};
+/// use baselines::NaiveMatcher;
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let program = parse_program("(p r (a ^x 1) --> (remove 1))")?;
+/// let matcher = NaiveMatcher::new(&program);
+/// let mut interp = Interpreter::new(program, matcher);
+/// let mut syms = interp.program().symbols.clone();
+/// interp.insert(parse_wme("(a ^x 1)", &mut syms)?);
+/// assert_eq!(interp.run(10)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NaiveMatcher {
+    program: Program,
+    /// WMEs this matcher considers live. Within a change batch the
+    /// working memory may still hold WMEs that were logically removed;
+    /// this set is the matcher's own consistent view.
+    live: HashSet<WmeId>,
+    current: HashSet<Instantiation>,
+    stats: NaiveStats,
+}
+
+impl NaiveMatcher {
+    /// Builds a naive matcher for `program`.
+    pub fn new(program: &Program) -> Self {
+        NaiveMatcher {
+            program: program.clone(),
+            live: HashSet::new(),
+            current: HashSet::new(),
+            stats: NaiveStats::default(),
+        }
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> NaiveStats {
+        self.stats
+    }
+
+    /// Recomputes all satisfied instantiations from scratch.
+    fn all_instantiations(&mut self, wm: &WorkingMemory) -> HashSet<Instantiation> {
+        let mut out = HashSet::new();
+        let program = &self.program;
+        for p in &program.productions {
+            let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> =
+                vec![(Vec::new(), vec![None; p.variables.len()])];
+            for ce in &p.ces {
+                let mut next = Vec::new();
+                for (wmes, bindings) in partial {
+                    if ce.negated {
+                        let mut blocked = false;
+                        for (id, wme, _) in wm.iter() {
+                            if !self.live.contains(&id) {
+                                continue;
+                            }
+                            self.stats.ce_match_attempts += 1;
+                            let mut local = bindings.clone();
+                            if match_and_bind(ce, wme, &mut local) {
+                                blocked = true;
+                                break;
+                            }
+                        }
+                        if !blocked {
+                            next.push((wmes, bindings));
+                        }
+                    } else {
+                        for (id, wme, _) in wm.iter() {
+                            if !self.live.contains(&id) {
+                                continue;
+                            }
+                            self.stats.ce_match_attempts += 1;
+                            let mut b = bindings.clone();
+                            if match_and_bind(ce, wme, &mut b) {
+                                self.stats.tuples_examined += 1;
+                                let mut w = wmes.clone();
+                                w.push(id);
+                                next.push((w, b));
+                            }
+                        }
+                    }
+                }
+                partial = next;
+            }
+            for (wmes, _) in partial {
+                self.stats.instantiations_computed += 1;
+                out.insert(Instantiation::new(p.id, wmes));
+            }
+        }
+        out
+    }
+
+    fn refresh(&mut self, wm: &WorkingMemory) -> MatchDelta {
+        self.stats.changes += 1;
+        let next = self.all_instantiations(wm);
+        let added = next.difference(&self.current).cloned().collect();
+        let removed = self.current.difference(&next).cloned().collect();
+        self.current = next;
+        MatchDelta { added, removed }
+    }
+
+    /// The currently satisfied instantiations (for tests and experiments).
+    pub fn satisfied(&self) -> &HashSet<Instantiation> {
+        &self.current
+    }
+}
+
+impl Matcher for NaiveMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.live.insert(id);
+        self.refresh(wm)
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.live.remove(&id);
+        self.refresh(wm)
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, SymbolTable};
+
+    fn setup(src: &str) -> (NaiveMatcher, WorkingMemory, SymbolTable) {
+        let program = parse_program(src).unwrap();
+        let m = NaiveMatcher::new(&program);
+        let syms = program.symbols.clone();
+        (m, WorkingMemory::new(), syms)
+    }
+
+    fn add(
+        m: &mut NaiveMatcher,
+        wm: &mut WorkingMemory,
+        syms: &mut SymbolTable,
+        lit: &str,
+    ) -> (WmeId, MatchDelta) {
+        let wme = parse_wme(lit, syms).unwrap();
+        let (id, _) = wm.add(wme);
+        let d = m.add_wme(wm, id);
+        (id, d)
+    }
+
+    #[test]
+    fn add_remove_single_ce() {
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x 1) --> (remove 1))");
+        let (id, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        let d = m.remove_wme(&wm, id);
+        wm.remove(id);
+        assert_eq!(d.removed.len(), 1);
+        assert!(m.satisfied().is_empty());
+    }
+
+    #[test]
+    fn join_and_negation() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) - (veto ^x <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 3)");
+        let (_b, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 3)");
+        assert_eq!(d.added.len(), 1);
+        let (veto, d) = add(&mut m, &mut wm, &mut syms, "(veto ^x 3)");
+        assert_eq!(d.removed.len(), 1);
+        let d = m.remove_wme(&wm, veto);
+        wm.remove(veto);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn work_scales_with_wm_size_not_change_count() {
+        // The defining property of a non-state-saving matcher: the cost
+        // of one change grows with |WM|.
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        for i in 0..20 {
+            add(&mut m, &mut wm, &mut syms, &format!("(a ^x {i})"));
+        }
+        let before = m.stats().ce_match_attempts;
+        add(&mut m, &mut wm, &mut syms, "(b ^x 0)");
+        let per_change_large = m.stats().ce_match_attempts - before;
+        // On a small memory the same change is much cheaper.
+        let (mut m2, mut wm2, mut syms2) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        add(&mut m2, &mut wm2, &mut syms2, "(a ^x 0)");
+        let before2 = m2.stats().ce_match_attempts;
+        add(&mut m2, &mut wm2, &mut syms2, "(b ^x 0)");
+        let per_change_small = m2.stats().ce_match_attempts - before2;
+        assert!(
+            per_change_large > 5 * per_change_small,
+            "{per_change_large} vs {per_change_small}"
+        );
+    }
+
+    #[test]
+    fn duplicate_wmes_are_distinct_matches() {
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x 1) --> (remove 1))");
+        let (_, d1) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        let (_, d2) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert_eq!(d1.added.len(), 1);
+        assert_eq!(d2.added.len(), 1);
+        assert_eq!(m.satisfied().len(), 2);
+    }
+}

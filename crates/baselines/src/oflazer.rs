@@ -1,0 +1,440 @@
+//! Oflazer's full-state matcher (§3.2 and §7.3 of the paper).
+//!
+//! Oflazer's thesis argues that *"both Treat and Rete are too
+//! conservative in the amount of state they store"* and proposes storing
+//! tokens matching **all combinations** of a production's condition
+//! elements, so the interaction of a change with each stored token can be
+//! computed independently (and, on his machine, in parallel).
+//!
+//! This implementation stores, for every production with `k` positive
+//! condition elements, a memory for each of the `2^k − 1` non-empty CE
+//! subsets, holding the mutually consistent WME tuples for that subset.
+//! Consistency uses the same pairwise join tests the Rete compiler
+//! derives, so the three algorithms differ *only* in state policy.
+//!
+//! The counters expose the paper's critique directly: state size blows up
+//! combinatorially, and most tuples never contribute to an instantiation.
+//!
+//! # Limitations
+//!
+//! Negated condition elements are rejected at compile time ([`Error::Semantic`]):
+//! Oflazer's scheme as described stores positive combinations, and the
+//! workloads used for the state-spectrum experiments avoid negation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ops5::{
+    Error, Instantiation, MatchDelta, Matcher, ProductionId, Program, Wme, WmeId, WorkingMemory,
+};
+use rete::{JoinTest, Network};
+
+/// Work and state counters for the Oflazer matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OflazerStats {
+    /// Working-memory changes processed.
+    pub changes: u64,
+    /// Constant (alpha) tests evaluated.
+    pub constant_tests: u64,
+    /// Pairwise consistency tests evaluated.
+    pub consistency_tests: u64,
+    /// Tuples created (all subset sizes).
+    pub tuples_created: u64,
+    /// Tuples deleted.
+    pub tuples_deleted: u64,
+    /// Tuples currently resident.
+    pub tuples_resident: u64,
+    /// Peak resident tuples — the state-size blow-up the paper warns
+    /// about.
+    pub peak_tuples: u64,
+    /// Full-width tuples created (actual instantiations); the gap to
+    /// `tuples_created` is state that never reached the conflict set.
+    pub full_tuples_created: u64,
+}
+
+/// Per-production subset memories. Masks are bitsets over positive CE
+/// indices; tuples store WMEs at the mask's set positions in ascending
+/// CE order.
+#[derive(Debug, Default)]
+struct SubsetMemories {
+    mems: HashMap<u32, Vec<Vec<WmeId>>>,
+}
+
+/// The all-combinations state-saving matcher.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{parse_program, parse_wme, Interpreter};
+/// use baselines::OflazerMatcher;
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let program = parse_program("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))")?;
+/// let matcher = OflazerMatcher::compile(&program)?;
+/// let mut interp = Interpreter::new(program, matcher);
+/// let mut syms = interp.program().symbols.clone();
+/// interp.insert(parse_wme("(a ^x 1)", &mut syms)?);
+/// interp.insert(parse_wme("(b ^x 1)", &mut syms)?);
+/// assert_eq!(interp.run(10)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OflazerMatcher {
+    network: Arc<Network>,
+    alpha_mems: Vec<Vec<WmeId>>,
+    state: Vec<SubsetMemories>,
+    /// Number of (positive) CEs per production.
+    widths: Vec<usize>,
+    stats: OflazerStats,
+}
+
+impl OflazerMatcher {
+    /// Compiles `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] if any production uses a negated
+    /// condition element or has more than 30 condition elements.
+    pub fn compile(program: &Program) -> Result<Self, Error> {
+        for p in &program.productions {
+            if p.ces.iter().any(|ce| ce.negated) {
+                return Err(Error::Semantic {
+                    production: p.name.clone(),
+                    message: "the Oflazer matcher does not support negated condition elements"
+                        .into(),
+                });
+            }
+            if p.ces.len() > 30 {
+                return Err(Error::Semantic {
+                    production: p.name.clone(),
+                    message: "too many condition elements for subset masks (max 30)".into(),
+                });
+            }
+        }
+        let network = Arc::new(Network::compile(program)?);
+        let widths = program.productions.iter().map(|p| p.ces.len()).collect();
+        let state = program
+            .productions
+            .iter()
+            .map(|_| SubsetMemories::default())
+            .collect();
+        Ok(OflazerMatcher {
+            alpha_mems: vec![Vec::new(); network.alpha.len()],
+            network,
+            state,
+            widths,
+            stats: OflazerStats::default(),
+        })
+    }
+
+    /// Work and state counters so far.
+    pub fn stats(&self) -> OflazerStats {
+        self.stats
+    }
+
+    /// Checks pairwise consistency of placing `wme` at CE position `pos`
+    /// against `tuple` covering the positions of `mask` (ascending).
+    fn consistent(
+        &mut self,
+        wm: &WorkingMemory,
+        pid: ProductionId,
+        pos: usize,
+        wme: &Wme,
+        mask: u32,
+        tuple: &[WmeId],
+    ) -> bool {
+        let tests_of = |ce: usize| -> &[JoinTest] { &self.network.ce_tests[pid.index()][ce] };
+        let mut idx = 0usize;
+        for other in 0..32 {
+            if mask & (1 << other) == 0 {
+                continue;
+            }
+            let other_wme = wm.get(tuple[idx]).expect("live wme in subset memory");
+            // Tests always live on the *later* CE, referencing earlier
+            // positions.
+            let (later_ce, later_wme, earlier_pos, earlier_wme) = if other > pos {
+                (other, other_wme, pos, wme)
+            } else {
+                (pos, wme, other, other_wme)
+            };
+            for t in tests_of(later_ce) {
+                if t.token_pos != earlier_pos {
+                    continue;
+                }
+                self.stats.consistency_tests += 1;
+                let a = later_wme.get(t.own_attr);
+                let b = earlier_wme.get(t.token_attr);
+                match (a, b) {
+                    (Some(a), Some(b)) if a.compare(t.op, b) => {}
+                    _ => return false,
+                }
+            }
+            idx += 1;
+        }
+        true
+    }
+
+    fn note_created(&mut self, full: bool) {
+        self.stats.tuples_created += 1;
+        self.stats.tuples_resident += 1;
+        self.stats.peak_tuples = self.stats.peak_tuples.max(self.stats.tuples_resident);
+        if full {
+            self.stats.full_tuples_created += 1;
+        }
+    }
+}
+
+impl Matcher for OflazerMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.stats.changes += 1;
+        let wme = wm.get(id).expect("live wme").clone();
+        let network = Arc::clone(&self.network);
+        let (alphas, tests) = network.alpha.matching(&wme);
+        self.stats.constant_tests += tests;
+        for &a in &alphas {
+            self.alpha_mems[a.index()].push(id);
+        }
+
+        let mut delta = MatchDelta::new();
+        let mut subs: Vec<(ProductionId, usize)> = alphas
+            .iter()
+            .flat_map(|a| network.alpha.node(*a).subscribers.iter().copied())
+            .collect();
+        subs.sort_unstable();
+        subs.dedup();
+
+        for (pid, pos) in subs {
+            let width = self.widths[pid.index()];
+            let full_mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let bit = 1u32 << pos;
+            // Collect source masks first (those not containing `pos`).
+            let sources: Vec<u32> = self.state[pid.index()]
+                .mems
+                .keys()
+                .copied()
+                .filter(|m| m & bit == 0)
+                .collect();
+            let mut inserts: Vec<(u32, Vec<WmeId>)> = vec![(bit, vec![id])];
+            for mask in sources {
+                let tuples = self.state[pid.index()].mems[&mask].clone();
+                for tuple in tuples {
+                    if self.consistent(wm, pid, pos, &wme, mask, &tuple) {
+                        // Splice `id` into CE order.
+                        let mut merged = Vec::with_capacity(tuple.len() + 1);
+                        let mut ti = 0usize;
+                        for other in 0..32 {
+                            if other == pos {
+                                merged.push(id);
+                            } else if mask & (1 << other) != 0 {
+                                merged.push(tuple[ti]);
+                                ti += 1;
+                            }
+                        }
+                        inserts.push((mask | bit, merged));
+                    }
+                }
+            }
+            for (mask, tuple) in inserts {
+                let full = mask == full_mask;
+                if full {
+                    delta.merge(MatchDelta {
+                        added: vec![Instantiation::new(pid, tuple.clone())],
+                        removed: vec![],
+                    });
+                }
+                self.state[pid.index()].mems.entry(mask).or_default().push(tuple);
+                self.note_created(full);
+            }
+        }
+        delta
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.stats.changes += 1;
+        let wme = wm.get(id).expect("live wme");
+        let network = Arc::clone(&self.network);
+        let (alphas, tests) = network.alpha.matching(wme);
+        self.stats.constant_tests += tests;
+        for &a in &alphas {
+            let mem = &mut self.alpha_mems[a.index()];
+            if let Some(pos) = mem.iter().position(|&w| w == id) {
+                mem.swap_remove(pos);
+            }
+        }
+
+        let mut delta = MatchDelta::new();
+        let mut prods: Vec<ProductionId> = alphas
+            .iter()
+            .flat_map(|a| network.alpha.node(*a).subscribers.iter().map(|&(p, _)| p))
+            .collect();
+        prods.sort_unstable();
+        prods.dedup();
+
+        for pid in prods {
+            let width = self.widths[pid.index()];
+            let full_mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let mut deleted = 0u64;
+            for (&mask, tuples) in self.state[pid.index()].mems.iter_mut() {
+                let before = tuples.len();
+                tuples.retain(|t| {
+                    let keep = !t.contains(&id);
+                    if !keep && mask == full_mask {
+                        delta.merge(MatchDelta {
+                            added: vec![],
+                            removed: vec![Instantiation::new(pid, t.clone())],
+                        });
+                    }
+                    keep
+                });
+                deleted += (before - tuples.len()) as u64;
+            }
+            self.stats.tuples_deleted += deleted;
+            self.stats.tuples_resident = self.stats.tuples_resident.saturating_sub(deleted);
+        }
+        delta
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "oflazer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, SymbolTable};
+
+    fn setup(src: &str) -> (OflazerMatcher, WorkingMemory, SymbolTable) {
+        let program = parse_program(src).unwrap();
+        let m = OflazerMatcher::compile(&program).unwrap();
+        let syms = program.symbols.clone();
+        (m, WorkingMemory::new(), syms)
+    }
+
+    fn add(
+        m: &mut OflazerMatcher,
+        wm: &mut WorkingMemory,
+        syms: &mut SymbolTable,
+        lit: &str,
+    ) -> (WmeId, MatchDelta) {
+        let wme = parse_wme(lit, syms).unwrap();
+        let (id, _) = wm.add(wme);
+        let d = m.add_wme(wm, id);
+        (id, d)
+    }
+
+    #[test]
+    fn negated_ces_rejected() {
+        let program =
+            parse_program("(p r (a ^x 1) - (b ^y 2) --> (remove 1))").unwrap();
+        assert!(OflazerMatcher::compile(&program).is_err());
+    }
+
+    #[test]
+    fn two_ce_join() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        let (ia, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert!(d.added.is_empty());
+        let (ib, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].wmes, vec![ia, ib]);
+        let d = m.remove_wme(&wm, ia);
+        wm.remove(ia);
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn stores_all_combinations() {
+        // Three CEs over disjoint classes: after one consistent WME per
+        // CE, every non-empty subset {a},{b},{c},{ab},{ac},{bc},{abc}
+        // holds exactly one tuple.
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let (_, d) = add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(m.stats().tuples_resident, 7, "2^3 - 1 subset tuples");
+        // Rete would store: 3 alpha entries + 1 beta token (a,b) + the
+        // instantiation — strictly less. The {a,c} and {b,c} tuples are
+        // state Rete never materializes.
+    }
+
+    #[test]
+    fn inconsistent_pairs_not_stored() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        let (_, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 2)");
+        assert!(d.added.is_empty());
+        // Two singleton tuples, no pair.
+        assert_eq!(m.stats().tuples_resident, 2);
+    }
+
+    #[test]
+    fn wasted_state_counter() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
+        );
+        // Many (a,b) pairs but no c: lots of state, zero instantiations.
+        for i in 0..4 {
+            add(&mut m, &mut wm, &mut syms, &format!("(a ^x {i})"));
+            add(&mut m, &mut wm, &mut syms, &format!("(b ^x {i})"));
+        }
+        let s = m.stats();
+        assert_eq!(s.full_tuples_created, 0);
+        assert!(s.tuples_created >= 12, "8 singletons + 4 pairs");
+        assert!(s.peak_tuples >= 12);
+    }
+
+    #[test]
+    fn removal_purges_all_subsets() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
+        );
+        let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
+        let d = m.remove_wme(&wm, ia);
+        wm.remove(ia);
+        assert_eq!(d.removed.len(), 1);
+        // {b},{c},{bc} remain.
+        assert_eq!(m.stats().tuples_resident, 3);
+    }
+
+    #[test]
+    fn same_wme_in_multiple_positions() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
+        );
+        let (_w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        assert_eq!(d.added.len(), 1);
+        let (_w2, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        assert_eq!(d.added.len(), 3);
+    }
+
+    #[test]
+    fn predicate_consistency() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
+        let (_, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 5)");
+        assert!(d.added.is_empty());
+        let (_, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 20)");
+        assert_eq!(d.added.len(), 1);
+    }
+}

@@ -1,0 +1,496 @@
+//! The TREAT matcher (Miranker; used on the DADO machine, §7.1).
+//!
+//! TREAT stores *only* alpha memories — "no state is saved other than
+//! working elements that satisfy a single condition element". Cross-CE
+//! joins are recomputed on every change, seeded by the changed WME. If
+//! any condition element of a production has an empty memory, the
+//! production cannot be satisfied and the join is skipped (TREAT's
+//! early-exit optimisation).
+//!
+//! It reuses the Rete compiler's alpha network (constant-test
+//! classification and per-CE alpha memories) so the comparison between
+//! TREAT and Rete isolates exactly the paper's variable of interest: how
+//! much *beta* state is stored.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ops5::{
+    match_and_bind, Error, Instantiation, MatchDelta, Matcher, Production, ProductionId, Program,
+    Value, WmeId, WorkingMemory,
+};
+use rete::Network;
+
+/// Work counters for the TREAT matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreatStats {
+    /// Working-memory changes processed.
+    pub changes: u64,
+    /// Constant (alpha) tests evaluated.
+    pub constant_tests: u64,
+    /// Seeded join searches started.
+    pub seeded_joins: u64,
+    /// Candidate WMEs examined during joins (the recomputation cost the
+    /// paper charges to TREAT).
+    pub candidates_examined: u64,
+    /// Full recomputations triggered by retractions that unblock negated
+    /// condition elements.
+    pub negation_recomputes: u64,
+}
+
+/// The TREAT matcher: alpha memories only, joins recomputed per change.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{parse_program, parse_wme, Interpreter};
+/// use baselines::TreatMatcher;
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let program = parse_program("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))")?;
+/// let matcher = TreatMatcher::compile(&program)?;
+/// let mut interp = Interpreter::new(program, matcher);
+/// let mut syms = interp.program().symbols.clone();
+/// interp.insert(parse_wme("(a ^x 1)", &mut syms)?);
+/// interp.insert(parse_wme("(b ^x 1)", &mut syms)?);
+/// assert_eq!(interp.run(10)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TreatMatcher {
+    program: Program,
+    network: Arc<Network>,
+    alpha_mems: Vec<Vec<WmeId>>,
+    /// The conflict-set image: all currently satisfied instantiations,
+    /// per production. TREAT keeps this (it is output state, not match
+    /// state) so retractions can delete by containment.
+    satisfied: HashMap<ProductionId, HashSet<Instantiation>>,
+    stats: TreatStats,
+}
+
+impl TreatMatcher {
+    /// Compiles `program` (alpha network only is used at run time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] for LHS constructs the compiler
+    /// rejects.
+    pub fn compile(program: &Program) -> Result<Self, Error> {
+        let network = Arc::new(Network::compile(program)?);
+        Ok(TreatMatcher {
+            program: program.clone(),
+            alpha_mems: vec![Vec::new(); network.alpha.len()],
+            network,
+            satisfied: HashMap::new(),
+            stats: TreatStats::default(),
+        })
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> TreatStats {
+        self.stats
+    }
+
+    /// Total WMEs resident across alpha memories — TREAT's entire saved
+    /// state, compared against Rete's alpha *plus* beta state in the
+    /// state-spectrum experiments.
+    pub fn resident_state(&self) -> usize {
+        self.alpha_mems.iter().map(Vec::len).sum()
+    }
+
+    /// Candidate WMEs for the CE at `ce_index` of production `p`
+    /// (its alpha memory).
+    fn candidates(&self, p: ProductionId, ce_index: usize) -> &[WmeId] {
+        let alpha = self.network.ce_alpha[p.index()][ce_index];
+        &self.alpha_mems[alpha.index()]
+    }
+
+    /// Enumerates instantiations of `production` that place `seed` at CE
+    /// position `seed_ce` (an index over all CEs). Positions textually
+    /// before the seed exclude the seed WME so an instantiation
+    /// containing the new WME several times is generated exactly once —
+    /// from its first seed position.
+    fn seeded_join(
+        &mut self,
+        wm: &WorkingMemory,
+        production: &Production,
+        seed_ce: usize,
+        seed: WmeId,
+    ) -> Vec<Instantiation> {
+        self.stats.seeded_joins += 1;
+        // TREAT early exit: an empty positive memory anywhere means no
+        // instantiation can exist.
+        for (idx, ce) in production.ces.iter().enumerate() {
+            if !ce.negated && idx != seed_ce && self.candidates(production.id, idx).is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> = vec![(
+            Vec::new(),
+            vec![None; production.variables.len()],
+        )];
+        for (idx, ce) in production.ces.iter().enumerate() {
+            let mut next = Vec::new();
+            if ce.negated {
+                let candidates: Vec<WmeId> = self.candidates(production.id, idx).to_vec();
+                for (wmes, bindings) in partial {
+                    let mut blocked = false;
+                    for &cand in &candidates {
+                        self.stats.candidates_examined += 1;
+                        let wme = wm.get(cand).expect("live wme in alpha memory");
+                        let mut local = bindings.clone();
+                        if match_and_bind(ce, wme, &mut local) {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                    if !blocked {
+                        next.push((wmes, bindings));
+                    }
+                }
+            } else {
+                let candidates: Vec<WmeId> = if idx == seed_ce {
+                    vec![seed]
+                } else {
+                    self.candidates(production.id, idx)
+                        .iter()
+                        .copied()
+                        .filter(|&c| !(idx < seed_ce && c == seed))
+                        .collect()
+                };
+                for (wmes, bindings) in partial {
+                    for &cand in &candidates {
+                        self.stats.candidates_examined += 1;
+                        let wme = wm.get(cand).expect("live wme in alpha memory");
+                        let mut b = bindings.clone();
+                        if match_and_bind(ce, wme, &mut b) {
+                            let mut w = wmes.clone();
+                            w.push(cand);
+                            next.push((w, b));
+                        }
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                return Vec::new();
+            }
+        }
+        partial
+            .into_iter()
+            .map(|(wmes, _)| Instantiation::new(production.id, wmes))
+            .collect()
+    }
+
+    /// Full (unseeded) recomputation of one production's instantiations,
+    /// used when a retraction may unblock negated CEs.
+    fn full_join(&mut self, wm: &WorkingMemory, production: &Production) -> Vec<Instantiation> {
+        self.stats.negation_recomputes += 1;
+        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> = vec![(
+            Vec::new(),
+            vec![None; production.variables.len()],
+        )];
+        for (idx, ce) in production.ces.iter().enumerate() {
+            let candidates: Vec<WmeId> = self.candidates(production.id, idx).to_vec();
+            let mut next = Vec::new();
+            for (wmes, bindings) in partial {
+                if ce.negated {
+                    let mut blocked = false;
+                    for &cand in &candidates {
+                        self.stats.candidates_examined += 1;
+                        let wme = wm.get(cand).expect("live wme");
+                        let mut local = bindings.clone();
+                        if match_and_bind(ce, wme, &mut local) {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                    if !blocked {
+                        next.push((wmes, bindings));
+                    }
+                } else {
+                    for &cand in &candidates {
+                        self.stats.candidates_examined += 1;
+                        let wme = wm.get(cand).expect("live wme");
+                        let mut b = bindings.clone();
+                        if match_and_bind(ce, wme, &mut b) {
+                            let mut w = wmes.clone();
+                            w.push(cand);
+                            next.push((w, b));
+                        }
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                return Vec::new();
+            }
+        }
+        partial
+            .into_iter()
+            .map(|(wmes, _)| Instantiation::new(production.id, wmes))
+            .collect()
+    }
+
+    /// Whether `wme` (matching the negated CE at `ce_index`) blocks
+    /// `inst`: re-derives the instantiation's bindings and checks
+    /// consistency.
+    fn blocks(
+        &self,
+        wm: &WorkingMemory,
+        production: &Production,
+        inst: &Instantiation,
+        ce_index: usize,
+        wme_id: WmeId,
+    ) -> bool {
+        let mut bindings = vec![None; production.variables.len()];
+        let mut pos = 0usize;
+        for (idx, ce) in production.ces.iter().enumerate() {
+            if idx == ce_index {
+                break;
+            }
+            if !ce.negated {
+                let wme = wm.get(inst.wmes[pos]).expect("instantiation wme live");
+                let ok = match_and_bind(ce, wme, &mut bindings);
+                debug_assert!(ok, "stored instantiation no longer matches");
+                pos += 1;
+            }
+        }
+        let wme = wm.get(wme_id).expect("live wme");
+        let mut local = bindings;
+        match_and_bind(&production.ces[ce_index], wme, &mut local)
+    }
+}
+
+impl Matcher for TreatMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.stats.changes += 1;
+        let wme = wm.get(id).expect("live wme");
+        let network = Arc::clone(&self.network);
+        let (alphas, tests) = network.alpha.matching(wme);
+        self.stats.constant_tests += tests;
+        for &a in &alphas {
+            self.alpha_mems[a.index()].push(id);
+        }
+
+        let mut delta = MatchDelta::new();
+        let mut subs: Vec<(ProductionId, usize)> = alphas
+            .iter()
+            .flat_map(|a| network.alpha.node(*a).subscribers.iter().copied())
+            .collect();
+        subs.sort_unstable();
+        subs.dedup();
+
+        for (pid, ce_index) in subs {
+            let production = self.program.production(pid).clone();
+            if production.ces[ce_index].negated {
+                // The new WME may block existing instantiations.
+                let existing: Vec<Instantiation> = self
+                    .satisfied
+                    .get(&pid)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                for inst in existing {
+                    if self.blocks(wm, &production, &inst, ce_index, id) {
+                        self.satisfied.get_mut(&pid).unwrap().remove(&inst);
+                        delta.merge(MatchDelta {
+                            added: vec![],
+                            removed: vec![inst],
+                        });
+                    }
+                }
+            } else {
+                for inst in self.seeded_join(wm, &production, ce_index, id) {
+                    let set = self.satisfied.entry(pid).or_default();
+                    if set.insert(inst.clone()) {
+                        delta.merge(MatchDelta {
+                            added: vec![inst],
+                            removed: vec![],
+                        });
+                    }
+                }
+            }
+        }
+        delta
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.stats.changes += 1;
+        let wme = wm.get(id).expect("live wme");
+        let network = Arc::clone(&self.network);
+        let (alphas, tests) = network.alpha.matching(wme);
+        self.stats.constant_tests += tests;
+        for &a in &alphas {
+            let mem = &mut self.alpha_mems[a.index()];
+            if let Some(pos) = mem.iter().position(|&w| w == id) {
+                mem.swap_remove(pos);
+            }
+        }
+
+        let mut delta = MatchDelta::new();
+        let mut subs: Vec<(ProductionId, usize)> = alphas
+            .iter()
+            .flat_map(|a| network.alpha.node(*a).subscribers.iter().copied())
+            .collect();
+        subs.sort_unstable();
+        subs.dedup();
+
+        // First pass: retract instantiations containing the WME.
+        let mut prods: Vec<ProductionId> = subs.iter().map(|&(p, _)| p).collect();
+        prods.dedup();
+        for &pid in &prods {
+            if let Some(set) = self.satisfied.get_mut(&pid) {
+                let gone: Vec<Instantiation> = set
+                    .iter()
+                    .filter(|i| i.wmes.contains(&id))
+                    .cloned()
+                    .collect();
+                for inst in gone {
+                    set.remove(&inst);
+                    delta.merge(MatchDelta {
+                        added: vec![],
+                        removed: vec![inst],
+                    });
+                }
+            }
+        }
+
+        // Second pass: a retraction matching a negated CE may unblock
+        // instantiations; recompute those productions and diff.
+        let mut neg_prods: Vec<ProductionId> = subs
+            .iter()
+            .filter(|&&(p, ce)| self.program.production(p).ces[ce].negated)
+            .map(|&(p, _)| p)
+            .collect();
+        neg_prods.dedup();
+        for pid in neg_prods {
+            let production = self.program.production(pid).clone();
+            let fresh: HashSet<Instantiation> =
+                self.full_join(wm, &production).into_iter().collect();
+            let set = self.satisfied.entry(pid).or_default();
+            let added: Vec<Instantiation> = fresh.difference(set).cloned().collect();
+            for inst in added {
+                set.insert(inst.clone());
+                delta.merge(MatchDelta {
+                    added: vec![inst],
+                    removed: vec![],
+                });
+            }
+        }
+        delta
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "treat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, SymbolTable};
+
+    fn setup(src: &str) -> (TreatMatcher, WorkingMemory, SymbolTable) {
+        let program = parse_program(src).unwrap();
+        let m = TreatMatcher::compile(&program).unwrap();
+        let syms = program.symbols.clone();
+        (m, WorkingMemory::new(), syms)
+    }
+
+    fn add(
+        m: &mut TreatMatcher,
+        wm: &mut WorkingMemory,
+        syms: &mut SymbolTable,
+        lit: &str,
+    ) -> (WmeId, MatchDelta) {
+        let wme = parse_wme(lit, syms).unwrap();
+        let (id, _) = wm.add(wme);
+        let d = m.add_wme(wm, id);
+        (id, d)
+    }
+
+    fn remove(m: &mut TreatMatcher, wm: &mut WorkingMemory, id: WmeId) -> MatchDelta {
+        let d = m.remove_wme(wm, id);
+        wm.remove(id);
+        d
+    }
+
+    #[test]
+    fn join_via_seeding() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        let (ia, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert!(d.is_empty());
+        let (ib, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].wmes, vec![ia, ib]);
+    }
+
+    #[test]
+    fn early_exit_on_empty_memory() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        let before = m.stats().candidates_examined;
+        // Adding another `a` cannot satisfy the rule: `b`/`c` memories
+        // are empty, so the join aborts without examining candidates.
+        add(&mut m, &mut wm, &mut syms, "(a ^x 2)");
+        assert_eq!(m.stats().candidates_examined, before);
+    }
+
+    #[test]
+    fn duplicate_wme_positions_counted_once() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
+        );
+        let (_w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        assert_eq!(d.added.len(), 1, "(w1,w1) exactly once");
+        let (_w2, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        assert_eq!(d.added.len(), 3, "(w1,w2),(w2,w1),(w2,w2)");
+    }
+
+    #[test]
+    fn negation_blocks_and_unblocks() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (goal ^c <v>) - (block ^c <v>) --> (remove 1))",
+        );
+        let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^c red)");
+        assert_eq!(d.added.len(), 1);
+        let (b, d) = add(&mut m, &mut wm, &mut syms, "(block ^c red)");
+        assert_eq!(d.removed.len(), 1);
+        let (b2, d) = add(&mut m, &mut wm, &mut syms, "(block ^c blue)");
+        assert!(d.is_empty());
+        let d = remove(&mut m, &mut wm, b);
+        assert_eq!(d.added.len(), 1);
+        let d = remove(&mut m, &mut wm, b2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn retraction_removes_containing_instantiations() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let d = remove(&mut m, &mut wm, ia);
+        assert_eq!(d.removed.len(), 2);
+        assert_eq!(m.resident_state(), 2, "only the two b's remain");
+    }
+
+    #[test]
+    fn state_is_alpha_only() {
+        let (mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        // Rete would store a beta token for the (a,b) pair; TREAT's
+        // resident state is exactly the WMEs in alpha memories.
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        assert_eq!(m.resident_state(), 2);
+    }
+}

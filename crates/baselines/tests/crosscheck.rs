@@ -1,0 +1,203 @@
+//! Cross-checks every matcher against the naive reference semantics on
+//! randomized working-memory change sequences.
+//!
+//! This is the repository's core correctness argument: the paper's
+//! comparisons only make sense if TREAT, Rete, and the Oflazer matcher
+//! compute *identical* conflict-set deltas for identical inputs.
+
+use ops5::{parse_program, Matcher, Program, SymbolTable, Value, Wme, WmeId, WorkingMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use baselines::{NaiveMatcher, OflazerMatcher, TreatMatcher};
+use rete::ReteMatcher;
+
+/// A deterministic pseudo-random WME generator over a small vocabulary,
+/// sized so joins, misses, and duplicates all occur.
+struct WmeGen {
+    classes: Vec<ops5::SymbolId>,
+    attrs: Vec<ops5::SymbolId>,
+    colors: Vec<ops5::SymbolId>,
+}
+
+impl WmeGen {
+    fn new(syms: &mut SymbolTable) -> Self {
+        WmeGen {
+            classes: ["goal", "block", "table", "veto", "a", "b", "c"]
+                .iter()
+                .map(|s| syms.intern(s))
+                .collect(),
+            attrs: ["x", "y", "color", "size"]
+                .iter()
+                .map(|s| syms.intern(s))
+                .collect(),
+            colors: ["red", "blue", "green"]
+                .iter()
+                .map(|s| syms.intern(s))
+                .collect(),
+        }
+    }
+
+    fn gen(&self, rng: &mut StdRng) -> Wme {
+        let class = self.classes[rng.gen_range(0..self.classes.len())];
+        let n_attrs = rng.gen_range(0..=3);
+        let mut attrs = Vec::new();
+        for _ in 0..n_attrs {
+            let attr = self.attrs[rng.gen_range(0..self.attrs.len())];
+            let value = if rng.gen_bool(0.5) {
+                Value::Int(rng.gen_range(0..4))
+            } else {
+                Value::Sym(self.colors[rng.gen_range(0..self.colors.len())])
+            };
+            attrs.push((attr, value));
+        }
+        Wme::new(class, attrs)
+    }
+}
+
+/// Drives `steps` random adds/removes through all matchers, asserting
+/// canonicalized delta equality after every change.
+fn crosscheck(program: &Program, seed: u64, steps: usize, include_oflazer: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut syms = program.symbols.clone();
+    let gen = WmeGen::new(&mut syms);
+
+    let mut naive = NaiveMatcher::new(program);
+    let mut rete = ReteMatcher::compile(program).expect("rete compiles");
+    let mut rete_hashed = ReteMatcher::compile_hashed(program).expect("hashed rete compiles");
+    let mut treat = TreatMatcher::compile(program).expect("treat compiles");
+    let mut oflazer = include_oflazer.then(|| OflazerMatcher::compile(program).expect("oflazer"));
+
+    let mut wm = WorkingMemory::new();
+    let mut live: Vec<WmeId> = Vec::new();
+
+    for step in 0..steps {
+        let remove = !live.is_empty() && rng.gen_bool(0.35);
+        if remove {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.swap_remove(idx);
+            let mut d_naive = naive.remove_wme(&wm, id);
+            let mut d_rete = rete.remove_wme(&wm, id);
+            let mut d_hashed = rete_hashed.remove_wme(&wm, id);
+            let mut d_treat = treat.remove_wme(&wm, id);
+            let d_ofl = oflazer.as_mut().map(|m| m.remove_wme(&wm, id));
+            wm.remove(id);
+            d_naive.canonicalize();
+            d_rete.canonicalize();
+            d_hashed.canonicalize();
+            d_treat.canonicalize();
+            assert_eq!(d_rete, d_naive, "rete vs naive at remove step {step}");
+            assert_eq!(d_hashed, d_naive, "hashed rete vs naive at remove step {step}");
+            assert_eq!(d_treat, d_naive, "treat vs naive at remove step {step}");
+            if let Some(mut d) = d_ofl {
+                d.canonicalize();
+                assert_eq!(d, d_naive, "oflazer vs naive at remove step {step}");
+            }
+        } else {
+            let wme = gen.gen(&mut rng);
+            let (id, _) = wm.add(wme);
+            live.push(id);
+            let mut d_naive = naive.add_wme(&wm, id);
+            let mut d_rete = rete.add_wme(&wm, id);
+            let mut d_hashed = rete_hashed.add_wme(&wm, id);
+            let mut d_treat = treat.add_wme(&wm, id);
+            let d_ofl = oflazer.as_mut().map(|m| m.add_wme(&wm, id));
+            d_naive.canonicalize();
+            d_rete.canonicalize();
+            d_hashed.canonicalize();
+            d_treat.canonicalize();
+            assert_eq!(d_rete, d_naive, "rete vs naive at add step {step}");
+            assert_eq!(d_hashed, d_naive, "hashed rete vs naive at add step {step}");
+            assert_eq!(d_treat, d_naive, "treat vs naive at add step {step}");
+            if let Some(mut d) = d_ofl {
+                d.canonicalize();
+                assert_eq!(d, d_naive, "oflazer vs naive at add step {step}");
+            }
+        }
+    }
+}
+
+/// Positive-only program exercising joins, predicates, disjunctions and
+/// shared prefixes — safe for all four matchers.
+const POSITIVE_PROGRAM: &str = r#"
+(p pair (a ^x <v>) (b ^x <v>) --> (remove 1))
+(p triple (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))
+(p pred (a ^x <v>) (b ^x > <v>) --> (remove 1))
+(p colors (block ^color << red blue >>) (goal ^color <c>) --> (remove 1))
+(p same-class (block ^size <s>) (block ^size <s> ^color red) --> (remove 1))
+(p range (a ^x { > 0 <v> }) (c ^y <v>) --> (remove 2))
+"#;
+
+/// Adds negated condition elements (rete/treat/naive only).
+const NEGATED_PROGRAM: &str = r#"
+(p guarded (goal ^color <c>) - (veto ^color <c>) --> (remove 1))
+(p guarded2 (a ^x <v>) (b ^x <v>) - (veto ^x <v>) --> (remove 1))
+(p neg-mid (a ^x <v>) - (veto ^x <v>) (c ^x <v>) --> (remove 1))
+(p neg-plain (block ^size <s>) - (table) --> (remove 1))
+(p two-negs (goal ^x <v>) - (a ^x <v>) - (b ^x <v>) --> (remove 1))
+(p neg-first - (table) (a ^x <v>) --> (remove 2))
+"#;
+
+#[test]
+fn positive_program_all_matchers_agree() {
+    let program = parse_program(POSITIVE_PROGRAM).unwrap();
+    for seed in 0..6 {
+        crosscheck(&program, seed, 160, true);
+    }
+}
+
+#[test]
+fn negated_program_matchers_agree() {
+    let program = parse_program(NEGATED_PROGRAM).unwrap();
+    for seed in 0..6 {
+        crosscheck(&program, 1000 + seed, 160, false);
+    }
+}
+
+#[test]
+fn combined_program_long_run() {
+    let program = parse_program(&format!("{POSITIVE_PROGRAM}{NEGATED_PROGRAM}")).unwrap();
+    crosscheck(&program, 42, 500, false);
+}
+
+#[test]
+fn duplicate_heavy_sequences() {
+    // Few distinct values => many duplicate WMEs and same-WME-multiple-CE
+    // instantiations, the classic Rete correctness trap.
+    let program = parse_program(
+        r#"
+        (p self (a ^x <v>) (a ^x <v>) --> (remove 1))
+        (p self3 (a ^x <v>) (a ^x <v>) (a ^x <v>) --> (remove 1))
+        "#,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut syms = program.symbols.clone();
+    let a = syms.intern("a");
+    let x = syms.intern("x");
+
+    let mut naive = NaiveMatcher::new(&program);
+    let mut rete = ReteMatcher::compile(&program).unwrap();
+    let mut wm = WorkingMemory::new();
+    let mut live: Vec<WmeId> = Vec::new();
+    for step in 0..200 {
+        if !live.is_empty() && rng.gen_bool(0.4) {
+            let id = live.swap_remove(rng.gen_range(0..live.len()));
+            let mut d1 = naive.remove_wme(&wm, id);
+            let mut d2 = rete.remove_wme(&wm, id);
+            wm.remove(id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2, "step {step}");
+        } else {
+            let wme = Wme::new(a, vec![(x, Value::Int(rng.gen_range(0..2)))]);
+            let (id, _) = wm.add(wme);
+            live.push(id);
+            let mut d1 = naive.add_wme(&wm, id);
+            let mut d2 = rete.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2, "step {step}");
+        }
+    }
+}

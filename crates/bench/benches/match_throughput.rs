@@ -1,0 +1,66 @@
+//! Match throughput of the state-saving spectrum (§3.2): naive vs TREAT
+//! vs Rete vs Oflazer on identical change streams. The expected shape:
+//! Rete and Oflazer (state savers) dominate; naive is orders of
+//! magnitude off; TREAT pays join recomputation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use baselines::{NaiveMatcher, OflazerMatcher, TreatMatcher};
+use ops5::Matcher;
+use rete::ReteMatcher;
+use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+const CYCLES: u64 = 25;
+
+fn workload() -> GeneratedWorkload {
+    let mut spec = Preset::EpSoar.spec_small();
+    spec.wm_size = 60;
+    spec.negated_prob = 0.0; // so the Oflazer matcher can play too
+    GeneratedWorkload::generate(spec).expect("generates")
+}
+
+fn bench_matcher<M: Matcher>(
+    c: &mut Criterion,
+    name: &str,
+    workload: &GeneratedWorkload,
+    make: impl Fn() -> M,
+) {
+    let mut group = c.benchmark_group("match_throughput");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let mut m = make();
+                let mut d = WorkloadDriver::new(workload.clone(), 3);
+                d.init(&mut m);
+                (m, d)
+            },
+            |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let w = workload();
+    bench_matcher(c, "rete", &w, || {
+        ReteMatcher::compile(&w.program).expect("compiles")
+    });
+    bench_matcher(c, "treat", &w, || {
+        TreatMatcher::compile(&w.program).expect("compiles")
+    });
+    bench_matcher(c, "oflazer", &w, || {
+        OflazerMatcher::compile(&w.program).expect("compiles")
+    });
+    // Naive on a smaller memory: it is O(|WM|^k) per change.
+    let mut small = w.spec.clone();
+    small.wm_size = 25;
+    let w_small = GeneratedWorkload::generate(small).expect("generates");
+    bench_matcher(c, "naive(25-wme-wm)", &w_small, || {
+        NaiveMatcher::new(&w_small.program)
+    });
+}
+
+criterion_group!(match_throughput, benches);
+criterion_main!(match_throughput);

@@ -1,0 +1,48 @@
+//! Thread scaling of the node-parallel engine (the paper's VAX-11/784
+//! experiment on this machine's cores). On a single-core host the curve
+//! is flat and dominated by scheduling overhead — itself a datapoint for
+//! the paper's hardware-task-scheduler argument.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use psm_core::{ParallelOptions, ParallelReteMatcher};
+use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+const CYCLES: u64 = 30;
+
+fn benches(c: &mut Criterion) {
+    let w = GeneratedWorkload::generate(Preset::Daa.spec_small()).expect("generates");
+    let ncpu = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut threads = vec![1usize, 2, 4];
+    if ncpu > 4 {
+        threads.push(ncpu);
+    }
+
+    let mut group = c.benchmark_group("parallel_match_threads");
+    group.sample_size(10);
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter_batched(
+                || {
+                    let mut m = ParallelReteMatcher::compile(
+                        &w.program,
+                        ParallelOptions {
+                            threads: t,
+                            share: true,
+                        },
+                    )
+                    .expect("compiles");
+                    let mut d = WorkloadDriver::new(w.clone(), 23);
+                    d.init(&mut m);
+                    (m, d)
+                },
+                |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(parallel_match, benches);
+criterion_main!(parallel_match);

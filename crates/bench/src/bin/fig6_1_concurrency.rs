@@ -1,0 +1,57 @@
+//! Figure 6-1: average concurrency as a function of the number of
+//! processors, for the six systems plus the parallel-firings variants of
+//! the two Soar systems. Simulation assumptions follow the paper:
+//! multiple activations of one node in parallel, multiple WM changes in
+//! parallel, hardware task scheduler.
+
+use psm_bench::{capture, f, print_table, Captured, CliOptions, Variant};
+use psm_sim::{simulate_psm, CostModel, PsmSpec};
+use workloads::Preset;
+
+const PROCESSORS: [usize; 9] = [1, 2, 4, 8, 16, 24, 32, 48, 64];
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let cost = CostModel::default();
+
+    let mut series: Vec<(String, Captured)> = Vec::new();
+    for preset in Preset::all() {
+        series.push((
+            preset.name().to_string(),
+            capture(preset, opts.variant(), opts.cycles, true),
+        ));
+    }
+    for preset in [Preset::R1Soar, Preset::EpSoar] {
+        series.push((
+            format!("{} (parallel firings)", preset.name()),
+            capture(preset, Variant::ParallelFirings, opts.cycles, true),
+        ));
+    }
+
+    let mut headers: Vec<String> = vec!["system".into()];
+    headers.extend(PROCESSORS.iter().map(|p| format!("P={p}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut at32: Vec<f64> = Vec::new();
+    for (name, c) in &series {
+        let mut row = vec![name.clone()];
+        for &p in &PROCESSORS {
+            let r = simulate_psm(&c.trace, &cost, &PsmSpec::paper_32().with_processors(p));
+            if p == 32 {
+                at32.push(r.concurrency);
+            }
+            row.push(f(r.concurrency, 2));
+        }
+        rows.push(row);
+    }
+    opts.maybe_write_csv("fig6_1_concurrency", &header_refs, &rows);
+    print_table(
+        "Figure 6-1: average concurrency vs number of processors",
+        &header_refs,
+        &rows,
+    );
+    let mean = at32.iter().sum::<f64>() / at32.len() as f64;
+    println!("\nmean concurrency at P=32: {mean:.2}   (paper: 15.92)");
+    println!("paper observation: \"for most production systems 32 processors are more than sufficient\"");
+}

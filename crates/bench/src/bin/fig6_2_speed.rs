@@ -1,0 +1,58 @@
+//! Figure 6-2: execution speed (working-memory changes per second) as a
+//! function of the number of processors, with 2-MIPS processors —
+//! same simulation assumptions as Figure 6-1.
+
+use psm_bench::{capture, f, print_table, Captured, CliOptions, Variant};
+use psm_sim::{simulate_psm, CostModel, PsmSpec};
+use workloads::Preset;
+
+const PROCESSORS: [usize; 9] = [1, 2, 4, 8, 16, 24, 32, 48, 64];
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let cost = CostModel::default();
+
+    let mut series: Vec<(String, Captured)> = Vec::new();
+    for preset in Preset::all() {
+        series.push((
+            preset.name().to_string(),
+            capture(preset, opts.variant(), opts.cycles, true),
+        ));
+    }
+    for preset in [Preset::R1Soar, Preset::EpSoar] {
+        series.push((
+            format!("{} (parallel firings)", preset.name()),
+            capture(preset, Variant::ParallelFirings, opts.cycles, true),
+        ));
+    }
+
+    let mut headers: Vec<String> = vec!["system".into()];
+    headers.extend(PROCESSORS.iter().map(|p| format!("P={p}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut at32: Vec<f64> = Vec::new();
+    let mut firings32: Vec<f64> = Vec::new();
+    for (name, c) in &series {
+        let mut row = vec![name.clone()];
+        for &p in &PROCESSORS {
+            let r = simulate_psm(&c.trace, &cost, &PsmSpec::paper_32().with_processors(p));
+            if p == 32 {
+                at32.push(r.wme_changes_per_sec);
+                firings32.push(r.firings_per_sec);
+            }
+            row.push(f(r.wme_changes_per_sec, 0));
+        }
+        rows.push(row);
+    }
+    opts.maybe_write_csv("fig6_2_speed", &header_refs, &rows);
+    print_table(
+        "Figure 6-2: execution speed (wme-changes/sec) vs number of processors @ 2 MIPS",
+        &header_refs,
+        &rows,
+    );
+    let mean = at32.iter().sum::<f64>() / at32.len() as f64;
+    let mean_firings = firings32.iter().sum::<f64>() / firings32.len() as f64;
+    println!("\nmean at P=32: {mean:.0} wme-changes/sec, {mean_firings:.0} firings/sec");
+    println!("paper: 9400 wme-changes/sec = ~3800 production firings/sec");
+}

@@ -1,0 +1,44 @@
+//! Quick calibration probe: measured workload characteristics vs the
+//! paper's reference quantities (not itself a paper experiment).
+
+use psm_bench::{capture, f, print_table, CliOptions};
+use psm_sim::CostModel;
+use workloads::{Characteristics, Preset};
+
+fn main() {
+    let opts = CliOptions::parse(100);
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+    for preset in Preset::all() {
+        let t0 = std::time::Instant::now();
+        let c = capture(preset, opts.variant(), opts.cycles, true);
+        let gen_s = t0.elapsed().as_secs_f64();
+        let ch = Characteristics::measure(&c.workload, &c.trace);
+        rows.push(vec![
+            preset.name().to_string(),
+            ch.productions.to_string(),
+            f(ch.affected_per_change, 1),
+            f(ch.changes_per_cycle, 1),
+            f(ch.activations_per_change, 1),
+            f(ch.turnover_per_cycle * 100.0, 2),
+            f(cost.mean_change_cost(&c.trace), 0),
+            if ch.paper_shaped() { "yes" } else { "NO" }.to_string(),
+            f(gen_s, 1),
+        ]);
+    }
+    print_table(
+        "calibration probe (paper: affected ~30, turnover <0.5%, cost ~1800 instr/change)",
+        &[
+            "system",
+            "prods",
+            "affected/chg",
+            "chg/cycle",
+            "acts/chg",
+            "turnover %",
+            "instr/chg",
+            "paper-shaped",
+            "secs",
+        ],
+        &rows,
+    );
+}

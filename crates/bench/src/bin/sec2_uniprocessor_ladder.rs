@@ -1,0 +1,41 @@
+//! Section 2.2: the uniprocessor interpreter speed ladder (Lisp ~8,
+//! Bliss ~40, compiled OPS83 ~200, optimized 400-800 wme-changes/s on a
+//! VAX-11/780), derived from our measured per-change instruction cost.
+
+use psm_bench::{capture, f, print_table, CliOptions};
+use psm_sim::{uniprocessor_ladder, CostModel};
+use workloads::Preset;
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let cost = CostModel::default();
+
+    // Measure the mean per-change cost over all presets.
+    let mut total = 0.0;
+    let mut n = 0.0;
+    for preset in Preset::all() {
+        let c = capture(preset, opts.variant(), opts.cycles, true);
+        total += cost.mean_change_cost(&c.trace);
+        n += 1.0;
+    }
+    let mean_cost = total / n;
+    println!("measured mean cost: {mean_cost:.0} instructions/change (paper c1: ~1800)");
+
+    let rows: Vec<Vec<String>> = uniprocessor_ladder(mean_cost)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.implementation.to_string(),
+                f(r.overhead_factor, 2),
+                f(r.wme_changes_per_sec, 0),
+                r.paper_reported.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Section 2.2: interpreter ladder on a VAX-11/780",
+        &["implementation", "overhead factor", "wme-ch/s (ours)", "paper"],
+        &rows,
+    );
+    println!("\nparallel goal (paper): 5000-10000 wme-changes/sec.");
+}

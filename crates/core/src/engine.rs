@@ -1,0 +1,912 @@
+//! The node-activation-parallel Rete engine.
+//!
+//! See the crate docs for the consistency protocol. The engine executes
+//! each change batch in two barrier-separated phases (retractions, then
+//! assertions); within a phase, node activations are tasks drained from a
+//! shared injector by a pool of scoped worker threads — the software
+//! analogue of the paper's hardware task scheduler.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+
+use ops5::{
+    Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory,
+};
+use rete::network::NodeKind;
+use rete::{CompileOptions, JoinTest, Network, NodeId, Token};
+
+use crate::topology::ParallelTopology;
+
+/// Configuration for the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker threads (the paper's processor count). Clamped to ≥ 1.
+    pub threads: usize,
+    /// Compile the network with node sharing (default true).
+    pub share: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            share: true,
+        }
+    }
+}
+
+/// Work counters aggregated across workers and batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Change batches processed.
+    pub batches: u64,
+    /// Working-memory changes processed.
+    pub changes: u64,
+    /// Node-activation tasks executed.
+    pub tasks: u64,
+    /// Join-test evaluations.
+    pub join_tests: u64,
+    /// Opposite-memory entries scanned.
+    pub pairs_scanned: u64,
+    /// Constant (alpha) tests evaluated during ingest.
+    pub constant_tests: u64,
+}
+
+/// Sign of a propagating change (local copy to keep the engine
+/// self-contained; mirrors `rete::token::Sign`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sign {
+    Plus,
+    Minus,
+}
+
+impl Sign {
+    fn delta(self) -> i32 {
+        match self {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        }
+    }
+    fn invert(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// A pending node activation.
+#[derive(Debug)]
+struct Task {
+    node: NodeId,
+    payload: Payload,
+    sign: Sign,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Right(WmeId),
+    Left(Token),
+}
+
+/// Entry of a negative node's left store.
+#[derive(Debug, Clone, Copy, Default)]
+struct NegEntry {
+    /// Signed presence of the token (−1 debt, 0 absent, 1 present).
+    presence: i32,
+    /// Net count of matching right-memory WMEs.
+    count: i32,
+}
+
+/// Lock-protected state of one node.
+#[derive(Debug)]
+enum NodeSlot {
+    Join {
+        /// Signed token presence (debt-tolerant multiset).
+        left: HashMap<Token, i32>,
+        /// Signed WME presence.
+        right: HashMap<WmeId, i32>,
+    },
+    Negative {
+        left: HashMap<Token, NegEntry>,
+        right: HashMap<WmeId, i32>,
+    },
+    Terminal,
+    Inactive,
+}
+
+/// Per-worker scratch, merged after each phase.
+#[derive(Default)]
+struct WorkerLocal {
+    delta: MatchDelta,
+    tasks: u64,
+    join_tests: u64,
+    pairs_scanned: u64,
+}
+
+/// The parallel Rete matcher (node-activation granularity).
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{parse_program, parse_wme, Interpreter};
+/// use psm_core::{ParallelOptions, ParallelReteMatcher};
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let program = parse_program("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))")?;
+/// let matcher = ParallelReteMatcher::compile(
+///     &program,
+///     ParallelOptions { threads: 2, share: true },
+/// )?;
+/// let mut interp = Interpreter::new(program, matcher);
+/// let mut syms = interp.program().symbols.clone();
+/// interp.insert(parse_wme("(a ^x 1)", &mut syms)?);
+/// interp.insert(parse_wme("(b ^x 1)", &mut syms)?);
+/// assert_eq!(interp.run(10)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ParallelReteMatcher {
+    network: Arc<Network>,
+    topo: ParallelTopology,
+    states: Vec<Mutex<NodeSlot>>,
+    /// The engine's own WME store: tokens and right memories reference
+    /// WMEs by id; workers read this immutably during a phase.
+    store: Vec<Option<Wme>>,
+    threads: usize,
+    stats: ParallelStats,
+}
+
+impl std::fmt::Debug for ParallelReteMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelReteMatcher")
+            .field("threads", &self.threads)
+            .field("nodes", &self.states.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ParallelReteMatcher {
+    /// Compiles `program` into a parallel matcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] for LHS constructs the Rete compiler
+    /// rejects.
+    pub fn compile(program: &Program, options: ParallelOptions) -> Result<Self, Error> {
+        let network = Arc::new(Network::compile_with(
+            program,
+            CompileOptions {
+                share: options.share,
+            },
+        )?);
+        Ok(Self::from_network(network, options.threads))
+    }
+
+    /// Builds the matcher over an already-compiled network.
+    pub fn from_network(network: Arc<Network>, threads: usize) -> Self {
+        let topo = ParallelTopology::from_network(&network);
+        let mut slots: Vec<NodeSlot> = network
+            .nodes
+            .iter()
+            .map(|spec| match spec.kind {
+                NodeKind::Join => {
+                    let mut left = HashMap::new();
+                    if spec.left.is_none() {
+                        // The dummy top token is always present.
+                        left.insert(Token::top(), 1);
+                    }
+                    NodeSlot::Join {
+                        left,
+                        right: HashMap::new(),
+                    }
+                }
+                NodeKind::Negative => {
+                    let mut left = HashMap::new();
+                    if spec.left.is_none() {
+                        left.insert(
+                            Token::top(),
+                            NegEntry {
+                                presence: 1,
+                                count: 0,
+                            },
+                        );
+                    }
+                    NodeSlot::Negative {
+                        left,
+                        right: HashMap::new(),
+                    }
+                }
+                NodeKind::Terminal => NodeSlot::Terminal,
+                NodeKind::BetaMemory => NodeSlot::Inactive,
+            })
+            .collect();
+
+        // A leading negative node passes the top token at start-up (its
+        // right memory is empty); since every node's left store is
+        // private, propagate the top token through chains of leading
+        // negatives into their children.
+        let mut stack: Vec<NodeId> = network
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == NodeKind::Negative && s.left.is_none())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        while let Some(node) = stack.pop() {
+            for &child in &topo.token_children[node.index()] {
+                match &mut slots[child.index()] {
+                    NodeSlot::Join { left, .. } => {
+                        left.insert(Token::top(), 1);
+                    }
+                    NodeSlot::Negative { left, .. } => {
+                        left.insert(
+                            Token::top(),
+                            NegEntry {
+                                presence: 1,
+                                count: 0,
+                            },
+                        );
+                        stack.push(child);
+                    }
+                    NodeSlot::Terminal | NodeSlot::Inactive => {
+                        debug_assert!(false, "terminal cannot follow only negated CEs");
+                    }
+                }
+            }
+        }
+
+        let states = slots.into_iter().map(Mutex::new).collect();
+        ParallelReteMatcher {
+            topo,
+            states,
+            store: Vec::new(),
+            threads: threads.max(1),
+            stats: ParallelStats::default(),
+            network,
+        }
+    }
+
+    /// The compiled network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> ParallelStats {
+        self.stats
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tokens resident across all node left stores, excluding the
+    /// permanent dummy-top seeds. Zero once the working memory has been
+    /// emptied — the state-purge invariant shared with the sequential
+    /// matcher.
+    pub fn resident_tokens(&self) -> usize {
+        self.states
+            .iter()
+            .map(|slot| match &*slot.lock() {
+                NodeSlot::Join { left, .. } => left
+                    .iter()
+                    .filter(|(t, &p)| p > 0 && !t.is_empty())
+                    .count(),
+                NodeSlot::Negative { left, .. } => left
+                    .iter()
+                    .filter(|(t, e)| e.presence > 0 && !t.is_empty())
+                    .count(),
+                NodeSlot::Terminal | NodeSlot::Inactive => 0,
+            })
+            .sum()
+    }
+
+    /// Copies the WME into the engine's store (idempotent).
+    fn ingest(&mut self, wm: &WorkingMemory, id: WmeId) {
+        if self.store.len() <= id.index() {
+            self.store.resize(id.index() + 1, None);
+        }
+        if self.store[id.index()].is_none() {
+            self.store[id.index()] = Some(
+                wm.get(id)
+                    .expect("matcher contract: changed WME resolvable")
+                    .clone(),
+            );
+        }
+    }
+
+    /// Seeds the right-activation tasks for one change.
+    fn seed_tasks(&mut self, id: WmeId, sign: Sign, out: &mut Vec<Task>) {
+        let wme = self.store[id.index()]
+            .as_ref()
+            .expect("ingested WME present");
+        let (alphas, tests) = self.network.alpha.matching(wme);
+        self.stats.constant_tests += tests;
+        for alpha in alphas {
+            for &succ in &self.network.alpha_successors[alpha.index()] {
+                out.push(Task {
+                    node: succ,
+                    payload: Payload::Right(id),
+                    sign,
+                });
+            }
+        }
+    }
+
+    /// Runs one phase: drain `tasks` (and their descendants) across the
+    /// worker pool, returning the merged signed delta.
+    fn run_phase(&mut self, tasks: Vec<Task>) -> MatchDelta {
+        if tasks.is_empty() {
+            return MatchDelta::new();
+        }
+        let injector = Injector::new();
+        let pending = AtomicUsize::new(tasks.len());
+        for t in tasks {
+            injector.push(t);
+        }
+        let merged: Mutex<Vec<WorkerLocal>> = Mutex::new(Vec::new());
+        let threads = self.threads;
+        let this: &ParallelReteMatcher = self;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local = WorkerLocal::default();
+                    loop {
+                        if pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        match injector.steal() {
+                            Steal::Success(task) => {
+                                // Decrement on drop so a panicking task
+                                // cannot leave siblings spinning forever.
+                                let _guard = PendingGuard(&pending);
+                                let children = this.exec(task, &mut local);
+                                if !children.is_empty() {
+                                    pending.fetch_add(children.len(), Ordering::AcqRel);
+                                    for c in children {
+                                        injector.push(c);
+                                    }
+                                }
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => std::thread::yield_now(),
+                        }
+                    }
+                    merged.lock().push(local);
+                });
+            }
+        });
+        let mut delta = MatchDelta::new();
+        for local in merged.into_inner() {
+            delta.merge(local.delta);
+            self.stats.tasks += local.tasks;
+            self.stats.join_tests += local.join_tests;
+            self.stats.pairs_scanned += local.pairs_scanned;
+        }
+        delta
+    }
+
+    /// Executes one activation under its node's lock, returning spawned
+    /// child tasks.
+    fn exec(&self, task: Task, local: &mut WorkerLocal) -> Vec<Task> {
+        local.tasks += 1;
+        let spec = self.network.node(task.node);
+        let children = &self.topo.token_children[task.node.index()];
+        let mut out = Vec::new();
+        let mut slot = self.states[task.node.index()].lock();
+        match (&mut *slot, task.payload) {
+            (NodeSlot::Join { left, right }, Payload::Right(wme_id)) => {
+                let (old, new) = bump(right, wme_id, task.sign.delta());
+                // Scan only on a net presence transition.
+                if (old <= 0 && new == 1) || (old == 1 && new == 0) {
+                    let wme = self.wme(wme_id);
+                    for (token, &presence) in left.iter() {
+                        if presence <= 0 {
+                            continue;
+                        }
+                        local.pairs_scanned += 1;
+                        let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                        local.join_tests += n;
+                        if ok {
+                            push_token_tasks(&mut out, children, token.extended(wme_id), task.sign);
+                        }
+                    }
+                }
+                if new == 0 {
+                    right.remove(&wme_id);
+                }
+            }
+            (NodeSlot::Join { left, right }, Payload::Left(token)) => {
+                let (old, new) = bump_token(left, &token, task.sign.delta());
+                if (old <= 0 && new == 1) || (old == 1 && new == 0) {
+                    for (&wme_id, &presence) in right.iter() {
+                        if presence <= 0 {
+                            continue;
+                        }
+                        local.pairs_scanned += 1;
+                        let wme = self.wme(wme_id);
+                        let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
+                        local.join_tests += n;
+                        if ok {
+                            push_token_tasks(&mut out, children, token.extended(wme_id), task.sign);
+                        }
+                    }
+                }
+                if new == 0 {
+                    left.remove(&token);
+                }
+            }
+            (NodeSlot::Negative { left, right }, Payload::Right(wme_id)) => {
+                let (_, new) = bump(right, wme_id, task.sign.delta());
+                if new == 0 {
+                    right.remove(&wme_id);
+                }
+                let wme = self.wme(wme_id);
+                for (token, entry) in left.iter_mut() {
+                    if entry.presence != 1 {
+                        continue;
+                    }
+                    local.pairs_scanned += 1;
+                    let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                    local.join_tests += n;
+                    if !ok {
+                        continue;
+                    }
+                    let old_blocked = entry.count >= 1;
+                    entry.count += task.sign.delta();
+                    let new_blocked = entry.count >= 1;
+                    if old_blocked != new_blocked {
+                        // Becoming blocked retracts; unblocking asserts.
+                        let sign = if new_blocked { Sign::Minus } else { Sign::Plus };
+                        debug_assert_eq!(sign, task.sign.invert());
+                        push_token_tasks(&mut out, children, token.clone(), sign);
+                    }
+                }
+            }
+            (NodeSlot::Negative { left, right }, Payload::Left(token)) => {
+                match task.sign {
+                    Sign::Plus => {
+                        let entry = left.entry(token.clone()).or_default();
+                        entry.presence += 1;
+                        match entry.presence {
+                            1 => {
+                                // Fresh net insert: count current matches.
+                                let mut count = 0i32;
+                                let mut tests = 0u64;
+                                let mut scanned = 0u64;
+                                for (&wme_id, &mult) in right.iter() {
+                                    if mult <= 0 {
+                                        continue;
+                                    }
+                                    scanned += 1;
+                                    let wme = self.wme(wme_id);
+                                    let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
+                                    tests += n;
+                                    if ok {
+                                        count += mult;
+                                    }
+                                }
+                                local.pairs_scanned += scanned;
+                                local.join_tests += tests;
+                                entry.count = count;
+                                if count <= 0 {
+                                    push_token_tasks(&mut out, children, token, Sign::Plus);
+                                }
+                            }
+                            0 => {
+                                // A debt cancelled; net nothing happened.
+                                left.remove(&token);
+                            }
+                            _ => debug_assert!(false, "duplicate token insert at negative node"),
+                        }
+                    }
+                    Sign::Minus => {
+                        let entry = left.entry(token.clone()).or_default();
+                        entry.presence -= 1;
+                        match entry.presence {
+                            0 => {
+                                let unblocked = entry.count <= 0;
+                                left.remove(&token);
+                                if unblocked {
+                                    push_token_tasks(&mut out, children, token, Sign::Minus);
+                                }
+                            }
+                            -1 => { /* deletion raced ahead; keep the debt */ }
+                            _ => debug_assert!(false, "negative-node presence out of range"),
+                        }
+                    }
+                }
+            }
+            (NodeSlot::Terminal, Payload::Left(token)) => {
+                let inst = Instantiation::new(
+                    self.topo.terminal_production[task.node.index()]
+                        .expect("terminal has production"),
+                    token.into_wmes(),
+                );
+                let single = match task.sign {
+                    Sign::Plus => MatchDelta {
+                        added: vec![inst],
+                        removed: vec![],
+                    },
+                    Sign::Minus => MatchDelta {
+                        added: vec![],
+                        removed: vec![inst],
+                    },
+                };
+                local.delta.merge(single);
+            }
+            (slot, payload) => unreachable!(
+                "invalid activation: {slot:?} with {payload:?}",
+                slot = match slot {
+                    NodeSlot::Join { .. } => "join",
+                    NodeSlot::Negative { .. } => "negative",
+                    NodeSlot::Terminal => "terminal",
+                    NodeSlot::Inactive => "inactive",
+                },
+                payload = match payload {
+                    Payload::Right(_) => "right",
+                    Payload::Left(_) => "left",
+                }
+            ),
+        }
+        out
+    }
+
+    fn wme(&self, id: WmeId) -> &Wme {
+        self.store[id.index()]
+            .as_ref()
+            .expect("token/right-memory WME resident in store")
+    }
+
+    fn eval_tests(&self, tests: &[JoinTest], token: &Token, wme: &Wme) -> (bool, u64) {
+        let mut n = 0u64;
+        for t in tests {
+            n += 1;
+            let own = wme.get(t.own_attr);
+            let other = token
+                .wme_at(t.token_pos)
+                .map(|id| self.wme(id))
+                .and_then(|w| w.get(t.token_attr));
+            match (own, other) {
+                (Some(a), Some(b)) if a.compare(t.op, b) => {}
+                _ => return (false, n),
+            }
+        }
+        (true, n)
+    }
+}
+
+/// Decrements the phase's pending-task counter on drop, including during
+/// unwinding, so a panicking activation cannot hang the worker pool.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Adjusts a signed-count map entry, returning `(old, new)` counts.
+fn bump(map: &mut HashMap<WmeId, i32>, key: WmeId, delta: i32) -> (i32, i32) {
+    let e = map.entry(key).or_insert(0);
+    let old = *e;
+    *e += delta;
+    (old, *e)
+}
+
+fn bump_token(map: &mut HashMap<Token, i32>, key: &Token, delta: i32) -> (i32, i32) {
+    let e = map.entry(key.clone()).or_insert(0);
+    let old = *e;
+    *e += delta;
+    (old, *e)
+}
+
+fn push_token_tasks(out: &mut Vec<Task>, children: &[NodeId], token: Token, sign: Sign) {
+    for &child in children {
+        out.push(Task {
+            node: child,
+            payload: Payload::Left(token.clone()),
+            sign,
+        });
+    }
+}
+
+impl Matcher for ParallelReteMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.process(wm, &[Change::Add(id)])
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.process(wm, &[Change::Remove(id)])
+    }
+
+    /// Processes a whole firing's batch: retractions in parallel, a
+    /// barrier, then assertions in parallel (DESIGN.md §6).
+    fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        self.stats.batches += 1;
+        self.stats.changes += changes.len() as u64;
+        for change in changes {
+            self.ingest(wm, change.wme());
+        }
+        let mut removes = Vec::new();
+        let mut adds = Vec::new();
+        let mut removed_ids = Vec::new();
+        for change in changes {
+            match change {
+                Change::Remove(id) => {
+                    self.seed_tasks(*id, Sign::Minus, &mut removes);
+                    removed_ids.push(*id);
+                }
+                Change::Add(id) => self.seed_tasks(*id, Sign::Plus, &mut adds),
+            }
+        }
+        let mut delta = self.run_phase(removes);
+        delta.merge(self.run_phase(adds));
+        for id in removed_ids {
+            self.store[id.index()] = None;
+        }
+        delta
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "parallel-rete"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, SymbolTable};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rete::ReteMatcher;
+
+    fn parallel(src: &str, threads: usize) -> (ops5::Program, ParallelReteMatcher) {
+        let program = parse_program(src).unwrap();
+        let m = ParallelReteMatcher::compile(
+            &program,
+            ParallelOptions {
+                threads,
+                share: true,
+            },
+        )
+        .unwrap();
+        (program, m)
+    }
+
+    #[test]
+    fn single_ce_roundtrip() {
+        let (program, mut m) = parallel("(p r (a ^x 1) --> (remove 1))", 2);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        let d = m.add_wme(&wm, id);
+        assert_eq!(d.added.len(), 1);
+        let d = m.remove_wme(&wm, id);
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn batch_remove_then_add_order() {
+        // A modify arrives as [Remove(old), Add(new)] in one batch.
+        let (program, mut m) = parallel(
+            "(p r (c ^on yes) --> (modify 1 ^on no))",
+            4,
+        );
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (old, _) = wm.add(parse_wme("(c ^on yes)", &mut syms).unwrap());
+        let d = m.add_wme(&wm, old);
+        assert_eq!(d.added.len(), 1);
+        let (new, _) = wm.add(parse_wme("(c ^on no)", &mut syms).unwrap());
+        let d = m.process(&wm, &[Change::Remove(old), Change::Add(new)]);
+        wm.remove(old);
+        assert_eq!(d.removed.len(), 1);
+        assert!(d.added.is_empty());
+    }
+
+    #[test]
+    fn negative_first_ce() {
+        let (program, mut m) = parallel(
+            "(p r - (blocker) (a ^x 1) --> (remove 2))",
+            2,
+        );
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (a, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        let d = m.add_wme(&wm, a);
+        assert_eq!(d.added.len(), 1, "top token passes the leading negation");
+        let (b, _) = wm.add(parse_wme("(blocker)", &mut syms).unwrap());
+        let d = m.add_wme(&wm, b);
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    /// The main correctness property: for any change sequence and any
+    /// thread count, the parallel engine's (canonicalized) deltas equal
+    /// the sequential Rete matcher's.
+    fn equivalence_run(src: &str, seed: u64, steps: usize, threads: usize) {
+        let program = parse_program(src).unwrap();
+        let mut seq = ReteMatcher::compile(&program).unwrap();
+        let mut par = ParallelReteMatcher::compile(
+            &program,
+            ParallelOptions {
+                threads,
+                share: true,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut syms: SymbolTable = program.symbols.clone();
+        let classes = ["a", "b", "c", "goal", "veto"];
+        let mut wm = WorkingMemory::new();
+        let mut live: Vec<WmeId> = Vec::new();
+
+        for step in 0..steps {
+            // Build a batch of 1-6 changes, removes before adds.
+            let n_removes = if live.is_empty() {
+                0
+            } else {
+                rng.gen_range(0..=live.len().min(2))
+            };
+            let n_adds = rng.gen_range(1..=4);
+            let mut batch = Vec::new();
+            for _ in 0..n_removes {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                batch.push(Change::Remove(id));
+            }
+            for _ in 0..n_adds {
+                let class = classes[rng.gen_range(0..classes.len())];
+                let x = rng.gen_range(0..3);
+                let wme =
+                    parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap();
+                let (id, _) = wm.add(wme);
+                live.push(id);
+                batch.push(Change::Add(id));
+            }
+            let mut d_seq = seq.process(&wm, &batch);
+            let mut d_par = par.process(&wm, &batch);
+            for c in &batch {
+                if let Change::Remove(id) = c {
+                    wm.remove(*id);
+                }
+            }
+            d_seq.canonicalize();
+            d_par.canonicalize();
+            assert_eq!(
+                d_seq, d_par,
+                "divergence at step {step} (threads={threads}, seed={seed})"
+            );
+        }
+    }
+
+    const EQ_PROGRAM: &str = r#"
+        (p pair (a ^x <v>) (b ^x <v>) --> (remove 1))
+        (p triple (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))
+        (p guarded (goal ^x <v>) - (veto ^x <v>) --> (remove 1))
+        (p neg-mid (a ^x <v>) - (veto ^x <v>) (c ^x <v>) --> (remove 1))
+        (p self (a ^x <v>) (a ^x <v>) --> (remove 1))
+    "#;
+
+    #[test]
+    fn equivalent_to_sequential_one_thread() {
+        equivalence_run(EQ_PROGRAM, 11, 60, 1);
+    }
+
+    #[test]
+    fn equivalent_to_sequential_four_threads() {
+        for seed in 0..4 {
+            equivalence_run(EQ_PROGRAM, 100 + seed, 60, 4);
+        }
+    }
+
+    #[test]
+    fn equivalent_to_sequential_eight_threads() {
+        for seed in 0..3 {
+            equivalence_run(EQ_PROGRAM, 200 + seed, 50, 8);
+        }
+    }
+
+    #[test]
+    fn state_fully_purged_when_wm_emptied() {
+        let (program, mut m) = parallel(EQ_PROGRAM, 4);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let mut ids = Vec::new();
+        for class in ["a", "b", "c", "goal", "veto"] {
+            for x in 0..3 {
+                let (id, _) =
+                    wm.add(parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap());
+                m.add_wme(&wm, id);
+                ids.push(id);
+            }
+        }
+        assert!(m.resident_tokens() > 0, "state built up");
+        for id in ids {
+            m.remove_wme(&wm, id);
+            wm.remove(id);
+        }
+        assert_eq!(m.resident_tokens(), 0, "all token state purged");
+    }
+
+    #[test]
+    fn engine_is_send() {
+        // The matcher crosses thread boundaries in user code (e.g. a
+        // driver thread); guard the auto-traits.
+        fn assert_send<T: Send>() {}
+        assert_send::<ParallelReteMatcher>();
+        assert_send::<crate::ProductionParallelMatcher>();
+    }
+
+    #[test]
+    fn thread_count_clamped_to_one() {
+        let program = parse_program("(p r (a ^x 1) --> (halt))").unwrap();
+        let m = ParallelReteMatcher::compile(
+            &program,
+            ParallelOptions {
+                threads: 0,
+                share: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.threads(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (program, mut m) = parallel("(p r (a ^x 1) --> (halt))", 2);
+        let wm = WorkingMemory::new();
+        let d = m.process(&wm, &[]);
+        assert!(d.is_empty());
+        assert_eq!(m.stats().batches, 1);
+        let _ = program;
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (program, mut m) = parallel(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+            2,
+        );
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (a, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        let (b, _) = wm.add(parse_wme("(b ^x 1)", &mut syms).unwrap());
+        m.process(&wm, &[Change::Add(a), Change::Add(b)]);
+        let s = m.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.changes, 2);
+        assert!(s.tasks >= 2);
+        assert!(s.constant_tests > 0);
+    }
+
+    #[test]
+    fn unshared_compile_matches_too() {
+        let program = parse_program(EQ_PROGRAM).unwrap();
+        let mut seq = ReteMatcher::compile(&program).unwrap();
+        let mut par = ParallelReteMatcher::compile(
+            &program,
+            ParallelOptions {
+                threads: 4,
+                share: false,
+            },
+        )
+        .unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        for lit in ["(a ^x 1)", "(b ^x 1)", "(c ^x 1)", "(goal ^x 1)", "(veto ^x 1)"] {
+            let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
+            let mut d1 = seq.add_wme(&wm, id);
+            let mut d2 = par.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # psm-core — the parallel Rete engine
+//!
+//! The paper's primary contribution (Sections 4–5): exploit parallelism
+//! in the Rete algorithm at the granularity of **node activations**, on a
+//! shared-memory multiprocessor. This crate is the real-multicore
+//! realization of that design:
+//!
+//! * [`ParallelReteMatcher`] — node-activation parallelism. Every
+//!   two-input node owns its (private, lock-protected) left and right
+//!   memories; an activation locks only the node it runs on, so multiple
+//!   activations of *different* nodes and multiple activations of the
+//!   *same* node's siblings proceed concurrently, and multiple
+//!   working-memory changes from one firing are processed in parallel —
+//!   the three parallelism sources of §4. A work-stealing deque pool
+//!   plays the role of the paper's hardware task scheduler.
+//! * [`ProductionParallelMatcher`] — the coarse-grain alternative the
+//!   paper rejects: productions are partitioned, each partition matched
+//!   sequentially, partitions in parallel, with no sharing across
+//!   partitions. Benchmarks on the two engines reproduce the §4
+//!   granularity argument on real hardware.
+//!
+//! Both implement [`ops5::Matcher`] and produce deltas identical to the
+//! sequential [`rete::ReteMatcher`] (cross-checked in tests).
+//!
+//! ## Consistency protocol
+//!
+//! Within a change batch, retractions are processed (in parallel) to
+//! completion before assertions start — a remove/add barrier. Within a
+//! phase, each activation's *insert + opposite-memory scan* is atomic
+//! under the node's lock, and memory entries are signed counts, so a
+//! token deletion racing ahead of its own creation (possible downstream
+//! of negative nodes) leaves a debt that the later creation cancels.
+//! Conflict-set deltas are signed multisets with the same cancellation,
+//! making the final delta independent of the parallel schedule.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod engine;
+pub mod production_parallel;
+pub mod topology;
+
+pub use engine::{ParallelOptions, ParallelReteMatcher, ParallelStats};
+pub use production_parallel::ProductionParallelMatcher;
+pub use topology::ParallelTopology;

@@ -1,0 +1,217 @@
+//! Production-level (coarse-grain) parallelism — the alternative the
+//! paper examines and rejects in Section 4.
+//!
+//! Productions are partitioned; each partition is matched by its own
+//! sequential Rete network, and partitions run in parallel on each
+//! change. No communication is needed between partitions (the scheme's
+//! advertised advantage), but:
+//!
+//! * node sharing across partitions is lost (each partition compiles its
+//!   own network), and
+//! * the speed-up is bounded by the most expensive affected partition —
+//!   the processing-variance problem that caps production parallelism at
+//!   about 5-fold in the paper's measurements.
+//!
+//! The per-partition work counters let experiments measure both effects
+//! directly on real hardware.
+
+use ops5::{Change, Error, MatchDelta, Matcher, Program, WmeId, WorkingMemory};
+use parking_lot::Mutex;
+use rete::{MatchStats, ReteMatcher};
+
+/// A matcher exploiting parallelism only across productions.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{parse_program, parse_wme, Interpreter};
+/// use psm_core::ProductionParallelMatcher;
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let program = parse_program(
+///     "(p r1 (a ^x 1) --> (remove 1)) (p r2 (a ^x 2) --> (remove 1))",
+/// )?;
+/// let matcher = ProductionParallelMatcher::compile(&program, 2)?;
+/// let mut interp = Interpreter::new(program, matcher);
+/// let mut syms = interp.program().symbols.clone();
+/// interp.insert(parse_wme("(a ^x 1)", &mut syms)?);
+/// assert_eq!(interp.run(10)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProductionParallelMatcher {
+    partitions: Vec<ReteMatcher>,
+}
+
+impl ProductionParallelMatcher {
+    /// Partitions `program` round-robin into `n_partitions` sequential
+    /// Rete matchers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] if any partition fails to compile.
+    pub fn compile(program: &Program, n_partitions: usize) -> Result<Self, Error> {
+        let n = n_partitions.clamp(1, program.productions.len().max(1));
+        let mut partitions = Vec::with_capacity(n);
+        for k in 0..n {
+            // Sub-programs keep the original ProductionIds so emitted
+            // instantiations are globally meaningful. (Positional lookups
+            // like `Program::production` must not be used on these.)
+            let sub = Program {
+                symbols: program.symbols.clone(),
+                productions: program
+                    .productions
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % n == k)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+                literalizations: program.literalizations.clone(),
+            };
+            partitions.push(ReteMatcher::compile(&sub)?);
+        }
+        Ok(ProductionParallelMatcher { partitions })
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-partition work counters — the imbalance across these is the
+    /// §4 variance argument made measurable.
+    pub fn partition_stats(&self) -> Vec<MatchStats> {
+        self.partitions.iter().map(|p| p.stats()).collect()
+    }
+
+    /// Coefficient of imbalance: max over mean of per-partition node
+    /// activations (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let work: Vec<u64> = self
+            .partitions
+            .iter()
+            .map(|p| p.stats().node_activations())
+            .collect();
+        let max = *work.iter().max().unwrap_or(&0) as f64;
+        let mean = work.iter().sum::<u64>() as f64 / work.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    fn run(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        let merged = Mutex::new(MatchDelta::new());
+        std::thread::scope(|scope| {
+            for partition in self.partitions.iter_mut() {
+                scope.spawn(|| {
+                    let delta = partition.process(wm, changes);
+                    merged.lock().merge(delta);
+                });
+            }
+        });
+        merged.into_inner()
+    }
+}
+
+impl Matcher for ProductionParallelMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.run(wm, &[Change::Add(id)])
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.run(wm, &[Change::Remove(id)])
+    }
+
+    fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        self.run(wm, changes)
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "production-parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, WorkingMemory};
+    use rete::ReteMatcher;
+
+    const PROGRAM: &str = r#"
+        (p pair (a ^x <v>) (b ^x <v>) --> (remove 1))
+        (p guarded (goal ^x <v>) - (veto ^x <v>) --> (remove 1))
+        (p heavy (a ^x <v>) (a ^x <v>) (a ^x <v>) --> (remove 1))
+        (p light (b ^x 0) --> (remove 1))
+    "#;
+
+    #[test]
+    fn equivalent_to_monolithic_rete() {
+        let program = parse_program(PROGRAM).unwrap();
+        let mut mono = ReteMatcher::compile(&program).unwrap();
+        let mut part = ProductionParallelMatcher::compile(&program, 3).unwrap();
+        assert_eq!(part.partition_count(), 3);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let mut ids = Vec::new();
+        for lit in [
+            "(a ^x 0)", "(b ^x 0)", "(a ^x 0)", "(goal ^x 1)", "(veto ^x 1)",
+        ] {
+            let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
+            ids.push(id);
+            let mut d1 = mono.add_wme(&wm, id);
+            let mut d2 = part.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+        for id in ids {
+            let mut d1 = mono.remove_wme(&wm, id);
+            let mut d2 = part.remove_wme(&wm, id);
+            wm.remove(id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn production_ids_are_preserved() {
+        let program = parse_program(PROGRAM).unwrap();
+        let mut part = ProductionParallelMatcher::compile(&program, 2).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (id, _) = wm.add(parse_wme("(b ^x 0)", &mut syms).unwrap());
+        let d = part.add_wme(&wm, id);
+        // `light` is production index 3 overall.
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].production, ops5::ProductionId(3));
+    }
+
+    #[test]
+    fn imbalance_is_measurable() {
+        let program = parse_program(PROGRAM).unwrap();
+        let mut part = ProductionParallelMatcher::compile(&program, 4).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        // Load `heavy` (three same-class CEs) far more than the others.
+        for i in 0..8 {
+            let (id, _) = wm.add(parse_wme(&format!("(a ^x {})", i % 2), &mut syms).unwrap());
+            part.add_wme(&wm, id);
+        }
+        assert!(
+            part.imbalance() > 1.5,
+            "skewed work should show imbalance, got {}",
+            part.imbalance()
+        );
+    }
+
+    #[test]
+    fn partition_count_clamped() {
+        let program = parse_program("(p only (a ^x 1) --> (halt))").unwrap();
+        let part = ProductionParallelMatcher::compile(&program, 16).unwrap();
+        assert_eq!(part.partition_count(), 1);
+    }
+}

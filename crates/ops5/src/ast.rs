@@ -1,0 +1,729 @@
+//! Abstract syntax of OPS5 productions.
+//!
+//! A [`Production`] is the paper's `(p name <LHS> --> <RHS>)`: a list of
+//! [`ConditionElement`]s (possibly negated) and a list of [`Action`]s.
+//! Condition-element value positions carry [`ValueTest`]s — constants,
+//! variables, predicate tests, conjunctive `{ … }` and disjunctive
+//! `<< … >>` forms — mirroring Section 2.1 of the paper.
+
+use std::fmt;
+
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::value::Value;
+
+/// Identifies a production within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProductionId(pub u32);
+
+impl ProductionId {
+    /// Raw index into [`Program::productions`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProductionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a variable within a single production.
+///
+/// Variables are production-scoped in OPS5: `<x>` in one rule is
+/// unrelated to `<x>` in another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u16);
+
+impl VarId {
+    /// Raw index into [`Production::variables`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// OPS5 predicate operators usable in condition-element value positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PredOp {
+    /// `=` — equal.
+    Eq,
+    /// `<>` — not equal.
+    Ne,
+    /// `<` — numerically less than.
+    Lt,
+    /// `<=` — numerically less than or equal.
+    Le,
+    /// `>` — numerically greater than.
+    Gt,
+    /// `>=` — numerically greater than or equal.
+    Ge,
+    /// `<=>` — same type (both symbols or both integers).
+    SameType,
+}
+
+impl fmt::Display for PredOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PredOp::Eq => "=",
+            PredOp::Ne => "<>",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::SameType => "<=>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operand of a predicate test: a constant or a variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestArg {
+    /// Compare against a constant.
+    Const(Value),
+    /// Compare against the value bound to a variable.
+    Var(VarId),
+}
+
+/// A test in a condition-element value position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueTest {
+    /// A bare constant: equality with that constant.
+    Const(Value),
+    /// A bare variable: binds on first occurrence, tests equality after.
+    Var(VarId),
+    /// `pred arg`, e.g. `> 7` or `<> <x>`.
+    Pred(PredOp, TestArg),
+    /// `<< a b c >>` — value must equal one of the constants.
+    Disj(Vec<Value>),
+    /// `{ t1 t2 … }` — all sub-tests must hold.
+    Conj(Vec<ValueTest>),
+}
+
+impl ValueTest {
+    /// Counts the primitive tests inside, for LEX/MEA specificity.
+    pub fn test_count(&self) -> usize {
+        match self {
+            ValueTest::Const(_) | ValueTest::Var(_) | ValueTest::Pred(..) | ValueTest::Disj(_) => 1,
+            ValueTest::Conj(ts) => ts.iter().map(ValueTest::test_count).sum(),
+        }
+    }
+
+    /// Visits every variable reference in the test.
+    pub fn for_each_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            ValueTest::Var(v) => f(*v),
+            ValueTest::Pred(_, TestArg::Var(v)) => f(*v),
+            ValueTest::Conj(ts) => {
+                for t in ts {
+                    t.for_each_var(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One condition element of a left-hand side.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConditionElement {
+    /// Required class of the matching WME.
+    pub class: SymbolId,
+    /// Per-attribute tests, in source order.
+    pub tests: Vec<(SymbolId, ValueTest)>,
+    /// Whether the element is negated (`-` prefix).
+    pub negated: bool,
+}
+
+impl ConditionElement {
+    /// True when `wme_class` and per-attribute values satisfy this CE
+    /// under the partial binding `lookup` (returns the bound value of a
+    /// variable, or `None` when unbound — an unbound bare variable always
+    /// matches, the binding occurrence).
+    ///
+    /// This is the *semantic reference implementation* used by the naive
+    /// matcher and by tests that cross-check Rete; compiled matchers must
+    /// agree with it.
+    pub fn matches_with(
+        &self,
+        wme: &crate::wme::Wme,
+        lookup: &impl Fn(VarId) -> Option<Value>,
+    ) -> bool {
+        if wme.class() != self.class {
+            return false;
+        }
+        self.tests
+            .iter()
+            .all(|(attr, test)| match wme.get(*attr) {
+                Some(v) => eval_test(test, v, lookup),
+                None => false,
+            })
+    }
+
+    /// Counts primitive tests (class counts as one), for specificity.
+    pub fn test_count(&self) -> usize {
+        1 + self
+            .tests
+            .iter()
+            .map(|(_, t)| t.test_count())
+            .sum::<usize>()
+    }
+}
+
+/// Evaluates a [`ValueTest`] against a concrete value under a binding
+/// lookup. An unbound bare `Var` matches anything (binding occurrence);
+/// an unbound variable inside a predicate fails (OPS5 requires predicate
+/// operands to be bound).
+pub fn eval_test(
+    test: &ValueTest,
+    v: Value,
+    lookup: &impl Fn(VarId) -> Option<Value>,
+) -> bool {
+    match test {
+        ValueTest::Const(c) => v == *c,
+        ValueTest::Var(var) => match lookup(*var) {
+            Some(bound) => v == bound,
+            None => true,
+        },
+        ValueTest::Pred(op, arg) => {
+            let rhs = match arg {
+                TestArg::Const(c) => Some(*c),
+                TestArg::Var(var) => lookup(*var),
+            };
+            match rhs {
+                Some(r) => v.compare(*op, r),
+                None => false,
+            }
+        }
+        ValueTest::Disj(vals) => vals.contains(&v),
+        ValueTest::Conj(tests) => tests.iter().all(|t| eval_test(t, v, lookup)),
+    }
+}
+
+/// Matches `ce` against `wme` under the partial binding `bindings`,
+/// extending `bindings` in place with bare-variable binding occurrences
+/// when the match succeeds test-by-test.
+///
+/// This is the reference join semantics used by the naive and TREAT
+/// matchers and by cross-checking tests; compiled matchers (Rete) must
+/// agree with it. Bindings already present are tested; absent ones are
+/// installed by the first bare occurrence. On failure `bindings` may be
+/// partially extended — clone before calling if that matters.
+pub fn match_and_bind(
+    ce: &ConditionElement,
+    wme: &crate::wme::Wme,
+    bindings: &mut [Option<Value>],
+) -> bool {
+    if wme.class() != ce.class {
+        return false;
+    }
+    for (attr, test) in &ce.tests {
+        let Some(v) = wme.get(*attr) else {
+            return false;
+        };
+        if !eval_test(test, v, &|var| bindings[var.index()]) {
+            return false;
+        }
+        bind_bare(test, v, bindings);
+    }
+    true
+}
+
+/// Installs bare-variable bindings from a successful test evaluation.
+fn bind_bare(test: &ValueTest, v: Value, bindings: &mut [Option<Value>]) {
+    match test {
+        ValueTest::Var(var) if bindings[var.index()].is_none() => {
+            bindings[var.index()] = Some(v);
+        }
+        ValueTest::Conj(ts) => {
+            for t in ts {
+                bind_bare(t, v, bindings);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A right-hand-side operand: a constant, a bound variable, or an
+/// arithmetic `(compute …)` expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RhsArg {
+    /// A literal value.
+    Const(Value),
+    /// The value bound to a variable by the LHS match.
+    Var(VarId),
+    /// `(compute a op b op c …)` evaluated left-to-right at fire time.
+    Compute(ComputeExpr),
+}
+
+/// An OPS5 `compute` expression: integer arithmetic over constants and
+/// bound variables, evaluated left-associatively (as OPS5 did — no
+/// precedence).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ComputeExpr {
+    /// First operand.
+    pub first: ComputeOperand,
+    /// Chained `(op, operand)` applications.
+    pub rest: Vec<(ArithOp, ComputeOperand)>,
+}
+
+/// Operand of a `compute` expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeOperand {
+    /// Integer literal.
+    Const(i64),
+    /// Value bound to an LHS variable (must be an integer at fire time).
+    Var(VarId),
+}
+
+/// Arithmetic operators of `compute`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `//` — truncating integer division.
+    Div,
+    /// `\\` — modulus (OPS5 spelling).
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "//",
+            ArithOp::Mod => "\\\\",
+        })
+    }
+}
+
+/// A right-hand-side action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `(make class ^attr val …)` — assert a new WME.
+    Make {
+        /// Class of the new element.
+        class: SymbolId,
+        /// Attribute–value pairs (values may reference LHS bindings).
+        attrs: Vec<(SymbolId, RhsArg)>,
+    },
+    /// `(remove k)` — retract the WME matching the `k`-th CE (1-based).
+    Remove {
+        /// Zero-based index into the production's *positive* CEs.
+        positive_ce: usize,
+    },
+    /// `(modify k ^attr val …)` — retract and re-assert with updates.
+    Modify {
+        /// Zero-based index into the production's *positive* CEs.
+        positive_ce: usize,
+        /// Attribute overrides.
+        attrs: Vec<(SymbolId, RhsArg)>,
+    },
+    /// `(write …)` — append the rendered args to the interpreter output.
+    Write {
+        /// Values to print.
+        args: Vec<RhsArg>,
+    },
+    /// `(halt)` — stop the recognize–act loop after this firing.
+    Halt,
+    /// `(bind <x> value)` — binds (or rebinds) a variable for the rest
+    /// of this right-hand side.
+    Bind {
+        /// Variable receiving the value.
+        var: VarId,
+        /// Value expression (constant, variable, or `compute`).
+        value: RhsArg,
+    },
+}
+
+/// Where a variable receives its binding: the `ce`-th positive condition
+/// element, attribute `attr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BindingSite {
+    /// Index into the production's positive CEs (not all CEs).
+    pub positive_ce: usize,
+    /// Attribute whose value binds the variable.
+    pub attr: SymbolId,
+}
+
+/// A compiled production rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Production {
+    /// Rule name, unique within a program.
+    pub name: String,
+    /// Identity within the owning [`Program`].
+    pub id: ProductionId,
+    /// LHS condition elements in source order.
+    pub ces: Vec<ConditionElement>,
+    /// RHS actions in source order.
+    pub actions: Vec<Action>,
+    /// Variable names (index = `VarId`).
+    pub variables: Vec<String>,
+    /// For each variable, its binding occurrence in a positive CE, or
+    /// `None` when the variable only occurs in negated CEs.
+    pub binding_sites: Vec<Option<BindingSite>>,
+    /// Number of primitive LHS tests, used by conflict resolution.
+    pub specificity: usize,
+}
+
+impl Production {
+    /// Positive (non-negated) condition elements, in order.
+    pub fn positive_ces(&self) -> impl Iterator<Item = (usize, &ConditionElement)> {
+        self.ces.iter().filter(|ce| !ce.negated).enumerate()
+    }
+
+    /// Number of positive condition elements.
+    pub fn positive_ce_count(&self) -> usize {
+        self.ces.iter().filter(|ce| !ce.negated).count()
+    }
+
+    /// Renders the production back to OPS5 surface syntax.
+    ///
+    /// The output reparses to a structurally identical production
+    /// (printer-normal-form round trip, verified by property tests).
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> impl fmt::Display + 'a {
+        DisplayProduction {
+            production: self,
+            symbols,
+        }
+    }
+
+    /// Maps a zero-based positive-CE index to the 1-based designator
+    /// over all CEs used by the surface syntax.
+    fn designator(&self, positive_ce: usize) -> usize {
+        let mut seen = 0usize;
+        for (i, ce) in self.ces.iter().enumerate() {
+            if !ce.negated {
+                if seen == positive_ce {
+                    return i + 1;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("positive CE index out of range")
+    }
+}
+
+struct DisplayProduction<'a> {
+    production: &'a Production,
+    symbols: &'a SymbolTable,
+}
+
+impl DisplayProduction<'_> {
+    fn var(&self, v: VarId) -> String {
+        format!("<{}>", self.production.variables[v.index()])
+    }
+
+    fn write_value_test(&self, f: &mut fmt::Formatter<'_>, t: &ValueTest) -> fmt::Result {
+        match t {
+            ValueTest::Const(v) => write!(f, "{}", v.display(self.symbols)),
+            ValueTest::Var(v) => write!(f, "{}", self.var(*v)),
+            ValueTest::Pred(op, arg) => {
+                write!(f, "{op} ")?;
+                match arg {
+                    TestArg::Const(v) => write!(f, "{}", v.display(self.symbols)),
+                    TestArg::Var(v) => write!(f, "{}", self.var(*v)),
+                }
+            }
+            ValueTest::Disj(vals) => {
+                write!(f, "<<")?;
+                for v in vals {
+                    write!(f, " {}", v.display(self.symbols))?;
+                }
+                write!(f, " >>")
+            }
+            ValueTest::Conj(tests) => {
+                write!(f, "{{")?;
+                for t in tests {
+                    write!(f, " ")?;
+                    self.write_value_test(f, t)?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+
+    fn write_rhs_arg(&self, f: &mut fmt::Formatter<'_>, arg: &RhsArg) -> fmt::Result {
+        match arg {
+            RhsArg::Const(v) => write!(f, "{}", v.display(self.symbols)),
+            RhsArg::Var(v) => write!(f, "{}", self.var(*v)),
+            RhsArg::Compute(e) => {
+                write!(f, "(compute ")?;
+                self.write_operand(f, &e.first)?;
+                for (op, o) in &e.rest {
+                    write!(f, " {op} ")?;
+                    self.write_operand(f, o)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+
+    fn write_operand(&self, f: &mut fmt::Formatter<'_>, o: &ComputeOperand) -> fmt::Result {
+        match o {
+            ComputeOperand::Const(i) => write!(f, "{i}"),
+            ComputeOperand::Var(v) => write!(f, "{}", self.var(*v)),
+        }
+    }
+
+    fn write_attrs(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        attrs: &[(SymbolId, RhsArg)],
+    ) -> fmt::Result {
+        for (attr, arg) in attrs {
+            write!(f, " ^{} ", self.symbols.name(*attr))?;
+            self.write_rhs_arg(f, arg)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DisplayProduction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.production;
+        writeln!(f, "(p {}", p.name)?;
+        for ce in &p.ces {
+            write!(f, "  ")?;
+            if ce.negated {
+                write!(f, "- ")?;
+            }
+            write!(f, "({}", self.symbols.name(ce.class))?;
+            for (attr, test) in &ce.tests {
+                write!(f, " ^{} ", self.symbols.name(*attr))?;
+                self.write_value_test(f, test)?;
+            }
+            writeln!(f, ")")?;
+        }
+        writeln!(f, "  -->")?;
+        for action in &p.actions {
+            write!(f, "  ")?;
+            match action {
+                Action::Make { class, attrs } => {
+                    write!(f, "(make {}", self.symbols.name(*class))?;
+                    self.write_attrs(f, attrs)?;
+                    writeln!(f, ")")?;
+                }
+                Action::Remove { positive_ce } => {
+                    writeln!(f, "(remove {})", p.designator(*positive_ce))?;
+                }
+                Action::Modify { positive_ce, attrs } => {
+                    write!(f, "(modify {}", p.designator(*positive_ce))?;
+                    self.write_attrs(f, attrs)?;
+                    writeln!(f, ")")?;
+                }
+                Action::Write { args } => {
+                    write!(f, "(write")?;
+                    for arg in args {
+                        write!(f, " ")?;
+                        self.write_rhs_arg(f, arg)?;
+                    }
+                    writeln!(f, ")")?;
+                }
+                Action::Halt => writeln!(f, "(halt)")?,
+                Action::Bind { var, value } => {
+                    write!(f, "(bind {} ", self.var(*var))?;
+                    self.write_rhs_arg(f, value)?;
+                    writeln!(f, ")")?;
+                }
+            }
+        }
+        writeln!(f, ")")
+    }
+}
+
+/// A parsed OPS5 program: productions plus the symbol table they intern
+/// into. The symbol table is shared with the runtime so WMEs built at run
+/// time (by `make`) reuse the same identities.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Interned symbols for the whole program.
+    pub symbols: SymbolTable,
+    /// All productions, indexed by [`ProductionId`].
+    pub productions: Vec<Production>,
+    /// `(literalize class attr …)` declarations: class → declared
+    /// attributes. When a class is declared, condition elements and
+    /// `make`/`modify` actions naming it may only use declared
+    /// attributes (checked at parse time, as real OPS5 did).
+    pub literalizations: std::collections::HashMap<SymbolId, Vec<SymbolId>>,
+}
+
+impl Program {
+    /// Creates an empty program (useful for building programs in code).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The production behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn production(&self, id: ProductionId) -> &Production {
+        &self.productions[id.index()]
+    }
+
+    /// Finds a production by name.
+    pub fn find(&self, name: &str) -> Option<&Production> {
+        self.productions.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wme::Wme;
+
+    fn no_bindings(_: VarId) -> Option<Value> {
+        None
+    }
+
+    #[test]
+    fn eval_const_and_disj() {
+        let t = ValueTest::Const(Value::Int(5));
+        assert!(eval_test(&t, Value::Int(5), &no_bindings));
+        assert!(!eval_test(&t, Value::Int(6), &no_bindings));
+
+        let d = ValueTest::Disj(vec![Value::Int(1), Value::Int(2)]);
+        assert!(eval_test(&d, Value::Int(2), &no_bindings));
+        assert!(!eval_test(&d, Value::Int(3), &no_bindings));
+    }
+
+    #[test]
+    fn eval_var_binding_and_test_occurrence() {
+        let v = ValueTest::Var(VarId(0));
+        // Unbound bare variable matches anything.
+        assert!(eval_test(&v, Value::Int(42), &no_bindings));
+        // Bound variable requires equality.
+        let bound = |_: VarId| Some(Value::Int(7));
+        assert!(eval_test(&v, Value::Int(7), &bound));
+        assert!(!eval_test(&v, Value::Int(8), &bound));
+    }
+
+    #[test]
+    fn eval_pred_with_unbound_var_fails() {
+        let t = ValueTest::Pred(PredOp::Ne, TestArg::Var(VarId(0)));
+        assert!(!eval_test(&t, Value::Int(1), &no_bindings));
+        let bound = |_: VarId| Some(Value::Int(1));
+        assert!(!eval_test(&t, Value::Int(1), &bound));
+        assert!(eval_test(&t, Value::Int(2), &bound));
+    }
+
+    #[test]
+    fn eval_conj_requires_all() {
+        let t = ValueTest::Conj(vec![
+            ValueTest::Pred(PredOp::Gt, TestArg::Const(Value::Int(0))),
+            ValueTest::Pred(PredOp::Lt, TestArg::Const(Value::Int(10))),
+        ]);
+        assert!(eval_test(&t, Value::Int(5), &no_bindings));
+        assert!(!eval_test(&t, Value::Int(0), &no_bindings));
+        assert!(!eval_test(&t, Value::Int(10), &no_bindings));
+        assert_eq!(t.test_count(), 2);
+    }
+
+    #[test]
+    fn ce_matches_with_reference_semantics() {
+        let mut syms = SymbolTable::new();
+        let goal = syms.intern("goal");
+        let ty = syms.intern("type");
+        let find = syms.intern("find-blk");
+        let color = syms.intern("color");
+
+        let ce = ConditionElement {
+            class: goal,
+            tests: vec![
+                (ty, ValueTest::Const(Value::Sym(find))),
+                (color, ValueTest::Var(VarId(0))),
+            ],
+            negated: false,
+        };
+
+        let w = Wme::new(
+            goal,
+            vec![(ty, Value::Sym(find)), (color, Value::Int(3))],
+        );
+        assert!(ce.matches_with(&w, &no_bindings));
+
+        // Wrong class.
+        let w2 = Wme::new(ty, vec![]);
+        assert!(!ce.matches_with(&w2, &no_bindings));
+
+        // Missing attribute fails the test.
+        let w3 = Wme::new(goal, vec![(ty, Value::Sym(find))]);
+        assert!(!ce.matches_with(&w3, &no_bindings));
+
+        assert_eq!(ce.test_count(), 3);
+    }
+
+    #[test]
+    fn for_each_var_visits_nested() {
+        let t = ValueTest::Conj(vec![
+            ValueTest::Var(VarId(1)),
+            ValueTest::Pred(PredOp::Ne, TestArg::Var(VarId(2))),
+            ValueTest::Const(Value::Int(0)),
+        ]);
+        let mut seen = Vec::new();
+        t.for_each_var(&mut |v| seen.push(v));
+        assert_eq!(seen, vec![VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert_eq!(format!("{}", PredOp::SameType), "<=>");
+        assert_eq!(format!("{}", ProductionId(3)), "p3");
+        assert_eq!(format!("{}", VarId(2)), "v2");
+        assert_eq!(format!("{}", ArithOp::Div), "//");
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let src = r#"
+            (p kitchen-sink
+               (goal ^type << find seek >> ^color <c> ^n { > 0 <v> })
+               - (veto ^color <c>)
+               (block ^id <i> ^color <c> ^weight <=> <v>)
+               -->
+               (write found <i> (compute <v> + 1 * 2 \\ 7))
+               (make done ^of <i> ^next (compute <v> - 1))
+               (modify 3 ^color blue)
+               (remove 1)
+               (halt))
+        "#;
+        let program = crate::parser::parse_program(src).unwrap();
+        let printed = format!(
+            "{}",
+            program.productions[0].display(&program.symbols)
+        );
+        let reparsed = crate::parser::parse_program(&printed).unwrap();
+        let reprinted = format!(
+            "{}",
+            reparsed.productions[0].display(&reparsed.symbols)
+        );
+        assert_eq!(printed, reprinted, "printer normal form is stable");
+        // Structure survives (names and shapes; symbol ids may differ).
+        assert_eq!(
+            program.productions[0].ces.len(),
+            reparsed.productions[0].ces.len()
+        );
+        assert_eq!(
+            program.productions[0].actions.len(),
+            reparsed.productions[0].actions.len()
+        );
+        assert_eq!(
+            program.productions[0].variables,
+            reparsed.productions[0].variables
+        );
+    }
+}

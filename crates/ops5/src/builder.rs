@@ -1,0 +1,414 @@
+//! Programmatic production construction.
+//!
+//! Text is OPS5's native interface, but programs that *generate* rules
+//! (planners, compilers, the workload generators in this repository)
+//! want an API. [`ProductionBuilder`] collects structure and materializes
+//! it through the same front end as parsed text — so every semantic
+//! check (binding sites, designator validity, literalize declarations)
+//! applies identically, and the builder can never construct a production
+//! the parser would reject.
+//!
+//! # Examples
+//!
+//! ```
+//! use ops5::builder::ProductionBuilder;
+//! use ops5::{PredOp, Program};
+//!
+//! # fn main() -> Result<(), ops5::Error> {
+//! let mut program = Program::new();
+//! ProductionBuilder::new("find-colored-blk")
+//!     .ce("goal", |ce| ce.eq_sym("type", "find-blk").var("color", "c"))
+//!     .ce("block", |ce| {
+//!         ce.var("id", "i").var("color", "c").eq_sym("selected", "no")
+//!     })
+//!     .modify(2, |m| m.set_sym("selected", "yes"))
+//!     .build(&mut program)?;
+//! assert_eq!(program.productions.len(), 1);
+//! assert_eq!(program.productions[0].ces.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ast::{PredOp, Program};
+use crate::error::Error;
+use crate::parser::Parser;
+
+/// Validates that `s` is a lexable OPS5 symbol (class, attribute, value
+/// or variable name).
+fn check_symbol(s: &str, what: &str) -> Result<(), Error> {
+    let ok = !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric()
+                || matches!(b, b'-' | b'_' | b'*' | b'.' | b'?' | b'!' | b'/' | b'+')
+        })
+        && !s.bytes().next().is_some_and(|b| b.is_ascii_digit());
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::Semantic {
+            production: String::new(),
+            message: format!("`{s}` is not a valid OPS5 {what}"),
+        })
+    }
+}
+
+/// Builds one production and adds it to a [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProductionBuilder {
+    name: String,
+    ces: Vec<String>,
+    actions: Vec<String>,
+    error: Option<Error>,
+}
+
+impl ProductionBuilder {
+    /// Starts a production named `name`.
+    pub fn new(name: &str) -> Self {
+        let mut b = ProductionBuilder {
+            name: name.to_owned(),
+            ces: Vec::new(),
+            actions: Vec::new(),
+            error: None,
+        };
+        if let Err(e) = check_symbol(name, "production name") {
+            b.error = Some(e);
+        }
+        b
+    }
+
+    fn record<T>(&mut self, r: Result<T, Error>) {
+        if self.error.is_none() {
+            if let Err(e) = r {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Adds a positive condition element on `class`.
+    pub fn ce(mut self, class: &str, f: impl FnOnce(CeBuilder) -> CeBuilder) -> Self {
+        self.add_ce(class, false, f);
+        self
+    }
+
+    /// Adds a negated condition element on `class`.
+    pub fn neg_ce(mut self, class: &str, f: impl FnOnce(CeBuilder) -> CeBuilder) -> Self {
+        self.add_ce(class, true, f);
+        self
+    }
+
+    fn add_ce(&mut self, class: &str, negated: bool, f: impl FnOnce(CeBuilder) -> CeBuilder) {
+        self.record(check_symbol(class, "class"));
+        let ce = f(CeBuilder {
+            text: String::new(),
+            error: None,
+        });
+        if let Some(e) = ce.error {
+            self.record::<()>(Err(e));
+        }
+        let neg = if negated { "- " } else { "" };
+        self.ces.push(format!("{neg}({class}{})", ce.text));
+    }
+
+    /// Adds a `(make class …)` action.
+    pub fn make(mut self, class: &str, f: impl FnOnce(RhsBuilder) -> RhsBuilder) -> Self {
+        self.record(check_symbol(class, "class"));
+        let rhs = f(RhsBuilder {
+            text: String::new(),
+            error: None,
+        });
+        if let Some(e) = rhs.error {
+            self.record::<()>(Err(e));
+        }
+        self.actions.push(format!("(make {class}{})", rhs.text));
+        self
+    }
+
+    /// Adds a `(modify k …)` action; `k` is the 1-based CE designator.
+    pub fn modify(mut self, designator: usize, f: impl FnOnce(RhsBuilder) -> RhsBuilder) -> Self {
+        let rhs = f(RhsBuilder {
+            text: String::new(),
+            error: None,
+        });
+        if let Some(e) = rhs.error {
+            self.record::<()>(Err(e));
+        }
+        self.actions.push(format!("(modify {designator}{})", rhs.text));
+        self
+    }
+
+    /// Adds a `(remove k)` action; `k` is the 1-based CE designator.
+    pub fn remove(mut self, designator: usize) -> Self {
+        self.actions.push(format!("(remove {designator})"));
+        self
+    }
+
+    /// Adds a `(write …)` action with symbolic words and variables
+    /// (variables written as `<name>` in `words`).
+    pub fn write(mut self, words: &[&str]) -> Self {
+        let mut text = String::from("(write");
+        for w in words {
+            let _ = write!(text, " {w}");
+        }
+        text.push(')');
+        self.actions.push(text);
+        self
+    }
+
+    /// Adds a `(halt)` action.
+    pub fn halt(mut self) -> Self {
+        self.actions.push("(halt)".into());
+        self
+    }
+
+    /// Renders the production and runs it through the parser into
+    /// `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any builder-recorded error or any parse/semantic error —
+    /// exactly the ones textual source would get.
+    pub fn build(self, program: &mut Program) -> Result<(), Error> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut src = format!("(p {}\n", self.name);
+        for ce in &self.ces {
+            let _ = writeln!(src, "  {ce}");
+        }
+        src.push_str("  -->\n");
+        for a in &self.actions {
+            let _ = writeln!(src, "  {a}");
+        }
+        src.push_str(")\n");
+        Parser::new(&src)?.parse_into(program)
+    }
+}
+
+/// Builds one condition element's attribute tests.
+#[derive(Debug, Clone)]
+pub struct CeBuilder {
+    text: String,
+    error: Option<Error>,
+}
+
+impl CeBuilder {
+    fn push_checked(mut self, attr: &str, rest: String) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = check_symbol(attr, "attribute") {
+                self.error = Some(e);
+            }
+        }
+        let _ = write!(self.text, " ^{attr} {rest}");
+        self
+    }
+
+    /// `^attr constant-symbol`.
+    pub fn eq_sym(self, attr: &str, value: &str) -> Self {
+        if let Err(e) = check_symbol(value, "symbol") {
+            return CeBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, value.to_owned())
+    }
+
+    /// `^attr integer`.
+    pub fn eq_int(self, attr: &str, value: i64) -> Self {
+        self.push_checked(attr, value.to_string())
+    }
+
+    /// `^attr <name>` — bare variable (binding or equality occurrence).
+    pub fn var(self, attr: &str, name: &str) -> Self {
+        if let Err(e) = check_symbol(name, "variable name") {
+            return CeBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, format!("<{name}>"))
+    }
+
+    /// `^attr op integer` predicate test.
+    pub fn pred_int(self, attr: &str, op: PredOp, value: i64) -> Self {
+        self.push_checked(attr, format!("{op} {value}"))
+    }
+
+    /// `^attr op <name>` predicate test against a variable.
+    pub fn pred_var(self, attr: &str, op: PredOp, name: &str) -> Self {
+        if let Err(e) = check_symbol(name, "variable name") {
+            return CeBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, format!("{op} <{name}>"))
+    }
+
+    /// `^attr << v1 v2 … >>` symbolic disjunction.
+    pub fn one_of(self, attr: &str, values: &[&str]) -> Self {
+        for v in values {
+            if let Err(e) = check_symbol(v, "symbol") {
+                return CeBuilder {
+                    error: self.error.or(Some(e)),
+                    ..self
+                };
+            }
+        }
+        self.push_checked(attr, format!("<< {} >>", values.join(" ")))
+    }
+}
+
+/// Builds the `^attr value` list of a `make`/`modify` action.
+#[derive(Debug, Clone)]
+pub struct RhsBuilder {
+    text: String,
+    error: Option<Error>,
+}
+
+impl RhsBuilder {
+    fn push_checked(mut self, attr: &str, rest: String) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = check_symbol(attr, "attribute") {
+                self.error = Some(e);
+            }
+        }
+        let _ = write!(self.text, " ^{attr} {rest}");
+        self
+    }
+
+    /// `^attr constant-symbol`.
+    pub fn set_sym(self, attr: &str, value: &str) -> Self {
+        if let Err(e) = check_symbol(value, "symbol") {
+            return RhsBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, value.to_owned())
+    }
+
+    /// `^attr integer`.
+    pub fn set_int(self, attr: &str, value: i64) -> Self {
+        self.push_checked(attr, value.to_string())
+    }
+
+    /// `^attr <name>` — copy an LHS binding.
+    pub fn set_var(self, attr: &str, name: &str) -> Self {
+        if let Err(e) = check_symbol(name, "variable name") {
+            return RhsBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, format!("<{name}>"))
+    }
+
+    /// `^attr (compute <name> op constant)` — the common increment form.
+    pub fn set_compute(self, attr: &str, var: &str, op: crate::ast::ArithOp, value: i64) -> Self {
+        if let Err(e) = check_symbol(var, "variable name") {
+            return RhsBuilder {
+                error: self.error.or(Some(e)),
+                ..self
+            };
+        }
+        self.push_checked(attr, format!("(compute <{var}> {op} {value})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ArithOp;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn builder_matches_parsed_text() {
+        let mut built = Program::new();
+        ProductionBuilder::new("r")
+            .ce("a", |ce| ce.var("x", "v").pred_int("y", PredOp::Gt, 3))
+            .neg_ce("veto", |ce| ce.var("x", "v"))
+            .make("out", |m| {
+                m.set_var("x", "v").set_compute("n", "v", ArithOp::Add, 1)
+            })
+            .remove(1)
+            .build(&mut built)
+            .unwrap();
+
+        let parsed = parse_program(
+            r#"
+            (p r (a ^x <v> ^y > 3)
+                 - (veto ^x <v>)
+                 -->
+                 (make out ^x <v> ^n (compute <v> + 1))
+                 (remove 1))
+            "#,
+        )
+        .unwrap();
+        // Same printer normal form.
+        let a = format!("{}", built.productions[0].display(&built.symbols));
+        let b = format!("{}", parsed.productions[0].display(&parsed.symbols));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_surfaces_semantic_errors() {
+        let mut program = Program::new();
+        // Designator out of range — caught by the shared parser path.
+        let err = ProductionBuilder::new("bad")
+            .ce("a", |ce| ce.eq_int("x", 1))
+            .remove(5)
+            .build(&mut program)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn builder_rejects_unlexable_names() {
+        let mut program = Program::new();
+        let err = ProductionBuilder::new("r")
+            .ce("cla ss", |ce| ce)
+            .build(&mut program)
+            .unwrap_err();
+        assert!(err.to_string().contains("not a valid"));
+        let err = ProductionBuilder::new("r")
+            .ce("a", |ce| ce.eq_sym("x", "two words"))
+            .build(&mut program)
+            .unwrap_err();
+        assert!(err.to_string().contains("not a valid"));
+    }
+
+    #[test]
+    fn multiple_builds_extend_one_program() {
+        let mut program = Program::new();
+        for i in 0..3 {
+            ProductionBuilder::new(&format!("r{i}"))
+                .ce("a", |ce| ce.eq_int("x", i))
+                .halt()
+                .build(&mut program)
+                .unwrap();
+        }
+        assert_eq!(program.productions.len(), 3);
+        // Duplicate names rejected across builds.
+        let err = ProductionBuilder::new("r0")
+            .ce("a", |ce| ce)
+            .build(&mut program)
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn one_of_and_write() {
+        let mut program = Program::new();
+        ProductionBuilder::new("r")
+            .ce("light", |ce| ce.one_of("color", &["red", "amber"]))
+            .write(&["stop"])
+            .build(&mut program)
+            .unwrap();
+        let printed = format!("{}", program.productions[0].display(&program.symbols));
+        assert!(printed.contains("<< red amber >>"));
+        assert!(printed.contains("(write stop)"));
+    }
+}

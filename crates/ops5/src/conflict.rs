@@ -1,0 +1,327 @@
+//! The conflict set and OPS5's conflict-resolution strategies.
+//!
+//! Conflict resolution is the second phase of the recognize–act cycle
+//! (Section 2.1 of the paper): out of all satisfied instantiations, pick
+//! one to fire. OPS5 offers two strategies, both implemented here:
+//!
+//! * **LEX** — refraction, then recency (time tags sorted descending,
+//!   compared lexicographically), then specificity.
+//! * **MEA** — like LEX, but the recency of the WME matching the *first*
+//!   condition element dominates, which is what makes means–ends-analysis
+//!   style goal stacks work.
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use crate::ast::Program;
+use crate::matcher::{Instantiation, MatchDelta};
+use crate::wme::{TimeTag, WorkingMemory};
+
+/// Conflict-resolution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The LEX strategy (default in OPS5).
+    #[default]
+    Lex,
+    /// The MEA (means–ends analysis) strategy.
+    Mea,
+}
+
+/// The conflict set: live instantiations plus the refraction memory of
+/// already-fired ones.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictSet {
+    live: HashSet<Instantiation>,
+    fired: HashSet<Instantiation>,
+    peak: usize,
+}
+
+impl ConflictSet {
+    /// Creates an empty conflict set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a matcher delta: removals first, then additions.
+    pub fn apply(&mut self, delta: &MatchDelta) {
+        for inst in &delta.removed {
+            self.live.remove(inst);
+            // Refraction memory is keyed by WME identity; once the
+            // instantiation leaves the conflict set its entry can never
+            // match again (handles are not reused), so drop it.
+            self.fired.remove(inst);
+        }
+        for inst in &delta.added {
+            self.live.insert(inst.clone());
+        }
+        self.peak = self.peak.max(self.live.len());
+    }
+
+    /// Number of live instantiations.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no instantiation is satisfied.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Largest size the conflict set has reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates over live instantiations (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Instantiation> {
+        self.live.iter()
+    }
+
+    /// Whether `inst` has fired and is still refracted.
+    pub fn has_fired(&self, inst: &Instantiation) -> bool {
+        self.fired.contains(inst)
+    }
+
+    /// Records that `inst` fired (refraction).
+    pub fn mark_fired(&mut self, inst: &Instantiation) {
+        self.fired.insert(inst.clone());
+    }
+
+    /// Selects the dominant unfired instantiation under `strategy`.
+    ///
+    /// Returns `None` at quiescence (every live instantiation has already
+    /// fired, or the set is empty), which halts the interpreter.
+    pub fn select(
+        &self,
+        wm: &WorkingMemory,
+        program: &Program,
+        strategy: Strategy,
+    ) -> Option<Instantiation> {
+        self.live
+            .iter()
+            .filter(|inst| !self.fired.contains(*inst))
+            .max_by(|a, b| compare(a, b, wm, program, strategy))
+            .cloned()
+    }
+}
+
+/// Recency key: the instantiation's time tags sorted descending.
+fn recency_key(inst: &Instantiation, wm: &WorkingMemory) -> Vec<TimeTag> {
+    let mut tags: Vec<TimeTag> = inst
+        .wmes
+        .iter()
+        .map(|&w| wm.time_tag(w).unwrap_or_default())
+        .collect();
+    tags.sort_unstable_by(|a, b| b.cmp(a));
+    tags
+}
+
+/// LEX recency comparison on descending tag vectors: pairwise compare;
+/// on a common prefix the longer vector dominates.
+fn compare_recency(a: &[TimeTag], b: &[TimeTag]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Total order on instantiations under a strategy; `Greater` means
+/// "dominates". Falls back to a deterministic arbitrary order so runs
+/// are reproducible. Exposed so tools (and property tests) can inspect
+/// why one instantiation beat another.
+pub fn compare(
+    a: &Instantiation,
+    b: &Instantiation,
+    wm: &WorkingMemory,
+    program: &Program,
+    strategy: Strategy,
+) -> Ordering {
+    if strategy == Strategy::Mea {
+        let fa = a.wmes.first().and_then(|&w| wm.time_tag(w)).unwrap_or_default();
+        let fb = b.wmes.first().and_then(|&w| wm.time_tag(w)).unwrap_or_default();
+        match fa.cmp(&fb) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    match compare_recency(&recency_key(a, wm), &recency_key(b, wm)) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    let sa = program.production(a.production).specificity;
+    let sb = program.production(b.production).specificity;
+    match sa.cmp(&sb) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // Deterministic arbitrary tie-break: lower production id, then wmes.
+    match b.production.cmp(&a.production) {
+        Ordering::Equal => b.wmes.cmp(&a.wmes),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Production, ProductionId};
+    use crate::value::Value;
+    use crate::wme::{Wme, WmeId};
+
+    fn production(id: u32, specificity: usize) -> Production {
+        Production {
+            name: format!("p{id}"),
+            id: ProductionId(id),
+            ces: Vec::new(),
+            actions: Vec::new(),
+            variables: Vec::new(),
+            binding_sites: Vec::new(),
+            specificity,
+        }
+    }
+
+    fn setup(n_wmes: usize) -> (Program, WorkingMemory, Vec<WmeId>) {
+        let mut program = Program::new();
+        let class = program.symbols.intern("c");
+        let attr = program.symbols.intern("a");
+        program.productions.push(production(0, 2));
+        program.productions.push(production(1, 5));
+        let mut wm = WorkingMemory::new();
+        let ids = (0..n_wmes)
+            .map(|i| {
+                wm.add(Wme::new(class, vec![(attr, Value::Int(i as i64))])).0
+            })
+            .collect();
+        (program, wm, ids)
+    }
+
+    #[test]
+    fn lex_prefers_recency() {
+        let (program, wm, ids) = setup(3);
+        let older = Instantiation::new(ProductionId(0), vec![ids[0], ids[1]]);
+        let newer = Instantiation::new(ProductionId(0), vec![ids[0], ids[2]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![older, newer.clone()],
+            removed: vec![],
+        });
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(newer));
+    }
+
+    #[test]
+    fn lex_longer_wins_on_equal_prefix() {
+        let (program, wm, ids) = setup(3);
+        let short = Instantiation::new(ProductionId(0), vec![ids[2]]);
+        let long = Instantiation::new(ProductionId(0), vec![ids[2], ids[0]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![short, long.clone()],
+            removed: vec![],
+        });
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(long));
+    }
+
+    #[test]
+    fn specificity_breaks_recency_ties() {
+        let (program, wm, ids) = setup(1);
+        let weak = Instantiation::new(ProductionId(0), vec![ids[0]]);
+        let strong = Instantiation::new(ProductionId(1), vec![ids[0]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![weak, strong.clone()],
+            removed: vec![],
+        });
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(strong));
+    }
+
+    #[test]
+    fn mea_first_ce_recency_dominates() {
+        let (program, wm, ids) = setup(3);
+        // Under LEX, `a` wins (contains the newest tag anywhere).
+        // Under MEA, `b` wins (newest *first-CE* tag).
+        let a = Instantiation::new(ProductionId(0), vec![ids[0], ids[2]]);
+        let b = Instantiation::new(ProductionId(0), vec![ids[1], ids[0]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![a.clone(), b.clone()],
+            removed: vec![],
+        });
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(a));
+        assert_eq!(cs.select(&wm, &program, Strategy::Mea), Some(b));
+    }
+
+    #[test]
+    fn refraction_skips_fired() {
+        let (program, wm, ids) = setup(2);
+        let only = Instantiation::new(ProductionId(0), vec![ids[0]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![only.clone()],
+            removed: vec![],
+        });
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(only.clone()));
+        cs.mark_fired(&only);
+        assert!(cs.has_fired(&only));
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), None, "quiescent");
+        assert_eq!(cs.len(), 1, "still satisfied, just refracted");
+    }
+
+    #[test]
+    fn removal_clears_refraction() {
+        let (program, wm, ids) = setup(1);
+        let inst = Instantiation::new(ProductionId(0), vec![ids[0]]);
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![inst.clone()],
+            removed: vec![],
+        });
+        cs.mark_fired(&inst);
+        cs.apply(&MatchDelta {
+            added: vec![],
+            removed: vec![inst.clone()],
+        });
+        assert!(cs.is_empty());
+        assert!(!cs.has_fired(&inst));
+        let _ = (&program, &wm);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let (_program, _wm, ids) = setup(3);
+        let mut cs = ConflictSet::new();
+        let insts: Vec<_> = ids
+            .iter()
+            .map(|&w| Instantiation::new(ProductionId(0), vec![w]))
+            .collect();
+        cs.apply(&MatchDelta {
+            added: insts.clone(),
+            removed: vec![],
+        });
+        cs.apply(&MatchDelta {
+            added: vec![],
+            removed: insts,
+        });
+        assert_eq!(cs.len(), 0);
+        assert_eq!(cs.peak(), 3);
+    }
+
+    #[test]
+    fn select_is_deterministic_under_full_ties() {
+        let (program, wm, ids) = setup(1);
+        let a = Instantiation::new(ProductionId(0), vec![ids[0]]);
+        let b = Instantiation::new(ProductionId(1), vec![ids[0]]);
+        // Force equal specificity.
+        let mut program = program;
+        program.productions[1].specificity = 2;
+        let mut cs = ConflictSet::new();
+        cs.apply(&MatchDelta {
+            added: vec![a.clone(), b],
+            removed: vec![],
+        });
+        // Lower production id wins the arbitrary tie-break.
+        assert_eq!(cs.select(&wm, &program, Strategy::Lex), Some(a));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for parsing and interpretation.
+
+use std::fmt;
+
+/// Errors produced by the OPS5 front end and interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error at a byte offset in the source.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with a line number (1-based) and message.
+    Parse {
+        /// 1-based source line of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic error in a production (bad element designator, variable
+    /// used before binding, duplicate production name, …).
+    Semantic {
+        /// Name of the production being analysed, when known.
+        production: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error while executing an action.
+    Runtime {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            Error::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            Error::Semantic {
+                production,
+                message,
+            } => write!(f, "semantic error in production `{production}`: {message}"),
+            Error::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds a runtime error from anything displayable.
+    pub fn runtime(message: impl fmt::Display) -> Self {
+        Error::Runtime {
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = Error::Parse {
+            line: 3,
+            message: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected `)`");
+        let e = Error::runtime("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

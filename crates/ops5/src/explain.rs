@@ -1,0 +1,222 @@
+//! Human-readable explanations of why an instantiation matched.
+//!
+//! Production-system debugging is archaeology: *why did this rule fire?*
+//! [`explain_instantiation`] re-derives the match — which WME satisfied
+//! which condition element, what every variable is bound to, and why
+//! each negated condition element was unblocked — using the same
+//! reference semantics the matchers are verified against.
+
+use std::fmt::Write as _;
+
+use crate::ast::{match_and_bind, Program};
+use crate::error::Error;
+use crate::matcher::Instantiation;
+use crate::value::Value;
+use crate::wme::WorkingMemory;
+
+/// Renders a step-by-step explanation of `inst` against the current
+/// working memory.
+///
+/// # Errors
+///
+/// Returns [`Error::Runtime`] if the instantiation does not actually
+/// match (stale WMEs, wrong production) — which makes this function
+/// double as a conflict-set consistency check.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{explain_instantiation, parse_program, parse_wme, Interpreter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = parse_program(
+///     "(p rule (goal ^color <c>) (block ^color <c>) --> (halt))",
+/// )?;
+/// let matcher = /* any matcher */
+/// #   baselines_stub::Stub::new(&program);
+/// # mod baselines_stub {
+/// #     use ops5::*;
+/// #     #[derive(Debug)]
+/// #     pub struct Stub { program: Program, live: Vec<WmeId> }
+/// #     impl Stub { pub fn new(p: &Program) -> Self { Stub { program: p.clone(), live: vec![] } } }
+/// #     impl Matcher for Stub {
+/// #         fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+/// #             self.live.push(id);
+/// #             if self.live.len() == 2 {
+/// #                 MatchDelta { added: vec![Instantiation::new(ProductionId(0), self.live.clone())], removed: vec![] }
+/// #             } else { MatchDelta::new() }
+/// #         }
+/// #         fn remove_wme(&mut self, _: &WorkingMemory, _: WmeId) -> MatchDelta { MatchDelta::new() }
+/// #         fn algorithm_name(&self) -> &'static str { "stub" }
+/// #     }
+/// # }
+/// let mut interp = Interpreter::new(program, matcher);
+/// let goal = parse_wme("(goal ^color red)", interp.symbols_mut())?;
+/// let block = parse_wme("(block ^color red)", interp.symbols_mut())?;
+/// interp.insert(goal);
+/// interp.insert(block);
+/// let inst = interp.conflict_set().iter().next().unwrap().clone();
+/// let text = explain_instantiation(
+///     interp.program(),
+///     interp.working_memory(),
+///     &inst,
+/// )?;
+/// assert!(text.contains("<c> = red"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explain_instantiation(
+    program: &Program,
+    wm: &WorkingMemory,
+    inst: &Instantiation,
+) -> Result<String, Error> {
+    let production = program
+        .productions
+        .get(inst.production.index())
+        .ok_or_else(|| Error::runtime(format!("unknown production {}", inst.production)))?;
+    let mut bindings: Vec<Option<Value>> = vec![None; production.variables.len()];
+    let mut out = String::new();
+    let _ = writeln!(out, "(p {}", production.name);
+
+    let mut pos = 0usize;
+    for (idx, ce) in production.ces.iter().enumerate() {
+        if ce.negated {
+            // Report why the negation is unblocked, or name the blocker.
+            let blocker = wm.by_class(ce.class).find(|(_, wme)| {
+                let mut local = bindings.clone();
+                match_and_bind(ce, wme, &mut local)
+            });
+            match blocker {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  CE {}: - ({} …)  unblocked: no matching WME",
+                        idx + 1,
+                        program.symbols.name(ce.class)
+                    );
+                }
+                Some((id, wme)) => {
+                    return Err(Error::runtime(format!(
+                        "negated CE {} is blocked by {id}: {}",
+                        idx + 1,
+                        wme.display(&program.symbols)
+                    )));
+                }
+            }
+        } else {
+            let id = *inst.wmes.get(pos).ok_or_else(|| {
+                Error::runtime("instantiation has fewer WMEs than positive CEs")
+            })?;
+            pos += 1;
+            let wme = wm
+                .get(id)
+                .ok_or_else(|| Error::runtime(format!("{id} is no longer in working memory")))?;
+            if !match_and_bind(ce, wme, &mut bindings) {
+                return Err(Error::runtime(format!(
+                    "{id} does not satisfy CE {} — stale instantiation",
+                    idx + 1
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "  CE {}: matched {id} = {}",
+                idx + 1,
+                wme.display(&program.symbols)
+            );
+        }
+    }
+
+    let bound: Vec<String> = production
+        .variables
+        .iter()
+        .zip(&bindings)
+        .filter_map(|(name, v)| {
+            v.map(|v| format!("<{name}> = {}", v.display(&program.symbols)))
+        })
+        .collect();
+    if bound.is_empty() {
+        let _ = writeln!(out, "  (no variable bindings)");
+    } else {
+        let _ = writeln!(out, "  bindings: {}", bound.join(", "));
+    }
+    out.push(')');
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Instantiation;
+    use crate::parser::{parse_program, parse_wme};
+
+    fn fixture() -> (Program, WorkingMemory, Vec<crate::wme::WmeId>) {
+        let mut program = parse_program(
+            r#"
+            (p pick
+               (goal ^type find-blk ^color <c>)
+               - (veto ^color <c>)
+               (block ^id <i> ^color <c>)
+               -->
+               (remove 3))
+            "#,
+        )
+        .unwrap();
+        // Intern WME symbols into the program's own table so `display`
+        // can resolve values like `red` that no rule mentions.
+        let mut wm = WorkingMemory::new();
+        let (g, _) = wm.add(
+            parse_wme("(goal ^type find-blk ^color red)", &mut program.symbols).unwrap(),
+        );
+        let (b, _) =
+            wm.add(parse_wme("(block ^id 7 ^color red)", &mut program.symbols).unwrap());
+        (program, wm, vec![g, b])
+    }
+
+    #[test]
+    fn explains_a_valid_match() {
+        let (program, wm, ids) = fixture();
+        let inst = Instantiation::new(crate::ast::ProductionId(0), ids);
+        let text = explain_instantiation(&program, &wm, &inst).unwrap();
+        assert!(text.contains("(p pick"), "{text}");
+        assert!(text.contains("CE 1: matched w0"));
+        assert!(text.contains("CE 2: - (veto …)  unblocked"));
+        assert!(text.contains("CE 3: matched w1"));
+        assert!(text.contains("<c> = red"));
+        assert!(text.contains("<i> = 7"));
+    }
+
+    #[test]
+    fn detects_blocked_negation() {
+        let (mut program, mut wm, ids) = fixture();
+        wm.add(parse_wme("(veto ^color red)", &mut program.symbols).unwrap());
+        let inst = Instantiation::new(crate::ast::ProductionId(0), ids);
+        let err = explain_instantiation(&program, &wm, &inst).unwrap_err();
+        assert!(err.to_string().contains("blocked by"), "{err}");
+    }
+
+    #[test]
+    fn detects_stale_wmes_and_mismatches() {
+        let (program, mut wm, ids) = fixture();
+        // Retract the block: stale instantiation.
+        wm.remove(ids[1]);
+        let inst = Instantiation::new(crate::ast::ProductionId(0), ids.clone());
+        let err = explain_instantiation(&program, &wm, &inst).unwrap_err();
+        assert!(err.to_string().contains("no longer in working memory"));
+
+        // Wrong wme order: CE mismatch.
+        let (program, wm, ids) = fixture();
+        let swapped = Instantiation::new(
+            crate::ast::ProductionId(0),
+            vec![ids[1], ids[0]],
+        );
+        let err = explain_instantiation(&program, &wm, &swapped).unwrap_err();
+        assert!(err.to_string().contains("does not satisfy"));
+    }
+
+    #[test]
+    fn unknown_production_is_an_error() {
+        let (program, wm, ids) = fixture();
+        let inst = Instantiation::new(crate::ast::ProductionId(9), ids);
+        assert!(explain_instantiation(&program, &wm, &inst).is_err());
+    }
+}

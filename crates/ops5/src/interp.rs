@@ -1,0 +1,725 @@
+//! The recognize–act interpreter (Section 2.1 of the paper).
+//!
+//! Each cycle: **match** (delegated to the [`Matcher`]), **conflict
+//! resolution** ([`crate::ConflictSet::select`]), **act** (execute the
+//! selected production's right-hand side). The act phase turns `make`,
+//! `modify` and `remove` actions into a batch of working-memory
+//! [`Change`]s which is handed to the matcher as a unit — the batch is
+//! exactly what the parallel implementations process concurrently.
+
+use std::collections::HashSet;
+
+use crate::ast::{Action, Production, Program, RhsArg, VarId};
+use crate::conflict::{ConflictSet, Strategy};
+use crate::error::Error;
+use crate::matcher::{Change, Instantiation, Matcher};
+use crate::symbol::SymbolTable;
+use crate::value::Value;
+use crate::wme::{Wme, WmeId, WorkingMemory};
+
+/// What one recognize–act cycle did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CycleOutcome {
+    /// A production fired.
+    Fired(Instantiation),
+    /// No unfired instantiation was satisfied; the interpreter halts.
+    Quiescent,
+    /// A `(halt)` action executed.
+    Halted,
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Recognize–act cycles executed (= production firings).
+    pub firings: u64,
+    /// Working-memory changes processed (inserts + deletes).
+    pub wme_changes: u64,
+    /// Working-memory inserts.
+    pub inserts: u64,
+    /// Working-memory deletes.
+    pub deletes: u64,
+    /// Largest conflict-set size observed.
+    pub conflict_set_peak: usize,
+}
+
+impl RunStats {
+    /// Average WM changes per firing, the paper's key per-cycle quantity.
+    pub fn changes_per_firing(&self) -> f64 {
+        if self.firings == 0 {
+            0.0
+        } else {
+            self.wme_changes as f64 / self.firings as f64
+        }
+    }
+}
+
+/// The production-system interpreter, generic over the match algorithm.
+///
+/// # Examples
+///
+/// Run a two-rule program to quiescence with any matcher (here the naive
+/// reference matcher lives in the `baselines` crate; this example uses a
+/// trivial custom matcher elided for brevity).
+#[derive(Debug)]
+pub struct Interpreter<M> {
+    program: Program,
+    matcher: M,
+    wm: WorkingMemory,
+    conflict: ConflictSet,
+    strategy: Strategy,
+    output: Vec<String>,
+    halted: bool,
+    stats: RunStats,
+    firing_log: Option<Vec<Instantiation>>,
+}
+
+impl<M: Matcher> Interpreter<M> {
+    /// Creates an interpreter over `program` using `matcher`.
+    ///
+    /// The matcher must have been compiled from the same program.
+    pub fn new(program: Program, matcher: M) -> Self {
+        Interpreter {
+            program,
+            matcher,
+            wm: WorkingMemory::new(),
+            conflict: ConflictSet::new(),
+            strategy: Strategy::Lex,
+            output: Vec::new(),
+            halted: false,
+            stats: RunStats::default(),
+            firing_log: None,
+        }
+    }
+
+    /// Starts recording every fired instantiation (off by default; the
+    /// log grows with the run).
+    pub fn enable_firing_log(&mut self) {
+        self.firing_log = Some(Vec::new());
+    }
+
+    /// The fired instantiations recorded so far (empty unless
+    /// [`Interpreter::enable_firing_log`] was called).
+    pub fn firing_log(&self) -> &[Instantiation] {
+        self.firing_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Sets the conflict-resolution strategy (default LEX).
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable access to the program's symbol table, for interning
+    /// symbols used by WMEs built at run time. Prefer this over cloning
+    /// the table: symbols interned into a clone are unknown to the
+    /// interpreter's own table, so `display` cannot resolve them.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.program.symbols
+    }
+
+    /// The working memory.
+    pub fn working_memory(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// The conflict set.
+    pub fn conflict_set(&self) -> &ConflictSet {
+        &self.conflict
+    }
+
+    /// The underlying matcher.
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// Mutable access to the matcher, e.g. to enable or collect the Rete
+    /// node-activation trace mid-run.
+    pub fn matcher_mut(&mut self) -> &mut M {
+        &mut self.matcher
+    }
+
+    /// Lines produced by `write` actions so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Counters for the run so far.
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.conflict_set_peak = self.conflict.peak();
+        s
+    }
+
+    /// Asserts an initial WME (before or between runs), updating the
+    /// match state.
+    pub fn insert(&mut self, wme: Wme) -> WmeId {
+        let (id, _) = self.wm.add(wme);
+        self.stats.wme_changes += 1;
+        self.stats.inserts += 1;
+        let delta = self.matcher.process(&self.wm, &[Change::Add(id)]);
+        self.conflict.apply(&delta);
+        id
+    }
+
+    /// Asserts several initial WMEs.
+    pub fn insert_all<I: IntoIterator<Item = Wme>>(&mut self, wmes: I) -> Vec<WmeId> {
+        wmes.into_iter().map(|w| self.insert(w)).collect()
+    }
+
+    /// Runs one recognize–act cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] if an action references a WME that is no
+    /// longer live (cannot happen for programs produced by the parser and
+    /// a correct matcher, but guarded for custom [`Matcher`]s).
+    pub fn cycle(&mut self) -> Result<CycleOutcome, Error> {
+        if self.halted {
+            return Ok(CycleOutcome::Halted);
+        }
+        let Some(inst) = self.conflict.select(&self.wm, &self.program, self.strategy) else {
+            return Ok(CycleOutcome::Quiescent);
+        };
+        self.conflict.mark_fired(&inst);
+        if let Some(log) = self.firing_log.as_mut() {
+            log.push(inst.clone());
+        }
+        self.fire(&inst)?;
+        self.stats.firings += 1;
+        Ok(if self.halted {
+            CycleOutcome::Halted
+        } else {
+            CycleOutcome::Fired(inst)
+        })
+    }
+
+    /// Runs until quiescence, `halt`, or `max_cycles` firings; returns the
+    /// number of firings executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Error::Runtime`] from [`Interpreter::cycle`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, Error> {
+        let mut fired = 0;
+        while fired < max_cycles {
+            match self.cycle()? {
+                CycleOutcome::Fired(_) => fired += 1,
+                CycleOutcome::Halted => {
+                    // The halting cycle itself fired a production.
+                    fired += 1;
+                    break;
+                }
+                CycleOutcome::Quiescent => break,
+            }
+        }
+        Ok(fired)
+    }
+
+    /// Executes the RHS of `inst`, producing and applying the change
+    /// batch. `bind` actions extend the bindings as the RHS proceeds.
+    fn fire(&mut self, inst: &Instantiation) -> Result<(), Error> {
+        let production = self.program.production(inst.production).clone();
+        let mut bindings = self.extract_bindings(&production, inst)?;
+
+        let mut pending_adds: Vec<Wme> = Vec::new();
+        let mut pending_removes: Vec<WmeId> = Vec::new();
+        let mut seen_removes: HashSet<WmeId> = HashSet::new();
+
+        for action in &production.actions {
+            match action {
+                Action::Make { class, attrs } => {
+                    let attrs = attrs
+                        .iter()
+                        .map(|(a, arg)| Ok((*a, self.resolve(arg, &bindings)?)))
+                        .collect::<Result<Vec<_>, Error>>()?;
+                    pending_adds.push(Wme::new(*class, attrs));
+                }
+                Action::Remove { positive_ce } => {
+                    let id = self.designated(inst, *positive_ce)?;
+                    if seen_removes.insert(id) {
+                        pending_removes.push(id);
+                    }
+                }
+                Action::Modify { positive_ce, attrs } => {
+                    let id = self.designated(inst, *positive_ce)?;
+                    let old = self.wm.get(id).ok_or_else(|| {
+                        Error::runtime(format!("modify of dead WME {id}"))
+                    })?;
+                    let updates = attrs
+                        .iter()
+                        .map(|(a, arg)| Ok((*a, self.resolve(arg, &bindings)?)))
+                        .collect::<Result<Vec<_>, Error>>()?;
+                    pending_adds.push(old.modified(&updates));
+                    if seen_removes.insert(id) {
+                        pending_removes.push(id);
+                    }
+                }
+                Action::Write { args } => {
+                    let mut line = String::new();
+                    for (i, arg) in args.iter().enumerate() {
+                        if i > 0 {
+                            line.push(' ');
+                        }
+                        let v = self.resolve(arg, &bindings)?;
+                        line.push_str(&format!("{}", v.display(&self.program.symbols)));
+                    }
+                    self.output.push(line);
+                }
+                Action::Halt => self.halted = true,
+                Action::Bind { var, value } => {
+                    let v = self.resolve(value, &bindings)?;
+                    bindings[var.index()] = Some(v);
+                }
+            }
+        }
+
+        // Build the batch: removes first, then adds. This ordering is the
+        // batch contract parallel matchers rely on (DESIGN.md §6).
+        let mut changes: Vec<Change> =
+            pending_removes.iter().map(|&id| Change::Remove(id)).collect();
+        for wme in pending_adds {
+            let (id, _) = self.wm.add(wme);
+            changes.push(Change::Add(id));
+        }
+        self.stats.wme_changes += changes.len() as u64;
+        self.stats.deletes += pending_removes.len() as u64;
+        self.stats.inserts += (changes.len() - pending_removes.len()) as u64;
+
+        let delta = self.matcher.process(&self.wm, &changes);
+        self.conflict.apply(&delta);
+
+        for id in pending_removes {
+            self.wm.remove(id);
+        }
+        Ok(())
+    }
+
+    /// The WME matching the designated positive CE of `inst`.
+    fn designated(&self, inst: &Instantiation, positive_ce: usize) -> Result<WmeId, Error> {
+        inst.wmes.get(positive_ce).copied().ok_or_else(|| {
+            Error::runtime(format!(
+                "element designator {} out of range for {}",
+                positive_ce + 1,
+                inst.production
+            ))
+        })
+    }
+
+    /// Reads each bound variable's value out of the instantiation's WMEs.
+    fn extract_bindings(
+        &self,
+        production: &Production,
+        inst: &Instantiation,
+    ) -> Result<Vec<Option<Value>>, Error> {
+        production
+            .binding_sites
+            .iter()
+            .map(|site| match site {
+                None => Ok(None),
+                Some(site) => {
+                    let id = inst.wmes.get(site.positive_ce).copied().ok_or_else(|| {
+                        Error::runtime("instantiation shorter than binding site")
+                    })?;
+                    let wme = self
+                        .wm
+                        .get(id)
+                        .ok_or_else(|| Error::runtime(format!("binding WME {id} is dead")))?;
+                    Ok(wme.get(site.attr))
+                }
+            })
+            .collect()
+    }
+
+    fn resolve(&self, arg: &RhsArg, bindings: &[Option<Value>]) -> Result<Value, Error> {
+        match arg {
+            RhsArg::Const(v) => Ok(*v),
+            RhsArg::Var(v) => self.lookup_binding(*v, bindings),
+            RhsArg::Compute(expr) => self.eval_compute(expr, bindings),
+        }
+    }
+
+    /// Evaluates a `(compute …)` expression left-associatively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] if an operand is bound to a symbol, or
+    /// on division/modulus by zero.
+    fn eval_compute(
+        &self,
+        expr: &crate::ast::ComputeExpr,
+        bindings: &[Option<Value>],
+    ) -> Result<Value, Error> {
+        use crate::ast::{ArithOp, ComputeOperand};
+        let operand = |o: &ComputeOperand| -> Result<i64, Error> {
+            match o {
+                ComputeOperand::Const(i) => Ok(*i),
+                ComputeOperand::Var(v) => match self.lookup_binding(*v, bindings)? {
+                    Value::Int(i) => Ok(i),
+                    Value::Sym(_) => Err(Error::runtime(format!(
+                        "compute operand {v} is bound to a symbol"
+                    ))),
+                },
+            }
+        };
+        let mut acc = operand(&expr.first)?;
+        for (op, o) in &expr.rest {
+            let rhs = operand(o)?;
+            acc = match op {
+                ArithOp::Add => acc.wrapping_add(rhs),
+                ArithOp::Sub => acc.wrapping_sub(rhs),
+                ArithOp::Mul => acc.wrapping_mul(rhs),
+                ArithOp::Div => {
+                    if rhs == 0 {
+                        return Err(Error::runtime("compute division by zero"));
+                    }
+                    acc / rhs
+                }
+                ArithOp::Mod => {
+                    if rhs == 0 {
+                        return Err(Error::runtime("compute modulus by zero"));
+                    }
+                    acc % rhs
+                }
+            };
+        }
+        Ok(Value::Int(acc))
+    }
+
+    fn lookup_binding(&self, var: VarId, bindings: &[Option<Value>]) -> Result<Value, Error> {
+        bindings
+            .get(var.index())
+            .copied()
+            .flatten()
+            .ok_or_else(|| Error::runtime(format!("unbound variable {var} at fire time")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ConditionElement;
+    use crate::matcher::MatchDelta;
+    use crate::parser::{parse_program, parse_wme};
+
+    /// A reference matcher that recomputes all instantiations from scratch
+    /// on every change using the AST-level semantics. Slow but obviously
+    /// correct; the real baselines live in the `baselines` crate (this one
+    /// exists so `ops5` is testable stand-alone).
+    #[derive(Debug)]
+    struct OracleMatcher {
+        program: Program,
+        current: HashSet<Instantiation>,
+        /// WMEs the matcher considers live (it may lag `wm` within a
+        /// batch: removed WMEs stay resolvable there until the batch is
+        /// fully processed).
+        live: HashSet<WmeId>,
+    }
+
+    impl OracleMatcher {
+        fn new(program: &Program) -> Self {
+            OracleMatcher {
+                program: program.clone(),
+                current: HashSet::new(),
+                live: HashSet::new(),
+            }
+        }
+
+        fn all_instantiations(&self, wm: &WorkingMemory) -> HashSet<Instantiation> {
+            let mut out = HashSet::new();
+            for p in &self.program.productions {
+                let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> =
+                    vec![(Vec::new(), vec![None; p.variables.len()])];
+                for ce in &p.ces {
+                    partial = extend(ce, wm, &self.live, partial);
+                }
+                for (wmes, _) in partial {
+                    out.insert(Instantiation::new(p.id, wmes));
+                }
+            }
+            out
+        }
+
+        fn refresh(&mut self, wm: &WorkingMemory) -> MatchDelta {
+            let next = self.all_instantiations(wm);
+            let added = next.difference(&self.current).cloned().collect();
+            let removed = self.current.difference(&next).cloned().collect();
+            self.current = next;
+            MatchDelta { added, removed }
+        }
+    }
+
+    /// Extends partial matches by one condition element (reference join).
+    fn extend(
+        ce: &ConditionElement,
+        wm: &WorkingMemory,
+        live: &HashSet<WmeId>,
+        partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)>,
+    ) -> Vec<(Vec<WmeId>, Vec<Option<Value>>)> {
+        let mut out = Vec::new();
+        for (wmes, bindings) in partial {
+            if ce.negated {
+                let blocked = wm.iter().filter(|(id, _, _)| live.contains(id)).any(
+                    |(_, wme, _)| {
+                        // Local variables of the negated CE start unbound.
+                        let mut local = bindings.clone();
+                        crate::ast::match_and_bind(ce, wme, &mut local)
+                    },
+                );
+                if !blocked {
+                    out.push((wmes, bindings));
+                }
+            } else {
+                for (id, wme, _) in wm.iter().filter(|(id, _, _)| live.contains(id)) {
+                    let mut b = bindings.clone();
+                    if crate::ast::match_and_bind(ce, wme, &mut b) {
+                        let mut w = wmes.clone();
+                        w.push(id);
+                        out.push((w, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    impl Matcher for OracleMatcher {
+        fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+            self.live.insert(id);
+            self.refresh(wm)
+        }
+        fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+            self.live.remove(&id);
+            self.refresh(wm)
+        }
+        fn algorithm_name(&self) -> &'static str {
+            "oracle"
+        }
+    }
+
+    fn interpreter(src: &str) -> Interpreter<OracleMatcher> {
+        let program = parse_program(src).unwrap();
+        let matcher = OracleMatcher::new(&program);
+        Interpreter::new(program, matcher)
+    }
+
+    #[test]
+    fn paper_figure_2_1_fires_and_modifies() {
+        let mut interp = interpreter(
+            r#"
+            (p find-colored-blk
+               (goal ^type find-blk ^color <c>)
+               (block ^id <i> ^color <c> ^selected no)
+               -->
+               (modify 2 ^selected yes))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        let goal = parse_wme("(goal ^type find-blk ^color red)", syms).unwrap();
+        let b1 = parse_wme("(block ^id 1 ^color red ^selected no)", syms).unwrap();
+        let b2 = parse_wme("(block ^id 2 ^color blue ^selected no)", syms).unwrap();
+        interp.insert_all([goal, b1, b2]);
+        assert_eq!(interp.conflict_set().len(), 1, "only the red block matches");
+
+        let fired = interp.run(10).unwrap();
+        assert_eq!(fired, 1, "after modify, selected=yes blocks the rule");
+        let selected = interp.program().symbols.lookup("selected").unwrap();
+        let yes = interp.program().symbols.lookup("yes").unwrap();
+        let n = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w, _)| w.get(selected) == Some(Value::Sym(yes)))
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn counting_loop_runs_to_halt() {
+        let mut interp = interpreter(
+            r#"
+            (p count-up
+               (counter ^value <v> ^limit > <v>)
+               -->
+               (write tick <v>)
+               (modify 1 ^value 1))
+            (p done
+               (counter ^value <v> ^limit <v>)
+               -->
+               (write done <v>)
+               (halt))
+            "#,
+        );
+        // `modify 1 ^value 1` sets value to constant 1; to actually count
+        // we need arithmetic OPS5 `compute` which we do not model, so this
+        // program "counts" 0 -> 1 then halts at limit 1.
+        let syms = &mut interp.program.symbols.clone();
+        let c = parse_wme("(counter ^value 0 ^limit 1)", syms).unwrap();
+        interp.insert(c);
+        let fired = interp.run(100).unwrap();
+        assert_eq!(fired, 2);
+        assert_eq!(
+            interp.output(),
+            &["tick 0".to_string(), "done 1".to_string()]
+        );
+        assert_eq!(interp.cycle().unwrap(), CycleOutcome::Halted);
+    }
+
+    #[test]
+    fn negated_ce_blocks_until_clear() {
+        let mut interp = interpreter(
+            r#"
+            (p proceed
+               (goal ^act go)
+               - (obstacle)
+               -->
+               (write moving)
+               (remove 1))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        let goal = parse_wme("(goal ^act go)", syms).unwrap();
+        let obstacle = parse_wme("(obstacle)", syms).unwrap();
+        interp.insert(goal);
+        let ob = interp.insert(obstacle);
+        assert!(interp.conflict_set().is_empty(), "obstacle blocks");
+        // Retract the obstacle through the public API path: a production
+        // would do this; here we simulate by removing via matcher contract.
+        let delta = interp.matcher.remove_wme(&interp.wm.clone(), ob);
+        interp.conflict.apply(&delta);
+        interp.wm.remove(ob);
+        assert_eq!(interp.conflict_set().len(), 1);
+        assert_eq!(interp.run(10).unwrap(), 1);
+        assert_eq!(interp.output(), &["moving".to_string()]);
+    }
+
+    #[test]
+    fn quiescence_without_rules() {
+        let mut interp = interpreter("(p r (never ^x 1) --> (halt))");
+        assert_eq!(interp.cycle().unwrap(), CycleOutcome::Quiescent);
+        assert_eq!(interp.run(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn refraction_prevents_infinite_refiring() {
+        let mut interp = interpreter(
+            r#"
+            (p loop-forever (thing ^here yes) --> (write saw-it))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(thing ^here yes)", syms).unwrap());
+        let fired = interp.run(100).unwrap();
+        assert_eq!(fired, 1, "refraction allows exactly one firing");
+        assert_eq!(interp.output().len(), 1);
+    }
+
+    #[test]
+    fn stats_count_changes() {
+        let mut interp = interpreter(
+            r#"
+            (p expand (seed ^n <n>) --> (make leaf ^of <n>) (make leaf2 ^of <n>) (remove 1))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(seed ^n 7)", syms).unwrap());
+        interp.run(10).unwrap();
+        let stats = interp.stats();
+        assert_eq!(stats.firings, 1);
+        // 1 initial insert + (1 remove + 2 makes) = 4 changes.
+        assert_eq!(stats.wme_changes, 4);
+        assert_eq!(stats.inserts, 3);
+        assert_eq!(stats.deletes, 1);
+        assert!((stats.changes_per_firing() - 4.0).abs() < 1e-9);
+        assert!(stats.conflict_set_peak >= 1);
+    }
+
+    #[test]
+    fn compute_evaluates_left_associatively() {
+        let mut interp = interpreter(
+            r#"
+            (p calc (in ^n <n>)
+               -->
+               (remove 1)
+               (write (compute <n> + 1 * 2))      ; (5+1)*2 = 12, no precedence
+               (write (compute 10 - <n> - 2))     ; (10-5)-2 = 3
+               (write (compute <n> // 2))         ; 2
+               (write (compute <n> \\ 3)))        ; 2
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(in ^n 5)", syms).unwrap());
+        interp.run(5).unwrap();
+        assert_eq!(interp.output(), &["12", "3", "2", "2"]);
+    }
+
+    #[test]
+    fn bind_extends_and_shadows_bindings() {
+        let mut interp = interpreter(
+            r#"
+            (p b (a ^x <n>)
+               -->
+               (remove 1)
+               (bind <tmp> (compute <n> * 2))
+               (write first <tmp>)
+               (bind <tmp> (compute <tmp> + 1))
+               (write then <tmp>)
+               (bind <n> 0)
+               (write shadowed <n>))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(a ^x 21)", syms).unwrap());
+        interp.run(5).unwrap();
+        assert_eq!(
+            interp.output(),
+            &["first 42", "then 43", "shadowed 0"]
+        );
+    }
+
+    #[test]
+    fn compute_division_by_zero_is_a_runtime_error() {
+        let mut interp = interpreter(
+            "(p bad (in ^n <n>) --> (write (compute 1 // <n>)))",
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(in ^n 0)", syms).unwrap());
+        let err = interp.run(5).unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn compute_on_symbol_binding_is_a_runtime_error() {
+        let mut interp = interpreter(
+            "(p bad (in ^n <n>) --> (write (compute <n> + 1)))",
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(in ^n red)", syms).unwrap());
+        let err = interp.run(5).unwrap_err();
+        assert!(err.to_string().contains("bound to a symbol"));
+    }
+
+    #[test]
+    fn variable_bindings_flow_to_rhs() {
+        let mut interp = interpreter(
+            r#"
+            (p copy (src ^val <v> ^tag <t>) --> (make dst ^val <v> ^tag <t>) (remove 1))
+            "#,
+        );
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(src ^val 42 ^tag hello)", syms).unwrap());
+        interp.run(10).unwrap();
+        let dst = interp.program().symbols.lookup("dst").unwrap();
+        let val = interp.program().symbols.lookup("val").unwrap();
+        let found: Vec<_> = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w, _)| w.class() == dst)
+            .collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1.get(val), Some(Value::Int(42)));
+    }
+}

@@ -1,0 +1,456 @@
+//! Lexer for the OPS5 surface syntax.
+//!
+//! Token inventory follows Section 2.1 of the paper: parentheses,
+//! `^attribute` operators, `<var>` variables, predicate symbols
+//! (`<`, `<=`, `>`, `>=`, `<>`, `=`, `<=>`), conjunctive braces,
+//! disjunctive `<< … >>`, the `-->` arrow, `-` for negated condition
+//! elements, symbolic atoms, and integers. Comments run from `;` to end
+//! of line.
+
+use crate::error::Error;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// Token kinds of the OPS5 surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<<`
+    LDisj,
+    /// `>>`
+    RDisj,
+    /// `-->`
+    Arrow,
+    /// `-` (condition-element negation)
+    Minus,
+    /// `^attr`
+    Caret(String),
+    /// `<name>`
+    Variable(String),
+    /// A predicate operator: `=`, `<>`, `<`, `<=`, `>`, `>=`, `<=>`.
+    Pred(PredToken),
+    /// A symbolic atom.
+    Symbol(String),
+    /// An integer literal.
+    Integer(i64),
+}
+
+/// Predicate operator spellings (resolved to [`crate::PredOp`] by the
+/// parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredToken {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<=>`
+    SameType,
+}
+
+/// A streaming lexer over OPS5 source text.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::Lexer;
+///
+/// let tokens = Lexer::tokenize("(p r1 (a ^x <v>) --> (halt))").unwrap();
+/// assert!(!tokens.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+fn is_sym_char(b: u8) -> bool {
+    // Symbols may contain letters, digits, and common punctuation used by
+    // OPS5 identifiers like `find-blk` or `eight*puzzle`.
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'*' | b'.' | b'?' | b'!' | b'/' | b'+')
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenizes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lex`] on an unexpected character or an unterminated
+    /// variable.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, Error> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(tok) = lx.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<u8> {
+        self.src.get(self.pos + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn read_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lex`] on malformed input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, Error> {
+        self.skip_ws_and_comments();
+        let line = self.line;
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let kind = match b {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'^' => {
+                self.bump();
+                let name = self.read_while(is_sym_char);
+                if name.is_empty() {
+                    return Err(Error::Lex {
+                        offset: self.pos,
+                        message: "`^` must be followed by an attribute name".into(),
+                    });
+                }
+                TokenKind::Caret(name)
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Pred(PredToken::Eq)
+            }
+            b'>' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::RDisj
+                    }
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Pred(PredToken::Ge)
+                    }
+                    _ => TokenKind::Pred(PredToken::Gt),
+                }
+            }
+            b'<' => self.lex_angle()?,
+            b'-' => {
+                // `-->`, a negative integer, or CE negation.
+                if self.peek_at(1) == Some(b'-') && self.peek_at(2) == Some(b'>') {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    TokenKind::Arrow
+                } else if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                    let digits = self.read_while(|c| c.is_ascii_digit());
+                    TokenKind::Integer(-parse_int(&digits, self.pos)?)
+                } else {
+                    self.bump();
+                    TokenKind::Minus
+                }
+            }
+            b'\\' => {
+                // OPS5 spells modulus `\\`.
+                self.bump();
+                if self.peek() == Some(b'\\') {
+                    self.bump();
+                    TokenKind::Symbol("\\\\".into())
+                } else {
+                    return Err(Error::Lex {
+                        offset: self.pos,
+                        message: "expected `\\\\` (modulus)".into(),
+                    });
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let digits = self.read_while(|c| c.is_ascii_digit());
+                TokenKind::Integer(parse_int(&digits, self.pos)?)
+            }
+            b if is_sym_char(b) => {
+                let name = self.read_while(is_sym_char);
+                TokenKind::Symbol(name)
+            }
+            other => {
+                return Err(Error::Lex {
+                    offset: self.pos,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        Ok(Some(Token { kind, line }))
+    }
+
+    /// Disambiguates tokens beginning with `<`: `<<`, `<=>`, `<=`, `<>`,
+    /// `<var>`, or bare `<`.
+    fn lex_angle(&mut self) -> Result<TokenKind, Error> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.bump();
+        match self.peek() {
+            Some(b'<') => {
+                self.bump();
+                Ok(TokenKind::LDisj)
+            }
+            Some(b'=') => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Ok(TokenKind::Pred(PredToken::SameType))
+                } else {
+                    Ok(TokenKind::Pred(PredToken::Le))
+                }
+            }
+            Some(b'>') => {
+                self.bump();
+                Ok(TokenKind::Pred(PredToken::Ne))
+            }
+            Some(b) if is_sym_char(b) => {
+                let name = self.read_while(is_sym_char);
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Ok(TokenKind::Variable(name))
+                } else {
+                    Err(Error::Lex {
+                        offset: self.pos,
+                        message: format!("unterminated variable `<{name}`"),
+                    })
+                }
+            }
+            _ => Ok(TokenKind::Pred(PredToken::Lt)),
+        }
+    }
+}
+
+fn parse_int(digits: &str, offset: usize) -> Result<i64, Error> {
+    digits.parse::<i64>().map_err(|_| Error::Lex {
+        offset,
+        message: format!("integer literal `{digits}` out of range"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_structure_tokens() {
+        assert_eq!(
+            kinds("( ) { } << >> -->"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LDisj,
+                TokenKind::RDisj,
+                TokenKind::Arrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates_disambiguate() {
+        assert_eq!(
+            kinds("< <= <> <=> > >= ="),
+            vec![
+                TokenKind::Pred(PredToken::Lt),
+                TokenKind::Pred(PredToken::Le),
+                TokenKind::Pred(PredToken::Ne),
+                TokenKind::Pred(PredToken::SameType),
+                TokenKind::Pred(PredToken::Gt),
+                TokenKind::Pred(PredToken::Ge),
+                TokenKind::Pred(PredToken::Eq),
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_attrs() {
+        assert_eq!(
+            kinds("<x> ^color <long-name2>"),
+            vec![
+                TokenKind::Variable("x".into()),
+                TokenKind::Caret("color".into()),
+                TokenKind::Variable("long-name2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative() {
+        assert_eq!(
+            kinds("12 -5 0"),
+            vec![
+                TokenKind::Integer(12),
+                TokenKind::Integer(-5),
+                TokenKind::Integer(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_alone_is_negation() {
+        assert_eq!(
+            kinds("- (x)"),
+            vec![
+                TokenKind::Minus,
+                TokenKind::LParen,
+                TokenKind::Symbol("x".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_with_punctuation() {
+        assert_eq!(
+            kinds("find-blk eight*puzzle a_b"),
+            vec![
+                TokenKind::Symbol("find-blk".into()),
+                TokenKind::Symbol("eight*puzzle".into()),
+                TokenKind::Symbol("a_b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = Lexer::tokenize("; header\n(p ; trailing\nfoo)").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::LParen);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[2].kind, TokenKind::Symbol("foo".into()));
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_variable_errors() {
+        assert!(Lexer::tokenize("<abc").is_err());
+    }
+
+    #[test]
+    fn caret_requires_name() {
+        assert!(Lexer::tokenize("^ )").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(Lexer::tokenize("@").is_err());
+    }
+
+    #[test]
+    fn sample_production_from_paper_lexes() {
+        // Figure 2-1 of the paper, transliterated.
+        let src = r#"
+            (p find-colored-blk
+               (goal ^type find-blk ^color <c>)
+               (block ^id <i> ^color <c> ^selected no)
+               -->
+               (modify 2 ^selected yes))
+        "#;
+        let toks = Lexer::tokenize(src).unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Variable("c".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Arrow));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Caret("selected".into())));
+    }
+}

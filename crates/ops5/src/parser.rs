@@ -1,0 +1,1068 @@
+//! Parser for the OPS5 surface syntax.
+//!
+//! Grammar (Section 2.1 of the paper):
+//!
+//! ```text
+//! program    := production*
+//! production := '(' 'p' name ce+ '-->' action* ')'
+//! ce         := ['-'] '(' class ('^attr' value-test)* ')'
+//! value-test := const | <var> | pred (const | <var>)
+//!             | '{' value-test+ '}' | '<<' const+ '>>'
+//! action     := '(' 'make' class ('^attr' rhs-arg)* ')'
+//!             | '(' 'remove' int+ ')'
+//!             | '(' 'modify' int ('^attr' rhs-arg)* ')'
+//!             | '(' 'write' rhs-arg* ')'
+//!             | '(' 'halt' ')'
+//! ```
+//!
+//! Element designators in `remove`/`modify` are 1-based over *all*
+//! condition elements and must name a non-negated one, as in OPS5.
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    Action, ArithOp, BindingSite, ComputeExpr, ComputeOperand, ConditionElement, PredOp,
+    Production, ProductionId, Program, RhsArg, TestArg, ValueTest, VarId,
+};
+use crate::error::Error;
+use crate::lexer::{Lexer, PredToken, Token, TokenKind};
+use crate::symbol::SymbolTable;
+use crate::value::Value;
+use crate::wme::Wme;
+
+/// Parses a whole OPS5 program.
+///
+/// # Errors
+///
+/// Returns [`Error`] on lexical, syntactic, or semantic problems
+/// (duplicate production names, bad element designators, RHS variables
+/// that are never bound by a positive condition element, …).
+///
+/// # Examples
+///
+/// ```
+/// let program = ops5::parse_program(
+///     "(p done (goal ^state finished) --> (halt))",
+/// )?;
+/// assert_eq!(program.productions.len(), 1);
+/// # Ok::<(), ops5::Error>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, Error> {
+    let mut program = Program::new();
+    Parser::new(src)?.parse_into(&mut program)?;
+    Ok(program)
+}
+
+/// Parses one WME literal, e.g. `(block ^color red ^size 3)`, interning
+/// symbols into `symbols`.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the literal is malformed or contains variables.
+pub fn parse_wme(src: &str, symbols: &mut SymbolTable) -> Result<Wme, Error> {
+    let mut wmes = parse_wmes(src, symbols)?;
+    match wmes.len() {
+        1 => Ok(wmes.pop().expect("length checked")),
+        n => Err(Error::Parse {
+            line: 1,
+            message: format!("expected exactly one WME literal, found {n}"),
+        }),
+    }
+}
+
+/// Parses a sequence of WME literals (e.g. an initial working memory).
+///
+/// # Errors
+///
+/// Returns [`Error`] if any literal is malformed.
+pub fn parse_wmes(src: &str, symbols: &mut SymbolTable) -> Result<Vec<Wme>, Error> {
+    let mut parser = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !parser.at_end() {
+        out.push(parser.parse_wme_literal(symbols)?);
+    }
+    Ok(out)
+}
+
+/// A recursive-descent parser over a token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Per-production parsing state: variable interning and occurrence
+/// tracking used to compute binding sites.
+#[derive(Debug, Default)]
+struct ProdCtx {
+    var_ids: HashMap<String, VarId>,
+    variables: Vec<String>,
+    /// (ce index over all CEs, positive ce index, attr) of the first bare
+    /// occurrence of each variable in a positive CE.
+    first_bare: Vec<Option<BindingSite>>,
+    /// Variables bound (so far) by RHS `bind` actions.
+    rhs_bound: std::collections::HashSet<VarId>,
+}
+
+impl ProdCtx {
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.var_ids.get(name) {
+            return v;
+        }
+        let v = VarId(self.variables.len() as u16);
+        self.variables.push(name.to_owned());
+        self.var_ids.insert(name.to_owned(), v);
+        self.first_bare.push(None);
+        v
+    }
+}
+
+impl Parser {
+    /// Creates a parser by tokenizing `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lex`] if tokenization fails.
+    pub fn new(src: &str) -> Result<Self, Error> {
+        Ok(Parser {
+            tokens: Lexer::tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// True when all tokens have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), Error> {
+        match self.bump() {
+            Some(ref k) if k == kind => Ok(()),
+            Some(other) => Err(self.err(format!("expected {what}, found {other:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_symbol(&mut self, what: &str) -> Result<String, Error> {
+        match self.bump() {
+            Some(TokenKind::Symbol(s)) => Ok(s),
+            Some(other) => Err(self.err(format!("expected {what}, found {other:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Parses every top-level form (`p` productions and `literalize`
+    /// declarations) in the stream into `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or semantic error encountered, including
+    /// uses of undeclared attributes on literalized classes.
+    pub fn parse_into(&mut self, program: &mut Program) -> Result<(), Error> {
+        while !self.at_end() {
+            self.expect(&TokenKind::LParen, "`(` starting a top-level form")?;
+            let head = self.expect_symbol("`p` or `literalize`")?;
+            match head.as_str() {
+                "p" => {
+                    let production = self.parse_production(program)?;
+                    if program.productions.iter().any(|p| p.name == production.name) {
+                        return Err(Error::Semantic {
+                            production: production.name,
+                            message: "duplicate production name".into(),
+                        });
+                    }
+                    program.productions.push(production);
+                }
+                "literalize" => self.parse_literalize(program)?,
+                other => {
+                    return Err(self.err(format!(
+                        "expected `p` or `literalize` at top level, found `{other}`"
+                    )))
+                }
+            }
+        }
+        validate_literalizations(program)
+    }
+
+    /// Parses `(literalize class attr …)` after the head symbol.
+    fn parse_literalize(&mut self, program: &mut Program) -> Result<(), Error> {
+        let class_name = self.expect_symbol("class for `literalize`")?;
+        let class = program.symbols.intern(&class_name);
+        let mut attrs = Vec::new();
+        loop {
+            match self.bump() {
+                Some(TokenKind::RParen) => break,
+                Some(TokenKind::Symbol(a)) => attrs.push(program.symbols.intern(&a)),
+                other => {
+                    return Err(self.err(format!(
+                        "expected an attribute name in `literalize`, found {other:?}"
+                    )))
+                }
+            }
+        }
+        program
+            .literalizations
+            .entry(class)
+            .or_default()
+            .extend(attrs);
+        Ok(())
+    }
+
+    /// Parses a production body after `(p` has been consumed.
+    fn parse_production(&mut self, program: &mut Program) -> Result<Production, Error> {
+        let name = self.expect_symbol("production name")?;
+
+        let mut ctx = ProdCtx::default();
+        let mut ces = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Arrow) => {
+                    self.bump();
+                    break;
+                }
+                Some(TokenKind::Minus) | Some(TokenKind::LParen) => {
+                    ces.push(self.parse_ce(program, &mut ctx, &ces)?);
+                }
+                _ => return Err(self.err("expected a condition element or `-->`")),
+            }
+        }
+        if !ces.iter().any(|ce: &ConditionElement| !ce.negated) {
+            return Err(Error::Semantic {
+                production: name,
+                message: "a production needs at least one positive condition element".into(),
+            });
+        }
+
+        let mut actions = Vec::new();
+        while self.peek() != Some(&TokenKind::RParen) {
+            self.parse_action(program, &mut ctx, &ces, &name, &mut actions)?;
+        }
+        self.expect(&TokenKind::RParen, "`)` closing the production")?;
+
+        let specificity = ces.iter().map(ConditionElement::test_count).sum();
+        Ok(Production {
+            name,
+            id: ProductionId(program.productions.len() as u32),
+            ces,
+            actions,
+            variables: ctx.variables,
+            binding_sites: ctx.first_bare,
+            specificity,
+        })
+    }
+
+    fn parse_ce(
+        &mut self,
+        program: &mut Program,
+        ctx: &mut ProdCtx,
+        earlier: &[ConditionElement],
+    ) -> Result<ConditionElement, Error> {
+        let negated = if self.peek() == Some(&TokenKind::Minus) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::LParen, "`(` starting a condition element")?;
+        let class_name = self.expect_symbol("condition-element class")?;
+        let class = program.symbols.intern(&class_name);
+
+        let positive_index = earlier.iter().filter(|ce| !ce.negated).count();
+        let mut tests = Vec::new();
+        loop {
+            match self.bump() {
+                Some(TokenKind::RParen) => break,
+                Some(TokenKind::Caret(attr_name)) => {
+                    let attr = program.symbols.intern(&attr_name);
+                    let test = self.parse_value_test(program, ctx)?;
+                    if !negated {
+                        record_bare_bindings(&test, ctx, positive_index, attr);
+                    }
+                    tests.push((attr, test));
+                }
+                Some(other) => {
+                    return Err(self.err(format!(
+                        "expected `^attr` or `)` in condition element, found {other:?}"
+                    )))
+                }
+                None => return Err(self.err("unterminated condition element")),
+            }
+        }
+        Ok(ConditionElement {
+            class,
+            tests,
+            negated,
+        })
+    }
+
+    fn parse_value_test(
+        &mut self,
+        program: &mut Program,
+        ctx: &mut ProdCtx,
+    ) -> Result<ValueTest, Error> {
+        match self.bump() {
+            Some(TokenKind::Symbol(s)) => Ok(ValueTest::Const(Value::Sym(program.symbols.intern(&s)))),
+            Some(TokenKind::Integer(i)) => Ok(ValueTest::Const(Value::Int(i))),
+            Some(TokenKind::Variable(v)) => Ok(ValueTest::Var(ctx.var(&v))),
+            Some(TokenKind::Pred(p)) => {
+                let op = pred_op(p);
+                let arg = match self.bump() {
+                    Some(TokenKind::Symbol(s)) => {
+                        TestArg::Const(Value::Sym(program.symbols.intern(&s)))
+                    }
+                    Some(TokenKind::Integer(i)) => TestArg::Const(Value::Int(i)),
+                    Some(TokenKind::Variable(v)) => TestArg::Var(ctx.var(&v)),
+                    other => {
+                        return Err(self.err(format!(
+                            "predicate `{op}` needs a constant or variable operand, found {other:?}"
+                        )))
+                    }
+                };
+                Ok(ValueTest::Pred(op, arg))
+            }
+            Some(TokenKind::LBrace) => {
+                let mut inner = Vec::new();
+                while self.peek() != Some(&TokenKind::RBrace) {
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated `{` conjunction"));
+                    }
+                    inner.push(self.parse_value_test(program, ctx)?);
+                }
+                self.bump();
+                if inner.is_empty() {
+                    return Err(self.err("empty `{}` conjunction"));
+                }
+                Ok(ValueTest::Conj(inner))
+            }
+            Some(TokenKind::LDisj) => {
+                let mut vals = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(TokenKind::RDisj) => break,
+                        Some(TokenKind::Symbol(s)) => {
+                            vals.push(Value::Sym(program.symbols.intern(&s)))
+                        }
+                        Some(TokenKind::Integer(i)) => vals.push(Value::Int(i)),
+                        other => {
+                            return Err(self.err(format!(
+                                "disjunctions may contain only constants, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                if vals.is_empty() {
+                    return Err(self.err("empty `<< >>` disjunction"));
+                }
+                Ok(ValueTest::Disj(vals))
+            }
+            other => Err(self.err(format!("expected a value test, found {other:?}"))),
+        }
+    }
+
+    fn parse_action(
+        &mut self,
+        program: &mut Program,
+        ctx: &mut ProdCtx,
+        ces: &[ConditionElement],
+        prod_name: &str,
+        actions: &mut Vec<Action>,
+    ) -> Result<(), Error> {
+        self.expect(&TokenKind::LParen, "`(` starting an action")?;
+        let head = self.expect_symbol("action name")?;
+        match head.as_str() {
+            "make" => {
+                let class_name = self.expect_symbol("class for `make`")?;
+                let class = program.symbols.intern(&class_name);
+                let attrs = self.parse_rhs_attrs(program, ctx, prod_name)?;
+                actions.push(Action::Make { class, attrs });
+            }
+            "remove" => {
+                let mut any = false;
+                while let Some(TokenKind::Integer(_)) = self.peek() {
+                    let Some(TokenKind::Integer(k)) = self.bump() else {
+                        unreachable!()
+                    };
+                    let positive_ce = designator_to_positive(k, ces, prod_name)?;
+                    actions.push(Action::Remove { positive_ce });
+                    any = true;
+                }
+                if !any {
+                    return Err(self.err("`remove` needs at least one element designator"));
+                }
+                self.expect(&TokenKind::RParen, "`)` closing `remove`")?;
+                return Ok(());
+            }
+            "modify" => {
+                let k = match self.bump() {
+                    Some(TokenKind::Integer(k)) => k,
+                    other => {
+                        return Err(
+                            self.err(format!("`modify` needs an element designator, found {other:?}"))
+                        )
+                    }
+                };
+                let positive_ce = designator_to_positive(k, ces, prod_name)?;
+                let attrs = self.parse_rhs_attrs(program, ctx, prod_name)?;
+                self.expect(&TokenKind::RParen, "`)` closing `modify`")?;
+                actions.push(Action::Modify { positive_ce, attrs });
+                return Ok(());
+            }
+            "write" => {
+                let mut args = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(TokenKind::RParen) => break,
+                        Some(TokenKind::Symbol(s)) => {
+                            args.push(RhsArg::Const(Value::Sym(program.symbols.intern(&s))))
+                        }
+                        Some(TokenKind::Integer(i)) => args.push(RhsArg::Const(Value::Int(i))),
+                        Some(TokenKind::Variable(v)) => {
+                            args.push(RhsArg::Var(self.rhs_var(ctx, &v, prod_name)?))
+                        }
+                        Some(TokenKind::LParen) => {
+                            args.push(RhsArg::Compute(self.parse_compute(ctx, prod_name)?))
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unexpected token in `write`: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                actions.push(Action::Write { args });
+                return Ok(());
+            }
+            "halt" => {
+                self.expect(&TokenKind::RParen, "`)` closing `halt`")?;
+                actions.push(Action::Halt);
+                return Ok(());
+            }
+            "bind" => {
+                let var = match self.bump() {
+                    Some(TokenKind::Variable(v)) => ctx.var(&v),
+                    other => {
+                        return Err(self.err(format!(
+                            "`bind` needs a variable, found {other:?}"
+                        )))
+                    }
+                };
+                let value = match self.bump() {
+                    Some(TokenKind::Symbol(s)) => {
+                        RhsArg::Const(Value::Sym(program.symbols.intern(&s)))
+                    }
+                    Some(TokenKind::Integer(i)) => RhsArg::Const(Value::Int(i)),
+                    Some(TokenKind::Variable(v)) => {
+                        RhsArg::Var(self.rhs_var(ctx, &v, prod_name)?)
+                    }
+                    Some(TokenKind::LParen) => {
+                        RhsArg::Compute(self.parse_compute(ctx, prod_name)?)
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "`bind` needs a value, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::RParen, "`)` closing `bind`")?;
+                // Later actions may now reference the variable.
+                ctx.rhs_bound.insert(var);
+                actions.push(Action::Bind { var, value });
+                return Ok(());
+            }
+            other => return Err(self.err(format!("unknown action `{other}`"))),
+        }
+        self.expect(&TokenKind::RParen, "`)` closing the action")?;
+        Ok(())
+    }
+
+    fn parse_rhs_attrs(
+        &mut self,
+        program: &mut Program,
+        ctx: &ProdCtx,
+        prod_name: &str,
+    ) -> Result<Vec<(crate::symbol::SymbolId, RhsArg)>, Error> {
+        let mut attrs = Vec::new();
+        while self.peek() != Some(&TokenKind::RParen) {
+            match self.bump() {
+                Some(TokenKind::Caret(attr_name)) => {
+                    let attr = program.symbols.intern(&attr_name);
+                    let arg = match self.bump() {
+                        Some(TokenKind::Symbol(s)) => {
+                            RhsArg::Const(Value::Sym(program.symbols.intern(&s)))
+                        }
+                        Some(TokenKind::Integer(i)) => RhsArg::Const(Value::Int(i)),
+                        Some(TokenKind::Variable(v)) => {
+                            RhsArg::Var(self.rhs_var(ctx, &v, prod_name)?)
+                        }
+                        Some(TokenKind::LParen) => {
+                            RhsArg::Compute(self.parse_compute(ctx, prod_name)?)
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected a value after `^{attr_name}`, found {other:?}"
+                            )))
+                        }
+                    };
+                    attrs.push((attr, arg));
+                }
+                other => {
+                    return Err(self.err(format!("expected `^attr` in action, found {other:?}")))
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Parses `(compute operand {op operand})` after the opening paren
+    /// has been consumed.
+    fn parse_compute(&mut self, ctx: &ProdCtx, prod_name: &str) -> Result<ComputeExpr, Error> {
+        let head = self.expect_symbol("`compute`")?;
+        if head != "compute" {
+            return Err(self.err(format!(
+                "only `(compute …)` is allowed in a value position, found `({head}`"
+            )));
+        }
+        let first = self.parse_compute_operand(ctx, prod_name)?;
+        let mut rest = Vec::new();
+        loop {
+            let op = match self.bump() {
+                Some(TokenKind::RParen) => break,
+                Some(TokenKind::Symbol(s)) => match s.as_str() {
+                    "+" => ArithOp::Add,
+                    "*" => ArithOp::Mul,
+                    "//" => ArithOp::Div,
+                    "\\\\" => ArithOp::Mod,
+                    other => {
+                        return Err(self.err(format!(
+                            "unknown arithmetic operator `{other}` in compute"
+                        )))
+                    }
+                },
+                Some(TokenKind::Minus) => ArithOp::Sub,
+                other => {
+                    return Err(self.err(format!(
+                        "expected an operator or `)` in compute, found {other:?}"
+                    )))
+                }
+            };
+            rest.push((op, self.parse_compute_operand(ctx, prod_name)?));
+        }
+        Ok(ComputeExpr { first, rest })
+    }
+
+    fn parse_compute_operand(
+        &mut self,
+        ctx: &ProdCtx,
+        prod_name: &str,
+    ) -> Result<ComputeOperand, Error> {
+        match self.bump() {
+            Some(TokenKind::Integer(i)) => Ok(ComputeOperand::Const(i)),
+            Some(TokenKind::Variable(v)) => {
+                Ok(ComputeOperand::Var(self.rhs_var(ctx, &v, prod_name)?))
+            }
+            other => Err(self.err(format!(
+                "compute operands are integers or variables, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Resolves an RHS variable reference, requiring it to be bound by a
+    /// positive condition element or by an earlier `bind` action.
+    fn rhs_var(&self, ctx: &ProdCtx, name: &str, prod_name: &str) -> Result<VarId, Error> {
+        match ctx.var_ids.get(name) {
+            Some(&v) if ctx.first_bare[v.index()].is_some() || ctx.rhs_bound.contains(&v) => {
+                Ok(v)
+            }
+            _ => Err(Error::Semantic {
+                production: prod_name.to_owned(),
+                message: format!(
+                    "variable `<{name}>` used on the right-hand side is never bound by a \
+                     positive condition element or an earlier `bind`"
+                ),
+            }),
+        }
+    }
+
+    /// Parses one WME literal `(class ^attr const …)`.
+    fn parse_wme_literal(&mut self, symbols: &mut SymbolTable) -> Result<Wme, Error> {
+        self.expect(&TokenKind::LParen, "`(` starting a WME")?;
+        let class_name = self.expect_symbol("WME class")?;
+        let class = symbols.intern(&class_name);
+        let mut attrs = Vec::new();
+        loop {
+            match self.bump() {
+                Some(TokenKind::RParen) => break,
+                Some(TokenKind::Caret(attr_name)) => {
+                    let attr = symbols.intern(&attr_name);
+                    let value = match self.bump() {
+                        Some(TokenKind::Symbol(s)) => Value::Sym(symbols.intern(&s)),
+                        Some(TokenKind::Integer(i)) => Value::Int(i),
+                        other => {
+                            return Err(self.err(format!(
+                                "WME attribute values must be constants, found {other:?}"
+                            )))
+                        }
+                    };
+                    attrs.push((attr, value));
+                }
+                other => {
+                    return Err(self.err(format!("expected `^attr` or `)` in WME, found {other:?}")))
+                }
+            }
+        }
+        Ok(Wme::new(class, attrs))
+    }
+}
+
+/// Records the binding site of every bare variable occurrence in `test`
+/// (first occurrence in a positive CE wins).
+fn record_bare_bindings(
+    test: &ValueTest,
+    ctx: &mut ProdCtx,
+    positive_ce: usize,
+    attr: crate::symbol::SymbolId,
+) {
+    match test {
+        ValueTest::Var(v) => {
+            let slot = &mut ctx.first_bare[v.index()];
+            if slot.is_none() {
+                *slot = Some(BindingSite { positive_ce, attr });
+            }
+        }
+        ValueTest::Conj(ts) => {
+            for t in ts {
+                record_bare_bindings(t, ctx, positive_ce, attr);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks every attribute use against `literalize` declarations: when a
+/// class is declared, only declared attributes may be tested or written.
+fn validate_literalizations(program: &Program) -> Result<(), Error> {
+    if program.literalizations.is_empty() {
+        return Ok(());
+    }
+    let check = |prod: &str, class: crate::symbol::SymbolId, attr: crate::symbol::SymbolId| {
+        match program.literalizations.get(&class) {
+            Some(decl) if !decl.contains(&attr) => Err(Error::Semantic {
+                production: prod.to_owned(),
+                message: format!(
+                    "attribute `{}` is not literalized for class `{}`",
+                    program.symbols.name(attr),
+                    program.symbols.name(class)
+                ),
+            }),
+            _ => Ok(()),
+        }
+    };
+    for p in &program.productions {
+        for ce in &p.ces {
+            for (attr, _) in &ce.tests {
+                check(&p.name, ce.class, *attr)?;
+            }
+        }
+        let positive: Vec<&ConditionElement> =
+            p.ces.iter().filter(|ce| !ce.negated).collect();
+        for action in &p.actions {
+            match action {
+                Action::Make { class, attrs } => {
+                    for (attr, _) in attrs {
+                        check(&p.name, *class, *attr)?;
+                    }
+                }
+                Action::Modify { positive_ce, attrs } => {
+                    let class = positive[*positive_ce].class;
+                    for (attr, _) in attrs {
+                        check(&p.name, class, *attr)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn pred_op(p: PredToken) -> PredOp {
+    match p {
+        PredToken::Eq => PredOp::Eq,
+        PredToken::Ne => PredOp::Ne,
+        PredToken::Lt => PredOp::Lt,
+        PredToken::Le => PredOp::Le,
+        PredToken::Gt => PredOp::Gt,
+        PredToken::Ge => PredOp::Ge,
+        PredToken::SameType => PredOp::SameType,
+    }
+}
+
+/// Converts a 1-based designator over all CEs to a 0-based index into the
+/// positive CEs, rejecting designators that point at negated CEs.
+fn designator_to_positive(
+    k: i64,
+    ces: &[ConditionElement],
+    prod_name: &str,
+) -> Result<usize, Error> {
+    let idx = usize::try_from(k - 1).ok().filter(|i| *i < ces.len());
+    match idx {
+        Some(i) if !ces[i].negated => Ok(ces[..i].iter().filter(|ce| !ce.negated).count()),
+        Some(_) => Err(Error::Semantic {
+            production: prod_name.to_owned(),
+            message: format!("element designator {k} names a negated condition element"),
+        }),
+        None => Err(Error::Semantic {
+            production: prod_name.to_owned(),
+            message: format!("element designator {k} is out of range"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Action, ValueTest};
+
+    #[test]
+    fn parses_paper_figure_2_1() {
+        let program = parse_program(
+            r#"
+            (p find-colored-blk
+               (goal ^type find-blk ^color <c>)
+               (block ^id <i> ^color <c> ^selected no)
+               -->
+               (modify 2 ^selected yes))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.productions.len(), 1);
+        let p = &program.productions[0];
+        assert_eq!(p.name, "find-colored-blk");
+        assert_eq!(p.ces.len(), 2);
+        assert_eq!(p.variables, vec!["c", "i"]);
+        // <c> binds in CE 0 at ^color.
+        let site = p.binding_sites[0].unwrap();
+        assert_eq!(site.positive_ce, 0);
+        assert_eq!(program.symbols.name(site.attr), "color");
+        assert!(matches!(p.actions[0], Action::Modify { positive_ce: 1, .. }));
+        // class + 2 tests, class + 3 tests
+        assert_eq!(p.specificity, 3 + 4);
+    }
+
+    #[test]
+    fn parses_paper_figure_2_2_productions() {
+        // p1 and p2 from Figure 2-2 (reconstructed from the network).
+        let program = parse_program(
+            r#"
+            (p p1 (c1 ^attr1 <x> ^attr2 12)
+                  (c2 ^attr1 15 ^attr2 <x>)
+                  (c3 ^attr1 <x>)
+                  -->
+                  (modify 1 ^attr1 12))
+            (p p2 (c2 ^attr1 15 ^attr2 <y>)
+                  (c4 ^attr1 <y>)
+                  -->
+                  (remove 2))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.productions.len(), 2);
+        assert_eq!(program.productions[0].ces.len(), 3);
+        assert_eq!(program.productions[1].ces.len(), 2);
+    }
+
+    #[test]
+    fn negated_ce_and_designators() {
+        let program = parse_program(
+            r#"
+            (p no-red
+               (goal ^want block)
+               - (block ^color red)
+               -->
+               (remove 1))
+            "#,
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        assert!(p.ces[1].negated);
+        assert_eq!(p.positive_ce_count(), 1);
+        assert!(matches!(p.actions[0], Action::Remove { positive_ce: 0 }));
+    }
+
+    #[test]
+    fn designator_on_negated_ce_is_rejected() {
+        let err = parse_program(
+            r#"
+            (p bad (a ^x 1) - (b ^y 2) --> (remove 2))
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn designator_out_of_range_is_rejected() {
+        let err = parse_program("(p bad (a ^x 1) --> (remove 3))").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rhs_variable_must_be_bound_positively() {
+        let err = parse_program(
+            r#"
+            (p bad (a ^x 1) - (b ^y <z>) --> (make c ^v <z>))
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    fn conjunction_and_disjunction_tests() {
+        let program = parse_program(
+            r#"
+            (p range
+               (reading ^value { > 0 <= 100 <v> } ^unit << celsius kelvin >>)
+               -->
+               (make ok ^value <v>))
+            "#,
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        let (_, test) = &p.ces[0].tests[0];
+        match test {
+            ValueTest::Conj(ts) => assert_eq!(ts.len(), 3),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+        let (_, disj) = &p.ces[0].tests[1];
+        assert!(matches!(disj, ValueTest::Disj(vs) if vs.len() == 2));
+        // <v> bound inside the conjunction is usable on the RHS.
+        assert!(p.binding_sites[0].is_some());
+    }
+
+    #[test]
+    fn duplicate_production_names_rejected() {
+        let err = parse_program(
+            "(p r (a ^x 1) --> (halt)) (p r (a ^x 2) --> (halt))",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn production_needs_positive_ce() {
+        let err = parse_program("(p neg - (a ^x 1) --> (halt))").unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn remove_accepts_multiple_designators() {
+        let program =
+            parse_program("(p r2 (a ^x 1) (b ^y 2) --> (remove 1 2))").unwrap();
+        assert_eq!(program.productions[0].actions.len(), 2);
+    }
+
+    #[test]
+    fn write_and_halt_actions() {
+        let program = parse_program(
+            "(p w (a ^x <v>) --> (write found <v> 42) (halt))",
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        assert!(matches!(&p.actions[0], Action::Write { args } if args.len() == 3));
+        assert!(matches!(p.actions[1], Action::Halt));
+    }
+
+    #[test]
+    fn parse_wme_literal_works() {
+        let mut syms = SymbolTable::new();
+        let wme = parse_wme("(block ^color red ^size 3)", &mut syms).unwrap();
+        let color = syms.lookup("color").unwrap();
+        let red = syms.lookup("red").unwrap();
+        assert_eq!(wme.get(color), Some(Value::Sym(red)));
+    }
+
+    #[test]
+    fn parse_wmes_multiple() {
+        let mut syms = SymbolTable::new();
+        let wmes = parse_wmes("(a ^x 1) (b ^y 2) (c)", &mut syms).unwrap();
+        assert_eq!(wmes.len(), 3);
+    }
+
+    #[test]
+    fn wme_with_variable_is_rejected() {
+        let mut syms = SymbolTable::new();
+        assert!(parse_wme("(a ^x <v>)", &mut syms).is_err());
+    }
+
+    #[test]
+    fn variables_shared_across_ces_get_one_id() {
+        let program = parse_program(
+            "(p share (a ^x <v>) (b ^y <v>) --> (halt))",
+        )
+        .unwrap();
+        assert_eq!(program.productions[0].variables.len(), 1);
+    }
+
+    #[test]
+    fn pred_with_variable_operand() {
+        let program = parse_program(
+            "(p cmp (a ^x <v>) (b ^y > <v>) --> (halt))",
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        let (_, test) = &p.ces[1].tests[0];
+        assert!(matches!(
+            test,
+            ValueTest::Pred(PredOp::Gt, TestArg::Var(_))
+        ));
+    }
+
+    #[test]
+    fn bind_action_introduces_rhs_variables() {
+        let program = parse_program(
+            r#"
+            (p b (a ^x <n>)
+               -->
+               (bind <tmp> (compute <n> * 2))
+               (make out ^v <tmp>)
+               (bind <tmp> 5)
+               (write <tmp>))
+            "#,
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        assert!(matches!(p.actions[0], Action::Bind { .. }));
+        // <tmp> has no LHS binding site.
+        let tmp = p.variables.iter().position(|v| v == "tmp").unwrap();
+        assert!(p.binding_sites[tmp].is_none());
+    }
+
+    #[test]
+    fn rhs_variable_before_bind_is_rejected() {
+        let err = parse_program(
+            "(p b (a ^x 1) --> (make out ^v <tmp>) (bind <tmp> 5))",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    fn literalize_validates_attribute_use() {
+        // Declared attributes pass.
+        parse_program(
+            r#"
+            (literalize block color size)
+            (p ok (block ^color red) --> (modify 1 ^size 3))
+            "#,
+        )
+        .unwrap();
+        // Undeclared CE attribute fails.
+        let err = parse_program(
+            r#"
+            (literalize block color)
+            (p bad (block ^weight 9) --> (halt))
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not literalized"), "{err}");
+        // Undeclared make attribute fails, declaration order irrelevant.
+        let err = parse_program(
+            r#"
+            (p bad (goal ^g 1) --> (make block ^weight 9))
+            (literalize block color)
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not literalized"));
+        // Undeclared classes stay unchecked.
+        parse_program(
+            r#"
+            (literalize block color)
+            (p ok (goal ^anything 1) --> (make thing ^whatever 2))
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_top_level_form_is_rejected() {
+        assert!(parse_program("(frobnicate x)").is_err());
+    }
+
+    #[test]
+    fn compute_expressions_parse() {
+        let program = parse_program(
+            r#"
+            (p arith (c ^n <n>)
+               -->
+               (make out ^v (compute <n> + 1 * 2))
+               (make out2 ^v (compute 10 - <n>))
+               (make out3 ^v (compute <n> // 2 \\ 3))
+               (write (compute <n> + <n>)))
+            "#,
+        )
+        .unwrap();
+        let p = &program.productions[0];
+        assert_eq!(p.actions.len(), 4);
+        match &p.actions[0] {
+            Action::Make { attrs, .. } => match &attrs[0].1 {
+                RhsArg::Compute(e) => {
+                    assert_eq!(e.rest.len(), 2);
+                    assert_eq!(e.rest[0].0, crate::ast::ArithOp::Add);
+                    assert_eq!(e.rest[1].0, crate::ast::ArithOp::Mul);
+                }
+                other => panic!("expected compute, got {other:?}"),
+            },
+            other => panic!("expected make, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_rejects_bad_forms() {
+        // Unknown head.
+        assert!(parse_program("(p r (c ^n <n>) --> (make o ^v (frob 1)))").is_err());
+        // Symbol operand.
+        assert!(parse_program("(p r (c ^n <n>) --> (make o ^v (compute red + 1)))").is_err());
+        // Unknown operator.
+        assert!(parse_program("(p r (c ^n <n>) --> (make o ^v (compute 1 ? 2)))").is_err());
+        // Unbound variable operand.
+        assert!(parse_program("(p r (c ^n <n>) --> (make o ^v (compute <zz> + 1)))").is_err());
+    }
+
+    #[test]
+    fn unknown_action_is_rejected() {
+        assert!(parse_program("(p r (a ^x 1) --> (frobnicate))").is_err());
+    }
+
+    #[test]
+    fn empty_conj_or_disj_rejected() {
+        assert!(parse_program("(p r (a ^x { }) --> (halt))").is_err());
+        assert!(parse_program("(p r (a ^x << >>) --> (halt))").is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Interned symbols.
+//!
+//! OPS5 programs are made of symbolic constants (`goal`, `find-blk`,
+//! attribute names like `^color`). Interning them once at parse time lets
+//! every later comparison — the hot inner loop of match — be a single
+//! integer compare, which is also what the paper's cost model assumes
+//! ("simple loads, compares, and branches", Section 5).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned symbol.
+///
+/// Cheap to copy and compare; resolves to its text through the
+/// [`SymbolTable`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub(crate) u32);
+
+impl SymbolId {
+    /// Returns the raw index of this symbol in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SymbolId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from
+    /// [`SymbolId::index`] on the same table.
+    pub fn from_index(index: usize) -> Self {
+        SymbolId(index as u32)
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interning table mapping symbol text to [`SymbolId`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::SymbolTable;
+///
+/// let mut syms = SymbolTable::new();
+/// let a = syms.intern("goal");
+/// let b = syms.intern("goal");
+/// assert_eq!(a, b);
+/// assert_eq!(syms.name(a), "goal");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned symbol without inserting.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the text of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("x").is_none());
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = SymbolTable::new();
+        for s in ["goal", "block", "^color", "find-blk"] {
+            let id = t.intern(s);
+            assert_eq!(t.name(id), s);
+        }
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("q");
+        assert_eq!(SymbolId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("z");
+        assert!(!format!("{id}").is_empty());
+        assert!(!format!("{id:?}").is_empty());
+    }
+}

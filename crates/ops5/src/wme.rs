@@ -1,0 +1,368 @@
+//! Working memory: the database of assertions productions match against.
+
+use std::fmt;
+
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::value::Value;
+
+/// A working memory element: a class plus attribute–value pairs.
+///
+/// Attributes are kept sorted by attribute symbol so lookup is a binary
+/// search and structural equality is canonical.
+///
+/// # Examples
+///
+/// ```
+/// use ops5::{SymbolTable, Wme, Value};
+///
+/// let mut syms = SymbolTable::new();
+/// let class = syms.intern("block");
+/// let color = syms.intern("color");
+/// let red = syms.intern("red");
+/// let wme = Wme::new(class, vec![(color, Value::Sym(red))]);
+/// assert_eq!(wme.get(color), Some(Value::Sym(red)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Wme {
+    class: SymbolId,
+    attrs: Vec<(SymbolId, Value)>,
+}
+
+impl Wme {
+    /// Creates a WME, sorting the attribute list. A duplicated attribute
+    /// keeps its last value, matching OPS5 `make` semantics where later
+    /// `^attr value` pairs override earlier ones.
+    pub fn new(class: SymbolId, mut attrs: Vec<(SymbolId, Value)>) -> Self {
+        attrs.sort_by_key(|(a, _)| *a);
+        // Keep the last write for each attribute.
+        let mut dedup: Vec<(SymbolId, Value)> = Vec::with_capacity(attrs.len());
+        for (a, v) in attrs {
+            match dedup.last_mut() {
+                Some((pa, pv)) if *pa == a => *pv = v,
+                _ => dedup.push((a, v)),
+            }
+        }
+        Wme {
+            class,
+            attrs: dedup,
+        }
+    }
+
+    /// The class symbol of this element.
+    pub fn class(&self) -> SymbolId {
+        self.class
+    }
+
+    /// The value of `attr`, if present.
+    pub fn get(&self, attr: SymbolId) -> Option<Value> {
+        self.attrs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| self.attrs[i].1)
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn attrs(&self) -> impl Iterator<Item = (SymbolId, Value)> + '_ {
+        self.attrs.iter().copied()
+    }
+
+    /// Number of attribute–value pairs.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the element carries no attributes (class only).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Returns a copy with the given attributes overridden (the `modify`
+    /// action applies this, then re-asserts the element).
+    pub fn modified(&self, updates: &[(SymbolId, Value)]) -> Wme {
+        let mut attrs = self.attrs.clone();
+        for &(a, v) in updates {
+            match attrs.binary_search_by_key(&a, |(x, _)| *x) {
+                Ok(i) => attrs[i].1 = v,
+                Err(i) => attrs.insert(i, (a, v)),
+            }
+        }
+        Wme {
+            class: self.class,
+            attrs,
+        }
+    }
+
+    /// Renders the element in OPS5 surface syntax.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Wme, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "({}", self.1.name(self.0.class))?;
+                for (a, v) in &self.0.attrs {
+                    write!(f, " ^{} {}", self.1.name(*a), v.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, symbols)
+    }
+}
+
+/// A stable handle to a WME inside a [`WorkingMemory`].
+///
+/// Handles are never reused within one working memory's lifetime, so a
+/// dangling `WmeId` is detectable (`get` returns `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WmeId(pub(crate) u32);
+
+impl WmeId {
+    /// Raw index, useful for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from [`WmeId::index`].
+    pub fn from_index(i: usize) -> Self {
+        WmeId(i as u32)
+    }
+}
+
+impl fmt::Display for WmeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The recency time tag OPS5 attaches to every assertion.
+///
+/// Conflict resolution (LEX/MEA) is defined entirely in terms of these
+/// tags: a larger tag means a more recent assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeTag(pub u64);
+
+impl fmt::Display for TimeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The working memory: an arena of live WMEs with time tags.
+///
+/// `add` assigns a fresh [`WmeId`] and the next [`TimeTag`]; `remove`
+/// tombstones the slot. Matchers receive `&WorkingMemory` so tokens can
+/// store compact `WmeId`s and resolve them on demand.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingMemory {
+    slots: Vec<Option<(Wme, TimeTag)>>,
+    next_tag: u64,
+    live: usize,
+}
+
+impl WorkingMemory {
+    /// Creates an empty working memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts `wme`, returning its handle and recency tag.
+    pub fn add(&mut self, wme: Wme) -> (WmeId, TimeTag) {
+        self.next_tag += 1;
+        let tag = TimeTag(self.next_tag);
+        let id = WmeId(self.slots.len() as u32);
+        self.slots.push(Some((wme, tag)));
+        self.live += 1;
+        (id, tag)
+    }
+
+    /// Retracts `id`. Returns the element if it was live.
+    pub fn remove(&mut self, id: WmeId) -> Option<Wme> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let taken = slot.take();
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken.map(|(w, _)| w)
+    }
+
+    /// The element behind `id`, if still live.
+    pub fn get(&self, id: WmeId) -> Option<&Wme> {
+        self.slots.get(id.0 as usize)?.as_ref().map(|(w, _)| w)
+    }
+
+    /// The recency tag of `id`, if still live.
+    pub fn time_tag(&self, id: WmeId) -> Option<TimeTag> {
+        self.slots.get(id.0 as usize)?.as_ref().map(|(_, t)| *t)
+    }
+
+    /// Number of live elements (the paper's stable working-memory size
+    /// `s` in the Section 3.1 cost model).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over live `(id, wme, tag)` triples in assertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (WmeId, &Wme, TimeTag)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .map(|(w, t)| (WmeId(i as u32), w, *t))
+        })
+    }
+
+    /// Iterates over live WMEs of one class, the most common query in
+    /// application code inspecting results.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ops5::{SymbolTable, Wme, WorkingMemory};
+    ///
+    /// let mut syms = SymbolTable::new();
+    /// let block = syms.intern("block");
+    /// let goal = syms.intern("goal");
+    /// let mut wm = WorkingMemory::new();
+    /// wm.add(Wme::new(block, vec![]));
+    /// wm.add(Wme::new(goal, vec![]));
+    /// wm.add(Wme::new(block, vec![]));
+    /// assert_eq!(wm.by_class(block).count(), 2);
+    /// ```
+    pub fn by_class(&self, class: SymbolId) -> impl Iterator<Item = (WmeId, &Wme)> {
+        self.iter()
+            .filter(move |(_, w, _)| w.class() == class)
+            .map(|(id, w, _)| (id, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn fixture() -> (SymbolTable, Wme) {
+        let mut t = SymbolTable::new();
+        let class = t.intern("block");
+        let color = t.intern("color");
+        let size = t.intern("size");
+        let red = t.intern("red");
+        let wme = Wme::new(
+            class,
+            vec![(size, Value::Int(3)), (color, Value::Sym(red))],
+        );
+        (t, wme)
+    }
+
+    #[test]
+    fn attrs_are_sorted_and_deduped() {
+        let mut t = SymbolTable::new();
+        let c = t.intern("c");
+        let a1 = t.intern("a1");
+        let a2 = t.intern("a2");
+        let w = Wme::new(
+            c,
+            vec![
+                (a2, Value::Int(1)),
+                (a1, Value::Int(2)),
+                (a2, Value::Int(9)),
+            ],
+        );
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get(a2), Some(Value::Int(9)), "last write wins");
+        let order: Vec<SymbolId> = w.attrs().map(|(a, _)| a).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn get_missing_attr_is_none() {
+        let (mut t, wme) = fixture();
+        let missing = t.intern("weight");
+        assert_eq!(wme.get(missing), None);
+    }
+
+    #[test]
+    fn modified_overrides_and_inserts() {
+        let (mut t, wme) = fixture();
+        let color = t.lookup("color").unwrap();
+        let weight = t.intern("weight");
+        let blue = t.intern("blue");
+        let m = wme.modified(&[(color, Value::Sym(blue)), (weight, Value::Int(10))]);
+        assert_eq!(m.get(color), Some(Value::Sym(blue)));
+        assert_eq!(m.get(weight), Some(Value::Int(10)));
+        // The original is untouched.
+        assert_eq!(wme.get(weight), None);
+        assert_eq!(m.class(), wme.class());
+    }
+
+    #[test]
+    fn working_memory_add_remove_roundtrip() {
+        let (_t, wme) = fixture();
+        let mut wm = WorkingMemory::new();
+        let (id, tag) = wm.add(wme.clone());
+        assert_eq!(wm.len(), 1);
+        assert_eq!(wm.get(id), Some(&wme));
+        assert_eq!(wm.time_tag(id), Some(tag));
+        let removed = wm.remove(id);
+        assert_eq!(removed, Some(wme));
+        assert_eq!(wm.len(), 0);
+        assert_eq!(wm.get(id), None);
+        assert_eq!(wm.time_tag(id), None);
+        // Double-remove is a no-op.
+        assert_eq!(wm.remove(id), None);
+        assert_eq!(wm.len(), 0);
+    }
+
+    #[test]
+    fn time_tags_are_strictly_increasing() {
+        let (_t, wme) = fixture();
+        let mut wm = WorkingMemory::new();
+        let (_, t1) = wm.add(wme.clone());
+        let (id, t2) = wm.add(wme.clone());
+        wm.remove(id);
+        let (_, t3) = wm.add(wme);
+        assert!(t1 < t2 && t2 < t3, "tags never reused even after removal");
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let (_t, wme) = fixture();
+        let mut wm = WorkingMemory::new();
+        let (a, _) = wm.add(wme.clone());
+        let (b, _) = wm.add(wme.clone());
+        let (c, _) = wm.add(wme);
+        wm.remove(b);
+        let ids: Vec<WmeId> = wm.iter().map(|(i, _, _)| i).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+
+    #[test]
+    fn by_class_filters_and_respects_removals() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let mut wm = WorkingMemory::new();
+        let (id1, _) = wm.add(Wme::new(a, vec![]));
+        wm.add(Wme::new(b, vec![]));
+        wm.add(Wme::new(a, vec![]));
+        assert_eq!(wm.by_class(a).count(), 2);
+        assert_eq!(wm.by_class(b).count(), 1);
+        wm.remove(id1);
+        assert_eq!(wm.by_class(a).count(), 1);
+        let missing = t.intern("nothing");
+        assert_eq!(wm.by_class(missing).count(), 0);
+    }
+
+    #[test]
+    fn display_round_trips_syntax_shape() {
+        let (t, wme) = fixture();
+        let s = format!("{}", wme.display(&t));
+        assert!(s.starts_with("(block"));
+        assert!(s.contains("^color red"));
+        assert!(s.contains("^size 3"));
+        assert!(s.ends_with(')'));
+    }
+}

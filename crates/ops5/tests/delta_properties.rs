@@ -1,0 +1,109 @@
+//! Properties of the conflict-set delta algebra.
+//!
+//! `MatchDelta::merge` implements order-insensitive cancellation (an
+//! instantiation added by one change and removed by a later one nets to
+//! nothing). The parallel engine relies on this: per-worker deltas are
+//! merged in whatever order workers finish. These tests check that for
+//! any legal event history, any segmentation of the history into batches
+//! merges to the same net delta.
+
+use proptest::prelude::*;
+
+use ops5::{Instantiation, MatchDelta, ProductionId, WmeId};
+
+/// A legal event history over a small instantiation pool: each
+/// instantiation alternates add/remove starting with add.
+fn histories() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    // (instantiation index, is_add) — legality enforced by construction
+    // below, the raw vec just supplies entropy.
+    prop::collection::vec((0usize..6, any::<bool>()), 0..40)
+}
+
+fn inst(i: usize) -> Instantiation {
+    Instantiation::new(
+        ProductionId((i % 3) as u32),
+        vec![WmeId::from_index(i)],
+    )
+}
+
+/// Converts raw entropy into a legal signed event sequence.
+fn legalize(raw: &[(usize, bool)]) -> Vec<(usize, bool)> {
+    let mut present = [false; 6];
+    let mut out = Vec::new();
+    for &(i, _) in raw {
+        // Toggle: add when absent, remove when present — always legal.
+        out.push((i, !present[i]));
+        present[i] = !present[i];
+    }
+    out
+}
+
+fn delta_of(events: &[(usize, bool)]) -> MatchDelta {
+    let mut d = MatchDelta::new();
+    for &(i, add) in events {
+        let single = if add {
+            MatchDelta {
+                added: vec![inst(i)],
+                removed: vec![],
+            }
+        } else {
+            MatchDelta {
+                added: vec![],
+                removed: vec![inst(i)],
+            }
+        };
+        d.merge(single);
+    }
+    d
+}
+
+proptest! {
+    /// Any segmentation of a legal history merges to the same net delta.
+    #[test]
+    fn merge_is_segmentation_invariant(
+        raw in histories(),
+        cut_points in prop::collection::vec(0usize..40, 0..5),
+    ) {
+        let events = legalize(&raw);
+        let mut whole = delta_of(&events);
+        whole.canonicalize();
+
+        let mut cuts: Vec<usize> = cut_points
+            .into_iter()
+            .map(|c| c % (events.len() + 1))
+            .collect();
+        cuts.push(0);
+        cuts.push(events.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut merged = MatchDelta::new();
+        for pair in cuts.windows(2) {
+            merged.merge(delta_of(&events[pair[0]..pair[1]]));
+        }
+        merged.canonicalize();
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// The net delta equals the final presence state: added = present at
+    /// the end but not at the start (start is empty), removed = empty.
+    #[test]
+    fn net_delta_matches_final_state(raw in histories()) {
+        let events = legalize(&raw);
+        let mut present = [false; 6];
+        for &(i, add) in &events {
+            present[i] = add;
+        }
+        let mut d = delta_of(&events);
+        d.canonicalize();
+        let mut expected: Vec<Instantiation> = present
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| inst(i))
+            .collect();
+        expected.sort_by_key(|i| (i.production, i.wmes.clone()));
+        prop_assert_eq!(d.added, expected);
+        prop_assert!(d.removed.is_empty(), "history starts from empty");
+    }
+}

@@ -1,0 +1,56 @@
+//! Fuzz-style property tests for the front end: the lexer and parser
+//! must never panic, and errors must be reported, not swallowed.
+
+use proptest::prelude::*;
+
+use ops5::{parse_program, Lexer, SymbolTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input never panics the lexer.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in ".*") {
+        let _ = Lexer::tokenize(&s);
+    }
+
+    /// Arbitrary input never panics the parser.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in ".*") {
+        let _ = parse_program(&s);
+    }
+
+    /// OPS5-flavoured token soup never panics the parser either (this
+    /// reaches much deeper into the grammar than arbitrary bytes).
+    #[test]
+    fn parser_total_on_token_soup(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "(", ")", "{", "}", "<<", ">>", "-->", "-", "p", "make", "remove",
+            "modify", "write", "halt", "bind", "compute", "literalize",
+            "^a", "^color", "<x>", "<y>", "red", "7", "-3", "=", "<>", "<",
+            "<=", ">", ">=", "<=>", "+", "*", "//", "\\\\",
+        ]),
+        0..40,
+    )) {
+        let src = parts.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    /// Valid WME literals round-trip through display and reparse.
+    #[test]
+    fn wme_display_reparses(
+        class in "[a-z][a-z0-9]{0,6}",
+        attrs in prop::collection::vec(("[a-z][a-z0-9]{0,4}", -100i64..100), 0..4),
+    ) {
+        let mut syms = SymbolTable::new();
+        let mut src = format!("({class}");
+        for (a, v) in &attrs {
+            src.push_str(&format!(" ^{a} {v}"));
+        }
+        src.push(')');
+        let wme = ops5::parse_wme(&src, &mut syms).unwrap();
+        let printed = format!("{}", wme.display(&syms));
+        let reparsed = ops5::parse_wme(&printed, &mut syms).unwrap();
+        prop_assert_eq!(wme, reparsed);
+    }
+}

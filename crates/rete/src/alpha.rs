@@ -1,0 +1,398 @@
+//! The alpha network: shared constant-test nodes and alpha memories.
+//!
+//! Each distinct `(class, tests)` pattern compiles to one [`AlphaNode`],
+//! shared by every condition element that needs it — the paper's
+//! *"when two left-hand sides require identical nodes, the compiler
+//! shares part of the network rather than building duplicate nodes"*.
+
+use std::collections::HashMap;
+
+use ops5::{PredOp, ProductionId, SymbolId, Value, Wme};
+
+/// Handle to an alpha node (and its alpha memory) within an
+/// [`AlphaNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AlphaId(pub u32);
+
+impl AlphaId {
+    /// Raw index into [`AlphaNetwork::nodes`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A within-condition-element test, evaluable against a single WME.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlphaTest {
+    /// `wme.attr OP constant` (a bare constant compiles to `Eq`).
+    Const {
+        /// Attribute to read.
+        attr: SymbolId,
+        /// Predicate operator.
+        op: PredOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// `wme.attr ∈ {values}` — the `<< … >>` disjunction.
+    Disj {
+        /// Attribute to read.
+        attr: SymbolId,
+        /// Allowed constants.
+        values: Vec<Value>,
+    },
+    /// `wme.attr OP wme.other` — intra-CE variable consistency
+    /// (`(c ^a <x> ^b <> <x>)` compiles to `AttrCmp{b, Ne, a}`).
+    AttrCmp {
+        /// Attribute on the left of the operator.
+        attr: SymbolId,
+        /// Predicate operator.
+        op: PredOp,
+        /// Attribute whose value is the right operand.
+        other: SymbolId,
+    },
+    /// The attribute must be present (a bare variable's only alpha-level
+    /// requirement).
+    Present {
+        /// Attribute that must exist.
+        attr: SymbolId,
+    },
+}
+
+impl AlphaTest {
+    /// Evaluates the test against `wme`. Missing attributes fail.
+    pub fn eval(&self, wme: &Wme) -> bool {
+        match self {
+            AlphaTest::Const { attr, op, value } => {
+                wme.get(*attr).is_some_and(|v| v.compare(*op, *value))
+            }
+            AlphaTest::Disj { attr, values } => {
+                wme.get(*attr).is_some_and(|v| values.contains(&v))
+            }
+            AlphaTest::AttrCmp { attr, op, other } => match (wme.get(*attr), wme.get(*other)) {
+                (Some(a), Some(b)) => a.compare(*op, b),
+                _ => false,
+            },
+            AlphaTest::Present { attr } => wme.get(*attr).is_some(),
+        }
+    }
+}
+
+/// One alpha node: a conjunction of [`AlphaTest`]s over a class, plus the
+/// `(production, ce)` pairs subscribed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphaNode {
+    /// Required WME class.
+    pub class: SymbolId,
+    /// Tests, in canonical (sorted) order.
+    pub tests: Vec<AlphaTest>,
+    /// Condition elements fed by this node: `(production, ce index)`.
+    /// Used to compute the paper's "affected productions" measure and by
+    /// the TREAT baseline.
+    pub subscribers: Vec<(ProductionId, usize)>,
+}
+
+impl AlphaNode {
+    /// Evaluates all tests (class is checked by the caller's index).
+    pub fn eval(&self, wme: &Wme) -> bool {
+        debug_assert_eq!(wme.class(), self.class);
+        self.tests.iter().all(|t| t.eval(wme))
+    }
+}
+
+/// The alpha network: nodes, dispatch indexes, and a structural dedup
+/// table implementing node sharing.
+///
+/// Dispatch uses two levels, mirroring OPS5's compiled discrimination
+/// network: each node with an equality-with-constant test is *homed* on
+/// the bucket `(class, attr, value)` of that test, so a WME only visits
+/// nodes whose indexed constant it actually carries; nodes with no
+/// equality test are homed on the class-only bucket.
+#[derive(Debug, Clone, Default)]
+pub struct AlphaNetwork {
+    /// All alpha nodes, indexed by [`AlphaId`].
+    pub nodes: Vec<AlphaNode>,
+    class_index: HashMap<SymbolId, Vec<AlphaId>>,
+    /// `(class, attr, value)` → nodes homed on that constant.
+    const_index: HashMap<(SymbolId, SymbolId, Value), Vec<AlphaId>>,
+    /// Class → nodes with no equality constant to home on.
+    residual_index: HashMap<SymbolId, Vec<AlphaId>>,
+    dedup: HashMap<(SymbolId, Vec<AlphaTest>), AlphaId>,
+}
+
+impl AlphaNetwork {
+    /// Creates an empty alpha network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or shares) the node for `(class, tests)` and subscribes
+    /// `(production, ce_index)` to it. Tests are canonicalized by sorting.
+    ///
+    /// When `share` is false every call creates a fresh node — used to
+    /// measure the cost of losing sharing under production parallelism
+    /// (paper §4).
+    pub fn add_pattern(
+        &mut self,
+        class: SymbolId,
+        mut tests: Vec<AlphaTest>,
+        subscriber: (ProductionId, usize),
+        share: bool,
+    ) -> AlphaId {
+        tests.sort();
+        tests.dedup();
+        if share {
+            if let Some(&id) = self.dedup.get(&(class, tests.clone())) {
+                self.nodes[id.index()].subscribers.push(subscriber);
+                return id;
+            }
+        }
+        let id = AlphaId(self.nodes.len() as u32);
+        self.dedup.insert((class, tests.clone()), id);
+        // Home the node on one equality-constant bucket when possible.
+        let home = tests.iter().find_map(|t| match t {
+            AlphaTest::Const {
+                attr,
+                op: PredOp::Eq,
+                value,
+            } => Some((*attr, *value)),
+            _ => None,
+        });
+        match home {
+            Some((attr, value)) => self
+                .const_index
+                .entry((class, attr, value))
+                .or_default()
+                .push(id),
+            None => self.residual_index.entry(class).or_default().push(id),
+        }
+        self.nodes.push(AlphaNode {
+            class,
+            tests,
+            subscribers: vec![subscriber],
+        });
+        self.class_index.entry(class).or_default().push(id);
+        id
+    }
+
+    /// Alpha nodes that could match a WME of `class`.
+    pub fn candidates(&self, class: SymbolId) -> &[AlphaId] {
+        self.class_index.get(&class).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: AlphaId) -> &AlphaNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Evaluates `wme` against the candidate nodes reached through the
+    /// discrimination indexes, returning the matching ids and the number
+    /// of primitive tests evaluated (the constant-test work the cost
+    /// model charges; one test is charged per index probe).
+    pub fn matching(&self, wme: &Wme) -> (Vec<AlphaId>, u64) {
+        let class = wme.class();
+        let mut tests_evaluated = 0u64;
+        let mut out = Vec::new();
+        let visit = |ids: &[AlphaId], tests_evaluated: &mut u64, out: &mut Vec<AlphaId>| {
+            for &id in ids {
+                let node = &self.nodes[id.index()];
+                // Count short-circuit evaluation like the real
+                // interpreter.
+                let mut ok = true;
+                for t in &node.tests {
+                    *tests_evaluated += 1;
+                    if !t.eval(wme) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(id);
+                }
+            }
+        };
+        for (attr, value) in wme.attrs() {
+            tests_evaluated += 1; // the index probe itself
+            if let Some(ids) = self.const_index.get(&(class, attr, value)) {
+                visit(ids, &mut tests_evaluated, &mut out);
+            }
+        }
+        if let Some(ids) = self.residual_index.get(&class) {
+            visit(ids, &mut tests_evaluated, &mut out);
+        }
+        (out, tests_evaluated)
+    }
+
+    /// Number of alpha nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::SymbolTable;
+
+    struct Fx {
+        syms: SymbolTable,
+        class: SymbolId,
+        a: SymbolId,
+        b: SymbolId,
+    }
+
+    fn fx() -> Fx {
+        let mut syms = SymbolTable::new();
+        let class = syms.intern("c");
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        Fx { syms, class, a, b }
+    }
+
+    #[test]
+    fn const_test_eval() {
+        let f = fx();
+        let t = AlphaTest::Const {
+            attr: f.a,
+            op: PredOp::Gt,
+            value: Value::Int(5),
+        };
+        let w = Wme::new(f.class, vec![(f.a, Value::Int(7))]);
+        assert!(t.eval(&w));
+        let w2 = Wme::new(f.class, vec![(f.a, Value::Int(3))]);
+        assert!(!t.eval(&w2));
+        let w3 = Wme::new(f.class, vec![(f.b, Value::Int(7))]);
+        assert!(!t.eval(&w3), "missing attribute fails");
+    }
+
+    #[test]
+    fn attr_cmp_and_present() {
+        let f = fx();
+        let cmp = AlphaTest::AttrCmp {
+            attr: f.a,
+            op: PredOp::Eq,
+            other: f.b,
+        };
+        let w = Wme::new(f.class, vec![(f.a, Value::Int(2)), (f.b, Value::Int(2))]);
+        assert!(cmp.eval(&w));
+        let w2 = Wme::new(f.class, vec![(f.a, Value::Int(2)), (f.b, Value::Int(3))]);
+        assert!(!cmp.eval(&w2));
+        let present = AlphaTest::Present { attr: f.b };
+        assert!(present.eval(&w));
+        let w3 = Wme::new(f.class, vec![(f.a, Value::Int(2))]);
+        assert!(!present.eval(&w3));
+    }
+
+    #[test]
+    fn disj_eval() {
+        let f = fx();
+        let mut syms = f.syms;
+        let red = syms.intern("red");
+        let blue = syms.intern("blue");
+        let green = syms.intern("green");
+        let t = AlphaTest::Disj {
+            attr: f.a,
+            values: vec![Value::Sym(red), Value::Sym(blue)],
+        };
+        assert!(t.eval(&Wme::new(f.class, vec![(f.a, Value::Sym(blue))])));
+        assert!(!t.eval(&Wme::new(f.class, vec![(f.a, Value::Sym(green))])));
+    }
+
+    #[test]
+    fn sharing_dedups_identical_patterns() {
+        let f = fx();
+        let mut net = AlphaNetwork::new();
+        let tests = vec![AlphaTest::Const {
+            attr: f.a,
+            op: PredOp::Eq,
+            value: Value::Int(1),
+        }];
+        let id1 = net.add_pattern(f.class, tests.clone(), (ProductionId(0), 0), true);
+        let id2 = net.add_pattern(f.class, tests.clone(), (ProductionId(1), 2), true);
+        assert_eq!(id1, id2);
+        assert_eq!(net.len(), 1);
+        assert_eq!(
+            net.node(id1).subscribers,
+            vec![(ProductionId(0), 0), (ProductionId(1), 2)]
+        );
+        // Without sharing, a fresh node appears.
+        let id3 = net.add_pattern(f.class, tests, (ProductionId(2), 0), false);
+        assert_ne!(id3, id1);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn canonicalization_makes_order_irrelevant() {
+        let f = fx();
+        let mut net = AlphaNetwork::new();
+        let t1 = AlphaTest::Present { attr: f.a };
+        let t2 = AlphaTest::Const {
+            attr: f.b,
+            op: PredOp::Eq,
+            value: Value::Int(9),
+        };
+        let id1 = net.add_pattern(
+            f.class,
+            vec![t1.clone(), t2.clone()],
+            (ProductionId(0), 0),
+            true,
+        );
+        let id2 = net.add_pattern(f.class, vec![t2, t1], (ProductionId(1), 0), true);
+        assert_eq!(id1, id2);
+    }
+
+    #[test]
+    fn matching_dispatches_by_class_and_counts_tests() {
+        let f = fx();
+        let mut syms = f.syms;
+        let other_class = syms.intern("other");
+        let mut net = AlphaNetwork::new();
+        let pass = net.add_pattern(
+            f.class,
+            vec![AlphaTest::Const {
+                attr: f.a,
+                op: PredOp::Eq,
+                value: Value::Int(1),
+            }],
+            (ProductionId(0), 0),
+            true,
+        );
+        let _fail = net.add_pattern(
+            f.class,
+            vec![AlphaTest::Const {
+                attr: f.a,
+                op: PredOp::Eq,
+                value: Value::Int(2),
+            }],
+            (ProductionId(1), 0),
+            true,
+        );
+        let _other = net.add_pattern(other_class, vec![], (ProductionId(2), 0), true);
+
+        let w = Wme::new(f.class, vec![(f.a, Value::Int(1))]);
+        let (ids, tests) = net.matching(&w);
+        assert_eq!(ids, vec![pass]);
+        assert_eq!(tests, 2, "one test per same-class candidate");
+
+        let w_other = Wme::new(other_class, vec![]);
+        let (ids, tests) = net.matching(&w_other);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(tests, 0, "test-free node matches for free");
+    }
+
+    #[test]
+    fn candidates_of_unknown_class_is_empty() {
+        let f = fx();
+        let net = AlphaNetwork::new();
+        assert!(net.candidates(f.class).is_empty());
+        assert!(net.is_empty());
+    }
+}

@@ -1,0 +1,1289 @@
+//! The sequential Rete runtime: memories, node activations, and the
+//! [`ops5::Matcher`] implementation.
+//!
+//! Activations are processed from an explicit FIFO task queue rather
+//! than by recursion. This makes the unit of work — one node activation —
+//! explicit and identical to what the paper's parallel implementation
+//! schedules onto processors, and it gives the trace builder natural
+//! parent/child dependency edges.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ops5::{
+    Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory,
+};
+
+use std::collections::HashMap;
+
+use ops5::{PredOp, SymbolId, Value};
+
+use crate::network::{CompileOptions, JoinTest, Network, NodeId, NodeKind};
+use crate::stats::MatchStats;
+use crate::token::{Sign, Token};
+use crate::trace::{ActivationKind, Trace, TraceBuilder};
+
+/// How alpha memories are organized.
+///
+/// The 1986 OPS5 interpreters used linear lists; Gupta's parallel design
+/// hashed memories so concurrent activations rarely touch the same
+/// bucket. `Hashed` indexes each alpha memory by `(attribute, value)` so
+/// a left activation whose first join test is an equality probes one
+/// bucket instead of scanning the whole memory. This is the
+/// memory-organization ablation of DESIGN.md §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryStrategy {
+    /// Linear lists (paper-era default; what the captured traces model).
+    #[default]
+    Linear,
+    /// `(attribute, value)`-indexed alpha memories.
+    Hashed,
+}
+
+/// Mutable state of one beta node.
+#[derive(Debug, Clone)]
+enum NodeState {
+    /// Beta memory: resident tokens, plus — under
+    /// [`MemoryStrategy::Hashed`] — per-`(token position, attribute)`
+    /// value buckets used by downstream equality joins.
+    Mem {
+        tokens: Vec<Token>,
+        index: HashMap<(usize, SymbolId, Value), Vec<Token>>,
+    },
+    /// Negative node: tokens with their right-match counts.
+    Neg(Vec<NegEntry>),
+    /// Join and terminal nodes carry no state.
+    Stateless,
+}
+
+#[derive(Debug, Clone)]
+struct NegEntry {
+    token: Token,
+    count: u32,
+}
+
+/// A pending node activation.
+#[derive(Debug)]
+struct Task {
+    node: NodeId,
+    payload: Payload,
+    sign: Sign,
+    /// Trace id of the spawning activation.
+    parent: Option<u32>,
+}
+
+#[derive(Debug)]
+enum Payload {
+    /// Right activation: a WME arriving from an alpha memory.
+    Right(WmeId),
+    /// Left activation: a token arriving from upstream.
+    Left(Token),
+}
+
+/// The sequential Rete matcher.
+///
+/// This is the paper's "best known uniprocessor implementation" against
+/// which *true speed-up* is defined (Section 6, footnote 2).
+#[derive(Debug)]
+pub struct ReteMatcher {
+    network: Arc<Network>,
+    alpha_mems: Vec<Vec<WmeId>>,
+    /// Per-alpha `(attr, value)` buckets, maintained only under
+    /// [`MemoryStrategy::Hashed`].
+    alpha_index: Vec<HashMap<(SymbolId, Value), Vec<WmeId>>>,
+    /// For each beta memory, the `(token position, attribute)` keys its
+    /// downstream equality joins probe by (empty for other node kinds).
+    mem_keys: Vec<Vec<(usize, SymbolId)>>,
+    memory: MemoryStrategy,
+    states: Vec<NodeState>,
+    stats: MatchStats,
+    tracer: Option<TraceBuilder>,
+}
+
+impl ReteMatcher {
+    /// Compiles `program` and builds a matcher (sharing on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] for LHS constructs the compiler
+    /// rejects (predicate on a never-bound variable).
+    pub fn compile(program: &Program) -> Result<Self, Error> {
+        Ok(Self::from_network(Arc::new(Network::compile(program)?)))
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] as for [`ReteMatcher::compile`].
+    pub fn compile_with(program: &Program, options: CompileOptions) -> Result<Self, Error> {
+        Ok(Self::from_network(Arc::new(Network::compile_with(
+            program, options,
+        )?)))
+    }
+
+    /// Compiles with hashed alpha memories (see [`MemoryStrategy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] as for [`ReteMatcher::compile`].
+    pub fn compile_hashed(program: &Program) -> Result<Self, Error> {
+        let mut m = Self::compile(program)?;
+        m.memory = MemoryStrategy::Hashed;
+        Ok(m)
+    }
+
+    /// The memory organization in use.
+    pub fn memory_strategy(&self) -> MemoryStrategy {
+        self.memory
+    }
+
+    /// Builds a matcher over an already-compiled network.
+    pub fn from_network(network: Arc<Network>) -> Self {
+        // Negative nodes reachable from the dummy top node through a
+        // chain of leading negatives hold the top token from the start
+        // (their right memories begin empty, so it passes).
+        let mut top_reaches = vec![false; network.nodes.len()];
+        // Nodes are created parents-before-children, so one forward pass
+        // settles the chain.
+        for (i, spec) in network.nodes.iter().enumerate() {
+            if spec.kind == NodeKind::Negative {
+                top_reaches[i] = match spec.left {
+                    None => true,
+                    Some(left) => top_reaches[left.index()],
+                };
+            }
+        }
+        let states = network
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec.kind {
+                NodeKind::BetaMemory => NodeState::Mem {
+                    tokens: Vec::new(),
+                    index: HashMap::new(),
+                },
+                NodeKind::Negative => NodeState::Neg(if top_reaches[i] {
+                    vec![NegEntry {
+                        token: Token::top(),
+                        count: 0,
+                    }]
+                } else {
+                    Vec::new()
+                }),
+                NodeKind::Join | NodeKind::Terminal => NodeState::Stateless,
+            })
+            .collect();
+        // Which (token position, attribute) keys each beta memory must
+        // index for its downstream equality joins.
+        let mem_keys = network
+            .nodes
+            .iter()
+            .map(|spec| {
+                if spec.kind != NodeKind::BetaMemory {
+                    return Vec::new();
+                }
+                let mut keys: Vec<(usize, SymbolId)> = spec
+                    .children
+                    .iter()
+                    .filter_map(|&child| {
+                        network
+                            .node(child)
+                            .tests
+                            .iter()
+                            .find(|t| t.op == PredOp::Eq)
+                            .map(|t| (t.token_pos, t.token_attr))
+                    })
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            })
+            .collect();
+        ReteMatcher {
+            alpha_mems: vec![Vec::new(); network.alpha.len()],
+            alpha_index: vec![HashMap::new(); network.alpha.len()],
+            mem_keys,
+            memory: MemoryStrategy::Linear,
+            states,
+            network,
+            stats: MatchStats::default(),
+            tracer: None,
+        }
+    }
+
+    /// The compiled network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Starts recording a node-activation trace (discarding any previous
+    /// recording).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(TraceBuilder::new());
+    }
+
+    /// Stops tracing and returns the recorded trace (empty if tracing was
+    /// never enabled).
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take().map(TraceBuilder::finish).unwrap_or_default()
+    }
+
+    /// Number of WMEs resident in the alpha memory of `alpha`.
+    pub fn alpha_memory_len(&self, alpha: crate::alpha::AlphaId) -> usize {
+        self.alpha_mems[alpha.index()].len()
+    }
+
+    /// Total WME entries resident across all alpha memories.
+    pub fn resident_alpha_entries(&self) -> usize {
+        self.alpha_mems.iter().map(Vec::len).sum()
+    }
+
+    /// Total tokens resident across beta memories and negative nodes.
+    pub fn resident_tokens(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| match s {
+                NodeState::Mem { tokens, .. } => tokens.len(),
+                NodeState::Neg(e) => e.len(),
+                NodeState::Stateless => 0,
+            })
+            .sum()
+    }
+
+    fn trace_record(
+        &mut self,
+        parent: Option<u32>,
+        kind: ActivationKind,
+        node: u32,
+        tests: u32,
+        scanned: u32,
+        outputs: u32,
+    ) -> Option<u32> {
+        self.tracer
+            .as_mut()
+            .map(|t| t.record(parent, kind, node, tests, scanned, outputs))
+    }
+
+    /// Processes one WME change, accumulating conflict-set changes.
+    fn process_change(
+        &mut self,
+        wm: &WorkingMemory,
+        id: WmeId,
+        sign: Sign,
+        delta: &mut MatchDelta,
+    ) {
+        let wme = wm
+            .get(id)
+            .expect("matcher contract: changed WME must be resolvable");
+        self.stats.changes += 1;
+        if sign.is_plus() {
+            self.stats.inserts += 1;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_change(sign.is_plus());
+        }
+
+        let net = Arc::clone(&self.network);
+        let (alphas, const_tests) = net.alpha.matching(wme);
+        self.stats.constant_tests += const_tests;
+        let const_act = self.trace_record(
+            None,
+            ActivationKind::ConstantTest,
+            0,
+            const_tests as u32,
+            0,
+            alphas.len() as u32,
+        );
+        if self.tracer.is_some() {
+            let affected = net.affected_productions(&alphas);
+            if let Some(t) = self.tracer.as_mut() {
+                t.set_affected(affected);
+            }
+        }
+
+        let mut queue: VecDeque<Task> = VecDeque::new();
+        for &alpha in &alphas {
+            let mem = &mut self.alpha_mems[alpha.index()];
+            match sign {
+                Sign::Plus => mem.push(id),
+                Sign::Minus => {
+                    if let Some(pos) = mem.iter().position(|&w| w == id) {
+                        mem.swap_remove(pos);
+                    }
+                }
+            }
+            if self.memory == MemoryStrategy::Hashed {
+                let index = &mut self.alpha_index[alpha.index()];
+                for (attr, value) in wme.attrs() {
+                    let bucket = index.entry((attr, value)).or_default();
+                    match sign {
+                        Sign::Plus => bucket.push(id),
+                        Sign::Minus => {
+                            if let Some(pos) = bucket.iter().position(|&w| w == id) {
+                                bucket.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+            }
+            self.stats.alpha_mem_ops += 1;
+            let successors = &net.alpha_successors[alpha.index()];
+            let am_act = self.trace_record(
+                const_act,
+                ActivationKind::AlphaMem,
+                alpha.0,
+                0,
+                0,
+                successors.len() as u32,
+            );
+            for &succ in successors {
+                queue.push_back(Task {
+                    node: succ,
+                    payload: Payload::Right(id),
+                    sign,
+                    parent: am_act,
+                });
+            }
+        }
+
+        while let Some(task) = queue.pop_front() {
+            self.run_task(wm, task, &mut queue, delta);
+        }
+    }
+
+    fn run_task(
+        &mut self,
+        wm: &WorkingMemory,
+        task: Task,
+        queue: &mut VecDeque<Task>,
+        delta: &mut MatchDelta,
+    ) {
+        let net = Arc::clone(&self.network);
+        let spec = net.node(task.node);
+        match (spec.kind, task.payload) {
+            (NodeKind::Join, Payload::Right(wme_id)) => {
+                let wme = wm.get(wme_id).expect("live wme");
+                self.stats.right_activations += 1;
+                let mut outputs = Vec::new();
+                let mut tests_n = 0u32;
+                let mut scanned = 0u32;
+                let hashed_left = self.hashed_left_tokens(spec.left, &spec.tests, wme);
+                let mut body = |token: &Token| {
+                    scanned += 1;
+                    let (ok, n) = eval_join_tests(wm, &spec.tests, token, wme);
+                    tests_n += n;
+                    if ok {
+                        outputs.push(token.extended(wme_id));
+                    }
+                };
+                match &hashed_left {
+                    Some(tokens) => tokens.iter().for_each(&mut body),
+                    None => self.for_each_left_token(spec.left, body),
+                }
+                self.stats.join_tests += tests_n as u64;
+                self.stats.pairs_scanned += scanned as u64;
+                self.stats.tokens_created += outputs.len() as u64;
+                let act = self.trace_record(
+                    task.parent,
+                    ActivationKind::JoinRight,
+                    task.node.0,
+                    tests_n,
+                    scanned,
+                    outputs.len() as u32,
+                );
+                for token in outputs {
+                    self.dispatch_children(&spec.children, token, task.sign, act, queue);
+                }
+            }
+            (NodeKind::Join, Payload::Left(token)) => {
+                self.stats.left_activations += 1;
+                let mut outputs = Vec::new();
+                let mut tests_n = 0u32;
+                let mut scanned = 0u32;
+                let alpha = spec.alpha.expect("join has alpha");
+                let hashed = self.hashed_candidates(alpha, &spec.tests, &token, wm);
+                let candidates: &[WmeId] = match &hashed {
+                    Some(v) => v,
+                    None => &self.alpha_mems[alpha.index()],
+                };
+                for &wme_id in candidates {
+                    scanned += 1;
+                    let wme = wm.get(wme_id).expect("live wme in alpha memory");
+                    let (ok, n) = eval_join_tests(wm, &spec.tests, &token, wme);
+                    tests_n += n;
+                    if ok {
+                        outputs.push(token.extended(wme_id));
+                    }
+                }
+                self.stats.join_tests += tests_n as u64;
+                self.stats.pairs_scanned += scanned as u64;
+                self.stats.tokens_created += outputs.len() as u64;
+                let act = self.trace_record(
+                    task.parent,
+                    ActivationKind::JoinLeft,
+                    task.node.0,
+                    tests_n,
+                    scanned,
+                    outputs.len() as u32,
+                );
+                for out in outputs {
+                    self.dispatch_children(&spec.children, out, task.sign, act, queue);
+                }
+            }
+            (NodeKind::BetaMemory, Payload::Left(token)) => {
+                self.stats.beta_mem_ops += 1;
+                // Resolve the token's index-key values before borrowing
+                // the node state mutably.
+                let key_values: Vec<((usize, SymbolId), Option<Value>)> =
+                    if self.memory == MemoryStrategy::Hashed {
+                        self.mem_keys[task.node.index()]
+                            .iter()
+                            .map(|&(pos, attr)| {
+                                (
+                                    (pos, attr),
+                                    token
+                                        .wme_at(pos)
+                                        .and_then(|id| wm.get(id))
+                                        .and_then(|w| w.get(attr)),
+                                )
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                let NodeState::Mem { tokens, index } = &mut self.states[task.node.index()]
+                else {
+                    unreachable!("beta memory state")
+                };
+                match task.sign {
+                    Sign::Plus => {
+                        tokens.push(token.clone());
+                        self.stats.token_added();
+                        for ((pos, attr), value) in &key_values {
+                            if let Some(v) = value {
+                                index
+                                    .entry((*pos, *attr, *v))
+                                    .or_default()
+                                    .push(token.clone());
+                            }
+                        }
+                    }
+                    Sign::Minus => {
+                        if let Some(pos) = tokens.iter().position(|t| *t == token) {
+                            tokens.swap_remove(pos);
+                            self.stats.token_removed();
+                        } else {
+                            debug_assert!(false, "deleting token absent from beta memory");
+                        }
+                        for ((pos, attr), value) in &key_values {
+                            if let Some(v) = value {
+                                if let Some(bucket) = index.get_mut(&(*pos, *attr, *v)) {
+                                    if let Some(i) = bucket.iter().position(|t| *t == token) {
+                                        bucket.swap_remove(i);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let act = self.trace_record(
+                    task.parent,
+                    ActivationKind::BetaMem,
+                    task.node.0,
+                    0,
+                    0,
+                    spec.children.len() as u32,
+                );
+                for &child in &spec.children {
+                    queue.push_back(Task {
+                        node: child,
+                        payload: Payload::Left(token.clone()),
+                        sign: task.sign,
+                        parent: act,
+                    });
+                }
+            }
+            (NodeKind::Negative, Payload::Left(token)) => {
+                self.stats.left_activations += 1;
+                let alpha = spec.alpha.expect("negative has alpha");
+                let (propagate, tests_n, scanned) = match task.sign {
+                    Sign::Plus => {
+                        let mut count = 0u32;
+                        let mut tests_n = 0u32;
+                        let mut scanned = 0u32;
+                        let hashed = self.hashed_candidates(alpha, &spec.tests, &token, wm);
+                        let candidates: &[WmeId] = match &hashed {
+                            Some(v) => v,
+                            None => &self.alpha_mems[alpha.index()],
+                        };
+                        for &wme_id in candidates {
+                            scanned += 1;
+                            let wme = wm.get(wme_id).expect("live wme");
+                            let (ok, n) = eval_join_tests(wm, &spec.tests, &token, wme);
+                            tests_n += n;
+                            if ok {
+                                count += 1;
+                            }
+                        }
+                        let NodeState::Neg(entries) = &mut self.states[task.node.index()] else {
+                            unreachable!("negative state")
+                        };
+                        entries.push(NegEntry {
+                            token: token.clone(),
+                            count,
+                        });
+                        self.stats.token_added();
+                        (count == 0, tests_n, scanned)
+                    }
+                    Sign::Minus => {
+                        let NodeState::Neg(entries) = &mut self.states[task.node.index()] else {
+                            unreachable!("negative state")
+                        };
+                        let mut was_zero = false;
+                        if let Some(pos) = entries.iter().position(|e| e.token == token) {
+                            was_zero = entries[pos].count == 0;
+                            entries.swap_remove(pos);
+                            self.stats.token_removed();
+                        } else {
+                            debug_assert!(false, "deleting token absent from negative node");
+                        }
+                        (was_zero, 0, 0)
+                    }
+                };
+                self.stats.join_tests += tests_n as u64;
+                self.stats.pairs_scanned += scanned as u64;
+                let act = self.trace_record(
+                    task.parent,
+                    ActivationKind::NegativeLeft,
+                    task.node.0,
+                    tests_n,
+                    scanned,
+                    u32::from(propagate),
+                );
+                if propagate {
+                    self.dispatch_children(&spec.children, token, task.sign, act, queue);
+                }
+            }
+            (NodeKind::Negative, Payload::Right(wme_id)) => {
+                self.stats.right_activations += 1;
+                let wme = wm.get(wme_id).expect("live wme");
+                // Collect flips first (borrow of entries), then dispatch.
+                let mut flips: Vec<Token> = Vec::new();
+                let mut tests_n = 0u32;
+                let mut scanned = 0u32;
+                {
+                    let NodeState::Neg(entries) = &mut self.states[task.node.index()] else {
+                        unreachable!("negative state")
+                    };
+                    for entry in entries.iter_mut() {
+                        scanned += 1;
+                        let (ok, n) = eval_join_tests(wm, &spec.tests, &entry.token, wme);
+                        tests_n += n;
+                        if !ok {
+                            continue;
+                        }
+                        match task.sign {
+                            Sign::Plus => {
+                                entry.count += 1;
+                                if entry.count == 1 {
+                                    flips.push(entry.token.clone());
+                                }
+                            }
+                            Sign::Minus => {
+                                debug_assert!(entry.count > 0, "negative count underflow");
+                                entry.count = entry.count.saturating_sub(1);
+                                if entry.count == 0 {
+                                    flips.push(entry.token.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                self.stats.join_tests += tests_n as u64;
+                self.stats.pairs_scanned += scanned as u64;
+                let act = self.trace_record(
+                    task.parent,
+                    ActivationKind::NegativeRight,
+                    task.node.0,
+                    tests_n,
+                    scanned,
+                    flips.len() as u32,
+                );
+                // A new right match retracts instantiations; a removed
+                // one re-asserts them: the propagated sign is inverted.
+                let out_sign = match task.sign {
+                    Sign::Plus => Sign::Minus,
+                    Sign::Minus => Sign::Plus,
+                };
+                for token in flips {
+                    self.dispatch_children(&spec.children, token, out_sign, act, queue);
+                }
+            }
+            (NodeKind::Terminal, Payload::Left(token)) => {
+                self.stats.conflict_changes += 1;
+                self.trace_record(
+                    task.parent,
+                    ActivationKind::Terminal,
+                    task.node.0,
+                    0,
+                    0,
+                    1,
+                );
+                let inst = Instantiation::new(
+                    spec.production.expect("terminal has production"),
+                    token.into_wmes(),
+                );
+                let single = match task.sign {
+                    Sign::Plus => MatchDelta {
+                        added: vec![inst],
+                        removed: vec![],
+                    },
+                    Sign::Minus => MatchDelta {
+                        added: vec![],
+                        removed: vec![inst],
+                    },
+                };
+                delta.merge(single);
+            }
+            (kind, payload) => unreachable!(
+                "invalid activation: {kind:?} with {payload:?}",
+                kind = kind,
+                payload = match payload {
+                    Payload::Right(_) => "right",
+                    Payload::Left(_) => "left",
+                }
+            ),
+        }
+    }
+
+    /// Under [`MemoryStrategy::Hashed`], resolves the candidate tokens
+    /// of a *right* activation through the left beta memory's
+    /// `(position, attribute, value)` bucket for the first equality
+    /// join test. `None` means scan linearly (linear mode, dummy-top or
+    /// negative-node left input, or no equality test).
+    fn hashed_left_tokens(
+        &self,
+        left: Option<NodeId>,
+        tests: &[JoinTest],
+        wme: &Wme,
+    ) -> Option<Vec<Token>> {
+        if self.memory != MemoryStrategy::Hashed {
+            return None;
+        }
+        let id = left?;
+        let NodeState::Mem { index, .. } = &self.states[id.index()] else {
+            return None; // negative-node left inputs stay linear
+        };
+        let t = tests.iter().find(|t| t.op == PredOp::Eq)?;
+        Some(match wme.get(t.own_attr) {
+            Some(v) => index
+                .get(&(t.token_pos, t.token_attr, v))
+                .cloned()
+                .unwrap_or_default(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Under [`MemoryStrategy::Hashed`], resolves the candidate WMEs of
+    /// a left activation through the `(attr, value)` bucket of the first
+    /// equality join test. Returns `None` when linear scanning applies
+    /// (linear mode, or no equality test to index on); `Some(empty)`
+    /// when the token lacks the tested attribute (nothing can match).
+    fn hashed_candidates(
+        &self,
+        alpha: crate::alpha::AlphaId,
+        tests: &[JoinTest],
+        token: &Token,
+        wm: &WorkingMemory,
+    ) -> Option<Vec<WmeId>> {
+        if self.memory != MemoryStrategy::Hashed {
+            return None;
+        }
+        let t = tests.iter().find(|t| t.op == PredOp::Eq)?;
+        let value = token
+            .wme_at(t.token_pos)
+            .and_then(|id| wm.get(id))
+            .and_then(|w| w.get(t.token_attr));
+        Some(match value {
+            Some(v) => self.alpha_index[alpha.index()]
+                .get(&(t.own_attr, v))
+                .cloned()
+                .unwrap_or_default(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Iterates the tokens of a two-input node's left input: the dummy
+    /// top token, a beta memory, or a negative node's zero-count tokens.
+    fn for_each_left_token(&self, left: Option<NodeId>, mut f: impl FnMut(&Token)) {
+        match left {
+            None => f(&Token::top()),
+            Some(id) => match &self.states[id.index()] {
+                NodeState::Mem { tokens, .. } => tokens.iter().for_each(f),
+                NodeState::Neg(entries) => entries
+                    .iter()
+                    .filter(|e| e.count == 0)
+                    .for_each(|e| f(&e.token)),
+                NodeState::Stateless => unreachable!("left input must hold tokens"),
+            },
+        }
+    }
+
+    /// Routes a produced token to a two-input node's children.
+    fn dispatch_children(
+        &mut self,
+        children: &[NodeId],
+        token: Token,
+        sign: Sign,
+        parent: Option<u32>,
+        queue: &mut VecDeque<Task>,
+    ) {
+        for &child in children {
+            queue.push_back(Task {
+                node: child,
+                payload: Payload::Left(token.clone()),
+                sign,
+                parent,
+            });
+        }
+    }
+}
+
+/// Evaluates join tests with short-circuiting, returning success and the
+/// number of tests evaluated.
+fn eval_join_tests(
+    wm: &WorkingMemory,
+    tests: &[JoinTest],
+    token: &Token,
+    wme: &Wme,
+) -> (bool, u32) {
+    let mut n = 0u32;
+    for t in tests {
+        n += 1;
+        let own = wme.get(t.own_attr);
+        let other = token
+            .wme_at(t.token_pos)
+            .and_then(|id| wm.get(id))
+            .and_then(|w| w.get(t.token_attr));
+        match (own, other) {
+            (Some(a), Some(b)) if a.compare(t.op, b) => {}
+            _ => return (false, n),
+        }
+    }
+    (true, n)
+}
+
+impl Matcher for ReteMatcher {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        let mut delta = MatchDelta::new();
+        self.process_change(wm, id, Sign::Plus, &mut delta);
+        delta
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        let mut delta = MatchDelta::new();
+        self.process_change(wm, id, Sign::Minus, &mut delta);
+        delta
+    }
+
+    fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_cycle();
+        }
+        let mut delta = MatchDelta::new();
+        for &change in changes {
+            match change {
+                Change::Add(id) => self.process_change(wm, id, Sign::Plus, &mut delta),
+                Change::Remove(id) => self.process_change(wm, id, Sign::Minus, &mut delta),
+            }
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t.end_cycle();
+        }
+        delta
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "rete"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, Interpreter, SymbolTable};
+
+    fn setup(src: &str) -> (ops5::Program, ReteMatcher, WorkingMemory, SymbolTable) {
+        let program = parse_program(src).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let syms = program.symbols.clone();
+        (program, matcher, WorkingMemory::new(), syms)
+    }
+
+    fn add(
+        m: &mut ReteMatcher,
+        wm: &mut WorkingMemory,
+        syms: &mut SymbolTable,
+        lit: &str,
+    ) -> (WmeId, MatchDelta) {
+        let wme = parse_wme(lit, syms).unwrap();
+        let (id, _) = wm.add(wme);
+        let delta = m.add_wme(wm, id);
+        (id, delta)
+    }
+
+    fn remove(m: &mut ReteMatcher, wm: &mut WorkingMemory, id: WmeId) -> MatchDelta {
+        let delta = m.remove_wme(wm, id);
+        wm.remove(id);
+        delta
+    }
+
+    #[test]
+    fn single_ce_add_and_remove() {
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (block ^color red) --> (remove 1))");
+        let (id, delta) = add(&mut m, &mut wm, &mut syms, "(block ^color red)");
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.added[0].wmes, vec![id]);
+        let (_, delta2) = add(&mut m, &mut wm, &mut syms, "(block ^color blue)");
+        assert!(delta2.is_empty());
+        let delta3 = remove(&mut m, &mut wm, id);
+        assert_eq!(delta3.removed.len(), 1);
+        assert_eq!(m.resident_tokens(), 0);
+    }
+
+    #[test]
+    fn two_ce_join_with_binding() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (goal ^color <c>) (block ^color <c>) --> (remove 2))",
+        );
+        let (g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^color red)");
+        assert!(d.is_empty());
+        let (b1, d) = add(&mut m, &mut wm, &mut syms, "(block ^color red)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].wmes, vec![g, b1]);
+        let (_b2, d) = add(&mut m, &mut wm, &mut syms, "(block ^color blue)");
+        assert!(d.is_empty(), "binding mismatch");
+        // A second goal joins with the existing red block.
+        let (g2, d) = add(&mut m, &mut wm, &mut syms, "(goal ^color red)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].wmes, vec![g2, b1]);
+        // Removing the block retracts both instantiations.
+        let d = remove(&mut m, &mut wm, b1);
+        assert_eq!(d.removed.len(), 2);
+    }
+
+    #[test]
+    fn three_ce_chain_builds_and_unbuilds() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
+        );
+        let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        let (_ib, _) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let (_ic, d) = add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        assert!(m.resident_tokens() > 0);
+        let d = remove(&mut m, &mut wm, ia);
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(m.resident_tokens(), 0, "all partial state purged");
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_matches() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        // Right-CE WME arrives before the left one.
+        let (_b, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 3)");
+        assert!(d.is_empty());
+        let (_a, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 3)");
+        assert_eq!(d.added.len(), 1, "left activation scans alpha memory");
+    }
+
+    #[test]
+    fn same_wme_matching_two_ces() {
+        // One WME can satisfy both CEs (they test the same class).
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
+        );
+        let (w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        // (w1, w1) is a legitimate OPS5 instantiation.
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].wmes, vec![w1, w1]);
+        let (w2, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
+        // New pairs: (w1,w2), (w2,w1), (w2,w2).
+        assert_eq!(d.added.len(), 3);
+        let d = remove(&mut m, &mut wm, w2);
+        assert_eq!(d.removed.len(), 3);
+    }
+
+    #[test]
+    fn negated_ce_lifecycle() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (goal ^g 1) - (blocker ^g 1) --> (remove 1))",
+        );
+        let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^g 1)");
+        assert_eq!(d.added.len(), 1, "no blocker yet");
+        let (bl, d) = add(&mut m, &mut wm, &mut syms, "(blocker ^g 1)");
+        assert_eq!(d.removed.len(), 1, "blocker retracts the instantiation");
+        let (bl2, d) = add(&mut m, &mut wm, &mut syms, "(blocker ^g 1)");
+        assert!(d.is_empty(), "second blocker changes nothing");
+        let d = remove(&mut m, &mut wm, bl);
+        assert!(d.is_empty(), "one blocker still present");
+        let d = remove(&mut m, &mut wm, bl2);
+        assert_eq!(d.added.len(), 1, "last blocker gone, rule satisfied again");
+    }
+
+    #[test]
+    fn negated_ce_with_join_variable() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (goal ^color <c>) - (block ^color <c>) --> (remove 1))",
+        );
+        let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^color red)");
+        assert_eq!(d.added.len(), 1);
+        let (_b, d) = add(&mut m, &mut wm, &mut syms, "(block ^color blue)");
+        assert!(d.is_empty(), "different binding does not block");
+        let (br, d) = add(&mut m, &mut wm, &mut syms, "(block ^color red)");
+        assert_eq!(d.removed.len(), 1);
+        let d = remove(&mut m, &mut wm, br);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn negative_then_positive_ce() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (s ^v <x>) - (no ^v <x>) (t ^v <x>) --> (remove 1))",
+        );
+        let (_s, _) = add(&mut m, &mut wm, &mut syms, "(s ^v 1)");
+        let (_t, d) = add(&mut m, &mut wm, &mut syms, "(t ^v 1)");
+        assert_eq!(d.added.len(), 1);
+        // Blocking the middle negative retracts downstream state.
+        let (no, d) = add(&mut m, &mut wm, &mut syms, "(no ^v 1)");
+        assert_eq!(d.removed.len(), 1);
+        let d = remove(&mut m, &mut wm, no);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn negated_first_ce() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r - (blocker) (a ^x 1) --> (remove 2))",
+        );
+        let (a, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert_eq!(d.added.len(), 1, "top token passes the leading negation");
+        assert_eq!(d.added[0].wmes, vec![a]);
+        let (bl, d) = add(&mut m, &mut wm, &mut syms, "(blocker)");
+        assert_eq!(d.removed.len(), 1);
+        let d = remove(&mut m, &mut wm, bl);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn chain_of_leading_negatives() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r - (b1) - (b2) (a ^x 1) --> (remove 3))",
+        );
+        let (_a, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        let (b2, d) = add(&mut m, &mut wm, &mut syms, "(b2)");
+        assert_eq!(d.removed.len(), 1);
+        let (b1, d) = add(&mut m, &mut wm, &mut syms, "(b1)");
+        assert!(d.is_empty(), "already blocked by b2");
+        let d = remove(&mut m, &mut wm, b2);
+        assert!(d.is_empty(), "still blocked by b1");
+        let d = remove(&mut m, &mut wm, b1);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn predicate_join_tests() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
+        let (_h1, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 5)");
+        assert!(d.is_empty());
+        let (_h2, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 15)");
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn shared_network_keeps_productions_independent() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            r#"
+            (p a (g ^t x) (h ^u <v>) (i ^w <v>) --> (remove 1))
+            (p b (g ^t x) (h ^u <v>) (j ^w <v>) --> (remove 1))
+            "#,
+        );
+        add(&mut m, &mut wm, &mut syms, "(g ^t x)");
+        add(&mut m, &mut wm, &mut syms, "(h ^u 9)");
+        let (_i, d) = add(&mut m, &mut wm, &mut syms, "(i ^w 9)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].production, ops5::ProductionId(0));
+        let (_j, d) = add(&mut m, &mut wm, &mut syms, "(j ^w 9)");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].production, ops5::ProductionId(1));
+    }
+
+    #[test]
+    fn modify_converges_when_condition_cleared() {
+        // The modify falsifies the rule's own condition: exactly one
+        // firing, and the batch delta nets to "old instantiation removed,
+        // nothing added".
+        let (program, matcher, _wm, _syms) = setup(
+            "(p r (c ^on yes) --> (modify 1 ^on no))",
+        );
+        let mut interp = Interpreter::new(program, matcher);
+        let mut syms = interp.program().symbols.clone();
+        interp.insert(parse_wme("(c ^on yes)", &mut syms).unwrap());
+        let fired = interp.run(10).unwrap();
+        assert_eq!(fired, 1);
+        assert!(interp.conflict_set().is_empty());
+    }
+
+    #[test]
+    fn self_renewing_modify_loops_like_ops5() {
+        // A modify that keeps the rule satisfied creates a fresh WME
+        // (fresh time tag), so refraction never kicks in — OPS5 loops.
+        let (program, matcher, _wm, _syms) = setup(
+            "(p r (c ^on yes ^n <n>) --> (modify 1 ^n 0))",
+        );
+        let mut interp = Interpreter::new(program, matcher);
+        let mut syms = interp.program().symbols.clone();
+        interp.insert(parse_wme("(c ^on yes ^n 5)", &mut syms).unwrap());
+        let fired = interp.run(10).unwrap();
+        assert_eq!(fired, 10, "hits the cycle limit");
+        assert_eq!(interp.working_memory().len(), 1, "one WME at a time");
+    }
+
+    #[test]
+    fn end_to_end_paper_program() {
+        let (program, matcher, _wm, _syms) = setup(
+            r#"
+            (p find-colored-blk
+               (goal ^type find-blk ^color <c>)
+               (block ^id <i> ^color <c> ^selected no)
+               -->
+               (modify 2 ^selected yes))
+            "#,
+        );
+        let mut interp = Interpreter::new(program, matcher);
+        let mut syms = interp.program().symbols.clone();
+        interp.insert(parse_wme("(goal ^type find-blk ^color red)", &mut syms).unwrap());
+        for i in 0..5 {
+            let color = if i % 2 == 0 { "red" } else { "blue" };
+            interp.insert(
+                parse_wme(&format!("(block ^id {i} ^color {color} ^selected no)"), &mut syms)
+                    .unwrap(),
+            );
+        }
+        let fired = interp.run(100).unwrap();
+        assert_eq!(fired, 3, "three red blocks get selected");
+        let stats = interp.matcher().stats();
+        assert!(stats.node_activations() > 0);
+        assert!(stats.changes > 0);
+    }
+
+    #[test]
+    fn tracing_captures_activations_and_affected() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        m.enable_tracing();
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let trace = m.take_trace();
+        assert_eq!(trace.total_changes(), 2);
+        assert!(trace.total_activations() >= 4);
+        let first = &trace.cycles[0].changes[0];
+        assert_eq!(first.affected_productions, vec![ops5::ProductionId(0)]);
+        assert!(first.is_add);
+        // Every parent id refers to an earlier record.
+        for c in trace.cycles.iter().flat_map(|c| &c.changes) {
+            for a in &c.activations {
+                if let Some(p) = a.parent {
+                    assert!(p < a.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let s = m.stats();
+        assert_eq!(s.changes, 2);
+        assert_eq!(s.inserts, 2);
+        assert!(s.constant_tests > 0);
+        assert!(s.right_activations >= 2);
+        assert_eq!(s.conflict_changes, 1);
+        assert!(s.peak_tokens >= 1);
+    }
+
+    #[test]
+    fn same_type_predicate_joins() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (a ^x <v>) (b ^y <=> <v>) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(a ^x 5)");
+        let (_b1, d) = add(&mut m, &mut wm, &mut syms, "(b ^y red)");
+        assert!(d.is_empty(), "symbol is not same-type as integer");
+        let (_b2, d) = add(&mut m, &mut wm, &mut syms, "(b ^y 99)");
+        assert_eq!(d.added.len(), 1, "integer is same-type as integer");
+    }
+
+    #[test]
+    fn disjunction_tests_share_alpha_nodes() {
+        let program = parse_program(
+            r#"
+            (p a (c ^x << red blue >>) --> (remove 1))
+            (p b (c ^x << red blue >>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let m = ReteMatcher::compile(&program).unwrap();
+        assert_eq!(m.network().stats.alpha_nodes, 1, "disjunction shared");
+    }
+
+    #[test]
+    fn conjunction_with_variable_predicate_joins() {
+        let (_p, mut m, mut wm, mut syms) = setup(
+            "(p r (lo ^v <x>) (mid ^v { > <x> < 100 }) --> (remove 1))",
+        );
+        add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
+        let (_a, d) = add(&mut m, &mut wm, &mut syms, "(mid ^v 5)");
+        assert!(d.is_empty(), "fails > <x>");
+        let (_b, d) = add(&mut m, &mut wm, &mut syms, "(mid ^v 150)");
+        assert!(d.is_empty(), "fails < 100");
+        let (_c, d) = add(&mut m, &mut wm, &mut syms, "(mid ^v 50)");
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn hashed_memories_match_linear_with_fewer_scans() {
+        let program = parse_program(
+            r#"
+            (p pair (a ^x <v>) (b ^x <v>) --> (remove 1))
+            (p guarded (goal ^x <v>) - (veto ^x <v>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut linear = ReteMatcher::compile(&program).unwrap();
+        let mut hashed = ReteMatcher::compile_hashed(&program).unwrap();
+        assert_eq!(hashed.memory_strategy(), MemoryStrategy::Hashed);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let mut ids = Vec::new();
+        // Many b's with diverse x values: the linear matcher scans them
+        // all on each `a` left activation; hashed probes one bucket.
+        for i in 0..20 {
+            let (id, _) = wm.add(parse_wme(&format!("(b ^x {i})"), &mut syms).unwrap());
+            ids.push(id);
+            let mut d1 = linear.add_wme(&wm, id);
+            let mut d2 = hashed.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+        for lit in ["(a ^x 3)", "(goal ^x 1)", "(veto ^x 1)", "(a ^x 19)"] {
+            let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
+            ids.push(id);
+            let mut d1 = linear.add_wme(&wm, id);
+            let mut d2 = hashed.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2, "at {lit}");
+        }
+        // Removals agree too.
+        for id in ids {
+            let mut d1 = linear.remove_wme(&wm, id);
+            let mut d2 = hashed.remove_wme(&wm, id);
+            wm.remove(id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+        assert!(
+            hashed.stats().pairs_scanned < linear.stats().pairs_scanned,
+            "hashed {} vs linear {}",
+            hashed.stats().pairs_scanned,
+            linear.stats().pairs_scanned
+        );
+    }
+
+    #[test]
+    fn hashed_beta_memory_speeds_right_activations() {
+        // Big left memory (many goal x block partial matches), then a
+        // right activation on the final CE: linear scans every token,
+        // hashed probes one bucket.
+        let src = "(p r (g ^x <v>) (h ^x <v>) (i ^x <v>) --> (remove 1))";
+        let (_p, mut lin, mut wm, mut syms) = setup(src);
+        let program2 = parse_program(src).unwrap();
+        let mut hsh = ReteMatcher::compile_hashed(&program2).unwrap();
+
+        let feed = |m: &mut ReteMatcher, wm: &mut WorkingMemory, syms: &mut SymbolTable| {
+            for v in 0..15 {
+                for lit in [format!("(g ^x {v})"), format!("(h ^x {v})")] {
+                    let wme = parse_wme(&lit, syms).unwrap();
+                    let (id, _) = wm.add(wme);
+                    m.add_wme(wm, id);
+                }
+            }
+            // One right activation on the last CE.
+            let wme = parse_wme("(i ^x 7)", syms).unwrap();
+            let (id, _) = wm.add(wme);
+            m.add_wme(wm, id)
+        };
+        let mut d1 = feed(&mut lin, &mut wm, &mut syms);
+        let mut wm2 = WorkingMemory::new();
+        let mut syms2 = program2.symbols.clone();
+        let mut d2 = feed(&mut hsh, &mut wm2, &mut syms2);
+        d1.canonicalize();
+        d2.canonicalize();
+        assert_eq!(d1.added.len(), 1);
+        assert_eq!(d1, d2);
+        assert!(
+            hsh.stats().pairs_scanned * 2 < lin.stats().pairs_scanned,
+            "hashed {} vs linear {}",
+            hsh.stats().pairs_scanned,
+            lin.stats().pairs_scanned
+        );
+    }
+
+    #[test]
+    fn unshared_network_produces_same_matches() {
+        let program = parse_program(
+            r#"
+            (p a (g ^t x) (h ^u <v>) --> (remove 1))
+            (p b (g ^t x) (h ^u <v>) --> (remove 2))
+            "#,
+        )
+        .unwrap();
+        let mut shared = ReteMatcher::compile(&program).unwrap();
+        let mut unshared =
+            ReteMatcher::compile_with(&program, CompileOptions { share: false }).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        for lit in ["(g ^t x)", "(h ^u 1)", "(h ^u 2)"] {
+            let wme = parse_wme(lit, &mut syms).unwrap();
+            let (id, _) = wm.add(wme);
+            let mut d1 = shared.add_wme(&wm, id);
+            let mut d2 = unshared.add_wme(&wm, id);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+        }
+        // Sharing does strictly less constant-test work.
+        assert!(shared.stats().constant_tests <= unshared.stats().constant_tests);
+    }
+}

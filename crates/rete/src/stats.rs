@@ -1,0 +1,108 @@
+//! Aggregate instrumentation counters, always on (cheap).
+
+/// Work counters accumulated by a matcher run.
+///
+/// These feed the Section 3.1 cost-model calibration (`c1` = average
+/// instructions per working-memory change for Rete) and the experiment
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Working-memory changes processed.
+    pub changes: u64,
+    /// Inserts among them.
+    pub inserts: u64,
+    /// Constant (alpha) tests evaluated.
+    pub constant_tests: u64,
+    /// Alpha-memory insert/delete operations.
+    pub alpha_mem_ops: u64,
+    /// Right activations of two-input nodes (join + negative).
+    pub right_activations: u64,
+    /// Left activations of two-input nodes (join + negative).
+    pub left_activations: u64,
+    /// Join-test evaluations (variable binding comparisons).
+    pub join_tests: u64,
+    /// Opposite-memory entries scanned during two-input activations.
+    pub pairs_scanned: u64,
+    /// Beta-memory insert/delete operations.
+    pub beta_mem_ops: u64,
+    /// Tokens created (join outputs).
+    pub tokens_created: u64,
+    /// Conflict-set insertions/deletions emitted by terminal nodes.
+    pub conflict_changes: u64,
+    /// Peak total tokens resident across all beta memories.
+    pub peak_tokens: u64,
+    /// Tokens currently resident (internal bookkeeping for `peak_tokens`).
+    pub live_tokens: u64,
+}
+
+impl MatchStats {
+    /// Total node activations (the paper's task count).
+    pub fn node_activations(&self) -> u64 {
+        self.alpha_mem_ops
+            + self.right_activations
+            + self.left_activations
+            + self.beta_mem_ops
+            + self.conflict_changes
+    }
+
+    /// Mean two-input activations per change.
+    pub fn activations_per_change(&self) -> f64 {
+        if self.changes == 0 {
+            0.0
+        } else {
+            self.node_activations() as f64 / self.changes as f64
+        }
+    }
+
+    /// Record a token becoming resident.
+    pub fn token_added(&mut self) {
+        self.live_tokens += 1;
+        self.peak_tokens = self.peak_tokens.max(self.live_tokens);
+    }
+
+    /// Record a token leaving residency.
+    pub fn token_removed(&mut self) {
+        self.live_tokens = self.live_tokens.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_totals() {
+        let s = MatchStats {
+            alpha_mem_ops: 2,
+            right_activations: 3,
+            left_activations: 4,
+            beta_mem_ops: 5,
+            conflict_changes: 1,
+            changes: 5,
+            ..MatchStats::default()
+        };
+        assert_eq!(s.node_activations(), 15);
+        assert!((s.activations_per_change() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_changes_no_divide() {
+        assert_eq!(MatchStats::default().activations_per_change(), 0.0);
+    }
+
+    #[test]
+    fn peak_tokens_tracks_high_water() {
+        let mut s = MatchStats::default();
+        s.token_added();
+        s.token_added();
+        s.token_removed();
+        s.token_added();
+        assert_eq!(s.live_tokens, 2);
+        assert_eq!(s.peak_tokens, 2);
+        s.token_removed();
+        s.token_removed();
+        s.token_removed(); // saturates, no underflow
+        assert_eq!(s.live_tokens, 0);
+        assert_eq!(s.peak_tokens, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Tokens: partial matches flowing through the beta network.
+
+use std::fmt;
+
+use ops5::WmeId;
+
+/// A token: the WMEs matching a prefix of a production's positive
+/// condition elements, in condition-element order.
+///
+/// The paper (Section 2.2): *"Each token consists of a list of pointers
+/// to working memory elements that match a subsequence of condition
+/// elements in a left-hand side."* Negated condition elements contribute
+/// no entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Token(Vec<WmeId>);
+
+impl Token {
+    /// The empty token fed to the top of the network (matches the empty
+    /// prefix of every production).
+    pub fn top() -> Self {
+        Token(Vec::new())
+    }
+
+    /// Creates a token from WMEs in CE order.
+    pub fn from_wmes(wmes: Vec<WmeId>) -> Self {
+        Token(wmes)
+    }
+
+    /// Extends the token with the WME matching the next positive CE.
+    pub fn extended(&self, wme: WmeId) -> Token {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(wme);
+        Token(v)
+    }
+
+    /// The WME at positive-CE position `i`.
+    pub fn wme_at(&self, i: usize) -> Option<WmeId> {
+        self.0.get(i).copied()
+    }
+
+    /// All WMEs, in CE order.
+    pub fn wmes(&self) -> &[WmeId] {
+        &self.0
+    }
+
+    /// Consumes the token, yielding its WME list.
+    pub fn into_wmes(self) -> Vec<WmeId> {
+        self.0
+    }
+
+    /// Number of matched positive CEs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the top token.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the token references `wme`.
+    pub fn contains(&self, wme: WmeId) -> bool {
+        self.0.contains(&wme)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Sign of a change flowing through the network: assertion or retraction.
+///
+/// Retractions traverse the same paths as assertions and delete the
+/// matching state — the deletion strategy of the original Rete
+/// implementations (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Assertion: insert state, add instantiations.
+    Plus,
+    /// Retraction: delete state, remove instantiations.
+    Minus,
+}
+
+impl Sign {
+    /// True for `Plus`.
+    pub fn is_plus(self) -> bool {
+        matches!(self, Sign::Plus)
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Plus => "+",
+            Sign::Minus => "-",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> WmeId {
+        WmeId::from_index(i)
+    }
+
+    #[test]
+    fn top_token_is_empty() {
+        let t = Token::top();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.wme_at(0), None);
+    }
+
+    #[test]
+    fn extension_is_persistent() {
+        let t = Token::top().extended(w(1));
+        let t2 = t.extended(w(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.wme_at(0), Some(w(1)));
+        assert_eq!(t2.wme_at(1), Some(w(2)));
+        assert!(t2.contains(w(1)));
+        assert!(!t.contains(w(2)));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Token::from_wmes(vec![w(1), w(2)]);
+        let b = Token::top().extended(w(1)).extended(w(2));
+        assert_eq!(a, b);
+        assert_eq!(a.into_wmes(), vec![w(1), w(2)]);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(format!("{}", Token::top()), "<>");
+        assert_eq!(format!("{}", Token::from_wmes(vec![w(3), w(5)])), "<w3 w5>");
+        assert_eq!(format!("{}", Sign::Plus), "+");
+        assert_eq!(format!("{}", Sign::Minus), "-");
+        assert!(Sign::Plus.is_plus());
+        assert!(!Sign::Minus.is_plus());
+    }
+}

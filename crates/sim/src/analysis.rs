@@ -1,0 +1,214 @@
+//! The Section 4 granularity study: production-level versus
+//! node-activation-level parallelism.
+//!
+//! The paper's argument: ~30 productions are affected per change, but
+//! production-level parallelism yields only ~5-fold speed-up (even with
+//! unbounded processors) because per-production processing cost is
+//! highly skewed; node-level parallelism breaks the expensive
+//! productions' work into many activations and recovers the variance.
+//! This module computes both bounds from a trace.
+
+use std::collections::HashMap;
+
+use ops5::ProductionId;
+use rete::{ActivationKind, Network, Trace};
+
+use crate::cost::CostModel;
+
+/// Upper-bound speed-ups under the two granularities (unbounded
+/// processors — scheduling and contention excluded, exactly the framing
+/// of the paper's "about 5-fold" number).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GranularityReport {
+    /// Mean affected productions per change (the paper's ~30).
+    pub mean_affected_productions: f64,
+    /// Maximum affected productions in any change.
+    pub max_affected_productions: usize,
+    /// Total work / Σ per-cycle critical path: node-granularity bound.
+    pub node_speedup: f64,
+    /// Total work / Σ per-cycle max-production time: production-
+    /// granularity bound.
+    pub production_speedup: f64,
+    /// Mean node activations per change.
+    pub mean_activations_per_change: f64,
+    /// Coefficient of variation of per-production cost per change (the
+    /// skew driving the gap between the two bounds).
+    pub production_cost_cv: f64,
+}
+
+/// Computes the granularity bounds for `trace` over `network`.
+///
+/// Per-production cost attribution uses each node's owner production,
+/// which is exact when the network was compiled with `share: false`
+/// (production parallelism cannot share nodes anyway, §4).
+pub fn granularity_analysis(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> GranularityReport {
+    let mut total_work = 0.0f64;
+    let mut cp_sum = 0.0f64;
+    let mut prod_max_sum = 0.0f64;
+    let mut affected_total = 0usize;
+    let mut affected_max = 0usize;
+    let mut activations = 0usize;
+    let mut changes = 0usize;
+    let mut cost_samples: Vec<f64> = Vec::new();
+
+    for cycle in &trace.cycles {
+        let mut cycle_cp = 0.0f64;
+        let mut cycle_prod: HashMap<ProductionId, f64> = HashMap::new();
+        let mut cycle_preamble = 0.0f64;
+
+        for change in &cycle.changes {
+            changes += 1;
+            activations += change.activations.len();
+            affected_total += change.affected_productions.len();
+            affected_max = affected_max.max(change.affected_productions.len());
+
+            // Critical path with unbounded processors (changes of one
+            // cycle run in parallel).
+            let mut finish: Vec<f64> = Vec::with_capacity(change.activations.len());
+            for rec in &change.activations {
+                let dur = cost.activation_cost(rec) as f64;
+                total_work += dur;
+                let ready = rec.parent.map_or(0.0, |p| finish[p as usize]);
+                let end = ready + dur;
+                finish.push(end);
+                cycle_cp = cycle_cp.max(end);
+
+                // Production attribution for the coarse-grain bound.
+                match rec.kind {
+                    ActivationKind::ConstantTest | ActivationKind::AlphaMem => {
+                        // Determining the affected set is a serial
+                        // preamble under production parallelism.
+                        cycle_preamble += dur;
+                    }
+                    _ => {
+                        let owner = network
+                            .nodes
+                            .get(rec.node as usize)
+                            .and_then(|s| s.production);
+                        if let Some(p) = owner {
+                            *cycle_prod.entry(p).or_insert(0.0) += dur;
+                        } else {
+                            cycle_preamble += dur;
+                        }
+                    }
+                }
+            }
+        }
+        let max_prod = cycle_prod.values().cloned().fold(0.0f64, f64::max);
+        cost_samples.extend(cycle_prod.values().cloned());
+        cp_sum += cycle_cp;
+        prod_max_sum += cycle_preamble + max_prod;
+    }
+
+    let cv = coefficient_of_variation(&cost_samples);
+    GranularityReport {
+        mean_affected_productions: if changes == 0 {
+            0.0
+        } else {
+            affected_total as f64 / changes as f64
+        },
+        max_affected_productions: affected_max,
+        node_speedup: ratio(total_work, cp_sum),
+        production_speedup: ratio(total_work, prod_max_sum),
+        mean_activations_per_change: if changes == 0 {
+            0.0
+        } else {
+            activations as f64 / changes as f64
+        },
+        production_cost_cv: cv,
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::parse_program;
+    use rete::{CompileOptions, TraceBuilder};
+
+    fn network() -> Network {
+        let program = parse_program(
+            r#"
+            (p p0 (a ^x <v>) (b ^x <v>) --> (remove 1))
+            (p p1 (a ^x <v>) (c ^x <v>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        Network::compile_with(&program, CompileOptions { share: false }).unwrap()
+    }
+
+    #[test]
+    fn skewed_production_costs_cap_coarse_grain_speedup() {
+        let network = network();
+        // Find a join node of each production.
+        let join_of = |p: u32| -> u32 {
+            network
+                .nodes
+                .iter()
+                .position(|s| {
+                    s.kind == rete::network::NodeKind::Join
+                        && s.production == Some(ops5::ProductionId(p))
+                })
+                .unwrap() as u32
+        };
+        let j0 = join_of(0);
+        let j1 = join_of(1);
+
+        let mut b = TraceBuilder::new();
+        b.begin_cycle();
+        b.begin_change(true);
+        let root = b.record(None, ActivationKind::ConstantTest, 0, 4, 0, 1);
+        // p0 does 10x the scanning work of p1, split across several
+        // independent activations.
+        for _ in 0..10 {
+            b.record(Some(root), ActivationKind::JoinRight, j0, 4, 20, 1);
+        }
+        b.record(Some(root), ActivationKind::JoinRight, j1, 4, 20, 1);
+        b.set_affected(vec![ops5::ProductionId(0), ops5::ProductionId(1)]);
+        b.end_cycle();
+        let trace = b.finish();
+
+        let r = granularity_analysis(&trace, &network, &CostModel::default());
+        assert!((r.mean_affected_productions - 2.0).abs() < 1e-9);
+        // Node-level: the 11 activations are independent → big speedup.
+        assert!(r.node_speedup > 4.0, "node speedup {}", r.node_speedup);
+        // Production-level: bounded by p0's total serial work → ~1.1.
+        assert!(
+            r.production_speedup < 1.5,
+            "production speedup {}",
+            r.production_speedup
+        );
+        assert!(r.node_speedup > 2.0 * r.production_speedup);
+        assert!(r.production_cost_cv > 0.5, "cv {}", r.production_cost_cv);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroed() {
+        let r = granularity_analysis(&Trace::default(), &network(), &CostModel::default());
+        assert_eq!(r.mean_affected_productions, 0.0);
+        assert_eq!(r.node_speedup, 0.0);
+    }
+}

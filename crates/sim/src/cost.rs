@@ -1,0 +1,291 @@
+//! Instruction-count cost models.
+//!
+//! Two models live here:
+//!
+//! * [`CostModel`] — per-node-activation costs for the trace-driven
+//!   simulator, calibrated so an average Rete working-memory change costs
+//!   about the paper's `c1 ≈ 1800` machine instructions.
+//! * [`StateSavingModel`] — the Section 3.1 analytic comparison of
+//!   state-saving vs non-state-saving match (`C_ss = i·c1 + d·c2` vs
+//!   `C_nss = s·c3`, breakeven at `(i+d)/s = c3/c1 ≈ 0.61`).
+
+use rete::{ActivationKind, ActivationRecord, Trace};
+
+/// Per-activation instruction costs.
+///
+/// The defaults reflect the paper's observation that production-system
+/// code is "simple loads, compares, and branches": a handful of
+/// instructions per primitive test, tens per memory operation, and a
+/// fixed overhead per activation for argument setup and dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Instructions per constant (alpha) test.
+    pub per_constant_test: u64,
+    /// Instructions per alpha-memory insert/delete.
+    pub alpha_mem_op: u64,
+    /// Fixed instructions per two-input activation (dispatch, argument
+    /// fetch, lock).
+    pub two_input_base: u64,
+    /// Instructions per opposite-memory entry scanned.
+    pub per_pair_scanned: u64,
+    /// Instructions per join-test evaluation.
+    pub per_join_test: u64,
+    /// Instructions per output token constructed.
+    pub per_output: u64,
+    /// Instructions per beta-memory insert/delete.
+    pub beta_mem_op: u64,
+    /// Instructions per conflict-set change (terminal activation).
+    pub terminal_op: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_constant_test: 4,
+            alpha_mem_op: 25,
+            two_input_base: 30,
+            per_pair_scanned: 2,
+            per_join_test: 8,
+            per_output: 20,
+            beta_mem_op: 25,
+            terminal_op: 45,
+        }
+    }
+}
+
+impl CostModel {
+    /// Instruction cost of one activation record.
+    pub fn activation_cost(&self, rec: &ActivationRecord) -> u64 {
+        let tests = rec.tests as u64;
+        let scanned = rec.scanned as u64;
+        let outputs = rec.outputs as u64;
+        match rec.kind {
+            ActivationKind::ConstantTest => 10 + self.per_constant_test * tests,
+            ActivationKind::AlphaMem => self.alpha_mem_op,
+            ActivationKind::JoinRight
+            | ActivationKind::JoinLeft
+            | ActivationKind::NegativeRight
+            | ActivationKind::NegativeLeft => {
+                self.two_input_base
+                    + self.per_pair_scanned * scanned
+                    + self.per_join_test * tests
+                    + self.per_output * outputs
+            }
+            ActivationKind::BetaMem => self.beta_mem_op,
+            ActivationKind::Terminal => self.terminal_op,
+        }
+    }
+
+    /// Total instruction cost of a trace.
+    pub fn trace_cost(&self, trace: &Trace) -> u64 {
+        trace
+            .cycles
+            .iter()
+            .flat_map(|c| &c.changes)
+            .flat_map(|c| &c.activations)
+            .map(|r| self.activation_cost(r))
+            .sum()
+    }
+
+    /// Mean instructions per working-memory change — the measured
+    /// counterpart of the paper's `c1 ≈ 1800`.
+    pub fn mean_change_cost(&self, trace: &Trace) -> f64 {
+        let changes = trace.total_changes();
+        if changes == 0 {
+            0.0
+        } else {
+            self.trace_cost(trace) as f64 / changes as f64
+        }
+    }
+
+    /// Returns a copy rescaled so `trace`'s mean per-change cost equals
+    /// `target_c1` instructions. This normalizes different workloads to
+    /// the paper's calibration point (`c1 ≈ 1800`), making absolute
+    /// wme-changes/sec numbers directly comparable to the published
+    /// ones.
+    ///
+    /// Returns `self` unchanged if the trace is empty.
+    pub fn normalized_to(&self, trace: &Trace, target_c1: f64) -> CostModel {
+        let mean = self.mean_change_cost(trace);
+        if mean <= 0.0 {
+            return *self;
+        }
+        let scale = target_c1 / mean;
+        let s = |v: u64| -> u64 { ((v as f64 * scale).round() as u64).max(1) };
+        CostModel {
+            per_constant_test: s(self.per_constant_test),
+            alpha_mem_op: s(self.alpha_mem_op),
+            two_input_base: s(self.two_input_base),
+            per_pair_scanned: s(self.per_pair_scanned),
+            per_join_test: s(self.per_join_test),
+            per_output: s(self.per_output),
+            beta_mem_op: s(self.beta_mem_op),
+            terminal_op: s(self.terminal_op),
+        }
+    }
+}
+
+/// The Section 3.1 analytic model of state-saving vs non-state-saving
+/// match algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use psm_sim::StateSavingModel;
+///
+/// let m = StateSavingModel::paper();
+/// // The paper's breakeven: (i + d)/s < c3/c1 ≈ 0.61.
+/// assert!((m.breakeven_turnover() - 0.611).abs() < 0.01);
+/// // At the measured 0.5% turnover, state saving wins by ~120x; the
+/// // paper conservatively reports ">20x".
+/// assert!(m.advantage(0.005) > 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateSavingModel {
+    /// Cost of processing one insert with the state-saving algorithm
+    /// (instructions). The paper: ~1800.
+    pub c1: f64,
+    /// Cost of processing one delete (the paper sets `c2 = c1` for
+    /// Rete).
+    pub c2: f64,
+    /// Per-WME cost of the non-state-saving algorithm (instructions).
+    /// The paper: ~1100.
+    pub c3: f64,
+}
+
+impl StateSavingModel {
+    /// The paper's measured constants.
+    pub fn paper() -> Self {
+        StateSavingModel {
+            c1: 1800.0,
+            c2: 1800.0,
+            c3: 1100.0,
+        }
+    }
+
+    /// Per-cycle cost of the state-saving algorithm for `i` inserts and
+    /// `d` deletes.
+    pub fn state_saving_cost(&self, i: f64, d: f64) -> f64 {
+        i * self.c1 + d * self.c2
+    }
+
+    /// Per-cycle cost of the non-state-saving algorithm for stable
+    /// working-memory size `s`.
+    pub fn non_state_saving_cost(&self, s: f64) -> f64 {
+        s * self.c3
+    }
+
+    /// The turnover fraction `(i+d)/s` below which state saving wins.
+    /// With `c1 = c2` this is `c3/c1`.
+    pub fn breakeven_turnover(&self) -> f64 {
+        // i·c1 + d·c2 < s·c3 with c1 = c2 reduces to (i+d)/s < c3/c1.
+        self.c3 / self.c1
+    }
+
+    /// How many times cheaper state saving is at the given turnover
+    /// fraction (changes per cycle / stable WM size).
+    pub fn advantage(&self, turnover: f64) -> f64 {
+        self.breakeven_turnover() / turnover
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rete::ActivationRecord;
+
+    fn rec(kind: ActivationKind, tests: u32, scanned: u32, outputs: u32) -> ActivationRecord {
+        ActivationRecord {
+            id: 0,
+            parent: None,
+            kind,
+            node: 0,
+            tests,
+            scanned,
+            outputs,
+        }
+    }
+
+    #[test]
+    fn join_cost_composition() {
+        let m = CostModel::default();
+        let r = rec(ActivationKind::JoinRight, 3, 5, 2);
+        assert_eq!(
+            m.activation_cost(&r),
+            m.two_input_base + 5 * m.per_pair_scanned + 3 * m.per_join_test + 2 * m.per_output
+        );
+    }
+
+    #[test]
+    fn fixed_cost_kinds() {
+        let m = CostModel::default();
+        assert_eq!(
+            m.activation_cost(&rec(ActivationKind::AlphaMem, 0, 0, 1)),
+            m.alpha_mem_op
+        );
+        assert_eq!(
+            m.activation_cost(&rec(ActivationKind::BetaMem, 0, 0, 1)),
+            m.beta_mem_op
+        );
+        assert_eq!(
+            m.activation_cost(&rec(ActivationKind::Terminal, 0, 0, 1)),
+            m.terminal_op
+        );
+    }
+
+    #[test]
+    fn paper_breakeven_and_advantage() {
+        let m = StateSavingModel::paper();
+        assert!((m.breakeven_turnover() - 1100.0 / 1800.0).abs() < 1e-12);
+        // §3.1: "a non state-saving algorithm will have to recover an
+        // inefficiency factor of about 20" — at 0.5% turnover, even
+        // recovering 20x is not enough. Our exact model: >100x.
+        assert!(m.advantage(0.005) > 100.0);
+        // Above breakeven the non-state-saving side wins.
+        assert!(m.advantage(0.7) < 1.0);
+        // Direct cost comparison at the paper's example point.
+        let s = 1000.0;
+        assert!(m.state_saving_cost(2.0, 2.0) < m.non_state_saving_cost(s));
+    }
+
+    #[test]
+    fn normalization_hits_the_target() {
+        use rete::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        for _ in 0..5 {
+            b.begin_change(true);
+            b.record(None, ActivationKind::ConstantTest, 0, 20, 0, 1);
+            b.record(Some(0), ActivationKind::JoinRight, 1, 4, 30, 2);
+            b.record(Some(1), ActivationKind::BetaMem, 2, 0, 0, 1);
+        }
+        let t = b.finish();
+        let base = CostModel::default();
+        let norm = base.normalized_to(&t, 1800.0);
+        let achieved = norm.mean_change_cost(&t);
+        // Integer rounding keeps it near, not exactly at, the target.
+        assert!(
+            (achieved - 1800.0).abs() / 1800.0 < 0.15,
+            "normalized mean {achieved}"
+        );
+        // Empty traces are a no-op.
+        assert_eq!(base.normalized_to(&Trace::default(), 1800.0), base);
+    }
+
+    #[test]
+    fn mean_change_cost_on_synthetic_trace() {
+        use rete::TraceBuilder;
+        let m = CostModel::default();
+        let mut b = TraceBuilder::new();
+        b.begin_change(true);
+        b.record(None, ActivationKind::ConstantTest, 0, 10, 0, 1);
+        b.record(Some(0), ActivationKind::AlphaMem, 0, 0, 0, 1);
+        b.begin_change(true);
+        b.record(None, ActivationKind::ConstantTest, 0, 10, 0, 0);
+        let t = b.finish();
+        let per_change = m.mean_change_cost(&t);
+        let c_const = 10 + m.per_constant_test * 10;
+        let expected = (2 * c_const + m.alpha_mem_op) as f64 / 2.0;
+        assert!((per_change - expected).abs() < 1e-9);
+        assert_eq!(m.trace_cost(&t), 2 * c_const + m.alpha_mem_op);
+    }
+}

@@ -1,0 +1,660 @@
+//! The discrete-event simulator for the Production System Machine.
+//!
+//! Replays a node-activation trace on a model of the paper's proposed
+//! machine (Section 5): `P` processors at `mips` MIPS behind a shared
+//! bus, a hardware or software task scheduler, and (optionally)
+//! mutual exclusion between concurrent activations of the same node.
+//! Each recognize–act cycle is a synchronization barrier, exactly as in
+//! the paper's simulations; within a cycle all changes of the firing are
+//! processed in parallel (the paper's assumption (2) for Figures 6-1 and
+//! 6-2) unless `parallel_changes` is disabled.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::HashMap;
+
+use rete::{ActivationKind, Trace};
+
+use crate::cost::CostModel;
+
+/// Task-scheduler model (§5, fourth requirement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheduler {
+    /// The custom hardware scheduler: enqueue/dispatch costs one bus
+    /// cycle (given in microseconds).
+    Hardware {
+        /// Scheduling latency per activation, in microseconds.
+        bus_cycle_us: f64,
+    },
+    /// Software task queues: enqueue + dequeue instructions executed by
+    /// the processors themselves, serialized through the queue lock.
+    Software {
+        /// Instructions spent per activation on queue manipulation.
+        overhead_instructions: u64,
+    },
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsmSpec {
+    /// Number of processors (the paper proposes 32–64).
+    pub processors: usize,
+    /// Per-processor speed in MIPS (the paper assumes 2 MIPS).
+    pub mips: f64,
+    /// Task scheduler model.
+    pub scheduler: Scheduler,
+    /// Serialize activations that target the same node. The paper's
+    /// Figure 6 simulations allow multiple activations of the same node
+    /// to be processed in parallel (assumption (1)), relying on hashed
+    /// memories and the hardware scheduler for non-interference, so this
+    /// defaults to `false`; enabling it is the locking-granularity
+    /// ablation.
+    pub per_node_exclusive: bool,
+    /// Process all changes of one firing in parallel (assumption (2) of
+    /// the paper's Figure 6 simulations).
+    pub parallel_changes: bool,
+    /// Fraction of instructions that miss the cache and reference the
+    /// shared bus.
+    pub bus_miss_ratio: f64,
+    /// Bus capacity in memory references per second.
+    pub bus_refs_per_sec: f64,
+    /// Multiplier on every activation's instruction cost, used to model
+    /// work lost to reduced node sharing in the parallel implementation
+    /// (1.0 = none).
+    pub work_inflation: f64,
+}
+
+impl Default for PsmSpec {
+    fn default() -> Self {
+        PsmSpec {
+            processors: 32,
+            mips: 2.0,
+            scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
+            per_node_exclusive: false,
+            parallel_changes: true,
+            bus_miss_ratio: 0.05,
+            bus_refs_per_sec: 20.0e6,
+            work_inflation: 1.15,
+        }
+    }
+}
+
+impl PsmSpec {
+    /// The paper's headline configuration: 32 processors at 2 MIPS with
+    /// the hardware scheduler.
+    pub fn paper_32() -> Self {
+        PsmSpec::default()
+    }
+
+    /// Same machine with `processors`.
+    pub fn with_processors(mut self, processors: usize) -> Self {
+        self.processors = processors.max(1);
+        self
+    }
+}
+
+/// Simulation outputs (the paper's Figure 6 quantities).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimResult {
+    /// Processors simulated.
+    pub processors: usize,
+    /// Total simulated time (seconds).
+    pub makespan_s: f64,
+    /// Total processor-busy time (seconds), including scheduling
+    /// overhead — what "keeping processors busy" counts.
+    pub busy_s: f64,
+    /// Average concurrency: busy time / makespan (Figure 6-1's y-axis).
+    pub concurrency: f64,
+    /// True speed-up versus the best uniprocessor implementation (the
+    /// serial shared-network Rete with no overheads), §6 footnote 2.
+    pub true_speedup: f64,
+    /// Execution speed in working-memory changes per second (Figure
+    /// 6-2's y-axis).
+    pub wme_changes_per_sec: f64,
+    /// Execution speed in rule firings (cycles) per second.
+    pub firings_per_sec: f64,
+    /// Seconds spent on scheduling overhead.
+    pub sched_overhead_s: f64,
+    /// Mean bus utilization (0–1).
+    pub bus_utilization: f64,
+    /// Cycles replayed.
+    pub cycles: u64,
+    /// Changes replayed.
+    pub changes: u64,
+}
+
+impl SimResult {
+    /// The paper's "lost factor": concurrency / true speed-up (1.93 in
+    /// the 32-processor measurement).
+    pub fn lost_factor(&self) -> f64 {
+        if self.true_speedup == 0.0 {
+            0.0
+        } else {
+            self.concurrency / self.true_speedup
+        }
+    }
+}
+
+/// Replays `trace` on the machine described by `spec` under `cost`.
+///
+/// Dependencies come from the trace's parent edges; each cycle is a
+/// barrier. Returns aggregate [`SimResult`].
+///
+/// # Examples
+///
+/// Capture a trace from a real Rete run and simulate the paper's
+/// 32-processor machine:
+///
+/// ```
+/// use psm_sim::{simulate_psm, CostModel, PsmSpec};
+/// use workloads::{capture_trace, GeneratedWorkload, Preset};
+///
+/// # fn main() -> Result<(), ops5::Error> {
+/// let workload = GeneratedWorkload::generate(Preset::EpSoar.spec_small())?;
+/// let (trace, _stats) = capture_trace(&workload, 20, 7)?;
+/// let result = simulate_psm(&trace, &CostModel::default(), &PsmSpec::paper_32());
+/// assert!(result.true_speedup < 10.0); // the paper's headline bound
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResult {
+    let p = spec.processors.max(1);
+    // First pass: estimate bus utilization from aggregate demand, then
+    // inflate instruction times by the M/M/1-style queueing factor. This
+    // is the paper's "simple model of memory contention".
+    let total_instr: f64 = cost.trace_cost(trace) as f64 * spec.work_inflation;
+    let serial_time_s = cost.trace_cost(trace) as f64 / (spec.mips * 1e6);
+
+    // Demand if all processors were busy: refs/sec offered to the bus.
+    let offered = (p as f64).min(16.0) * spec.mips * 1e6 * spec.bus_miss_ratio;
+    let utilization = (offered / spec.bus_refs_per_sec).min(0.90);
+    let bus_slowdown = 1.0 / (1.0 - utilization);
+
+    let instr_time_us = |instr: u64| -> f64 {
+        (instr as f64 * spec.work_inflation) * bus_slowdown / spec.mips
+    };
+    let sched_overhead_us = match spec.scheduler {
+        Scheduler::Hardware { bus_cycle_us } => bus_cycle_us,
+        Scheduler::Software {
+            overhead_instructions,
+        } => overhead_instructions as f64 / spec.mips,
+    };
+
+    let mut now_us = 0.0f64;
+    let mut busy_us = 0.0f64;
+    let mut sched_us_total = 0.0f64;
+    let mut changes = 0u64;
+
+    for cycle in &trace.cycles {
+        // Processor availability heap (earliest-free first).
+        let mut procs: BinaryHeap<Reverse<OrderedF64>> = (0..p)
+            .map(|_| Reverse(OrderedF64(now_us)))
+            .collect();
+        let mut node_free: HashMap<(u8, u32), f64> = HashMap::new();
+        let mut cycle_end = now_us;
+        let mut change_start = now_us;
+
+        for change in &cycle.changes {
+            changes += 1;
+            // Completion times per activation id within this change.
+            let mut done: Vec<f64> = Vec::with_capacity(change.activations.len());
+            for rec in &change.activations {
+                let ready = match rec.parent {
+                    Some(parent) => done[parent as usize],
+                    None => change_start,
+                };
+                let dur = instr_time_us(cost.activation_cost(rec)) + sched_overhead_us;
+                sched_us_total += sched_overhead_us;
+
+                let Reverse(OrderedF64(proc_free)) =
+                    procs.pop().expect("at least one processor");
+                let mut start = ready.max(proc_free);
+                if spec.per_node_exclusive {
+                    let key = node_key(rec.kind, rec.node);
+                    let free = node_free.entry(key).or_insert(change_start);
+                    start = start.max(*free);
+                    *free = start + dur;
+                }
+                let end = start + dur;
+                procs.push(Reverse(OrderedF64(end)));
+                busy_us += dur;
+                done.push(end);
+                cycle_end = cycle_end.max(end);
+            }
+            if !spec.parallel_changes {
+                // Serial change processing: the next change starts after
+                // this one completes.
+                change_start = cycle_end;
+            }
+        }
+        now_us = cycle_end;
+    }
+
+    let makespan_s = now_us / 1e6;
+    let busy_s = busy_us / 1e6;
+    let concurrency = if makespan_s > 0.0 {
+        busy_s / makespan_s
+    } else {
+        0.0
+    };
+    let _ = total_instr;
+    SimResult {
+        processors: p,
+        makespan_s,
+        busy_s,
+        concurrency,
+        true_speedup: if makespan_s > 0.0 {
+            serial_time_s / makespan_s
+        } else {
+            0.0
+        },
+        wme_changes_per_sec: if makespan_s > 0.0 {
+            changes as f64 / makespan_s
+        } else {
+            0.0
+        },
+        firings_per_sec: if makespan_s > 0.0 {
+            trace.cycles.len() as f64 / makespan_s
+        } else {
+            0.0
+        },
+        sched_overhead_s: sched_us_total / 1e6,
+        bus_utilization: utilization,
+        cycles: trace.cycles.len() as u64,
+        changes,
+    }
+}
+
+/// The hierarchical multiprocessor the paper proposes for 100–1000
+/// processors (§5): clusters of shared-memory processors, with each
+/// working-memory change's activation DAG confined to one cluster
+/// (preserving the fine-grain shared-state locality) and changes
+/// distributed across clusters. Inter-cluster dispatch costs a fixed
+/// latency per change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Processors per cluster (each cluster is a small PSM).
+    pub processors_per_cluster: usize,
+    /// Latency to dispatch a change to a cluster (µs).
+    pub dispatch_latency_us: f64,
+    /// The per-cluster machine parameters (processor count ignored).
+    pub node: PsmSpec,
+}
+
+impl Default for HierarchicalSpec {
+    fn default() -> Self {
+        HierarchicalSpec {
+            clusters: 4,
+            processors_per_cluster: 32,
+            dispatch_latency_us: 5.0,
+            node: PsmSpec::paper_32(),
+        }
+    }
+}
+
+/// Replays `trace` on a hierarchical machine: changes round-robin across
+/// clusters, each change's activations scheduled inside its cluster, a
+/// barrier per recognize–act cycle.
+pub fn simulate_hierarchical(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &HierarchicalSpec,
+) -> SimResult {
+    let per = spec.processors_per_cluster.max(1);
+    let clusters = spec.clusters.max(1);
+    let serial_time_s = cost.trace_cost(trace) as f64 / (spec.node.mips * 1e6);
+    let offered = (per as f64).min(16.0) * spec.node.mips * 1e6 * spec.node.bus_miss_ratio;
+    let utilization = (offered / spec.node.bus_refs_per_sec).min(0.90);
+    let bus_slowdown = 1.0 / (1.0 - utilization);
+    let instr_time_us = |instr: u64| -> f64 {
+        (instr as f64 * spec.node.work_inflation) * bus_slowdown / spec.node.mips
+    };
+    let sched_overhead_us = match spec.node.scheduler {
+        Scheduler::Hardware { bus_cycle_us } => bus_cycle_us,
+        Scheduler::Software {
+            overhead_instructions,
+        } => overhead_instructions as f64 / spec.node.mips,
+    };
+
+    let mut now_us = 0.0f64;
+    let mut busy_us = 0.0f64;
+    let mut sched_us = 0.0f64;
+    let mut changes = 0u64;
+    for cycle in &trace.cycles {
+        // Fresh per-cluster processor heaps each cycle (barrier).
+        let mut heaps: Vec<BinaryHeap<Reverse<OrderedF64>>> = (0..clusters)
+            .map(|_| (0..per).map(|_| Reverse(OrderedF64(now_us))).collect())
+            .collect();
+        let mut cycle_end = now_us;
+        for (ci, change) in cycle.changes.iter().enumerate() {
+            changes += 1;
+            let cluster = ci % clusters;
+            let change_start = now_us + spec.dispatch_latency_us;
+            let mut done: Vec<f64> = Vec::with_capacity(change.activations.len());
+            for rec in &change.activations {
+                let ready = match rec.parent {
+                    Some(p) => done[p as usize],
+                    None => change_start,
+                };
+                let dur = instr_time_us(cost.activation_cost(rec)) + sched_overhead_us;
+                sched_us += sched_overhead_us;
+                let Reverse(OrderedF64(free)) =
+                    heaps[cluster].pop().expect("cluster has processors");
+                let start = ready.max(free);
+                let end = start + dur;
+                heaps[cluster].push(Reverse(OrderedF64(end)));
+                busy_us += dur;
+                done.push(end);
+                cycle_end = cycle_end.max(end);
+            }
+        }
+        now_us = cycle_end;
+    }
+
+    let makespan_s = now_us / 1e6;
+    let busy_s = busy_us / 1e6;
+    SimResult {
+        processors: clusters * per,
+        makespan_s,
+        busy_s,
+        concurrency: if makespan_s > 0.0 { busy_s / makespan_s } else { 0.0 },
+        true_speedup: if makespan_s > 0.0 {
+            serial_time_s / makespan_s
+        } else {
+            0.0
+        },
+        wme_changes_per_sec: if makespan_s > 0.0 {
+            changes as f64 / makespan_s
+        } else {
+            0.0
+        },
+        firings_per_sec: if makespan_s > 0.0 {
+            trace.cycles.len() as f64 / makespan_s
+        } else {
+            0.0
+        },
+        sched_overhead_s: sched_us / 1e6,
+        bus_utilization: utilization,
+        cycles: trace.cycles.len() as u64,
+        changes,
+    }
+}
+
+/// Namespaces node ids by state class so alpha and beta nodes with the
+/// same index do not alias.
+fn node_key(kind: ActivationKind, node: u32) -> (u8, u32) {
+    let class = match kind {
+        ActivationKind::ConstantTest => 0,
+        ActivationKind::AlphaMem => 1,
+        _ => 2,
+    };
+    (class, node)
+}
+
+/// Total-ordered f64 for the processor heap (times are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rete::{ActivationKind, TraceBuilder};
+
+    /// A cycle with one change fanning out to `width` independent join
+    /// activations under one alpha-memory parent.
+    fn fanout_trace(cycles: usize, width: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        for _ in 0..cycles {
+            b.begin_cycle();
+            b.begin_change(true);
+            let root = b.record(None, ActivationKind::ConstantTest, 0, 4, 0, 1);
+            let am = b.record(Some(root), ActivationKind::AlphaMem, 0, 0, 0, width as u32);
+            for i in 0..width {
+                b.record(Some(am), ActivationKind::JoinRight, i as u32 + 1, 2, 4, 1);
+            }
+            b.end_cycle();
+        }
+        b.finish()
+    }
+
+    fn spec(p: usize) -> PsmSpec {
+        PsmSpec {
+            processors: p,
+            work_inflation: 1.0,
+            bus_miss_ratio: 0.0,
+            ..PsmSpec::default()
+        }
+    }
+
+    #[test]
+    fn one_processor_concurrency_is_one() {
+        let t = fanout_trace(5, 8);
+        let r = simulate_psm(&t, &CostModel::default(), &spec(1));
+        assert!(r.concurrency <= 1.0 + 1e-9);
+        assert!(r.concurrency > 0.9, "single processor stays busy");
+        assert!(r.true_speedup <= 1.0 + 1e-9, "overheads make it < 1");
+    }
+
+    #[test]
+    fn more_processors_shorten_makespan_until_saturation() {
+        let t = fanout_trace(10, 16);
+        let m = CostModel::default();
+        let r1 = simulate_psm(&t, &m, &spec(1));
+        let r8 = simulate_psm(&t, &m, &spec(8));
+        let r64 = simulate_psm(&t, &m, &spec(64));
+        assert!(r8.makespan_s < r1.makespan_s);
+        assert!(r8.true_speedup > 2.0);
+        // Fan-out of 16 cannot use 64 processors much better than 16-32.
+        let r16 = simulate_psm(&t, &m, &spec(16));
+        assert!(r64.true_speedup < r16.true_speedup * 1.7);
+        // Concurrency never exceeds the processor count.
+        assert!(r8.concurrency <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        // A chain: each activation parents the next; no parallelism.
+        let mut b = TraceBuilder::new();
+        b.begin_change(true);
+        let mut prev = b.record(None, ActivationKind::ConstantTest, 0, 4, 0, 1);
+        for i in 0..10 {
+            prev = b.record(Some(prev), ActivationKind::JoinRight, i, 2, 2, 1);
+        }
+        let t = b.finish();
+        let r = simulate_psm(&t, &CostModel::default(), &spec(32));
+        assert!(
+            r.concurrency < 1.2,
+            "a pure chain cannot exploit processors: {}",
+            r.concurrency
+        );
+    }
+
+    #[test]
+    fn serial_changes_option_is_slower() {
+        let t = fanout_trace(6, 6);
+        let m = CostModel::default();
+        let par = simulate_psm(&t, &m, &spec(32));
+        let mut s = spec(32);
+        s.parallel_changes = false;
+        let ser = simulate_psm(&t, &m, &s);
+        // With one change per cycle they tie; build a multi-change trace.
+        let mut b = TraceBuilder::new();
+        b.begin_cycle();
+        for chg in 0..4u32 {
+            b.begin_change(true);
+            let root = b.record(None, ActivationKind::ConstantTest, 0, 4, 0, 1);
+            for i in 0..4u32 {
+                // Distinct nodes per change so per-node exclusion does
+                // not serialize the parallel case.
+                b.record(Some(root), ActivationKind::JoinRight, chg * 4 + i, 2, 4, 1);
+            }
+        }
+        b.end_cycle();
+        let multi = b.finish();
+        let par_m = simulate_psm(&multi, &m, &spec(32));
+        let ser_m = simulate_psm(&multi, &m, &s);
+        assert!(ser_m.makespan_s > par_m.makespan_s * 1.5);
+        let _ = (par, ser);
+    }
+
+    #[test]
+    fn software_scheduler_adds_overhead() {
+        let t = fanout_trace(10, 8);
+        let m = CostModel::default();
+        let hw = simulate_psm(&t, &m, &spec(16));
+        let mut s = spec(16);
+        s.scheduler = Scheduler::Software {
+            overhead_instructions: 100,
+        };
+        let sw = simulate_psm(&t, &m, &s);
+        assert!(sw.makespan_s > hw.makespan_s);
+        assert!(sw.sched_overhead_s > hw.sched_overhead_s);
+        assert!(sw.true_speedup < hw.true_speedup);
+    }
+
+    #[test]
+    fn work_inflation_reduces_true_speedup_not_concurrency() {
+        let t = fanout_trace(10, 12);
+        let m = CostModel::default();
+        let base = simulate_psm(&t, &m, &spec(16));
+        let mut s = spec(16);
+        s.work_inflation = 1.5;
+        let inflated = simulate_psm(&t, &m, &s);
+        assert!(inflated.true_speedup < base.true_speedup * 0.8);
+        assert!(inflated.lost_factor() > base.lost_factor());
+    }
+
+    #[test]
+    fn per_node_exclusion_limits_same_node_parallelism() {
+        // All activations hit the same node id.
+        let mut b = TraceBuilder::new();
+        b.begin_change(true);
+        let root = b.record(None, ActivationKind::ConstantTest, 0, 4, 0, 1);
+        for _ in 0..16 {
+            b.record(Some(root), ActivationKind::JoinRight, 7, 2, 4, 1);
+        }
+        let t = b.finish();
+        let m = CostModel::default();
+        let mut e = spec(16);
+        e.per_node_exclusive = true;
+        let excl = simulate_psm(&t, &m, &e);
+        let mut s = spec(16);
+        s.per_node_exclusive = false;
+        let free = simulate_psm(&t, &m, &s);
+        assert!(excl.makespan_s > free.makespan_s * 2.0);
+    }
+
+    #[test]
+    fn hierarchical_machine_scales_with_change_parallelism() {
+        // Many independent changes per cycle: clusters soak them up.
+        let mut b = TraceBuilder::new();
+        for _ in 0..10 {
+            b.begin_cycle();
+            for chg in 0..16u32 {
+                b.begin_change(true);
+                let root = b.record(None, ActivationKind::ConstantTest, chg, 4, 0, 1);
+                for i in 0..6u32 {
+                    b.record(Some(root), ActivationKind::JoinRight, chg * 8 + i, 2, 6, 1);
+                }
+            }
+            b.end_cycle();
+        }
+        let t = b.finish();
+        let m = CostModel::default();
+        let flat32 = simulate_psm(&t, &m, &spec(32));
+        let hier = simulate_hierarchical(
+            &t,
+            &m,
+            &HierarchicalSpec {
+                clusters: 8,
+                processors_per_cluster: 16,
+                dispatch_latency_us: 2.0,
+                node: spec(16),
+            },
+        );
+        assert_eq!(hier.processors, 128);
+        // With 16 parallel changes, the 128-processor hierarchy beats
+        // the flat 32-processor machine.
+        assert!(
+            hier.true_speedup > flat32.true_speedup,
+            "hier {} vs flat {}",
+            hier.true_speedup,
+            flat32.true_speedup
+        );
+        // But it cannot beat the change-parallelism bound by much: one
+        // cluster per change is the ceiling.
+        let hier_huge = simulate_hierarchical(
+            &t,
+            &m,
+            &HierarchicalSpec {
+                clusters: 64,
+                processors_per_cluster: 16,
+                dispatch_latency_us: 2.0,
+                node: spec(16),
+            },
+        );
+        assert!(
+            hier_huge.true_speedup < hier.true_speedup * 1.5,
+            "beyond 16 clusters the extra hardware idles"
+        );
+    }
+
+    #[test]
+    fn hierarchical_dispatch_latency_costs() {
+        let t = fanout_trace(10, 8);
+        let m = CostModel::default();
+        let cheap = simulate_hierarchical(
+            &t,
+            &m,
+            &HierarchicalSpec {
+                dispatch_latency_us: 0.0,
+                node: spec(8),
+                ..HierarchicalSpec::default()
+            },
+        );
+        let costly = simulate_hierarchical(
+            &t,
+            &m,
+            &HierarchicalSpec {
+                dispatch_latency_us: 50.0,
+                node: spec(8),
+                ..HierarchicalSpec::default()
+            },
+        );
+        assert!(costly.makespan_s > cheap.makespan_s);
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let t = fanout_trace(20, 8);
+        let r = simulate_psm(&t, &CostModel::default(), &spec(32));
+        assert_eq!(r.cycles, 20);
+        assert_eq!(r.changes, 20);
+        assert!((r.wme_changes_per_sec - r.firings_per_sec).abs() < 1e-6);
+        assert!(r.lost_factor() >= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let r = simulate_psm(&Trace::default(), &CostModel::default(), &spec(8));
+        assert_eq!(r.makespan_s, 0.0);
+        assert_eq!(r.concurrency, 0.0);
+        assert_eq!(r.wme_changes_per_sec, 0.0);
+    }
+}

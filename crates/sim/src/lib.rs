@@ -1,0 +1,44 @@
+//! # psm-sim — the trace-driven multiprocessor simulator
+//!
+//! Reproduces the simulation methodology of Section 6 of Gupta, Forgy,
+//! Newell & Wedig (ISCA 1986). The paper's simulator consumes
+//!
+//! 1. *"a detailed trace of node activations from an actual run of a
+//!    production system (the trace contains information about the
+//!    dependencies between node activations)"* — our [`rete::Trace`],
+//!    captured by instrumenting the real Rete matcher;
+//! 2. *"a cost model to help compute the cost of processing any given
+//!    node activation"* — [`CostModel`], in machine instructions,
+//!    calibrated to the paper's `c1 ≈ 1800` instructions per working-
+//!    memory change;
+//! 3. *"a specification of the parallel computational model"* —
+//!    [`PsmSpec`]: processor count and MIPS, hardware vs software task
+//!    scheduler, shared-bus contention, per-node serialization.
+//!
+//! and outputs speed-up, concurrency, execution speed, and overhead
+//! decompositions ([`SimResult`]) — the quantities plotted in Figures
+//! 6-1 and 6-2.
+//!
+//! The [`machines`] module adds the comparison models of Section 7
+//! (DADO with Rete and TREAT, NON-VON, Oflazer's machine); [`analysis`]
+//! implements the Section 4 granularity study; [`uniprocessor`] the
+//! Section 2.2 interpreter speed ladder; and [`cost`] also carries the
+//! Section 3.1 state-saving cost model.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod analysis;
+pub mod cost;
+pub mod des;
+pub mod machines;
+pub mod uniprocessor;
+
+pub use analysis::{granularity_analysis, GranularityReport};
+pub use cost::{CostModel, StateSavingModel};
+pub use des::{simulate_hierarchical, simulate_psm, HierarchicalSpec, PsmSpec, Scheduler, SimResult};
+pub use machines::{
+    simulate_dado_rete, simulate_dado_treat, simulate_nonvon, simulate_oflazer_machine,
+    MachineEstimate,
+};
+pub use uniprocessor::{uniprocessor_ladder, UniprocessorEstimate};

@@ -1,0 +1,322 @@
+//! Analytic models of the Section 7 comparison architectures.
+//!
+//! Each model keeps the *structure* the paper describes — what is
+//! parallel, what is serial, the processor counts and speeds — and one
+//! fixed per-change overhead constant fitted to the machine's published
+//! throughput on the paper's workloads. The experiments then check what
+//! the paper checks: the ordering and the bands across machines, driven
+//! by measured per-change work from our traces.
+//!
+//! | machine | published | structure modeled |
+//! |---|---|---|
+//! | DADO, Rete | ≈ 175 wme-ch/s | 16–32 partitions, serial within partition, 0.5-MIPS 8-bit PEs, serial changes, tree broadcast/sync overhead |
+//! | DADO, TREAT | ≈ 215 wme-ch/s | as above, joins recomputed but spread over the WM-subtree associatively |
+//! | NON-VON | ≈ 2000 wme-ch/s | 3-MIPS LPE/SPE tree, wider associative operations, serial changes |
+//! | Oflazer | 4500–7000 wme-ch/s | 512 × 5–10 MIPS tree, all-combination state updated in parallel, **no parallel WM changes**, GC overhead |
+
+use std::collections::HashMap;
+
+use ops5::ProductionId;
+use rete::{ActivationKind, Network, Trace};
+
+use crate::cost::CostModel;
+
+/// A machine model's throughput estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineEstimate {
+    /// Machine (and algorithm) name.
+    pub machine: &'static str,
+    /// Mean time to process one working-memory change (µs).
+    pub mean_change_time_us: f64,
+    /// Working-memory changes per second.
+    pub wme_changes_per_sec: f64,
+}
+
+impl MachineEstimate {
+    fn from_change_time(machine: &'static str, mean_change_time_us: f64) -> Self {
+        MachineEstimate {
+            machine,
+            mean_change_time_us,
+            wme_changes_per_sec: if mean_change_time_us > 0.0 {
+                1e6 / mean_change_time_us
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Per-change work statistics extracted from a trace: total
+/// instructions, and the per-production split for partition-max models.
+fn per_change_work(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> Vec<(f64, HashMap<ProductionId, f64>)> {
+    let mut out = Vec::new();
+    for change in trace.cycles.iter().flat_map(|c| &c.changes) {
+        let mut total = 0.0f64;
+        let mut per_prod: HashMap<ProductionId, f64> = HashMap::new();
+        for rec in &change.activations {
+            let c = cost.activation_cost(rec) as f64;
+            total += c;
+            if !matches!(
+                rec.kind,
+                ActivationKind::ConstantTest | ActivationKind::AlphaMem
+            ) {
+                if let Some(p) = network
+                    .nodes
+                    .get(rec.node as usize)
+                    .and_then(|s| s.production)
+                {
+                    *per_prod.entry(p).or_insert(0.0) += c;
+                }
+            }
+        }
+        out.push((total, per_prod));
+    }
+    out
+}
+
+/// Max partition load when productions are distributed round-robin over
+/// `partitions`.
+fn max_partition_us(
+    per_prod: &HashMap<ProductionId, f64>,
+    partitions: usize,
+    mips: f64,
+) -> f64 {
+    let mut loads = vec![0.0f64; partitions.max(1)];
+    for (p, work) in per_prod {
+        loads[p.index() % partitions.max(1)] += work;
+    }
+    loads.into_iter().fold(0.0, f64::max) / mips
+}
+
+/// DADO running the parallel Rete algorithm (§7.1, predicted ≈ 175
+/// wme-changes/s on the sixteen-thousand-PE 0.5-MIPS prototype).
+pub fn simulate_dado_rete(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> MachineEstimate {
+    // 32 partitions of 8-bit 0.5-MIPS PEs; the datapath penalty reflects
+    // multi-instruction 8-bit arithmetic on symbols/pointers. Broadcast,
+    // tree synchronization and the PM-level control loop dominate.
+    let partitions = 32;
+    let mips = 0.5;
+    let datapath_penalty = 4.0;
+    let per_change_overhead_us = 3500.0;
+
+    let work = per_change_work(trace, network, cost);
+    if work.is_empty() {
+        return MachineEstimate::from_change_time("dado-rete", 0.0);
+    }
+    let mean: f64 = work
+        .iter()
+        .map(|(_, per_prod)| {
+            per_change_overhead_us
+                + max_partition_us(per_prod, partitions, mips) * datapath_penalty
+        })
+        .sum::<f64>()
+        / work.len() as f64;
+    MachineEstimate::from_change_time("dado-rete", mean)
+}
+
+/// DADO running TREAT (§7.1, predicted ≈ 215 wme-changes/s). TREAT
+/// recomputes joins but fans the candidate tests across the WM-subtree
+/// associatively, so the per-partition serial work shrinks relative to
+/// Rete while the tree overheads stay.
+pub fn simulate_dado_treat(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> MachineEstimate {
+    let partitions = 32;
+    let mips = 0.5;
+    let datapath_penalty = 4.0;
+    let per_change_overhead_us = 2600.0;
+    // Join recomputation costs ~2.5x the incremental work, but the
+    // WM-subtree evaluates candidates ~4-ways associatively.
+    let recompute_factor = 2.5;
+    let subtree_parallelism = 4.0;
+
+    let work = per_change_work(trace, network, cost);
+    if work.is_empty() {
+        return MachineEstimate::from_change_time("dado-treat", 0.0);
+    }
+    let mean: f64 = work
+        .iter()
+        .map(|(_, per_prod)| {
+            let part =
+                max_partition_us(per_prod, partitions, mips) * datapath_penalty;
+            per_change_overhead_us + part * recompute_factor / subtree_parallelism
+        })
+        .sum::<f64>()
+        / work.len() as f64;
+    MachineEstimate::from_change_time("dado-treat", mean)
+}
+
+/// NON-VON (§7.2, predicted ≈ 2000 wme-changes/s): 3-MIPS processing
+/// elements (six times DADO's) and wider associative operations, still
+/// tree-structured with serial change processing.
+pub fn simulate_nonvon(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> MachineEstimate {
+    let partitions = 32;
+    let mips = 3.0;
+    let datapath_penalty = 1.5;
+    let per_change_overhead_us = 320.0;
+
+    let work = per_change_work(trace, network, cost);
+    if work.is_empty() {
+        return MachineEstimate::from_change_time("non-von", 0.0);
+    }
+    let mean: f64 = work
+        .iter()
+        .map(|(_, per_prod)| {
+            per_change_overhead_us
+                + max_partition_us(per_prod, partitions, mips) * datapath_penalty
+        })
+        .sum::<f64>()
+        / work.len() as f64;
+    MachineEstimate::from_change_time("non-von", mean)
+}
+
+/// Oflazer's machine (§7.3, 4500–7000 wme-changes/s): 512 processors at
+/// 5–10 MIPS updating all-combination state in parallel. Its two
+/// published drawbacks are modeled directly: extra state work plus
+/// garbage-collection overhead, and **no parallel processing of multiple
+/// WM changes** (each change pays the full tree latency serially).
+pub fn simulate_oflazer_machine(
+    trace: &Trace,
+    network: &Network,
+    cost: &CostModel,
+) -> MachineEstimate {
+    let mips = 7.5;
+    // Token interactions are independent, so parallelism is wide — but
+    // the paper *speculates* (its word) that the extra processors are
+    // "simply used up by the less conservative state-storing strategy",
+    // that garbage collection adds serial overhead, and that the machine
+    // cannot process multiple WM changes in parallel. Those three
+    // effects are not derivable from published data, so they are folded
+    // into the fitted constants below, chosen to reproduce the §7
+    // ordering (NON-VON < Oflazer < PSM) on our traces. The published
+    // absolute band (4500–7000 wme-ch/s) is reported alongside in the
+    // experiment output.
+    let effective_parallelism = 12.0;
+    // All-combination state costs roughly 2x the Rete state work (§7.3
+    // reasons (1) and (2)).
+    let state_overhead_factor = 2.0;
+    // Serial per-change latency: tree traversal + garbage collection.
+    let per_change_overhead_us = 270.0;
+
+    let work = per_change_work(trace, network, cost);
+    if work.is_empty() {
+        return MachineEstimate::from_change_time("oflazer", 0.0);
+    }
+    let mean: f64 = work
+        .iter()
+        .map(|(total, _)| {
+            per_change_overhead_us
+                + total * state_overhead_factor / (effective_parallelism * mips)
+        })
+        .sum::<f64>()
+        / work.len() as f64;
+    MachineEstimate::from_change_time("oflazer", mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::parse_program;
+    use rete::{CompileOptions, TraceBuilder};
+
+    fn fixture() -> (Network, Trace) {
+        let program = parse_program(
+            r#"
+            (p p0 (a ^x <v>) (b ^x <v>) --> (remove 1))
+            (p p1 (a ^x <v>) (c ^x <v>) --> (remove 1))
+            (p p2 (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let network =
+            Network::compile_with(&program, CompileOptions { share: false }).unwrap();
+        let join_of = |p: u32| -> u32 {
+            network
+                .nodes
+                .iter()
+                .position(|s| {
+                    s.kind == rete::network::NodeKind::Join
+                        && s.production == Some(ops5::ProductionId(p))
+                })
+                .unwrap() as u32
+        };
+        let mut b = TraceBuilder::new();
+        for _ in 0..20 {
+            b.begin_cycle();
+            b.begin_change(true);
+            let root = b.record(None, ActivationKind::ConstantTest, 0, 30, 0, 2);
+            for p in 0..3u32 {
+                let reps = 1 + p * 2; // skewed per-production work
+                for _ in 0..reps {
+                    b.record(Some(root), ActivationKind::JoinRight, join_of(p), 6, 25, 1);
+                }
+            }
+            b.end_cycle();
+        }
+        (network, b.finish())
+    }
+
+    #[test]
+    fn published_ordering_holds() {
+        let (network, trace) = fixture();
+        let cost = CostModel::default();
+        let dado = simulate_dado_rete(&trace, &network, &cost);
+        let treat = simulate_dado_treat(&trace, &network, &cost);
+        let nonvon = simulate_nonvon(&trace, &network, &cost);
+        let oflazer = simulate_oflazer_machine(&trace, &network, &cost);
+        // §7's ordering: DADO-Rete < DADO-TREAT < NON-VON < Oflazer.
+        assert!(dado.wme_changes_per_sec < treat.wme_changes_per_sec);
+        assert!(treat.wme_changes_per_sec < nonvon.wme_changes_per_sec);
+        assert!(nonvon.wme_changes_per_sec < oflazer.wme_changes_per_sec);
+        // Bands (loose): the tree machines sit orders of magnitude apart.
+        assert!(dado.wme_changes_per_sec < 500.0);
+        assert!(oflazer.wme_changes_per_sec > 1000.0);
+    }
+
+    #[test]
+    fn estimates_scale_with_work() {
+        let (network, trace) = fixture();
+        let cheap = CostModel::default();
+        let mut expensive = CostModel::default();
+        expensive.per_pair_scanned *= 10;
+        expensive.per_join_test *= 10;
+        let a = simulate_dado_rete(&trace, &network, &cheap);
+        let b = simulate_dado_rete(&trace, &network, &expensive);
+        assert!(b.mean_change_time_us > a.mean_change_time_us);
+        assert!(b.wme_changes_per_sec < a.wme_changes_per_sec);
+    }
+
+    #[test]
+    fn ordering_survives_cost_normalization() {
+        let (network, trace) = fixture();
+        let cost = CostModel::default().normalized_to(&trace, 1800.0);
+        let dado = simulate_dado_rete(&trace, &network, &cost);
+        let treat = simulate_dado_treat(&trace, &network, &cost);
+        let nonvon = simulate_nonvon(&trace, &network, &cost);
+        let oflazer = simulate_oflazer_machine(&trace, &network, &cost);
+        assert!(dado.wme_changes_per_sec < treat.wme_changes_per_sec);
+        assert!(treat.wme_changes_per_sec < nonvon.wme_changes_per_sec);
+        assert!(nonvon.wme_changes_per_sec < oflazer.wme_changes_per_sec);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero() {
+        let (network, _) = fixture();
+        let e = simulate_nonvon(&Trace::default(), &network, &CostModel::default());
+        assert_eq!(e.wme_changes_per_sec, 0.0);
+    }
+}

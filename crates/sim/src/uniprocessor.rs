@@ -1,0 +1,87 @@
+//! The Section 2.2 uniprocessor interpreter speed ladder.
+//!
+//! The paper: the Lisp OPS5 interpreter runs at ~8 wme-changes/s on a
+//! VAX-11/780, the Bliss one at ~40, the OPS83-style compiled matcher at
+//! ~200, projected optimized compilers at 400–800 — and the parallel
+//! implementations aim for 5000–10000. This module reproduces the ladder
+//! from a measured per-change instruction cost: each rung is the
+//! VAX's native speed divided by a fitted interpretive-overhead factor.
+
+/// One rung of the interpreter ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniprocessorEstimate {
+    /// Implementation name.
+    pub implementation: &'static str,
+    /// Overhead factor relative to ideal compiled code.
+    pub overhead_factor: f64,
+    /// Estimated wme-changes per second.
+    pub wme_changes_per_sec: f64,
+    /// The figure the paper reports for this rung.
+    pub paper_reported: &'static str,
+}
+
+/// VAX-11/780 speed in MIPS (the classic "1 MIPS" machine actually
+/// sustains ~0.5 native MIPS on this kind of pointer-chasing code).
+pub const VAX_780_MIPS: f64 = 0.5;
+
+/// Builds the ladder for a measured mean per-change instruction cost
+/// (the paper's `c1 ≈ 1800`).
+///
+/// # Examples
+///
+/// ```
+/// let ladder = psm_sim::uniprocessor_ladder(1800.0);
+/// // Compiled Rete on a VAX-11/780 lands near the paper's ~200/s.
+/// let compiled = ladder.iter().find(|r| r.implementation == "compiled (OPS83)").unwrap();
+/// assert!(compiled.wme_changes_per_sec > 150.0 && compiled.wme_changes_per_sec < 300.0);
+/// ```
+pub fn uniprocessor_ladder(mean_change_instructions: f64) -> Vec<UniprocessorEstimate> {
+    let native = VAX_780_MIPS * 1e6 / mean_change_instructions.max(1.0);
+    let rung = |implementation, overhead_factor: f64, paper_reported| UniprocessorEstimate {
+        implementation,
+        overhead_factor,
+        wme_changes_per_sec: native / overhead_factor,
+        paper_reported,
+    };
+    vec![
+        rung("interpreted (Lisp)", 35.0, "~8/s"),
+        rung("interpreted (Bliss)", 7.0, "~40/s"),
+        rung("compiled (OPS83)", 1.4, "~200/s"),
+        rung("optimized compiled", 0.55, "400-800/s (projected)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_paper_bands_at_c1() {
+        let ladder = uniprocessor_ladder(1800.0);
+        assert_eq!(ladder.len(), 4);
+        let by_name = |n: &str| {
+            ladder
+                .iter()
+                .find(|r| r.implementation == n)
+                .unwrap()
+                .wme_changes_per_sec
+        };
+        let lisp = by_name("interpreted (Lisp)");
+        let bliss = by_name("interpreted (Bliss)");
+        let compiled = by_name("compiled (OPS83)");
+        let optimized = by_name("optimized compiled");
+        assert!((4.0..16.0).contains(&lisp), "lisp {lisp}");
+        assert!((25.0..60.0).contains(&bliss), "bliss {bliss}");
+        assert!((150.0..300.0).contains(&compiled), "compiled {compiled}");
+        assert!((400.0..800.0).contains(&optimized), "optimized {optimized}");
+        // Monotone ladder.
+        assert!(lisp < bliss && bliss < compiled && compiled < optimized);
+    }
+
+    #[test]
+    fn scales_inversely_with_cost() {
+        let cheap = uniprocessor_ladder(900.0);
+        let costly = uniprocessor_ladder(3600.0);
+        assert!(cheap[2].wme_changes_per_sec > costly[2].wme_changes_per_sec * 3.9);
+    }
+}

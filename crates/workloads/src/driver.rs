@@ -1,0 +1,327 @@
+//! Drives matchers through recognize–act-shaped change batches.
+//!
+//! The paper's simulator consumes traces "from an actual run of a
+//! production system"; our driver produces those runs: each synthetic
+//! cycle retracts a few live WMEs and asserts a few new ones (one
+//! production firing's worth of changes), feeding the batch to the
+//! matcher exactly as the interpreter's act phase would.
+
+use std::time::{Duration, Instant};
+
+use ops5::{Change, Matcher, WmeId, WorkingMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rete::{MatchStats, ReteMatcher, Trace};
+
+use crate::generator::GeneratedWorkload;
+
+/// Measured characteristics of a driver run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriverReport {
+    /// Cycles (synthetic firings) executed.
+    pub cycles: u64,
+    /// Working-memory changes processed.
+    pub wme_changes: u64,
+    /// Conflict-set insertions reported.
+    pub conflict_adds: u64,
+    /// Conflict-set deletions reported.
+    pub conflict_removes: u64,
+    /// Wall-clock time in the matcher (excludes batch synthesis).
+    pub match_time: Duration,
+    /// Live working-memory size at the end.
+    pub final_wm_size: usize,
+}
+
+impl DriverReport {
+    /// Working-memory changes per second of match time — the paper's
+    /// headline `wme-changes/sec` metric, here for real execution.
+    pub fn wme_changes_per_sec(&self) -> f64 {
+        let secs = self.match_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.wme_changes as f64 / secs
+        }
+    }
+
+    /// Mean WM changes per cycle.
+    pub fn changes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.wme_changes as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A reusable batch driver over one workload.
+#[derive(Debug)]
+pub struct WorkloadDriver {
+    workload: GeneratedWorkload,
+    rng: StdRng,
+    wm: WorkingMemory,
+    live: Vec<WmeId>,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver with its own change-stream seed (independent of
+    /// the program-structure seed).
+    pub fn new(workload: GeneratedWorkload, seed: u64) -> Self {
+        WorkloadDriver {
+            workload,
+            rng: StdRng::seed_from_u64(seed),
+            wm: WorkingMemory::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// The workload being driven.
+    pub fn workload(&self) -> &GeneratedWorkload {
+        &self.workload
+    }
+
+    /// The driver's working memory.
+    pub fn working_memory(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// Populates the initial working memory through `matcher`.
+    pub fn init<M: Matcher>(&mut self, matcher: &mut M) {
+        let wmes = self.workload.initial_wm(&mut self.rng);
+        for wme in wmes {
+            let (id, _) = self.wm.add(wme);
+            self.live.push(id);
+            matcher.add_wme(&self.wm, id);
+        }
+    }
+
+    /// Synthesizes the next change batch: retractions of live WMEs
+    /// followed by fresh assertions. Asserted WMEs are already in the
+    /// working memory when this returns; retracted ones stay resolvable
+    /// until [`WorkloadDriver::commit_batch`].
+    pub fn next_batch(&mut self) -> Vec<Change> {
+        let spec = &self.workload.spec;
+        let n = self.rng.gen_range(spec.min_changes..=spec.max_changes).max(1);
+        let n_removes = ((n as f64 * spec.remove_fraction).round() as usize)
+            .min(self.live.len());
+        let mut batch = Vec::with_capacity(n);
+        for _ in 0..n_removes {
+            let idx = self.rng.gen_range(0..self.live.len());
+            batch.push(Change::Remove(self.live.swap_remove(idx)));
+        }
+        for _ in 0..(n - n_removes) {
+            let wme = self.workload.gen_wme(&mut self.rng);
+            let (id, _) = self.wm.add(wme);
+            self.live.push(id);
+            batch.push(Change::Add(id));
+        }
+        batch
+    }
+
+    /// Finalizes a batch: retracted WMEs leave the working memory.
+    pub fn commit_batch(&mut self, batch: &[Change]) {
+        for change in batch {
+            if let Change::Remove(id) = change {
+                self.wm.remove(*id);
+            }
+        }
+    }
+
+    /// Runs `cycles` batches through `matcher`, timing only the match
+    /// calls.
+    pub fn run_cycles<M: Matcher>(&mut self, matcher: &mut M, cycles: u64) -> DriverReport {
+        let mut report = DriverReport::default();
+        for _ in 0..cycles {
+            let batch = self.next_batch();
+            let start = Instant::now();
+            let delta = matcher.process(&self.wm, &batch);
+            report.match_time += start.elapsed();
+            self.commit_batch(&batch);
+            report.cycles += 1;
+            report.wme_changes += batch.len() as u64;
+            report.conflict_adds += delta.added.len() as u64;
+            report.conflict_removes += delta.removed.len() as u64;
+        }
+        report.final_wm_size = self.wm.len();
+        report
+    }
+}
+
+/// Runs the sequential Rete matcher over `cycles` batches with tracing
+/// enabled (setup excluded) and returns the trace plus aggregate match
+/// statistics — the input the `psm-sim` simulator replays.
+pub fn capture_trace(
+    workload: &GeneratedWorkload,
+    cycles: u64,
+    seed: u64,
+) -> Result<(Trace, MatchStats), ops5::Error> {
+    let (trace, stats, _net) =
+        capture_trace_with(workload, cycles, seed, rete::CompileOptions::default())?;
+    Ok((trace, stats))
+}
+
+/// Like [`capture_trace`] but with explicit compile options, also
+/// returning the compiled network. Per-production cost attribution in
+/// the simulator's machine models needs an *unshared* network
+/// (`CompileOptions { share: false }`).
+pub fn capture_trace_with(
+    workload: &GeneratedWorkload,
+    cycles: u64,
+    seed: u64,
+    options: rete::CompileOptions,
+) -> Result<(Trace, MatchStats, std::sync::Arc<rete::Network>), ops5::Error> {
+    let mut matcher = ReteMatcher::compile_with(&workload.program, options)?;
+    let mut driver = WorkloadDriver::new(workload.clone(), seed);
+    driver.init(&mut matcher);
+    matcher.enable_tracing();
+    let baseline = matcher.stats();
+    driver.run_cycles(&mut matcher, cycles);
+    let trace = matcher.take_trace();
+    let mut stats = matcher.stats();
+    // Report only the traced portion of the work.
+    stats.changes -= baseline.changes;
+    stats.constant_tests -= baseline.constant_tests;
+    let network = std::sync::Arc::clone(matcher.network());
+    Ok((trace, stats, network))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+    use baselinesless::DummyCountingMatcher;
+
+    /// A matcher that only counts calls — validates driver mechanics
+    /// without a real match algorithm. (Named module avoids a dependency
+    /// on the `baselines` crate, which would be circular for dev-deps.)
+    mod baselinesless {
+        use ops5::{MatchDelta, Matcher, WmeId, WorkingMemory};
+
+        #[derive(Debug, Default)]
+        pub struct DummyCountingMatcher {
+            pub adds: u64,
+            pub removes: u64,
+        }
+
+        impl Matcher for DummyCountingMatcher {
+            fn add_wme(&mut self, _wm: &WorkingMemory, _id: WmeId) -> MatchDelta {
+                self.adds += 1;
+                MatchDelta::new()
+            }
+            fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+                assert!(
+                    wm.get(id).is_some(),
+                    "contract: removed WME still resolvable during match"
+                );
+                self.removes += 1;
+                MatchDelta::new()
+            }
+            fn algorithm_name(&self) -> &'static str {
+                "dummy"
+            }
+        }
+    }
+
+    fn small_workload() -> GeneratedWorkload {
+        GeneratedWorkload::generate(WorkloadSpec {
+            productions: 30,
+            wm_size: 50,
+            ..WorkloadSpec::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn driver_counts_and_contract() {
+        let w = small_workload();
+        let mut m = DummyCountingMatcher::default();
+        let mut d = WorkloadDriver::new(w, 7);
+        d.init(&mut m);
+        assert_eq!(m.adds, 50);
+        let report = d.run_cycles(&mut m, 20);
+        assert_eq!(report.cycles, 20);
+        assert_eq!(report.wme_changes, m.adds + m.removes - 50);
+        assert!(report.changes_per_cycle() >= 1.0);
+        assert_eq!(report.final_wm_size, d.working_memory().len());
+    }
+
+    #[test]
+    fn batches_shrink_and_grow_wm_consistently() {
+        let w = small_workload();
+        let mut m = DummyCountingMatcher::default();
+        let mut d = WorkloadDriver::new(w, 3);
+        d.init(&mut m);
+        let before = d.working_memory().len();
+        let batch = d.next_batch();
+        let adds = batch.iter().filter(|c| c.is_add()).count();
+        let removes = batch.len() - adds;
+        // Adds are already inserted; removes still present.
+        assert_eq!(d.working_memory().len(), before + adds);
+        d.commit_batch(&batch);
+        assert_eq!(d.working_memory().len(), before + adds - removes);
+    }
+
+    #[test]
+    fn capture_trace_produces_cycles() {
+        let w = small_workload();
+        let (trace, stats) = capture_trace(&w, 15, 99).unwrap();
+        assert_eq!(trace.cycles.len(), 15);
+        assert!(trace.total_changes() >= 15);
+        assert!(stats.changes as usize == trace.total_changes());
+        assert!(trace.total_activations() > 0);
+        // Affected productions are recorded for every change.
+        let any_affected = trace
+            .cycles
+            .iter()
+            .flat_map(|c| &c.changes)
+            .any(|c| !c.affected_productions.is_empty());
+        assert!(any_affected);
+    }
+
+    #[test]
+    fn captured_traces_are_well_formed() {
+        use rete::ActivationKind;
+        let w = small_workload();
+        let (trace, _) = capture_trace(&w, 25, 13).unwrap();
+        for cycle in &trace.cycles {
+            assert!(!cycle.changes.is_empty());
+            for change in &cycle.changes {
+                // The first activation of every change is the constant
+                // test; all parents precede their children.
+                assert_eq!(
+                    change.activations.first().map(|a| a.kind),
+                    Some(ActivationKind::ConstantTest)
+                );
+                for (i, act) in change.activations.iter().enumerate() {
+                    assert_eq!(act.id as usize, i, "ids are dense");
+                    if let Some(p) = act.parent {
+                        assert!((p as usize) < i, "parent precedes child");
+                        // Memory updates and terminals never spawn from
+                        // terminals.
+                        assert_ne!(
+                            change.activations[p as usize].kind,
+                            ActivationKind::Terminal
+                        );
+                    } else {
+                        assert_eq!(act.kind, ActivationKind::ConstantTest);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn driver_is_deterministic_per_seed() {
+        let w = small_workload();
+        let mut m1 = DummyCountingMatcher::default();
+        let mut d1 = WorkloadDriver::new(w.clone(), 11);
+        d1.init(&mut m1);
+        let r1 = d1.run_cycles(&mut m1, 10);
+        let mut m2 = DummyCountingMatcher::default();
+        let mut d2 = WorkloadDriver::new(w, 11);
+        d2.init(&mut m2);
+        let r2 = d2.run_cycles(&mut m2, 10);
+        assert_eq!(r1.wme_changes, r2.wme_changes);
+        assert_eq!(r1.final_wm_size, r2.final_wm_size);
+    }
+}

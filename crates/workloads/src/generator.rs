@@ -1,0 +1,293 @@
+//! Parameterized synthetic production-system generation.
+//!
+//! The generator emits OPS5 source text and parses it, so generated
+//! workloads exercise the same front end as hand-written programs. The
+//! knobs map one-to-one onto the quantities Section 8 of the paper
+//! identifies as controlling exploitable parallelism:
+//!
+//! | knob | paper quantity |
+//! |---|---|
+//! | `classes`, `hot_exponent`, `constants` | affected productions per WM change |
+//! | `min_changes..=max_changes` | WM changes per recognize–act cycle |
+//! | `min_ces..=max_ces`, `join_values` | variance of per-production processing |
+//! | `wm_size` | stable working-memory size `s` (§3.1 cost model) |
+
+use ops5::{parse_program, parse_wme, Error, Program, Wme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic production system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (used in reports).
+    pub name: String,
+    /// Number of productions to generate.
+    pub productions: usize,
+    /// Number of WME classes in the vocabulary.
+    pub classes: usize,
+    /// Size of the constant pool tested by `^a0` (selectivity).
+    pub constants: usize,
+    /// Domain size of the join attribute `^a1` (join selectivity).
+    pub join_values: i64,
+    /// Minimum condition elements per production.
+    pub min_ces: usize,
+    /// Maximum condition elements per production.
+    pub max_ces: usize,
+    /// Probability that a non-first CE is negated.
+    pub negated_prob: f64,
+    /// Initial working-memory size.
+    pub wm_size: usize,
+    /// Minimum WM changes per firing batch.
+    pub min_changes: usize,
+    /// Maximum WM changes per firing batch.
+    pub max_changes: usize,
+    /// Fraction of batch changes that are retractions.
+    pub remove_fraction: f64,
+    /// Class-popularity skew: class `i` is drawn with weight
+    /// `1/(i+1)^hot_exponent`. Higher = more affected-set concentration.
+    pub hot_exponent: f64,
+    /// Generation seed (program structure).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "default".into(),
+            productions: 100,
+            classes: 20,
+            constants: 6,
+            join_values: 20,
+            min_ces: 2,
+            max_ces: 4,
+            negated_prob: 0.1,
+            wm_size: 200,
+            min_changes: 2,
+            max_changes: 4,
+            remove_fraction: 0.4,
+            hot_exponent: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated workload: the parsed program plus everything needed to
+/// synthesize a WME stream with the spec's distributions.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The generated program.
+    pub program: Program,
+    /// The spec it was generated from.
+    pub spec: WorkloadSpec,
+    /// Cumulative class weights for sampling.
+    class_cdf: Vec<f64>,
+}
+
+impl GeneratedWorkload {
+    /// Generates the program for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the generated source fails to parse — a bug
+    /// in the generator, surfaced rather than panicking.
+    pub fn generate(spec: WorkloadSpec) -> Result<Self, Error> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut src = String::new();
+        for i in 0..spec.productions {
+            src.push_str(&Self::gen_production(&spec, i, &mut rng));
+        }
+        let mut program = parse_program(&src)?;
+        // Pre-intern the full vocabulary so WMEs synthesized later (for
+        // classes/constants no production happened to reference) still
+        // get stable symbol identities.
+        for i in 0..spec.classes {
+            program.symbols.intern(&format!("c{i}"));
+        }
+        for k in 0..spec.constants {
+            program.symbols.intern(&format!("k{k}"));
+        }
+        for attr in ["a0", "a1", "a2"] {
+            program.symbols.intern(attr);
+        }
+        let class_cdf = class_cdf(&spec);
+        Ok(GeneratedWorkload {
+            program,
+            spec,
+            class_cdf,
+        })
+    }
+
+    fn gen_production(spec: &WorkloadSpec, index: usize, rng: &mut StdRng) -> String {
+        let n_ces = rng.gen_range(spec.min_ces..=spec.max_ces);
+        let mut out = format!("(p gen-{index}\n");
+        for ce in 0..n_ces {
+            let class = sample_class_raw(spec, rng);
+            let negated = ce > 0 && rng.gen_bool(spec.negated_prob);
+            let constant = rng.gen_range(0..spec.constants);
+            let mut tests = format!("^a0 k{constant}");
+            // Join structure: every CE carries the shared variable on
+            // `a1`, chaining the whole LHS (binding in CE 0).
+            tests.push_str(" ^a1 <j>");
+            // Occasionally add a predicate or a second constant for
+            // specificity variance.
+            match rng.gen_range(0..4) {
+                0 => tests.push_str(&format!(" ^a2 > {}", rng.gen_range(0..spec.join_values))),
+                1 => tests.push_str(&format!(" ^a2 {}", rng.gen_range(0..spec.join_values))),
+                _ => {}
+            }
+            let neg = if negated { "- " } else { "" };
+            out.push_str(&format!("  {neg}(c{class} {tests})\n"));
+        }
+        // Match-only workload: the driver synthesizes WM changes, so the
+        // RHS is empty (the paper's simulator also replays match traces
+        // without executing RHS code).
+        out.push_str("  -->\n)\n");
+        out
+    }
+
+    /// Samples a WME from the workload's class/value distributions.
+    pub fn gen_wme(&self, rng: &mut StdRng) -> Wme {
+        let class = self.sample_class(rng);
+        let constant = rng.gen_range(0..self.spec.constants);
+        let j = rng.gen_range(0..self.spec.join_values);
+        let j2 = rng.gen_range(0..self.spec.join_values);
+        // Parse through the front end to share the symbol interning path.
+        // Building via `Wme::new` would need a mutable symbol table too,
+        // and this keeps the text round-trip covered.
+        let mut symbols = self.program.symbols.clone();
+        let wme = parse_wme(
+            &format!("(c{class} ^a0 k{constant} ^a1 {j} ^a2 {j2})"),
+            &mut symbols,
+        )
+        .expect("generated WME parses");
+        wme
+    }
+
+    fn sample_class(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.gen();
+        self.class_cdf.partition_point(|&c| c < x).min(self.spec.classes - 1)
+    }
+
+    /// An initial working memory of `spec.wm_size` WMEs.
+    pub fn initial_wm(&self, rng: &mut StdRng) -> Vec<Wme> {
+        (0..self.spec.wm_size).map(|_| self.gen_wme(rng)).collect()
+    }
+}
+
+fn class_cdf(spec: &WorkloadSpec) -> Vec<f64> {
+    let weights: Vec<f64> = (0..spec.classes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.hot_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample_class_raw(spec: &WorkloadSpec, rng: &mut StdRng) -> usize {
+    let cdf = class_cdf(spec);
+    let x: f64 = rng.gen();
+    cdf.partition_point(|&c| c < x).min(spec.classes - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        let a = GeneratedWorkload::generate(spec.clone()).unwrap();
+        let b = GeneratedWorkload::generate(spec).unwrap();
+        assert_eq!(a.program.productions.len(), b.program.productions.len());
+        for (x, y) in a.program.productions.iter().zip(&b.program.productions) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ces, y.ces);
+        }
+    }
+
+    #[test]
+    fn respects_production_count_and_ce_bounds() {
+        let spec = WorkloadSpec {
+            productions: 50,
+            min_ces: 2,
+            max_ces: 5,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        assert_eq!(w.program.productions.len(), 50);
+        for p in &w.program.productions {
+            assert!(p.ces.len() >= 2 && p.ces.len() <= 5);
+            assert!(!p.ces[0].negated, "first CE never negated");
+        }
+    }
+
+    #[test]
+    fn wmes_have_full_attribute_set() {
+        let w = GeneratedWorkload::generate(WorkloadSpec::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let wme = w.gen_wme(&mut rng);
+            assert_eq!(wme.len(), 3, "a0, a1, a2 all present");
+        }
+    }
+
+    #[test]
+    fn hot_classes_dominate_sampling() {
+        let spec = WorkloadSpec {
+            classes: 10,
+            hot_exponent: 1.5,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..2000 {
+            counts[w.sample_class(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] * 4,
+            "class 0 should be much hotter: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zero_negation_spec_has_no_negated_ces() {
+        let spec = WorkloadSpec {
+            negated_prob: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        assert!(w
+            .program
+            .productions
+            .iter()
+            .all(|p| p.ces.iter().all(|ce| !ce.negated)));
+    }
+
+    #[test]
+    fn initial_wm_has_requested_size() {
+        let spec = WorkloadSpec {
+            wm_size: 37,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(w.initial_wm(&mut rng).len(), 37);
+    }
+
+    #[test]
+    fn generated_program_compiles_to_rete() {
+        let w = GeneratedWorkload::generate(WorkloadSpec::default()).unwrap();
+        let net = rete::Network::compile(&w.program).unwrap();
+        assert!(net.stats.terminals == 100);
+        assert!(net.stats.alpha_nodes > 0);
+        // Sharing should be non-trivial with a small vocabulary.
+        assert!(net.stats.alpha_nodes < net.stats.alpha_requests);
+    }
+}

@@ -1,0 +1,35 @@
+//! # workloads — production systems to measure
+//!
+//! The paper's measurements come from six large OPS5 systems built at
+//! CMU (VT, ILOG, MUD, DAA, R1-Soar, Eight-Puzzle-Soar). Those programs
+//! and their traces are not available, so this crate provides the
+//! substitution documented in `DESIGN.md`:
+//!
+//! * [`generator`] — a parameterized synthetic production-system
+//!   generator whose knobs control exactly the quantities the paper's
+//!   conclusions rest on: affected productions per change (~30), working-
+//!   memory turnover per cycle (< 0.5 %), changes per firing, and the
+//!   skew of per-production processing cost.
+//! * [`presets`] — six named parameter sets approximating the published
+//!   characteristics of the six systems (plus "parallel firings"
+//!   variants with larger change batches).
+//! * [`driver`] — drives a matcher through recognize–act-shaped change
+//!   batches and reports measured characteristics; also captures Rete
+//!   node-activation traces for the `psm-sim` simulator.
+//! * [`programs`] — small *real* OPS5 programs (monkey-and-bananas,
+//!   transitive closure, rule-based sorting) that run end-to-end through
+//!   the interpreter, used by the examples and integration tests.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod driver;
+pub mod generator;
+pub mod presets;
+pub mod programs;
+pub mod report;
+
+pub use driver::{capture_trace, capture_trace_with, DriverReport, WorkloadDriver};
+pub use generator::{GeneratedWorkload, WorkloadSpec};
+pub use presets::{preset, preset_names, Preset};
+pub use report::Characteristics;

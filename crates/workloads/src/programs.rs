@@ -1,0 +1,539 @@
+//! Real, self-running OPS5 programs.
+//!
+//! Unlike the synthetic generator (which exercises *match* under
+//! controlled distributions), these programs run end-to-end through the
+//! recognize–act interpreter: their right-hand sides drive the
+//! computation, like the application programs the paper's introduction
+//! motivates. They power the examples and the integration tests.
+
+use ops5::{parse_program, parse_wmes, Error, Program, Wme};
+
+/// The classic monkey-and-bananas planning problem.
+///
+/// A monkey must walk to a ladder, push it under the bananas, climb, and
+/// grab. Four rules fire in sequence; `grab` halts the run.
+pub const MONKEY_BANANAS: &str = r#"
+(p grab
+  (goal ^want bananas)
+  (bananas ^at <p>)
+  (ladder ^at <p>)
+  (monkey ^on ladder ^at <p> ^holds nothing)
+  -->
+  (modify 4 ^holds bananas)
+  (write monkey grabs bananas)
+  (halt))
+
+(p climb
+  (goal ^want bananas)
+  (bananas ^at <p>)
+  (ladder ^at <p>)
+  (monkey ^on floor ^at <p>)
+  -->
+  (modify 4 ^on ladder)
+  (write monkey climbs ladder))
+
+(p push-ladder
+  (goal ^want bananas)
+  (bananas ^at <p>)
+  (ladder ^at { <q> <> <p> })
+  (monkey ^on floor ^at <q>)
+  -->
+  (modify 3 ^at <p>)
+  (modify 4 ^at <p>)
+  (write monkey pushes ladder to <p>))
+
+(p walk-to-ladder
+  (goal ^want bananas)
+  (ladder ^at <q>)
+  (monkey ^on floor ^at { <r> <> <q> } ^holds nothing)
+  -->
+  (modify 3 ^at <q>)
+  (write monkey walks to <q>))
+"#;
+
+/// Builds the monkey-and-bananas program and its initial working memory
+/// (monkey at `a`, ladder at `b`, bananas at `c`).
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn monkey_bananas() -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(MONKEY_BANANAS)?;
+    let wmes = parse_wmes(
+        r#"
+        (goal ^want bananas)
+        (bananas ^at c)
+        (ladder ^at b)
+        (monkey ^on floor ^at a ^holds nothing)
+        "#,
+        &mut program.symbols,
+    )?;
+    Ok((program, wmes))
+}
+
+/// Transitive closure over an edge relation: derives `reach` facts until
+/// quiescence. A negated condition element keeps it terminating.
+pub const TRANSITIVE_CLOSURE: &str = r#"
+(p tc-init
+  (edge ^from <a> ^to <b>)
+  - (reach ^from <a> ^to <b>)
+  -->
+  (make reach ^from <a> ^to <b>))
+
+(p tc-extend
+  (reach ^from <a> ^to <b>)
+  (edge ^from <b> ^to <c>)
+  - (reach ^from <a> ^to <c>)
+  -->
+  (make reach ^from <a> ^to <c>))
+"#;
+
+/// Builds the transitive-closure program plus `edge` WMEs for the given
+/// edge list (node ids become integer attribute values).
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn transitive_closure(edges: &[(i64, i64)]) -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(TRANSITIVE_CLOSURE)?;
+    let literals: String = edges
+        .iter()
+        .map(|(a, b)| format!("(edge ^from {a} ^to {b})\n"))
+        .collect();
+    let wmes = parse_wmes(&literals, &mut program.symbols)?;
+    Ok((program, wmes))
+}
+
+/// Rule-based bubble sort: adjacent out-of-order items swap values until
+/// no inversion remains. Each firing removes at least one inversion, so
+/// the system reaches quiescence with the values sorted.
+pub const RULE_SORT: &str = r#"
+(p swap-adjacent
+  (item ^pos <i> ^val <v>)
+  (succ ^of <i> ^is <j>)
+  (item ^pos <j> ^val { <w> < <v> })
+  -->
+  (modify 1 ^val <w>)
+  (modify 3 ^val <v>))
+"#;
+
+/// Builds the sorting program plus `item`/`succ` WMEs for `values`.
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn rule_sort(values: &[i64]) -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(RULE_SORT)?;
+    let mut literals = String::new();
+    for (i, v) in values.iter().enumerate() {
+        literals.push_str(&format!("(item ^pos {i} ^val {v})\n"));
+        if i + 1 < values.len() {
+            literals.push_str(&format!("(succ ^of {i} ^is {})\n", i + 1));
+        }
+    }
+    let wmes = parse_wmes(&literals, &mut program.symbols)?;
+    Ok((program, wmes))
+}
+
+/// Towers of Hanoi solved with a goal stack under MEA conflict
+/// resolution — the classic OPS5 use of `compute` and recency: the most
+/// recently created goal is processed first (LIFO), giving the correct
+/// depth-first move order.
+pub const HANOI: &str = r#"
+(p split
+  (goal ^atomic no ^disk { <n> > 1 } ^from <f> ^to <t> ^via <v>)
+  -->
+  (remove 1)
+  (make goal ^atomic no ^disk (compute <n> - 1) ^from <v> ^to <t> ^via <f>)
+  (make goal ^atomic yes ^disk <n> ^from <f> ^to <t>)
+  (make goal ^atomic no ^disk (compute <n> - 1) ^from <f> ^to <v> ^via <t>))
+
+(p base
+  (goal ^atomic no ^disk 1 ^from <f> ^to <t>)
+  -->
+  (remove 1)
+  (make goal ^atomic yes ^disk 1 ^from <f> ^to <t>))
+
+(p do-move
+  (goal ^atomic yes ^disk <n> ^from <f> ^to <t>)
+  (counter ^n <k>)
+  -->
+  (remove 1)
+  (make move ^seq <k> ^disk <n> ^from <f> ^to <t>)
+  (modify 2 ^n (compute <k> + 1))
+  (write move disk <n> from <f> to <t>))
+"#;
+
+/// Builds the Towers of Hanoi program and its initial working memory
+/// for `disks` disks on pegs a → c via b. Run it under
+/// [`ops5::Strategy::Mea`].
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn hanoi(disks: i64) -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(HANOI)?;
+    let wmes = parse_wmes(
+        &format!(
+            "(goal ^atomic no ^disk {disks} ^from a ^to c ^via b)\n(counter ^n 0)"
+        ),
+        &mut program.symbols,
+    )?;
+    Ok((program, wmes))
+}
+
+/// Iterative Fibonacci driven by a single self-modifying rule with
+/// `compute` arithmetic; halts when the index reaches the limit.
+pub const FIBONACCI: &str = r#"
+(p fib-step
+  (fib ^i <i> ^a <a> ^b <b>)
+  (limit ^n > <i>)
+  -->
+  (modify 1 ^i (compute <i> + 1) ^a <b> ^b (compute <a> + <b>)))
+
+(p fib-done
+  (fib ^i <i> ^a <a>)
+  (limit ^n <i>)
+  -->
+  (write fib <i> is <a>)
+  (halt))
+"#;
+
+/// Builds the Fibonacci program computing `fib(n)`.
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn fibonacci(n: i64) -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(FIBONACCI)?;
+    let wmes = parse_wmes(
+        &format!("(fib ^i 0 ^a 0 ^b 1)\n(limit ^n {n})"),
+        &mut program.symbols,
+    )?;
+    Ok((program, wmes))
+}
+
+/// Single-source shortest paths by rule-based relaxation: a wavefront
+/// `wave` fact per reached cell carrying its distance, improved
+/// Bellman-Ford-style until quiescence. Every firing either reaches a
+/// new cell or strictly decreases a distance, so termination is
+/// guaranteed and the fixpoint is the true shortest-path distances.
+pub const SHORTEST_PATHS: &str = r#"
+(p seed
+  (start ^cell <c>)
+  - (wave ^cell <c>)
+  -->
+  (make wave ^cell <c> ^d 0 ^next 1))
+
+(p expand
+  (wave ^cell <c> ^next <d1>)
+  (adj ^from <c> ^to <n>)
+  - (wave ^cell <n>)
+  -->
+  (make wave ^cell <n> ^d <d1> ^next (compute <d1> + 1)))
+
+(p improve
+  (wave ^cell <c> ^next <d1>)
+  (adj ^from <c> ^to <n>)
+  (wave ^cell <n> ^d > <d1>)
+  -->
+  (modify 3 ^d <d1> ^next (compute <d1> + 1)))
+"#;
+
+/// Builds the shortest-paths program over directed `edges` from `start`.
+///
+/// # Errors
+///
+/// Returns [`Error`] only if the embedded source fails to parse (a bug).
+pub fn shortest_paths(edges: &[(i64, i64)], start: i64) -> Result<(Program, Vec<Wme>), Error> {
+    let mut program = parse_program(SHORTEST_PATHS)?;
+    let mut literals = format!("(start ^cell {start})\n");
+    for (a, b) in edges {
+        literals.push_str(&format!("(adj ^from {a} ^to {b})\n"));
+    }
+    let wmes = parse_wmes(&literals, &mut program.symbols)?;
+    Ok((program, wmes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Interpreter, Strategy, Value};
+    use rete::ReteMatcher;
+
+    #[test]
+    fn monkey_gets_bananas_in_four_firings() {
+        let (program, wmes) = monkey_bananas().unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        let fired = interp.run(20).unwrap();
+        assert_eq!(fired, 4, "walk, push, climb, grab");
+        assert_eq!(
+            interp.output().last().map(String::as_str),
+            Some("monkey grabs bananas")
+        );
+        // The monkey ends up holding the bananas.
+        let holds = interp.program().symbols.lookup("holds").unwrap();
+        let bananas = interp.program().symbols.lookup("bananas").unwrap();
+        assert!(interp
+            .working_memory()
+            .iter()
+            .any(|(_, w, _)| w.get(holds) == Some(Value::Sym(bananas))));
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        // 0 -> 1 -> 2 -> 3: closure has 3 + 2 + 1 = 6 reach facts.
+        let (program, wmes) = transitive_closure(&[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        let fired = interp.run(100).unwrap();
+        assert_eq!(fired, 6, "one firing per derived reach fact");
+        let reach = interp.program().symbols.lookup("reach").unwrap();
+        let n = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w, _)| w.class() == reach)
+            .count();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn transitive_closure_of_a_cycle_terminates() {
+        let (program, wmes) = transitive_closure(&[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        let fired = interp.run(200).unwrap();
+        // Every ordered pair (including self-reachability): 3×3 = 9.
+        assert_eq!(fired, 9);
+    }
+
+    #[test]
+    fn rule_sort_sorts() {
+        let values = [5, 1, 4, 2, 3];
+        let (program, wmes) = rule_sort(&values).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        let fired = interp.run(500).unwrap();
+        assert!(fired > 0);
+        // Read back items ordered by position.
+        let item = interp.program().symbols.lookup("item").unwrap();
+        let pos = interp.program().symbols.lookup("pos").unwrap();
+        let val = interp.program().symbols.lookup("val").unwrap();
+        let mut out: Vec<(i64, i64)> = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w, _)| w.class() == item)
+            .map(|(_, w, _)| match (w.get(pos), w.get(val)) {
+                (Some(Value::Int(p)), Some(Value::Int(v))) => (p, v),
+                _ => panic!("malformed item"),
+            })
+            .collect();
+        out.sort();
+        let sorted: Vec<i64> = out.iter().map(|&(_, v)| v).collect();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    /// Reference Hanoi move sequence for verification.
+    fn hanoi_moves(n: i64, from: char, to: char, via: char, out: &mut Vec<(i64, char, char)>) {
+        if n == 0 {
+            return;
+        }
+        hanoi_moves(n - 1, from, via, to, out);
+        out.push((n, from, to));
+        hanoi_moves(n - 1, via, to, from, out);
+    }
+
+    #[test]
+    fn hanoi_produces_the_optimal_move_sequence() {
+        for disks in 1..=4 {
+            let (program, wmes) = hanoi(disks).unwrap();
+            let matcher = ReteMatcher::compile(&program).unwrap();
+            let mut interp = Interpreter::new(program, matcher);
+            interp.set_strategy(Strategy::Mea);
+            interp.insert_all(wmes);
+            interp.run(10_000).unwrap();
+
+            // Collect moves ordered by ^seq.
+            let mv = interp.program().symbols.lookup("move").unwrap();
+            let seq = interp.program().symbols.lookup("seq").unwrap();
+            let disk = interp.program().symbols.lookup("disk").unwrap();
+            let from = interp.program().symbols.lookup("from").unwrap();
+            let to = interp.program().symbols.lookup("to").unwrap();
+            let peg = |interp: &Interpreter<ReteMatcher>, v: Value| -> char {
+                match v {
+                    Value::Sym(s) => interp.program().symbols.name(s).chars().next().unwrap(),
+                    Value::Int(_) => panic!("peg should be symbolic"),
+                }
+            };
+            let mut moves: Vec<(i64, i64, char, char)> = interp
+                .working_memory()
+                .iter()
+                .filter(|(_, w, _)| w.class() == mv)
+                .map(|(_, w, _)| {
+                    let s = match w.get(seq).unwrap() {
+                        Value::Int(i) => i,
+                        _ => panic!(),
+                    };
+                    let d = match w.get(disk).unwrap() {
+                        Value::Int(i) => i,
+                        _ => panic!(),
+                    };
+                    (
+                        s,
+                        d,
+                        peg(&interp, w.get(from).unwrap()),
+                        peg(&interp, w.get(to).unwrap()),
+                    )
+                })
+                .collect();
+            moves.sort_unstable();
+            assert_eq!(moves.len() as i64, (1 << disks) - 1, "2^n - 1 moves");
+
+            let mut expected = Vec::new();
+            hanoi_moves(disks, 'a', 'c', 'b', &mut expected);
+            let got: Vec<(i64, char, char)> =
+                moves.into_iter().map(|(_, d, f, t)| (d, f, t)).collect();
+            assert_eq!(got, expected, "disks={disks}");
+        }
+    }
+
+    #[test]
+    fn fibonacci_computes_correctly() {
+        let (program, wmes) = fibonacci(10).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        interp.run(100).unwrap();
+        assert_eq!(
+            interp.output().last().map(String::as_str),
+            Some("fib 10 is 55")
+        );
+    }
+
+    /// Reference BFS distances.
+    fn bfs(edges: &[(i64, i64)], start: i64) -> std::collections::HashMap<i64, i64> {
+        let mut dist = std::collections::HashMap::new();
+        dist.insert(start, 0i64);
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &c in &frontier {
+                let d = dist[&c];
+                for &(a, b) in edges {
+                    if a == c && !dist.contains_key(&b) {
+                        dist.insert(b, d + 1);
+                        next.push(b);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    fn run_shortest(edges: &[(i64, i64)], start: i64) -> std::collections::HashMap<i64, i64> {
+        let (program, wmes) = shortest_paths(edges, start).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        interp.run(100_000).unwrap();
+        let wave = interp.program().symbols.lookup("wave").unwrap();
+        let cell = interp.program().symbols.lookup("cell").unwrap();
+        let d = interp.program().symbols.lookup("d").unwrap();
+        interp
+            .working_memory()
+            .by_class(wave)
+            .map(|(_, w)| match (w.get(cell), w.get(d)) {
+                (Some(Value::Int(c)), Some(Value::Int(dd))) => (c, dd),
+                _ => panic!("malformed wave fact"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shortest_paths_on_a_grid_match_bfs() {
+        // 4x4 grid, 4-connected, with a wall knocking out two cells so
+        // some shortest paths must detour.
+        let w = 4i64;
+        let blocked = [1i64, 6];
+        let mut edges = Vec::new();
+        for r in 0..w {
+            for c in 0..w {
+                let id = r * w + c;
+                if blocked.contains(&id) {
+                    continue;
+                }
+                for (dr, dc) in [(0i64, 1i64), (1, 0), (0, -1), (-1, 0)] {
+                    let (nr, nc) = (r + dr, c + dc);
+                    let nid = nr * w + nc;
+                    if (0..w).contains(&nr) && (0..w).contains(&nc)
+                        && !blocked.contains(&nid)
+                    {
+                        edges.push((id, nid));
+                    }
+                }
+            }
+        }
+        let got = run_shortest(&edges, 0);
+        let expected = bfs(&edges, 0);
+        assert_eq!(got, expected, "rule-based relaxation equals BFS");
+        // The wall forces a detour: cell 2 (row 0) is far beyond its
+        // Manhattan distance of 2.
+        assert!(got[&2] > 2, "detour expected, got {}", got[&2]);
+    }
+
+    #[test]
+    fn shortest_paths_ignore_unreachable_cells() {
+        let got = run_shortest(&[(0, 1), (1, 2), (7, 8)], 0);
+        assert_eq!(got.len(), 3, "only the component of the start");
+        assert_eq!(got[&2], 2);
+    }
+
+    #[test]
+    fn transitive_closure_disconnected_components() {
+        let (program, wmes) =
+            transitive_closure(&[(0, 1), (5, 6), (6, 7)]).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        let fired = interp.run(100).unwrap();
+        // Component {0,1}: 1 fact; component {5,6,7}: 2+1 = 3 facts.
+        assert_eq!(fired, 4);
+    }
+
+    #[test]
+    fn rule_sort_single_element_is_quiescent() {
+        let (program, wmes) = rule_sort(&[42]).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        assert_eq!(interp.run(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn fibonacci_base_case() {
+        let (program, wmes) = fibonacci(0).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        interp.run(10).unwrap();
+        assert_eq!(
+            interp.output().last().map(String::as_str),
+            Some("fib 0 is 0")
+        );
+    }
+
+    #[test]
+    fn rule_sort_already_sorted_is_quiescent() {
+        let (program, wmes) = rule_sort(&[1, 2, 3]).unwrap();
+        let matcher = ReteMatcher::compile(&program).unwrap();
+        let mut interp = Interpreter::new(program, matcher);
+        interp.insert_all(wmes);
+        assert_eq!(interp.run(10).unwrap(), 0);
+    }
+}

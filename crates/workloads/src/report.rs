@@ -1,0 +1,90 @@
+//! Measured workload characteristics — the quantities the paper's
+//! argument rests on, extracted from a captured trace in one call.
+
+use rete::Trace;
+
+use crate::generator::GeneratedWorkload;
+
+/// The measured characteristics of a workload run, alongside the paper's
+/// reference bands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Characteristics {
+    /// Productions in the program.
+    pub productions: usize,
+    /// Mean productions affected per WM change (paper: ~30).
+    pub affected_per_change: f64,
+    /// Mean WM changes per recognize–act cycle (paper: small, 2–6).
+    pub changes_per_cycle: f64,
+    /// Mean node activations per change.
+    pub activations_per_change: f64,
+    /// WM turnover per cycle as a fraction of the stable WM size
+    /// (paper: < 0.5 %).
+    pub turnover_per_cycle: f64,
+}
+
+impl Characteristics {
+    /// Measures a captured trace of `workload`.
+    pub fn measure(workload: &GeneratedWorkload, trace: &Trace) -> Self {
+        let changes = trace.total_changes().max(1) as f64;
+        Characteristics {
+            productions: workload.program.productions.len(),
+            affected_per_change: trace.mean_affected_productions(),
+            changes_per_cycle: trace.mean_changes_per_cycle(),
+            activations_per_change: trace.total_activations() as f64 / changes,
+            turnover_per_cycle: trace.mean_changes_per_cycle()
+                / workload.spec.wm_size.max(1) as f64,
+        }
+    }
+
+    /// Whether the run sits in the qualitative bands the paper's
+    /// conclusions assume: a small affected set (not the whole rule
+    /// base) and a WM turnover far below the §3.1 breakeven.
+    pub fn paper_shaped(&self) -> bool {
+        self.affected_per_change >= 1.0
+            && self.affected_per_change <= self.productions as f64 * 0.25
+            && self.turnover_per_cycle < 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::capture_trace;
+    use crate::presets::Preset;
+    use crate::generator::GeneratedWorkload;
+
+    #[test]
+    fn all_presets_are_paper_shaped() {
+        for preset in Preset::all() {
+            let w = GeneratedWorkload::generate(preset.spec_small()).unwrap();
+            let (trace, _) = capture_trace(&w, 30, 3).unwrap();
+            let c = Characteristics::measure(&w, &trace);
+            assert!(
+                c.paper_shaped(),
+                "{}: {c:?}",
+                preset.name()
+            );
+            assert!(c.changes_per_cycle >= 1.0);
+            assert!(c.activations_per_change > 1.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_workload_is_flagged() {
+        // One class, one constant: every change affects every production.
+        let spec = crate::generator::WorkloadSpec {
+            classes: 1,
+            constants: 1,
+            productions: 10,
+            wm_size: 10,
+            min_changes: 5,
+            max_changes: 8,
+            negated_prob: 0.0,
+            ..crate::generator::WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        let (trace, _) = capture_trace(&w, 10, 3).unwrap();
+        let c = Characteristics::measure(&w, &trace);
+        assert!(!c.paper_shaped(), "{c:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Towers of Hanoi under MEA conflict resolution: the recency of the
+//! goal in the *first* condition element makes the conflict set behave
+//! as a goal stack, and `(compute …)` does the disk arithmetic — the two
+//! OPS5 features that powered planning-style systems like R1.
+//!
+//! ```sh
+//! cargo run --example hanoi
+//! ```
+
+use psm::ops5::{Interpreter, Strategy};
+use psm::rete::ReteMatcher;
+use psm::workloads::programs;
+
+fn main() -> Result<(), psm::ops5::Error> {
+    let disks = 4;
+    let (program, initial) = programs::hanoi(disks)?;
+    let matcher = ReteMatcher::compile(&program)?;
+    let mut interp = Interpreter::new(program, matcher);
+    interp.set_strategy(Strategy::Mea); // goal-stack behaviour
+    interp.insert_all(initial);
+
+    let fired = interp.run(100_000)?;
+    for line in interp.output() {
+        println!("{line}");
+    }
+    println!(
+        "\n{} moves for {disks} disks in {fired} rule firings (optimal: {})",
+        interp.output().len(),
+        (1u64 << disks) - 1
+    );
+    assert_eq!(interp.output().len() as u64, (1u64 << disks) - 1);
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! The classic monkey-and-bananas planning problem, solved by four OPS5
+//! rules firing in sequence under LEX conflict resolution.
+//!
+//! ```sh
+//! cargo run --example monkey_bananas
+//! ```
+
+use psm::ops5::Interpreter;
+use psm::rete::ReteMatcher;
+use psm::workloads::programs;
+
+fn main() -> Result<(), psm::ops5::Error> {
+    let (program, initial) = programs::monkey_bananas()?;
+    let matcher = ReteMatcher::compile(&program)?;
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+
+    let fired = interp.run(50)?;
+    println!("plan executed in {fired} rule firings:");
+    for line in interp.output() {
+        println!("  {line}");
+    }
+    assert_eq!(
+        interp.output().last().map(String::as_str),
+        Some("monkey grabs bananas"),
+        "the plan must succeed"
+    );
+    Ok(())
+}

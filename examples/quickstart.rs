@@ -1,0 +1,63 @@
+//! Quickstart: define rules, assert facts, run the recognize–act loop.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use psm::ops5::{parse_program, parse_wmes, Interpreter};
+use psm::rete::ReteMatcher;
+
+fn main() -> Result<(), psm::ops5::Error> {
+    // Figure 2-1 of the paper, extended with a reporting rule.
+    let program = parse_program(
+        r#"
+        (p find-colored-blk
+           (goal ^type find-blk ^color <c>)
+           (block ^id <i> ^color <c> ^selected no)
+           -->
+           (write selecting block <i>)
+           (modify 2 ^selected yes))
+
+        (p done
+           (goal ^type find-blk)
+           - (block ^selected no)
+           -->
+           (write all blocks considered)
+           (halt))
+        "#,
+    )?;
+
+    // Intern the initial facts into the same symbol table as the rules,
+    // then hand both to the interpreter. The match algorithm is
+    // pluggable; Rete is the paper's choice.
+    let mut program = program;
+    let initial = parse_wmes(
+        r#"
+        (goal ^type find-blk ^color red)
+        (block ^id 1 ^color red ^selected no)
+        (block ^id 2 ^color red ^selected no)
+        (block ^id 3 ^color red ^selected no)
+        "#,
+        &mut program.symbols,
+    )?;
+    let matcher = ReteMatcher::compile(&program)?;
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+
+    let fired = interp.run(100)?;
+    for line in interp.output() {
+        println!("{line}");
+    }
+    let stats = interp.stats();
+    println!(
+        "\n{fired} rule firings, {} working-memory changes, conflict-set peak {}",
+        stats.wme_changes, stats.conflict_set_peak
+    );
+    let match_stats = interp.matcher().stats();
+    println!(
+        "match work: {} node activations, {} join tests",
+        match_stats.node_activations(),
+        match_stats.join_tests
+    );
+    Ok(())
+}

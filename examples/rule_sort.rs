@@ -1,0 +1,42 @@
+//! Rule-based bubble sort: the conflict-resolution loop repeatedly fires
+//! a single swap rule until no adjacent inversion remains. Shows
+//! `modify` actions, predicate join tests (`< <v>`), and quiescence as
+//! the termination condition.
+//!
+//! ```sh
+//! cargo run --example rule_sort
+//! ```
+
+use psm::ops5::{Interpreter, Value};
+use psm::rete::ReteMatcher;
+use psm::workloads::programs;
+
+fn main() -> Result<(), psm::ops5::Error> {
+    let values = [9, 3, 7, 1, 8, 2, 6, 4, 5, 0];
+    let (program, initial) = programs::rule_sort(&values)?;
+    let matcher = ReteMatcher::compile(&program)?;
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+
+    let fired = interp.run(10_000)?;
+
+    let item = interp.program().symbols.lookup("item").expect("interned");
+    let pos = interp.program().symbols.lookup("pos").expect("interned");
+    let val = interp.program().symbols.lookup("val").expect("interned");
+    let mut out: Vec<(i64, i64)> = interp
+        .working_memory()
+        .iter()
+        .filter(|(_, w, _)| w.class() == item)
+        .map(|(_, w, _)| match (w.get(pos), w.get(val)) {
+            (Some(Value::Int(p)), Some(Value::Int(v))) => (p, v),
+            _ => unreachable!("items carry integers"),
+        })
+        .collect();
+    out.sort_unstable();
+    let sorted: Vec<i64> = out.into_iter().map(|(_, v)| v).collect();
+
+    println!("input:  {values:?}");
+    println!("sorted: {sorted:?}  ({fired} swap firings)");
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! A command-line OPS5 runner: load a production file and an initial
+//! working memory, run to quiescence/halt, and print the trace — the
+//! tool a downstream user reaches for first.
+//!
+//! ```sh
+//! cargo run --example run_ops -- assets/blocks.ops assets/blocks.wm
+//! cargo run --example run_ops -- assets/blocks.ops assets/blocks.wm --mea --stats
+//! ```
+
+use std::process::ExitCode;
+
+use psm::ops5::{parse_program, parse_wmes, Interpreter, Strategy};
+use psm::rete::ReteMatcher;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (Some(program_path), Some(wm_path)) = (files.first(), files.get(1)) else {
+        eprintln!(
+            "usage: run_ops <program.ops> <initial.wm> [--mea] [--stats] [--watch] [--limit N]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let limit: u64 = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        let src = std::fs::read_to_string(program_path)?;
+        let mut program = parse_program(&src)?;
+        let wm_src = std::fs::read_to_string(wm_path)?;
+        let initial = parse_wmes(&wm_src, &mut program.symbols)?;
+
+        let matcher = ReteMatcher::compile(&program)?;
+        let mut interp = Interpreter::new(program, matcher);
+        if args.iter().any(|a| a == "--mea") {
+            interp.set_strategy(Strategy::Mea);
+        }
+        let watch = args.iter().any(|a| a == "--watch");
+        if watch {
+            interp.enable_firing_log();
+        }
+        interp.insert_all(initial);
+        let fired = interp.run(limit)?;
+
+        if watch {
+            for (i, inst) in interp.firing_log().iter().enumerate() {
+                let name = &interp.program().production(inst.production).name;
+                eprintln!("{:>4}. {name} {}", i + 1, inst.display(&interp.program().symbols));
+            }
+        }
+        for line in interp.output() {
+            println!("{line}");
+        }
+        eprintln!("\n{fired} firings; final working memory:");
+        for (_, wme, tag) in interp.working_memory().iter() {
+            eprintln!("  {tag}: {}", wme.display(&interp.program().symbols));
+        }
+        if args.iter().any(|a| a == "--stats") {
+            let s = interp.matcher().stats();
+            eprintln!(
+                "match stats: {} changes, {} node activations, {} join tests, peak {} tokens",
+                s.changes,
+                s.node_activations(),
+                s.join_tests,
+                s.peak_tokens
+            );
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Transitive closure as a production system: `reach` facts are derived
+//! until quiescence, with a negated condition element providing
+//! termination. A classic Rete-friendly workload — every new fact
+//! triggers incremental rematch of only the affected rules.
+//!
+//! ```sh
+//! cargo run --example transitive_closure
+//! ```
+
+use psm::ops5::{Interpreter, Value};
+use psm::rete::ReteMatcher;
+use psm::workloads::programs;
+
+fn main() -> Result<(), psm::ops5::Error> {
+    // A ring of 6 nodes plus two chords.
+    let edges: Vec<(i64, i64)> = (0..6)
+        .map(|i| (i, (i + 1) % 6))
+        .chain([(0, 3), (2, 5)])
+        .collect();
+    let (program, initial) = programs::transitive_closure(&edges)?;
+    let matcher = ReteMatcher::compile(&program)?;
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+
+    let fired = interp.run(10_000)?;
+    let reach = interp.program().symbols.lookup("reach").expect("interned");
+    let from = interp.program().symbols.lookup("from").expect("interned");
+    let to = interp.program().symbols.lookup("to").expect("interned");
+
+    let mut pairs: Vec<(i64, i64)> = interp
+        .working_memory()
+        .by_class(reach)
+        .map(|(_, w)| match (w.get(from), w.get(to)) {
+            (Some(Value::Int(a)), Some(Value::Int(b))) => (a, b),
+            _ => unreachable!("reach facts carry integers"),
+        })
+        .collect();
+    pairs.sort_unstable();
+
+    println!("{} edges -> {} reach facts in {fired} firings", edges.len(), pairs.len());
+    // The ring makes every node reach every node (including itself).
+    assert_eq!(pairs.len(), 36);
+    let stats = interp.matcher().stats();
+    println!(
+        "rete processed {} changes with {} node activations ({}
+         activations/change — incremental, not quadratic recompute)",
+        stats.changes,
+        stats.node_activations(),
+        stats.node_activations() / stats.changes.max(1)
+    );
+    Ok(())
+}

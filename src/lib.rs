@@ -1,0 +1,26 @@
+//! # psm — the Production System Machine, in Rust
+//!
+//! A full reproduction of Gupta, Forgy, Newell & Wedig, *"Parallel
+//! Algorithms and Architectures for Rule-Based Systems"* (ISCA 1986).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`ops5`] — the OPS5 language: parser, working memory, conflict
+//!   resolution, recognize–act interpreter.
+//! * [`rete`] — the sequential Rete match network with instrumentation.
+//! * [`baselines`] — TREAT, naive, and Oflazer-style matchers.
+//! * [`core`] — the parallel Rete engine (node-activation granularity).
+//! * [`sim`] — the trace-driven multiprocessor simulator and the PSM,
+//!   DADO, NON-VON, and Oflazer machine models.
+//! * [`workloads`] — synthetic production-system generators and classic
+//!   OPS5 programs.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-
+//! measured record of every table and figure.
+
+pub use baselines;
+pub use ops5;
+pub use psm_core as core;
+pub use psm_sim as sim;
+pub use rete;
+pub use workloads;

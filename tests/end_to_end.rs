@@ -1,0 +1,109 @@
+//! End-to-end runs of the classic programs under *every* match engine:
+//! the interpreter must produce identical behaviour regardless of which
+//! algorithm performs the match — the paper's premise for comparing
+//! them.
+
+use psm::baselines::{NaiveMatcher, TreatMatcher};
+use psm::core::{ParallelOptions, ParallelReteMatcher, ProductionParallelMatcher};
+use psm::ops5::{Interpreter, Matcher, Program, Wme};
+use psm::rete::ReteMatcher;
+use psm::workloads::programs;
+
+/// Runs a program+initial-WM to quiescence/halt, returning (firings,
+/// output lines, final WM size).
+fn run<M: Matcher>(
+    program: Program,
+    initial: Vec<Wme>,
+    matcher: M,
+) -> (u64, Vec<String>, usize) {
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+    let fired = interp.run(20_000).expect("program runs");
+    (
+        fired,
+        interp.output().to_vec(),
+        interp.working_memory().len(),
+    )
+}
+
+fn all_engines_agree(build: impl Fn() -> (Program, Vec<Wme>)) {
+    let (program, initial) = build();
+    let reference = run(
+        program.clone(),
+        initial.clone(),
+        ReteMatcher::compile(&program).expect("rete compiles"),
+    );
+
+    let (program2, initial2) = build();
+    let naive = run(
+        program2.clone(),
+        initial2,
+        NaiveMatcher::new(&program2),
+    );
+    assert_eq!(reference, naive, "naive disagrees with rete");
+
+    let (program3, initial3) = build();
+    let treat = run(
+        program3.clone(),
+        initial3,
+        TreatMatcher::compile(&program3).expect("treat compiles"),
+    );
+    assert_eq!(reference, treat, "treat disagrees with rete");
+
+    let (program4, initial4) = build();
+    let parallel = run(
+        program4.clone(),
+        initial4,
+        ParallelReteMatcher::compile(
+            &program4,
+            ParallelOptions {
+                threads: 4,
+                share: true,
+            },
+        )
+        .expect("parallel compiles"),
+    );
+    assert_eq!(reference, parallel, "parallel rete disagrees with rete");
+
+    let (program5, initial5) = build();
+    let pp = run(
+        program5.clone(),
+        initial5,
+        ProductionParallelMatcher::compile(&program5, 2).expect("pp compiles"),
+    );
+    assert_eq!(reference, pp, "production-parallel disagrees with rete");
+}
+
+#[test]
+fn monkey_bananas_under_every_engine() {
+    all_engines_agree(|| programs::monkey_bananas().expect("program parses"));
+}
+
+#[test]
+fn transitive_closure_under_every_engine() {
+    all_engines_agree(|| {
+        programs::transitive_closure(&[(0, 1), (1, 2), (2, 3), (3, 0)]).expect("parses")
+    });
+}
+
+#[test]
+fn rule_sort_under_every_engine() {
+    all_engines_agree(|| programs::rule_sort(&[4, 2, 5, 1, 3]).expect("parses"));
+}
+
+#[test]
+fn monkey_bananas_output_is_the_plan() {
+    let (program, initial) = programs::monkey_bananas().expect("parses");
+    let matcher = ReteMatcher::compile(&program).expect("compiles");
+    let (fired, output, _) = run(program, initial, matcher);
+    assert_eq!(fired, 4);
+    assert_eq!(
+        output,
+        vec![
+            "monkey walks to b",
+            "monkey pushes ladder to c",
+            "monkey climbs ladder",
+            "monkey grabs bananas",
+        ]
+    );
+}

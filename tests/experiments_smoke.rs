@@ -1,0 +1,166 @@
+//! Small-scale smoke runs of every experiment pipeline, asserting the
+//! paper's qualitative claims hold (the full-size runs live in the
+//! `psm-bench` binaries and are recorded in `EXPERIMENTS.md`).
+
+use psm::sim::{
+    granularity_analysis, simulate_dado_rete, simulate_dado_treat, simulate_nonvon,
+    simulate_oflazer_machine, simulate_psm, uniprocessor_ladder, CostModel, PsmSpec,
+    StateSavingModel,
+};
+use psm::workloads::{capture_trace_with, GeneratedWorkload, Preset};
+
+fn captured(preset: Preset, share: bool) -> (psm::rete::Trace, std::sync::Arc<psm::rete::Network>) {
+    let workload = GeneratedWorkload::generate(preset.spec_small()).unwrap();
+    let (trace, _stats, network) = capture_trace_with(
+        &workload,
+        60,
+        11,
+        psm::rete::CompileOptions { share },
+    )
+    .unwrap();
+    (trace, network)
+}
+
+#[test]
+fn e1_state_saving_model_matches_paper() {
+    let m = StateSavingModel::paper();
+    assert!((m.breakeven_turnover() - 0.611).abs() < 0.01, "breakeven ~61%");
+    assert!(m.advantage(0.005) > 20.0, "state saving wins big at 0.5% turnover");
+}
+
+#[test]
+fn e2_production_parallelism_is_capped() {
+    let (trace, network) = captured(Preset::Daa, false);
+    let g = granularity_analysis(&trace, &network, &CostModel::default());
+    assert!(
+        g.mean_affected_productions > 2.0,
+        "several productions affected per change: {}",
+        g.mean_affected_productions
+    );
+    // The paper's §4 claim: node-level parallelism beats production-level
+    // parallelism by a large factor despite the sizable affected set.
+    assert!(
+        g.node_speedup > 1.5 * g.production_speedup,
+        "node {} vs production {}",
+        g.node_speedup,
+        g.production_speedup
+    );
+    assert!(
+        g.production_speedup < g.mean_affected_productions,
+        "variance keeps production parallelism below the affected count"
+    );
+}
+
+#[test]
+fn e3_e4_concurrency_saturates_by_64_processors() {
+    let (trace, _network) = captured(Preset::R1Soar, true);
+    let cost = CostModel::default();
+    let conc = |p: usize| {
+        simulate_psm(&trace, &cost, &PsmSpec::paper_32().with_processors(p)).concurrency
+    };
+    let c8 = conc(8);
+    let c32 = conc(32);
+    let c64 = conc(64);
+    assert!(c32 > c8, "more processors help up to a point");
+    assert!(
+        c64 < c32 * 1.35,
+        "speed-up saturates: going 32 -> 64 adds little ({c32} -> {c64})"
+    );
+}
+
+#[test]
+fn e5_true_speedup_is_less_than_tenfold() {
+    let cost = CostModel::default();
+    for preset in [Preset::Mud, Preset::EpSoar] {
+        let (trace, _n) = captured(preset, true);
+        let r = simulate_psm(&trace, &cost, &PsmSpec::paper_32());
+        assert!(
+            r.true_speedup < 10.0,
+            "the paper's headline bound: {} on {preset:?}",
+            r.true_speedup
+        );
+        assert!(r.true_speedup > 1.0);
+        assert!(r.lost_factor() >= 1.0);
+        assert!(r.wme_changes_per_sec > 100.0);
+    }
+}
+
+#[test]
+fn e6_architecture_ordering() {
+    let (trace, network) = captured(Preset::Mud, false);
+    let cost = CostModel::default();
+    let dado = simulate_dado_rete(&trace, &network, &cost).wme_changes_per_sec;
+    let treat = simulate_dado_treat(&trace, &network, &cost).wme_changes_per_sec;
+    let nonvon = simulate_nonvon(&trace, &network, &cost).wme_changes_per_sec;
+    let oflazer = simulate_oflazer_machine(&trace, &network, &cost).wme_changes_per_sec;
+    let psm = simulate_psm(&trace, &cost, &PsmSpec::paper_32()).wme_changes_per_sec;
+    assert!(dado < treat, "dado-rete {dado} < dado-treat {treat}");
+    assert!(treat < nonvon, "dado-treat {treat} < non-von {nonvon}");
+    assert!(nonvon < oflazer, "non-von {nonvon} < oflazer {oflazer}");
+    assert!(oflazer < psm, "oflazer {oflazer} < psm {psm}");
+    assert!(psm / dado > 10.0, "the PSM leads the tree machines by >10x");
+}
+
+#[test]
+fn e7_sensitivity_directions() {
+    let cost = CostModel::default();
+    let spec32 = PsmSpec::paper_32();
+    // More changes per cycle -> more concurrency.
+    let base = Preset::Daa.spec_small();
+    let mut big = base.clone();
+    big.min_changes *= 4;
+    big.max_changes *= 4;
+    let run = |spec| {
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        let (t, _s, _n) =
+            capture_trace_with(&w, 60, 11, psm::rete::CompileOptions::default()).unwrap();
+        simulate_psm(&t, &cost, &spec32)
+    };
+    let r_base = run(base);
+    let r_big = run(big);
+    assert!(
+        r_big.concurrency > r_base.concurrency,
+        "{} !> {}",
+        r_big.concurrency,
+        r_base.concurrency
+    );
+}
+
+#[test]
+fn traces_from_real_interpreter_runs_simulate_cleanly() {
+    // Bridge test: capture a node-activation trace from an actual
+    // recognize–act run (Towers of Hanoi) rather than the synthetic
+    // driver, and replay it on the simulated PSM.
+    use psm::ops5::{Interpreter, Strategy};
+    use psm::rete::ReteMatcher;
+    use psm::workloads::programs;
+
+    let (program, initial) = programs::hanoi(5).unwrap();
+    let matcher = ReteMatcher::compile(&program).unwrap();
+    let mut interp = Interpreter::new(program, matcher);
+    interp.set_strategy(Strategy::Mea);
+    interp.insert_all(initial);
+    interp.matcher_mut().enable_tracing();
+    let fired = interp.run(10_000).unwrap();
+    assert!(fired > 60, "5-disk hanoi needs > 2^5 firings, got {fired}");
+
+    let trace = interp.matcher_mut().take_trace();
+    assert_eq!(trace.cycles.len() as u64, fired);
+    let cost = CostModel::default();
+    let r = simulate_psm(&trace, &cost, &PsmSpec::paper_32());
+    assert!(r.true_speedup >= 1.0);
+    assert!(
+        r.true_speedup < 10.0,
+        "even a goal-stack program obeys the paper's bound: {}",
+        r.true_speedup
+    );
+    assert!(r.firings_per_sec > 0.0);
+}
+
+#[test]
+fn e8_uniprocessor_ladder_is_monotone() {
+    let ladder = uniprocessor_ladder(1800.0);
+    for pair in ladder.windows(2) {
+        assert!(pair[0].wme_changes_per_sec < pair[1].wme_changes_per_sec);
+    }
+}

@@ -1,0 +1,105 @@
+//! Equivalence of all matchers on generated (preset-shaped) workloads,
+//! driven through realistic recognize–act-sized change batches.
+
+use psm::baselines::{NaiveMatcher, OflazerMatcher, TreatMatcher};
+use psm::core::{ParallelOptions, ParallelReteMatcher};
+use psm::ops5::{Change, Matcher};
+use psm::rete::ReteMatcher;
+use psm::workloads::{GeneratedWorkload, Preset, WorkloadDriver, WorkloadSpec};
+
+/// Drives the same batch stream through two matchers, comparing
+/// canonicalized deltas batch by batch.
+fn assert_equivalent<A: Matcher, B: Matcher>(
+    workload: &GeneratedWorkload,
+    mut a: A,
+    mut b: B,
+    cycles: u64,
+) {
+    // Initialize matcher A through the driver, then replay the same
+    // initial working memory into matcher B.
+    let mut driver = WorkloadDriver::new(workload.clone(), 5);
+    driver.init(&mut a);
+    let initial: Vec<_> = driver.working_memory().iter().map(|(id, _, _)| id).collect();
+    for id in initial {
+        b.add_wme(driver.working_memory(), id);
+    }
+
+    for step in 0..cycles {
+        let batch: Vec<Change> = driver.next_batch();
+        let mut da = a.process(driver.working_memory(), &batch);
+        let mut db = b.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+        da.canonicalize();
+        db.canonicalize();
+        assert_eq!(
+            da,
+            db,
+            "{} vs {} diverged at batch {step}",
+            a.algorithm_name(),
+            b.algorithm_name()
+        );
+    }
+}
+
+fn small_spec() -> WorkloadSpec {
+    let mut spec = Preset::EpSoar.spec_small();
+    spec.wm_size = 60;
+    spec
+}
+
+#[test]
+fn rete_vs_treat_on_generated_workload() {
+    let w = GeneratedWorkload::generate(small_spec()).unwrap();
+    assert_equivalent(
+        &w,
+        ReteMatcher::compile(&w.program).unwrap(),
+        TreatMatcher::compile(&w.program).unwrap(),
+        40,
+    );
+}
+
+#[test]
+fn rete_vs_parallel_on_generated_workload() {
+    let w = GeneratedWorkload::generate(small_spec()).unwrap();
+    for threads in [1, 4, 8] {
+        assert_equivalent(
+            &w,
+            ReteMatcher::compile(&w.program).unwrap(),
+            ParallelReteMatcher::compile(
+                &w.program,
+                ParallelOptions {
+                    threads,
+                    share: true,
+                },
+            )
+            .unwrap(),
+            40,
+        );
+    }
+}
+
+#[test]
+fn rete_vs_naive_on_generated_workload() {
+    let mut spec = small_spec();
+    spec.wm_size = 40; // naive is O(|WM|^CEs); keep it tractable
+    let w = GeneratedWorkload::generate(spec).unwrap();
+    assert_equivalent(
+        &w,
+        ReteMatcher::compile(&w.program).unwrap(),
+        NaiveMatcher::new(&w.program),
+        15,
+    );
+}
+
+#[test]
+fn rete_vs_oflazer_on_negation_free_workload() {
+    let mut spec = small_spec();
+    spec.negated_prob = 0.0;
+    let w = GeneratedWorkload::generate(spec).unwrap();
+    assert_equivalent(
+        &w,
+        ReteMatcher::compile(&w.program).unwrap(),
+        OflazerMatcher::compile(&w.program).unwrap(),
+        40,
+    );
+}

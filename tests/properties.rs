@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) over randomized working-memory
+//! change sequences: delta exactness, state purging, and batch/segment
+//! insensitivity of the match algorithms.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use psm::baselines::NaiveMatcher;
+use psm::core::{ParallelOptions, ParallelReteMatcher};
+use psm::ops5::{
+    parse_program, Change, Instantiation, Matcher, Program, SymbolTable, Value, Wme, WmeId,
+    WorkingMemory,
+};
+use psm::rete::ReteMatcher;
+
+const PROGRAM: &str = r#"
+(p pair (a ^x <v>) (b ^x <v>) --> (remove 1))
+(p triple (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))
+(p guarded (goal ^x <v>) - (veto ^x <v>) --> (remove 1))
+(p pred (a ^x <v>) (c ^x > <v>) --> (remove 1))
+(p self (b ^x <v>) (b ^x <v>) --> (remove 1))
+"#;
+
+/// An abstract operation in a generated scenario.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Add a WME with class index and value.
+    Add(u8, u8),
+    /// Remove the k-th (mod live count) live WME.
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..5, 0u8..3).prop_map(|(c, v)| Op::Add(c, v)),
+        2 => (0u8..255).prop_map(Op::Remove),
+    ]
+}
+
+fn program() -> Program {
+    parse_program(PROGRAM).expect("fixture parses")
+}
+
+fn wme_for(syms: &mut SymbolTable, class: u8, value: u8) -> Wme {
+    let class_name = ["a", "b", "c", "goal", "veto"][class as usize];
+    let class = syms.intern(class_name);
+    let x = syms.intern("x");
+    Wme::new(class, vec![(x, Value::Int(value as i64))])
+}
+
+/// Applies ops through a matcher, tracking the conflict-set image by
+/// applying its deltas; returns the final image.
+fn run_ops<M: Matcher>(ops: &[Op], matcher: &mut M) -> HashSet<Instantiation> {
+    let program = program();
+    let mut syms = program.symbols.clone();
+    let mut wm = WorkingMemory::new();
+    let mut live: Vec<WmeId> = Vec::new();
+    let mut image: HashSet<Instantiation> = HashSet::new();
+    for &op in ops {
+        let delta = match op {
+            Op::Add(c, v) => {
+                let (id, _) = wm.add(wme_for(&mut syms, c, v));
+                live.push(id);
+                matcher.add_wme(&wm, id)
+            }
+            Op::Remove(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(k as usize % live.len());
+                let d = matcher.remove_wme(&wm, id);
+                wm.remove(id);
+                d
+            }
+        };
+        for inst in &delta.removed {
+            assert!(
+                image.remove(inst),
+                "matcher removed an instantiation that was never added: {inst:?}"
+            );
+        }
+        for inst in delta.added {
+            assert!(
+                image.insert(inst),
+                "matcher added an already-present instantiation"
+            );
+        }
+    }
+    image
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deltas are exact: removals always name present instantiations,
+    /// additions are always new, and the final image equals the naive
+    /// recomputation.
+    #[test]
+    fn rete_deltas_are_exact_and_match_naive(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let program = program();
+        let mut rete = ReteMatcher::compile(&program).unwrap();
+        let mut naive = NaiveMatcher::new(&program);
+        let rete_image = run_ops(&ops, &mut rete);
+        let naive_image = run_ops(&ops, &mut naive);
+        prop_assert_eq!(rete_image, naive_image);
+    }
+
+    /// The parallel engine agrees with the sequential one for any ops
+    /// sequence (4 worker threads).
+    #[test]
+    fn parallel_agrees_with_sequential(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let program = program();
+        let mut seq = ReteMatcher::compile(&program).unwrap();
+        let mut par = ParallelReteMatcher::compile(
+            &program,
+            ParallelOptions { threads: 4, share: true },
+        ).unwrap();
+        let a = run_ops(&ops, &mut seq);
+        let b = run_ops(&ops, &mut par);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Removing everything purges all beta state: the network holds no
+    /// resident tokens once the working memory is empty.
+    #[test]
+    fn all_state_purged_when_wm_emptied(adds in prop::collection::vec((0u8..5, 0u8..3), 1..40)) {
+        let program = program();
+        let mut rete = ReteMatcher::compile(&program).unwrap();
+        let mut syms = program.symbols.clone();
+        let mut wm = WorkingMemory::new();
+        let mut live = Vec::new();
+        for (c, v) in adds {
+            let (id, _) = wm.add(wme_for(&mut syms, c, v));
+            live.push(id);
+            rete.add_wme(&wm, id);
+        }
+        for id in live {
+            rete.remove_wme(&wm, id);
+            wm.remove(id);
+        }
+        // No production in the fixture has a *leading* negated CE, so no
+        // top-token seeds remain — state must be completely purged.
+        prop_assert!(wm.is_empty());
+        let leftover = rete.resident_tokens();
+        prop_assert!(leftover == 0, "resident tokens left: {leftover}");
+    }
+
+    /// Conflict-resolution domination is a strict total order for both
+    /// strategies: antisymmetric, transitive, and total on distinct
+    /// instantiations.
+    #[test]
+    fn conflict_resolution_is_a_total_order(
+        tuples in prop::collection::vec(
+            (0u32..2, prop::collection::vec(0usize..8, 1..4)),
+            3..8,
+        ),
+        n_wmes in 8usize..12,
+    ) {
+        use psm::ops5::{compare_instantiations, ProductionId, Strategy};
+        use std::cmp::Ordering;
+
+        let program = program();
+        let mut syms = program.symbols.clone();
+        let mut wm = WorkingMemory::new();
+        let ids: Vec<WmeId> = (0..n_wmes)
+            .map(|i| wm.add(wme_for(&mut syms, (i % 5) as u8, (i % 3) as u8)).0)
+            .collect();
+        let insts: Vec<Instantiation> = tuples
+            .into_iter()
+            .map(|(p, wmes)| {
+                Instantiation::new(
+                    ProductionId(p),
+                    wmes.into_iter().map(|k| ids[k % ids.len()]).collect(),
+                )
+            })
+            .collect();
+        for strategy in [Strategy::Lex, Strategy::Mea] {
+            for a in &insts {
+                prop_assert_eq!(
+                    compare_instantiations(a, a, &wm, &program, strategy),
+                    Ordering::Equal
+                );
+                for b in &insts {
+                    let ab = compare_instantiations(a, b, &wm, &program, strategy);
+                    let ba = compare_instantiations(b, a, &wm, &program, strategy);
+                    prop_assert_eq!(ab, ba.reverse(), "antisymmetry");
+                    if a != b {
+                        prop_assert_ne!(ab, Ordering::Equal, "totality on distinct");
+                    }
+                    for c in &insts {
+                        let bc = compare_instantiations(b, c, &wm, &program, strategy);
+                        let ac = compare_instantiations(a, c, &wm, &program, strategy);
+                        if ab == Ordering::Greater && bc == Ordering::Greater {
+                            prop_assert_eq!(ac, Ordering::Greater, "transitivity");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pretty-printing any generated program and reparsing it reaches a
+    /// stable printer normal form with identical structure.
+    #[test]
+    fn generated_programs_round_trip_through_the_printer(seed in 0u64..500) {
+        use psm::workloads::{GeneratedWorkload, WorkloadSpec};
+        let spec = WorkloadSpec {
+            productions: 8,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        for p in &w.program.productions {
+            let printed = format!("{}", p.display(&w.program.symbols));
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\n{e}"));
+            let reprinted =
+                format!("{}", reparsed.productions[0].display(&reparsed.symbols));
+            prop_assert_eq!(&printed, &reprinted);
+            prop_assert_eq!(p.ces.len(), reparsed.productions[0].ces.len());
+            prop_assert_eq!(&p.variables, &reparsed.productions[0].variables);
+            prop_assert_eq!(p.specificity, reparsed.productions[0].specificity);
+        }
+    }
+
+    /// Batch processing equals change-by-change processing (net deltas).
+    #[test]
+    fn batching_is_transparent(values in prop::collection::vec((0u8..5, 0u8..3), 2..12)) {
+        let program = program();
+        let mut one = ReteMatcher::compile(&program).unwrap();
+        let mut batched = ReteMatcher::compile(&program).unwrap();
+        let mut syms = program.symbols.clone();
+        let mut wm = WorkingMemory::new();
+        let mut ids = Vec::new();
+        for &(c, v) in &values {
+            let (id, _) = wm.add(wme_for(&mut syms, c, v));
+            ids.push(id);
+        }
+        let changes: Vec<Change> = ids.iter().map(|&id| Change::Add(id)).collect();
+        let mut d_batch = batched.process(&wm, &changes);
+        let mut d_single = psm::ops5::MatchDelta::new();
+        for &id in &ids {
+            d_single.merge(one.add_wme(&wm, id));
+        }
+        d_batch.canonicalize();
+        d_single.canonicalize();
+        prop_assert_eq!(d_batch, d_single);
+    }
+}
