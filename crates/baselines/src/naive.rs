@@ -198,9 +198,8 @@ mod tests {
 
     #[test]
     fn join_and_negation() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) - (veto ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) - (veto ^x <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 3)");
         let (_b, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 3)");
         assert_eq!(d.added.len(), 1);
@@ -215,9 +214,7 @@ mod tests {
     fn work_scales_with_wm_size_not_change_count() {
         // The defining property of a non-state-saving matcher: the cost
         // of one change grows with |WM|.
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         for i in 0..20 {
             add(&mut m, &mut wm, &mut syms, &format!("(a ^x {i})"));
         }
@@ -225,9 +222,7 @@ mod tests {
         add(&mut m, &mut wm, &mut syms, "(b ^x 0)");
         let per_change_large = m.stats().ce_match_attempts - before;
         // On a small memory the same change is much cheaper.
-        let (mut m2, mut wm2, mut syms2) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m2, mut wm2, mut syms2) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         add(&mut m2, &mut wm2, &mut syms2, "(a ^x 0)");
         let before2 = m2.stats().ce_match_attempts;
         add(&mut m2, &mut wm2, &mut syms2, "(b ^x 0)");

@@ -247,7 +247,11 @@ impl Matcher for OflazerMatcher {
                         removed: vec![],
                     });
                 }
-                self.state[pid.index()].mems.entry(mask).or_default().push(tuple);
+                self.state[pid.index()]
+                    .mems
+                    .entry(mask)
+                    .or_default()
+                    .push(tuple);
                 self.note_created(full);
             }
         }
@@ -334,16 +338,13 @@ mod tests {
 
     #[test]
     fn negated_ces_rejected() {
-        let program =
-            parse_program("(p r (a ^x 1) - (b ^y 2) --> (remove 1))").unwrap();
+        let program = parse_program("(p r (a ^x 1) - (b ^y 2) --> (remove 1))").unwrap();
         assert!(OflazerMatcher::compile(&program).is_err());
     }
 
     #[test]
     fn two_ce_join() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         let (ia, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         assert!(d.added.is_empty());
         let (ib, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
@@ -359,9 +360,8 @@ mod tests {
         // Three CEs over disjoint classes: after one consistent WME per
         // CE, every non-empty subset {a},{b},{c},{ab},{ac},{bc},{abc}
         // holds exactly one tuple.
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
         let (_, d) = add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
@@ -374,9 +374,7 @@ mod tests {
 
     #[test]
     fn inconsistent_pairs_not_stored() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         let (_, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 2)");
         assert!(d.added.is_empty());
@@ -386,9 +384,8 @@ mod tests {
 
     #[test]
     fn wasted_state_counter() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
         // Many (a,b) pairs but no c: lots of state, zero instantiations.
         for i in 0..4 {
             add(&mut m, &mut wm, &mut syms, &format!("(a ^x {i})"));
@@ -402,9 +399,8 @@ mod tests {
 
     #[test]
     fn removal_purges_all_subsets() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
         let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
@@ -417,9 +413,7 @@ mod tests {
 
     #[test]
     fn same_wme_in_multiple_positions() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (n ^v <a>) (n ^v <a>) --> (remove 1))");
         let (_w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
         assert_eq!(d.added.len(), 1);
         let (_w2, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
@@ -428,9 +422,7 @@ mod tests {
 
     #[test]
     fn predicate_consistency() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
         let (_, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 5)");
         assert!(d.added.is_empty());

@@ -126,10 +126,8 @@ impl TreatMatcher {
                 return Vec::new();
             }
         }
-        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> = vec![(
-            Vec::new(),
-            vec![None; production.variables.len()],
-        )];
+        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> =
+            vec![(Vec::new(), vec![None; production.variables.len()])];
         for (idx, ce) in production.ces.iter().enumerate() {
             let mut next = Vec::new();
             if ce.negated {
@@ -187,10 +185,8 @@ impl TreatMatcher {
     /// used when a retraction may unblock negated CEs.
     fn full_join(&mut self, wm: &WorkingMemory, production: &Production) -> Vec<Instantiation> {
         self.stats.negation_recomputes += 1;
-        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> = vec![(
-            Vec::new(),
-            vec![None; production.variables.len()],
-        )];
+        let mut partial: Vec<(Vec<WmeId>, Vec<Option<Value>>)> =
+            vec![(Vec::new(), vec![None; production.variables.len()])];
         for (idx, ce) in production.ces.iter().enumerate() {
             let candidates: Vec<WmeId> = self.candidates(production.id, idx).to_vec();
             let mut next = Vec::new();
@@ -418,9 +414,7 @@ mod tests {
 
     #[test]
     fn join_via_seeding() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         let (ia, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         assert!(d.is_empty());
         let (ib, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
@@ -430,9 +424,8 @@ mod tests {
 
     #[test]
     fn early_exit_on_empty_memory() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         let before = m.stats().candidates_examined;
         // Adding another `a` cannot satisfy the rule: `b`/`c` memories
@@ -443,9 +436,7 @@ mod tests {
 
     #[test]
     fn duplicate_wme_positions_counted_once() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (n ^v <a>) (n ^v <a>) --> (remove 1))");
         let (_w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
         assert_eq!(d.added.len(), 1, "(w1,w1) exactly once");
         let (_w2, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
@@ -454,9 +445,8 @@ mod tests {
 
     #[test]
     fn negation_blocks_and_unblocks() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (goal ^c <v>) - (block ^c <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) =
+            setup("(p r (goal ^c <v>) - (block ^c <v>) --> (remove 1))");
         let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^c red)");
         assert_eq!(d.added.len(), 1);
         let (b, d) = add(&mut m, &mut wm, &mut syms, "(block ^c red)");
@@ -471,9 +461,7 @@ mod tests {
 
     #[test]
     fn retraction_removes_containing_instantiations() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
@@ -484,9 +472,7 @@ mod tests {
 
     #[test]
     fn state_is_alpha_only() {
-        let (mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         // Rete would store a beta token for the (a,b) pair; TREAT's
         // resident state is exactly the WMEs in alpha memories.
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");

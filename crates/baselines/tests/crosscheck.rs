@@ -6,8 +6,7 @@
 //! compute *identical* conflict-set deltas for identical inputs.
 
 use ops5::{parse_program, Matcher, Program, SymbolTable, Value, Wme, WmeId, WorkingMemory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psm_obs::Rng64;
 
 use baselines::{NaiveMatcher, OflazerMatcher, TreatMatcher};
 use rete::ReteMatcher;
@@ -38,14 +37,14 @@ impl WmeGen {
         }
     }
 
-    fn gen(&self, rng: &mut StdRng) -> Wme {
+    fn gen(&self, rng: &mut Rng64) -> Wme {
         let class = self.classes[rng.gen_range(0..self.classes.len())];
-        let n_attrs = rng.gen_range(0..=3);
+        let n_attrs = rng.gen_range(0..=3usize);
         let mut attrs = Vec::new();
         for _ in 0..n_attrs {
             let attr = self.attrs[rng.gen_range(0..self.attrs.len())];
             let value = if rng.gen_bool(0.5) {
-                Value::Int(rng.gen_range(0..4))
+                Value::Int(rng.gen_range(0..4i64))
             } else {
                 Value::Sym(self.colors[rng.gen_range(0..self.colors.len())])
             };
@@ -58,7 +57,7 @@ impl WmeGen {
 /// Drives `steps` random adds/removes through all matchers, asserting
 /// canonicalized delta equality after every change.
 fn crosscheck(program: &Program, seed: u64, steps: usize, include_oflazer: bool) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut syms = program.symbols.clone();
     let gen = WmeGen::new(&mut syms);
 
@@ -87,7 +86,10 @@ fn crosscheck(program: &Program, seed: u64, steps: usize, include_oflazer: bool)
             d_hashed.canonicalize();
             d_treat.canonicalize();
             assert_eq!(d_rete, d_naive, "rete vs naive at remove step {step}");
-            assert_eq!(d_hashed, d_naive, "hashed rete vs naive at remove step {step}");
+            assert_eq!(
+                d_hashed, d_naive,
+                "hashed rete vs naive at remove step {step}"
+            );
             assert_eq!(d_treat, d_naive, "treat vs naive at remove step {step}");
             if let Some(mut d) = d_ofl {
                 d.canonicalize();
@@ -171,7 +173,7 @@ fn duplicate_heavy_sequences() {
         "#,
     )
     .unwrap();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::new(7);
     let mut syms = program.symbols.clone();
     let a = syms.intern("a");
     let x = syms.intern("x");
@@ -190,7 +192,7 @@ fn duplicate_heavy_sequences() {
             d2.canonicalize();
             assert_eq!(d1, d2, "step {step}");
         } else {
-            let wme = Wme::new(a, vec![(x, Value::Int(rng.gen_range(0..2)))]);
+            let wme = Wme::new(a, vec![(x, Value::Int(rng.gen_range(0..2i64)))]);
             let (id, _) = wm.add(wme);
             live.push(id);
             let mut d1 = naive.add_wme(&wm, id);

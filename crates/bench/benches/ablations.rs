@@ -2,114 +2,90 @@
 //! network sharing on/off (the §4 sharing argument), change-batch size
 //! (the parallel-WM-changes assumption), and network compile cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-
+use psm_bench::microbench::{bench, bench_batched};
 use rete::{CompileOptions, Network, ReteMatcher};
 use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
-fn sharing(c: &mut Criterion) {
+fn sharing() {
     let w = GeneratedWorkload::generate(Preset::EpSoar.spec_small()).expect("generates");
-    let mut group = c.benchmark_group("ablation_sharing");
-    group.sample_size(10);
     for share in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(if share { "shared" } else { "unshared" }),
-            &share,
-            |b, &share| {
-                b.iter_batched(
-                    || {
-                        let mut m =
-                            ReteMatcher::compile_with(&w.program, CompileOptions { share })
-                                .expect("compiles");
-                        let mut d = WorkloadDriver::new(w.clone(), 31);
-                        d.init(&mut m);
-                        (m, d)
-                    },
-                    |(mut m, mut d)| d.run_cycles(&mut m, 25),
-                    BatchSize::LargeInput,
-                )
+        bench_batched(
+            "ablation_sharing",
+            if share { "shared" } else { "unshared" },
+            10,
+            || {
+                let mut m = ReteMatcher::compile_with(&w.program, CompileOptions { share })
+                    .expect("compiles");
+                let mut d = WorkloadDriver::new(w.clone(), 31);
+                d.init(&mut m);
+                (m, d)
             },
+            |(mut m, mut d)| d.run_cycles(&mut m, 25),
         );
     }
-    group.finish();
 }
 
-fn batch_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_batch_size");
-    group.sample_size(10);
+fn batch_size() {
     for factor in [1usize, 4] {
         let mut spec = Preset::EpSoar.spec_small();
         spec.min_changes *= factor;
         spec.max_changes *= factor;
         let w = GeneratedWorkload::generate(spec).expect("generates");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("changes-x{factor}")),
-            &factor,
-            |b, _| {
-                b.iter_batched(
-                    || {
-                        let mut m = ReteMatcher::compile(&w.program).expect("compiles");
-                        let mut d = WorkloadDriver::new(w.clone(), 37);
-                        d.init(&mut m);
-                        (m, d)
-                    },
-                    // Same total change budget: fewer, bigger batches.
-                    |(mut m, mut d)| d.run_cycles(&mut m, (40 / factor) as u64),
-                    BatchSize::LargeInput,
-                )
+        bench_batched(
+            "ablation_batch_size",
+            &format!("changes-x{factor}"),
+            10,
+            || {
+                let mut m = ReteMatcher::compile(&w.program).expect("compiles");
+                let mut d = WorkloadDriver::new(w.clone(), 37);
+                d.init(&mut m);
+                (m, d)
             },
+            // Same total change budget: fewer, bigger batches.
+            |(mut m, mut d)| d.run_cycles(&mut m, (40 / factor) as u64),
         );
     }
-    group.finish();
 }
 
-fn memory_strategy(c: &mut Criterion) {
+fn memory_strategy() {
     // Linear vs hashed alpha memories (DESIGN.md §6): hashed probes one
     // (attr, value) bucket per left activation instead of scanning.
     let mut spec = Preset::Daa.spec_small();
     spec.negated_prob = 0.0;
     let w = GeneratedWorkload::generate(spec).expect("generates");
-    let mut group = c.benchmark_group("ablation_memory_strategy");
-    group.sample_size(10);
     for hashed in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(if hashed { "hashed" } else { "linear" }),
-            &hashed,
-            |b, &hashed| {
-                b.iter_batched(
-                    || {
-                        let mut m = if hashed {
-                            ReteMatcher::compile_hashed(&w.program).expect("compiles")
-                        } else {
-                            ReteMatcher::compile(&w.program).expect("compiles")
-                        };
-                        let mut d = WorkloadDriver::new(w.clone(), 41);
-                        d.init(&mut m);
-                        (m, d)
-                    },
-                    |(mut m, mut d)| d.run_cycles(&mut m, 25),
-                    BatchSize::LargeInput,
-                )
+        bench_batched(
+            "ablation_memory_strategy",
+            if hashed { "hashed" } else { "linear" },
+            10,
+            || {
+                let mut m = if hashed {
+                    ReteMatcher::compile_hashed(&w.program).expect("compiles")
+                } else {
+                    ReteMatcher::compile(&w.program).expect("compiles")
+                };
+                let mut d = WorkloadDriver::new(w.clone(), 41);
+                d.init(&mut m);
+                (m, d)
             },
+            |(mut m, mut d)| d.run_cycles(&mut m, 25),
         );
     }
-    group.finish();
 }
 
-fn compile_cost(c: &mut Criterion) {
+fn compile_cost() {
     let w = GeneratedWorkload::generate(Preset::EpSoar.spec_small()).expect("generates");
-    let mut group = c.benchmark_group("ablation_compile");
-    group.sample_size(10);
-    group.bench_function("network_compile_shared", |b| {
-        b.iter(|| Network::compile(&w.program).expect("compiles"))
+    bench("ablation_compile", "network_compile_shared", 10, || {
+        Network::compile(&w.program).expect("compiles")
     });
-    group.bench_function("network_compile_unshared", |b| {
-        b.iter(|| {
-            Network::compile_with(&w.program, CompileOptions { share: false }).expect("compiles")
-        })
+    bench("ablation_compile", "network_compile_unshared", 10, || {
+        Network::compile_with(&w.program, CompileOptions { share: false }).expect("compiles")
     });
-    group.finish();
 }
 
-criterion_group!(ablations, sharing, batch_size, memory_strategy, compile_cost);
-criterion_main!(ablations);
+fn main() {
+    sharing();
+    batch_size();
+    memory_strategy();
+    compile_cost();
+}

@@ -2,45 +2,36 @@
 //! production-parallel engine versus the sequential baseline, processing
 //! identical firing batches.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use ops5::Matcher;
+use psm_bench::microbench::bench_batched;
 use psm_core::{ParallelOptions, ParallelReteMatcher, ProductionParallelMatcher};
 use rete::ReteMatcher;
 use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
 const CYCLES: u64 = 30;
 
-fn bench_engine<M: Matcher>(
-    c: &mut Criterion,
-    name: &str,
-    workload: &GeneratedWorkload,
-    make: impl Fn() -> M,
-) {
-    let mut group = c.benchmark_group("granularity");
-    group.sample_size(10);
-    group.bench_function(name, |b| {
-        b.iter_batched(
-            || {
-                let mut m = make();
-                let mut d = WorkloadDriver::new(workload.clone(), 17);
-                d.init(&mut m);
-                (m, d)
-            },
-            |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+fn bench_engine<M: Matcher>(name: &str, workload: &GeneratedWorkload, make: impl Fn() -> M) {
+    bench_batched(
+        "granularity",
+        name,
+        10,
+        || {
+            let mut m = make();
+            let mut d = WorkloadDriver::new(workload.clone(), 17);
+            d.init(&mut m);
+            (m, d)
+        },
+        |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
+    );
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let w = GeneratedWorkload::generate(Preset::EpSoar.spec_small()).expect("generates");
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-    bench_engine(c, "sequential-rete", &w, || {
+    bench_engine("sequential-rete", &w, || {
         ReteMatcher::compile(&w.program).expect("compiles")
     });
-    bench_engine(c, "node-parallel", &w, || {
+    bench_engine("node-parallel", &w, || {
         ParallelReteMatcher::compile(
             &w.program,
             ParallelOptions {
@@ -50,10 +41,7 @@ fn benches(c: &mut Criterion) {
         )
         .expect("compiles")
     });
-    bench_engine(c, "production-parallel", &w, || {
+    bench_engine("production-parallel", &w, || {
         ProductionParallelMatcher::compile(&w.program, threads).expect("compiles")
     });
 }
-
-criterion_group!(granularity, benches);
-criterion_main!(granularity);

@@ -3,14 +3,14 @@
 //! Rete and Oflazer (state savers) dominate; naive is orders of
 //! magnitude off; TREAT pays join recomputation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use baselines::{NaiveMatcher, OflazerMatcher, TreatMatcher};
 use ops5::Matcher;
+use psm_bench::microbench::bench_batched;
 use rete::ReteMatcher;
 use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
 const CYCLES: u64 = 25;
+const SAMPLES: usize = 10;
 
 fn workload() -> GeneratedWorkload {
     let mut spec = Preset::EpSoar.spec_small();
@@ -19,48 +19,37 @@ fn workload() -> GeneratedWorkload {
     GeneratedWorkload::generate(spec).expect("generates")
 }
 
-fn bench_matcher<M: Matcher>(
-    c: &mut Criterion,
-    name: &str,
-    workload: &GeneratedWorkload,
-    make: impl Fn() -> M,
-) {
-    let mut group = c.benchmark_group("match_throughput");
-    group.sample_size(10);
-    group.bench_function(name, |b| {
-        b.iter_batched(
-            || {
-                let mut m = make();
-                let mut d = WorkloadDriver::new(workload.clone(), 3);
-                d.init(&mut m);
-                (m, d)
-            },
-            |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+fn bench_matcher<M: Matcher>(name: &str, workload: &GeneratedWorkload, make: impl Fn() -> M) {
+    bench_batched(
+        "match_throughput",
+        name,
+        SAMPLES,
+        || {
+            let mut m = make();
+            let mut d = WorkloadDriver::new(workload.clone(), 3);
+            d.init(&mut m);
+            (m, d)
+        },
+        |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
+    );
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let w = workload();
-    bench_matcher(c, "rete", &w, || {
+    bench_matcher("rete", &w, || {
         ReteMatcher::compile(&w.program).expect("compiles")
     });
-    bench_matcher(c, "treat", &w, || {
+    bench_matcher("treat", &w, || {
         TreatMatcher::compile(&w.program).expect("compiles")
     });
-    bench_matcher(c, "oflazer", &w, || {
+    bench_matcher("oflazer", &w, || {
         OflazerMatcher::compile(&w.program).expect("compiles")
     });
     // Naive on a smaller memory: it is O(|WM|^k) per change.
     let mut small = w.spec.clone();
     small.wm_size = 25;
     let w_small = GeneratedWorkload::generate(small).expect("generates");
-    bench_matcher(c, "naive(25-wme-wm)", &w_small, || {
+    bench_matcher("naive(25-wme-wm)", &w_small, || {
         NaiveMatcher::new(&w_small.program)
     });
 }
-
-criterion_group!(match_throughput, benches);
-criterion_main!(match_throughput);

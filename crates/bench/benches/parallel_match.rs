@@ -3,14 +3,13 @@
 //! is flat and dominated by scheduling overhead — itself a datapoint for
 //! the paper's hardware-task-scheduler argument.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-
+use psm_bench::microbench::bench_batched;
 use psm_core::{ParallelOptions, ParallelReteMatcher};
 use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
 const CYCLES: u64 = 30;
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let w = GeneratedWorkload::generate(Preset::Daa.spec_small()).expect("generates");
     let ncpu = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut threads = vec![1usize, 2, 4];
@@ -18,31 +17,25 @@ fn benches(c: &mut Criterion) {
         threads.push(ncpu);
     }
 
-    let mut group = c.benchmark_group("parallel_match_threads");
-    group.sample_size(10);
     for &t in &threads {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter_batched(
-                || {
-                    let mut m = ParallelReteMatcher::compile(
-                        &w.program,
-                        ParallelOptions {
-                            threads: t,
-                            share: true,
-                        },
-                    )
-                    .expect("compiles");
-                    let mut d = WorkloadDriver::new(w.clone(), 23);
-                    d.init(&mut m);
-                    (m, d)
-                },
-                |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
-                BatchSize::LargeInput,
-            )
-        });
+        bench_batched(
+            "parallel_match_threads",
+            &t.to_string(),
+            10,
+            || {
+                let mut m = ParallelReteMatcher::compile(
+                    &w.program,
+                    ParallelOptions {
+                        threads: t,
+                        share: true,
+                    },
+                )
+                .expect("compiles");
+                let mut d = WorkloadDriver::new(w.clone(), 23);
+                d.init(&mut m);
+                (m, d)
+            },
+            |(mut m, mut d)| d.run_cycles(&mut m, CYCLES),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(parallel_match, benches);
-criterion_main!(parallel_match);

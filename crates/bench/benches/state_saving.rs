@@ -3,59 +3,47 @@
 //! Rete's per-change cost should stay flat; naive's should grow with
 //! |WM| — the crossover logic behind the paper's `(i+d)/s < 0.61`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use rand::SeedableRng;
-
 use baselines::NaiveMatcher;
 use ops5::{Matcher, WorkingMemory};
+use psm_bench::microbench::bench_batched;
+use psm_obs::Rng64;
 use rete::ReteMatcher;
 use workloads::{GeneratedWorkload, Preset};
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let mut spec = Preset::EpSoar.spec_small();
     spec.wm_size = 0; // inserted manually below
     let w = GeneratedWorkload::generate(spec).expect("generates");
 
-    let mut group = c.benchmark_group("state_saving_per_change");
-    group.sample_size(10);
     for wm_size in [20usize, 40, 80] {
         for algo in ["rete", "naive"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, wm_size),
-                &wm_size,
-                |b, &wm_size| {
-                    b.iter_batched(
-                        || {
-                            // Fresh matcher + WM of the target size plus
-                            // one pending change.
-                            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-                            let mut wm = WorkingMemory::new();
-                            let mut rete =
-                                ReteMatcher::compile(&w.program).expect("compiles");
-                            let mut naive = NaiveMatcher::new(&w.program);
-                            for _ in 0..wm_size {
-                                let (id, _) = wm.add(w.gen_wme(&mut rng));
-                                rete.add_wme(&wm, id);
-                                naive.add_wme(&wm, id);
-                            }
-                            let (pending, _) = wm.add(w.gen_wme(&mut rng));
-                            (rete, naive, wm, pending)
-                        },
-                        |(mut rete, mut naive, wm, pending)| {
-                            if algo == "rete" {
-                                rete.add_wme(&wm, pending)
-                            } else {
-                                naive.add_wme(&wm, pending)
-                            }
-                        },
-                        BatchSize::LargeInput,
-                    )
+            bench_batched(
+                "state_saving_per_change",
+                &format!("{algo}/{wm_size}"),
+                10,
+                || {
+                    // Fresh matcher + WM of the target size plus one
+                    // pending change.
+                    let mut rng = Rng64::new(9);
+                    let mut wm = WorkingMemory::new();
+                    let mut rete = ReteMatcher::compile(&w.program).expect("compiles");
+                    let mut naive = NaiveMatcher::new(&w.program);
+                    for _ in 0..wm_size {
+                        let (id, _) = wm.add(w.gen_wme(&mut rng));
+                        rete.add_wme(&wm, id);
+                        naive.add_wme(&wm, id);
+                    }
+                    let (pending, _) = wm.add(w.gen_wme(&mut rng));
+                    (rete, naive, wm, pending)
+                },
+                |(mut rete, mut naive, wm, pending)| {
+                    if algo == "rete" {
+                        rete.add_wme(&wm, pending)
+                    } else {
+                        naive.add_wme(&wm, pending)
+                    }
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(state_saving, benches);
-criterion_main!(state_saving);

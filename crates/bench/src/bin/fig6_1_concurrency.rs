@@ -53,5 +53,7 @@ fn main() {
     );
     let mean = at32.iter().sum::<f64>() / at32.len() as f64;
     println!("\nmean concurrency at P=32: {mean:.2}   (paper: 15.92)");
-    println!("paper observation: \"for most production systems 32 processors are more than sufficient\"");
+    println!(
+        "paper observation: \"for most production systems 32 processors are more than sufficient\""
+    );
 }

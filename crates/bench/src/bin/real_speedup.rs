@@ -77,7 +77,12 @@ fn main() {
             "Real-hardware speed-up, {} cycles of r1-soar-like workload ({} cores available)",
             opts.cycles, ncpu
         ),
-        &["engine", "threads", "match time (ms)", "speedup vs sequential"],
+        &[
+            "engine",
+            "threads",
+            "match time (ms)",
+            "speedup vs sequential",
+        ],
         &rows,
     );
     println!(

@@ -34,7 +34,12 @@ fn main() {
         .collect();
     print_table(
         "Section 2.2: interpreter ladder on a VAX-11/780",
-        &["implementation", "overhead factor", "wme-ch/s (ours)", "paper"],
+        &[
+            "implementation",
+            "overhead factor",
+            "wme-ch/s (ours)",
+            "paper",
+        ],
         &rows,
     );
     println!("\nparallel goal (paper): 5000-10000 wme-changes/sec.");

@@ -19,7 +19,15 @@ fn main() {
 
     // Part 1: the analytic model.
     let mut rows = Vec::new();
-    for turnover in [0.001, 0.005, 0.02, 0.1, 0.3, model.breakeven_turnover(), 0.8] {
+    for turnover in [
+        0.001,
+        0.005,
+        0.02,
+        0.1,
+        0.3,
+        model.breakeven_turnover(),
+        0.8,
+    ] {
         rows.push(vec![
             f(turnover * 100.0, 2),
             f(model.advantage(turnover), 1),
@@ -76,7 +84,11 @@ fn main() {
 
     print_table(
         "Section 3.1 measured (identical change streams)",
-        &["quantity", "rete (state-saving)", "naive (non-state-saving)"],
+        &[
+            "quantity",
+            "rete (state-saving)",
+            "naive (non-state-saving)",
+        ],
         &[
             vec![
                 "wall time / cycle (us)".into(),

@@ -22,11 +22,7 @@ struct Row {
     conflict_changes: u64,
 }
 
-fn drive<M: Matcher>(
-    workload: &GeneratedWorkload,
-    matcher: &mut M,
-    cycles: u64,
-) -> (f64, u64) {
+fn drive<M: Matcher>(workload: &GeneratedWorkload, matcher: &mut M, cycles: u64) -> (f64, u64) {
     let mut driver = WorkloadDriver::new(workload.clone(), 21);
     driver.init(matcher);
     let report = driver.run_cycles(matcher, cycles);
@@ -114,7 +110,13 @@ fn main() {
             workload.program.productions.len(),
             workload.spec.wm_size
         ),
-        &["algorithm", "resident state", "work", "wall ms", "CS changes"],
+        &[
+            "algorithm",
+            "resident state",
+            "work",
+            "wall ms",
+            "CS changes",
+        ],
         &table,
     );
     let identical = rows

@@ -21,10 +21,28 @@ fn main() {
     let mut rows = Vec::new();
     let mut spec = base;
     for (name, scheduler) in [
-        ("hardware (1 bus cycle)", Scheduler::Hardware { bus_cycle_us: 0.1 }),
-        ("software, 50 instr", Scheduler::Software { overhead_instructions: 50 }),
-        ("software, 100 instr", Scheduler::Software { overhead_instructions: 100 }),
-        ("software, 200 instr", Scheduler::Software { overhead_instructions: 200 }),
+        (
+            "hardware (1 bus cycle)",
+            Scheduler::Hardware { bus_cycle_us: 0.1 },
+        ),
+        (
+            "software, 50 instr",
+            Scheduler::Software {
+                overhead_instructions: 50,
+            },
+        ),
+        (
+            "software, 100 instr",
+            Scheduler::Software {
+                overhead_instructions: 100,
+            },
+        ),
+        (
+            "software, 200 instr",
+            Scheduler::Software {
+                overhead_instructions: 200,
+            },
+        ),
     ] {
         spec.scheduler = scheduler;
         let r = simulate_psm(&c.trace, &cost, &spec);
@@ -38,14 +56,23 @@ fn main() {
     }
     print_table(
         "Section 5 claim 4: task scheduler (P=32)",
-        &["scheduler", "concurrency", "true speedup", "wme-ch/s", "sched % of busy time"],
+        &[
+            "scheduler",
+            "concurrency",
+            "true speedup",
+            "wme-ch/s",
+            "sched % of busy time",
+        ],
         &rows,
     );
 
     // Hardware-scheduler interference guarantee: per-node exclusive
     // activation vs free same-node parallelism.
     let mut rows = Vec::new();
-    for (name, excl) in [("same-node parallel (hashed memories)", false), ("per-node exclusive", true)] {
+    for (name, excl) in [
+        ("same-node parallel (hashed memories)", false),
+        ("per-node exclusive", true),
+    ] {
         let mut spec = base;
         spec.per_node_exclusive = excl;
         let r = simulate_psm(&c.trace, &cost, &spec);
@@ -58,7 +85,12 @@ fn main() {
     }
     print_table(
         "Section 5: same-node activation parallelism (assumption 1 of Fig. 6)",
-        &["locking granularity", "concurrency", "true speedup", "wme-ch/s"],
+        &[
+            "locking granularity",
+            "concurrency",
+            "true speedup",
+            "wme-ch/s",
+        ],
         &rows,
     );
 

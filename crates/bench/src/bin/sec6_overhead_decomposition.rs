@@ -17,13 +17,10 @@ fn main() {
     // Measure the sharing-loss factor from the real networks: extra
     // constant-test and two-input work when sharing is disabled.
     let shared = rete::Network::compile(&c.workload.program).unwrap();
-    let unshared = rete::Network::compile_with(
-        &c.workload.program,
-        rete::CompileOptions { share: false },
-    )
-    .unwrap();
-    let sharing_inflation =
-        unshared.stats.alpha_nodes as f64 / shared.stats.alpha_nodes as f64;
+    let unshared =
+        rete::Network::compile_with(&c.workload.program, rete::CompileOptions { share: false })
+            .unwrap();
+    let sharing_inflation = unshared.stats.alpha_nodes as f64 / shared.stats.alpha_nodes as f64;
     // Only part of the work is alpha-side; temper the blowup.
     let work_inflation = 1.0 + (sharing_inflation - 1.0) * 0.3;
 
@@ -40,28 +37,40 @@ fn main() {
 
     let stages: Vec<(&str, PsmSpec)> = vec![
         ("ideal (no overheads)", ideal),
-        ("+ sharing loss", PsmSpec {
-            work_inflation,
-            ..ideal
-        }),
-        ("+ scheduling (hw, 1 bus cycle)", PsmSpec {
-            work_inflation,
-            scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
-            ..ideal
-        }),
-        ("+ bus contention (5% miss)", PsmSpec {
-            work_inflation,
-            scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
-            bus_miss_ratio: 0.05,
-            ..ideal
-        }),
-        ("+ per-node synchronization", PsmSpec {
-            work_inflation,
-            scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
-            bus_miss_ratio: 0.05,
-            per_node_exclusive: true,
-            ..ideal
-        }),
+        (
+            "+ sharing loss",
+            PsmSpec {
+                work_inflation,
+                ..ideal
+            },
+        ),
+        (
+            "+ scheduling (hw, 1 bus cycle)",
+            PsmSpec {
+                work_inflation,
+                scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
+                ..ideal
+            },
+        ),
+        (
+            "+ bus contention (5% miss)",
+            PsmSpec {
+                work_inflation,
+                scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
+                bus_miss_ratio: 0.05,
+                ..ideal
+            },
+        ),
+        (
+            "+ per-node synchronization",
+            PsmSpec {
+                work_inflation,
+                scheduler: Scheduler::Hardware { bus_cycle_us: 0.1 },
+                bus_miss_ratio: 0.05,
+                per_node_exclusive: true,
+                ..ideal
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -82,12 +91,20 @@ fn main() {
     }
     print_table(
         "Section 6 lost-factor waterfall (mud-like trace, P=32)",
-        &["configuration", "concurrency", "true speedup", "lost factor", "step cost"],
+        &[
+            "configuration",
+            "concurrency",
+            "true speedup",
+            "lost factor",
+            "step cost",
+        ],
         &rows,
     );
     println!(
         "\nmeasured sharing inflation: alpha nodes x{sharing_inflation:.2} unshared \
          (applied as x{work_inflation:.2} total work)"
     );
-    println!("paper: concurrency 15.92 vs true speed-up 8.25 => lost factor 1.93 from these sources.");
+    println!(
+        "paper: concurrency 15.92 vs true speed-up 8.25 => lost factor 1.93 from these sources."
+    );
 }

@@ -37,7 +37,13 @@ fn main() {
     }
     print_table(
         "Section 8 sweep 1: changes per cycle (paper: more changes -> more parallelism)",
-        &["batch", "chg/cycle", "concurrency@32", "true speedup", "wme-ch/s"],
+        &[
+            "batch",
+            "chg/cycle",
+            "concurrency@32",
+            "true speedup",
+            "wme-ch/s",
+        ],
         &rows,
     );
 

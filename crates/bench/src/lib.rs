@@ -53,12 +53,7 @@ pub enum Variant {
 
 /// Captures `cycles` of a preset run. `share=false` networks attribute
 /// every node to one production, as required by the §4/§7 analyses.
-pub fn capture(
-    preset: Preset,
-    variant: Variant,
-    cycles: u64,
-    share: bool,
-) -> Captured {
+pub fn capture(preset: Preset, variant: Variant, cycles: u64, share: bool) -> Captured {
     let spec = match variant {
         Variant::Standard => preset.spec(),
         Variant::ParallelFirings => preset.spec_parallel_firings(),
@@ -70,13 +65,9 @@ pub fn capture(
 /// Captures `cycles` of an arbitrary spec.
 pub fn capture_spec(spec: WorkloadSpec, cycles: u64, share: bool) -> Captured {
     let workload = GeneratedWorkload::generate(spec).expect("workload generates");
-    let (trace, stats, network) = capture_trace_with(
-        &workload,
-        cycles,
-        0xC0FFEE,
-        CompileOptions { share },
-    )
-    .expect("trace capture succeeds");
+    let (trace, stats, network) =
+        capture_trace_with(&workload, cycles, 0xC0FFEE, CompileOptions { share })
+            .expect("trace capture succeeds");
     Captured {
         workload,
         trace,
@@ -106,7 +97,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -181,6 +175,95 @@ impl CliOptions {
 /// Formats a float with the given precision.
 pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
+}
+
+/// Minimal micro-benchmark runner for the `benches/` targets
+/// (`harness = false`, no external crates). Each sample runs a fresh
+/// `setup()` state through `routine`, timing only the routine; the
+/// summary line reports median / min / mean over the samples.
+pub mod microbench {
+    use std::time::Instant;
+
+    /// One measured series (all values in nanoseconds).
+    #[derive(Debug, Clone)]
+    pub struct Samples {
+        /// Benchmark label (`group/name`).
+        pub label: String,
+        /// Per-sample routine times, nanoseconds.
+        pub ns: Vec<u64>,
+    }
+
+    impl Samples {
+        /// Median sample time in nanoseconds.
+        pub fn median_ns(&self) -> u64 {
+            let mut v = self.ns.clone();
+            v.sort_unstable();
+            v.get(v.len() / 2).copied().unwrap_or(0)
+        }
+
+        /// Fastest sample in nanoseconds.
+        pub fn min_ns(&self) -> u64 {
+            self.ns.iter().copied().min().unwrap_or(0)
+        }
+
+        /// Mean sample time in nanoseconds.
+        pub fn mean_ns(&self) -> f64 {
+            if self.ns.is_empty() {
+                0.0
+            } else {
+                self.ns.iter().sum::<u64>() as f64 / self.ns.len() as f64
+            }
+        }
+
+        fn print(&self) {
+            let ms = |ns: f64| ns / 1e6;
+            println!(
+                "{:<44} median {:>9.3} ms  min {:>9.3} ms  mean {:>9.3} ms  ({} samples)",
+                self.label,
+                ms(self.median_ns() as f64),
+                ms(self.min_ns() as f64),
+                ms(self.mean_ns()),
+                self.ns.len()
+            );
+        }
+    }
+
+    /// Times `samples` runs of `routine` over fresh `setup()` states
+    /// (the `iter_batched` pattern): setup excluded, one extra warm-up
+    /// run discarded.
+    pub fn bench_batched<T, R>(
+        group: &str,
+        name: &str,
+        samples: usize,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) -> Samples {
+        std::hint::black_box(routine(setup()));
+        let mut ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let state = setup();
+            let start = Instant::now();
+            let out = routine(state);
+            ns.push(start.elapsed().as_nanos() as u64);
+            std::hint::black_box(out);
+        }
+        let s = Samples {
+            label: format!("{group}/{name}"),
+            ns,
+        };
+        s.print();
+        s
+    }
+
+    /// Times `samples` runs of a setup-free routine.
+    pub fn bench<R>(
+        group: &str,
+        name: &str,
+        samples: usize,
+        mut routine: impl FnMut() -> R,
+    ) -> Samples {
+        bench_batched(group, name, samples, || (), |()| routine())
+    }
 }
 
 #[cfg(test)]

@@ -3,19 +3,26 @@
 //! See the crate docs for the consistency protocol. The engine executes
 //! each change batch in two barrier-separated phases (retractions, then
 //! assertions); within a phase, node activations are tasks drained from a
-//! shared injector by a pool of scoped worker threads — the software
-//! analogue of the paper's hardware task scheduler.
+//! shared injector and per-worker deques by a pool of scoped worker
+//! threads — the software analogue of the paper's hardware task
+//! scheduler. Workers pop their own deque LIFO (locality), refill from
+//! the shared injector, and steal FIFO from peers when both run dry.
+//!
+//! Every worker keeps [`WorkerStats`] counters (tasks, steals, idle
+//! spins, queue depth, lock wait) that are merged after each phase and
+//! optionally published to an attached [`psm_obs::Obs`] registry;
+//! timing counters (`lock_wait_ns`, `exec_ns`) are only collected once
+//! [`ParallelReteMatcher::enable_timing`] or the obs detail toggle
+//! turns them on, keeping the default hot path free of clock reads.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use crossbeam::deque::{Injector, Steal};
-use parking_lot::Mutex;
+use psm_obs::Obs;
 
-use ops5::{
-    Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory,
-};
+use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
 use rete::network::NodeKind;
 use rete::{CompileOptions, JoinTest, Network, NodeId, Token};
 
@@ -54,6 +61,40 @@ pub struct ParallelStats {
     pub pairs_scanned: u64,
     /// Constant (alpha) tests evaluated during ingest.
     pub constant_tests: u64,
+}
+
+/// Per-worker scheduler counters, accumulated across phases.
+///
+/// Counter fields are always collected (plain integer adds on
+/// thread-local scratch); the `*_ns` timing fields stay zero unless
+/// timing is enabled via [`ParallelReteMatcher::enable_timing`] or an
+/// attached [`Obs`] handle with the detail toggle on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Node-activation tasks this worker executed.
+    pub tasks: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Empty polls (no task anywhere; the worker yielded).
+    pub idle_spins: u64,
+    /// High-water mark of this worker's local deque.
+    pub max_queue_depth: u64,
+    /// Nanoseconds spent waiting on node locks (timing mode only).
+    pub lock_wait_ns: u64,
+    /// Nanoseconds spent executing tasks (timing mode only).
+    pub exec_ns: u64,
+}
+
+impl WorkerStats {
+    /// Folds `other` into `self` (counters add, high-water maxes).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+        self.idle_spins += other.idle_spins;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.lock_wait_ns += other.lock_wait_ns;
+        self.exec_ns += other.exec_ns;
+    }
 }
 
 /// Sign of a propagating change (local copy to keep the engine
@@ -126,6 +167,7 @@ struct WorkerLocal {
     tasks: u64,
     join_tests: u64,
     pairs_scanned: u64,
+    worker: WorkerStats,
 }
 
 /// The parallel Rete matcher (node-activation granularity).
@@ -159,6 +201,14 @@ pub struct ParallelReteMatcher {
     store: Vec<Option<Wme>>,
     threads: usize,
     stats: ParallelStats,
+    /// Per-worker counters accumulated across all phases.
+    worker_totals: Vec<WorkerStats>,
+    /// Collect lock-wait / exec timing (off by default; clock reads on
+    /// the hot path are not free).
+    timing: bool,
+    /// Optional metrics sink; counters are published per phase (cold
+    /// path), never per task.
+    obs: Option<Arc<Obs>>,
 }
 
 impl std::fmt::Debug for ParallelReteMatcher {
@@ -262,12 +312,16 @@ impl ParallelReteMatcher {
         }
 
         let states = slots.into_iter().map(Mutex::new).collect();
+        let threads = threads.max(1);
         ParallelReteMatcher {
             topo,
             states,
             store: Vec::new(),
-            threads: threads.max(1),
+            threads,
             stats: ParallelStats::default(),
+            worker_totals: vec![WorkerStats::default(); threads],
+            timing: false,
+            obs: None,
             network,
         }
     }
@@ -287,6 +341,35 @@ impl ParallelReteMatcher {
         self.threads
     }
 
+    /// Per-worker scheduler counters accumulated so far (one entry per
+    /// worker thread).
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.worker_totals
+    }
+
+    /// All worker counters folded into one.
+    pub fn worker_totals_merged(&self) -> WorkerStats {
+        let mut total = WorkerStats::default();
+        for w in &self.worker_totals {
+            total.merge(w);
+        }
+        total
+    }
+
+    /// Enables lock-wait and task-execution timing (adds two clock
+    /// reads per task; off by default).
+    pub fn enable_timing(&mut self) {
+        self.timing = true;
+    }
+
+    /// Attaches an observability handle. Worker counters are published
+    /// into its registry after every phase (`engine.*` metrics), a
+    /// per-phase event is emitted when the ring is enabled, and the
+    /// handle's detail toggle drives timing collection.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
     /// Tokens resident across all node left stores, excluding the
     /// permanent dummy-top seeds. Zero once the working memory has been
     /// emptied — the state-purge invariant shared with the sequential
@@ -294,11 +377,10 @@ impl ParallelReteMatcher {
     pub fn resident_tokens(&self) -> usize {
         self.states
             .iter()
-            .map(|slot| match &*slot.lock() {
-                NodeSlot::Join { left, .. } => left
-                    .iter()
-                    .filter(|(t, &p)| p > 0 && !t.is_empty())
-                    .count(),
+            .map(|slot| match &*slot.lock().unwrap() {
+                NodeSlot::Join { left, .. } => {
+                    left.iter().filter(|(t, &p)| p > 0 && !t.is_empty()).count()
+                }
                 NodeSlot::Negative { left, .. } => left
                     .iter()
                     .filter(|(t, e)| e.presence > 0 && !t.is_empty())
@@ -342,53 +424,112 @@ impl ParallelReteMatcher {
 
     /// Runs one phase: drain `tasks` (and their descendants) across the
     /// worker pool, returning the merged signed delta.
-    fn run_phase(&mut self, tasks: Vec<Task>) -> MatchDelta {
+    ///
+    /// Scheduling: seed tasks sit in a shared FIFO injector; spawned
+    /// children go to the spawning worker's own deque, popped LIFO for
+    /// locality. A worker with nothing local and an empty injector
+    /// steals FIFO from a peer (oldest task first — the classic
+    /// work-stealing discipline, kept from the previous
+    /// `crossbeam::deque` implementation but built on `std::sync` so
+    /// the workspace has no external dependencies).
+    fn run_phase(&mut self, label: &'static str, tasks: Vec<Task>) -> MatchDelta {
         if tasks.is_empty() {
             return MatchDelta::new();
         }
-        let injector = Injector::new();
-        let pending = AtomicUsize::new(tasks.len());
-        for t in tasks {
-            injector.push(t);
-        }
-        let merged: Mutex<Vec<WorkerLocal>> = Mutex::new(Vec::new());
         let threads = self.threads;
+        let timing = self.timing;
+        let pending = AtomicUsize::new(tasks.len());
+        let injector: Mutex<VecDeque<Task>> = Mutex::new(tasks.into());
+        let deques: Vec<Mutex<VecDeque<Task>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        let merged: Mutex<Vec<(usize, WorkerLocal)>> = Mutex::new(Vec::new());
         let this: &ParallelReteMatcher = self;
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for me in 0..threads {
+                let (pending, injector, deques, merged) = (&pending, &injector, &deques, &merged);
+                scope.spawn(move || {
                     let mut local = WorkerLocal::default();
                     loop {
                         if pending.load(Ordering::Acquire) == 0 {
                             break;
                         }
-                        match injector.steal() {
-                            Steal::Success(task) => {
-                                // Decrement on drop so a panicking task
-                                // cannot leave siblings spinning forever.
-                                let _guard = PendingGuard(&pending);
-                                let children = this.exec(task, &mut local);
-                                if !children.is_empty() {
-                                    pending.fetch_add(children.len(), Ordering::AcqRel);
-                                    for c in children {
-                                        injector.push(c);
-                                    }
+                        let mut next = deques[me].lock().unwrap().pop_back();
+                        if next.is_none() {
+                            next = injector.lock().unwrap().pop_front();
+                        }
+                        if next.is_none() {
+                            for k in 1..threads {
+                                let victim = (me + k) % threads;
+                                if let Some(t) = deques[victim].lock().unwrap().pop_front() {
+                                    local.worker.steals += 1;
+                                    next = Some(t);
+                                    break;
                                 }
                             }
-                            Steal::Retry => {}
-                            Steal::Empty => std::thread::yield_now(),
+                        }
+                        match next {
+                            Some(task) => {
+                                // Decrement on drop so a panicking task
+                                // cannot leave siblings spinning forever.
+                                let _guard = PendingGuard(pending);
+                                let started = timing.then(Instant::now);
+                                let children = this.exec(task, &mut local);
+                                if let Some(t0) = started {
+                                    local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
+                                }
+                                if !children.is_empty() {
+                                    pending.fetch_add(children.len(), Ordering::AcqRel);
+                                    let mut q = deques[me].lock().unwrap();
+                                    for c in children {
+                                        q.push_back(c);
+                                    }
+                                    local.worker.max_queue_depth =
+                                        local.worker.max_queue_depth.max(q.len() as u64);
+                                }
+                            }
+                            None => {
+                                local.worker.idle_spins += 1;
+                                std::thread::yield_now();
+                            }
                         }
                     }
-                    merged.lock().push(local);
+                    merged.lock().unwrap().push((me, local));
                 });
             }
         });
         let mut delta = MatchDelta::new();
-        for local in merged.into_inner() {
+        let mut phase_total = WorkerStats::default();
+        for (me, local) in merged.into_inner().unwrap() {
             delta.merge(local.delta);
             self.stats.tasks += local.tasks;
             self.stats.join_tests += local.join_tests;
             self.stats.pairs_scanned += local.pairs_scanned;
+            let mut worker = local.worker;
+            worker.tasks = local.tasks;
+            self.worker_totals[me].merge(&worker);
+            phase_total.merge(&worker);
+        }
+        if let Some(obs) = &self.obs {
+            obs.metrics.counter("engine.tasks").add(phase_total.tasks);
+            obs.metrics.counter("engine.steals").add(phase_total.steals);
+            obs.metrics
+                .counter("engine.idle_spins")
+                .add(phase_total.idle_spins);
+            obs.metrics
+                .counter("engine.lock_wait_ns")
+                .add(phase_total.lock_wait_ns);
+            obs.metrics
+                .gauge("engine.max_queue_depth")
+                .fetch_max(phase_total.max_queue_depth as i64);
+            obs.events.emit(
+                "engine.phase",
+                &[
+                    ("kind", label.into()),
+                    ("tasks", phase_total.tasks.into()),
+                    ("steals", phase_total.steals.into()),
+                    ("idle_spins", phase_total.idle_spins.into()),
+                ],
+            );
         }
         delta
     }
@@ -400,7 +541,15 @@ impl ParallelReteMatcher {
         let spec = self.network.node(task.node);
         let children = &self.topo.token_children[task.node.index()];
         let mut out = Vec::new();
-        let mut slot = self.states[task.node.index()].lock();
+        let mutex = &self.states[task.node.index()];
+        let mut slot = if self.timing {
+            let t0 = Instant::now();
+            let guard = mutex.lock().unwrap();
+            local.worker.lock_wait_ns += t0.elapsed().as_nanos() as u64;
+            guard
+        } else {
+            mutex.lock().unwrap()
+        };
         match (&mut *slot, task.payload) {
             (NodeSlot::Join { left, right }, Payload::Right(wme_id)) => {
                 let (old, new) = bump(right, wme_id, task.sign.delta());
@@ -647,8 +796,11 @@ impl Matcher for ParallelReteMatcher {
                 Change::Add(id) => self.seed_tasks(*id, Sign::Plus, &mut adds),
             }
         }
-        let mut delta = self.run_phase(removes);
-        delta.merge(self.run_phase(adds));
+        if let Some(obs) = &self.obs {
+            self.timing = self.timing || obs.detail();
+        }
+        let mut delta = self.run_phase("remove", removes);
+        delta.merge(self.run_phase("add", adds));
         for id in removed_ids {
             self.store[id.index()] = None;
         }
@@ -664,8 +816,7 @@ impl Matcher for ParallelReteMatcher {
 mod tests {
     use super::*;
     use ops5::{parse_program, parse_wme, SymbolTable};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use psm_obs::Rng64;
     use rete::ReteMatcher;
 
     fn parallel(src: &str, threads: usize) -> (ops5::Program, ParallelReteMatcher) {
@@ -696,10 +847,7 @@ mod tests {
     #[test]
     fn batch_remove_then_add_order() {
         // A modify arrives as [Remove(old), Add(new)] in one batch.
-        let (program, mut m) = parallel(
-            "(p r (c ^on yes) --> (modify 1 ^on no))",
-            4,
-        );
+        let (program, mut m) = parallel("(p r (c ^on yes) --> (modify 1 ^on no))", 4);
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();
         let (old, _) = wm.add(parse_wme("(c ^on yes)", &mut syms).unwrap());
@@ -714,10 +862,7 @@ mod tests {
 
     #[test]
     fn negative_first_ce() {
-        let (program, mut m) = parallel(
-            "(p r - (blocker) (a ^x 1) --> (remove 2))",
-            2,
-        );
+        let (program, mut m) = parallel("(p r - (blocker) (a ^x 1) --> (remove 2))", 2);
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();
         let (a, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
@@ -742,7 +887,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut syms: SymbolTable = program.symbols.clone();
         let classes = ["a", "b", "c", "goal", "veto"];
         let mut wm = WorkingMemory::new();
@@ -755,7 +900,7 @@ mod tests {
             } else {
                 rng.gen_range(0..=live.len().min(2))
             };
-            let n_adds = rng.gen_range(1..=4);
+            let n_adds = rng.gen_range(1..=4usize);
             let mut batch = Vec::new();
             for _ in 0..n_removes {
                 let id = live.swap_remove(rng.gen_range(0..live.len()));
@@ -763,9 +908,8 @@ mod tests {
             }
             for _ in 0..n_adds {
                 let class = classes[rng.gen_range(0..classes.len())];
-                let x = rng.gen_range(0..3);
-                let wme =
-                    parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap();
+                let x = rng.gen_range(0..3i32);
+                let wme = parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap();
                 let (id, _) = wm.add(wme);
                 live.push(id);
                 batch.push(Change::Add(id));
@@ -821,8 +965,7 @@ mod tests {
         let mut ids = Vec::new();
         for class in ["a", "b", "c", "goal", "veto"] {
             for x in 0..3 {
-                let (id, _) =
-                    wm.add(parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap());
+                let (id, _) = wm.add(parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap());
                 m.add_wme(&wm, id);
                 ids.push(id);
             }
@@ -870,10 +1013,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let (program, mut m) = parallel(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-            2,
-        );
+        let (program, mut m) = parallel("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))", 2);
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();
         let (a, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
@@ -900,7 +1040,13 @@ mod tests {
         .unwrap();
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();
-        for lit in ["(a ^x 1)", "(b ^x 1)", "(c ^x 1)", "(goal ^x 1)", "(veto ^x 1)"] {
+        for lit in [
+            "(a ^x 1)",
+            "(b ^x 1)",
+            "(c ^x 1)",
+            "(goal ^x 1)",
+            "(veto ^x 1)",
+        ] {
             let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
             let mut d1 = seq.add_wme(&wm, id);
             let mut d2 = par.add_wme(&wm, id);

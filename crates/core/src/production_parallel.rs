@@ -15,8 +15,11 @@
 //! The per-partition work counters let experiments measure both effects
 //! directly on real hardware.
 
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
 use ops5::{Change, Error, MatchDelta, Matcher, Program, WmeId, WorkingMemory};
-use parking_lot::Mutex;
+use psm_obs::Obs;
 use rete::{MatchStats, ReteMatcher};
 
 /// A matcher exploiting parallelism only across productions.
@@ -42,6 +45,9 @@ use rete::{MatchStats, ReteMatcher};
 #[derive(Debug)]
 pub struct ProductionParallelMatcher {
     partitions: Vec<ReteMatcher>,
+    /// Wall time of the slowest partition per batch, summed (the §4
+    /// critical path); collected when an [`Obs`] handle is attached.
+    obs: Option<Arc<Obs>>,
 }
 
 impl ProductionParallelMatcher {
@@ -71,7 +77,10 @@ impl ProductionParallelMatcher {
             };
             partitions.push(ReteMatcher::compile(&sub)?);
         }
-        Ok(ProductionParallelMatcher { partitions })
+        Ok(ProductionParallelMatcher {
+            partitions,
+            obs: None,
+        })
     }
 
     /// Number of partitions.
@@ -83,6 +92,21 @@ impl ProductionParallelMatcher {
     /// §4 variance argument made measurable.
     pub fn partition_stats(&self) -> Vec<MatchStats> {
         self.partitions.iter().map(|p| p.stats()).collect()
+    }
+
+    /// All partition counters folded into one via
+    /// [`MatchStats::merge`] — the whole-system view a sequential
+    /// matcher would report.
+    pub fn merged_stats(&self) -> MatchStats {
+        let parts = self.partition_stats();
+        MatchStats::merged(parts.iter())
+    }
+
+    /// Attaches an observability handle: per-batch partition wall
+    /// times land in the `pp.partition_ns` histogram and the
+    /// `pp.batches` / `pp.critical_path_ns` counters.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     /// Coefficient of imbalance: max over mean of per-partition node
@@ -104,15 +128,36 @@ impl ProductionParallelMatcher {
 
     fn run(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
         let merged = Mutex::new(MatchDelta::new());
+        let timed = self.obs.is_some();
+        let partition_ns: Mutex<Vec<u64>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for partition in self.partitions.iter_mut() {
-                scope.spawn(|| {
+                let (merged, partition_ns) = (&merged, &partition_ns);
+                scope.spawn(move || {
+                    let started = timed.then(Instant::now);
                     let delta = partition.process(wm, changes);
-                    merged.lock().merge(delta);
+                    if let Some(t0) = started {
+                        partition_ns
+                            .lock()
+                            .unwrap()
+                            .push(t0.elapsed().as_nanos() as u64);
+                    }
+                    merged.lock().unwrap().merge(delta);
                 });
             }
         });
-        merged.into_inner()
+        if let Some(obs) = &self.obs {
+            let times = partition_ns.into_inner().unwrap();
+            let hist = obs.metrics.histogram("pp.partition_ns");
+            for &ns in &times {
+                hist.record(ns);
+            }
+            obs.metrics.counter("pp.batches").inc();
+            obs.metrics
+                .counter("pp.critical_path_ns")
+                .add(times.iter().copied().max().unwrap_or(0));
+        }
+        merged.into_inner().unwrap()
     }
 }
 
@@ -157,7 +202,11 @@ mod tests {
         let mut syms = program.symbols.clone();
         let mut ids = Vec::new();
         for lit in [
-            "(a ^x 0)", "(b ^x 0)", "(a ^x 0)", "(goal ^x 1)", "(veto ^x 1)",
+            "(a ^x 0)",
+            "(b ^x 0)",
+            "(a ^x 0)",
+            "(goal ^x 1)",
+            "(veto ^x 1)",
         ] {
             let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
             ids.push(id);

@@ -70,10 +70,8 @@ mod tests {
 
     #[test]
     fn beta_memories_are_flattened_out() {
-        let program = parse_program(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        )
-        .unwrap();
+        let program =
+            parse_program("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))").unwrap();
         let net = Network::compile(&program).unwrap();
         let topo = ParallelTopology::from_network(&net);
         for (idx, spec) in net.nodes.iter().enumerate() {
@@ -114,10 +112,7 @@ mod tests {
             .iter()
             .position(|s| s.kind == NodeKind::Terminal)
             .unwrap();
-        assert_eq!(
-            topo.terminal_production[term],
-            Some(ops5::ProductionId(0))
-        );
+        assert_eq!(topo.terminal_production[term], Some(ops5::ProductionId(0)));
         assert!(topo.active[term]);
     }
 
@@ -135,12 +130,7 @@ mod tests {
         .unwrap();
         let net = Network::compile(&program).unwrap();
         let topo = ParallelTopology::from_network(&net);
-        let max_fanout = topo
-            .token_children
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let max_fanout = topo.token_children.iter().map(Vec::len).max().unwrap_or(0);
         assert!(max_fanout >= 2, "shared prefix fans out to both branches");
     }
 }

@@ -1,0 +1,242 @@
+//! Chrome `trace_event`-format JSON export.
+//!
+//! Produces the JSON-object flavor (`{"traceEvents": [...]}`) that
+//! Perfetto and `chrome://tracing` load directly. Processor timelines
+//! map naturally: one *pid* per machine, one *tid* per processor,
+//! complete events (`"ph": "X"`) for busy slices, counter events
+//! (`"ph": "C"`) for utilization series, and metadata events
+//! (`"ph": "M"`) to name the rows.
+//!
+//! Reference: the Trace Event Format spec (Google, 2016); timestamps
+//! and durations are microseconds.
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// One trace event (see the `ph` field for the flavor).
+#[derive(Debug, Clone)]
+pub struct ChromeEvent {
+    /// Event name (shown on the slice).
+    pub name: String,
+    /// Comma-separated categories.
+    pub cat: String,
+    /// Phase: `X` complete, `i` instant, `C` counter, `M` metadata.
+    pub ph: char,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// Process id (machine).
+    pub pid: u32,
+    /// Thread id (processor).
+    pub tid: u32,
+    /// Extra `args` as key → JSON-literal pairs (values must already
+    /// be valid JSON fragments, e.g. from [`json::number`] or
+    /// [`json::escape`]).
+    pub args: Vec<(String, String)>,
+}
+
+impl ChromeEvent {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"name\":");
+        json::push_escaped(&mut out, &self.name);
+        out.push_str(",\"cat\":");
+        json::push_escaped(&mut out, &self.cat);
+        let _ = write!(
+            out,
+            ",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            self.ph,
+            json::number(self.ts_us),
+            self.pid,
+            self.tid
+        );
+        if let Some(dur) = self.dur_us {
+            let _ = write!(out, ",\"dur\":{}", json::number(dur));
+        }
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_escaped(&mut out, k);
+                out.push(':');
+                out.push_str(v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Builder for a Chrome trace file.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a complete (`"X"`) event: a busy slice on row
+    /// (`pid`, `tid`) spanning `[ts_us, ts_us + dur_us]`.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// Like [`ChromeTrace::complete`] with extra `args` (values must
+    /// be JSON fragments).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, String)>,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Adds an instant (`"i"`) event.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts_us: f64) {
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts_us,
+            dur_us: None,
+            pid,
+            tid,
+            // "s":"t" (thread scope) is implied by default rendering.
+            args: Vec::new(),
+        });
+    }
+
+    /// Adds a counter (`"C"`) sample named `name` with series
+    /// `series = value`.
+    pub fn counter(&mut self, pid: u32, name: &str, ts_us: f64, series: &str, value: f64) {
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: "counter".to_string(),
+            ph: 'C',
+            ts_us,
+            dur_us: None,
+            pid,
+            tid: 0,
+            args: vec![(series.to_string(), json::number(value))],
+        });
+    }
+
+    /// Names process `pid` (machine) in the viewer.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.metadata(pid, 0, "process_name", name);
+    }
+
+    /// Names thread (`pid`, `tid`) (processor) in the viewer.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.metadata(pid, tid, "thread_name", name);
+    }
+
+    fn metadata(&mut self, pid: u32, tid: u32, kind: &str, name: &str) {
+        self.events.push(ChromeEvent {
+            name: kind.to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: None,
+            pid,
+            tid,
+            args: vec![("name".to_string(), json::escape(name))],
+        });
+    }
+
+    /// Serializes to the JSON-object trace format Perfetto loads:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&ev.to_json());
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_required_fields() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "psm-32");
+        t.thread_name(1, 3, "proc 3");
+        t.complete(1, 3, "JoinRight n17", "match", 10.0, 4.5);
+        t.counter(1, "bus", 10.0, "utilization", 0.62);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for field in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":", "\"name\":"] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":4.5"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("{\"name\":\"psm-32\"}"));
+        assert!(json.contains("\"utilization\":0.62"));
+    }
+
+    #[test]
+    fn balanced_braces_and_quotes() {
+        let mut t = ChromeTrace::new();
+        t.complete(0, 0, "weird \"name\"\n", "c", 0.0, 1.0);
+        let json = t.to_json();
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        // Non-escaped quotes must be even.
+        let quotes = json.replace("\\\"", "").matches('"').count();
+        assert_eq!(quotes % 2, 0);
+    }
+}

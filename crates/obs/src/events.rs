@@ -1,0 +1,225 @@
+//! Bounded structured-event ring buffer with JSONL export.
+//!
+//! The ring is disabled by default: [`EventRing::emit`] is a single
+//! relaxed atomic load and an immediate return until
+//! [`EventRing::set_enabled`] turns it on, so instrumented code can
+//! emit unconditionally. When enabled, the newest `capacity` events
+//! are retained and older ones are counted as dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json;
+
+/// A structured field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) => json::number(*v),
+            FieldValue::Str(s) => json::escape(s),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One structured event: a name, a timestamp (µs since the ring was
+/// created), and named fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since [`EventRing::new`].
+    pub ts_us: u64,
+    /// Event name.
+    pub name: String,
+    /// Structured payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// One JSONL line: `{"ts_us":…,"name":…,"fields":{…}}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"name\":");
+        json::push_escaped(&mut out, &self.name);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_escaped(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Bounded ring of recent [`Event`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl EventRing {
+    /// A disabled ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            enabled: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the ring is recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records an event if the ring is enabled; otherwise returns
+    /// immediately without allocating.
+    pub fn emit(&self, name: &str, fields: &[(&'static str, FieldValue)]) {
+        if !self.enabled() {
+            return;
+        }
+        let ev = Event {
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            name: name.to_string(),
+            fields: fields.to_vec(),
+        };
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(ev);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().drain(..).collect()
+    }
+
+    /// The buffered events as JSON-lines text (one event per line,
+    /// oldest first), without draining.
+    pub fn to_jsonl(&self) -> String {
+        let q = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for ev in q.iter() {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = EventRing::new(8);
+        ring.emit("x", &[]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let ring = EventRing::new(3);
+        ring.set_enabled(true);
+        for i in 0..5u64 {
+            ring.emit("tick", &[("i", i.into())]);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(events[0].fields[0].1, FieldValue::U64(2));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let ring = EventRing::new(4);
+        ring.set_enabled(true);
+        ring.emit(
+            "phase",
+            &[
+                ("tasks", 42u64.into()),
+                ("name", "remo\"ve".into()),
+                ("ratio", 0.5f64.into()),
+            ],
+        );
+        let line = ring.to_jsonl();
+        assert!(line.starts_with("{\"ts_us\":"));
+        assert!(line.contains("\"name\":\"phase\""));
+        assert!(line.contains("\"tasks\":42"));
+        assert!(line.contains("\"name\":\"remo\\\"ve\""));
+        assert!(line.contains("\"ratio\":0.5"));
+        assert!(line.ends_with("}}\n"));
+    }
+}

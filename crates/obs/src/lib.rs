@@ -1,0 +1,108 @@
+//! `psm-obs` — the observability layer for the parallel production
+//! system, with **zero external dependencies**.
+//!
+//! The paper's §6 headline is a *loss* story: nominal concurrency of
+//! ~15.92 collapses to a true speed-up of ~8.25, the missing 1.93×
+//! split between memory contention, scheduler overhead, and
+//! task-size variance. Seeing where that factor goes requires
+//! instrumentation at three layers — the match network, the software
+//! task pool, and the simulated machine — all of which this crate
+//! serves:
+//!
+//! - [`metrics`] — a registry of named atomic counters, gauges, and
+//!   log2-bucketed histograms. Recording is lock-free ([`Counter`]
+//!   and [`Histogram`] are plain atomics) and snapshots are
+//!   mergeable, so per-worker metrics combine without locks on the
+//!   hot path.
+//! - [`span`] — RAII span timers feeding per-phase (match / select /
+//!   act) and per-node-kind histograms.
+//! - [`events`] — a bounded structured-event ring buffer with JSONL
+//!   export, disabled by default and toggled at runtime.
+//! - [`chrome`] — a Chrome `trace_event`-format JSON exporter, so a
+//!   simulated 32-processor schedule renders directly in
+//!   Perfetto / `chrome://tracing`.
+//! - [`rng`] — a seeded SplitMix64 PRNG used by workload generators
+//!   and randomized tests, replacing the external `rand` crate so
+//!   the workspace builds fully offline.
+//!
+//! Everything here is cheap by default: counters are single relaxed
+//! atomic adds, histograms are one atomic add into a fixed bucket
+//! array, and the event/span layer does nothing until enabled.
+
+pub mod chrome;
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod span;
+
+pub use chrome::{ChromeEvent, ChromeTrace};
+pub use events::{Event, EventRing, FieldValue};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS,
+};
+pub use rng::Rng64;
+pub use span::{Phase, PhaseProfile, SpanTimer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One shared observability handle: a metrics [`Registry`], an
+/// [`EventRing`], and a detail toggle gating the more expensive span /
+/// event layer. Clone an `Arc<Obs>` into every worker.
+#[derive(Debug)]
+pub struct Obs {
+    /// Named counters / gauges / histograms.
+    pub metrics: Registry,
+    /// Bounded structured-event buffer (disabled until
+    /// [`Obs::set_detail`]).
+    pub events: EventRing,
+    detail: AtomicBool,
+}
+
+impl Obs {
+    /// A fresh handle with an event ring of `ring_capacity` slots.
+    /// Counters are always live; the span/event layer starts off.
+    pub fn new(ring_capacity: usize) -> Self {
+        Obs {
+            metrics: Registry::new(),
+            events: EventRing::new(ring_capacity),
+            detail: AtomicBool::new(false),
+        }
+    }
+
+    /// Turns the detailed (span + event) layer on or off at runtime.
+    pub fn set_detail(&self, on: bool) {
+        self.detail.store(on, Ordering::Relaxed);
+        self.events.set_enabled(on);
+    }
+
+    /// Whether the detailed layer is currently on.
+    pub fn detail(&self) -> bool {
+        self.detail.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_toggle_gates_events() {
+        let obs = Obs::default();
+        obs.events.emit("dropped", &[]);
+        assert_eq!(obs.events.len(), 0);
+        obs.set_detail(true);
+        assert!(obs.detail());
+        obs.events.emit("kept", &[]);
+        assert_eq!(obs.events.len(), 1);
+        obs.set_detail(false);
+        obs.events.emit("dropped-again", &[]);
+        assert_eq!(obs.events.len(), 1);
+    }
+}

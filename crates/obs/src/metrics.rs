@@ -1,0 +1,451 @@
+//! Named atomic counters, gauges, and log2-bucketed histograms with
+//! lock-free recording and mergeable snapshots.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are obtained once
+//! from a [`Registry`] (a brief registration lock) and recorded into
+//! with single relaxed atomic operations — no locks, no allocation on
+//! the hot path. Per-worker registries (or per-worker snapshots) are
+//! combined with [`MetricsSnapshot::merge`], which is associative and
+//! commutative, so partial aggregates can be folded in any order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, and bucket 64 tops out
+/// at `u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Monotonic counter. `inc`/`add` are relaxed atomic adds.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge for instantaneous levels (queue depth, live tokens).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the gauge to `v` if `v` is greater (lock-free CAS loop);
+    /// used for high-water marks.
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Log2-bucketed histogram of `u64` samples (typically nanoseconds or
+/// sizes). Recording is one atomic add into a fixed bucket plus
+/// count/sum updates; there is no allocation and no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for `v`: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=63 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable, mergeable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`. Associative and commutative with
+    /// the default snapshot as identity.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`q` in `[0, 1]`), or 0 for an empty histogram.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        Histogram::bucket_bound(HIST_BUCKETS - 1)
+    }
+}
+
+/// Registry of named metrics. Registration takes a short lock;
+/// recording through the returned `Arc` handles is lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::default())),
+        )
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Mergeable point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and histograms add, gauges
+    /// take the maximum (per-worker gauges are high-water marks once
+    /// snapshotted). Associative, with the default snapshot as
+    /// identity.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(i64::MIN);
+            *slot = (*slot).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Human-readable dump, one metric per line, sorted by name.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k}: count={} mean={:.1} p50<={} p99<={}",
+                h.count,
+                h.mean(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.99),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_max() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_index((1u64 << 63) - 1), 63);
+
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.sum, 0); // 0 + 1 + MAX wraps to 0
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(&[0, 5, 9000]), mk(&[1, 1, 2]), mk(&[u64::MAX, 7]));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+        assert_eq!(left.count, 8);
+
+        // Identity element.
+        let mut with_id = a.clone();
+        with_id.merge(&HistogramSnapshot::default());
+        assert_eq!(with_id, a);
+    }
+
+    #[test]
+    fn registry_merge_is_associative() {
+        let mk = |n: u64| {
+            let r = Registry::new();
+            r.counter("tasks").add(n);
+            r.gauge("depth").set(n as i64);
+            r.histogram("ns").record(n * 10);
+            r.snapshot()
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.counters["tasks"], 6);
+        assert_eq!(left.gauges["depth"], 3);
+        assert_eq!(left.histograms["ns"].count, 3);
+    }
+
+    #[test]
+    fn registry_returns_same_handle() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.snapshot().counters["x"], 3);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_bound(0.5) >= 500);
+        assert!(s.quantile_bound(1.0) >= 1000);
+        assert_eq!(HistogramSnapshot::default().quantile_bound(0.5), 0);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::default());
+        let c = std::sync::Arc::new(Counter::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (h, c) = (std::sync::Arc::clone(&h), std::sync::Arc::clone(&c));
+            handles.push(std::thread::spawn(move || {
+                for v in 0..10_000u64 {
+                    h.record(v);
+                    c.inc();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,173 @@
+//! A small seeded PRNG (SplitMix64) so workload generation and
+//! randomized tests are reproducible without any external crate.
+//!
+//! SplitMix64 passes BigCrush, has a full 2^64 period over its state
+//! walk, and is two lines of arithmetic — exactly enough for synthetic
+//! workloads and property-style tests. It is **not** cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded SplitMix64 generator.
+///
+/// ```
+/// use psm_obs::Rng64;
+/// let mut rng = Rng64::new(42);
+/// let a = rng.gen_range(0..10usize);
+/// assert!(a < 10);
+/// let p = rng.gen_f64();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform sample from a `Range` or `RangeInclusive` over the
+    /// common integer types. Panics on an empty range, like `rand`.
+    pub fn gen_range<R: RangeSample>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Rng64::choose on empty slice");
+        &slice[self.gen_range(0..slice.len())]
+    }
+}
+
+/// Integer ranges [`Rng64::gen_range`] can sample from.
+pub trait RangeSample {
+    /// The sampled value's type.
+    type Out;
+    /// Draws a uniform sample using `rng`.
+    fn sample(self, rng: &mut Rng64) -> Self::Out;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),* $(,)?) => {$(
+        impl RangeSample for Range<$t> {
+            type Out = $t;
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "Rng64::gen_range on empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl RangeSample for RangeInclusive<$t> {
+            type Out = $t;
+            fn sample(self, rng: &mut Rng64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(
+                    start <= end,
+                    "Rng64::gen_range on empty range {start}..={end}"
+                );
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(usize, u64, u32, u16, u8, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::new(99);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = Rng64::new(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..=2usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn gen_bool_edges() {
+        let mut rng = Rng64::new(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = Rng64::new(1234);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from 1000");
+        }
+    }
+}

@@ -158,12 +158,10 @@ impl ConditionElement {
         if wme.class() != self.class {
             return false;
         }
-        self.tests
-            .iter()
-            .all(|(attr, test)| match wme.get(*attr) {
-                Some(v) => eval_test(test, v, lookup),
-                None => false,
-            })
+        self.tests.iter().all(|(attr, test)| match wme.get(*attr) {
+            Some(v) => eval_test(test, v, lookup),
+            None => false,
+        })
     }
 
     /// Counts primitive tests (class counts as one), for specificity.
@@ -180,11 +178,7 @@ impl ConditionElement {
 /// lookup. An unbound bare `Var` matches anything (binding occurrence);
 /// an unbound variable inside a predicate fails (OPS5 requires predicate
 /// operands to be bound).
-pub fn eval_test(
-    test: &ValueTest,
-    v: Value,
-    lookup: &impl Fn(VarId) -> Option<Value>,
-) -> bool {
+pub fn eval_test(test: &ValueTest, v: Value, lookup: &impl Fn(VarId) -> Option<Value>) -> bool {
     match test {
         ValueTest::Const(c) => v == *c,
         ValueTest::Var(var) => match lookup(*var) {
@@ -478,11 +472,7 @@ impl DisplayProduction<'_> {
         }
     }
 
-    fn write_attrs(
-        &self,
-        f: &mut fmt::Formatter<'_>,
-        attrs: &[(SymbolId, RhsArg)],
-    ) -> fmt::Result {
+    fn write_attrs(&self, f: &mut fmt::Formatter<'_>, attrs: &[(SymbolId, RhsArg)]) -> fmt::Result {
         for (attr, arg) in attrs {
             write!(f, " ^{} ", self.symbols.name(*attr))?;
             self.write_rhs_arg(f, arg)?;
@@ -650,10 +640,7 @@ mod tests {
             negated: false,
         };
 
-        let w = Wme::new(
-            goal,
-            vec![(ty, Value::Sym(find)), (color, Value::Int(3))],
-        );
+        let w = Wme::new(goal, vec![(ty, Value::Sym(find)), (color, Value::Int(3))]);
         assert!(ce.matches_with(&w, &no_bindings));
 
         // Wrong class.
@@ -702,15 +689,9 @@ mod tests {
                (halt))
         "#;
         let program = crate::parser::parse_program(src).unwrap();
-        let printed = format!(
-            "{}",
-            program.productions[0].display(&program.symbols)
-        );
+        let printed = format!("{}", program.productions[0].display(&program.symbols));
         let reparsed = crate::parser::parse_program(&printed).unwrap();
-        let reprinted = format!(
-            "{}",
-            reparsed.productions[0].display(&reparsed.symbols)
-        );
+        let reprinted = format!("{}", reparsed.productions[0].display(&reparsed.symbols));
         assert_eq!(printed, reprinted, "printer normal form is stable");
         // Structure survives (names and shapes; symbol ids may differ).
         assert_eq!(

@@ -134,7 +134,8 @@ impl ProductionBuilder {
         if let Some(e) = rhs.error {
             self.record::<()>(Err(e));
         }
-        self.actions.push(format!("(modify {designator}{})", rhs.text));
+        self.actions
+            .push(format!("(modify {designator}{})", rhs.text));
         self
     }
 

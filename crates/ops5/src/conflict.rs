@@ -140,8 +140,16 @@ pub fn compare(
     strategy: Strategy,
 ) -> Ordering {
     if strategy == Strategy::Mea {
-        let fa = a.wmes.first().and_then(|&w| wm.time_tag(w)).unwrap_or_default();
-        let fb = b.wmes.first().and_then(|&w| wm.time_tag(w)).unwrap_or_default();
+        let fa = a
+            .wmes
+            .first()
+            .and_then(|&w| wm.time_tag(w))
+            .unwrap_or_default();
+        let fb = b
+            .wmes
+            .first()
+            .and_then(|&w| wm.time_tag(w))
+            .unwrap_or_default();
         match fa.cmp(&fb) {
             Ordering::Equal => {}
             other => return other,
@@ -192,7 +200,8 @@ mod tests {
         let mut wm = WorkingMemory::new();
         let ids = (0..n_wmes)
             .map(|i| {
-                wm.add(Wme::new(class, vec![(attr, Value::Int(i as i64))])).0
+                wm.add(Wme::new(class, vec![(attr, Value::Int(i as i64))]))
+                    .0
             })
             .collect();
         (program, wm, ids)

@@ -104,9 +104,10 @@ pub fn explain_instantiation(
                 }
             }
         } else {
-            let id = *inst.wmes.get(pos).ok_or_else(|| {
-                Error::runtime("instantiation has fewer WMEs than positive CEs")
-            })?;
+            let id = *inst
+                .wmes
+                .get(pos)
+                .ok_or_else(|| Error::runtime("instantiation has fewer WMEs than positive CEs"))?;
             pos += 1;
             let wme = wm
                 .get(id)
@@ -130,9 +131,7 @@ pub fn explain_instantiation(
         .variables
         .iter()
         .zip(&bindings)
-        .filter_map(|(name, v)| {
-            v.map(|v| format!("<{name}> = {}", v.display(&program.symbols)))
-        })
+        .filter_map(|(name, v)| v.map(|v| format!("<{name}> = {}", v.display(&program.symbols))))
         .collect();
     if bound.is_empty() {
         let _ = writeln!(out, "  (no variable bindings)");
@@ -164,11 +163,9 @@ mod tests {
         // Intern WME symbols into the program's own table so `display`
         // can resolve values like `red` that no rule mentions.
         let mut wm = WorkingMemory::new();
-        let (g, _) = wm.add(
-            parse_wme("(goal ^type find-blk ^color red)", &mut program.symbols).unwrap(),
-        );
-        let (b, _) =
-            wm.add(parse_wme("(block ^id 7 ^color red)", &mut program.symbols).unwrap());
+        let (g, _) =
+            wm.add(parse_wme("(goal ^type find-blk ^color red)", &mut program.symbols).unwrap());
+        let (b, _) = wm.add(parse_wme("(block ^id 7 ^color red)", &mut program.symbols).unwrap());
         (program, wm, vec![g, b])
     }
 
@@ -205,10 +202,7 @@ mod tests {
 
         // Wrong wme order: CE mismatch.
         let (program, wm, ids) = fixture();
-        let swapped = Instantiation::new(
-            crate::ast::ProductionId(0),
-            vec![ids[1], ids[0]],
-        );
+        let swapped = Instantiation::new(crate::ast::ProductionId(0), vec![ids[1], ids[0]]);
         let err = explain_instantiation(&program, &wm, &swapped).unwrap_err();
         assert!(err.to_string().contains("does not satisfy"));
     }

@@ -9,6 +9,8 @@
 
 use std::collections::HashSet;
 
+use psm_obs::{Phase, PhaseProfile};
+
 use crate::ast::{Action, Production, Program, RhsArg, VarId};
 use crate::conflict::{ConflictSet, Strategy};
 use crate::error::Error;
@@ -72,6 +74,9 @@ pub struct Interpreter<M> {
     halted: bool,
     stats: RunStats,
     firing_log: Option<Vec<Instantiation>>,
+    /// Per-phase (match/select/act) latency histograms; `None` (free)
+    /// unless [`Interpreter::enable_phase_profiling`] was called.
+    phases: Option<Box<PhaseProfile>>,
 }
 
 impl<M: Matcher> Interpreter<M> {
@@ -89,6 +94,7 @@ impl<M: Matcher> Interpreter<M> {
             halted: false,
             stats: RunStats::default(),
             firing_log: None,
+            phases: None,
         }
     }
 
@@ -96,6 +102,17 @@ impl<M: Matcher> Interpreter<M> {
     /// log grows with the run).
     pub fn enable_firing_log(&mut self) {
         self.firing_log = Some(Vec::new());
+    }
+
+    /// Starts per-phase (match / select / act) span timing, recorded
+    /// into `psm-obs` histograms in nanoseconds. Off by default.
+    pub fn enable_phase_profiling(&mut self) {
+        self.phases = Some(Box::new(PhaseProfile::new()));
+    }
+
+    /// The per-phase latency profile (if phase profiling is enabled).
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.phases.as_deref()
     }
 
     /// The fired instantiations recorded so far (empty unless
@@ -161,6 +178,7 @@ impl<M: Matcher> Interpreter<M> {
         let (id, _) = self.wm.add(wme);
         self.stats.wme_changes += 1;
         self.stats.inserts += 1;
+        let _span = self.phases.as_ref().map(|p| p.span(Phase::Match));
         let delta = self.matcher.process(&self.wm, &[Change::Add(id)]);
         self.conflict.apply(&delta);
         id
@@ -182,7 +200,11 @@ impl<M: Matcher> Interpreter<M> {
         if self.halted {
             return Ok(CycleOutcome::Halted);
         }
-        let Some(inst) = self.conflict.select(&self.wm, &self.program, self.strategy) else {
+        let selected = {
+            let _span = self.phases.as_ref().map(|p| p.span(Phase::Select));
+            self.conflict.select(&self.wm, &self.program, self.strategy)
+        };
+        let Some(inst) = selected else {
             return Ok(CycleOutcome::Quiescent);
         };
         self.conflict.mark_fired(&inst);
@@ -223,6 +245,7 @@ impl<M: Matcher> Interpreter<M> {
     /// Executes the RHS of `inst`, producing and applying the change
     /// batch. `bind` actions extend the bindings as the RHS proceeds.
     fn fire(&mut self, inst: &Instantiation) -> Result<(), Error> {
+        let act_span = self.phases.as_ref().map(|p| p.span(Phase::Act));
         let production = self.program.production(inst.production).clone();
         let mut bindings = self.extract_bindings(&production, inst)?;
 
@@ -247,9 +270,10 @@ impl<M: Matcher> Interpreter<M> {
                 }
                 Action::Modify { positive_ce, attrs } => {
                     let id = self.designated(inst, *positive_ce)?;
-                    let old = self.wm.get(id).ok_or_else(|| {
-                        Error::runtime(format!("modify of dead WME {id}"))
-                    })?;
+                    let old = self
+                        .wm
+                        .get(id)
+                        .ok_or_else(|| Error::runtime(format!("modify of dead WME {id}")))?;
                     let updates = attrs
                         .iter()
                         .map(|(a, arg)| Ok((*a, self.resolve(arg, &bindings)?)))
@@ -280,8 +304,10 @@ impl<M: Matcher> Interpreter<M> {
 
         // Build the batch: removes first, then adds. This ordering is the
         // batch contract parallel matchers rely on (DESIGN.md §6).
-        let mut changes: Vec<Change> =
-            pending_removes.iter().map(|&id| Change::Remove(id)).collect();
+        let mut changes: Vec<Change> = pending_removes
+            .iter()
+            .map(|&id| Change::Remove(id))
+            .collect();
         for wme in pending_adds {
             let (id, _) = self.wm.add(wme);
             changes.push(Change::Add(id));
@@ -290,6 +316,8 @@ impl<M: Matcher> Interpreter<M> {
         self.stats.deletes += pending_removes.len() as u64;
         self.stats.inserts += (changes.len() - pending_removes.len()) as u64;
 
+        drop(act_span);
+        let _match_span = self.phases.as_ref().map(|p| p.span(Phase::Match));
         let delta = self.matcher.process(&self.wm, &changes);
         self.conflict.apply(&delta);
 
@@ -322,9 +350,10 @@ impl<M: Matcher> Interpreter<M> {
             .map(|site| match site {
                 None => Ok(None),
                 Some(site) => {
-                    let id = inst.wmes.get(site.positive_ce).copied().ok_or_else(|| {
-                        Error::runtime("instantiation shorter than binding site")
-                    })?;
+                    let id =
+                        inst.wmes.get(site.positive_ce).copied().ok_or_else(|| {
+                            Error::runtime("instantiation shorter than binding site")
+                        })?;
                     let wme = self
                         .wm
                         .get(id)
@@ -463,13 +492,14 @@ mod tests {
         let mut out = Vec::new();
         for (wmes, bindings) in partial {
             if ce.negated {
-                let blocked = wm.iter().filter(|(id, _, _)| live.contains(id)).any(
-                    |(_, wme, _)| {
-                        // Local variables of the negated CE start unbound.
-                        let mut local = bindings.clone();
-                        crate::ast::match_and_bind(ce, wme, &mut local)
-                    },
-                );
+                let blocked =
+                    wm.iter()
+                        .filter(|(id, _, _)| live.contains(id))
+                        .any(|(_, wme, _)| {
+                            // Local variables of the negated CE start unbound.
+                            let mut local = bindings.clone();
+                            crate::ast::match_and_bind(ce, wme, &mut local)
+                        });
                 if !blocked {
                     out.push((wmes, bindings));
                 }
@@ -674,17 +704,12 @@ mod tests {
         let syms = &mut interp.program.symbols.clone();
         interp.insert(parse_wme("(a ^x 21)", syms).unwrap());
         interp.run(5).unwrap();
-        assert_eq!(
-            interp.output(),
-            &["first 42", "then 43", "shadowed 0"]
-        );
+        assert_eq!(interp.output(), &["first 42", "then 43", "shadowed 0"]);
     }
 
     #[test]
     fn compute_division_by_zero_is_a_runtime_error() {
-        let mut interp = interpreter(
-            "(p bad (in ^n <n>) --> (write (compute 1 // <n>)))",
-        );
+        let mut interp = interpreter("(p bad (in ^n <n>) --> (write (compute 1 // <n>)))");
         let syms = &mut interp.program.symbols.clone();
         interp.insert(parse_wme("(in ^n 0)", syms).unwrap());
         let err = interp.run(5).unwrap_err();
@@ -693,9 +718,7 @@ mod tests {
 
     #[test]
     fn compute_on_symbol_binding_is_a_runtime_error() {
-        let mut interp = interpreter(
-            "(p bad (in ^n <n>) --> (write (compute <n> + 1)))",
-        );
+        let mut interp = interpreter("(p bad (in ^n <n>) --> (write (compute <n> + 1)))");
         let syms = &mut interp.program.symbols.clone();
         interp.insert(parse_wme("(in ^n red)", syms).unwrap());
         let err = interp.run(5).unwrap_err();

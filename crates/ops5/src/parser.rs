@@ -190,7 +190,11 @@ impl Parser {
             match head.as_str() {
                 "p" => {
                     let production = self.parse_production(program)?;
-                    if program.productions.iter().any(|p| p.name == production.name) {
+                    if program
+                        .productions
+                        .iter()
+                        .any(|p| p.name == production.name)
+                    {
                         return Err(Error::Semantic {
                             production: production.name,
                             message: "duplicate production name".into(),
@@ -326,7 +330,9 @@ impl Parser {
         ctx: &mut ProdCtx,
     ) -> Result<ValueTest, Error> {
         match self.bump() {
-            Some(TokenKind::Symbol(s)) => Ok(ValueTest::Const(Value::Sym(program.symbols.intern(&s)))),
+            Some(TokenKind::Symbol(s)) => {
+                Ok(ValueTest::Const(Value::Sym(program.symbols.intern(&s))))
+            }
             Some(TokenKind::Integer(i)) => Ok(ValueTest::Const(Value::Int(i))),
             Some(TokenKind::Variable(v)) => Ok(ValueTest::Var(ctx.var(&v))),
             Some(TokenKind::Pred(p)) => {
@@ -421,9 +427,9 @@ impl Parser {
                 let k = match self.bump() {
                     Some(TokenKind::Integer(k)) => k,
                     other => {
-                        return Err(
-                            self.err(format!("`modify` needs an element designator, found {other:?}"))
-                        )
+                        return Err(self.err(format!(
+                            "`modify` needs an element designator, found {other:?}"
+                        )))
                     }
                 };
                 let positive_ce = designator_to_positive(k, ces, prod_name)?;
@@ -448,9 +454,7 @@ impl Parser {
                             args.push(RhsArg::Compute(self.parse_compute(ctx, prod_name)?))
                         }
                         other => {
-                            return Err(self.err(format!(
-                                "unexpected token in `write`: {other:?}"
-                            )))
+                            return Err(self.err(format!("unexpected token in `write`: {other:?}")))
                         }
                     }
                 }
@@ -466,9 +470,7 @@ impl Parser {
                 let var = match self.bump() {
                     Some(TokenKind::Variable(v)) => ctx.var(&v),
                     other => {
-                        return Err(self.err(format!(
-                            "`bind` needs a variable, found {other:?}"
-                        )))
+                        return Err(self.err(format!("`bind` needs a variable, found {other:?}")))
                     }
                 };
                 let value = match self.bump() {
@@ -476,17 +478,9 @@ impl Parser {
                         RhsArg::Const(Value::Sym(program.symbols.intern(&s)))
                     }
                     Some(TokenKind::Integer(i)) => RhsArg::Const(Value::Int(i)),
-                    Some(TokenKind::Variable(v)) => {
-                        RhsArg::Var(self.rhs_var(ctx, &v, prod_name)?)
-                    }
-                    Some(TokenKind::LParen) => {
-                        RhsArg::Compute(self.parse_compute(ctx, prod_name)?)
-                    }
-                    other => {
-                        return Err(self.err(format!(
-                            "`bind` needs a value, found {other:?}"
-                        )))
-                    }
+                    Some(TokenKind::Variable(v)) => RhsArg::Var(self.rhs_var(ctx, &v, prod_name)?),
+                    Some(TokenKind::LParen) => RhsArg::Compute(self.parse_compute(ctx, prod_name)?),
+                    other => return Err(self.err(format!("`bind` needs a value, found {other:?}"))),
                 };
                 self.expect(&TokenKind::RParen, "`)` closing `bind`")?;
                 // Later actions may now reference the variable.
@@ -558,9 +552,9 @@ impl Parser {
                     "//" => ArithOp::Div,
                     "\\\\" => ArithOp::Mod,
                     other => {
-                        return Err(self.err(format!(
-                            "unknown arithmetic operator `{other}` in compute"
-                        )))
+                        return Err(
+                            self.err(format!("unknown arithmetic operator `{other}` in compute"))
+                        )
                     }
                 },
                 Some(TokenKind::Minus) => ArithOp::Sub,
@@ -595,9 +589,7 @@ impl Parser {
     /// positive condition element or by an earlier `bind` action.
     fn rhs_var(&self, ctx: &ProdCtx, name: &str, prod_name: &str) -> Result<VarId, Error> {
         match ctx.var_ids.get(name) {
-            Some(&v) if ctx.first_bare[v.index()].is_some() || ctx.rhs_bound.contains(&v) => {
-                Ok(v)
-            }
+            Some(&v) if ctx.first_bare[v.index()].is_some() || ctx.rhs_bound.contains(&v) => Ok(v),
             _ => Err(Error::Semantic {
                 production: prod_name.to_owned(),
                 message: format!(
@@ -669,8 +661,11 @@ fn validate_literalizations(program: &Program) -> Result<(), Error> {
     if program.literalizations.is_empty() {
         return Ok(());
     }
-    let check = |prod: &str, class: crate::symbol::SymbolId, attr: crate::symbol::SymbolId| {
-        match program.literalizations.get(&class) {
+    let check =
+        |prod: &str, class: crate::symbol::SymbolId, attr: crate::symbol::SymbolId| match program
+            .literalizations
+            .get(&class)
+        {
             Some(decl) if !decl.contains(&attr) => Err(Error::Semantic {
                 production: prod.to_owned(),
                 message: format!(
@@ -680,16 +675,14 @@ fn validate_literalizations(program: &Program) -> Result<(), Error> {
                 ),
             }),
             _ => Ok(()),
-        }
-    };
+        };
     for p in &program.productions {
         for ce in &p.ces {
             for (attr, _) in &ce.tests {
                 check(&p.name, ce.class, *attr)?;
             }
         }
-        let positive: Vec<&ConditionElement> =
-            p.ces.iter().filter(|ce| !ce.negated).collect();
+        let positive: Vec<&ConditionElement> = p.ces.iter().filter(|ce| !ce.negated).collect();
         for action in &p.actions {
             match action {
                 Action::Make { class, attrs } => {
@@ -769,7 +762,10 @@ mod tests {
         let site = p.binding_sites[0].unwrap();
         assert_eq!(site.positive_ce, 0);
         assert_eq!(program.symbols.name(site.attr), "color");
-        assert!(matches!(p.actions[0], Action::Modify { positive_ce: 1, .. }));
+        assert!(matches!(
+            p.actions[0],
+            Action::Modify { positive_ce: 1, .. }
+        ));
         // class + 2 tests, class + 3 tests
         assert_eq!(p.specificity, 3 + 4);
     }
@@ -867,10 +863,7 @@ mod tests {
 
     #[test]
     fn duplicate_production_names_rejected() {
-        let err = parse_program(
-            "(p r (a ^x 1) --> (halt)) (p r (a ^x 2) --> (halt))",
-        )
-        .unwrap_err();
+        let err = parse_program("(p r (a ^x 1) --> (halt)) (p r (a ^x 2) --> (halt))").unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 
@@ -882,17 +875,13 @@ mod tests {
 
     #[test]
     fn remove_accepts_multiple_designators() {
-        let program =
-            parse_program("(p r2 (a ^x 1) (b ^y 2) --> (remove 1 2))").unwrap();
+        let program = parse_program("(p r2 (a ^x 1) (b ^y 2) --> (remove 1 2))").unwrap();
         assert_eq!(program.productions[0].actions.len(), 2);
     }
 
     #[test]
     fn write_and_halt_actions() {
-        let program = parse_program(
-            "(p w (a ^x <v>) --> (write found <v> 42) (halt))",
-        )
-        .unwrap();
+        let program = parse_program("(p w (a ^x <v>) --> (write found <v> 42) (halt))").unwrap();
         let p = &program.productions[0];
         assert!(matches!(&p.actions[0], Action::Write { args } if args.len() == 3));
         assert!(matches!(p.actions[1], Action::Halt));
@@ -922,25 +911,16 @@ mod tests {
 
     #[test]
     fn variables_shared_across_ces_get_one_id() {
-        let program = parse_program(
-            "(p share (a ^x <v>) (b ^y <v>) --> (halt))",
-        )
-        .unwrap();
+        let program = parse_program("(p share (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         assert_eq!(program.productions[0].variables.len(), 1);
     }
 
     #[test]
     fn pred_with_variable_operand() {
-        let program = parse_program(
-            "(p cmp (a ^x <v>) (b ^y > <v>) --> (halt))",
-        )
-        .unwrap();
+        let program = parse_program("(p cmp (a ^x <v>) (b ^y > <v>) --> (halt))").unwrap();
         let p = &program.productions[0];
         let (_, test) = &p.ces[1].tests[0];
-        assert!(matches!(
-            test,
-            ValueTest::Pred(PredOp::Gt, TestArg::Var(_))
-        ));
+        assert!(matches!(test, ValueTest::Pred(PredOp::Gt, TestArg::Var(_))));
     }
 
     #[test]
@@ -965,10 +945,8 @@ mod tests {
 
     #[test]
     fn rhs_variable_before_bind_is_rejected() {
-        let err = parse_program(
-            "(p b (a ^x 1) --> (make out ^v <tmp>) (bind <tmp> 5))",
-        )
-        .unwrap_err();
+        let err =
+            parse_program("(p b (a ^x 1) --> (make out ^v <tmp>) (bind <tmp> 5))").unwrap_err();
         assert!(err.to_string().contains("never bound"));
     }
 

@@ -207,10 +207,10 @@ impl WorkingMemory {
 
     /// Iterates over live `(id, wme, tag)` triples in assertion order.
     pub fn iter(&self) -> impl Iterator<Item = (WmeId, &Wme, TimeTag)> {
-        self.slots.iter().enumerate().filter_map(|(i, s)| {
-            s.as_ref()
-                .map(|(w, t)| (WmeId(i as u32), w, *t))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|(w, t)| (WmeId(i as u32), w, *t)))
     }
 
     /// Iterates over live WMEs of one class, the most common query in
@@ -248,10 +248,7 @@ mod tests {
         let color = t.intern("color");
         let size = t.intern("size");
         let red = t.intern("red");
-        let wme = Wme::new(
-            class,
-            vec![(size, Value::Int(3)), (color, Value::Sym(red))],
-        );
+        let wme = Wme::new(class, vec![(size, Value::Int(3)), (color, Value::Sym(red))]);
         (t, wme)
     }
 

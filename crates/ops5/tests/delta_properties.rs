@@ -5,37 +5,30 @@
 //! nothing). The parallel engine relies on this: per-worker deltas are
 //! merged in whatever order workers finish. These tests check that for
 //! any legal event history, any segmentation of the history into batches
-//! merges to the same net delta.
-
-use proptest::prelude::*;
+//! merges to the same net delta — exercised over many deterministic
+//! seeds.
 
 use ops5::{Instantiation, MatchDelta, ProductionId, WmeId};
+use psm_obs::Rng64;
 
 /// A legal event history over a small instantiation pool: each
-/// instantiation alternates add/remove starting with add.
-fn histories() -> impl Strategy<Value = Vec<(usize, bool)>> {
-    // (instantiation index, is_add) — legality enforced by construction
-    // below, the raw vec just supplies entropy.
-    prop::collection::vec((0usize..6, any::<bool>()), 0..40)
-}
-
-fn inst(i: usize) -> Instantiation {
-    Instantiation::new(
-        ProductionId((i % 3) as u32),
-        vec![WmeId::from_index(i)],
-    )
-}
-
-/// Converts raw entropy into a legal signed event sequence.
-fn legalize(raw: &[(usize, bool)]) -> Vec<(usize, bool)> {
+/// instantiation alternates add/remove starting with add (legality by
+/// construction; the RNG just supplies entropy).
+fn random_history(rng: &mut Rng64) -> Vec<(usize, bool)> {
+    let len = rng.gen_range(0..40usize);
     let mut present = [false; 6];
-    let mut out = Vec::new();
-    for &(i, _) in raw {
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let i = rng.gen_range(0..6usize);
         // Toggle: add when absent, remove when present — always legal.
         out.push((i, !present[i]));
         present[i] = !present[i];
     }
     out
+}
+
+fn inst(i: usize) -> Instantiation {
+    Instantiation::new(ProductionId((i % 3) as u32), vec![WmeId::from_index(i)])
 }
 
 fn delta_of(events: &[(usize, bool)]) -> MatchDelta {
@@ -57,20 +50,18 @@ fn delta_of(events: &[(usize, bool)]) -> MatchDelta {
     d
 }
 
-proptest! {
-    /// Any segmentation of a legal history merges to the same net delta.
-    #[test]
-    fn merge_is_segmentation_invariant(
-        raw in histories(),
-        cut_points in prop::collection::vec(0usize..40, 0..5),
-    ) {
-        let events = legalize(&raw);
+/// Any segmentation of a legal history merges to the same net delta.
+#[test]
+fn merge_is_segmentation_invariant() {
+    let mut rng = Rng64::new(0xDE17A);
+    for case in 0..200 {
+        let events = random_history(&mut rng);
         let mut whole = delta_of(&events);
         whole.canonicalize();
 
-        let mut cuts: Vec<usize> = cut_points
-            .into_iter()
-            .map(|c| c % (events.len() + 1))
+        let n_cuts = rng.gen_range(0..5usize);
+        let mut cuts: Vec<usize> = (0..n_cuts)
+            .map(|_| rng.gen_range(0..=events.len()))
             .collect();
         cuts.push(0);
         cuts.push(events.len());
@@ -82,14 +73,17 @@ proptest! {
             merged.merge(delta_of(&events[pair[0]..pair[1]]));
         }
         merged.canonicalize();
-        prop_assert_eq!(merged, whole);
+        assert_eq!(merged, whole, "case {case}");
     }
+}
 
-    /// The net delta equals the final presence state: added = present at
-    /// the end but not at the start (start is empty), removed = empty.
-    #[test]
-    fn net_delta_matches_final_state(raw in histories()) {
-        let events = legalize(&raw);
+/// The net delta equals the final presence state: added = present at
+/// the end but not at the start (start is empty), removed = empty.
+#[test]
+fn net_delta_matches_final_state() {
+    let mut rng = Rng64::new(0xF17A1);
+    for case in 0..200 {
+        let events = random_history(&mut rng);
         let mut present = [false; 6];
         for &(i, add) in &events {
             present[i] = add;
@@ -103,7 +97,7 @@ proptest! {
             .map(|(i, _)| inst(i))
             .collect();
         expected.sort_by_key(|i| (i.production, i.wmes.clone()));
-        prop_assert_eq!(d.added, expected);
-        prop_assert!(d.removed.is_empty(), "history starts from empty");
+        assert_eq!(d.added, expected, "case {case}");
+        assert!(d.removed.is_empty(), "history starts from empty");
     }
 }

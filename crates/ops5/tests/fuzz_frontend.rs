@@ -1,56 +1,127 @@
-//! Fuzz-style property tests for the front end: the lexer and parser
-//! must never panic, and errors must be reported, not swallowed.
-
-use proptest::prelude::*;
+//! Fuzz-style tests for the front end: the lexer and parser must never
+//! panic, and errors must be reported, not swallowed. Inputs are
+//! generated from deterministic seeds.
 
 use ops5::{parse_program, Lexer, SymbolTable};
+use psm_obs::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Random (mostly printable, occasionally arbitrary) input string.
+fn random_input(rng: &mut Rng64) -> String {
+    let len = rng.gen_range(0..120usize);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        let c = if rng.gen_bool(0.9) {
+            // Printable ASCII plus whitespace.
+            char::from(rng.gen_range(0x20..0x7fu32) as u8)
+        } else {
+            // Arbitrary scalar values, including multibyte and controls.
+            char::from_u32(rng.gen_range(0..0x11_0000u32)).unwrap_or('\u{fffd}')
+        };
+        s.push(c);
+    }
+    s
+}
 
-    /// Arbitrary input never panics the lexer.
-    #[test]
-    fn lexer_total_on_arbitrary_input(s in ".*") {
+/// Arbitrary input never panics the lexer.
+#[test]
+fn lexer_total_on_arbitrary_input() {
+    let mut rng = Rng64::new(0x1E8E5);
+    for _ in 0..256 {
+        let s = random_input(&mut rng);
         let _ = Lexer::tokenize(&s);
     }
+}
 
-    /// Arbitrary input never panics the parser.
-    #[test]
-    fn parser_total_on_arbitrary_input(s in ".*") {
+/// Arbitrary input never panics the parser.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    let mut rng = Rng64::new(0x9A85E);
+    for _ in 0..256 {
+        let s = random_input(&mut rng);
         let _ = parse_program(&s);
     }
+}
 
-    /// OPS5-flavoured token soup never panics the parser either (this
-    /// reaches much deeper into the grammar than arbitrary bytes).
-    #[test]
-    fn parser_total_on_token_soup(parts in prop::collection::vec(
-        prop::sample::select(vec![
-            "(", ")", "{", "}", "<<", ">>", "-->", "-", "p", "make", "remove",
-            "modify", "write", "halt", "bind", "compute", "literalize",
-            "^a", "^color", "<x>", "<y>", "red", "7", "-3", "=", "<>", "<",
-            "<=", ">", ">=", "<=>", "+", "*", "//", "\\\\",
-        ]),
-        0..40,
-    )) {
+/// OPS5-flavoured token soup never panics the parser either (this
+/// reaches much deeper into the grammar than arbitrary bytes).
+#[test]
+fn parser_total_on_token_soup() {
+    const VOCAB: &[&str] = &[
+        "(",
+        ")",
+        "{",
+        "}",
+        "<<",
+        ">>",
+        "-->",
+        "-",
+        "p",
+        "make",
+        "remove",
+        "modify",
+        "write",
+        "halt",
+        "bind",
+        "compute",
+        "literalize",
+        "^a",
+        "^color",
+        "<x>",
+        "<y>",
+        "red",
+        "7",
+        "-3",
+        "=",
+        "<>",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "<=>",
+        "+",
+        "*",
+        "//",
+        "\\\\",
+    ];
+    let mut rng = Rng64::new(0x50FA);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..40usize);
+        let parts: Vec<&str> = (0..n).map(|_| *rng.choose(VOCAB)).collect();
         let src = parts.join(" ");
         let _ = parse_program(&src);
     }
+}
 
-    /// Valid WME literals round-trip through display and reparse.
-    #[test]
-    fn wme_display_reparses(
-        class in "[a-z][a-z0-9]{0,6}",
-        attrs in prop::collection::vec(("[a-z][a-z0-9]{0,4}", -100i64..100), 0..4),
-    ) {
+/// Valid WME literals round-trip through display and reparse.
+#[test]
+fn wme_display_reparses() {
+    let mut rng = Rng64::new(0x83A85E);
+    let ident = |rng: &mut Rng64, max_extra: usize| {
+        let mut s = String::new();
+        s.push(char::from(rng.gen_range(b'a'..=b'z')));
+        for _ in 0..rng.gen_range(0..=max_extra) {
+            let c = if rng.gen_bool(0.7) {
+                rng.gen_range(b'a'..=b'z')
+            } else {
+                rng.gen_range(b'0'..=b'9')
+            };
+            s.push(char::from(c));
+        }
+        s
+    };
+    for _ in 0..200 {
         let mut syms = SymbolTable::new();
+        let class = ident(&mut rng, 6);
         let mut src = format!("({class}");
-        for (a, v) in &attrs {
+        for _ in 0..rng.gen_range(0..4usize) {
+            let a = ident(&mut rng, 4);
+            let v = rng.gen_range(-100..100i64);
             src.push_str(&format!(" ^{a} {v}"));
         }
         src.push(')');
         let wme = ops5::parse_wme(&src, &mut syms).unwrap();
         let printed = format!("{}", wme.display(&syms));
         let reparsed = ops5::parse_wme(&printed, &mut syms).unwrap();
-        prop_assert_eq!(wme, reparsed);
+        assert_eq!(wme, reparsed);
     }
 }

@@ -65,9 +65,7 @@ impl AlphaTest {
             AlphaTest::Const { attr, op, value } => {
                 wme.get(*attr).is_some_and(|v| v.compare(*op, *value))
             }
-            AlphaTest::Disj { attr, values } => {
-                wme.get(*attr).is_some_and(|v| values.contains(&v))
-            }
+            AlphaTest::Disj { attr, values } => wme.get(*attr).is_some_and(|v| values.contains(&v)),
             AlphaTest::AttrCmp { attr, op, other } => match (wme.get(*attr), wme.get(*other)) {
                 (Some(a), Some(b)) => a.compare(*op, b),
                 _ => false,

@@ -42,6 +42,7 @@
 
 pub mod alpha;
 pub mod network;
+pub mod profile;
 pub mod runtime;
 pub mod stats;
 pub mod token;
@@ -49,6 +50,7 @@ pub mod trace;
 
 pub use alpha::{AlphaId, AlphaNetwork, AlphaNode, AlphaTest};
 pub use network::{CompileOptions, JoinTest, Network, NetworkStats, NodeId, NodeSpec};
+pub use profile::{HotNode, MatchProfile, NodeCost};
 pub use runtime::{MemoryStrategy, ReteMatcher};
 pub use stats::MatchStats;
 pub use token::Token;

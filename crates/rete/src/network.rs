@@ -560,10 +560,7 @@ mod tests {
         let attr2 = program.symbols.lookup("attr2").unwrap();
         let wme = ops5::Wme::new(
             c2,
-            vec![
-                (attr1, ops5::Value::Int(15)),
-                (attr2, ops5::Value::Int(3)),
-            ],
+            vec![(attr1, ops5::Value::Int(15)), (attr2, ops5::Value::Int(3))],
         );
         let (alphas, _) = n.alpha.matching(&wme);
         assert_eq!(alphas.len(), 2);
@@ -593,8 +590,7 @@ mod tests {
         )
         .unwrap();
         let shared = Network::compile(&program).unwrap();
-        let unshared =
-            Network::compile_with(&program, CompileOptions { share: false }).unwrap();
+        let unshared = Network::compile_with(&program, CompileOptions { share: false }).unwrap();
         assert!(unshared.stats.alpha_nodes > shared.stats.alpha_nodes);
         assert!(unshared.stats.joins > shared.stats.joins);
         assert_eq!(unshared.stats.join_sharing_ratio(), 0.0);
@@ -682,13 +678,10 @@ mod tests {
     fn conjunction_splits_into_alpha_and_join_tests() {
         let n = net("(p r (a ^x <v>) (b ^y { > 0 <v> }) --> (remove 1))");
         let alpha = n.alpha.node(n.ce_alpha[0][1]);
-        assert!(alpha.tests.iter().any(|t| matches!(
-            t,
-            AlphaTest::Const {
-                op: PredOp::Gt,
-                ..
-            }
-        )));
+        assert!(alpha
+            .tests
+            .iter()
+            .any(|t| matches!(t, AlphaTest::Const { op: PredOp::Gt, .. })));
         assert_eq!(n.ce_tests[0][1].len(), 1, "the <v> equality is a join test");
     }
 }

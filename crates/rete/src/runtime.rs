@@ -9,16 +9,16 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
-use ops5::{
-    Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory,
-};
+use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
 
 use std::collections::HashMap;
 
 use ops5::{PredOp, SymbolId, Value};
 
 use crate::network::{CompileOptions, JoinTest, Network, NodeId, NodeKind};
+use crate::profile::MatchProfile;
 use crate::stats::MatchStats;
 use crate::token::{Sign, Token};
 use crate::trace::{ActivationKind, Trace, TraceBuilder};
@@ -98,6 +98,9 @@ pub struct ReteMatcher {
     states: Vec<NodeState>,
     stats: MatchStats,
     tracer: Option<TraceBuilder>,
+    /// Per-node / per-kind activation timing; `None` (free) unless
+    /// [`ReteMatcher::enable_profiling`] was called.
+    profile: Option<Box<MatchProfile>>,
 }
 
 impl ReteMatcher {
@@ -209,6 +212,7 @@ impl ReteMatcher {
             network,
             stats: MatchStats::default(),
             tracer: None,
+            profile: None,
         }
     }
 
@@ -228,10 +232,26 @@ impl ReteMatcher {
         self.tracer = Some(TraceBuilder::new());
     }
 
+    /// Starts per-node activation-time profiling (discarding any
+    /// previous profile). Adds two clock reads per activation; leave
+    /// off for pure throughput runs.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Box::new(MatchProfile::new(self.network.nodes.len())));
+    }
+
+    /// The activation-time profile recorded so far (if profiling is
+    /// enabled).
+    pub fn profile(&self) -> Option<&MatchProfile> {
+        self.profile.as_deref()
+    }
+
     /// Stops tracing and returns the recorded trace (empty if tracing was
     /// never enabled).
     pub fn take_trace(&mut self) -> Trace {
-        self.tracer.take().map(TraceBuilder::finish).unwrap_or_default()
+        self.tracer
+            .take()
+            .map(TraceBuilder::finish)
+            .unwrap_or_default()
     }
 
     /// Number of WMEs resident in the alpha memory of `alpha`.
@@ -307,7 +327,18 @@ impl ReteMatcher {
             }
         }
 
+        let seed_started = self.profile.is_some().then(Instant::now);
         let mut queue: VecDeque<Task> = VecDeque::new();
+        // Right activations of negative nodes are deferred behind all
+        // other right activations of the same change. A negative node
+        // mutates its match counts synchronously inside its task, but a
+        // join whose left input is that negative node must see the
+        // *pre-change* left state (beta memories get this for free: their
+        // updates ride the queue behind every seed). Otherwise the
+        // conjugate-pair accounting breaks: a WME removal that unblocks a
+        // token would make the join emit a minus for a pair that was
+        // blocked — hence never built — while the WME was live.
+        let mut deferred: Vec<Task> = Vec::new();
         for &alpha in &alphas {
             let mem = &mut self.alpha_mems[alpha.index()];
             match sign {
@@ -343,17 +374,52 @@ impl ReteMatcher {
                 successors.len() as u32,
             );
             for &succ in successors {
-                queue.push_back(Task {
+                let task = Task {
                     node: succ,
                     payload: Payload::Right(id),
                     sign,
                     parent: am_act,
-                });
+                };
+                if net.node(succ).kind == NodeKind::Negative {
+                    deferred.push(task);
+                } else {
+                    queue.push_back(task);
+                }
             }
         }
+        queue.extend(deferred);
 
+        if let Some(t0) = seed_started {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(p) = self.profile.as_mut() {
+                p.record(ActivationKind::ConstantTest, 0, ns);
+            }
+        }
         while let Some(task) = queue.pop_front() {
-            self.run_task(wm, task, &mut queue, delta);
+            if self.profile.is_some() {
+                let kind = self.task_kind(&task);
+                let node = task.node.0;
+                let t0 = Instant::now();
+                self.run_task(wm, task, &mut queue, delta);
+                let ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profile.as_mut() {
+                    p.record(kind, node, ns);
+                }
+            } else {
+                self.run_task(wm, task, &mut queue, delta);
+            }
+        }
+    }
+
+    /// The [`ActivationKind`] `task` will execute as (for profiling).
+    fn task_kind(&self, task: &Task) -> ActivationKind {
+        match (self.network.node(task.node).kind, &task.payload) {
+            (NodeKind::Join, Payload::Right(_)) => ActivationKind::JoinRight,
+            (NodeKind::Join, Payload::Left(_)) => ActivationKind::JoinLeft,
+            (NodeKind::Negative, Payload::Right(_)) => ActivationKind::NegativeRight,
+            (NodeKind::Negative, Payload::Left(_)) => ActivationKind::NegativeLeft,
+            (NodeKind::BetaMemory, _) => ActivationKind::BetaMem,
+            (NodeKind::Terminal, _) => ActivationKind::Terminal,
         }
     }
 
@@ -457,8 +523,7 @@ impl ReteMatcher {
                     } else {
                         Vec::new()
                     };
-                let NodeState::Mem { tokens, index } = &mut self.states[task.node.index()]
-                else {
+                let NodeState::Mem { tokens, index } = &mut self.states[task.node.index()] else {
                     unreachable!("beta memory state")
                 };
                 match task.sign {
@@ -479,7 +544,11 @@ impl ReteMatcher {
                             tokens.swap_remove(pos);
                             self.stats.token_removed();
                         } else {
-                            debug_assert!(false, "deleting token absent from beta memory");
+                            debug_assert!(
+                                false,
+                                "deleting token absent from beta memory: node {:?} token {:?}",
+                                task.node, token
+                            );
                         }
                         for ((pos, attr), value) in &key_values {
                             if let Some(v) = value {
@@ -627,14 +696,7 @@ impl ReteMatcher {
             }
             (NodeKind::Terminal, Payload::Left(token)) => {
                 self.stats.conflict_changes += 1;
-                self.trace_record(
-                    task.parent,
-                    ActivationKind::Terminal,
-                    task.node.0,
-                    0,
-                    0,
-                    1,
-                );
+                self.trace_record(task.parent, ActivationKind::Terminal, task.node.0, 0, 0, 1);
                 let inst = Instantiation::new(
                     spec.production.expect("terminal has production"),
                     token.into_wmes(),
@@ -846,8 +908,7 @@ mod tests {
 
     #[test]
     fn single_ce_add_and_remove() {
-        let (_p, mut m, mut wm, mut syms) =
-            setup("(p r (block ^color red) --> (remove 1))");
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (block ^color red) --> (remove 1))");
         let (id, delta) = add(&mut m, &mut wm, &mut syms, "(block ^color red)");
         assert_eq!(delta.added.len(), 1);
         assert_eq!(delta.added[0].wmes, vec![id]);
@@ -860,9 +921,8 @@ mod tests {
 
     #[test]
     fn two_ce_join_with_binding() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (goal ^color <c>) (block ^color <c>) --> (remove 2))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (goal ^color <c>) (block ^color <c>) --> (remove 2))");
         let (g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^color red)");
         assert!(d.is_empty());
         let (b1, d) = add(&mut m, &mut wm, &mut syms, "(block ^color red)");
@@ -881,9 +941,8 @@ mod tests {
 
     #[test]
     fn three_ce_chain_builds_and_unbuilds() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
         let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         let (_ib, _) = add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
         let (_ic, d) = add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
@@ -896,9 +955,7 @@ mod tests {
 
     #[test]
     fn out_of_order_arrival_still_matches() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         // Right-CE WME arrives before the left one.
         let (_b, d) = add(&mut m, &mut wm, &mut syms, "(b ^x 3)");
         assert!(d.is_empty());
@@ -909,9 +966,7 @@ mod tests {
     #[test]
     fn same_wme_matching_two_ces() {
         // One WME can satisfy both CEs (they test the same class).
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (n ^v <a>) (n ^v <a>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (n ^v <a>) (n ^v <a>) --> (remove 1))");
         let (w1, d) = add(&mut m, &mut wm, &mut syms, "(n ^v 5)");
         // (w1, w1) is a legitimate OPS5 instantiation.
         assert_eq!(d.added.len(), 1);
@@ -925,9 +980,8 @@ mod tests {
 
     #[test]
     fn negated_ce_lifecycle() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (goal ^g 1) - (blocker ^g 1) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (goal ^g 1) - (blocker ^g 1) --> (remove 1))");
         let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^g 1)");
         assert_eq!(d.added.len(), 1, "no blocker yet");
         let (bl, d) = add(&mut m, &mut wm, &mut syms, "(blocker ^g 1)");
@@ -942,9 +996,8 @@ mod tests {
 
     #[test]
     fn negated_ce_with_join_variable() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (goal ^color <c>) - (block ^color <c>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (goal ^color <c>) - (block ^color <c>) --> (remove 1))");
         let (_g, d) = add(&mut m, &mut wm, &mut syms, "(goal ^color red)");
         assert_eq!(d.added.len(), 1);
         let (_b, d) = add(&mut m, &mut wm, &mut syms, "(block ^color blue)");
@@ -955,11 +1008,40 @@ mod tests {
         assert_eq!(d.added.len(), 1);
     }
 
+    /// Conjugate-pair regression: one WME right-activates both a
+    /// negative node and the join directly downstream of it (the negated
+    /// CE and the next positive CE test the same class). The join's
+    /// right activation must see the negative node's *pre-change* left
+    /// state; seeing the post-flip state makes it build or delete pairs
+    /// that never existed on the other side of the change.
+    #[test]
+    fn shared_class_negative_and_join_stay_consistent() {
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) - (b ^block <v>) (b ^val <v>) --> (remove 1))");
+        let (ia, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        assert!(d.is_empty(), "no (b ^val 1) yet");
+        // One WME that both blocks the negative CE and satisfies the
+        // positive one: the block and the join flip in the same change.
+        let (w1, d) = add(&mut m, &mut wm, &mut syms, "(b ^block 1 ^val 1)");
+        assert!(d.is_empty(), "blocks itself: net nothing");
+        let d = remove(&mut m, &mut wm, w1);
+        assert!(d.is_empty(), "unblock and candidate loss cancel");
+        // Sanity: a pure candidate fires, a pure blocker retracts it.
+        let (_c, d) = add(&mut m, &mut wm, &mut syms, "(b ^val 1)");
+        assert_eq!(d.added.len(), 1);
+        let (bl, d) = add(&mut m, &mut wm, &mut syms, "(b ^block 1)");
+        assert_eq!(d.removed.len(), 1);
+        let d = remove(&mut m, &mut wm, bl);
+        assert_eq!(d.added.len(), 1);
+        let d = remove(&mut m, &mut wm, ia);
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(m.resident_tokens(), 0);
+    }
+
     #[test]
     fn negative_then_positive_ce() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (s ^v <x>) - (no ^v <x>) (t ^v <x>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (s ^v <x>) - (no ^v <x>) (t ^v <x>) --> (remove 1))");
         let (_s, _) = add(&mut m, &mut wm, &mut syms, "(s ^v 1)");
         let (_t, d) = add(&mut m, &mut wm, &mut syms, "(t ^v 1)");
         assert_eq!(d.added.len(), 1);
@@ -972,9 +1054,7 @@ mod tests {
 
     #[test]
     fn negated_first_ce() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r - (blocker) (a ^x 1) --> (remove 2))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r - (blocker) (a ^x 1) --> (remove 2))");
         let (a, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         assert_eq!(d.added.len(), 1, "top token passes the leading negation");
         assert_eq!(d.added[0].wmes, vec![a]);
@@ -986,9 +1066,7 @@ mod tests {
 
     #[test]
     fn chain_of_leading_negatives() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r - (b1) - (b2) (a ^x 1) --> (remove 3))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r - (b1) - (b2) (a ^x 1) --> (remove 3))");
         let (_a, d) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         assert_eq!(d.added.len(), 1);
         let (b2, d) = add(&mut m, &mut wm, &mut syms, "(b2)");
@@ -1003,9 +1081,7 @@ mod tests {
 
     #[test]
     fn predicate_join_tests() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (lo ^v <x>) (hi ^v > <x>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
         let (_h1, d) = add(&mut m, &mut wm, &mut syms, "(hi ^v 5)");
         assert!(d.is_empty());
@@ -1036,9 +1112,7 @@ mod tests {
         // The modify falsifies the rule's own condition: exactly one
         // firing, and the batch delta nets to "old instantiation removed,
         // nothing added".
-        let (program, matcher, _wm, _syms) = setup(
-            "(p r (c ^on yes) --> (modify 1 ^on no))",
-        );
+        let (program, matcher, _wm, _syms) = setup("(p r (c ^on yes) --> (modify 1 ^on no))");
         let mut interp = Interpreter::new(program, matcher);
         let mut syms = interp.program().symbols.clone();
         interp.insert(parse_wme("(c ^on yes)", &mut syms).unwrap());
@@ -1051,9 +1125,7 @@ mod tests {
     fn self_renewing_modify_loops_like_ops5() {
         // A modify that keeps the rule satisfied creates a fresh WME
         // (fresh time tag), so refraction never kicks in — OPS5 loops.
-        let (program, matcher, _wm, _syms) = setup(
-            "(p r (c ^on yes ^n <n>) --> (modify 1 ^n 0))",
-        );
+        let (program, matcher, _wm, _syms) = setup("(p r (c ^on yes ^n <n>) --> (modify 1 ^n 0))");
         let mut interp = Interpreter::new(program, matcher);
         let mut syms = interp.program().symbols.clone();
         interp.insert(parse_wme("(c ^on yes ^n 5)", &mut syms).unwrap());
@@ -1079,8 +1151,11 @@ mod tests {
         for i in 0..5 {
             let color = if i % 2 == 0 { "red" } else { "blue" };
             interp.insert(
-                parse_wme(&format!("(block ^id {i} ^color {color} ^selected no)"), &mut syms)
-                    .unwrap(),
+                parse_wme(
+                    &format!("(block ^id {i} ^color {color} ^selected no)"),
+                    &mut syms,
+                )
+                .unwrap(),
             );
         }
         let fired = interp.run(100).unwrap();
@@ -1092,9 +1167,7 @@ mod tests {
 
     #[test]
     fn tracing_captures_activations_and_affected() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         m.enable_tracing();
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
@@ -1116,9 +1189,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^x <v>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
         add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
         let s = m.stats();
@@ -1132,9 +1203,7 @@ mod tests {
 
     #[test]
     fn same_type_predicate_joins() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (a ^x <v>) (b ^y <=> <v>) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^y <=> <v>) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(a ^x 5)");
         let (_b1, d) = add(&mut m, &mut wm, &mut syms, "(b ^y red)");
         assert!(d.is_empty(), "symbol is not same-type as integer");
@@ -1157,9 +1226,8 @@ mod tests {
 
     #[test]
     fn conjunction_with_variable_predicate_joins() {
-        let (_p, mut m, mut wm, mut syms) = setup(
-            "(p r (lo ^v <x>) (mid ^v { > <x> < 100 }) --> (remove 1))",
-        );
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (lo ^v <x>) (mid ^v { > <x> < 100 }) --> (remove 1))");
         add(&mut m, &mut wm, &mut syms, "(lo ^v 10)");
         let (_a, d) = add(&mut m, &mut wm, &mut syms, "(mid ^v 5)");
         assert!(d.is_empty(), "fails > <x>");

@@ -64,6 +64,46 @@ impl MatchStats {
     pub fn token_removed(&mut self) {
         self.live_tokens = self.live_tokens.saturating_sub(1);
     }
+
+    /// Folds the counters of `other` into `self`, for combining
+    /// per-worker or per-partition stats after a parallel run.
+    ///
+    /// All flow counters add. `live_tokens` adds too: each worker's
+    /// resident tokens are disjoint, so the union is the sum.
+    /// `peak_tokens` also adds — workers peak at different moments,
+    /// so the sum of per-worker peaks is a conservative upper bound
+    /// on the true global peak (taking the max instead would
+    /// under-report whenever more than one worker holds tokens).
+    /// Saturating adds keep the fold associative even at the limits.
+    ///
+    /// Associative and commutative, with `MatchStats::default()` as
+    /// the identity.
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.changes = self.changes.saturating_add(other.changes);
+        self.inserts = self.inserts.saturating_add(other.inserts);
+        self.constant_tests = self.constant_tests.saturating_add(other.constant_tests);
+        self.alpha_mem_ops = self.alpha_mem_ops.saturating_add(other.alpha_mem_ops);
+        self.right_activations = self
+            .right_activations
+            .saturating_add(other.right_activations);
+        self.left_activations = self.left_activations.saturating_add(other.left_activations);
+        self.join_tests = self.join_tests.saturating_add(other.join_tests);
+        self.pairs_scanned = self.pairs_scanned.saturating_add(other.pairs_scanned);
+        self.beta_mem_ops = self.beta_mem_ops.saturating_add(other.beta_mem_ops);
+        self.tokens_created = self.tokens_created.saturating_add(other.tokens_created);
+        self.conflict_changes = self.conflict_changes.saturating_add(other.conflict_changes);
+        self.peak_tokens = self.peak_tokens.saturating_add(other.peak_tokens);
+        self.live_tokens = self.live_tokens.saturating_add(other.live_tokens);
+    }
+
+    /// [`MatchStats::merge`] over any number of partial stats.
+    pub fn merged<'a, I: IntoIterator<Item = &'a MatchStats>>(parts: I) -> MatchStats {
+        let mut total = MatchStats::default();
+        for p in parts {
+            total.merge(p);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +144,51 @@ mod tests {
         s.token_removed(); // saturates, no underflow
         assert_eq!(s.live_tokens, 0);
         assert_eq!(s.peak_tokens, 2);
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let mk = |changes, peak, live| MatchStats {
+            changes,
+            join_tests: changes * 3,
+            peak_tokens: peak,
+            live_tokens: live,
+            ..MatchStats::default()
+        };
+        let (a, b, c) = (mk(2, 5, 1), mk(3, 7, 0), mk(4, 1, 1));
+
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left, MatchStats::merged([&a, &b, &c]));
+
+        let mut with_id = a;
+        with_id.merge(&MatchStats::default());
+        assert_eq!(with_id, a);
+
+        assert_eq!(left.changes, 9);
+        assert_eq!(left.live_tokens, 2);
+        // Sum of per-worker peaks: conservative upper bound, and
+        // never below the merged live count.
+        assert_eq!(left.peak_tokens, 13);
+        assert!(left.peak_tokens >= left.live_tokens);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = MatchStats {
+            peak_tokens: u64::MAX - 1,
+            ..MatchStats::default()
+        };
+        a.merge(&MatchStats {
+            peak_tokens: 5,
+            ..MatchStats::default()
+        });
+        assert_eq!(a.peak_tokens, u64::MAX);
     }
 }

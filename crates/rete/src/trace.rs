@@ -193,7 +193,10 @@ impl Trace {
                 None => continue,
                 Some("C") => trace.cycles.push(CycleTrace::default()),
                 Some("c") => {
-                    let cycle = trace.cycles.last_mut().ok_or_else(|| err("change before cycle"))?;
+                    let cycle = trace
+                        .cycles
+                        .last_mut()
+                        .ok_or_else(|| err("change before cycle"))?;
                     let is_add = match parts.next() {
                         Some("+") => true,
                         Some("-") => false,
@@ -238,14 +241,13 @@ impl Trace {
                         "term" => ActivationKind::Terminal,
                         other => return Err(err(&format!("unknown kind `{other}`"))),
                     };
-                    let mut num =
-                        || -> Result<u32, String> {
-                            parts
-                                .next()
-                                .ok_or_else(|| err("missing field"))?
-                                .parse()
-                                .map_err(|_| err("bad number"))
-                        };
+                    let mut num = || -> Result<u32, String> {
+                        parts
+                            .next()
+                            .ok_or_else(|| err("missing field"))?
+                            .parse()
+                            .map_err(|_| err("bad number"))
+                    };
                     let node = num()?;
                     let tests = num()?;
                     let scanned = num()?;
@@ -316,9 +318,7 @@ impl TraceBuilder {
         scanned: u32,
         outputs: u32,
     ) -> u32 {
-        let change = self
-            .current_change
-            .get_or_insert_with(ChangeTrace::default);
+        let change = self.current_change.get_or_insert_with(ChangeTrace::default);
         let id = change.activations.len() as u32;
         change.activations.push(ActivationRecord {
             id,
@@ -453,9 +453,18 @@ mod tests {
     #[test]
     fn from_text_rejects_malformed_input() {
         assert!(Trace::from_text("c + 1").is_err(), "change before cycle");
-        assert!(Trace::from_text("C\na - const 0 0 0 0").is_err(), "act before change");
-        assert!(Trace::from_text("C\nc + \na 5 const 0 0 0 0").is_err(), "forward parent");
-        assert!(Trace::from_text("C\nc + \na - wat 0 0 0 0").is_err(), "bad kind");
+        assert!(
+            Trace::from_text("C\na - const 0 0 0 0").is_err(),
+            "act before change"
+        );
+        assert!(
+            Trace::from_text("C\nc + \na 5 const 0 0 0 0").is_err(),
+            "forward parent"
+        );
+        assert!(
+            Trace::from_text("C\nc + \na - wat 0 0 0 0").is_err(),
+            "bad kind"
+        );
         assert!(Trace::from_text("Z").is_err(), "unknown record");
         // Empty text is an empty trace.
         assert_eq!(Trace::from_text("").unwrap(), Trace::default());

@@ -9,10 +9,11 @@
 //! processed in parallel (the paper's assumption (2) for Figures 6-1 and
 //! 6-2) unless `parallel_changes` is disabled.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use psm_obs::{json, ChromeTrace};
 use rete::{ActivationKind, Trace};
 
 use crate::cost::CostModel;
@@ -135,6 +136,108 @@ impl SimResult {
     }
 }
 
+/// One scheduled activation on the simulated machine: which processor
+/// ran it, when, and how much of its duration was overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusySlice {
+    /// Processor that executed the activation.
+    pub proc: u32,
+    /// Recognize–act cycle index.
+    pub cycle: u32,
+    /// Node-activation kind.
+    pub kind: ActivationKind,
+    /// Beta/alpha network node id.
+    pub node: u32,
+    /// Start time (µs from simulation start).
+    pub start_us: f64,
+    /// Total duration (µs), including the overhead components below.
+    pub dur_us: f64,
+    /// Portion of `dur_us` that is bus-contention stall (the M/M/1
+    /// inflation over the contention-free instruction time).
+    pub bus_stall_us: f64,
+    /// Portion of `dur_us` that is task-scheduling overhead.
+    pub sched_us: f64,
+}
+
+/// Per-processor schedule captured by [`simulate_psm_timeline`]:
+/// every busy slice plus cycle barriers, exportable as a Chrome trace.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Number of processors simulated.
+    pub processors: usize,
+    /// Busy slices in scheduling order.
+    pub slices: Vec<BusySlice>,
+    /// End time of each recognize–act cycle (µs).
+    pub cycle_ends_us: Vec<f64>,
+    /// Simulated makespan (µs).
+    pub makespan_us: f64,
+}
+
+impl Timeline {
+    /// Busy microseconds per processor (length = `processors`).
+    pub fn busy_us_per_proc(&self) -> Vec<f64> {
+        let mut busy = vec![0.0f64; self.processors];
+        for s in &self.slices {
+            if let Some(b) = busy.get_mut(s.proc as usize) {
+                *b += s.dur_us;
+            }
+        }
+        busy
+    }
+
+    /// Idle microseconds per processor against the common makespan.
+    /// This is the paper's *variance* loss: processors waiting at cycle
+    /// barriers or on dependency chains while others still run.
+    pub fn idle_us_per_proc(&self) -> Vec<f64> {
+        self.busy_us_per_proc()
+            .into_iter()
+            .map(|b| (self.makespan_us - b).max(0.0))
+            .collect()
+    }
+
+    /// Total bus-contention stall microseconds across all slices.
+    pub fn bus_stall_us(&self) -> f64 {
+        self.slices.iter().map(|s| s.bus_stall_us).sum()
+    }
+
+    /// Total scheduling-overhead microseconds across all slices.
+    pub fn sched_us(&self) -> f64 {
+        self.slices.iter().map(|s| s.sched_us).sum()
+    }
+
+    /// Exports the schedule as a Chrome `trace_event` trace: one
+    /// process (`pid`) for the machine, one thread per processor,
+    /// a complete event per busy slice (with node / cycle / overhead
+    /// args) and an instant event per cycle barrier.
+    pub fn to_chrome(&self, pid: u32, machine: &str) -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.process_name(pid, machine);
+        for proc in 0..self.processors {
+            t.thread_name(pid, proc as u32, &format!("proc {proc}"));
+        }
+        for s in &self.slices {
+            t.complete_with_args(
+                pid,
+                s.proc,
+                &format!("{:?} n{}", s.kind, s.node),
+                "activation",
+                s.start_us,
+                s.dur_us,
+                vec![
+                    ("node".to_string(), json::number(s.node as f64)),
+                    ("cycle".to_string(), json::number(s.cycle as f64)),
+                    ("bus_stall_us".to_string(), json::number(s.bus_stall_us)),
+                    ("sched_us".to_string(), json::number(s.sched_us)),
+                ],
+            );
+        }
+        for (i, end) in self.cycle_ends_us.iter().enumerate() {
+            t.instant(pid, 0, &format!("cycle {i} barrier"), "cycle", *end);
+        }
+        t
+    }
+}
+
 /// Replays `trace` on the machine described by `spec` under `cost`.
 ///
 /// Dependencies come from the trace's parent edges; each cycle is a
@@ -158,6 +261,27 @@ impl SimResult {
 /// # }
 /// ```
 pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResult {
+    simulate_psm_core(trace, cost, spec, None)
+}
+
+/// [`simulate_psm`] plus the full per-processor [`Timeline`] (busy
+/// slices, overhead attribution, cycle barriers) for trace export.
+pub fn simulate_psm_timeline(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &PsmSpec,
+) -> (SimResult, Timeline) {
+    let mut timeline = Timeline::default();
+    let result = simulate_psm_core(trace, cost, spec, Some(&mut timeline));
+    (result, timeline)
+}
+
+fn simulate_psm_core(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &PsmSpec,
+    mut timeline: Option<&mut Timeline>,
+) -> SimResult {
     let p = spec.processors.max(1);
     // First pass: estimate bus utilization from aggregate demand, then
     // inflate instruction times by the M/M/1-style queueing factor. This
@@ -170,9 +294,8 @@ pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResul
     let utilization = (offered / spec.bus_refs_per_sec).min(0.90);
     let bus_slowdown = 1.0 / (1.0 - utilization);
 
-    let instr_time_us = |instr: u64| -> f64 {
-        (instr as f64 * spec.work_inflation) * bus_slowdown / spec.mips
-    };
+    let instr_time_us =
+        |instr: u64| -> f64 { (instr as f64 * spec.work_inflation) * bus_slowdown / spec.mips };
     let sched_overhead_us = match spec.scheduler {
         Scheduler::Hardware { bus_cycle_us } => bus_cycle_us,
         Scheduler::Software {
@@ -185,11 +308,11 @@ pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResul
     let mut sched_us_total = 0.0f64;
     let mut changes = 0u64;
 
-    for cycle in &trace.cycles {
-        // Processor availability heap (earliest-free first).
-        let mut procs: BinaryHeap<Reverse<OrderedF64>> = (0..p)
-            .map(|_| Reverse(OrderedF64(now_us)))
-            .collect();
+    for (cycle_idx, cycle) in trace.cycles.iter().enumerate() {
+        // Processor availability heap (earliest-free first; processor
+        // id as a deterministic tie-break and for timeline capture).
+        let mut procs: BinaryHeap<Reverse<(OrderedF64, usize)>> =
+            (0..p).map(|i| Reverse((OrderedF64(now_us), i))).collect();
         let mut node_free: HashMap<(u8, u32), f64> = HashMap::new();
         let mut cycle_end = now_us;
         let mut change_start = now_us;
@@ -203,10 +326,11 @@ pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResul
                     Some(parent) => done[parent as usize],
                     None => change_start,
                 };
-                let dur = instr_time_us(cost.activation_cost(rec)) + sched_overhead_us;
+                let instr_us = instr_time_us(cost.activation_cost(rec));
+                let dur = instr_us + sched_overhead_us;
                 sched_us_total += sched_overhead_us;
 
-                let Reverse(OrderedF64(proc_free)) =
+                let Reverse((OrderedF64(proc_free), proc)) =
                     procs.pop().expect("at least one processor");
                 let mut start = ready.max(proc_free);
                 if spec.per_node_exclusive {
@@ -216,10 +340,22 @@ pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResul
                     *free = start + dur;
                 }
                 let end = start + dur;
-                procs.push(Reverse(OrderedF64(end)));
+                procs.push(Reverse((OrderedF64(end), proc)));
                 busy_us += dur;
                 done.push(end);
                 cycle_end = cycle_end.max(end);
+                if let Some(tl) = timeline.as_deref_mut() {
+                    tl.slices.push(BusySlice {
+                        proc: proc as u32,
+                        cycle: cycle_idx as u32,
+                        kind: rec.kind,
+                        node: rec.node,
+                        start_us: start,
+                        dur_us: dur,
+                        bus_stall_us: instr_us - instr_us / bus_slowdown,
+                        sched_us: sched_overhead_us,
+                    });
+                }
             }
             if !spec.parallel_changes {
                 // Serial change processing: the next change starts after
@@ -228,6 +364,13 @@ pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResul
             }
         }
         now_us = cycle_end;
+        if let Some(tl) = timeline.as_deref_mut() {
+            tl.cycle_ends_us.push(cycle_end);
+        }
+    }
+    if let Some(tl) = timeline {
+        tl.processors = p;
+        tl.makespan_us = now_us;
     }
 
     let makespan_s = now_us / 1e6;
@@ -359,7 +502,11 @@ pub fn simulate_hierarchical(
         processors: clusters * per,
         makespan_s,
         busy_s,
-        concurrency: if makespan_s > 0.0 { busy_s / makespan_s } else { 0.0 },
+        concurrency: if makespan_s > 0.0 {
+            busy_s / makespan_s
+        } else {
+            0.0
+        },
         true_speedup: if makespan_s > 0.0 {
             serial_time_s / makespan_s
         } else {
@@ -648,6 +795,58 @@ mod tests {
         assert_eq!(r.changes, 20);
         assert!((r.wme_changes_per_sec - r.firings_per_sec).abs() < 1e-6);
         assert!(r.lost_factor() >= 1.0);
+    }
+
+    #[test]
+    fn timeline_accounts_for_every_busy_microsecond() {
+        let t = fanout_trace(6, 8);
+        let m = CostModel::default();
+        let (r, tl) = simulate_psm_timeline(&t, &m, &spec(4));
+        // The timeline and the aggregate result agree.
+        assert_eq!(tl.processors, 4);
+        assert_eq!(tl.cycle_ends_us.len(), 6);
+        let slice_busy_s: f64 = tl.busy_us_per_proc().iter().sum::<f64>() / 1e6;
+        assert!((slice_busy_s - r.busy_s).abs() < 1e-9);
+        assert!((tl.makespan_us / 1e6 - r.makespan_s).abs() < 1e-12);
+        // Slices stay inside the makespan and on valid processors.
+        for s in &tl.slices {
+            assert!((s.proc as usize) < tl.processors);
+            assert!(s.start_us + s.dur_us <= tl.makespan_us + 1e-9);
+            assert!(s.bus_stall_us >= 0.0 && s.bus_stall_us <= s.dur_us);
+        }
+        // Idle + busy = processors * makespan.
+        let idle: f64 = tl.idle_us_per_proc().iter().sum();
+        let busy: f64 = tl.busy_us_per_proc().iter().sum();
+        assert!((idle + busy - 4.0 * tl.makespan_us).abs() < 1e-6);
+        // The aggregate-only path is unchanged by capture.
+        let solo = simulate_psm(&t, &m, &spec(4));
+        assert_eq!(solo, r);
+    }
+
+    #[test]
+    fn timeline_chrome_export_has_processor_rows() {
+        let t = fanout_trace(2, 4);
+        let (_, tl) = simulate_psm_timeline(&t, &CostModel::default(), &spec(3));
+        let json = tl.to_chrome(1, "psm-3").to_json();
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("{\"name\":\"psm-3\"}"));
+        for proc in 0..3 {
+            assert!(json.contains(&format!("{{\"name\":\"proc {proc}\"}}")));
+        }
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"bus_stall_us\""));
+        assert!(json.contains("cycle 1 barrier"));
+    }
+
+    #[test]
+    fn bus_stalls_vanish_without_misses() {
+        let t = fanout_trace(3, 4);
+        let (_, no_miss) = simulate_psm_timeline(&t, &CostModel::default(), &spec(4));
+        assert_eq!(no_miss.bus_stall_us(), 0.0);
+        let mut contended = spec(4);
+        contended.bus_miss_ratio = 0.2;
+        let (_, stalled) = simulate_psm_timeline(&t, &CostModel::default(), &contended);
+        assert!(stalled.bus_stall_us() > 0.0);
     }
 
     #[test]

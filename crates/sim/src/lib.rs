@@ -36,7 +36,10 @@ pub mod uniprocessor;
 
 pub use analysis::{granularity_analysis, GranularityReport};
 pub use cost::{CostModel, StateSavingModel};
-pub use des::{simulate_hierarchical, simulate_psm, HierarchicalSpec, PsmSpec, Scheduler, SimResult};
+pub use des::{
+    simulate_hierarchical, simulate_psm, simulate_psm_timeline, BusySlice, HierarchicalSpec,
+    PsmSpec, Scheduler, SimResult, Timeline,
+};
 pub use machines::{
     simulate_dado_rete, simulate_dado_treat, simulate_nonvon, simulate_oflazer_machine,
     MachineEstimate,

@@ -33,6 +33,20 @@ pub struct MachineEstimate {
 }
 
 impl MachineEstimate {
+    /// Publishes the estimate into a `psm-obs` metrics registry as
+    /// `machine.<name>.wme_changes_per_sec` and
+    /// `machine.<name>.mean_change_time_us` gauges (values rounded to
+    /// integers), so architecture-comparison runs land in the same
+    /// snapshot/merge pipeline as the engine counters.
+    pub fn publish(&self, registry: &psm_obs::Registry) {
+        registry
+            .gauge(&format!("machine.{}.wme_changes_per_sec", self.machine))
+            .set(self.wme_changes_per_sec.round() as i64);
+        registry
+            .gauge(&format!("machine.{}.mean_change_time_us", self.machine))
+            .set(self.mean_change_time_us.round() as i64);
+    }
+
     fn from_change_time(machine: &'static str, mean_change_time_us: f64) -> Self {
         MachineEstimate {
             machine,
@@ -80,11 +94,7 @@ fn per_change_work(
 
 /// Max partition load when productions are distributed round-robin over
 /// `partitions`.
-fn max_partition_us(
-    per_prod: &HashMap<ProductionId, f64>,
-    partitions: usize,
-    mips: f64,
-) -> f64 {
+fn max_partition_us(per_prod: &HashMap<ProductionId, f64>, partitions: usize, mips: f64) -> f64 {
     let mut loads = vec![0.0f64; partitions.max(1)];
     for (p, work) in per_prod {
         loads[p.index() % partitions.max(1)] += work;
@@ -94,11 +104,7 @@ fn max_partition_us(
 
 /// DADO running the parallel Rete algorithm (§7.1, predicted ≈ 175
 /// wme-changes/s on the sixteen-thousand-PE 0.5-MIPS prototype).
-pub fn simulate_dado_rete(
-    trace: &Trace,
-    network: &Network,
-    cost: &CostModel,
-) -> MachineEstimate {
+pub fn simulate_dado_rete(trace: &Trace, network: &Network, cost: &CostModel) -> MachineEstimate {
     // 32 partitions of 8-bit 0.5-MIPS PEs; the datapath penalty reflects
     // multi-instruction 8-bit arithmetic on symbols/pointers. Broadcast,
     // tree synchronization and the PM-level control loop dominate.
@@ -114,8 +120,7 @@ pub fn simulate_dado_rete(
     let mean: f64 = work
         .iter()
         .map(|(_, per_prod)| {
-            per_change_overhead_us
-                + max_partition_us(per_prod, partitions, mips) * datapath_penalty
+            per_change_overhead_us + max_partition_us(per_prod, partitions, mips) * datapath_penalty
         })
         .sum::<f64>()
         / work.len() as f64;
@@ -126,11 +131,7 @@ pub fn simulate_dado_rete(
 /// recomputes joins but fans the candidate tests across the WM-subtree
 /// associatively, so the per-partition serial work shrinks relative to
 /// Rete while the tree overheads stay.
-pub fn simulate_dado_treat(
-    trace: &Trace,
-    network: &Network,
-    cost: &CostModel,
-) -> MachineEstimate {
+pub fn simulate_dado_treat(trace: &Trace, network: &Network, cost: &CostModel) -> MachineEstimate {
     let partitions = 32;
     let mips = 0.5;
     let datapath_penalty = 4.0;
@@ -147,8 +148,7 @@ pub fn simulate_dado_treat(
     let mean: f64 = work
         .iter()
         .map(|(_, per_prod)| {
-            let part =
-                max_partition_us(per_prod, partitions, mips) * datapath_penalty;
+            let part = max_partition_us(per_prod, partitions, mips) * datapath_penalty;
             per_change_overhead_us + part * recompute_factor / subtree_parallelism
         })
         .sum::<f64>()
@@ -159,11 +159,7 @@ pub fn simulate_dado_treat(
 /// NON-VON (§7.2, predicted ≈ 2000 wme-changes/s): 3-MIPS processing
 /// elements (six times DADO's) and wider associative operations, still
 /// tree-structured with serial change processing.
-pub fn simulate_nonvon(
-    trace: &Trace,
-    network: &Network,
-    cost: &CostModel,
-) -> MachineEstimate {
+pub fn simulate_nonvon(trace: &Trace, network: &Network, cost: &CostModel) -> MachineEstimate {
     let partitions = 32;
     let mips = 3.0;
     let datapath_penalty = 1.5;
@@ -176,8 +172,7 @@ pub fn simulate_nonvon(
     let mean: f64 = work
         .iter()
         .map(|(_, per_prod)| {
-            per_change_overhead_us
-                + max_partition_us(per_prod, partitions, mips) * datapath_penalty
+            per_change_overhead_us + max_partition_us(per_prod, partitions, mips) * datapath_penalty
         })
         .sum::<f64>()
         / work.len() as f64;
@@ -219,8 +214,7 @@ pub fn simulate_oflazer_machine(
     let mean: f64 = work
         .iter()
         .map(|(total, _)| {
-            per_change_overhead_us
-                + total * state_overhead_factor / (effective_parallelism * mips)
+            per_change_overhead_us + total * state_overhead_factor / (effective_parallelism * mips)
         })
         .sum::<f64>()
         / work.len() as f64;
@@ -242,8 +236,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let network =
-            Network::compile_with(&program, CompileOptions { share: false }).unwrap();
+        let network = Network::compile_with(&program, CompileOptions { share: false }).unwrap();
         let join_of = |p: u32| -> u32 {
             network
                 .nodes

@@ -1,36 +1,34 @@
-//! Property-based tests on the discrete-event simulator: invariants
-//! that must hold for any trace and any machine configuration.
+//! Property-style tests on the discrete-event simulator: invariants
+//! that must hold for any trace and any machine configuration,
+//! exercised over many deterministic seeds.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use psm_sim::{simulate_psm, CostModel, PsmSpec, Scheduler};
+use psm_obs::Rng64;
+use psm_sim::{simulate_psm, simulate_psm_timeline, CostModel, PsmSpec, Scheduler};
 use rete::{ActivationKind, Trace, TraceBuilder};
 
 /// Builds a random but well-formed trace: every parent id precedes its
 /// child, change/cycle structure is valid.
 fn random_trace(seed: u64, cycles: usize) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = TraceBuilder::new();
     for _ in 0..cycles {
         b.begin_cycle();
-        let n_changes = rng.gen_range(1..=4);
+        let n_changes = rng.gen_range(1..=4usize);
         for _ in 0..n_changes {
             b.begin_change(rng.gen_bool(0.7));
             let root = b.record(
                 None,
                 ActivationKind::ConstantTest,
                 0,
-                rng.gen_range(1..20),
+                rng.gen_range(1..20u32),
                 0,
                 1,
             );
-            let n_acts = rng.gen_range(0..12);
+            let n_acts = rng.gen_range(0..12usize);
             let mut ids = vec![root];
             for _ in 0..n_acts {
                 let parent = ids[rng.gen_range(0..ids.len())];
-                let kind = match rng.gen_range(0..4) {
+                let kind = match rng.gen_range(0..4u32) {
                     0 => ActivationKind::AlphaMem,
                     1 => ActivationKind::JoinRight,
                     2 => ActivationKind::BetaMem,
@@ -39,10 +37,10 @@ fn random_trace(seed: u64, cycles: usize) -> Trace {
                 let id = b.record(
                     Some(parent),
                     kind,
-                    rng.gen_range(0..6),
-                    rng.gen_range(0..6),
-                    rng.gen_range(0..15),
-                    rng.gen_range(0..3),
+                    rng.gen_range(0..6u32),
+                    rng.gen_range(0..6u32),
+                    rng.gen_range(0..15u32),
+                    rng.gen_range(0..3u32),
                 );
                 ids.push(id);
             }
@@ -52,53 +50,63 @@ fn random_trace(seed: u64, cycles: usize) -> Trace {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Concurrency can never exceed the processor count, true speed-up
-    /// can never exceed concurrency scaled by inflation, and busy time
-    /// never exceeds P × makespan.
-    #[test]
-    fn concurrency_and_speedup_bounds(seed in 0u64..1000, p in 1usize..64) {
+/// Concurrency can never exceed the processor count, true speed-up
+/// can never exceed concurrency, and busy time never exceeds
+/// P × makespan.
+#[test]
+fn concurrency_and_speedup_bounds() {
+    let mut rng = Rng64::new(0x5EED);
+    for _ in 0..40 {
+        let seed = rng.gen_range(0..1000u64);
+        let p = rng.gen_range(1..64usize);
         let trace = random_trace(seed, 5);
         let cost = CostModel::default();
         let spec = PsmSpec::paper_32().with_processors(p);
         let r = simulate_psm(&trace, &cost, &spec);
-        prop_assert!(r.concurrency <= p as f64 + 1e-9);
-        prop_assert!(r.busy_s <= p as f64 * r.makespan_s + 1e-9);
+        assert!(r.concurrency <= p as f64 + 1e-9, "seed {seed} p {p}");
+        assert!(r.busy_s <= p as f64 * r.makespan_s + 1e-9, "seed {seed}");
         // True speed-up excludes overheads and inflation, so it is
         // bounded by concurrency.
-        prop_assert!(r.true_speedup <= r.concurrency + 1e-9);
-        prop_assert!(r.lost_factor() >= 1.0 - 1e-9);
+        assert!(r.true_speedup <= r.concurrency + 1e-9, "seed {seed}");
+        assert!(r.lost_factor() >= 1.0 - 1e-9, "seed {seed}");
     }
+}
 
-    /// Adding processors never makes the makespan longer (the greedy
-    /// scheduler is monotone in P for these traces).
-    #[test]
-    fn more_processors_never_hurt(seed in 0u64..300) {
-        let trace = random_trace(seed, 4);
+/// Adding processors never makes the makespan longer (the greedy
+/// scheduler is monotone in P for these traces).
+#[test]
+fn more_processors_never_hurt() {
+    for seed in 0u64..40 {
+        let trace = random_trace(seed * 7 + 1, 4);
         let cost = CostModel::default();
         let mut prev = f64::INFINITY;
         for p in [1usize, 2, 4, 8, 16, 32] {
-            let r = simulate_psm(&trace, &cost, &PsmSpec {
-                processors: p,
-                work_inflation: 1.0,
-                bus_miss_ratio: 0.0,
-                per_node_exclusive: false,
-                ..PsmSpec::default()
-            });
-            prop_assert!(
+            let r = simulate_psm(
+                &trace,
+                &cost,
+                &PsmSpec {
+                    processors: p,
+                    work_inflation: 1.0,
+                    bus_miss_ratio: 0.0,
+                    per_node_exclusive: false,
+                    ..PsmSpec::default()
+                },
+            );
+            assert!(
                 r.makespan_s <= prev * 1.000001,
-                "P={p}: {} > {prev}", r.makespan_s
+                "seed {seed} P={p}: {} > {prev}",
+                r.makespan_s
             );
             prev = r.makespan_s;
         }
     }
+}
 
-    /// With one processor and no overheads, makespan equals total work.
-    #[test]
-    fn single_processor_is_serial(seed in 0u64..300) {
-        let trace = random_trace(seed, 3);
+/// With one processor and no overheads, makespan equals total work.
+#[test]
+fn single_processor_is_serial() {
+    for seed in 0u64..40 {
+        let trace = random_trace(seed * 13 + 3, 3);
         let cost = CostModel::default();
         let spec = PsmSpec {
             processors: 1,
@@ -112,15 +120,17 @@ proptest! {
         };
         let r = simulate_psm(&trace, &cost, &spec);
         let serial_s = cost.trace_cost(&trace) as f64 / 2.0e6;
-        prop_assert!((r.makespan_s - serial_s).abs() < 1e-9);
-        prop_assert!((r.true_speedup - 1.0).abs() < 1e-6);
+        assert!((r.makespan_s - serial_s).abs() < 1e-9, "seed {seed}");
+        assert!((r.true_speedup - 1.0).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    /// Inflating work scales the makespan proportionally (bus and
-    /// scheduler disabled).
-    #[test]
-    fn work_inflation_scales_linearly(seed in 0u64..200) {
-        let trace = random_trace(seed, 3);
+/// Inflating work scales the makespan proportionally (bus and
+/// scheduler disabled).
+#[test]
+fn work_inflation_scales_linearly() {
+    for seed in 0u64..30 {
+        let trace = random_trace(seed * 31 + 5, 3);
         let cost = CostModel::default();
         let base_spec = PsmSpec {
             processors: 4,
@@ -134,6 +144,36 @@ proptest! {
         let mut doubled = base_spec;
         doubled.work_inflation = 2.0;
         let r2 = simulate_psm(&trace, &cost, &doubled);
-        prop_assert!((r2.makespan_s - 2.0 * r1.makespan_s).abs() < 1e-9);
+        assert!(
+            (r2.makespan_s - 2.0 * r1.makespan_s).abs() < 1e-9,
+            "seed {seed}"
+        );
+    }
+}
+
+/// The captured timeline is consistent with the aggregate result for
+/// arbitrary traces: same busy time, slices within the makespan,
+/// overhead components bounded by slice durations.
+#[test]
+fn timeline_matches_aggregate_on_random_traces() {
+    for seed in 0u64..25 {
+        let trace = random_trace(seed * 17 + 11, 4);
+        let cost = CostModel::default();
+        let spec = PsmSpec::paper_32().with_processors(8);
+        let (r, tl) = simulate_psm_timeline(&trace, &cost, &spec);
+        assert_eq!(simulate_psm(&trace, &cost, &spec), r, "seed {seed}");
+        let busy_s: f64 = tl.busy_us_per_proc().iter().sum::<f64>() / 1e6;
+        assert!((busy_s - r.busy_s).abs() < 1e-9, "seed {seed}");
+        for s in &tl.slices {
+            assert!((s.proc as usize) < tl.processors, "seed {seed}");
+            assert!(
+                s.start_us + s.dur_us <= tl.makespan_us + 1e-9,
+                "seed {seed}"
+            );
+            assert!(
+                s.bus_stall_us + s.sched_us <= s.dur_us + 1e-9,
+                "seed {seed}"
+            );
+        }
     }
 }

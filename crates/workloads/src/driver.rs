@@ -9,8 +9,7 @@
 use std::time::{Duration, Instant};
 
 use ops5::{Change, Matcher, WmeId, WorkingMemory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psm_obs::Rng64;
 use rete::{MatchStats, ReteMatcher, Trace};
 
 use crate::generator::GeneratedWorkload;
@@ -58,7 +57,7 @@ impl DriverReport {
 #[derive(Debug)]
 pub struct WorkloadDriver {
     workload: GeneratedWorkload,
-    rng: StdRng,
+    rng: Rng64,
     wm: WorkingMemory,
     live: Vec<WmeId>,
 }
@@ -69,7 +68,7 @@ impl WorkloadDriver {
     pub fn new(workload: GeneratedWorkload, seed: u64) -> Self {
         WorkloadDriver {
             workload,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
             wm: WorkingMemory::new(),
             live: Vec::new(),
         }
@@ -101,9 +100,11 @@ impl WorkloadDriver {
     /// until [`WorkloadDriver::commit_batch`].
     pub fn next_batch(&mut self) -> Vec<Change> {
         let spec = &self.workload.spec;
-        let n = self.rng.gen_range(spec.min_changes..=spec.max_changes).max(1);
-        let n_removes = ((n as f64 * spec.remove_fraction).round() as usize)
-            .min(self.live.len());
+        let n = self
+            .rng
+            .gen_range(spec.min_changes..=spec.max_changes)
+            .max(1);
+        let n_removes = ((n as f64 * spec.remove_fraction).round() as usize).min(self.live.len());
         let mut batch = Vec::with_capacity(n);
         for _ in 0..n_removes {
             let idx = self.rng.gen_range(0..self.live.len());

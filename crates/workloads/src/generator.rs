@@ -13,8 +13,7 @@
 //! | `wm_size` | stable working-memory size `s` (§3.1 cost model) |
 
 use ops5::{parse_program, parse_wme, Error, Program, Wme};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psm_obs::Rng64;
 
 /// Parameters of a synthetic production system.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,7 +90,7 @@ impl GeneratedWorkload {
     /// Returns [`Error`] if the generated source fails to parse — a bug
     /// in the generator, surfaced rather than panicking.
     pub fn generate(spec: WorkloadSpec) -> Result<Self, Error> {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = Rng64::new(spec.seed);
         let mut src = String::new();
         for i in 0..spec.productions {
             src.push_str(&Self::gen_production(&spec, i, &mut rng));
@@ -117,7 +116,7 @@ impl GeneratedWorkload {
         })
     }
 
-    fn gen_production(spec: &WorkloadSpec, index: usize, rng: &mut StdRng) -> String {
+    fn gen_production(spec: &WorkloadSpec, index: usize, rng: &mut Rng64) -> String {
         let n_ces = rng.gen_range(spec.min_ces..=spec.max_ces);
         let mut out = format!("(p gen-{index}\n");
         for ce in 0..n_ces {
@@ -146,7 +145,7 @@ impl GeneratedWorkload {
     }
 
     /// Samples a WME from the workload's class/value distributions.
-    pub fn gen_wme(&self, rng: &mut StdRng) -> Wme {
+    pub fn gen_wme(&self, rng: &mut Rng64) -> Wme {
         let class = self.sample_class(rng);
         let constant = rng.gen_range(0..self.spec.constants);
         let j = rng.gen_range(0..self.spec.join_values);
@@ -163,13 +162,15 @@ impl GeneratedWorkload {
         wme
     }
 
-    fn sample_class(&self, rng: &mut StdRng) -> usize {
-        let x: f64 = rng.gen();
-        self.class_cdf.partition_point(|&c| c < x).min(self.spec.classes - 1)
+    fn sample_class(&self, rng: &mut Rng64) -> usize {
+        let x: f64 = rng.gen_f64();
+        self.class_cdf
+            .partition_point(|&c| c < x)
+            .min(self.spec.classes - 1)
     }
 
     /// An initial working memory of `spec.wm_size` WMEs.
-    pub fn initial_wm(&self, rng: &mut StdRng) -> Vec<Wme> {
+    pub fn initial_wm(&self, rng: &mut Rng64) -> Vec<Wme> {
         (0..self.spec.wm_size).map(|_| self.gen_wme(rng)).collect()
     }
 }
@@ -189,9 +190,9 @@ fn class_cdf(spec: &WorkloadSpec) -> Vec<f64> {
         .collect()
 }
 
-fn sample_class_raw(spec: &WorkloadSpec, rng: &mut StdRng) -> usize {
+fn sample_class_raw(spec: &WorkloadSpec, rng: &mut Rng64) -> usize {
     let cdf = class_cdf(spec);
-    let x: f64 = rng.gen();
+    let x: f64 = rng.gen_f64();
     cdf.partition_point(|&c| c < x).min(spec.classes - 1)
 }
 
@@ -230,7 +231,7 @@ mod tests {
     #[test]
     fn wmes_have_full_attribute_set() {
         let w = GeneratedWorkload::generate(WorkloadSpec::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::new(9);
         for _ in 0..20 {
             let wme = w.gen_wme(&mut rng);
             assert_eq!(wme.len(), 3, "a0, a1, a2 all present");
@@ -245,7 +246,7 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let w = GeneratedWorkload::generate(spec).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let mut counts = vec![0usize; 10];
         for _ in 0..2000 {
             counts[w.sample_class(&mut rng)] += 1;
@@ -277,7 +278,7 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let w = GeneratedWorkload::generate(spec).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         assert_eq!(w.initial_wm(&mut rng).len(), 37);
     }
 

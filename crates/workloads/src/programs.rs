@@ -174,9 +174,7 @@ pub const HANOI: &str = r#"
 pub fn hanoi(disks: i64) -> Result<(Program, Vec<Wme>), Error> {
     let mut program = parse_program(HANOI)?;
     let wmes = parse_wmes(
-        &format!(
-            "(goal ^atomic no ^disk {disks} ^from a ^to c ^via b)\n(counter ^n 0)"
-        ),
+        &format!("(goal ^atomic no ^disk {disks} ^from a ^to c ^via b)\n(counter ^n 0)"),
         &mut program.symbols,
     )?;
     Ok((program, wmes))
@@ -471,9 +469,7 @@ mod tests {
                 for (dr, dc) in [(0i64, 1i64), (1, 0), (0, -1), (-1, 0)] {
                     let (nr, nc) = (r + dr, c + dc);
                     let nid = nr * w + nc;
-                    if (0..w).contains(&nr) && (0..w).contains(&nc)
-                        && !blocked.contains(&nid)
-                    {
+                    if (0..w).contains(&nr) && (0..w).contains(&nc) && !blocked.contains(&nid) {
                         edges.push((id, nid));
                     }
                 }
@@ -496,8 +492,7 @@ mod tests {
 
     #[test]
     fn transitive_closure_disconnected_components() {
-        let (program, wmes) =
-            transitive_closure(&[(0, 1), (5, 6), (6, 7)]).unwrap();
+        let (program, wmes) = transitive_closure(&[(0, 1), (5, 6), (6, 7)]).unwrap();
         let matcher = ReteMatcher::compile(&program).unwrap();
         let mut interp = Interpreter::new(program, matcher);
         interp.insert_all(wmes);

@@ -50,8 +50,8 @@ impl Characteristics {
 mod tests {
     use super::*;
     use crate::driver::capture_trace;
-    use crate::presets::Preset;
     use crate::generator::GeneratedWorkload;
+    use crate::presets::Preset;
 
     #[test]
     fn all_presets_are_paper_shaped() {
@@ -59,11 +59,7 @@ mod tests {
             let w = GeneratedWorkload::generate(preset.spec_small()).unwrap();
             let (trace, _) = capture_trace(&w, 30, 3).unwrap();
             let c = Characteristics::measure(&w, &trace);
-            assert!(
-                c.paper_shaped(),
-                "{}: {c:?}",
-                preset.name()
-            );
+            assert!(c.paper_shaped(), "{}: {c:?}", preset.name());
             assert!(c.changes_per_cycle >= 1.0);
             assert!(c.activations_per_change > 1.0);
         }

@@ -22,11 +22,17 @@ fn main() -> Result<(), psm::ops5::Error> {
     let cycles = 150;
     let workload = GeneratedWorkload::generate(Preset::Daa.spec_small())?;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("workload: {}  ({} cores available)", workload.spec.name, cores);
+    println!(
+        "workload: {}  ({} cores available)",
+        workload.spec.name, cores
+    );
 
     let mut seq = ReteMatcher::compile(&workload.program)?;
     let t_seq = time_matcher(&workload, &mut seq, cycles);
-    println!("sequential rete:          {:8.2} ms  (baseline)", t_seq * 1e3);
+    println!(
+        "sequential rete:          {:8.2} ms  (baseline)",
+        t_seq * 1e3
+    );
 
     for threads in [1, 2, cores.max(2)] {
         let mut par = ParallelReteMatcher::compile(

@@ -38,8 +38,6 @@ fn main() -> Result<(), psm::ops5::Error> {
             r.lost_factor()
         );
     }
-    println!(
-        "\npaper: ~16 processors busy at P=32, true speed-up < 10-fold, ~9400 wme-changes/s."
-    );
+    println!("\npaper: ~16 processors busy at P=32, true speed-up < 10-fold, ~9400 wme-changes/s.");
     Ok(())
 }

@@ -49,7 +49,11 @@ fn main() -> ExitCode {
         if watch {
             for (i, inst) in interp.firing_log().iter().enumerate() {
                 let name = &interp.program().production(inst.production).name;
-                eprintln!("{:>4}. {name} {}", i + 1, inst.display(&interp.program().symbols));
+                eprintln!(
+                    "{:>4}. {name} {}",
+                    i + 1,
+                    inst.display(&interp.program().symbols)
+                );
             }
         }
         for line in interp.output() {

@@ -37,7 +37,11 @@ fn main() -> Result<(), psm::ops5::Error> {
         .collect();
     pairs.sort_unstable();
 
-    println!("{} edges -> {} reach facts in {fired} firings", edges.len(), pairs.len());
+    println!(
+        "{} edges -> {} reach facts in {fired} firings",
+        edges.len(),
+        pairs.len()
+    );
     // The ring makes every node reach every node (including itself).
     assert_eq!(pairs.len(), 36);
     let stats = interp.matcher().stats();

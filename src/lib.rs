@@ -14,6 +14,8 @@
 //!   DADO, NON-VON, and Oflazer machine models.
 //! * [`workloads`] — synthetic production-system generators and classic
 //!   OPS5 programs.
+//! * [`obs`] — zero-dependency observability: metrics registry, span
+//!   timers, event ring, Chrome-trace export, and the workspace PRNG.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-
 //! measured record of every table and figure.
@@ -21,6 +23,7 @@
 pub use baselines;
 pub use ops5;
 pub use psm_core as core;
+pub use psm_obs as obs;
 pub use psm_sim as sim;
 pub use rete;
 pub use workloads;

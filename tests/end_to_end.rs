@@ -11,11 +11,7 @@ use psm::workloads::programs;
 
 /// Runs a program+initial-WM to quiescence/halt, returning (firings,
 /// output lines, final WM size).
-fn run<M: Matcher>(
-    program: Program,
-    initial: Vec<Wme>,
-    matcher: M,
-) -> (u64, Vec<String>, usize) {
+fn run<M: Matcher>(program: Program, initial: Vec<Wme>, matcher: M) -> (u64, Vec<String>, usize) {
     let mut interp = Interpreter::new(program, matcher);
     interp.insert_all(initial);
     let fired = interp.run(20_000).expect("program runs");
@@ -35,11 +31,7 @@ fn all_engines_agree(build: impl Fn() -> (Program, Vec<Wme>)) {
     );
 
     let (program2, initial2) = build();
-    let naive = run(
-        program2.clone(),
-        initial2,
-        NaiveMatcher::new(&program2),
-    );
+    let naive = run(program2.clone(), initial2, NaiveMatcher::new(&program2));
     assert_eq!(reference, naive, "naive disagrees with rete");
 
     let (program3, initial3) = build();

@@ -11,21 +11,22 @@ use psm::workloads::{capture_trace_with, GeneratedWorkload, Preset};
 
 fn captured(preset: Preset, share: bool) -> (psm::rete::Trace, std::sync::Arc<psm::rete::Network>) {
     let workload = GeneratedWorkload::generate(preset.spec_small()).unwrap();
-    let (trace, _stats, network) = capture_trace_with(
-        &workload,
-        60,
-        11,
-        psm::rete::CompileOptions { share },
-    )
-    .unwrap();
+    let (trace, _stats, network) =
+        capture_trace_with(&workload, 60, 11, psm::rete::CompileOptions { share }).unwrap();
     (trace, network)
 }
 
 #[test]
 fn e1_state_saving_model_matches_paper() {
     let m = StateSavingModel::paper();
-    assert!((m.breakeven_turnover() - 0.611).abs() < 0.01, "breakeven ~61%");
-    assert!(m.advantage(0.005) > 20.0, "state saving wins big at 0.5% turnover");
+    assert!(
+        (m.breakeven_turnover() - 0.611).abs() < 0.01,
+        "breakeven ~61%"
+    );
+    assert!(
+        m.advantage(0.005) > 20.0,
+        "state saving wins big at 0.5% turnover"
+    );
 }
 
 #[test]
@@ -55,9 +56,8 @@ fn e2_production_parallelism_is_capped() {
 fn e3_e4_concurrency_saturates_by_64_processors() {
     let (trace, _network) = captured(Preset::R1Soar, true);
     let cost = CostModel::default();
-    let conc = |p: usize| {
-        simulate_psm(&trace, &cost, &PsmSpec::paper_32().with_processors(p)).concurrency
-    };
+    let conc =
+        |p: usize| simulate_psm(&trace, &cost, &PsmSpec::paper_32().with_processors(p)).concurrency;
     let c8 = conc(8);
     let c32 = conc(32);
     let c64 = conc(64);

@@ -19,7 +19,11 @@ fn assert_equivalent<A: Matcher, B: Matcher>(
     // initial working memory into matcher B.
     let mut driver = WorkloadDriver::new(workload.clone(), 5);
     driver.init(&mut a);
-    let initial: Vec<_> = driver.working_memory().iter().map(|(id, _, _)| id).collect();
+    let initial: Vec<_> = driver
+        .working_memory()
+        .iter()
+        .map(|(id, _, _)| id)
+        .collect();
     for id in initial {
         b.add_wme(driver.working_memory(), id);
     }

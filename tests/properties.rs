@@ -1,12 +1,13 @@
-//! Property-based tests (proptest) over randomized working-memory
-//! change sequences: delta exactness, state purging, and batch/segment
-//! insensitivity of the match algorithms.
+//! Property-style tests over randomized working-memory change
+//! sequences: delta exactness, state purging, and batch/segment
+//! insensitivity of the match algorithms. Each property runs over many
+//! deterministically seeded cases.
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
 use psm::baselines::NaiveMatcher;
 use psm::core::{ParallelOptions, ParallelReteMatcher};
+use psm::obs::Rng64;
 use psm::ops5::{
     parse_program, Change, Instantiation, Matcher, Program, SymbolTable, Value, Wme, WmeId,
     WorkingMemory,
@@ -30,11 +31,18 @@ enum Op {
     Remove(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0u8..5, 0u8..3).prop_map(|(c, v)| Op::Add(c, v)),
-        2 => (0u8..255).prop_map(Op::Remove),
-    ]
+/// Weighted 3:2 add/remove, as the proptest strategy had it.
+fn random_ops(rng: &mut Rng64, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..5u32) < 3 {
+                Op::Add(rng.gen_range(0..5u8), rng.gen_range(0..3u8))
+            } else {
+                Op::Remove(rng.gen_range(0..255u8))
+            }
+        })
+        .collect()
 }
 
 fn program() -> Program {
@@ -89,41 +97,56 @@ fn run_ops<M: Matcher>(ops: &[Op], matcher: &mut M) -> HashSet<Instantiation> {
     image
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Deltas are exact: removals always name present instantiations,
-    /// additions are always new, and the final image equals the naive
-    /// recomputation.
-    #[test]
-    fn rete_deltas_are_exact_and_match_naive(ops in prop::collection::vec(op_strategy(), 1..60)) {
+/// Deltas are exact: removals always name present instantiations,
+/// additions are always new, and the final image equals the naive
+/// recomputation.
+#[test]
+fn rete_deltas_are_exact_and_match_naive() {
+    let mut rng = Rng64::new(0xACE1);
+    for case in 0..48 {
+        let ops = random_ops(&mut rng, 60);
         let program = program();
         let mut rete = ReteMatcher::compile(&program).unwrap();
         let mut naive = NaiveMatcher::new(&program);
         let rete_image = run_ops(&ops, &mut rete);
         let naive_image = run_ops(&ops, &mut naive);
-        prop_assert_eq!(rete_image, naive_image);
+        assert_eq!(rete_image, naive_image, "case {case}");
     }
+}
 
-    /// The parallel engine agrees with the sequential one for any ops
-    /// sequence (4 worker threads).
-    #[test]
-    fn parallel_agrees_with_sequential(ops in prop::collection::vec(op_strategy(), 1..50)) {
+/// The parallel engine agrees with the sequential one for any ops
+/// sequence (4 worker threads).
+#[test]
+fn parallel_agrees_with_sequential() {
+    let mut rng = Rng64::new(0xACE2);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 50);
         let program = program();
         let mut seq = ReteMatcher::compile(&program).unwrap();
         let mut par = ParallelReteMatcher::compile(
             &program,
-            ParallelOptions { threads: 4, share: true },
-        ).unwrap();
+            ParallelOptions {
+                threads: 4,
+                share: true,
+            },
+        )
+        .unwrap();
         let a = run_ops(&ops, &mut seq);
         let b = run_ops(&ops, &mut par);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Removing everything purges all beta state: the network holds no
-    /// resident tokens once the working memory is empty.
-    #[test]
-    fn all_state_purged_when_wm_emptied(adds in prop::collection::vec((0u8..5, 0u8..3), 1..40)) {
+/// Removing everything purges all beta state: the network holds no
+/// resident tokens once the working memory is empty.
+#[test]
+fn all_state_purged_when_wm_emptied() {
+    let mut rng = Rng64::new(0xACE3);
+    for case in 0..48 {
+        let n = rng.gen_range(1..40usize);
+        let adds: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.gen_range(0..5u8), rng.gen_range(0..3u8)))
+            .collect();
         let program = program();
         let mut rete = ReteMatcher::compile(&program).unwrap();
         let mut syms = program.symbols.clone();
@@ -140,70 +163,77 @@ proptest! {
         }
         // No production in the fixture has a *leading* negated CE, so no
         // top-token seeds remain — state must be completely purged.
-        prop_assert!(wm.is_empty());
+        assert!(wm.is_empty());
         let leftover = rete.resident_tokens();
-        prop_assert!(leftover == 0, "resident tokens left: {leftover}");
+        assert!(
+            leftover == 0,
+            "case {case}: resident tokens left: {leftover}"
+        );
     }
+}
 
-    /// Conflict-resolution domination is a strict total order for both
-    /// strategies: antisymmetric, transitive, and total on distinct
-    /// instantiations.
-    #[test]
-    fn conflict_resolution_is_a_total_order(
-        tuples in prop::collection::vec(
-            (0u32..2, prop::collection::vec(0usize..8, 1..4)),
-            3..8,
-        ),
-        n_wmes in 8usize..12,
-    ) {
-        use psm::ops5::{compare_instantiations, ProductionId, Strategy};
-        use std::cmp::Ordering;
+/// Conflict-resolution domination is a strict total order for both
+/// strategies: antisymmetric, transitive, and total on distinct
+/// instantiations.
+#[test]
+fn conflict_resolution_is_a_total_order() {
+    use psm::ops5::{compare_instantiations, ProductionId, Strategy};
+    use std::cmp::Ordering;
 
+    let mut rng = Rng64::new(0xACE4);
+    for _case in 0..20 {
         let program = program();
         let mut syms = program.symbols.clone();
         let mut wm = WorkingMemory::new();
+        let n_wmes = rng.gen_range(8..12usize);
         let ids: Vec<WmeId> = (0..n_wmes)
             .map(|i| wm.add(wme_for(&mut syms, (i % 5) as u8, (i % 3) as u8)).0)
             .collect();
-        let insts: Vec<Instantiation> = tuples
-            .into_iter()
-            .map(|(p, wmes)| {
+        let n_insts = rng.gen_range(3..8usize);
+        let insts: Vec<Instantiation> = (0..n_insts)
+            .map(|_| {
+                let p = rng.gen_range(0..2u32);
+                let n = rng.gen_range(1..4usize);
                 Instantiation::new(
                     ProductionId(p),
-                    wmes.into_iter().map(|k| ids[k % ids.len()]).collect(),
+                    (0..n).map(|_| ids[rng.gen_range(0..ids.len())]).collect(),
                 )
             })
             .collect();
         for strategy in [Strategy::Lex, Strategy::Mea] {
             for a in &insts {
-                prop_assert_eq!(
+                assert_eq!(
                     compare_instantiations(a, a, &wm, &program, strategy),
                     Ordering::Equal
                 );
                 for b in &insts {
                     let ab = compare_instantiations(a, b, &wm, &program, strategy);
                     let ba = compare_instantiations(b, a, &wm, &program, strategy);
-                    prop_assert_eq!(ab, ba.reverse(), "antisymmetry");
+                    assert_eq!(ab, ba.reverse(), "antisymmetry");
                     if a != b {
-                        prop_assert_ne!(ab, Ordering::Equal, "totality on distinct");
+                        assert_ne!(ab, Ordering::Equal, "totality on distinct");
                     }
                     for c in &insts {
                         let bc = compare_instantiations(b, c, &wm, &program, strategy);
                         let ac = compare_instantiations(a, c, &wm, &program, strategy);
                         if ab == Ordering::Greater && bc == Ordering::Greater {
-                            prop_assert_eq!(ac, Ordering::Greater, "transitivity");
+                            assert_eq!(ac, Ordering::Greater, "transitivity");
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// Pretty-printing any generated program and reparsing it reaches a
-    /// stable printer normal form with identical structure.
-    #[test]
-    fn generated_programs_round_trip_through_the_printer(seed in 0u64..500) {
-        use psm::workloads::{GeneratedWorkload, WorkloadSpec};
+/// Pretty-printing any generated program and reparsing it reaches a
+/// stable printer normal form with identical structure.
+#[test]
+fn generated_programs_round_trip_through_the_printer() {
+    use psm::workloads::{GeneratedWorkload, WorkloadSpec};
+    let mut rng = Rng64::new(0xACE5);
+    for _ in 0..30 {
+        let seed = rng.gen_range(0..500u64);
         let spec = WorkloadSpec {
             productions: 8,
             seed,
@@ -214,18 +244,24 @@ proptest! {
             let printed = format!("{}", p.display(&w.program.symbols));
             let reparsed = parse_program(&printed)
                 .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\n{e}"));
-            let reprinted =
-                format!("{}", reparsed.productions[0].display(&reparsed.symbols));
-            prop_assert_eq!(&printed, &reprinted);
-            prop_assert_eq!(p.ces.len(), reparsed.productions[0].ces.len());
-            prop_assert_eq!(&p.variables, &reparsed.productions[0].variables);
-            prop_assert_eq!(p.specificity, reparsed.productions[0].specificity);
+            let reprinted = format!("{}", reparsed.productions[0].display(&reparsed.symbols));
+            assert_eq!(&printed, &reprinted);
+            assert_eq!(p.ces.len(), reparsed.productions[0].ces.len());
+            assert_eq!(&p.variables, &reparsed.productions[0].variables);
+            assert_eq!(p.specificity, reparsed.productions[0].specificity);
         }
     }
+}
 
-    /// Batch processing equals change-by-change processing (net deltas).
-    #[test]
-    fn batching_is_transparent(values in prop::collection::vec((0u8..5, 0u8..3), 2..12)) {
+/// Batch processing equals change-by-change processing (net deltas).
+#[test]
+fn batching_is_transparent() {
+    let mut rng = Rng64::new(0xACE6);
+    for case in 0..48 {
+        let n = rng.gen_range(2..12usize);
+        let values: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.gen_range(0..5u8), rng.gen_range(0..3u8)))
+            .collect();
         let program = program();
         let mut one = ReteMatcher::compile(&program).unwrap();
         let mut batched = ReteMatcher::compile(&program).unwrap();
@@ -244,6 +280,6 @@ proptest! {
         }
         d_batch.canonicalize();
         d_single.canonicalize();
-        prop_assert_eq!(d_batch, d_single);
+        assert_eq!(d_batch, d_single, "case {case}");
     }
 }
