@@ -1,0 +1,270 @@
+//! `psmlint` — static analysis CLI for OPS5 programs.
+//!
+//! ```text
+//! psmlint [--json] [--cost] [--presets] [--fixtures] [FILES...]
+//! ```
+//!
+//! * `FILES...` — OPS5 source files to lint (and cost-model with
+//!   `--cost`).
+//! * `--presets` — lint every generated workload preset; any
+//!   error-severity diagnostic fails the run (the CI gate).
+//! * `--fixtures` — build each seeded-defect fixture and require its
+//!   expected lint code to fire (the analyzer's own regression net).
+//! * `--cost` — also print the static cost model per program.
+//! * `--json` — machine-readable output (one JSON object).
+//!
+//! Exit status: 0 clean, 1 on any error-severity diagnostic, missed
+//! fixture, or unreadable/unparsable input.
+
+use std::process::ExitCode;
+
+use ops5::{parse_program, Program};
+use psm_analyze::{analyze_cost, lint_program, CostParams, Diagnostic, Severity};
+use psm_obs::json::{number, push_escaped};
+use rete::Network;
+
+struct Options {
+    json: bool,
+    cost: bool,
+    presets: bool,
+    fixtures: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        cost: false,
+        presets: false,
+        fixtures: false,
+        files: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--cost" => opts.cost = true,
+            "--presets" => opts.presets = true,
+            "--fixtures" => opts.fixtures = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: psmlint [--json] [--cost] [--presets] [--fixtures] [FILES...]"
+                        .to_string(),
+                )
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if !opts.presets && !opts.fixtures && opts.files.is_empty() {
+        return Err("nothing to lint: pass FILES, --presets, or --fixtures".to_string());
+    }
+    Ok(opts)
+}
+
+/// One analyzed unit: a named program with its diagnostics.
+struct Analyzed {
+    name: String,
+    diagnostics: Vec<Diagnostic>,
+    cost_lines: Vec<String>,
+}
+
+fn analyze(name: &str, program: &Program, with_cost: bool) -> Analyzed {
+    let diagnostics = lint_program(program);
+    let mut cost_lines = Vec::new();
+    if with_cost {
+        match Network::compile(program) {
+            Ok(network) => {
+                let report = analyze_cost(program, &network, &CostParams::default());
+                let s = report.network_state;
+                cost_lines.push(format!(
+                    "state estimate: treat {:.1} <= rete {:.1} <= oflazer {:.1}",
+                    s.treat, s.rete, s.oflazer
+                ));
+                cost_lines.push(format!(
+                    "sharing: alpha {:.0}% join {:.0}%   skew: cv {:.2} effective parallelism {:.1}",
+                    100.0 * report.alpha_sharing,
+                    100.0 * report.join_sharing,
+                    report.skew.cv,
+                    report.skew.effective_parallelism
+                ));
+                for (p, share) in report.productions.iter().zip(report.predicted_shares()) {
+                    cost_lines.push(format!(
+                        "  {:<24} share {:>5.1}%  depth {}  cost {:.2}",
+                        p.name,
+                        100.0 * share,
+                        p.chain_depth,
+                        p.cost_per_change
+                    ));
+                }
+            }
+            Err(e) => cost_lines.push(format!("cost model unavailable (compile failed): {e}")),
+        }
+    }
+    Analyzed {
+        name: name.to_string(),
+        diagnostics,
+        cost_lines,
+    }
+}
+
+fn emit_text(units: &[Analyzed]) {
+    for unit in units {
+        if units.len() > 1 || !unit.cost_lines.is_empty() {
+            println!("== {} ==", unit.name);
+        }
+        if unit.diagnostics.is_empty() {
+            println!("clean: no diagnostics");
+        }
+        for d in &unit.diagnostics {
+            println!("{}", d.render());
+        }
+        for line in &unit.cost_lines {
+            println!("{line}");
+        }
+    }
+}
+
+fn emit_json(units: &[Analyzed], fixture_failures: &[String]) {
+    let mut out = String::from("{\"units\":[");
+    for (i, unit) in units.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_escaped(&mut out, &unit.name);
+        out.push_str(",\"diagnostics\":[");
+        for (j, d) in unit.diagnostics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"fixture_failures\":[");
+    for (i, f) in fixture_failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, f);
+    }
+    out.push_str("],\"errors\":");
+    let errors = units
+        .iter()
+        .flat_map(|u| &u.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    out.push_str(&number(errors as f64));
+    out.push('}');
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut units = Vec::new();
+    let mut failed = false;
+
+    for path in &opts.files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("psmlint: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match parse_program(&src) {
+            Ok(program) => units.push(analyze(path, &program, opts.cost)),
+            Err(e) => {
+                eprintln!("psmlint: {path}: parse error: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if opts.presets {
+        for preset in workloads::Preset::all() {
+            let spec = preset.spec_small();
+            match workloads::GeneratedWorkload::generate(spec) {
+                Ok(w) => units.push(analyze(
+                    &format!("preset:{}", preset.name()),
+                    &w.program,
+                    opts.cost,
+                )),
+                Err(e) => {
+                    eprintln!("psmlint: preset {} failed to generate: {e}", preset.name());
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let mut fixture_failures = Vec::new();
+    if opts.fixtures {
+        for fx in workloads::fixtures::all() {
+            let program = (fx.build)();
+            let diagnostics = lint_program(&program);
+            let hit = diagnostics.iter().any(|d| d.code == fx.expected_code);
+            if !hit {
+                fixture_failures.push(format!(
+                    "fixture {} did not trigger {}",
+                    fx.name, fx.expected_code
+                ));
+            }
+            units.push(Analyzed {
+                name: format!("fixture:{}", fx.name),
+                diagnostics,
+                cost_lines: Vec::new(),
+            });
+        }
+    }
+
+    let errors = units
+        .iter()
+        .flat_map(|u| &u.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    // Fixtures are *supposed* to contain errors; only non-fixture units
+    // gate on severity.
+    let gating_errors = units
+        .iter()
+        .filter(|u| !u.name.starts_with("fixture:"))
+        .flat_map(|u| &u.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+
+    if opts.json {
+        emit_json(&units, &fixture_failures);
+    } else {
+        emit_text(&units);
+        for f in &fixture_failures {
+            eprintln!("FAIL: {f}");
+        }
+        if opts.fixtures && fixture_failures.is_empty() {
+            println!(
+                "fixtures: {} checked, all triggered their expected codes",
+                units
+                    .iter()
+                    .filter(|u| u.name.starts_with("fixture:"))
+                    .count()
+            );
+        }
+        if opts.presets {
+            println!("presets: {gating_errors} error-severity diagnostics (gate: 0)");
+        }
+        let _ = errors;
+    }
+
+    if failed || gating_errors > 0 || !fixture_failures.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

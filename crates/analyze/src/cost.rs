@@ -1,0 +1,498 @@
+//! Static cost model over a compiled [`rete::Network`].
+//!
+//! The paper's parallelism conclusions rest on quantities the repo
+//! otherwise measures dynamically: per-production affect sets (§4), node
+//! sharing, and the Rete/TREAT/Oflazer state spectrum (§3.2). This
+//! module estimates all of them from program text alone.
+//!
+//! The estimation chain:
+//!
+//! 1. **Selectivity** — for every `(class, attribute)` pair the model
+//!    collects the constants the program itself tests (the observable
+//!    value domain) and assigns each alpha test a pass probability:
+//!    `=` → `1/d`, `<>` → `1 − 1/d`, inequalities → `1/2`,
+//!    `<< k … >>` → `k/d`, presence → `1`.
+//! 2. **Alpha occupancy** — CE *i*'s expected alpha-memory size is
+//!    `m_i = |WM| · w(class_i) · sel_i` with `w` a class-frequency prior
+//!    (uniform unless the caller knows better).
+//! 3. **Token flow** — the expected tokens surviving CE *i*'s join is
+//!    `x_i = m_i · jsel_i`, `jsel` the product of its join-test
+//!    selectivities. Beta-memory state is the sum of prefix products
+//!    `Π_{k≤j} x_k` (Rete stores exactly the prefix combinations),
+//!    and Oflazer's state is `Π(1 + x_i) − 1` (every CE subset, §3.2).
+//!    Prefixes are a subset of subsets, so the model *structurally*
+//!    guarantees the paper's `TREAT ≤ Rete ≤ Oflazer` state ordering.
+//! 4. **Cost variance** — a WME change hitting CE *i* scans the left
+//!    memory of its join, so production cost per change is
+//!    `Σ_i w_i·sel_i·(1 + Π_{k<i} x_k)`. The spread of this quantity
+//!    across productions is the §4 skew that caps production
+//!    parallelism near 5-fold.
+
+use std::collections::HashMap;
+
+use ops5::{PredOp, Program, SymbolId, Value};
+use rete::{AlphaId, AlphaTest, Network};
+
+/// Tunables of the static model.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// Expected stable working-memory size (paper §3.1's `s`).
+    pub wm_size: f64,
+    /// Class-frequency prior; uniform over the program's classes when
+    /// empty. Keys are class symbols, values need not be normalized.
+    pub class_weights: HashMap<SymbolId, f64>,
+    /// Pass probability of an equality join test whose attribute has no
+    /// observable constant domain (the common case: join attributes are
+    /// only ever tested against variables).
+    pub default_join_selectivity: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            wm_size: 100.0,
+            class_weights: HashMap::new(),
+            default_join_selectivity: 0.05,
+        }
+    }
+}
+
+/// Predicted match-state sizes (in stored tokens/WMEs) for the §3.2
+/// algorithm spectrum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StateEstimates {
+    /// No state saved between cycles.
+    pub naive: f64,
+    /// Alpha memories only.
+    pub treat: f64,
+    /// Alpha memories + prefix-combination beta memories.
+    pub rete: f64,
+    /// Alpha memories + every CE-subset combination.
+    pub oflazer: f64,
+}
+
+impl StateEstimates {
+    /// True when the estimates respect the paper's §3.2 ordering.
+    pub fn ordered(&self) -> bool {
+        self.naive <= self.treat && self.treat <= self.rete && self.rete <= self.oflazer
+    }
+}
+
+/// Static estimates for one production.
+#[derive(Debug, Clone)]
+pub struct ProductionCost {
+    /// Production name.
+    pub name: String,
+    /// Probability a random WME change affects this production (matches
+    /// at least one CE's alpha pattern) — the §4 affect-set estimate.
+    pub affect_prob: f64,
+    /// Expected match work per WME change (left-memory scans), the
+    /// quantity whose skew caps production parallelism.
+    pub cost_per_change: f64,
+    /// Per-production state estimates.
+    pub state: StateEstimates,
+    /// Two-input nodes a token traverses (equals the CE count).
+    pub chain_depth: usize,
+    /// Largest join fan-in (number of join tests at one node).
+    pub max_join_tests: usize,
+}
+
+/// Skew statistics over the per-production static costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostSkew {
+    /// Mean static cost per change.
+    pub mean: f64,
+    /// Coefficient of variation (σ/µ) of the cost distribution.
+    pub cv: f64,
+    /// Max cost over mean cost.
+    pub max_over_mean: f64,
+    /// Participation ratio `(Σc)²/Σc²` — the effective number of
+    /// productions sharing the work, a static bound on production
+    /// parallelism (the paper measures ~5.1 on average, §4).
+    pub effective_parallelism: f64,
+}
+
+/// The full static report for one program/network pair.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Per-production estimates, in [`ops5::ProductionId`] order.
+    pub productions: Vec<ProductionCost>,
+    /// Network-level state estimates (alpha memories deduplicated
+    /// through sharing; beta state summed per production).
+    pub network_state: StateEstimates,
+    /// Fraction of two-input node requests satisfied by sharing.
+    pub join_sharing: f64,
+    /// Fraction of alpha node requests satisfied by sharing.
+    pub alpha_sharing: f64,
+    /// Skew of the per-production cost distribution.
+    pub skew: CostSkew,
+}
+
+impl CostReport {
+    /// Normalized predicted activation shares, in production order.
+    pub fn predicted_shares(&self) -> Vec<f64> {
+        let total: f64 = self.productions.iter().map(|p| p.affect_prob).sum();
+        self.productions
+            .iter()
+            .map(|p| {
+                if total > 0.0 {
+                    p.affect_prob / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Observable constant domains per `(class, attribute)`.
+struct Domains(HashMap<(SymbolId, SymbolId), Vec<Value>>);
+
+impl Domains {
+    fn collect(network: &Network) -> Domains {
+        let mut map: HashMap<(SymbolId, SymbolId), Vec<Value>> = HashMap::new();
+        let mut note = |class: SymbolId, attr: SymbolId, value: Value| {
+            let values = map.entry((class, attr)).or_default();
+            if !values.contains(&value) {
+                values.push(value);
+            }
+        };
+        for node in &network.alpha.nodes {
+            for test in &node.tests {
+                match test {
+                    AlphaTest::Const { attr, value, .. } => note(node.class, *attr, *value),
+                    AlphaTest::Disj { attr, values } => {
+                        for v in values {
+                            note(node.class, *attr, *v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Domains(map)
+    }
+
+    /// Observable domain size; at least 2 (a domain of one constant
+    /// still distinguishes match from mismatch).
+    fn size(&self, class: SymbolId, attr: SymbolId) -> f64 {
+        self.0
+            .get(&(class, attr))
+            .map_or(2.0, |v| (v.len() as f64).max(2.0))
+    }
+}
+
+fn alpha_test_selectivity(class: SymbolId, test: &AlphaTest, domains: &Domains) -> f64 {
+    match test {
+        AlphaTest::Const { attr, op, .. } => {
+            let d = domains.size(class, *attr);
+            match op {
+                PredOp::Eq => 1.0 / d,
+                PredOp::Ne => 1.0 - 1.0 / d,
+                PredOp::SameType => 1.0,
+                _ => 0.5,
+            }
+        }
+        AlphaTest::Disj { attr, values } => {
+            let d = domains.size(class, *attr);
+            (values.len() as f64 / d).min(1.0)
+        }
+        AlphaTest::AttrCmp { attr, op, .. } => {
+            let d = domains.size(class, *attr);
+            match op {
+                PredOp::Eq => 1.0 / d,
+                PredOp::Ne => 1.0 - 1.0 / d,
+                PredOp::SameType => 1.0,
+                _ => 0.5,
+            }
+        }
+        AlphaTest::Present { .. } => 1.0,
+    }
+}
+
+fn alpha_selectivity(network: &Network, alpha: AlphaId, domains: &Domains) -> f64 {
+    let node = network.alpha.node(alpha);
+    node.tests
+        .iter()
+        .map(|t| alpha_test_selectivity(node.class, t, domains))
+        .product()
+}
+
+/// Runs the static cost model.
+pub fn analyze_cost(program: &Program, network: &Network, params: &CostParams) -> CostReport {
+    let domains = Domains::collect(network);
+
+    // Class-frequency prior, normalized over classes the network tests.
+    let mut classes: Vec<SymbolId> = network.alpha.nodes.iter().map(|n| n.class).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let raw: Vec<f64> = classes
+        .iter()
+        .map(|c| params.class_weights.get(c).copied().unwrap_or(1.0))
+        .collect();
+    let total_w: f64 = raw.iter().sum();
+    let weight: HashMap<SymbolId, f64> = classes
+        .iter()
+        .zip(&raw)
+        .map(|(c, w)| (*c, if total_w > 0.0 { w / total_w } else { 0.0 }))
+        .collect();
+
+    // Expected occupancy of each (shared) alpha memory.
+    let alpha_m: Vec<f64> = (0..network.alpha.len())
+        .map(|i| {
+            let id = AlphaId(i as u32);
+            let node = network.alpha.node(id);
+            let w = weight.get(&node.class).copied().unwrap_or(0.0);
+            params.wm_size * w * alpha_selectivity(network, id, &domains)
+        })
+        .collect();
+
+    let mut productions = Vec::with_capacity(program.productions.len());
+    let mut network_beta = 0.0;
+    let mut network_subsets = 0.0;
+    for p in &program.productions {
+        let pid = p.id;
+        let alphas = &network.ce_alpha[pid.index()];
+        let tests = &network.ce_tests[pid.index()];
+
+        // Affect probability: WME matches at least one CE pattern.
+        let mut miss = 1.0;
+        let mut hit_rates = Vec::with_capacity(p.ces.len());
+        for &a in alphas {
+            let node = network.alpha.node(a);
+            let w = weight.get(&node.class).copied().unwrap_or(0.0);
+            let rate = w * alpha_selectivity(network, a, &domains);
+            hit_rates.push(rate);
+            miss *= 1.0 - rate.min(1.0);
+        }
+        let affect_prob = 1.0 - miss;
+
+        // Token flow through the positive-CE join chain.
+        let mut xs: Vec<f64> = Vec::new(); // x_i per positive CE
+        let mut treat = 0.0;
+        let mut max_join_tests = 0;
+        for (i, ce) in p.ces.iter().enumerate() {
+            let m = alpha_m[alphas[i].index()];
+            treat += m;
+            let jsel: f64 = tests[i]
+                .iter()
+                .map(|t| match t.op {
+                    PredOp::Eq => {
+                        let d = domains.size(network.alpha.node(alphas[i]).class, t.own_attr);
+                        // Join attributes usually have no constant
+                        // domain; fall back to the configured prior.
+                        if d > 2.0 {
+                            1.0 / d
+                        } else {
+                            params.default_join_selectivity
+                        }
+                    }
+                    PredOp::Ne => 1.0 - params.default_join_selectivity,
+                    PredOp::SameType => 1.0,
+                    _ => 0.5,
+                })
+                .product();
+            max_join_tests = max_join_tests.max(tests[i].len());
+            if !ce.negated {
+                xs.push(m * jsel.min(1.0));
+            }
+        }
+
+        // Rete beta state: prefix products of length >= 2 (length-1
+        // "combinations" are the alpha memories, already in `treat`).
+        let mut beta = 0.0;
+        let mut prefix = 1.0;
+        for (j, &x) in xs.iter().enumerate() {
+            prefix *= x;
+            if j >= 1 {
+                beta += prefix;
+            }
+        }
+        // Oflazer state: every subset of size >= 2 — the closed form
+        // Π(1+x) − 1 − Σx. Prefix products are a subset of subset
+        // products, so `subsets >= beta` holds term by term.
+        let product: f64 = xs.iter().map(|x| 1.0 + x).product();
+        let subsets = (product - 1.0 - xs.iter().sum::<f64>()).max(beta);
+
+        let state = StateEstimates {
+            naive: 0.0,
+            treat,
+            rete: treat + beta,
+            oflazer: treat + subsets,
+        };
+        network_beta += beta;
+        network_subsets += subsets;
+
+        // Cost per change: hitting CE i scans the left memory of join i
+        // (size = product of earlier x's; 1 for the dummy top memory).
+        let mut cost = 0.0;
+        let mut left: f64 = 1.0;
+        let mut positive_seen = 0;
+        for (i, ce) in p.ces.iter().enumerate() {
+            cost += hit_rates[i].min(1.0) * left.max(1.0);
+            if !ce.negated {
+                left = xs[..=positive_seen].iter().product();
+                positive_seen += 1;
+            }
+        }
+
+        productions.push(ProductionCost {
+            name: p.name.clone(),
+            affect_prob,
+            cost_per_change: cost,
+            state,
+            chain_depth: network.beta_chain_depth(pid),
+            max_join_tests,
+        });
+    }
+
+    // Network-level state: shared alpha memories counted once.
+    let network_treat: f64 = alpha_m.iter().sum();
+    let network_state = StateEstimates {
+        naive: 0.0,
+        treat: network_treat,
+        rete: network_treat + network_beta,
+        oflazer: network_treat + network_subsets,
+    };
+
+    let stats = &network.stats;
+    let join_sharing = stats.join_sharing_ratio();
+    let alpha_sharing = if stats.alpha_requests > 0 {
+        1.0 - stats.alpha_nodes as f64 / stats.alpha_requests as f64
+    } else {
+        0.0
+    };
+
+    let costs: Vec<f64> = productions.iter().map(|p| p.cost_per_change).collect();
+    let skew = skew_of(&costs);
+
+    CostReport {
+        productions,
+        network_state,
+        join_sharing,
+        alpha_sharing,
+        skew,
+    }
+}
+
+fn skew_of(costs: &[f64]) -> CostSkew {
+    let n = costs.len() as f64;
+    if n == 0.0 {
+        return CostSkew::default();
+    }
+    let sum: f64 = costs.iter().sum();
+    let mean = sum / n;
+    let var = costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+    let sum_sq: f64 = costs.iter().map(|c| c * c).sum();
+    let max = costs.iter().cloned().fold(0.0f64, f64::max);
+    CostSkew {
+        mean,
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        max_over_mean: if mean > 0.0 { max / mean } else { 0.0 },
+        effective_parallelism: if sum_sq > 0.0 {
+            sum * sum / sum_sq
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::parse_program;
+
+    fn report(src: &str, params: &CostParams) -> CostReport {
+        let program = parse_program(src).unwrap();
+        let network = Network::compile(&program).unwrap();
+        analyze_cost(&program, &network, params)
+    }
+
+    #[test]
+    fn state_ordering_holds_per_production_and_network() {
+        let r = report(
+            "(p a (x ^k 1 ^v <j>) (y ^v <j>) (z ^v <j>) --> (halt))\n\
+             (p b (x ^k 2 ^v <j>) - (y ^w <j>) --> (halt))",
+            &CostParams::default(),
+        );
+        for p in &r.productions {
+            assert!(p.state.ordered(), "{}: {:?}", p.name, p.state);
+        }
+        assert!(r.network_state.ordered());
+        assert!(r.network_state.treat > 0.0);
+        assert!(r.network_state.rete > r.network_state.treat);
+    }
+
+    #[test]
+    fn selective_tests_shrink_affect_probability() {
+        // `^k 1` vs the same pattern with presence only.
+        let r = report(
+            "(p tight (x ^k 1 ^a 2 ^b 3) --> (halt))\n\
+             (p loose (x ^k <v>) --> (halt))",
+            &CostParams::default(),
+        );
+        assert!(
+            r.productions[0].affect_prob < r.productions[1].affect_prob,
+            "{:?}",
+            r.productions
+                .iter()
+                .map(|p| p.affect_prob)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn predicted_shares_sum_to_one() {
+        let r = report(
+            "(p a (x ^k 1) --> (halt))\n(p b (y ^k 1) --> (halt))",
+            &CostParams::default(),
+        );
+        let total: f64 = r.predicted_shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_factors_are_in_range() {
+        let r = report(
+            "(p a (x ^k 1) (y ^v <j>) --> (halt))\n\
+             (p b (x ^k 1) (y ^v <j>) --> (halt))",
+            &CostParams::default(),
+        );
+        assert!(r.join_sharing > 0.0 && r.join_sharing < 1.0);
+        assert!(r.alpha_sharing > 0.0 && r.alpha_sharing < 1.0);
+    }
+
+    #[test]
+    fn skew_statistics_reflect_concentration() {
+        let even = skew_of(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((even.effective_parallelism - 4.0).abs() < 1e-9);
+        assert!(even.cv.abs() < 1e-9);
+        let skewed = skew_of(&[8.0, 1.0, 1.0, 1.0]);
+        assert!(skewed.effective_parallelism < 2.0);
+        assert!(skewed.max_over_mean > 2.0);
+    }
+
+    #[test]
+    fn class_weights_shift_affect_estimates() {
+        let program =
+            parse_program("(p a (hot ^k 1) --> (halt))\n(p b (cold ^k 1) --> (halt))").unwrap();
+        let network = Network::compile(&program).unwrap();
+        let hot = program.symbols.lookup("hot").unwrap();
+        let mut params = CostParams::default();
+        params.class_weights.insert(hot, 10.0);
+        let r = analyze_cost(&program, &network, &params);
+        assert!(r.productions[0].affect_prob > r.productions[1].affect_prob);
+    }
+
+    #[test]
+    fn deeper_chains_report_more_depth() {
+        let r = report(
+            "(p shallow (x ^v <j>) (y ^v <j>) --> (halt))\n\
+             (p deep (x ^v <j>) (y ^v <j>) (z ^v <j>) (w ^v <j>) --> (halt))",
+            &CostParams::default(),
+        );
+        assert_eq!(r.productions[0].chain_depth, 2);
+        assert_eq!(r.productions[1].chain_depth, 4);
+        assert!(r.productions[1].state.rete >= r.productions[0].state.rete);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cross-check harness: static predictions vs measured behaviour.
+//!
+//! The cost model in [`crate::cost`] is only useful if its predictions
+//! track what the matcher actually does. This module runs a workload
+//! (synthetic preset or the real blocks-world program), records which
+//! productions each WME change affected (the paper's §4 affect sets),
+//! and compares the measured per-production activation shares against
+//! the model's predictions, alongside predicted vs measured match
+//! state.
+
+use std::collections::HashMap;
+
+use ops5::{parse_program, parse_wmes, Interpreter, Program};
+use rete::{CompileOptions, Network, ReteMatcher, Trace};
+use workloads::{capture_trace_with, GeneratedWorkload, WorkloadSpec};
+
+use crate::cost::{analyze_cost, CostParams, CostReport, StateEstimates};
+
+/// Predicted vs measured activation share for one production.
+#[derive(Debug, Clone)]
+pub struct ShareComparison {
+    /// Production name.
+    pub production: String,
+    /// Model-predicted share of affect-set membership.
+    pub predicted: f64,
+    /// Measured share (fraction of change×production affect pairs).
+    pub measured: f64,
+}
+
+impl ShareComparison {
+    /// Ratio of the larger share to the smaller (≥ 1); `None` when the
+    /// production was never measured as affected (no meaningful ratio).
+    pub fn error_factor(&self) -> Option<f64> {
+        if self.measured <= 0.0 || self.predicted <= 0.0 {
+            return None;
+        }
+        Some((self.predicted / self.measured).max(self.measured / self.predicted))
+    }
+}
+
+/// One workload's prediction-vs-measurement comparison.
+#[derive(Debug, Clone)]
+pub struct CrosscheckReport {
+    /// Workload name.
+    pub name: String,
+    /// Per-production share comparison, in production order.
+    pub shares: Vec<ShareComparison>,
+    /// The static model's state estimates.
+    pub predicted_states: StateEstimates,
+    /// Measured peak token count (Rete beta state high-water mark).
+    pub measured_peak_tokens: u64,
+    /// WME changes observed in the measured run.
+    pub measured_changes: usize,
+    /// The full static report (for downstream consumers).
+    pub cost: CostReport,
+}
+
+impl CrosscheckReport {
+    /// Largest per-production error factor among productions measured as
+    /// affected at least once.
+    pub fn max_error_factor(&self) -> f64 {
+        self.shares
+            .iter()
+            .filter_map(ShareComparison::error_factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// True when every measured production's predicted share is within
+    /// `factor` of its measured share.
+    pub fn within_factor(&self, factor: f64) -> bool {
+        self.max_error_factor() <= factor
+    }
+}
+
+fn measured_shares(program: &Program, trace: &Trace) -> Vec<f64> {
+    let mut counts = vec![0usize; program.productions.len()];
+    let mut total = 0usize;
+    for cycle in &trace.cycles {
+        for change in &cycle.changes {
+            for pid in &change.affected_productions {
+                counts[pid.index()] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            if total > 0 {
+                c as f64 / total as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn compare(
+    name: &str,
+    program: &Program,
+    network: &Network,
+    params: &CostParams,
+    trace: &Trace,
+    peak_tokens: u64,
+) -> CrosscheckReport {
+    let cost = analyze_cost(program, network, params);
+    let predicted = cost.predicted_shares();
+    let measured = measured_shares(program, trace);
+    let shares = program
+        .productions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ShareComparison {
+            production: p.name.clone(),
+            predicted: predicted[i],
+            measured: measured[i],
+        })
+        .collect();
+    CrosscheckReport {
+        name: name.to_string(),
+        shares,
+        predicted_states: cost.network_state,
+        measured_peak_tokens: peak_tokens,
+        measured_changes: trace.total_changes(),
+        cost,
+    }
+}
+
+/// Model parameters implied by a generator spec: the spec documents the
+/// WM size, the class-popularity skew, and the join-attribute domain,
+/// so the model should use them rather than uninformed defaults.
+pub fn params_from_spec(spec: &WorkloadSpec, program: &Program) -> CostParams {
+    let mut params = CostParams {
+        wm_size: spec.wm_size as f64,
+        class_weights: HashMap::new(),
+        default_join_selectivity: 1.0 / spec.join_values.max(1) as f64,
+    };
+    for i in 0..spec.classes {
+        if let Some(sym) = program.symbols.lookup(&format!("c{i}")) {
+            params
+                .class_weights
+                .insert(sym, 1.0 / ((i + 1) as f64).powf(spec.hot_exponent));
+        }
+    }
+    params
+}
+
+/// Runs a generated workload for `cycles` batches and cross-checks the
+/// model against the measured trace.
+///
+/// # Errors
+///
+/// Returns [`ops5::Error`] if generation or compilation fails.
+pub fn crosscheck_workload(
+    spec: WorkloadSpec,
+    cycles: u64,
+    seed: u64,
+) -> Result<CrosscheckReport, ops5::Error> {
+    let name = spec.name.clone();
+    let workload = GeneratedWorkload::generate(spec)?;
+    let params = params_from_spec(&workload.spec, &workload.program);
+    let (trace, stats, network) =
+        capture_trace_with(&workload, cycles, seed, CompileOptions::default())?;
+    Ok(compare(
+        &name,
+        &workload.program,
+        &network,
+        &params,
+        &trace,
+        stats.peak_tokens,
+    ))
+}
+
+/// Runs the real blocks-world program (`assets/blocks.ops` +
+/// `assets/blocks.wm`) to quiescence and cross-checks the model.
+///
+/// # Errors
+///
+/// Returns [`ops5::Error`] if the sources fail to parse or compile.
+pub fn crosscheck_blocks(src: &str, wm_src: &str) -> Result<CrosscheckReport, ops5::Error> {
+    let mut program = parse_program(src)?;
+    let initial = parse_wmes(wm_src, &mut program.symbols)?;
+    let wm_size = initial.len().max(1) as f64;
+    let mut matcher = ReteMatcher::compile(&program)?;
+    matcher.enable_tracing();
+    let network = std::sync::Arc::clone(matcher.network());
+    let mut interp = Interpreter::new(program, matcher);
+    interp.insert_all(initial);
+    interp.run(10_000)?;
+    let trace = interp.matcher_mut().take_trace();
+    let stats = interp.matcher_mut().stats();
+    let params = CostParams {
+        wm_size,
+        ..CostParams::default()
+    };
+    Ok(compare(
+        "blocks-world",
+        interp.program(),
+        &network,
+        &params,
+        &trace,
+        stats.peak_tokens,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Preset;
+
+    #[test]
+    fn workload_crosscheck_produces_consistent_report() {
+        let spec = Preset::EpSoar.spec_small();
+        let r = crosscheck_workload(spec, 30, 7).unwrap();
+        assert!(r.measured_changes > 0);
+        let predicted_total: f64 = r.shares.iter().map(|s| s.predicted).sum();
+        let measured_total: f64 = r.shares.iter().map(|s| s.measured).sum();
+        assert!((predicted_total - 1.0).abs() < 1e-6);
+        assert!((measured_total - 1.0).abs() < 1e-6);
+        assert!(r.predicted_states.ordered());
+        assert!(r.max_error_factor() >= 1.0);
+    }
+
+    #[test]
+    fn params_from_spec_reflect_hot_classes() {
+        let spec = Preset::EpSoar.spec_small();
+        let workload = GeneratedWorkload::generate(spec).unwrap();
+        let params = params_from_spec(&workload.spec, &workload.program);
+        let c0 = workload.program.symbols.lookup("c0").unwrap();
+        let last = workload
+            .program
+            .symbols
+            .lookup(&format!("c{}", workload.spec.classes - 1))
+            .unwrap();
+        assert!(params.class_weights[&c0] > params.class_weights[&last]);
+    }
+
+    #[test]
+    fn blocks_crosscheck_runs_when_assets_exist() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (Ok(src), Ok(wm)) = (
+            std::fs::read_to_string(format!("{root}/assets/blocks.ops")),
+            std::fs::read_to_string(format!("{root}/assets/blocks.wm")),
+        ) else {
+            return;
+        };
+        let r = crosscheck_blocks(&src, &wm).unwrap();
+        assert_eq!(r.shares.len(), 2);
+        assert!(r.measured_changes > 0);
+        // Acceptance: predicted activation shares within a factor of two
+        // of measured on the real program.
+        assert!(r.within_factor(2.0), "max error {}", r.max_error_factor());
+    }
+}

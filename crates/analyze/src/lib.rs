@@ -1,0 +1,40 @@
+//! # psm-analyze — static lints and cost model for OPS5 programs
+//!
+//! The paper's central argument is quantitative: production-system
+//! parallelism is capped by *measured program structure* — small affect
+//! sets (§4), skewed per-production costs, and the state/work trade-off
+//! across match algorithms (§3.2). This crate computes those quantities
+//! *statically*, before a program ever runs:
+//!
+//! * [`lint`] — semantic lints over the OPS5 AST. Nine checks
+//!   (`PSM001`–`PSM009`) catch unbound variables, contradictory tests,
+//!   unsatisfiable joins, dead negations, never-fireable productions,
+//!   duplicate/subsumed LHSs, and unused bindings. Each diagnostic has a
+//!   stable code, a severity, and both human-readable and JSON forms.
+//! * [`cost`] — a static cost model over the compiled [`rete::Network`]:
+//!   per-production affect-set estimates, node-sharing factors, beta
+//!   chain depth, and predicted state for the §3.2 algorithm spectrum
+//!   (TREAT ≤ Rete ≤ Oflazer — the model guarantees the ordering
+//!   structurally, because Rete's prefix combinations are a subset of
+//!   Oflazer's subset combinations).
+//! * [`crosscheck`] — runs the model's predictions against measured
+//!   traces (synthetic presets and the real blocks-world program) and
+//!   reports the prediction error.
+//!
+//! The `psmlint` binary fronts all three and gates CI: seeded-defect
+//! fixtures in `workloads::fixtures` must each trigger their expected
+//! lint code, and the shipped presets must produce zero error-severity
+//! diagnostics.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cost;
+pub mod crosscheck;
+pub mod lint;
+
+pub use cost::{analyze_cost, CostParams, CostReport, CostSkew, ProductionCost, StateEstimates};
+pub use crosscheck::{
+    crosscheck_blocks, crosscheck_workload, params_from_spec, CrosscheckReport, ShareComparison,
+};
+pub use lint::{is_clean, lint_program, Diagnostic, Severity, LINT_CODES};

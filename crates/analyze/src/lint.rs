@@ -1,0 +1,725 @@
+//! Semantic lints over the OPS5 AST.
+//!
+//! Each lint has a stable code (`PSM001`–`PSM009`), a severity, and a
+//! human-readable message. Severities are calibrated so that *hard*
+//! defects — rules that can never behave as written — are errors, while
+//! structural suspicions that legitimately arise in generated rule sets
+//! (duplicate left-hand sides, never-fireable negation patterns) are
+//! warnings: the CI gate fails on errors only.
+//!
+//! | code | severity | defect |
+//! |---|---|---|
+//! | PSM001 | error | RHS reads a variable no positive CE binds |
+//! | PSM002 | error | predicate operand variable has no earlier binding |
+//! | PSM003 | error | contradictory tests within a positive CE |
+//! | PSM004 | error | cross-CE join pins a variable to two constants |
+//! | PSM005 | warning | negated CE can never match (dead negation) |
+//! | PSM006 | warning | negation implied by an earlier CE (never fires) |
+//! | PSM007 | warning | duplicate left-hand side (shadowed production) |
+//! | PSM008 | info | LHS is a prefix of another production's LHS |
+//! | PSM009 | info | variable bound but never used |
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use ops5::{
+    ConditionElement, PredOp, Production, Program, SymbolId, TestArg, Value, ValueTest, VarId,
+};
+
+/// How bad a diagnostic is. The CI gate fails on [`Severity::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or informational.
+    Info,
+    /// Suspicious but possibly intended.
+    Warning,
+    /// The rule cannot behave as written.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code (`PSM001`…).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the production the finding is in.
+    pub production: String,
+    /// Condition element the finding points at (0-based, full-CE index).
+    pub ce: Option<usize>,
+    /// Human-readable description with symbol names resolved.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in compiler style:
+    /// `error[PSM003] production `x`, CE 2: …`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}] production `{}`",
+            self.severity.label(),
+            self.code,
+            self.production
+        );
+        if let Some(ce) = self.ce {
+            let _ = write!(out, ", CE {}", ce + 1);
+        }
+        let _ = write!(out, ": {}", self.message);
+        out
+    }
+
+    /// Renders the diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"code\":");
+        psm_obs::json::push_escaped(&mut out, self.code);
+        out.push_str(",\"severity\":");
+        psm_obs::json::push_escaped(&mut out, self.severity.label());
+        out.push_str(",\"production\":");
+        psm_obs::json::push_escaped(&mut out, &self.production);
+        out.push_str(",\"ce\":");
+        match self.ce {
+            Some(ce) => {
+                let _ = write!(out, "{ce}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"message\":");
+        psm_obs::json::push_escaped(&mut out, &self.message);
+        out.push('}');
+        out
+    }
+}
+
+/// `(code, severity, one-line description)` for every lint, in code
+/// order — the table rendered in README.md.
+pub const LINT_CODES: [(&str, Severity, &str); 9] = [
+    (
+        "PSM001",
+        Severity::Error,
+        "RHS reads a variable no positive CE binds",
+    ),
+    (
+        "PSM002",
+        Severity::Error,
+        "predicate operand variable has no earlier binding occurrence",
+    ),
+    (
+        "PSM003",
+        Severity::Error,
+        "contradictory tests within a positive condition element",
+    ),
+    (
+        "PSM004",
+        Severity::Error,
+        "cross-CE join pins a variable to two different constants",
+    ),
+    (
+        "PSM005",
+        Severity::Warning,
+        "negated condition element can never match (dead negation)",
+    ),
+    (
+        "PSM006",
+        Severity::Warning,
+        "negated CE implied by an earlier positive CE (production never fires)",
+    ),
+    (
+        "PSM007",
+        Severity::Warning,
+        "duplicate left-hand side (shadowed production)",
+    ),
+    (
+        "PSM008",
+        Severity::Info,
+        "LHS is a proper prefix of another production's LHS (subsumption)",
+    ),
+    ("PSM009", Severity::Info, "variable bound but never used"),
+];
+
+/// Runs every lint over `program`, returning findings ordered by
+/// production and then by code.
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for production in &program.productions {
+        lint_unbound_rhs(production, &mut diags);
+        lint_unbound_predicates(production, &mut diags);
+        lint_ce_satisfiability(program, production, &mut diags);
+        lint_join_satisfiability(program, production, &mut diags);
+        lint_implied_negation(production, &mut diags);
+        lint_unused_variables(production, &mut diags);
+    }
+    lint_duplicate_and_subsumed(program, &mut diags);
+    diags.sort_by(|a, b| (&a.production, a.code).cmp(&(&b.production, b.code)));
+    diags
+}
+
+/// True when `diags` contains no error-severity finding — the CI gate.
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+fn var_name(p: &Production, v: VarId) -> String {
+    p.variables
+        .get(v.index())
+        .cloned()
+        .unwrap_or_else(|| format!("{v}"))
+}
+
+/// PSM001: every variable an action reads must be bound by a positive CE
+/// or by an earlier `bind` on the same RHS.
+fn lint_unbound_rhs(p: &Production, diags: &mut Vec<Diagnostic>) {
+    let mut bound: HashSet<VarId> = (0..p.variables.len())
+        .map(|i| VarId(i as u16))
+        .filter(|v| p.binding_sites.get(v.index()).is_some_and(Option::is_some))
+        .collect();
+    for action in &p.actions {
+        let mut unbound = Vec::new();
+        action.for_each_read_var(&mut |v| {
+            if !bound.contains(&v) {
+                unbound.push(v);
+            }
+        });
+        for v in unbound {
+            diags.push(Diagnostic {
+                code: "PSM001",
+                severity: Severity::Error,
+                production: p.name.clone(),
+                ce: None,
+                message: format!(
+                    "action reads variable <{}>, which no positive condition element binds",
+                    var_name(p, v)
+                ),
+            });
+        }
+        if let ops5::Action::Bind { var, .. } = action {
+            bound.insert(*var);
+        }
+    }
+}
+
+/// PSM002: the static version of the check `rete::Network::compile`
+/// enforces — predicate operands must have an earlier binding occurrence.
+fn lint_unbound_predicates(p: &Production, diags: &mut Vec<Diagnostic>) {
+    let mut outer: HashSet<VarId> = HashSet::new();
+    for (ce_index, ce) in p.ces.iter().enumerate() {
+        let mut local: HashSet<VarId> = HashSet::new();
+        ce.for_each_primitive_test(&mut |_, test| match test {
+            ValueTest::Var(v) if !outer.contains(v) => {
+                local.insert(*v);
+            }
+            ValueTest::Pred(op, TestArg::Var(v)) if !outer.contains(v) && !local.contains(v) => {
+                diags.push(Diagnostic {
+                    code: "PSM002",
+                    severity: Severity::Error,
+                    production: p.name.clone(),
+                    ce: Some(ce_index),
+                    message: format!(
+                        "predicate `{op}` reads variable <{}> before any binding occurrence",
+                        var_name(p, *v)
+                    ),
+                });
+            }
+            _ => {}
+        });
+        if !ce.negated {
+            outer.extend(local);
+        }
+    }
+}
+
+/// Per-attribute constraint set accumulated from one CE's primitives.
+#[derive(Default)]
+struct AttrConstraints {
+    /// Equality-with-constant requirements.
+    eqs: Vec<Value>,
+    /// `<>` exclusions.
+    nes: Vec<Value>,
+    /// `<< … >>` membership sets (each must hold).
+    disjs: Vec<Vec<Value>>,
+    /// Integer lower bound (inclusive), from `>` / `>=`.
+    lo: Option<i64>,
+    /// Integer upper bound (inclusive), from `<` / `<=`.
+    hi: Option<i64>,
+}
+
+impl AttrConstraints {
+    fn add(&mut self, test: &ValueTest) {
+        match test {
+            ValueTest::Const(v) => self.eqs.push(*v),
+            ValueTest::Pred(op, TestArg::Const(v)) => match (op, v) {
+                (PredOp::Eq, _) => self.eqs.push(*v),
+                (PredOp::Ne, _) => self.nes.push(*v),
+                (PredOp::Gt, Value::Int(k)) => tighten_lo(&mut self.lo, k + 1),
+                (PredOp::Ge, Value::Int(k)) => tighten_lo(&mut self.lo, *k),
+                (PredOp::Lt, Value::Int(k)) => tighten_hi(&mut self.hi, k - 1),
+                (PredOp::Le, Value::Int(k)) => tighten_hi(&mut self.hi, *k),
+                _ => {}
+            },
+            ValueTest::Disj(values) => self.disjs.push(values.clone()),
+            // Variable tests constrain joins, not this attribute alone;
+            // `SameType` and variable predicates are not tracked.
+            _ => {}
+        }
+    }
+
+    /// True when no single value can satisfy every recorded constraint.
+    fn contradictory(&self) -> bool {
+        if let (Some(lo), Some(hi)) = (self.lo, self.hi) {
+            if lo > hi {
+                return true;
+            }
+        }
+        if let Some(&first) = self.eqs.first() {
+            if self.eqs.iter().any(|&v| v != first) {
+                return true;
+            }
+            return !self.admits(first);
+        }
+        // No equality pin: a non-empty disjunction intersection must
+        // contain at least one admissible value.
+        if let Some(first) = self.disjs.first() {
+            return !first.iter().any(|&v| self.admits(v));
+        }
+        false
+    }
+
+    /// True when the single value `v` satisfies the ne/disj/bound
+    /// constraints.
+    fn admits(&self, v: Value) -> bool {
+        if self.nes.contains(&v) {
+            return false;
+        }
+        if !self.disjs.iter().all(|set| set.contains(&v)) {
+            return false;
+        }
+        if let Value::Int(k) = v {
+            if self.lo.is_some_and(|lo| k < lo) || self.hi.is_some_and(|hi| k > hi) {
+                return false;
+            }
+        } else if self.lo.is_some() || self.hi.is_some() {
+            // Numeric bound on a symbolic constant never holds.
+            return false;
+        }
+        true
+    }
+
+    /// The constant this attribute is pinned to, when the constraints
+    /// admit exactly one known value.
+    fn pinned(&self) -> Option<Value> {
+        let mut eqs = self.eqs.clone();
+        eqs.dedup();
+        match eqs.as_slice() {
+            [v] if self.admits(*v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn tighten_lo(lo: &mut Option<i64>, candidate: i64) {
+    *lo = Some(lo.map_or(candidate, |v| v.max(candidate)));
+}
+
+fn tighten_hi(hi: &mut Option<i64>, candidate: i64) {
+    *hi = Some(hi.map_or(candidate, |v| v.min(candidate)));
+}
+
+fn ce_constraints(ce: &ConditionElement) -> HashMap<SymbolId, AttrConstraints> {
+    let mut by_attr: HashMap<SymbolId, AttrConstraints> = HashMap::new();
+    ce.for_each_primitive_test(&mut |attr, test| {
+        by_attr.entry(attr).or_default().add(test);
+    });
+    by_attr
+}
+
+/// PSM003 (positive CEs) / PSM005 (negated CEs): a CE whose per-attribute
+/// constraints exclude every value can never match. In a positive CE the
+/// production is dead; in a negated CE the negation is a no-op.
+fn lint_ce_satisfiability(program: &Program, p: &Production, diags: &mut Vec<Diagnostic>) {
+    for (ce_index, ce) in p.ces.iter().enumerate() {
+        let mut by_attr: Vec<_> = ce_constraints(ce).into_iter().collect();
+        by_attr.sort_by_key(|(attr, _)| attr.index());
+        for (attr, cons) in by_attr {
+            if cons.contradictory() {
+                let attr_name = program.symbols.name(attr);
+                let (code, severity, what) = if ce.negated {
+                    (
+                        "PSM005",
+                        Severity::Warning,
+                        "the negation can never match and is dead",
+                    )
+                } else {
+                    ("PSM003", Severity::Error, "the production can never fire")
+                };
+                diags.push(Diagnostic {
+                    code,
+                    severity,
+                    production: p.name.clone(),
+                    ce: Some(ce_index),
+                    message: format!("tests on ^{attr_name} are contradictory; {what}"),
+                });
+            }
+        }
+    }
+}
+
+/// PSM004: a variable pinned to one constant in one positive CE and to a
+/// different constant in another can never join.
+fn lint_join_satisfiability(program: &Program, p: &Production, diags: &mut Vec<Diagnostic>) {
+    // var -> (ce index, pinned value)
+    let mut pins: HashMap<VarId, (usize, Value)> = HashMap::new();
+    for (ce_index, ce) in p.ces.iter().enumerate() {
+        if ce.negated {
+            continue;
+        }
+        let constraints = ce_constraints(ce);
+        // A variable occurrence at an attribute pinned to a constant
+        // forces the variable to that constant.
+        ce.for_each_primitive_test(&mut |attr, test| {
+            let ValueTest::Var(v) = test else { return };
+            let Some(pin) = constraints.get(&attr).and_then(AttrConstraints::pinned) else {
+                return;
+            };
+            match pins.get(v) {
+                Some(&(first_ce, first_pin)) if first_pin != pin => {
+                    diags.push(Diagnostic {
+                        code: "PSM004",
+                        severity: Severity::Error,
+                        production: p.name.clone(),
+                        ce: Some(ce_index),
+                        message: format!(
+                            "variable <{}> is pinned to {} here but to {} in CE {}; the join can never succeed",
+                            var_name(p, *v),
+                            pin.display(&program.symbols),
+                            first_pin.display(&program.symbols),
+                            first_ce + 1,
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    pins.insert(*v, (ce_index, pin));
+                }
+            }
+        });
+    }
+}
+
+/// PSM006: a negated CE whose every test is guaranteed by an earlier
+/// positive CE of the same class. The WME matching that positive CE also
+/// matches the negated pattern, so the negation count is never zero and
+/// the production can never fire.
+fn lint_implied_negation(p: &Production, diags: &mut Vec<Diagnostic>) {
+    // Variables bound by positive CEs before each position.
+    let mut outer: HashSet<VarId> = HashSet::new();
+    let mut bound_before: Vec<HashSet<VarId>> = Vec::with_capacity(p.ces.len());
+    for ce in &p.ces {
+        bound_before.push(outer.clone());
+        if !ce.negated {
+            ce.for_each_primitive_test(&mut |_, t| {
+                if let ValueTest::Var(v) = t {
+                    outer.insert(*v);
+                }
+            });
+        }
+    }
+
+    for (neg_index, neg) in p.ces.iter().enumerate() {
+        if !neg.negated {
+            continue;
+        }
+        let implied_by = p.ces[..neg_index].iter().enumerate().find(|(_, pos)| {
+            !pos.negated && pos.class == neg.class && ce_implies(pos, neg, &bound_before[neg_index])
+        });
+        if let Some((pos_index, _)) = implied_by {
+            diags.push(Diagnostic {
+                code: "PSM006",
+                severity: Severity::Warning,
+                production: p.name.clone(),
+                ce: Some(neg_index),
+                message: format!(
+                    "negated CE is implied by positive CE {}; the production can never fire",
+                    pos_index + 1
+                ),
+            });
+        }
+    }
+}
+
+/// True when any WME matching `pos` (inside a token that bound the outer
+/// variables through it) also satisfies every test of `neg`.
+fn ce_implies(pos: &ConditionElement, neg: &ConditionElement, outer: &HashSet<VarId>) -> bool {
+    let mut pos_tests: Vec<(SymbolId, ValueTest)> = Vec::new();
+    pos.for_each_primitive_test(&mut |attr, t| pos_tests.push((attr, t.clone())));
+    let mut implied = true;
+    neg.for_each_primitive_test(&mut |attr, t| {
+        if !implied {
+            return;
+        }
+        implied = match t {
+            // A variable local to the negated CE only requires the
+            // attribute to be present, which any test on it guarantees.
+            ValueTest::Var(v) if !outer.contains(v) => pos_tests.iter().any(|(a, _)| *a == attr),
+            // Everything else must appear verbatim in the positive CE:
+            // same attribute, same test (same variable identity).
+            other => pos_tests.iter().any(|(a, pt)| *a == attr && pt == other),
+        };
+    });
+    implied
+}
+
+/// PSM009: a variable with a single LHS occurrence and no RHS read binds
+/// a value nothing consumes.
+fn lint_unused_variables(p: &Production, diags: &mut Vec<Diagnostic>) {
+    let mut lhs_counts = vec![0usize; p.variables.len()];
+    p.for_each_lhs_var(&mut |_, _, v| {
+        if let Some(c) = lhs_counts.get_mut(v.index()) {
+            *c += 1;
+        }
+    });
+    let mut rhs_read = vec![false; p.variables.len()];
+    p.for_each_rhs_read_var(&mut |v| {
+        if let Some(r) = rhs_read.get_mut(v.index()) {
+            *r = true;
+        }
+    });
+    for (i, &count) in lhs_counts.iter().enumerate() {
+        if count == 1 && !rhs_read[i] {
+            diags.push(Diagnostic {
+                code: "PSM009",
+                severity: Severity::Info,
+                production: p.name.clone(),
+                ce: None,
+                message: format!(
+                    "variable <{}> is bound but never used; a plain attribute test would do",
+                    p.variables[i]
+                ),
+            });
+        }
+    }
+}
+
+/// Canonical text of a production's LHS with variables α-renamed in
+/// first-occurrence order — equal strings mean structurally identical
+/// condition lists.
+fn canonical_ces(p: &Production) -> Vec<String> {
+    let mut rename: HashMap<VarId, usize> = HashMap::new();
+    p.ces
+        .iter()
+        .map(|ce| {
+            let mut out = format!("{}{}", if ce.negated { "-" } else { "+" }, ce.class.index());
+            for (attr, test) in &ce.tests {
+                let _ = write!(out, " ^{}", attr.index());
+                canonical_test(test, &mut rename, &mut out);
+            }
+            out
+        })
+        .collect()
+}
+
+fn canonical_test(test: &ValueTest, rename: &mut HashMap<VarId, usize>, out: &mut String) {
+    let var = |v: VarId, rename: &mut HashMap<VarId, usize>| {
+        let next = rename.len();
+        *rename.entry(v).or_insert(next)
+    };
+    match test {
+        ValueTest::Const(v) => {
+            let _ = write!(out, " {v:?}");
+        }
+        ValueTest::Var(v) => {
+            let _ = write!(out, " ?{}", var(*v, rename));
+        }
+        ValueTest::Pred(op, TestArg::Const(v)) => {
+            let _ = write!(out, " {op}{v:?}");
+        }
+        ValueTest::Pred(op, TestArg::Var(v)) => {
+            let _ = write!(out, " {op}?{}", var(*v, rename));
+        }
+        ValueTest::Disj(values) => {
+            let _ = write!(out, " <<{values:?}>>");
+        }
+        ValueTest::Conj(tests) => {
+            out.push_str(" {");
+            for t in tests {
+                canonical_test(t, rename, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// PSM007 + PSM008: duplicate LHS detection (same canonical CE list) and
+/// prefix subsumption (one production's canonical CE list is a proper
+/// prefix of another's, so the shorter fires whenever the longer's
+/// prefix matches). Hashing keeps both passes linear in program size.
+fn lint_duplicate_and_subsumed(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let canon: Vec<Vec<String>> = program.productions.iter().map(canonical_ces).collect();
+    let mut by_full: HashMap<String, usize> = HashMap::new();
+    for (i, ces) in canon.iter().enumerate() {
+        let key = ces.join("\n");
+        match by_full.get(&key) {
+            Some(&first) => diags.push(Diagnostic {
+                code: "PSM007",
+                severity: Severity::Warning,
+                production: program.productions[i].name.clone(),
+                ce: None,
+                message: format!(
+                    "left-hand side is identical to production `{}`; both always fire together",
+                    program.productions[first].name
+                ),
+            }),
+            None => {
+                by_full.insert(key, i);
+            }
+        }
+    }
+    for (i, ces) in canon.iter().enumerate() {
+        for prefix_len in 1..ces.len() {
+            let key = ces[..prefix_len].join("\n");
+            if let Some(&other) = by_full.get(&key) {
+                if other != i {
+                    diags.push(Diagnostic {
+                        code: "PSM008",
+                        severity: Severity::Info,
+                        production: program.productions[other].name.clone(),
+                        ce: None,
+                        message: format!(
+                            "LHS is a prefix of production `{}`'s; it subsumes (fires whenever) that production",
+                            program.productions[i].name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::parse_program;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let program = parse_program(src).unwrap();
+        lint_program(&program).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let diags = codes("(p ok (a ^x <v> ^k 1) (b ^x <v>) --> (make out ^x <v>))");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn contradiction_variants() {
+        // Empty integer interval.
+        assert!(codes("(p r (a ^x { > 5 < 3 }) --> (halt))").contains(&"PSM003"));
+        // Two different equality constants.
+        assert!(codes("(p r (a ^x { 1 2 }) --> (halt))").contains(&"PSM003"));
+        // Equality excluded by `<>`.
+        assert!(codes("(p r (a ^x { 1 <> 1 }) --> (halt))").contains(&"PSM003"));
+        // Equality outside the disjunction.
+        assert!(codes("(p r (a ^x { 3 << 1 2 >> }) --> (halt))").contains(&"PSM003"));
+        // Numeric bound on a symbol constant.
+        assert!(codes("(p r (a ^x { red > 3 }) --> (halt))").contains(&"PSM003"));
+        // Satisfiable combinations stay quiet.
+        assert!(codes("(p r (a ^x { > 2 < 9 <> 5 }) --> (halt))").is_empty());
+        assert!(codes("(p r (a ^x { << 1 2 >> <> 1 }) --> (halt))").is_empty());
+    }
+
+    #[test]
+    fn dead_negation_is_a_warning() {
+        let program = parse_program("(p r (a ^x 1) - (b ^y { > 5 < 3 }) --> (halt))").unwrap();
+        let diags = lint_program(&program);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "PSM005");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(is_clean(&diags));
+    }
+
+    #[test]
+    fn pinned_join_conflict() {
+        assert!(codes("(p r (a ^x { <v> 1 }) (b ^x { <v> 2 }) --> (halt))").contains(&"PSM004"));
+        // Same pin on both sides is fine.
+        assert!(codes("(p r (a ^x { <v> 1 }) (b ^x { <v> 1 }) --> (halt))").is_empty());
+    }
+
+    #[test]
+    fn implied_negation_found_with_and_without_tests() {
+        assert!(codes("(p r (a ^x <v>) - (a ^x <v>) --> (halt))").contains(&"PSM006"));
+        assert!(codes("(p r (a ^x 1 ^y <v>) - (a ^x 1) --> (halt))").contains(&"PSM006"));
+        // Different constant: not implied.
+        assert!(!codes("(p r (a ^x 1) - (a ^x 2) --> (halt))").contains(&"PSM006"));
+        // Negation before the positive CE: not implied.
+        assert!(!codes("(p r - (a ^x 1) (a ^x 1 ^y 2) --> (halt))").contains(&"PSM006"));
+    }
+
+    #[test]
+    fn duplicate_lhs_is_alpha_renaming_aware() {
+        let src = "(p one (a ^x <v>) (b ^y <v>) --> (halt))\n\
+                   (p two (a ^x <q>) (b ^y <q>) --> (remove 1))";
+        assert!(codes(src).contains(&"PSM007"));
+        // Different join structure: <q> vs a fresh variable.
+        let src2 = "(p one (a ^x <v>) (b ^y <v>) --> (halt))\n\
+                    (p two (a ^x <q>) (b ^y <r>) --> (halt))";
+        assert!(!codes(src2).contains(&"PSM007"));
+    }
+
+    #[test]
+    fn prefix_subsumption_reported_once() {
+        let src = "(p broad (a ^x <v>) --> (halt))\n\
+                   (p narrow (a ^x <v>) (b ^y <v>) --> (halt))";
+        let found = codes(src);
+        assert_eq!(found.iter().filter(|c| **c == "PSM008").count(), 1);
+    }
+
+    #[test]
+    fn unused_variable_is_info_only() {
+        let program = parse_program("(p r (a ^x <v> ^y <u>) (b ^x <v>) --> (halt))").unwrap();
+        let diags = lint_program(&program);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "PSM009");
+        assert!(diags[0].message.contains("<u>"));
+        assert!(is_clean(&diags));
+    }
+
+    #[test]
+    fn bind_makes_later_reads_legal() {
+        let diags = codes("(p r (a ^x <v>) --> (bind <t> (compute <v> + 1)) (make out ^x <t>))");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn render_and_json_shapes() {
+        let program = parse_program("(p r (a ^x { 1 2 }) --> (halt))").unwrap();
+        let diags = lint_program(&program);
+        let text = diags[0].render();
+        assert!(
+            text.starts_with("error[PSM003] production `r`, CE 1:"),
+            "{text}"
+        );
+        let json = diags[0].to_json();
+        assert!(json.contains("\"code\":\"PSM003\""));
+        assert!(json.contains("\"ce\":0"));
+    }
+
+    #[test]
+    fn lint_codes_table_is_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for (code, _, _) in LINT_CODES {
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(code.starts_with("PSM"));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Acceptance gates for the static analyzer, mirroring the CI checks:
+//!
+//! 1. every seeded-defect fixture triggers its expected lint code;
+//! 2. the shipped workload presets produce zero error-severity
+//!    diagnostics;
+//! 3. the cost model's predicted state respects the §3.2 ordering
+//!    (TREAT ≤ Rete ≤ Oflazer) on every preset;
+//! 4. predicted per-production activation shares are within a factor of
+//!    two of measured shares on the real blocks-world program.
+
+use psm_analyze::{analyze_cost, crosscheck_blocks, lint_program, Severity};
+use rete::Network;
+use workloads::{GeneratedWorkload, Preset};
+
+#[test]
+fn every_fixture_triggers_its_expected_code() {
+    for fx in workloads::fixtures::all() {
+        let program = (fx.build)();
+        let diagnostics = lint_program(&program);
+        assert!(
+            diagnostics.iter().any(|d| d.code == fx.expected_code),
+            "fixture {} expected {} but got {:?}",
+            fx.name,
+            fx.expected_code,
+            diagnostics.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn presets_are_free_of_error_severity_diagnostics() {
+    for preset in Preset::all() {
+        let w = GeneratedWorkload::generate(preset.spec_small()).expect("preset generates");
+        let errors: Vec<_> = lint_program(&w.program)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "preset {} has error diagnostics: {:?}",
+            preset.name(),
+            errors.iter().map(|d| d.render()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn state_spectrum_ordering_holds_on_every_preset() {
+    for preset in Preset::all() {
+        let w = GeneratedWorkload::generate(preset.spec_small()).expect("preset generates");
+        let network = Network::compile(&w.program).expect("preset compiles");
+        let params = psm_analyze::params_from_spec(&w.spec, &w.program);
+        let report = analyze_cost(&w.program, &network, &params);
+        assert!(
+            report.network_state.ordered(),
+            "preset {}: {:?}",
+            preset.name(),
+            report.network_state
+        );
+        for p in &report.productions {
+            assert!(
+                p.state.ordered(),
+                "{}/{}: {:?}",
+                preset.name(),
+                p.name,
+                p.state
+            );
+        }
+    }
+}
+
+#[test]
+fn blocks_world_shares_predicted_within_factor_two() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let src = std::fs::read_to_string(format!("{root}/assets/blocks.ops"))
+        .expect("assets/blocks.ops present");
+    let wm = std::fs::read_to_string(format!("{root}/assets/blocks.wm"))
+        .expect("assets/blocks.wm present");
+    let report = crosscheck_blocks(&src, &wm).expect("blocks runs");
+    assert!(
+        report.within_factor(2.0),
+        "max prediction error factor {} (shares {:?})",
+        report.max_error_factor(),
+        report
+            .shares
+            .iter()
+            .map(|s| (s.production.as_str(), s.predicted, s.measured))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,162 @@
+//! Static-analysis report: lints + cost-model cross-check per preset.
+//!
+//! For every workload preset this binary lints the generated program,
+//! runs the static cost model, cross-checks the model's per-production
+//! activation-share predictions against a measured trace, and checks
+//! the §3.2 state-spectrum ordering. The real blocks-world program gets
+//! the same treatment. Results are printed as tables and written to
+//! `results/lint_report.json`.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin psmlint_report
+//! ```
+
+use psm_analyze::{crosscheck_blocks, crosscheck_workload, lint_program, Severity};
+use psm_bench::{f, print_table, CliOptions};
+use psm_obs::json::{number, push_escaped};
+use workloads::{GeneratedWorkload, Preset};
+
+fn out_dir() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string())
+}
+
+struct Row {
+    name: String,
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+    treat: f64,
+    rete: f64,
+    oflazer: f64,
+    effective_parallelism: f64,
+    max_error_factor: f64,
+    ordered: bool,
+}
+
+fn main() {
+    let opts = CliOptions::parse(40);
+    let out = out_dir();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for preset in Preset::all() {
+        let spec = if opts.small {
+            preset.spec_small()
+        } else {
+            preset.spec()
+        };
+        let w = GeneratedWorkload::generate(spec.clone()).expect("preset generates");
+        let diagnostics = lint_program(&w.program);
+        let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count();
+        let check = crosscheck_workload(spec, opts.cycles, 7).expect("crosscheck runs");
+        rows.push(Row {
+            name: preset.name().to_string(),
+            errors: count(Severity::Error),
+            warnings: count(Severity::Warning),
+            infos: count(Severity::Info),
+            treat: check.predicted_states.treat,
+            rete: check.predicted_states.rete,
+            oflazer: check.predicted_states.oflazer,
+            effective_parallelism: check.cost.skew.effective_parallelism,
+            max_error_factor: check.max_error_factor(),
+            ordered: check.predicted_states.ordered(),
+        });
+    }
+
+    // Real program: blocks world.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    if let (Ok(src), Ok(wm)) = (
+        std::fs::read_to_string(format!("{root}/assets/blocks.ops")),
+        std::fs::read_to_string(format!("{root}/assets/blocks.wm")),
+    ) {
+        let program = ops5::parse_program(&src).expect("blocks parses");
+        let diagnostics = lint_program(&program);
+        let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count();
+        let check = crosscheck_blocks(&src, &wm).expect("blocks cross-checks");
+        rows.push(Row {
+            name: "blocks-world".to_string(),
+            errors: count(Severity::Error),
+            warnings: count(Severity::Warning),
+            infos: count(Severity::Info),
+            treat: check.predicted_states.treat,
+            rete: check.predicted_states.rete,
+            oflazer: check.predicted_states.oflazer,
+            effective_parallelism: check.cost.skew.effective_parallelism,
+            max_error_factor: check.max_error_factor(),
+            ordered: check.predicted_states.ordered(),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}/{}/{}", r.errors, r.warnings, r.infos),
+                f(r.treat, 0),
+                f(r.rete, 0),
+                f(r.oflazer, 0),
+                if r.ordered { "yes" } else { "NO" }.to_string(),
+                f(r.effective_parallelism, 1),
+                f(r.max_error_factor, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "static analysis: lints + cost-model cross-check",
+        &[
+            "system",
+            "err/warn/info",
+            "treat",
+            "rete",
+            "oflazer",
+            "ordered",
+            "eff. parallel",
+            "share err x",
+        ],
+        &table,
+    );
+
+    // JSON artifact for CI and EXPERIMENTS.md.
+    let mut json = String::from("{\"systems\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str("{\"name\":");
+        push_escaped(&mut json, &r.name);
+        json.push_str(&format!(
+            ",\"errors\":{},\"warnings\":{},\"infos\":{}",
+            r.errors, r.warnings, r.infos
+        ));
+        json.push_str(",\"state\":{\"treat\":");
+        json.push_str(&number(r.treat));
+        json.push_str(",\"rete\":");
+        json.push_str(&number(r.rete));
+        json.push_str(",\"oflazer\":");
+        json.push_str(&number(r.oflazer));
+        json.push_str(",\"ordered\":");
+        json.push_str(if r.ordered { "true" } else { "false" });
+        json.push_str("},\"effective_parallelism\":");
+        json.push_str(&number(r.effective_parallelism));
+        json.push_str(",\"max_share_error_factor\":");
+        json.push_str(&number(r.max_error_factor));
+        json.push('}');
+    }
+    json.push_str("]}");
+    let path = format!("{out}/lint_report.json");
+    if std::fs::create_dir_all(&out).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nwrote {path}");
+    }
+
+    let errors: usize = rows.iter().map(|r| r.errors).sum();
+    let disordered = rows.iter().filter(|r| !r.ordered).count();
+    if errors > 0 || disordered > 0 {
+        eprintln!("FAIL: {errors} error diagnostics, {disordered} ordering violations");
+        std::process::exit(1);
+    }
+}

@@ -128,6 +128,19 @@ impl ValueTest {
             _ => {}
         }
     }
+
+    /// Visits every primitive (non-conjunctive) test, flattening `{ … }`
+    /// forms so callers see only `Const`/`Var`/`Pred`/`Disj` nodes.
+    pub fn for_each_primitive(&self, f: &mut impl FnMut(&ValueTest)) {
+        match self {
+            ValueTest::Conj(ts) => {
+                for t in ts {
+                    t.for_each_primitive(f);
+                }
+            }
+            other => f(other),
+        }
+    }
 }
 
 /// One condition element of a left-hand side.
@@ -171,6 +184,15 @@ impl ConditionElement {
             .iter()
             .map(|(_, t)| t.test_count())
             .sum::<usize>()
+    }
+
+    /// Visits every primitive test with its attribute, flattening
+    /// conjunctive `{ … }` forms. A given attribute is visited once per
+    /// primitive constraint placed on it.
+    pub fn for_each_primitive_test(&self, f: &mut impl FnMut(SymbolId, &ValueTest)) {
+        for (attr, test) in &self.tests {
+            test.for_each_primitive(&mut |t| f(*attr, t));
+        }
     }
 }
 
@@ -254,6 +276,26 @@ pub enum RhsArg {
     Var(VarId),
     /// `(compute a op b op c …)` evaluated left-to-right at fire time.
     Compute(ComputeExpr),
+}
+
+impl RhsArg {
+    /// Visits every variable the operand reads.
+    pub fn for_each_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            RhsArg::Const(_) => {}
+            RhsArg::Var(v) => f(*v),
+            RhsArg::Compute(e) => {
+                if let ComputeOperand::Var(v) = e.first {
+                    f(v);
+                }
+                for (_, o) in &e.rest {
+                    if let ComputeOperand::Var(v) = o {
+                        f(*v);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// An OPS5 `compute` expression: integer arithmetic over constants and
@@ -342,6 +384,27 @@ pub enum Action {
     },
 }
 
+impl Action {
+    /// Visits every variable the action *reads*. A `bind` target is a
+    /// write, not a read, so only its value expression is visited.
+    pub fn for_each_read_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            Action::Make { attrs, .. } | Action::Modify { attrs, .. } => {
+                for (_, arg) in attrs {
+                    arg.for_each_var(f);
+                }
+            }
+            Action::Write { args } => {
+                for arg in args {
+                    arg.for_each_var(f);
+                }
+            }
+            Action::Bind { value, .. } => value.for_each_var(f),
+            Action::Remove { .. } | Action::Halt => {}
+        }
+    }
+}
+
 /// Where a variable receives its binding: the `ce`-th positive condition
 /// element, attribute `attr`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -394,9 +457,28 @@ impl Production {
         }
     }
 
+    /// Visits every variable read by the RHS, in action order. `bind`
+    /// targets count as writes, not reads (they may rebind an LHS
+    /// variable, or introduce a fresh one).
+    pub fn for_each_rhs_read_var(&self, f: &mut impl FnMut(VarId)) {
+        for action in &self.actions {
+            action.for_each_read_var(f);
+        }
+    }
+
+    /// Visits every variable occurrence in the LHS, flattening
+    /// conjunctive tests, as `(ce_index, attr, var)`.
+    pub fn for_each_lhs_var(&self, f: &mut impl FnMut(usize, SymbolId, VarId)) {
+        for (i, ce) in self.ces.iter().enumerate() {
+            ce.for_each_primitive_test(&mut |attr, t| {
+                t.for_each_var(&mut |v| f(i, attr, v));
+            });
+        }
+    }
+
     /// Maps a zero-based positive-CE index to the 1-based designator
     /// over all CEs used by the surface syntax.
-    fn designator(&self, positive_ce: usize) -> usize {
+    pub fn designator(&self, positive_ce: usize) -> usize {
         let mut seen = 0usize;
         for (i, ce) in self.ces.iter().enumerate() {
             if !ce.negated {
@@ -664,6 +746,62 @@ mod tests {
         let mut seen = Vec::new();
         t.for_each_var(&mut |v| seen.push(v));
         assert_eq!(seen, vec![VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn for_each_primitive_flattens_conj() {
+        let t = ValueTest::Conj(vec![
+            ValueTest::Pred(PredOp::Gt, TestArg::Const(Value::Int(0))),
+            ValueTest::Conj(vec![
+                ValueTest::Var(VarId(0)),
+                ValueTest::Const(Value::Int(3)),
+            ]),
+        ]);
+        let mut n = 0;
+        t.for_each_primitive(&mut |p| {
+            assert!(!matches!(p, ValueTest::Conj(_)));
+            n += 1;
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn rhs_and_action_var_visitation() {
+        let src = r#"
+            (p rw
+               (goal ^color <c> ^n <v>)
+               -->
+               (bind <t> (compute <v> + 1))
+               (make done ^of <c> ^next <t>)
+               (write <v>)
+               (remove 1))
+        "#;
+        let program = crate::parser::parse_program(src).unwrap();
+        let p = &program.productions[0];
+        let mut reads = Vec::new();
+        p.for_each_rhs_read_var(&mut |v| reads.push(p.variables[v.index()].clone()));
+        assert_eq!(reads, vec!["v", "c", "t", "v"]);
+
+        let mut lhs = Vec::new();
+        p.for_each_lhs_var(&mut |ce, _, v| lhs.push((ce, p.variables[v.index()].clone())));
+        assert_eq!(lhs, vec![(0, "c".to_string()), (0, "v".to_string())]);
+    }
+
+    #[test]
+    fn designator_skips_negated_ces() {
+        let src = r#"
+            (p d
+               (a ^x 1)
+               - (b ^x 2)
+               (c ^x 3)
+               -->
+               (remove 3))
+        "#;
+        let program = crate::parser::parse_program(src).unwrap();
+        let p = &program.productions[0];
+        assert_eq!(p.designator(0), 1);
+        assert_eq!(p.designator(1), 3);
+        assert_eq!(p.actions, vec![Action::Remove { positive_ce: 1 }]);
     }
 
     #[test]

@@ -137,6 +137,12 @@ pub struct Network {
     /// CEs. Exposed for the TREAT and Oflazer baselines, which reuse the
     /// compiler's test classification but not the beta topology.
     pub ce_tests: Vec<Vec<Vec<JoinTest>>>,
+    /// Per production: the two-input (Join/Negative) node compiled for
+    /// each CE, in full-CE order. Under sharing a node may appear in
+    /// several productions' chains.
+    pub prod_nodes: Vec<Vec<NodeId>>,
+    /// Per production: its terminal node.
+    pub prod_terminal: Vec<NodeId>,
     /// Structure statistics.
     pub stats: NetworkStats,
 }
@@ -165,6 +171,8 @@ impl Network {
             alpha_successors: Vec::new(),
             ce_alpha: Vec::new(),
             ce_tests: Vec::new(),
+            prod_nodes: Vec::new(),
+            prod_terminal: Vec::new(),
             join_dedup: HashMap::new(),
             out_mem: HashMap::new(),
             stats: NetworkStats::default(),
@@ -180,6 +188,8 @@ impl Network {
             alpha_successors: c.alpha_successors,
             ce_alpha: c.ce_alpha,
             ce_tests: c.ce_tests,
+            prod_nodes: c.prod_nodes,
+            prod_terminal: c.prod_terminal,
             stats: c.stats,
         })
     }
@@ -247,6 +257,65 @@ impl Network {
         out
     }
 
+    /// Iterates all beta nodes with their ids, in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeSpec)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId(i as u32), s))
+    }
+
+    /// Number of downstream nodes activated by `id`'s outputs.
+    pub fn fan_out(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].children.len()
+    }
+
+    /// Number of two-input nodes right-activated by `alpha`.
+    pub fn alpha_fan_out(&self, alpha: AlphaId) -> usize {
+        self.alpha_successors[alpha.index()].len()
+    }
+
+    /// The two-input node compiled for each of `production`'s CEs, in
+    /// full-CE order. Under sharing, prefix nodes may be shared with
+    /// other productions.
+    pub fn production_chain(&self, production: ProductionId) -> &[NodeId] {
+        &self.prod_nodes[production.index()]
+    }
+
+    /// The terminal node of `production`.
+    pub fn terminal(&self, production: ProductionId) -> NodeId {
+        self.prod_terminal[production.index()]
+    }
+
+    /// Beta-chain depth of `production`: the number of two-input nodes a
+    /// token traverses from the dummy top node to the terminal (equal to
+    /// the production's CE count).
+    pub fn beta_chain_depth(&self, production: ProductionId) -> usize {
+        self.prod_nodes[production.index()].len()
+    }
+
+    /// For each beta node, the number of productions whose chain (or
+    /// terminal) includes it — the sharing degree. `1` everywhere when
+    /// compiled with `share: false`; memories are attributed through the
+    /// joins feeding them.
+    pub fn node_use_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for (p, chain) in self.prod_nodes.iter().enumerate() {
+            for id in chain {
+                counts[id.index()] += 1;
+                // A join's output memory serves exactly the productions
+                // that use the join.
+                for child in &self.nodes[id.index()].children {
+                    if self.nodes[child.index()].kind == NodeKind::BetaMemory {
+                        counts[child.index()] += 1;
+                    }
+                }
+            }
+            counts[self.prod_terminal[p].index()] += 1;
+        }
+        counts
+    }
+
     /// Productions affected by a WME matching `alpha` — productions with
     /// at least one subscribed CE (the paper's "affected production"
     /// definition, §4).
@@ -277,6 +346,8 @@ struct Compiler {
     alpha_successors: Vec<Vec<NodeId>>,
     ce_alpha: Vec<Vec<AlphaId>>,
     ce_tests: Vec<Vec<Vec<JoinTest>>>,
+    prod_nodes: Vec<Vec<NodeId>>,
+    prod_terminal: Vec<NodeId>,
     /// `(kind, left, alpha, tests)` → node, for two-input node sharing.
     join_dedup: HashMap<(NodeKind, Option<NodeId>, AlphaId, Vec<JoinTest>), NodeId>,
     /// Join node → its lazily created output beta memory.
@@ -294,6 +365,7 @@ impl Compiler {
         let mut cur_left: Option<NodeId> = None;
         let mut prod_alphas = Vec::with_capacity(production.ces.len());
         let mut prod_tests = Vec::with_capacity(production.ces.len());
+        let mut prod_chain = Vec::with_capacity(production.ces.len());
 
         for (ce_index, ce) in production.ces.iter().enumerate() {
             let classified = classify_ce(ce, &outer).map_err(|msg| Error::Semantic {
@@ -332,6 +404,7 @@ impl Compiler {
                 classified.join_tests,
                 production.id,
             );
+            prod_chain.push(two_input);
 
             let is_last = ce_index + 1 == production.ces.len();
             if ce.negated {
@@ -355,11 +428,13 @@ impl Compiler {
                 });
                 self.stats.terminals += 1;
                 self.nodes[two_input.index()].children.push(terminal);
+                self.prod_terminal.push(terminal);
             }
         }
 
         self.ce_alpha.push(prod_alphas);
         self.ce_tests.push(prod_tests);
+        self.prod_nodes.push(prod_chain);
         Ok(())
     }
 
@@ -672,6 +747,58 @@ mod tests {
             .nodes
             .iter()
             .any(|s| s.kind == NodeKind::Join && s.left == Some(neg)));
+    }
+
+    #[test]
+    fn production_chain_and_terminal_introspection() {
+        let n = net(r#"
+            (p a (g ^t x) (h ^u <v>) (i ^w <v>) --> (remove 1))
+            (p b (g ^t x) (h ^u <v>) (j ^w <v>) --> (remove 1))
+        "#);
+        let a = ProductionId(0);
+        let b = ProductionId(1);
+        assert_eq!(n.beta_chain_depth(a), 3);
+        assert_eq!(n.beta_chain_depth(b), 3);
+        // Shared two-CE prefix: same first two chain nodes.
+        assert_eq!(n.production_chain(a)[..2], n.production_chain(b)[..2]);
+        assert_ne!(n.production_chain(a)[2], n.production_chain(b)[2]);
+        // Terminals are distinct and of the right kind.
+        assert_ne!(n.terminal(a), n.terminal(b));
+        assert_eq!(n.node(n.terminal(a)).kind, NodeKind::Terminal);
+        assert_eq!(
+            n.node(n.terminal(a)).production,
+            Some(a),
+            "terminal carries its production"
+        );
+        // Shared prefix nodes are used by both productions.
+        let counts = n.node_use_counts();
+        assert_eq!(counts[n.production_chain(a)[0].index()], 2);
+        assert_eq!(counts[n.production_chain(a)[2].index()], 1);
+        // iter covers every node exactly once.
+        assert_eq!(n.iter().count(), n.nodes.len());
+        // The last join of each production fans out to its terminal only.
+        assert_eq!(n.fan_out(n.production_chain(a)[2]), 1);
+        // Each alpha feeding the shared prefix right-activates one node.
+        assert!(n.alpha_fan_out(n.ce_alpha[0][0]) >= 1);
+    }
+
+    #[test]
+    fn unshared_chains_are_disjoint() {
+        let program = parse_program(
+            r#"
+            (p a (g ^t x) (h ^u <v>) --> (remove 1))
+            (p b (g ^t x) (h ^u <v>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let n = Network::compile_with(&program, CompileOptions { share: false }).unwrap();
+        let counts = n.node_use_counts();
+        assert!(counts.iter().all(|&c| c == 1), "no sharing: {counts:?}");
+        let a: std::collections::HashSet<_> = n.production_chain(ProductionId(0)).iter().collect();
+        assert!(n
+            .production_chain(ProductionId(1))
+            .iter()
+            .all(|x| !a.contains(x)));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Seeded-defect fixture programs for the static analyzer.
+//!
+//! Each fixture is a tiny program carrying exactly one deliberate defect
+//! and the `psm-analyze` lint code expected to flag it. The CI gate runs
+//! `psmlint --fixtures` over this set and fails unless every fixture
+//! triggers its expected code — a regression net for the analyzer itself.
+//!
+//! Most fixtures are OPS5 source text. The unbound-RHS-variable defect
+//! (PSM001) cannot be written as text — the parser rejects it, exactly as
+//! real OPS5 did — so that fixture constructs the AST directly, the route
+//! a buggy rule *generator* would take.
+
+use ops5::{Action, ConditionElement, Production, ProductionId, Program, RhsArg, ValueTest, VarId};
+
+/// A defect-seeded program and the lint code expected to fire on it.
+pub struct DefectFixture {
+    /// Fixture name (stable, used in reports).
+    pub name: &'static str,
+    /// The `psm-analyze` lint code that must be reported.
+    pub expected_code: &'static str,
+    /// Builds the program (parsing text or constructing the AST).
+    pub build: fn() -> Program,
+}
+
+impl std::fmt::Debug for DefectFixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefectFixture")
+            .field("name", &self.name)
+            .field("expected_code", &self.expected_code)
+            .finish()
+    }
+}
+
+fn parse(src: &str) -> Program {
+    ops5::parse_program(src).expect("fixture source parses")
+}
+
+/// PSM001: an RHS `make` reads a variable no positive CE binds. The
+/// parser rejects this in text, so the fixture builds the AST directly —
+/// the defect a rule-generating program could introduce.
+fn unbound_rhs_var() -> Program {
+    let mut program = Program::new();
+    let class_a = program.symbols.intern("a");
+    let class_out = program.symbols.intern("out");
+    let attr_x = program.symbols.intern("x");
+    program.productions.push(Production {
+        name: "unbound-rhs".into(),
+        id: ProductionId(0),
+        ces: vec![ConditionElement {
+            class: class_a,
+            tests: vec![(attr_x, ValueTest::Const(ops5::Value::Int(1)))],
+            negated: false,
+        }],
+        actions: vec![Action::Make {
+            class: class_out,
+            attrs: vec![(attr_x, RhsArg::Var(VarId(0)))],
+        }],
+        variables: vec!["v".into()],
+        binding_sites: vec![None],
+        specificity: 2,
+    });
+    program
+}
+
+fn unbound_pred_var() -> Program {
+    // `> <v>` before any binding occurrence of <v>: parses, but the
+    // network compiler rejects it. The lint catches it without compiling.
+    parse("(p unbound-pred (a ^x > <v>) --> (halt))")
+}
+
+fn contradictory_ce() -> Program {
+    // x > 5 and x < 3 can never hold together.
+    parse("(p contradiction (a ^x { > 5 < 3 }) --> (halt))")
+}
+
+fn unsatisfiable_join() -> Program {
+    // <v> is pinned to 1 in the first CE and to 2 in the second.
+    parse("(p bad-join (a ^x { <v> 1 }) (b ^x { <v> 2 }) --> (halt))")
+}
+
+fn dead_negation() -> Program {
+    // The negated CE can never match, so the negation is a no-op.
+    parse("(p dead-neg (a ^x <v>) - (b ^y { > 5 < 3 }) --> (halt))")
+}
+
+fn never_fireable() -> Program {
+    // The negated pattern is implied by the first CE: whenever the
+    // positive CE matches some WME, that same WME satisfies the negated
+    // CE, so the negation count is never zero.
+    parse("(p never-fires (a ^x <v>) - (a ^x <v>) --> (halt))")
+}
+
+fn duplicate_lhs() -> Program {
+    parse(
+        "(p first (a ^x <v>) (b ^y <v>) --> (halt))\n\
+         (p second (a ^x <q>) (b ^y <q>) --> (remove 1))",
+    )
+}
+
+fn subsumed_production() -> Program {
+    // `broad`'s LHS is a prefix of `narrow`'s: broad fires whenever
+    // narrow's prefix matches.
+    parse(
+        "(p broad (a ^x <v>) (b ^y <v>) --> (halt))\n\
+         (p narrow (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))",
+    )
+}
+
+fn unused_variable() -> Program {
+    // <u> is bound at a.y and never read again.
+    parse("(p unused (a ^x <v> ^y <u>) (b ^x <v>) --> (halt))")
+}
+
+/// All seeded-defect fixtures, one per lint code.
+pub fn all() -> Vec<DefectFixture> {
+    vec![
+        DefectFixture {
+            name: "unbound-rhs-var",
+            expected_code: "PSM001",
+            build: unbound_rhs_var,
+        },
+        DefectFixture {
+            name: "unbound-pred-var",
+            expected_code: "PSM002",
+            build: unbound_pred_var,
+        },
+        DefectFixture {
+            name: "contradictory-ce",
+            expected_code: "PSM003",
+            build: contradictory_ce,
+        },
+        DefectFixture {
+            name: "unsatisfiable-join",
+            expected_code: "PSM004",
+            build: unsatisfiable_join,
+        },
+        DefectFixture {
+            name: "dead-negation",
+            expected_code: "PSM005",
+            build: dead_negation,
+        },
+        DefectFixture {
+            name: "never-fireable",
+            expected_code: "PSM006",
+            build: never_fireable,
+        },
+        DefectFixture {
+            name: "duplicate-lhs",
+            expected_code: "PSM007",
+            build: duplicate_lhs,
+        },
+        DefectFixture {
+            name: "subsumed-production",
+            expected_code: "PSM008",
+            build: subsumed_production,
+        },
+        DefectFixture {
+            name: "unused-variable",
+            expected_code: "PSM009",
+            build: unused_variable,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_cover_distinct_codes() {
+        let fixtures = all();
+        let mut codes: Vec<_> = fixtures.iter().map(|f| f.expected_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), fixtures.len(), "one fixture per code");
+        for fx in &fixtures {
+            let program = (fx.build)();
+            assert!(!program.productions.is_empty(), "{} is empty", fx.name);
+        }
+    }
+
+    #[test]
+    fn text_fixtures_pass_the_parser_but_psm002_fails_to_compile() {
+        // PSM002's defect is exactly what Network::compile rejects; the
+        // fixture documents that the lint sees it *before* compilation.
+        let program = (all()[1].build)();
+        assert!(rete::Network::compile(&program).is_err());
+    }
+
+    #[test]
+    fn unbound_rhs_fixture_is_unwritable_as_text() {
+        let err = ops5::parse_program("(p r (a ^x 1) --> (make out ^x <v>))");
+        assert!(err.is_err(), "parser must reject unbound RHS vars");
+    }
+}

@@ -19,17 +19,21 @@
 //! * [`programs`] — small *real* OPS5 programs (monkey-and-bananas,
 //!   transitive closure, rule-based sorting) that run end-to-end through
 //!   the interpreter, used by the examples and integration tests.
+//! * [`fixtures`] — deliberately defective programs, one per
+//!   `psm-analyze` lint code, gating the analyzer in CI.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod driver;
+pub mod fixtures;
 pub mod generator;
 pub mod presets;
 pub mod programs;
 pub mod report;
 
 pub use driver::{capture_trace, capture_trace_with, DriverReport, WorkloadDriver};
+pub use fixtures::DefectFixture;
 pub use generator::{GeneratedWorkload, WorkloadSpec};
 pub use presets::{preset, preset_names, Preset};
 pub use report::Characteristics;

@@ -16,12 +16,15 @@
 //!   OPS5 programs.
 //! * [`obs`] — zero-dependency observability: metrics registry, span
 //!   timers, event ring, Chrome-trace export, and the workspace PRNG.
+//! * [`analyze`] — static lints (`psmlint`) and the §3.2/§4 cost model
+//!   for OPS5 programs and compiled Rete networks.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-
 //! measured record of every table and figure.
 
 pub use baselines;
 pub use ops5;
+pub use psm_analyze as analyze;
 pub use psm_core as core;
 pub use psm_obs as obs;
 pub use psm_sim as sim;

@@ -1,0 +1,150 @@
+//! Randomized conjugate-pair property: matchers stay equivalent on
+//! programs where the *same class* feeds both negated and positive CEs.
+//!
+//! The hardest Rete consistency bug in this codebase (see
+//! `shared_class_negative_and_join_stay_consistent` in `rete::runtime`)
+//! involved one WME right-activating a negative node and the join
+//! directly downstream of it in the same change. That regression test
+//! pins one hand-built instance; this property test generates many
+//! random programs of the same conjugate shape — every production has a
+//! negated CE whose class also appears in a positive CE, joined on a
+//! shared variable — and checks Rete, TREAT, and the naive matcher
+//! produce identical conflict-set deltas on random add/remove streams.
+
+use psm::baselines::{NaiveMatcher, TreatMatcher};
+use psm::obs::Rng64;
+use psm::ops5::{parse_program, Change, Matcher, Program, Value, Wme, WorkingMemory};
+use psm::rete::ReteMatcher;
+
+const CLASSES: [&str; 2] = ["s", "t"];
+const VALUE_DOMAIN: i64 = 3;
+
+/// Generates a program of conjugate-shaped productions: each has a
+/// negated CE over a class that some positive CE also tests, all joined
+/// on the production's single variable so one WME can flip a negation
+/// and a join in the same change.
+fn gen_program(rng: &mut Rng64, productions: usize) -> String {
+    let mut src = String::new();
+    for i in 0..productions {
+        let cls = *rng.choose(&CLASSES);
+        src.push_str(&format!("(p gen-{i} ({cls} ^a0 <v>)"));
+        // The conjugate pair: a negation on the same class (different
+        // attribute), then a positive CE on that class again.
+        src.push_str(&format!(" - ({cls} ^a1 <v>)"));
+        src.push_str(&format!(" ({cls} ^a2 <v>)"));
+        // Optional extra CE to vary chain depth and cross-class joins.
+        if rng.gen_bool(0.5) {
+            let other = *rng.choose(&CLASSES);
+            if rng.gen_bool(0.3) {
+                src.push_str(&format!(" - ({other} ^a0 <v>)"));
+            } else {
+                src.push_str(&format!(" ({other} ^a1 <v>)"));
+            }
+        }
+        src.push_str(" --> (halt))\n");
+    }
+    src
+}
+
+/// A random WME over the shared vocabulary: one class, a random subset
+/// of the three attributes, values from a tiny domain so negations
+/// block and unblock constantly.
+fn gen_wme(rng: &mut Rng64, program: &mut Program) -> Wme {
+    let cls_name = *rng.choose(&CLASSES);
+    let cls = program.symbols.intern(cls_name);
+    let mut attrs = Vec::new();
+    for attr in ["a0", "a1", "a2"] {
+        if rng.gen_bool(0.6) {
+            let a = program.symbols.intern(attr);
+            attrs.push((a, Value::Int(rng.gen_range(0..VALUE_DOMAIN))));
+        }
+    }
+    Wme::new(cls, attrs)
+}
+
+/// Drives Rete, TREAT, and naive through the same random change stream,
+/// asserting identical canonicalized deltas on every batch. Returns the
+/// Rete matcher after the working memory has been fully drained.
+fn run_property(seed: u64, batches: usize) {
+    let mut rng = Rng64::new(seed);
+    let src = gen_program(&mut rng, 6);
+    let mut program = parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+
+    let mut rete = ReteMatcher::compile(&program).expect("rete compiles");
+    let mut treat = TreatMatcher::compile(&program).expect("treat compiles");
+    let mut naive = NaiveMatcher::new(&program);
+
+    let mut wm = WorkingMemory::new();
+    let mut live: Vec<psm::ops5::WmeId> = Vec::new();
+
+    let check = |wm: &WorkingMemory,
+                 batch: &[Change],
+                 rete: &mut ReteMatcher,
+                 treat: &mut TreatMatcher,
+                 naive: &mut NaiveMatcher,
+                 step: usize| {
+        let mut dr = rete.process(wm, batch);
+        let mut dt = treat.process(wm, batch);
+        let mut dn = naive.process(wm, batch);
+        dr.canonicalize();
+        dt.canonicalize();
+        dn.canonicalize();
+        assert_eq!(dr, dt, "seed {seed} batch {step}: rete vs treat\n{src}");
+        assert_eq!(dr, dn, "seed {seed} batch {step}: rete vs naive\n{src}");
+    };
+
+    for step in 0..batches {
+        let mut batch = Vec::new();
+        // Snapshot so a WME added in this batch is not also removed by it.
+        let removable = live.clone();
+        let mut removed_this_batch = Vec::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let cap_reached = live.len() >= 40;
+            if !removable.is_empty() && (cap_reached || rng.gen_bool(0.4)) {
+                let id = *rng.choose(&removable);
+                if removed_this_batch.contains(&id) {
+                    continue;
+                }
+                removed_this_batch.push(id);
+                live.retain(|&l| l != id);
+                batch.push(Change::Remove(id));
+            } else {
+                let (id, _) = wm.add(gen_wme(&mut rng, &mut program));
+                live.push(id);
+                batch.push(Change::Add(id));
+            }
+        }
+        check(&wm, &batch, &mut rete, &mut treat, &mut naive, step);
+        for &c in &batch {
+            if let Change::Remove(id) = c {
+                wm.remove(id);
+            }
+        }
+    }
+
+    // Drain: retracting everything must empty all matcher state the
+    // same way, leaving Rete with zero resident tokens.
+    while !live.is_empty() {
+        let n = live.len().min(3);
+        let batch: Vec<Change> = live.drain(..n).map(Change::Remove).collect();
+        check(&wm, &batch, &mut rete, &mut treat, &mut naive, usize::MAX);
+        for &c in &batch {
+            if let Change::Remove(id) = c {
+                wm.remove(id);
+            }
+        }
+    }
+    assert_eq!(rete.resident_tokens(), 0, "seed {seed}: tokens leaked");
+}
+
+#[test]
+fn conjugate_pair_programs_keep_matchers_equivalent() {
+    for seed in 0..8 {
+        run_property(seed, 60);
+    }
+}
+
+#[test]
+fn conjugate_pair_long_run_single_seed() {
+    run_property(101, 250);
+}
