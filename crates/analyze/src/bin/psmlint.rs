@@ -18,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use ops5::{parse_program, Program};
+use ops5::{parse_program_lenient, Program};
 use psm_analyze::{analyze_cost, lint_program, CostParams, Diagnostic, Severity};
 use psm_obs::json::{number, push_escaped};
 use rete::Network;
@@ -180,7 +180,10 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match parse_program(&src) {
+        // Lenient parse: `literalize` violations become PSM010
+        // diagnostics (all of them) instead of a parse abort at the
+        // first one.
+        match parse_program_lenient(&src) {
             Ok(program) => units.push(analyze(path, &program, opts.cost)),
             Err(e) => {
                 eprintln!("psmlint: {path}: parse error: {e}");

@@ -1,6 +1,6 @@
 //! Semantic lints over the OPS5 AST.
 //!
-//! Each lint has a stable code (`PSM001`–`PSM009`), a severity, and a
+//! Each lint has a stable code (`PSM001`–`PSM010`), a severity, and a
 //! human-readable message. Severities are calibrated so that *hard*
 //! defects — rules that can never behave as written — are errors, while
 //! structural suspicions that legitimately arise in generated rule sets
@@ -18,12 +18,18 @@
 //! | PSM007 | warning | duplicate left-hand side (shadowed production) |
 //! | PSM008 | info | LHS is a prefix of another production's LHS |
 //! | PSM009 | info | variable bound but never used |
+//! | PSM010 | error | attribute not declared by the class's `literalize` |
+//!
+//! PSM010 mirrors the strict parser's `literalize` validation so that
+//! `psmlint` (which parses leniently) can report *all* undeclared
+//! attributes as ordinary diagnostics instead of stopping at the first.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use ops5::{
-    ConditionElement, PredOp, Production, Program, SymbolId, TestArg, Value, ValueTest, VarId,
+    Action, ConditionElement, PredOp, Production, Program, SymbolId, TestArg, Value, ValueTest,
+    VarId,
 };
 
 /// How bad a diagnostic is. The CI gate fails on [`Severity::Error`].
@@ -104,7 +110,7 @@ impl Diagnostic {
 
 /// `(code, severity, one-line description)` for every lint, in code
 /// order — the table rendered in README.md.
-pub const LINT_CODES: [(&str, Severity, &str); 9] = [
+pub const LINT_CODES: [(&str, Severity, &str); 10] = [
     (
         "PSM001",
         Severity::Error,
@@ -146,6 +152,11 @@ pub const LINT_CODES: [(&str, Severity, &str); 9] = [
         "LHS is a proper prefix of another production's LHS (subsumption)",
     ),
     ("PSM009", Severity::Info, "variable bound but never used"),
+    (
+        "PSM010",
+        Severity::Error,
+        "attribute not declared by the class's `literalize`",
+    ),
 ];
 
 /// Runs every lint over `program`, returning findings ordered by
@@ -159,6 +170,7 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
         lint_join_satisfiability(program, production, &mut diags);
         lint_implied_negation(production, &mut diags);
         lint_unused_variables(production, &mut diags);
+        lint_literalizations(program, production, &mut diags);
     }
     lint_duplicate_and_subsumed(program, &mut diags);
     diags.sort_by(|a, b| (&a.production, a.code).cmp(&(&b.production, b.code)));
@@ -605,6 +617,60 @@ fn lint_duplicate_and_subsumed(program: &Program, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// PSM010: every attribute a production touches — CE tests, `make`
+/// attributes, `modify` attributes — must be declared by the class's
+/// `literalize` form. Only classes *with* a literalization are checked
+/// (a program with no `literalize` forms opts out, matching OPS5 and
+/// the strict parser). The strict parser rejects the first violation;
+/// this lint reports them all, via the lenient parse path.
+fn lint_literalizations(program: &Program, p: &Production, diags: &mut Vec<Diagnostic>) {
+    if program.literalizations.is_empty() {
+        return;
+    }
+    let mut push = |ce: Option<usize>, class: SymbolId, attr: SymbolId| {
+        if program
+            .literalizations
+            .get(&class)
+            .is_some_and(|decl| !decl.contains(&attr))
+        {
+            diags.push(Diagnostic {
+                code: "PSM010",
+                severity: Severity::Error,
+                production: p.name.clone(),
+                ce,
+                message: format!(
+                    "attribute `^{}` is not declared by `(literalize {} …)`",
+                    program.symbols.name(attr),
+                    program.symbols.name(class)
+                ),
+            });
+        }
+    };
+    for (ce_index, ce) in p.ces.iter().enumerate() {
+        for (attr, _) in &ce.tests {
+            push(Some(ce_index), ce.class, *attr);
+        }
+    }
+    let positive: Vec<&ConditionElement> = p.ces.iter().filter(|ce| !ce.negated).collect();
+    for action in &p.actions {
+        match action {
+            Action::Make { class, attrs } => {
+                for (attr, _) in attrs {
+                    push(None, *class, *attr);
+                }
+            }
+            Action::Modify { positive_ce, attrs } => {
+                if let Some(ce) = positive.get(*positive_ce) {
+                    for (attr, _) in attrs {
+                        push(None, ce.class, *attr);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +778,29 @@ mod tests {
         let json = diags[0].to_json();
         assert!(json.contains("\"code\":\"PSM003\""));
         assert!(json.contains("\"ce\":0"));
+    }
+
+    #[test]
+    fn undeclared_literalize_attribute_is_an_error() {
+        use ops5::parse_program_lenient;
+        // `^y` in the CE and `^z` in the make are undeclared; the
+        // strict parser would stop at the first, the lenient path
+        // surfaces both as PSM010.
+        let src = "(literalize a x) (p r (a ^x 1 ^y 2) --> (make a ^z 3))";
+        let program = parse_program_lenient(src).unwrap();
+        let diags = lint_program(&program);
+        let psm010: Vec<_> = diags.iter().filter(|d| d.code == "PSM010").collect();
+        assert_eq!(psm010.len(), 2, "{diags:?}");
+        assert_eq!(psm010[0].severity, Severity::Error);
+        assert!(!is_clean(&diags));
+        // Classes without a literalization are not checked.
+        let program = parse_program_lenient("(literalize a x) (p r (b ^q 1) --> (halt))").unwrap();
+        assert!(lint_program(&program).is_empty());
+        // Declared attributes (including via modify) stay clean, and
+        // agree with the strict parser accepting the program.
+        let program =
+            parse_program("(literalize a x y) (p r (a ^x 1) --> (modify 1 ^y 2))").unwrap();
+        assert!(lint_program(&program).is_empty());
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! turns them on, keeping the default hot path free of clock reads.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use psm_obs::Obs;
@@ -95,6 +96,53 @@ impl WorkerStats {
         self.lock_wait_ns += other.lock_wait_ns;
         self.exec_ns += other.exec_ns;
     }
+}
+
+/// What a [`FaultInjector`] tells a worker to do with the task it is
+/// about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultAction {
+    /// Execute normally.
+    #[default]
+    None,
+    /// Silently discard the task (its subtree of activations is lost —
+    /// the state corruption a lost message on the paper's shared bus
+    /// would cause).
+    DropTask,
+    /// Panic before touching any node state (a worker dying cleanly).
+    PanicWorker,
+    /// Acquire the node lock, then panic while holding it (poisons the
+    /// mutex; exercises the poison-recovering lock path).
+    PoisonLock,
+}
+
+/// Deterministic fault-injection hook for the work-stealing loop.
+///
+/// Consulted once per task, keyed by the engine's monotonically
+/// increasing phase sequence number and a per-phase global task sequence
+/// number. Because the *set* of tasks a phase executes is
+/// schedule-independent (the consistency protocol makes task outcomes
+/// commutative), a plan keyed on `(phase, seq)` fires deterministically
+/// across runs even though *which worker* draws the poisoned task races.
+///
+/// Implemented by `psm_fault::FaultPlan`; the engine only knows the
+/// trait so the dependency points outward.
+pub trait FaultInjector: Send + Sync {
+    /// Decides the fate of task number `seq` of phase `phase`, about to
+    /// run on worker `worker`.
+    fn on_task(&self, phase: u64, seq: u64, worker: usize) -> FaultAction;
+}
+
+/// Locks `m`, recovering (rather than panicking) if a previous holder
+/// panicked: the protected node state is only mutated *after* all
+/// injected panic points, so a poisoned guard still protects a
+/// consistent value. Every recovery is counted so supervisors can see
+/// how often the pool survived a poisoned lock.
+fn relock<'a, T>(m: &'a Mutex<T>, recovered: &AtomicU64) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        recovered.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
 }
 
 /// Sign of a propagating change (local copy to keep the engine
@@ -209,6 +257,16 @@ pub struct ParallelReteMatcher {
     /// Optional metrics sink; counters are published per phase (cold
     /// path), never per task.
     obs: Option<Arc<Obs>>,
+    /// Optional fault-injection hook consulted once per task.
+    fault: Option<Arc<dyn FaultInjector>>,
+    /// Monotonic phase counter (two phases per processed batch), the
+    /// coarse coordinate of the fault-injection plane.
+    phase_seq: u64,
+    /// Faults injected since the last [`ParallelReteMatcher::take_faults`].
+    /// Non-zero means node state may be corrupt (dropped subtrees).
+    injected_faults: AtomicU64,
+    /// Poisoned-lock recoveries performed by [`relock`].
+    poison_recovered: AtomicU64,
 }
 
 impl std::fmt::Debug for ParallelReteMatcher {
@@ -322,8 +380,34 @@ impl ParallelReteMatcher {
             worker_totals: vec![WorkerStats::default(); threads],
             timing: false,
             obs: None,
+            fault: None,
+            phase_seq: 0,
+            injected_faults: AtomicU64::new(0),
+            poison_recovered: AtomicU64::new(0),
             network,
         }
+    }
+
+    /// Attaches (or clears) a fault-injection hook. With a hook
+    /// attached, worker panics are contained: the phase completes on the
+    /// surviving workers, the panic is counted, and the caller observes
+    /// it through [`ParallelReteMatcher::take_faults`] instead of an
+    /// unwind. Without a hook, unexpected panics propagate as before.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<dyn FaultInjector>>) {
+        self.fault = injector;
+    }
+
+    /// Returns the number of faults injected (tasks dropped, workers
+    /// panicked, locks poisoned) since the last call, resetting the
+    /// count. Non-zero means this matcher's state can no longer be
+    /// trusted and must be rebuilt or recovered from a checkpoint.
+    pub fn take_faults(&mut self) -> u64 {
+        self.injected_faults.swap(0, Ordering::Relaxed)
+    }
+
+    /// Total poisoned-lock recoveries performed so far (cumulative).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recovered.load(Ordering::Relaxed)
     }
 
     /// The compiled network.
@@ -377,7 +461,7 @@ impl ParallelReteMatcher {
     pub fn resident_tokens(&self) -> usize {
         self.states
             .iter()
-            .map(|slot| match &*slot.lock().unwrap() {
+            .map(|slot| match &*relock(slot, &self.poison_recovered) {
                 NodeSlot::Join { left, .. } => {
                     left.iter().filter(|(t, &p)| p > 0 && !t.is_empty()).count()
                 }
@@ -433,73 +517,118 @@ impl ParallelReteMatcher {
     /// `crossbeam::deque` implementation but built on `std::sync` so
     /// the workspace has no external dependencies).
     fn run_phase(&mut self, label: &'static str, tasks: Vec<Task>) -> MatchDelta {
+        self.phase_seq += 1;
         if tasks.is_empty() {
             return MatchDelta::new();
         }
+        let phase_seq = self.phase_seq;
         let threads = self.threads;
         let timing = self.timing;
         let pending = AtomicUsize::new(tasks.len());
+        let task_seq = AtomicU64::new(0);
         let injector: Mutex<VecDeque<Task>> = Mutex::new(tasks.into());
         let deques: Vec<Mutex<VecDeque<Task>>> =
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
         let merged: Mutex<Vec<(usize, WorkerLocal)>> = Mutex::new(Vec::new());
         let this: &ParallelReteMatcher = self;
-        std::thread::scope(|scope| {
-            for me in 0..threads {
-                let (pending, injector, deques, merged) = (&pending, &injector, &deques, &merged);
-                scope.spawn(move || {
-                    let mut local = WorkerLocal::default();
-                    loop {
-                        if pending.load(Ordering::Acquire) == 0 {
-                            break;
-                        }
-                        let mut next = deques[me].lock().unwrap().pop_back();
-                        if next.is_none() {
-                            next = injector.lock().unwrap().pop_front();
-                        }
-                        if next.is_none() {
-                            for k in 1..threads {
-                                let victim = (me + k) % threads;
-                                if let Some(t) = deques[victim].lock().unwrap().pop_front() {
-                                    local.worker.steals += 1;
-                                    next = Some(t);
-                                    break;
-                                }
+        // A worker panic (injected, or a genuine bug) unwinds out of the
+        // scope only after every sibling has drained the remaining tasks
+        // (the `PendingGuard` keeps the pending count honest). With a
+        // fault injector attached the panic is contained here and
+        // surfaced through `take_faults`; without one it propagates
+        // unchanged.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                for me in 0..threads {
+                    let (pending, injector, deques, merged) =
+                        (&pending, &injector, &deques, &merged);
+                    let task_seq = &task_seq;
+                    scope.spawn(move || {
+                        let mut local = WorkerLocal::default();
+                        loop {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
                             }
-                        }
-                        match next {
-                            Some(task) => {
-                                // Decrement on drop so a panicking task
-                                // cannot leave siblings spinning forever.
-                                let _guard = PendingGuard(pending);
-                                let started = timing.then(Instant::now);
-                                let children = this.exec(task, &mut local);
-                                if let Some(t0) = started {
-                                    local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
-                                }
-                                if !children.is_empty() {
-                                    pending.fetch_add(children.len(), Ordering::AcqRel);
-                                    let mut q = deques[me].lock().unwrap();
-                                    for c in children {
-                                        q.push_back(c);
+                            let recovered = &this.poison_recovered;
+                            let mut next = relock(&deques[me], recovered).pop_back();
+                            if next.is_none() {
+                                next = relock(injector, recovered).pop_front();
+                            }
+                            if next.is_none() {
+                                for k in 1..threads {
+                                    let victim = (me + k) % threads;
+                                    if let Some(t) = relock(&deques[victim], recovered).pop_front()
+                                    {
+                                        local.worker.steals += 1;
+                                        next = Some(t);
+                                        break;
                                     }
-                                    local.worker.max_queue_depth =
-                                        local.worker.max_queue_depth.max(q.len() as u64);
                                 }
                             }
-                            None => {
-                                local.worker.idle_spins += 1;
-                                std::thread::yield_now();
+                            match next {
+                                Some(task) => {
+                                    // Decrement on drop so a panicking task
+                                    // cannot leave siblings spinning forever.
+                                    let _guard = PendingGuard(pending);
+                                    let action = match &this.fault {
+                                        Some(f) => {
+                                            let seq = task_seq.fetch_add(1, Ordering::Relaxed);
+                                            f.on_task(phase_seq, seq, me)
+                                        }
+                                        None => FaultAction::None,
+                                    };
+                                    match action {
+                                        FaultAction::DropTask => {
+                                            this.injected_faults.fetch_add(1, Ordering::Relaxed);
+                                            continue;
+                                        }
+                                        FaultAction::PanicWorker => {
+                                            this.injected_faults.fetch_add(1, Ordering::Relaxed);
+                                            panic!("injected fault: worker panic");
+                                        }
+                                        FaultAction::None | FaultAction::PoisonLock => {}
+                                    }
+                                    let started = timing.then(Instant::now);
+                                    let children = this.exec(
+                                        task,
+                                        &mut local,
+                                        action == FaultAction::PoisonLock,
+                                    );
+                                    if let Some(t0) = started {
+                                        local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
+                                    }
+                                    if !children.is_empty() {
+                                        pending.fetch_add(children.len(), Ordering::AcqRel);
+                                        let mut q = relock(&deques[me], recovered);
+                                        for c in children {
+                                            q.push_back(c);
+                                        }
+                                        local.worker.max_queue_depth =
+                                            local.worker.max_queue_depth.max(q.len() as u64);
+                                    }
+                                }
+                                None => {
+                                    local.worker.idle_spins += 1;
+                                    std::thread::yield_now();
+                                }
                             }
                         }
-                    }
-                    merged.lock().unwrap().push((me, local));
-                });
+                        relock(merged, &this.poison_recovered).push((me, local));
+                    });
+                }
+            })
+        }));
+        if let Err(payload) = outcome {
+            if self.fault.is_none() {
+                resume_unwind(payload);
             }
-        });
+        }
         let mut delta = MatchDelta::new();
         let mut phase_total = WorkerStats::default();
-        for (me, local) in merged.into_inner().unwrap() {
+        let merged = merged
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (me, local) in merged {
             delta.merge(local.delta);
             self.stats.tasks += local.tasks;
             self.stats.join_tests += local.join_tests;
@@ -521,6 +650,12 @@ impl ParallelReteMatcher {
             obs.metrics
                 .gauge("engine.max_queue_depth")
                 .fetch_max(phase_total.max_queue_depth as i64);
+            obs.metrics
+                .gauge("engine.faults_injected")
+                .set(self.injected_faults.load(Ordering::Relaxed) as i64);
+            obs.metrics
+                .gauge("engine.lock_poison_recovered")
+                .set(self.poison_recovered.load(Ordering::Relaxed) as i64);
             obs.events.emit(
                 "engine.phase",
                 &[
@@ -536,7 +671,7 @@ impl ParallelReteMatcher {
 
     /// Executes one activation under its node's lock, returning spawned
     /// child tasks.
-    fn exec(&self, task: Task, local: &mut WorkerLocal) -> Vec<Task> {
+    fn exec(&self, task: Task, local: &mut WorkerLocal, poison: bool) -> Vec<Task> {
         local.tasks += 1;
         let spec = self.network.node(task.node);
         let children = &self.topo.token_children[task.node.index()];
@@ -544,12 +679,19 @@ impl ParallelReteMatcher {
         let mutex = &self.states[task.node.index()];
         let mut slot = if self.timing {
             let t0 = Instant::now();
-            let guard = mutex.lock().unwrap();
+            let guard = relock(mutex, &self.poison_recovered);
             local.worker.lock_wait_ns += t0.elapsed().as_nanos() as u64;
             guard
         } else {
-            mutex.lock().unwrap()
+            relock(mutex, &self.poison_recovered)
         };
+        if poison {
+            // Panic while holding the node lock, before any mutation:
+            // the mutex is poisoned but guards a still-consistent value,
+            // which is exactly what `relock` relies on.
+            self.injected_faults.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: lock poison");
+        }
         match (&mut *slot, task.payload) {
             (NodeSlot::Join { left, right }, Payload::Right(wme_id)) => {
                 let (old, new) = bump(right, wme_id, task.sign.delta());
@@ -830,6 +972,69 @@ mod tests {
         )
         .unwrap();
         (program, m)
+    }
+
+    /// Fires a fixed action at one `(phase, seq)` coordinate.
+    struct OneShot {
+        phase: u64,
+        seq: u64,
+        action: FaultAction,
+    }
+
+    impl FaultInjector for OneShot {
+        fn on_task(&self, phase: u64, seq: u64, _worker: usize) -> FaultAction {
+            if phase == self.phase && seq == self.seq {
+                self.action
+            } else {
+                FaultAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_counted() {
+        for action in [
+            FaultAction::PanicWorker,
+            FaultAction::PoisonLock,
+            FaultAction::DropTask,
+        ] {
+            let (program, mut m) = parallel("(p r (a ^x 1) --> (remove 1))", 2);
+            let mut wm = WorkingMemory::new();
+            let mut syms = program.symbols.clone();
+            let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+            // Phase 2 is the "add" phase of the first batch; seq 0 is
+            // its first task.
+            m.set_fault_injector(Some(Arc::new(OneShot {
+                phase: 2,
+                seq: 0,
+                action,
+            })));
+            let _ = m.process(&wm, &[Change::Add(id)]);
+            assert_eq!(m.take_faults(), 1, "{action:?} counted");
+            assert_eq!(m.take_faults(), 0, "count resets");
+            if action == FaultAction::PoisonLock {
+                // The poisoned node lock must stay usable.
+                let _ = m.resident_tokens();
+                assert!(m.poison_recoveries() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unexpected_panic_still_propagates_without_injector() {
+        // A sanity check that containment is gated on the injector: with
+        // one attached, even repeated faults never unwind into the caller.
+        let (program, mut m) = parallel("(p r (a ^x 1) --> (remove 1))", 3);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        m.set_fault_injector(Some(Arc::new(OneShot {
+            phase: 2,
+            seq: 0,
+            action: FaultAction::PanicWorker,
+        })));
+        let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        let _ = m.process(&wm, &[Change::Add(id)]);
+        assert_eq!(m.take_faults(), 1);
     }
 
     #[test]

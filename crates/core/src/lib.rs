@@ -40,6 +40,8 @@ pub mod engine;
 pub mod production_parallel;
 pub mod topology;
 
-pub use engine::{ParallelOptions, ParallelReteMatcher, ParallelStats};
+pub use engine::{
+    FaultAction, FaultInjector, ParallelOptions, ParallelReteMatcher, ParallelStats, WorkerStats,
+};
 pub use production_parallel::ProductionParallelMatcher;
 pub use topology::ParallelTopology;

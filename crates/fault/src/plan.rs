@@ -1,0 +1,204 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultPlan`] is the single source of truth for *what goes wrong
+//! and when*, across all three layers that can fail:
+//!
+//! * **engine faults** — injected into the real parallel matcher's
+//!   work-stealing loop via [`psm_core::FaultInjector`]: a task dropped
+//!   on the floor, a worker panic, or a poisoned node lock;
+//! * **cycle faults** — transient failures observed by the supervisor
+//!   at recognize–act-cycle granularity (a match attempt that must be
+//!   retried);
+//! * **simulated-machine faults** — fail-stop processor losses and bus
+//!   stalls for the §6 discrete-event simulator
+//!   ([`psm_sim::SimFaults`]).
+//!
+//! Plans are plain data seeded through [`psm_obs::Rng64`]
+//! (SplitMix64): the same seed produces the same schedule on every
+//! platform and every run, which is what makes the recovery tests'
+//! "same seed ⇒ identical fault schedule ⇒ identical recovered state"
+//! assertion possible.
+
+use psm_core::{FaultAction, FaultInjector};
+use psm_obs::Rng64;
+use psm_sim::SimFaults;
+
+/// One injected fault inside the parallel engine, addressed by the
+/// engine's deterministic `(phase, task)` coordinates: `phase` is the
+/// global barrier-phase sequence number (two phases — remove, add —
+/// per change batch) and `seq` is the order in which workers claimed
+/// tasks within that phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFault {
+    /// Global phase sequence number (1-based; batch `k` runs phases
+    /// `2k-1` and `2k`).
+    pub phase: u64,
+    /// Task claim index within the phase (0-based).
+    pub seq: u64,
+    /// What happens to that task's worker.
+    pub action: FaultAction,
+}
+
+/// A transient fault at recognize–act-cycle granularity: the first
+/// `fails` match attempts for `cycle` fail and must be retried (or,
+/// past the retry budget, degrade the supervisor to a simpler tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleFault {
+    /// Supervised cycle index (0-based, counting every processed
+    /// batch including initial working-memory load).
+    pub cycle: u64,
+    /// Consecutive attempts that fail before the cycle succeeds.
+    pub fails: u32,
+}
+
+/// A deterministic, seeded fault schedule. See the module docs for the
+/// three fault layers. Construct with [`FaultPlan::new`] plus the
+/// builder methods for targeted faults, or [`FaultPlan::randomized`]
+/// for seeded chaos.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (recorded for reports).
+    pub seed: u64,
+    /// Faults injected into the parallel engine.
+    pub engine: Vec<EngineFault>,
+    /// Transient cycle-level faults seen by the supervisor.
+    pub cycles: Vec<CycleFault>,
+    /// Faults for the simulated §6 machine.
+    pub sim: SimFaults,
+}
+
+impl FaultPlan {
+    /// An empty plan with a recorded seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when nothing is scheduled to fail.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty() && self.cycles.is_empty() && self.sim.is_empty()
+    }
+
+    /// Adds an engine fault (builder style).
+    pub fn with_engine_fault(mut self, phase: u64, seq: u64, action: FaultAction) -> Self {
+        self.engine.push(EngineFault { phase, seq, action });
+        self
+    }
+
+    /// Adds a transient cycle fault (builder style).
+    pub fn with_cycle_fault(mut self, cycle: u64, fails: u32) -> Self {
+        self.cycles.push(CycleFault { cycle, fails });
+        self
+    }
+
+    /// Replaces the simulated-machine fault schedule (builder style).
+    pub fn with_sim(mut self, sim: SimFaults) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// A seeded chaos schedule over `cycles` supervised cycles: each
+    /// cycle draws a fault with probability `rate`, choosing uniformly
+    /// between an engine fault (random action, early task of that
+    /// cycle's phases), a transient cycle fault (1–2 failed attempts),
+    /// and a simulated-machine fault (processor kill or bus stall at a
+    /// nominal `cycle × 1000 µs` clock). Equal seeds yield equal plans.
+    pub fn randomized(seed: u64, cycles: u64, rate: f64) -> Self {
+        let mut rng = Rng64::new(seed);
+        let mut plan = FaultPlan::new(seed);
+        for cycle in 0..cycles {
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let action = *rng.choose(&[
+                        FaultAction::DropTask,
+                        FaultAction::PanicWorker,
+                        FaultAction::PoisonLock,
+                    ]);
+                    plan.engine.push(EngineFault {
+                        // Batch k (0-based cycle k) runs phases 2k+1, 2k+2.
+                        phase: 2 * cycle + 1 + rng.gen_range(0..2u64),
+                        seq: rng.gen_range(0..4u64),
+                        action,
+                    });
+                }
+                1 => plan.cycles.push(CycleFault {
+                    cycle,
+                    fails: rng.gen_range(1..=2u32),
+                }),
+                2 => {
+                    let proc = rng.gen_range(0..32usize);
+                    plan.sim.kills.push(psm_sim::ProcessorKill {
+                        proc,
+                        at_us: cycle as f64 * 1000.0,
+                    });
+                }
+                _ => {
+                    plan.sim.stalls.push(psm_sim::BusStall {
+                        from_us: cycle as f64 * 1000.0,
+                        dur_us: rng.gen_range(50..500u64) as f64,
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Total failed attempts scheduled for `cycle`.
+    pub fn fails_for_cycle(&self, cycle: u64) -> u32 {
+        self.cycles
+            .iter()
+            .filter(|c| c.cycle == cycle)
+            .map(|c| c.fails)
+            .sum()
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn on_task(&self, phase: u64, seq: u64, _worker: usize) -> FaultAction {
+        self.engine
+            .iter()
+            .find(|f| f.phase == phase && f.seq == seq)
+            .map(|f| f.action)
+            .unwrap_or(FaultAction::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::randomized(42, 50, 0.4);
+        let b = FaultPlan::randomized(42, 50, 0.4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rate 0.4 over 50 cycles draws something");
+        let c = FaultPlan::randomized(43, 50, 0.4);
+        assert_ne!(a, c, "different seeds diverge");
+        assert!(FaultPlan::randomized(7, 50, 0.0).is_empty());
+    }
+
+    #[test]
+    fn injector_addresses_by_phase_and_seq() {
+        let plan = FaultPlan::new(0).with_engine_fault(3, 1, FaultAction::PanicWorker);
+        assert_eq!(plan.on_task(3, 1, 9), FaultAction::PanicWorker);
+        assert_eq!(plan.on_task(3, 0, 9), FaultAction::None);
+        assert_eq!(plan.on_task(4, 1, 9), FaultAction::None);
+    }
+
+    #[test]
+    fn cycle_fails_accumulate() {
+        let plan = FaultPlan::new(0)
+            .with_cycle_fault(5, 1)
+            .with_cycle_fault(5, 2)
+            .with_cycle_fault(6, 1);
+        assert_eq!(plan.fails_for_cycle(5), 3);
+        assert_eq!(plan.fails_for_cycle(6), 1);
+        assert_eq!(plan.fails_for_cycle(7), 0);
+    }
+}

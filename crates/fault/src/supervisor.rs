@@ -1,0 +1,605 @@
+//! The supervised match cycle: detection, recovery, degradation.
+//!
+//! [`Supervisor`] wraps the whole matcher ladder behind the ordinary
+//! [`ops5::Matcher`] trait, so the workload driver and interpreter use
+//! it unchanged. Internally it runs one of three tiers:
+//!
+//! 1. **Parallel** — the real multicore [`psm_core::ParallelReteMatcher`]
+//!    (fastest, and the only tier the fault plane can corrupt);
+//! 2. **Sequential** — the reference [`rete::ReteMatcher`];
+//! 3. **Naive** — the stateless [`baselines::NaiveMatcher`] (slowest,
+//!    nothing to corrupt: it re-derives the conflict set from live
+//!    working memory every cycle).
+//!
+//! Every committed batch is appended to a [`Wal`]; every
+//! `checkpoint_every` cycles the committed state is captured as a
+//! [`Checkpoint`]. When the parallel engine reports an injected fault
+//! (dropped task, worker panic, poisoned lock — see
+//! [`psm_core::FaultInjector`]) the possibly-corrupt delta is
+//! discarded, the engine is retired, and the supervisor **recovers**:
+//! restore the checkpoint, replay the WAL tail through a fresh
+//! sequential matcher, then re-run the interrupted batch. Because
+//! replay reproduces the exact pre-fault state (same WME ids, same
+//! time tags, same memories), the recovered matcher's snapshot is
+//! byte-identical to a never-faulted run — the tests assert exactly
+//! that.
+//!
+//! Transient cycle-level faults (from the [`FaultPlan`]) are retried
+//! with bounded backoff; past `max_retries` the supervisor degrades
+//! one tier. A per-cycle deadline miss likewise degrades out of the
+//! parallel tier, but keeps the (valid) delta. Degradation is
+//! monotonic: parallel → sequential → naive, never back up.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use baselines::NaiveMatcher;
+use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
+use psm_core::{FaultInjector, ParallelReteMatcher};
+use psm_obs::Obs;
+use rete::{Network, ReteMatcher, ReteSnapshot};
+
+use crate::checkpoint::Checkpoint;
+use crate::plan::FaultPlan;
+use crate::wal::{Wal, WalChange, WalEntry};
+
+/// The active matcher tier, ordered fastest-and-most-fragile first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Node-activation-parallel Rete on real threads.
+    Parallel,
+    /// Sequential Rete (the reference implementation).
+    Sequential,
+    /// The stateless naive matcher: nothing saved, nothing to corrupt.
+    Naive,
+}
+
+impl Tier {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Parallel => "parallel",
+            Tier::Sequential => "sequential",
+            Tier::Naive => "naive",
+        }
+    }
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker threads for the parallel tier.
+    pub threads: usize,
+    /// Per-cycle deadline; an attempt exceeding it counts a miss and
+    /// degrades out of the parallel tier. The default is effectively
+    /// "off" for test-sized workloads.
+    pub deadline: Duration,
+    /// Transient-fault retries per cycle before degrading a tier.
+    pub max_retries: u32,
+    /// Base backoff between retries (doubles per attempt, capped at
+    /// 8×).
+    pub backoff: Duration,
+    /// Cycles between checkpoints (the WAL is truncated at each).
+    pub checkpoint_every: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            threads: 4,
+            deadline: Duration::from_secs(30),
+            max_retries: 2,
+            backoff: Duration::from_micros(200),
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// Counters describing everything the supervisor survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults the parallel engine actually injected (dropped tasks,
+    /// worker panics, lock poisonings).
+    pub engine_faults: u64,
+    /// Transient cycle-level faults observed.
+    pub transient_faults: u64,
+    /// Retry attempts performed.
+    pub retries: u64,
+    /// Tier degradations (parallel→sequential, sequential→naive).
+    pub fallbacks: u64,
+    /// Checkpoint+WAL recoveries performed after engine faults.
+    pub recoveries: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// WAL entries replayed (during recoveries and checkpoint
+    /// rebuilds).
+    pub wal_replayed: u64,
+    /// Cycles whose match attempt exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Poisoned locks transparently recovered inside the engine.
+    pub poison_recoveries: u64,
+}
+
+/// The supervised matcher. See the module docs for the protocol.
+pub struct Supervisor {
+    program: Program,
+    network: Arc<Network>,
+    config: SupervisorConfig,
+    plan: Option<Arc<FaultPlan>>,
+    obs: Option<Arc<Obs>>,
+    tier: Tier,
+    parallel: Option<ParallelReteMatcher>,
+    sequential: Option<ReteMatcher>,
+    naive: Option<NaiveMatcher>,
+    /// Replica of the caller's working memory, synced from the change
+    /// stream; checkpoints snapshot this, so it must see every
+    /// mutation (which it does as long as all mutations flow through
+    /// `process`, as the driver and interpreter guarantee).
+    shadow: WorkingMemory,
+    conflict: HashSet<Instantiation>,
+    checkpoint: Checkpoint,
+    wal: Wal,
+    cycle: u64,
+    report: FaultReport,
+}
+
+impl Supervisor {
+    /// Compiles `program` and starts supervision at the parallel tier
+    /// with a genesis checkpoint.
+    pub fn new(program: &Program, config: SupervisorConfig) -> Result<Self, Error> {
+        let network = Arc::new(Network::compile(program)?);
+        let parallel = ParallelReteMatcher::from_network(network.clone(), config.threads);
+        let genesis = ReteMatcher::from_network(network.clone()).snapshot();
+        Ok(Supervisor {
+            program: program.clone(),
+            network,
+            config,
+            plan: None,
+            obs: None,
+            tier: Tier::Parallel,
+            parallel: Some(parallel),
+            sequential: None,
+            naive: None,
+            shadow: WorkingMemory::new(),
+            conflict: HashSet::new(),
+            checkpoint: Checkpoint::genesis(genesis),
+            wal: Wal::new(),
+            cycle: 0,
+            report: FaultReport::default(),
+        })
+    }
+
+    /// Installs (or clears) the fault plan. Engine faults reach the
+    /// parallel matcher through its injector hook.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        if let Some(p) = &mut self.parallel {
+            p.set_fault_injector(plan.clone().map(|p| p as Arc<dyn FaultInjector>));
+        }
+        self.plan = plan;
+    }
+
+    /// Attaches an observability handle; fault/retry/fallback/recovery
+    /// counters are published under `fault.*`, and the parallel tier's
+    /// engine counters under `engine.*`.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        if let Some(p) = &mut self.parallel {
+            p.attach_obs(obs.clone());
+        }
+        self.obs = Some(obs);
+    }
+
+    /// The compiled network (shared with every Rete tier; reference
+    /// runs for byte-for-byte audits should build on this).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The currently active tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The conflict set, sorted canonically.
+    pub fn conflict_set(&self) -> Vec<Instantiation> {
+        let mut v: Vec<Instantiation> = self.conflict.iter().cloned().collect();
+        v.sort_by(|a, b| (a.production, &a.wmes).cmp(&(b.production, &b.wmes)));
+        v
+    }
+
+    /// Fault counters so far (includes the live engine's poison-
+    /// recovery count).
+    pub fn report(&self) -> FaultReport {
+        let mut r = self.report;
+        if let Some(p) = &self.parallel {
+            r.poison_recoveries += p.poison_recoveries();
+        }
+        r
+    }
+
+    /// Supervised cycles processed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// WAL entries accumulated since the last checkpoint.
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// The last checkpoint (its `cycle` field says how much of history
+    /// it covers).
+    pub fn last_checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// A sequential-Rete snapshot of the committed state, rebuilt from
+    /// checkpoint + WAL replay (or taken live at the sequential tier).
+    /// Byte-identical to the snapshot of a fault-free [`ReteMatcher`]
+    /// on [`Supervisor::network`] fed the same batches — the
+    /// recovery-exactness audit hangs off this.
+    pub fn committed_snapshot(&mut self) -> ReteSnapshot {
+        if self.tier == Tier::Sequential {
+            return self
+                .sequential
+                .as_ref()
+                .expect("sequential tier")
+                .snapshot();
+        }
+        let (m, _conflict, replayed) = self.rebuild_sequential();
+        self.report.wal_replayed += replayed;
+        m.snapshot()
+    }
+
+    /// A canonical snapshot of the shadow working memory.
+    pub fn committed_wm_bytes(&self) -> Vec<u8> {
+        self.shadow.snapshot_bytes()
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(obs) = &self.obs {
+            obs.metrics.counter(name).inc();
+        }
+    }
+
+    fn emit(&self, name: &str, tier: Tier, cycle: u64) {
+        if let Some(obs) = &self.obs {
+            obs.events.emit(
+                name,
+                &[
+                    ("tier", tier.name().into()),
+                    ("cycle", (cycle as i64).into()),
+                ],
+            );
+        }
+    }
+
+    /// Restores the last checkpoint and replays the WAL tail through a
+    /// fresh sequential matcher. Returns the matcher, the conflict set
+    /// at the replayed frontier, and the number of entries replayed.
+    fn rebuild_sequential(&self) -> (ReteMatcher, HashSet<Instantiation>, u64) {
+        let mut m = ReteMatcher::restore(self.network.clone(), &self.checkpoint.rete)
+            .expect("checkpoint snapshot was taken on this network");
+        let mut wm = WorkingMemory::restore_snapshot(&self.checkpoint.wm)
+            .expect("checkpoint working-memory bytes are valid");
+        let mut conflict: HashSet<Instantiation> =
+            self.checkpoint.conflict.iter().cloned().collect();
+        let mut replayed = 0u64;
+        for entry in self.wal.entries() {
+            replayed += 1;
+            let delta = replay_entry(&mut wm, &mut m, entry);
+            apply_delta(&mut conflict, &delta);
+        }
+        (m, conflict, replayed)
+    }
+
+    /// Retires the parallel engine (folding its counters into the
+    /// report) and installs a recovered sequential matcher.
+    fn fall_back_to_sequential(&mut self, recovery: bool) {
+        if let Some(p) = self.parallel.take() {
+            self.report.poison_recoveries += p.poison_recoveries();
+        }
+        let (m, conflict, replayed) = self.rebuild_sequential();
+        debug_assert_eq!(
+            {
+                let mut v: Vec<_> = conflict.iter().cloned().collect();
+                v.sort_by(|a, b| (a.production, &a.wmes).cmp(&(b.production, &b.wmes)));
+                v
+            },
+            self.conflict_set(),
+            "replay must reproduce the committed conflict set"
+        );
+        self.conflict = conflict;
+        self.sequential = Some(m);
+        self.tier = Tier::Sequential;
+        self.report.fallbacks += 1;
+        self.report.wal_replayed += replayed;
+        self.count("fault.fallbacks");
+        if recovery {
+            self.report.recoveries += 1;
+            self.count("fault.recoveries");
+        }
+    }
+
+    /// Degrades sequential → naive: the naive matcher re-derives all
+    /// state from live WMEs, so it is seeded with the committed
+    /// working memory (everything live in the shadow except the
+    /// current batch's assertions).
+    fn fall_back_to_naive(&mut self, batch_adds: &HashSet<WmeId>) {
+        self.sequential = None;
+        let mut naive = NaiveMatcher::new(&self.program);
+        let live: Vec<WmeId> = self
+            .shadow
+            .iter()
+            .map(|(id, _, _)| id)
+            .filter(|id| !batch_adds.contains(id))
+            .collect();
+        let changes: Vec<Change> = live.into_iter().map(Change::Add).collect();
+        let mut seeded = naive.process(&self.shadow, &changes);
+        seeded.canonicalize();
+        debug_assert_eq!(
+            seeded.added,
+            self.conflict_set(),
+            "the naive matcher re-derives the committed conflict set"
+        );
+        self.naive = Some(naive);
+        self.tier = Tier::Naive;
+        self.report.fallbacks += 1;
+        self.count("fault.fallbacks");
+    }
+
+    fn degrade_one_tier(&mut self, batch_adds: &HashSet<WmeId>, cycle: u64) {
+        match self.tier {
+            Tier::Parallel => {
+                self.emit("fault.fallback", Tier::Sequential, cycle);
+                self.fall_back_to_sequential(false);
+            }
+            Tier::Sequential => {
+                self.emit("fault.fallback", Tier::Naive, cycle);
+                self.fall_back_to_naive(batch_adds);
+            }
+            Tier::Naive => {} // Already at the floor; keep trying.
+        }
+    }
+
+    /// One match attempt on the active tier. `Err(n)` means the
+    /// parallel engine reported `n` injected faults (or panicked) and
+    /// its delta was discarded.
+    fn try_match(&mut self, wm: &WorkingMemory, changes: &[Change]) -> Result<MatchDelta, u64> {
+        match self.tier {
+            Tier::Parallel => {
+                let m = self.parallel.as_mut().expect("parallel tier has an engine");
+                let outcome = catch_unwind(AssertUnwindSafe(|| m.process(wm, changes)));
+                let faults = m.take_faults();
+                match outcome {
+                    Ok(delta) if faults == 0 => Ok(delta),
+                    Ok(_) => Err(faults),
+                    Err(_) => Err(faults.max(1)),
+                }
+            }
+            Tier::Sequential => Ok(self
+                .sequential
+                .as_mut()
+                .expect("sequential tier has a matcher")
+                .process(wm, changes)),
+            Tier::Naive => Ok(self
+                .naive
+                .as_mut()
+                .expect("naive tier has a matcher")
+                .process(wm, changes)),
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        // At the sequential tier the live matcher *is* the committed
+        // state; otherwise rebuild it by snapshot + replay. This is
+        // the §3.1 state-saving bet restated for fault tolerance:
+        // saved state (the snapshot) is only worth keeping because
+        // re-deriving it from scratch costs a full replay.
+        let rete = if self.tier == Tier::Sequential {
+            self.sequential
+                .as_ref()
+                .expect("sequential tier")
+                .snapshot()
+        } else {
+            let (m, conflict, replayed) = self.rebuild_sequential();
+            self.report.wal_replayed += replayed;
+            debug_assert_eq!(conflict, self.conflict);
+            m.snapshot()
+        };
+        self.checkpoint = Checkpoint {
+            cycle: self.cycle,
+            wm: self.shadow.snapshot_bytes(),
+            rete,
+            conflict: self.conflict_set(),
+        };
+        self.wal.clear();
+        self.report.checkpoints += 1;
+        self.count("fault.checkpoints");
+    }
+
+    fn publish_gauges(&self) {
+        if let Some(obs) = &self.obs {
+            obs.metrics
+                .gauge("fault.wal_entries")
+                .set(self.wal.len() as i64);
+            obs.metrics.gauge("fault.tier").set(self.tier as i64);
+            obs.metrics
+                .gauge("fault.conflict_size")
+                .set(self.conflict.len() as i64);
+        }
+    }
+
+    fn supervised_process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        let cycle = self.cycle;
+        self.cycle += 1;
+
+        // Log the batch and sync the shadow's assertions (in id order,
+        // so the shadow hands out the same handles the caller got).
+        let mut entry = WalEntry {
+            cycle,
+            changes: Vec::with_capacity(changes.len()),
+        };
+        for &c in changes {
+            entry.changes.push(match c {
+                Change::Add(id) => {
+                    let wme = wm
+                        .get(id)
+                        .expect("Add changes must be live in the working memory")
+                        .clone();
+                    WalChange::Add(wme, id)
+                }
+                Change::Remove(id) => WalChange::Remove(id),
+            });
+        }
+        let mut adds: Vec<(WmeId, Wme)> = entry
+            .changes
+            .iter()
+            .filter_map(|c| match c {
+                WalChange::Add(w, id) => Some((*id, w.clone())),
+                WalChange::Remove(_) => None,
+            })
+            .collect();
+        adds.sort_by_key(|(id, _)| id.index());
+        let batch_adds: HashSet<WmeId> = adds.iter().map(|(id, _)| *id).collect();
+        for (id, wme) in adds {
+            let (sid, _) = self.shadow.add(wme);
+            assert_eq!(
+                sid, id,
+                "supervisor shadow out of sync: every working-memory \
+                 mutation must flow through the supervisor"
+            );
+        }
+
+        // Attempt loop: planned transient faults, engine faults, and
+        // deadline misses all funnel through here.
+        let planned_fails = self.plan.as_ref().map_or(0, |p| p.fails_for_cycle(cycle));
+        let mut failed = 0u32;
+        let mut deadline_degrade = false;
+        let delta = loop {
+            if failed < planned_fails && self.tier != Tier::Naive {
+                // A planned transient fault burns this attempt.
+                failed += 1;
+                self.report.transient_faults += 1;
+                self.count("fault.transient");
+                if failed > self.config.max_retries {
+                    self.degrade_one_tier(&batch_adds, cycle);
+                } else {
+                    self.report.retries += 1;
+                    self.count("fault.retries");
+                    let factor = 1u32 << (failed - 1).min(3);
+                    thread::sleep(self.config.backoff * factor);
+                }
+                continue;
+            }
+            let started = Instant::now();
+            match self.try_match(wm, changes) {
+                Ok(delta) => {
+                    if started.elapsed() > self.config.deadline {
+                        self.report.deadline_misses += 1;
+                        self.count("fault.deadline_misses");
+                        // The delta is valid — keep it — but the tier
+                        // missed its budget; leave the parallel engine
+                        // after this batch commits.
+                        deadline_degrade = self.tier == Tier::Parallel;
+                    }
+                    break delta;
+                }
+                Err(faults) => {
+                    // The engine's state is suspect: discard the delta,
+                    // recover from checkpoint + WAL, re-run the batch
+                    // sequentially. Degradation is permanent.
+                    self.report.engine_faults += faults;
+                    self.count("fault.engine");
+                    self.emit("fault.recovery", self.tier, cycle);
+                    self.fall_back_to_sequential(true);
+                }
+            }
+        };
+
+        // Commit: conflict set, WAL, shadow retractions.
+        apply_delta(&mut self.conflict, &delta);
+        let removes: Vec<WmeId> = entry
+            .changes
+            .iter()
+            .filter_map(|c| match c {
+                WalChange::Remove(id) => Some(*id),
+                WalChange::Add(..) => None,
+            })
+            .collect();
+        self.wal.push(entry);
+        for id in removes {
+            self.shadow.remove(id);
+        }
+        if deadline_degrade && self.tier == Tier::Parallel {
+            self.emit("fault.fallback", Tier::Sequential, cycle);
+            self.fall_back_to_sequential(false);
+        }
+        if (cycle + 1).is_multiple_of(self.config.checkpoint_every.max(1)) {
+            self.take_checkpoint();
+        }
+        self.publish_gauges();
+        delta
+    }
+}
+
+impl Matcher for Supervisor {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.supervised_process(wm, &[Change::Add(id)])
+    }
+
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        self.supervised_process(wm, &[Change::Remove(id)])
+    }
+
+    fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        self.supervised_process(wm, changes)
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "supervised-parallel-rete"
+    }
+}
+
+/// Replays one WAL entry: re-assert the logged WMEs (asserting id
+/// continuity), run the matcher with the original change order, then
+/// retract — exactly the live protocol.
+fn replay_entry<M: Matcher>(
+    wm: &mut WorkingMemory,
+    matcher: &mut M,
+    entry: &WalEntry,
+) -> MatchDelta {
+    let mut adds: Vec<(WmeId, &Wme)> = entry
+        .changes
+        .iter()
+        .filter_map(|c| match c {
+            WalChange::Add(w, id) => Some((*id, w)),
+            WalChange::Remove(_) => None,
+        })
+        .collect();
+    adds.sort_by_key(|(id, _)| id.index());
+    for (id, wme) in adds {
+        let (rid, _) = wm.add(wme.clone());
+        assert_eq!(rid, id, "WAL replay must reproduce original WME ids");
+    }
+    let changes: Vec<Change> = entry.changes.iter().map(|c| c.as_change()).collect();
+    let delta = matcher.process(wm, &changes);
+    for c in &entry.changes {
+        if let WalChange::Remove(id) = c {
+            wm.remove(*id);
+        }
+    }
+    delta
+}
+
+/// Applies a delta to a conflict-set accumulator.
+fn apply_delta(conflict: &mut HashSet<Instantiation>, delta: &MatchDelta) {
+    for inst in &delta.removed {
+        conflict.remove(inst);
+    }
+    for inst in &delta.added {
+        conflict.insert(inst.clone());
+    }
+}

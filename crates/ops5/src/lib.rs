@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod codec;
 pub mod conflict;
 pub mod error;
 pub mod explain;
@@ -55,13 +56,14 @@ pub use ast::{
     Production, ProductionId, Program, RhsArg, TestArg, ValueTest, VarId,
 };
 pub use builder::ProductionBuilder;
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use conflict::{compare as compare_instantiations, ConflictSet, Strategy};
 pub use error::Error;
 pub use explain::explain_instantiation;
 pub use interp::{CycleOutcome, Interpreter, RunStats};
 pub use lexer::{Lexer, Token};
 pub use matcher::{Change, Instantiation, MatchDelta, Matcher};
-pub use parser::{parse_program, parse_wme, parse_wmes, Parser};
+pub use parser::{parse_program, parse_program_lenient, parse_wme, parse_wmes, Parser};
 pub use symbol::{SymbolId, SymbolTable};
 pub use value::Value;
 pub use wme::{TimeTag, Wme, WmeId, WorkingMemory};

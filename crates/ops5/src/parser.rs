@@ -53,6 +53,25 @@ pub fn parse_program(src: &str) -> Result<Program, Error> {
     Ok(program)
 }
 
+/// Like [`parse_program`], but skips the `literalize` attribute check.
+///
+/// Real OPS5 (and [`parse_program`]) hard-rejects a program that tests
+/// or writes an attribute not declared by its class's `literalize`.
+/// Analysis tools such as `psmlint` want to *report* those uses as
+/// diagnostics rather than refuse to look at the program at all, so this
+/// entry point parses the same grammar but leaves the declarations in
+/// [`Program::literalizations`] unvalidated for a lint to inspect.
+///
+/// # Errors
+///
+/// Returns [`Error`] for lexical, parse, and all other semantic errors —
+/// only the undeclared-attribute check is skipped.
+pub fn parse_program_lenient(src: &str) -> Result<Program, Error> {
+    let mut program = Program::new();
+    Parser::new(src)?.parse_forms(&mut program)?;
+    Ok(program)
+}
+
 /// Parses one WME literal, e.g. `(block ^color red ^size 3)`, interning
 /// symbols into `symbols`.
 ///
@@ -184,6 +203,14 @@ impl Parser {
     /// Returns the first parse or semantic error encountered, including
     /// uses of undeclared attributes on literalized classes.
     pub fn parse_into(&mut self, program: &mut Program) -> Result<(), Error> {
+        self.parse_forms(program)?;
+        validate_literalizations(program)
+    }
+
+    /// [`Parser::parse_into`] without the final `literalize` attribute
+    /// validation (the lenient path behind
+    /// [`parse_program_lenient`]).
+    fn parse_forms(&mut self, program: &mut Program) -> Result<(), Error> {
         while !self.at_end() {
             self.expect(&TokenKind::LParen, "`(` starting a top-level form")?;
             let head = self.expect_symbol("`p` or `literalize`")?;
@@ -210,7 +237,7 @@ impl Parser {
                 }
             }
         }
-        validate_literalizations(program)
+        Ok(())
     }
 
     /// Parses `(literalize class attr …)` after the head symbol.

@@ -20,6 +20,33 @@ pub enum Value {
 }
 
 impl Value {
+    /// Serializes the value into `w` (one tag byte, then the payload).
+    pub fn encode(self, w: &mut crate::codec::ByteWriter) {
+        match self {
+            Value::Sym(s) => {
+                w.u8(0);
+                w.u32(s.index() as u32);
+            }
+            Value::Int(i) => {
+                w.u8(1);
+                w.i64(i);
+            }
+        }
+    }
+
+    /// Deserializes a value written by [`Value::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::codec::CodecError`] on a bad tag or truncation.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Value, crate::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(Value::Sym(SymbolId::from_index(r.u32()? as usize))),
+            1 => Ok(Value::Int(r.i64()?)),
+            _ => Err(crate::codec::CodecError::Invalid("bad value tag")),
+        }
+    }
+
     /// True when the value is a symbol.
     pub fn is_sym(self) -> bool {
         matches!(self, Value::Sym(_))

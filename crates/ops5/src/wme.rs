@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::symbol::{SymbolId, SymbolTable};
 use crate::value::Value;
 
@@ -90,6 +91,35 @@ impl Wme {
             class: self.class,
             attrs,
         }
+    }
+
+    /// Serializes the element into `w` (class, then sorted attribute
+    /// pairs). The canonical attribute order makes the encoding
+    /// deterministic for equal elements.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.class.index() as u32);
+        w.usize(self.attrs.len());
+        for &(attr, value) in &self.attrs {
+            w.u32(attr.index() as u32);
+            value.encode(w);
+        }
+    }
+
+    /// Deserializes an element written by [`Wme::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Wme, CodecError> {
+        let class = SymbolId::from_index(r.u32()? as usize);
+        let n = r.usize()?;
+        let mut attrs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let attr = SymbolId::from_index(r.u32()? as usize);
+            let value = Value::decode(r)?;
+            attrs.push((attr, value));
+        }
+        Ok(Wme::new(class, attrs))
     }
 
     /// Renders the element in OPS5 surface syntax.
@@ -235,6 +265,67 @@ impl WorkingMemory {
             .filter(move |(_, w, _)| w.class() == class)
             .map(|(id, w, _)| (id, w))
     }
+
+    /// Serializes the whole working memory — including tombstoned slots
+    /// and the time-tag counter — into a versioned snapshot.
+    ///
+    /// Restoring the snapshot and replaying the same `add`/`remove`
+    /// sequence reproduces identical [`WmeId`]s and [`TimeTag`]s, which
+    /// is what makes snapshot + write-ahead-log replay a faithful
+    /// recovery strategy (`psm-fault`).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_header(*b"PSMW", 1);
+        w.u64(self.next_tag);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                None => w.u8(0),
+                Some((wme, tag)) => {
+                    w.u8(1);
+                    w.u64(tag.0);
+                    wme.encode(&mut w);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a working memory from [`WorkingMemory::snapshot_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on bad magic, unsupported version, or
+    /// malformed data.
+    pub fn restore_snapshot(bytes: &[u8]) -> Result<WorkingMemory, CodecError> {
+        let (mut r, version) = ByteReader::with_header(bytes, *b"PSMW")?;
+        if version != 1 {
+            return Err(CodecError::BadVersion {
+                supported: 1,
+                found: version,
+            });
+        }
+        let next_tag = r.u64()?;
+        let n = r.usize()?;
+        let mut slots = Vec::with_capacity(n.min(1 << 20));
+        let mut live = 0usize;
+        for _ in 0..n {
+            match r.u8()? {
+                0 => slots.push(None),
+                1 => {
+                    let tag = TimeTag(r.u64()?);
+                    let wme = Wme::decode(&mut r)?;
+                    live += 1;
+                    slots.push(Some((wme, tag)));
+                }
+                _ => return Err(CodecError::Invalid("bad working-memory slot tag")),
+            }
+        }
+        Ok(WorkingMemory {
+            slots,
+            next_tag,
+            live,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +442,40 @@ mod tests {
         assert_eq!(wm.by_class(a).count(), 1);
         let missing = t.intern("nothing");
         assert_eq!(wm.by_class(missing).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_slots_tags_and_future_ids() {
+        let (_t, wme) = fixture();
+        let mut wm = WorkingMemory::new();
+        let (a, _) = wm.add(wme.clone());
+        let (b, _) = wm.add(wme.clone());
+        wm.add(wme.clone());
+        wm.remove(b);
+
+        let bytes = wm.snapshot_bytes();
+        let mut restored = WorkingMemory::restore_snapshot(&bytes).unwrap();
+        assert_eq!(restored.len(), wm.len());
+        assert_eq!(restored.get(a), wm.get(a));
+        assert_eq!(restored.get(b), None, "tombstone survives the roundtrip");
+        assert_eq!(restored.snapshot_bytes(), bytes, "canonical encoding");
+
+        // Replaying the same future operations yields identical ids/tags.
+        let (id1, t1) = wm.add(wme.clone());
+        let (id2, t2) = restored.add(wme);
+        assert_eq!(id1, id2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_version() {
+        let wm = WorkingMemory::new();
+        let mut bytes = wm.snapshot_bytes();
+        bytes[4] = 99; // bump the version field
+        assert!(matches!(
+            WorkingMemory::restore_snapshot(&bytes),
+            Err(crate::codec::CodecError::BadVersion { .. })
+        ));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod alpha;
 pub mod network;
 pub mod profile;
 pub mod runtime;
+pub mod snapshot;
 pub mod stats;
 pub mod token;
 pub mod trace;
@@ -52,6 +53,7 @@ pub use alpha::{AlphaId, AlphaNetwork, AlphaNode, AlphaTest};
 pub use network::{CompileOptions, JoinTest, Network, NetworkStats, NodeId, NodeSpec};
 pub use profile::{HotNode, MatchProfile, NodeCost};
 pub use runtime::{MemoryStrategy, ReteMatcher};
+pub use snapshot::ReteSnapshot;
 pub use stats::MatchStats;
 pub use token::Token;
 pub use trace::{ActivationKind, ActivationRecord, ChangeTrace, CycleTrace, Trace, TraceBuilder};

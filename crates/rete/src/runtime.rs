@@ -42,7 +42,7 @@ pub enum MemoryStrategy {
 
 /// Mutable state of one beta node.
 #[derive(Debug, Clone)]
-enum NodeState {
+pub(crate) enum NodeState {
     /// Beta memory: resident tokens, plus — under
     /// [`MemoryStrategy::Hashed`] — per-`(token position, attribute)`
     /// value buckets used by downstream equality joins.
@@ -57,9 +57,9 @@ enum NodeState {
 }
 
 #[derive(Debug, Clone)]
-struct NegEntry {
-    token: Token,
-    count: u32,
+pub(crate) struct NegEntry {
+    pub(crate) token: Token,
+    pub(crate) count: u32,
 }
 
 /// A pending node activation.
@@ -87,16 +87,16 @@ enum Payload {
 #[derive(Debug)]
 pub struct ReteMatcher {
     network: Arc<Network>,
-    alpha_mems: Vec<Vec<WmeId>>,
+    pub(crate) alpha_mems: Vec<Vec<WmeId>>,
     /// Per-alpha `(attr, value)` buckets, maintained only under
     /// [`MemoryStrategy::Hashed`].
-    alpha_index: Vec<HashMap<(SymbolId, Value), Vec<WmeId>>>,
+    pub(crate) alpha_index: Vec<HashMap<(SymbolId, Value), Vec<WmeId>>>,
     /// For each beta memory, the `(token position, attribute)` keys its
     /// downstream equality joins probe by (empty for other node kinds).
     mem_keys: Vec<Vec<(usize, SymbolId)>>,
-    memory: MemoryStrategy,
-    states: Vec<NodeState>,
-    stats: MatchStats,
+    pub(crate) memory: MemoryStrategy,
+    pub(crate) states: Vec<NodeState>,
+    pub(crate) stats: MatchStats,
     tracer: Option<TraceBuilder>,
     /// Per-node / per-kind activation timing; `None` (free) unless
     /// [`ReteMatcher::enable_profiling`] was called.

@@ -1,0 +1,381 @@
+//! Versioned checkpoint/restore of a live [`ReteMatcher`].
+//!
+//! The paper's §3.1 argument for state-saving algorithms — incremental
+//! match state is ~20× cheaper to keep than to re-derive — is also the
+//! argument for being able to *snapshot* that state: when a worker dies
+//! mid-cycle, restoring a snapshot and replaying the change tail is far
+//! cheaper than rebuilding the network state from the whole working
+//! memory. This module serializes everything dynamic in a matcher —
+//! alpha memories (and hash indexes), beta-memory tokens, negative-node
+//! counts, and the work counters — into a canonical byte stream.
+//!
+//! The encoding is deterministic (hash-map keys are emitted in sorted
+//! order), so two matchers in identical logical states produce identical
+//! bytes. `psm-fault` leans on this: its recovery audit compares the
+//! snapshot of a restored-and-replayed matcher byte-for-byte against the
+//! snapshot of a matcher that lived through the same changes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ops5::{ByteReader, ByteWriter, CodecError, SymbolId, Value, WmeId};
+
+use crate::network::Network;
+use crate::runtime::{MemoryStrategy, NegEntry, NodeState, ReteMatcher};
+use crate::stats::MatchStats;
+use crate::token::Token;
+
+const MAGIC: [u8; 4] = *b"PSMR";
+const VERSION: u32 = 1;
+
+/// A serialized matcher state (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReteSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl ReteSnapshot {
+    /// The raw snapshot bytes (stable, versioned format).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps raw bytes previously produced by [`ReteMatcher::snapshot`]
+    /// (e.g. read back from a checkpoint file). Validated on restore.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        ReteSnapshot { bytes }
+    }
+
+    /// Snapshot size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the snapshot holds no bytes (never produced by
+    /// [`ReteMatcher::snapshot`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+fn encode_token(w: &mut ByteWriter, token: &Token) {
+    w.usize(token.len());
+    for &id in token.wmes() {
+        w.u32(id.index() as u32);
+    }
+}
+
+fn decode_token(r: &mut ByteReader<'_>) -> Result<Token, CodecError> {
+    let n = r.usize()?;
+    let mut wmes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        wmes.push(WmeId::from_index(r.u32()? as usize));
+    }
+    Ok(Token::from_wmes(wmes))
+}
+
+fn encode_stats(w: &mut ByteWriter, s: &MatchStats) {
+    for v in [
+        s.changes,
+        s.inserts,
+        s.constant_tests,
+        s.alpha_mem_ops,
+        s.right_activations,
+        s.left_activations,
+        s.join_tests,
+        s.pairs_scanned,
+        s.beta_mem_ops,
+        s.tokens_created,
+        s.conflict_changes,
+        s.peak_tokens,
+        s.live_tokens,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_stats(r: &mut ByteReader<'_>) -> Result<MatchStats, CodecError> {
+    let mut s = MatchStats::default();
+    for field in [
+        &mut s.changes,
+        &mut s.inserts,
+        &mut s.constant_tests,
+        &mut s.alpha_mem_ops,
+        &mut s.right_activations,
+        &mut s.left_activations,
+        &mut s.join_tests,
+        &mut s.pairs_scanned,
+        &mut s.beta_mem_ops,
+        &mut s.tokens_created,
+        &mut s.conflict_changes,
+        &mut s.peak_tokens,
+        &mut s.live_tokens,
+    ] {
+        *field = r.u64()?;
+    }
+    Ok(s)
+}
+
+impl ReteMatcher {
+    /// Serializes all dynamic matcher state into a versioned snapshot.
+    ///
+    /// The compiled network is *not* included — it is static and cheap
+    /// to recompile — so [`ReteMatcher::restore`] needs the same
+    /// [`Network`] the snapshot was taken against.
+    pub fn snapshot(&self) -> ReteSnapshot {
+        let mut w = ByteWriter::with_header(MAGIC, VERSION);
+        w.usize(self.network().nodes.len());
+        w.usize(self.alpha_mems.len());
+        w.u8(match self.memory {
+            MemoryStrategy::Linear => 0,
+            MemoryStrategy::Hashed => 1,
+        });
+        encode_stats(&mut w, &self.stats);
+
+        for mem in &self.alpha_mems {
+            w.usize(mem.len());
+            for &id in mem {
+                w.u32(id.index() as u32);
+            }
+        }
+        for index in &self.alpha_index {
+            let mut keys: Vec<&(SymbolId, Value)> = index.keys().collect();
+            keys.sort_unstable();
+            w.usize(keys.len());
+            for key in keys {
+                w.u32(key.0.index() as u32);
+                key.1.encode(&mut w);
+                let bucket = &index[key];
+                w.usize(bucket.len());
+                for &id in bucket {
+                    w.u32(id.index() as u32);
+                }
+            }
+        }
+        for state in &self.states {
+            match state {
+                NodeState::Mem { tokens, index } => {
+                    w.u8(0);
+                    w.usize(tokens.len());
+                    for t in tokens {
+                        encode_token(&mut w, t);
+                    }
+                    let mut keys: Vec<&(usize, SymbolId, Value)> = index.keys().collect();
+                    keys.sort_unstable();
+                    w.usize(keys.len());
+                    for key in keys {
+                        w.usize(key.0);
+                        w.u32(key.1.index() as u32);
+                        key.2.encode(&mut w);
+                        let bucket = &index[key];
+                        w.usize(bucket.len());
+                        for t in bucket {
+                            encode_token(&mut w, t);
+                        }
+                    }
+                }
+                NodeState::Neg(entries) => {
+                    w.u8(1);
+                    w.usize(entries.len());
+                    for e in entries {
+                        encode_token(&mut w, &e.token);
+                        w.u32(e.count);
+                    }
+                }
+                NodeState::Stateless => w.u8(2),
+            }
+        }
+        ReteSnapshot { bytes: w.finish() }
+    }
+
+    /// Rebuilds a matcher from `snapshot` over `network`.
+    ///
+    /// `network` must be (structurally) the network the snapshot was
+    /// taken against; node and alpha-memory counts are checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on bad magic/version, malformed data, or a
+    /// network whose shape does not match the snapshot.
+    pub fn restore(network: Arc<Network>, snapshot: &ReteSnapshot) -> Result<Self, CodecError> {
+        let (mut r, version) = ByteReader::with_header(snapshot.as_bytes(), MAGIC)?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion {
+                supported: VERSION,
+                found: version,
+            });
+        }
+        let nodes = r.usize()?;
+        let alphas = r.usize()?;
+        if nodes != network.nodes.len() || alphas != network.alpha.len() {
+            return Err(CodecError::Invalid("snapshot does not match this network"));
+        }
+        let memory = match r.u8()? {
+            0 => MemoryStrategy::Linear,
+            1 => MemoryStrategy::Hashed,
+            _ => return Err(CodecError::Invalid("bad memory-strategy tag")),
+        };
+        let stats = decode_stats(&mut r)?;
+
+        let mut alpha_mems = Vec::with_capacity(alphas);
+        for _ in 0..alphas {
+            let n = r.usize()?;
+            let mut mem = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                mem.push(WmeId::from_index(r.u32()? as usize));
+            }
+            alpha_mems.push(mem);
+        }
+        let mut alpha_index = Vec::with_capacity(alphas);
+        for _ in 0..alphas {
+            let keys = r.usize()?;
+            let mut index: HashMap<(SymbolId, Value), Vec<WmeId>> = HashMap::new();
+            for _ in 0..keys {
+                let sym = SymbolId::from_index(r.u32()? as usize);
+                let value = Value::decode(&mut r)?;
+                let len = r.usize()?;
+                let mut bucket = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    bucket.push(WmeId::from_index(r.u32()? as usize));
+                }
+                index.insert((sym, value), bucket);
+            }
+            alpha_index.push(index);
+        }
+        let mut states = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            states.push(match r.u8()? {
+                0 => {
+                    let n = r.usize()?;
+                    let mut tokens = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        tokens.push(decode_token(&mut r)?);
+                    }
+                    let keys = r.usize()?;
+                    let mut index: HashMap<(usize, SymbolId, Value), Vec<Token>> = HashMap::new();
+                    for _ in 0..keys {
+                        let pos = r.usize()?;
+                        let sym = SymbolId::from_index(r.u32()? as usize);
+                        let value = Value::decode(&mut r)?;
+                        let len = r.usize()?;
+                        let mut bucket = Vec::with_capacity(len.min(1 << 20));
+                        for _ in 0..len {
+                            bucket.push(decode_token(&mut r)?);
+                        }
+                        index.insert((pos, sym, value), bucket);
+                    }
+                    NodeState::Mem { tokens, index }
+                }
+                1 => {
+                    let n = r.usize()?;
+                    let mut entries = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        let token = decode_token(&mut r)?;
+                        let count = r.u32()?;
+                        entries.push(NegEntry { token, count });
+                    }
+                    NodeState::Neg(entries)
+                }
+                2 => NodeState::Stateless,
+                _ => return Err(CodecError::Invalid("bad node-state tag")),
+            });
+        }
+        if !r.is_done() {
+            return Err(CodecError::Invalid("trailing bytes after snapshot"));
+        }
+
+        let mut matcher = ReteMatcher::from_network(network);
+        matcher.alpha_mems = alpha_mems;
+        matcher.alpha_index = alpha_index;
+        matcher.memory = memory;
+        matcher.states = states;
+        matcher.stats = stats;
+        Ok(matcher)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{parse_program, parse_wme, Change, Matcher, SymbolTable, WorkingMemory};
+
+    const SRC: &str = "(p r1 (a ^x <v>) - (b ^y <v>) (c ^z <v>) --> (halt))\n\
+                       (p r2 (a ^x <v>) (c ^z <v>) --> (remove 1))";
+
+    fn build_state(
+        hashed: bool,
+    ) -> (
+        ReteMatcher,
+        WorkingMemory,
+        SymbolTable,
+        Vec<ops5::WmeId>,
+        ops5::Program,
+    ) {
+        let program = parse_program(SRC).unwrap();
+        let mut m = if hashed {
+            ReteMatcher::compile_hashed(&program).unwrap()
+        } else {
+            ReteMatcher::compile(&program).unwrap()
+        };
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let mut ids = Vec::new();
+        for src in ["(a ^x 1)", "(c ^z 1)", "(b ^y 2)", "(a ^x 2)", "(c ^z 2)"] {
+            let (id, _) = wm.add(parse_wme(src, &mut syms).unwrap());
+            m.process(&wm, &[Change::Add(id)]);
+            ids.push(id);
+        }
+        (m, wm, syms, ids, program)
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_and_future_behavior() {
+        for hashed in [false, true] {
+            let (mut live, mut wm, mut syms, _ids, _program) = build_state(hashed);
+            let snap = live.snapshot();
+            let mut restored = ReteMatcher::restore(live.network().clone(), &snap).unwrap();
+            assert_eq!(restored.resident_tokens(), live.resident_tokens());
+            assert_eq!(restored.stats(), live.stats());
+            assert_eq!(
+                restored.snapshot().as_bytes(),
+                snap.as_bytes(),
+                "snapshot of a restored matcher is byte-identical"
+            );
+
+            // Both matchers process the same future change identically.
+            let (id, _) = wm.add(parse_wme("(b ^y 1)", &mut syms).unwrap());
+            let mut d1 = live.process(&wm, &[Change::Add(id)]);
+            let mut d2 = restored.process(&wm, &[Change::Add(id)]);
+            d1.canonicalize();
+            d2.canonicalize();
+            assert_eq!(d1, d2);
+            assert_eq!(
+                restored.snapshot().as_bytes(),
+                live.snapshot().as_bytes(),
+                "states stay byte-identical after further changes"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_network() {
+        let (live, ..) = build_state(false);
+        let snap = live.snapshot();
+        let other = parse_program("(p q (z ^w 1) --> (halt))").unwrap();
+        let network = Arc::new(Network::compile(&other).unwrap());
+        assert!(matches!(
+            ReteMatcher::restore(network, &snap),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let (live, ..) = build_state(false);
+        let mut bytes = live.snapshot().as_bytes().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        assert!(
+            ReteMatcher::restore(live.network().clone(), &ReteSnapshot::from_bytes(bytes)).is_err()
+        );
+    }
+}

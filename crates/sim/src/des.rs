@@ -171,6 +171,10 @@ pub struct Timeline {
     pub cycle_ends_us: Vec<f64>,
     /// Simulated makespan (µs).
     pub makespan_us: f64,
+    /// Injected fault events `(time_us, label)` from a faulted replay,
+    /// exported as instant events so kills and bus stalls are visible
+    /// next to the schedule they perturbed.
+    pub fault_marks: Vec<(f64, String)>,
 }
 
 impl Timeline {
@@ -211,6 +215,14 @@ impl Timeline {
     /// args) and an instant event per cycle barrier.
     pub fn to_chrome(&self, pid: u32, machine: &str) -> ChromeTrace {
         let mut t = ChromeTrace::new();
+        self.append_chrome(&mut t, pid, machine);
+        t
+    }
+
+    /// Appends this timeline to an existing trace under process `pid`.
+    /// [`HierTimeline::to_chrome`] uses this to place each cluster in
+    /// its own Perfetto process group.
+    pub fn append_chrome(&self, t: &mut ChromeTrace, pid: u32, machine: &str) {
         t.process_name(pid, machine);
         for proc in 0..self.processors {
             t.thread_name(pid, proc as u32, &format!("proc {proc}"));
@@ -234,7 +246,150 @@ impl Timeline {
         for (i, end) in self.cycle_ends_us.iter().enumerate() {
             t.instant(pid, 0, &format!("cycle {i} barrier"), "cycle", *end);
         }
+        for (at, label) in &self.fault_marks {
+            t.instant(pid, 0, label, "fault", *at);
+        }
+    }
+}
+
+/// Per-cluster timelines captured by [`simulate_hierarchical_timeline`]:
+/// one [`Timeline`] per cluster, sharing the global cycle barriers.
+#[derive(Debug, Clone, Default)]
+pub struct HierTimeline {
+    /// One schedule per cluster; thread rows are the cluster's
+    /// processors.
+    pub clusters: Vec<Timeline>,
+}
+
+impl HierTimeline {
+    /// Total busy microseconds across all clusters.
+    pub fn busy_us(&self) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| c.busy_us_per_proc().iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Exports the hierarchical schedule as a Chrome `trace_event`
+    /// trace with one process group per cluster: cluster `i` becomes
+    /// pid `base_pid + i` named `"<machine> cluster <i>"`, so Perfetto
+    /// renders each cluster as a collapsible process with its
+    /// processors as thread rows.
+    pub fn to_chrome(&self, base_pid: u32, machine: &str) -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        for (ci, tl) in self.clusters.iter().enumerate() {
+            tl.append_chrome(
+                &mut t,
+                base_pid + ci as u32,
+                &format!("{machine} cluster {ci}"),
+            );
+        }
         t
+    }
+}
+
+/// A fail-stop processor loss: `proc` serves no recognize–act cycle
+/// that begins at or after `at_us`. Mid-cycle the processor finishes
+/// its current cycle's tasks — the cycle barrier is the fault boundary,
+/// matching the paper's per-cycle synchronization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorKill {
+    /// Processor index (into `PsmSpec::processors`).
+    pub proc: usize,
+    /// Simulated time of the loss (µs).
+    pub at_us: f64,
+}
+
+/// A shared-bus stall window: no activation may *start* inside
+/// `[from_us, from_us + dur_us)`; ready tasks wait until the window
+/// closes. Models a transient bus fault on top of the steady-state
+/// M/M/1 contention model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusStall {
+    /// Window start (µs).
+    pub from_us: f64,
+    /// Window length (µs).
+    pub dur_us: f64,
+}
+
+/// A deterministic fault schedule for the simulated machine:
+/// processor losses and bus-stall windows, replayed identically on
+/// every run with the same trace and spec.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimFaults {
+    /// Fail-stop processor losses.
+    pub kills: Vec<ProcessorKill>,
+    /// Transient bus-stall windows.
+    pub stalls: Vec<BusStall>,
+}
+
+impl SimFaults {
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.stalls.is_empty()
+    }
+
+    /// Adds a processor loss (builder style).
+    pub fn kill(mut self, proc: usize, at_us: f64) -> Self {
+        self.kills.push(ProcessorKill { proc, at_us });
+        self
+    }
+
+    /// Adds a bus-stall window (builder style).
+    pub fn stall(mut self, from_us: f64, dur_us: f64) -> Self {
+        self.stalls.push(BusStall { from_us, dur_us });
+        self
+    }
+
+    /// Kills the `n` highest-numbered of `total` processors at `at_us`,
+    /// clamped so at least one processor survives. This is the §6
+    /// degradation experiment's schedule.
+    pub fn kill_last_n(n: usize, total: usize, at_us: f64) -> Self {
+        let n = n.min(total.saturating_sub(1));
+        let mut f = SimFaults::default();
+        for proc in (total - n)..total {
+            f.kills.push(ProcessorKill { proc, at_us });
+        }
+        f
+    }
+
+    /// True when `proc` has been lost by time `now_us`.
+    fn dead(&self, proc: usize, now_us: f64) -> bool {
+        self.kills
+            .iter()
+            .any(|k| k.proc == proc && now_us >= k.at_us)
+    }
+
+    /// Pushes `start_us` past every bus-stall window it lands in
+    /// (windows may chain).
+    fn stalled_start(&self, mut start_us: f64) -> f64 {
+        loop {
+            let mut moved = false;
+            for w in &self.stalls {
+                if start_us >= w.from_us && start_us < w.from_us + w.dur_us {
+                    start_us = w.from_us + w.dur_us;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return start_us;
+            }
+        }
+    }
+
+    /// Instant-event labels for trace export.
+    fn marks(&self) -> Vec<(f64, String)> {
+        let mut m: Vec<(f64, String)> = self
+            .kills
+            .iter()
+            .map(|k| (k.at_us, format!("kill proc {}", k.proc)))
+            .collect();
+        m.extend(
+            self.stalls
+                .iter()
+                .map(|w| (w.from_us, format!("bus stall {:.1}us", w.dur_us))),
+        );
+        m
     }
 }
 
@@ -261,7 +416,7 @@ impl Timeline {
 /// # }
 /// ```
 pub fn simulate_psm(trace: &Trace, cost: &CostModel, spec: &PsmSpec) -> SimResult {
-    simulate_psm_core(trace, cost, spec, None)
+    simulate_psm_core(trace, cost, spec, None, None)
 }
 
 /// [`simulate_psm`] plus the full per-processor [`Timeline`] (busy
@@ -272,7 +427,38 @@ pub fn simulate_psm_timeline(
     spec: &PsmSpec,
 ) -> (SimResult, Timeline) {
     let mut timeline = Timeline::default();
-    let result = simulate_psm_core(trace, cost, spec, Some(&mut timeline));
+    let result = simulate_psm_core(trace, cost, spec, Some(&mut timeline), None);
+    (result, timeline)
+}
+
+/// [`simulate_psm`] under an injected fault schedule: fail-stop
+/// processor losses take effect at the next cycle barrier, bus-stall
+/// windows delay task starts. With an empty [`SimFaults`] the result is
+/// bit-identical to [`simulate_psm`]. If every processor is killed the
+/// simulation keeps the lowest-numbered processor alive — a machine
+/// with zero processors would deadlock at the first barrier.
+pub fn simulate_psm_faulted(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &PsmSpec,
+    faults: &SimFaults,
+) -> SimResult {
+    simulate_psm_core(trace, cost, spec, None, Some(faults))
+}
+
+/// [`simulate_psm_faulted`] plus the [`Timeline`], with each kill and
+/// bus stall recorded as an instant event for Chrome trace export.
+pub fn simulate_psm_faulted_timeline(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &PsmSpec,
+    faults: &SimFaults,
+) -> (SimResult, Timeline) {
+    let mut timeline = Timeline {
+        fault_marks: faults.marks(),
+        ..Timeline::default()
+    };
+    let result = simulate_psm_core(trace, cost, spec, Some(&mut timeline), Some(faults));
     (result, timeline)
 }
 
@@ -281,6 +467,7 @@ fn simulate_psm_core(
     cost: &CostModel,
     spec: &PsmSpec,
     mut timeline: Option<&mut Timeline>,
+    faults: Option<&SimFaults>,
 ) -> SimResult {
     let p = spec.processors.max(1);
     // First pass: estimate bus utilization from aggregate demand, then
@@ -311,8 +498,15 @@ fn simulate_psm_core(
     for (cycle_idx, cycle) in trace.cycles.iter().enumerate() {
         // Processor availability heap (earliest-free first; processor
         // id as a deterministic tie-break and for timeline capture).
-        let mut procs: BinaryHeap<Reverse<(OrderedF64, usize)>> =
-            (0..p).map(|i| Reverse((OrderedF64(now_us), i))).collect();
+        // Killed processors drop out at the cycle barrier; at least
+        // processor 0 always survives.
+        let mut procs: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..p)
+            .filter(|&i| faults.is_none_or(|f| !f.dead(i, now_us)))
+            .map(|i| Reverse((OrderedF64(now_us), i)))
+            .collect();
+        if procs.is_empty() {
+            procs.push(Reverse((OrderedF64(now_us), 0)));
+        }
         let mut node_free: HashMap<(u8, u32), f64> = HashMap::new();
         let mut cycle_end = now_us;
         let mut change_start = now_us;
@@ -333,6 +527,9 @@ fn simulate_psm_core(
                 let Reverse((OrderedF64(proc_free), proc)) =
                     procs.pop().expect("at least one processor");
                 let mut start = ready.max(proc_free);
+                if let Some(f) = faults {
+                    start = f.stalled_start(start);
+                }
                 if spec.per_node_exclusive {
                     let key = node_key(rec.kind, rec.node);
                     let free = node_free.entry(key).or_insert(change_start);
@@ -445,6 +642,31 @@ pub fn simulate_hierarchical(
     cost: &CostModel,
     spec: &HierarchicalSpec,
 ) -> SimResult {
+    simulate_hierarchical_core(trace, cost, spec, None)
+}
+
+/// [`simulate_hierarchical`] plus a per-cluster [`HierTimeline`]:
+/// each cluster's schedule (slices, cycle barriers) is captured
+/// separately so [`HierTimeline::to_chrome`] can render one Perfetto
+/// process group per cluster.
+pub fn simulate_hierarchical_timeline(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &HierarchicalSpec,
+) -> (SimResult, HierTimeline) {
+    let mut timeline = HierTimeline {
+        clusters: vec![Timeline::default(); spec.clusters.max(1)],
+    };
+    let result = simulate_hierarchical_core(trace, cost, spec, Some(&mut timeline));
+    (result, timeline)
+}
+
+fn simulate_hierarchical_core(
+    trace: &Trace,
+    cost: &CostModel,
+    spec: &HierarchicalSpec,
+    mut timeline: Option<&mut HierTimeline>,
+) -> SimResult {
     let per = spec.processors_per_cluster.max(1);
     let clusters = spec.clusters.max(1);
     let serial_time_s = cost.trace_cost(trace) as f64 / (spec.node.mips * 1e6);
@@ -465,10 +687,12 @@ pub fn simulate_hierarchical(
     let mut busy_us = 0.0f64;
     let mut sched_us = 0.0f64;
     let mut changes = 0u64;
-    for cycle in &trace.cycles {
-        // Fresh per-cluster processor heaps each cycle (barrier).
-        let mut heaps: Vec<BinaryHeap<Reverse<OrderedF64>>> = (0..clusters)
-            .map(|_| (0..per).map(|_| Reverse(OrderedF64(now_us))).collect())
+    for (cycle_idx, cycle) in trace.cycles.iter().enumerate() {
+        // Fresh per-cluster processor heaps each cycle (barrier);
+        // processor ids give a deterministic tie-break and timeline
+        // attribution.
+        let mut heaps: Vec<BinaryHeap<Reverse<(OrderedF64, usize)>>> = (0..clusters)
+            .map(|_| (0..per).map(|i| Reverse((OrderedF64(now_us), i))).collect())
             .collect();
         let mut cycle_end = now_us;
         for (ci, change) in cycle.changes.iter().enumerate() {
@@ -481,19 +705,43 @@ pub fn simulate_hierarchical(
                     Some(p) => done[p as usize],
                     None => change_start,
                 };
-                let dur = instr_time_us(cost.activation_cost(rec)) + sched_overhead_us;
+                let instr_us = instr_time_us(cost.activation_cost(rec));
+                let dur = instr_us + sched_overhead_us;
                 sched_us += sched_overhead_us;
-                let Reverse(OrderedF64(free)) =
+                let Reverse((OrderedF64(free), proc)) =
                     heaps[cluster].pop().expect("cluster has processors");
                 let start = ready.max(free);
                 let end = start + dur;
-                heaps[cluster].push(Reverse(OrderedF64(end)));
+                heaps[cluster].push(Reverse((OrderedF64(end), proc)));
                 busy_us += dur;
                 done.push(end);
                 cycle_end = cycle_end.max(end);
+                if let Some(tl) = timeline.as_deref_mut() {
+                    tl.clusters[cluster].slices.push(BusySlice {
+                        proc: proc as u32,
+                        cycle: cycle_idx as u32,
+                        kind: rec.kind,
+                        node: rec.node,
+                        start_us: start,
+                        dur_us: dur,
+                        bus_stall_us: instr_us - instr_us / bus_slowdown,
+                        sched_us: sched_overhead_us,
+                    });
+                }
             }
         }
         now_us = cycle_end;
+        if let Some(tl) = timeline.as_deref_mut() {
+            for c in &mut tl.clusters {
+                c.cycle_ends_us.push(cycle_end);
+            }
+        }
+    }
+    if let Some(tl) = timeline {
+        for c in &mut tl.clusters {
+            c.processors = per;
+            c.makespan_us = now_us;
+        }
     }
 
     let makespan_s = now_us / 1e6;
@@ -847,6 +1095,122 @@ mod tests {
         contended.bus_miss_ratio = 0.2;
         let (_, stalled) = simulate_psm_timeline(&t, &CostModel::default(), &contended);
         assert!(stalled.bus_stall_us() > 0.0);
+    }
+
+    #[test]
+    fn faulted_with_empty_schedule_matches_baseline() {
+        let t = fanout_trace(6, 8);
+        let m = CostModel::default();
+        let base = simulate_psm(&t, &m, &spec(8));
+        let faulted = simulate_psm_faulted(&t, &m, &spec(8), &SimFaults::default());
+        assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn processor_kills_degrade_throughput_deterministically() {
+        let t = fanout_trace(12, 16);
+        let m = CostModel::default();
+        let base = simulate_psm(&t, &m, &spec(8));
+        let mid_us = base.makespan_s * 1e6 / 2.0;
+        let mut prev = base.makespan_s;
+        for n in [2usize, 4, 6] {
+            let f = SimFaults::kill_last_n(n, 8, mid_us);
+            assert_eq!(f.kills.len(), n);
+            let r = simulate_psm_faulted(&t, &m, &spec(8), &f);
+            assert!(
+                r.makespan_s >= prev,
+                "killing {n} processors must not speed things up"
+            );
+            assert!(r.true_speedup <= base.true_speedup + 1e-9);
+            // Same schedule, same result: the fault plane is deterministic.
+            let again = simulate_psm_faulted(&t, &m, &spec(8), &f);
+            assert_eq!(r, again);
+            prev = r.makespan_s;
+        }
+        // Killing everything is clamped / survived: the run still finishes.
+        let all = SimFaults::kill_last_n(99, 8, 0.0);
+        assert_eq!(all.kills.len(), 7, "at least one processor survives");
+        let r = simulate_psm_faulted(&t, &m, &spec(8), &all);
+        assert!(r.makespan_s > base.makespan_s);
+        let mut total = SimFaults::default();
+        for p in 0..8 {
+            total = total.kill(p, 0.0);
+        }
+        let r = simulate_psm_faulted(&t, &m, &spec(8), &total);
+        assert!(r.makespan_s.is_finite() && r.makespan_s > 0.0);
+        assert!(r.concurrency <= 1.0 + 1e-9, "only the survivor runs");
+    }
+
+    #[test]
+    fn bus_stall_window_delays_the_schedule() {
+        let t = fanout_trace(6, 8);
+        let m = CostModel::default();
+        let base = simulate_psm(&t, &m, &spec(4));
+        let stall_us = base.makespan_s * 1e6 / 4.0;
+        let f = SimFaults::default().stall(0.0, stall_us);
+        let r = simulate_psm_faulted(&t, &m, &spec(4), &f);
+        assert!(
+            r.makespan_s * 1e6 >= base.makespan_s * 1e6 + stall_us - 1e-6,
+            "nothing can start inside the stall window"
+        );
+    }
+
+    #[test]
+    fn faulted_timeline_marks_faults_in_chrome_export() {
+        let t = fanout_trace(4, 4);
+        let m = CostModel::default();
+        let f = SimFaults::kill_last_n(1, 3, 10.0).stall(5.0, 2.0);
+        let (_, tl) = simulate_psm_faulted_timeline(&t, &m, &spec(3), &f);
+        assert_eq!(tl.fault_marks.len(), 2);
+        let json = tl.to_chrome(1, "psm-3").to_json();
+        assert!(json.contains("kill proc 2"));
+        assert!(json.contains("bus stall 2.0us"));
+        assert!(json.contains("\"cat\":\"fault\""));
+    }
+
+    #[test]
+    fn hierarchical_timeline_accounts_for_busy_time() {
+        let t = fanout_trace(5, 8);
+        let m = CostModel::default();
+        let hspec = HierarchicalSpec {
+            clusters: 3,
+            processors_per_cluster: 4,
+            dispatch_latency_us: 2.0,
+            node: spec(4),
+        };
+        let solo = simulate_hierarchical(&t, &m, &hspec);
+        let (r, tl) = simulate_hierarchical_timeline(&t, &m, &hspec);
+        // The aggregate-only path is unchanged by capture.
+        assert_eq!(solo, r);
+        assert_eq!(tl.clusters.len(), 3);
+        assert!((tl.busy_us() / 1e6 - r.busy_s).abs() < 1e-9);
+        for c in &tl.clusters {
+            assert_eq!(c.processors, 4);
+            assert_eq!(c.cycle_ends_us.len(), 5);
+            assert!((c.makespan_us / 1e6 - r.makespan_s).abs() < 1e-12);
+            for s in &c.slices {
+                assert!((s.proc as usize) < c.processors);
+                assert!(s.start_us + s.dur_us <= c.makespan_us + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_chrome_export_groups_clusters_as_processes() {
+        let t = fanout_trace(2, 6);
+        let hspec = HierarchicalSpec {
+            clusters: 2,
+            processors_per_cluster: 2,
+            dispatch_latency_us: 1.0,
+            node: spec(2),
+        };
+        let (_, tl) = simulate_hierarchical_timeline(&t, &CostModel::default(), &hspec);
+        let json = tl.to_chrome(10, "hier").to_json();
+        assert!(json.contains("{\"name\":\"hier cluster 0\"}"));
+        assert!(json.contains("{\"name\":\"hier cluster 1\"}"));
+        assert!(json.contains("\"pid\":10"));
+        assert!(json.contains("\"pid\":11"));
+        assert!(json.contains("cycle 1 barrier"));
     }
 
     #[test]

@@ -37,8 +37,9 @@ pub mod uniprocessor;
 pub use analysis::{granularity_analysis, GranularityReport};
 pub use cost::{CostModel, StateSavingModel};
 pub use des::{
-    simulate_hierarchical, simulate_psm, simulate_psm_timeline, BusySlice, HierarchicalSpec,
-    PsmSpec, Scheduler, SimResult, Timeline,
+    simulate_hierarchical, simulate_hierarchical_timeline, simulate_psm, simulate_psm_faulted,
+    simulate_psm_faulted_timeline, simulate_psm_timeline, BusStall, BusySlice, HierTimeline,
+    HierarchicalSpec, ProcessorKill, PsmSpec, Scheduler, SimFaults, SimResult, Timeline,
 };
 pub use machines::{
     simulate_dado_rete, simulate_dado_treat, simulate_nonvon, simulate_oflazer_machine,

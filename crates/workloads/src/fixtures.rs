@@ -35,6 +35,10 @@ fn parse(src: &str) -> Program {
     ops5::parse_program(src).expect("fixture source parses")
 }
 
+fn parse_lenient(src: &str) -> Program {
+    ops5::parse_program_lenient(src).expect("fixture source parses leniently")
+}
+
 /// PSM001: an RHS `make` reads a variable no positive CE binds. The
 /// parser rejects this in text, so the fixture builds the AST directly —
 /// the defect a rule-generating program could introduce.
@@ -111,6 +115,16 @@ fn unused_variable() -> Program {
     parse("(p unused (a ^x <v> ^y <u>) (b ^x <v>) --> (halt))")
 }
 
+/// PSM010: the strict parser rejects an attribute a `literalize` never
+/// declared, so the fixture parses leniently — the mode `psmlint` uses so
+/// it can report *every* undeclared attribute instead of halting at one.
+fn undeclared_attribute() -> Program {
+    parse_lenient(
+        "(literalize a x)\n\
+         (p undeclared (a ^x 1 ^y 2) --> (make a ^z 3))",
+    )
+}
+
 /// All seeded-defect fixtures, one per lint code.
 pub fn all() -> Vec<DefectFixture> {
     vec![
@@ -159,6 +173,11 @@ pub fn all() -> Vec<DefectFixture> {
             expected_code: "PSM009",
             build: unused_variable,
         },
+        DefectFixture {
+            name: "undeclared-attribute",
+            expected_code: "PSM010",
+            build: undeclared_attribute,
+        },
     ]
 }
 
@@ -191,5 +210,15 @@ mod tests {
     fn unbound_rhs_fixture_is_unwritable_as_text() {
         let err = ops5::parse_program("(p r (a ^x 1) --> (make out ^x <v>))");
         assert!(err.is_err(), "parser must reject unbound RHS vars");
+    }
+
+    #[test]
+    fn undeclared_attribute_fixture_needs_the_lenient_parser() {
+        let src = "(literalize a x)\n(p undeclared (a ^x 1 ^y 2) --> (make a ^z 3))";
+        assert!(
+            ops5::parse_program(src).is_err(),
+            "strict parser rejects undeclared attributes"
+        );
+        assert!(ops5::parse_program_lenient(src).is_ok());
     }
 }

@@ -10,6 +10,8 @@
 //! * [`rete`] — the sequential Rete match network with instrumentation.
 //! * [`baselines`] — TREAT, naive, and Oflazer-style matchers.
 //! * [`core`] — the parallel Rete engine (node-activation granularity).
+//! * [`fault`] — fault injection, checkpoint/WAL recovery, and the
+//!   supervised match cycle with graceful degradation.
 //! * [`sim`] — the trace-driven multiprocessor simulator and the PSM,
 //!   DADO, NON-VON, and Oflazer machine models.
 //! * [`workloads`] — synthetic production-system generators and classic
@@ -26,6 +28,7 @@ pub use baselines;
 pub use ops5;
 pub use psm_analyze as analyze;
 pub use psm_core as core;
+pub use psm_fault as fault;
 pub use psm_obs as obs;
 pub use psm_sim as sim;
 pub use rete;
