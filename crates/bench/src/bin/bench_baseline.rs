@@ -1,0 +1,242 @@
+//! Performance baseline: tier-1 preset throughput and per-phase
+//! latency quantiles, written to `results/bench_baseline.json` so
+//! future PRs have a perf trajectory to compare against (and CI can
+//! archive it as an artifact).
+//!
+//! Each preset runs `--cycles` driver batches through the sequential
+//! Rete matcher. Per-batch latencies land in `psm-obs` histograms:
+//! `act` is batch synthesis (the driver playing the firing's RHS),
+//! `match` is `Matcher::process`, `select` is batch commit (conflict
+//! resolution is trivial in driver runs). The report also measures the
+//! telemetry-plane on/off delta — the same preset run bare vs with a
+//! live `/metrics` listener, a provenance ring, and registry counters —
+//! backing the "near-zero overhead when off" claim in DESIGN.md.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin bench_baseline -- --small
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ops5::Matcher;
+use psm_bench::{f, print_table, CliOptions, Variant};
+use psm_obs::{HistogramSnapshot, Obs};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+use rete::ReteMatcher;
+use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+fn out_dir() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string())
+}
+
+struct PresetBaseline {
+    name: &'static str,
+    cycles: u64,
+    wme_changes: u64,
+    elapsed_s: f64,
+    wme_changes_per_sec: f64,
+    firings_per_sec: f64,
+    phases: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Runs one preset, recording per-phase latencies into `obs`.
+fn run_preset(preset: Preset, variant: Variant, cycles: u64) -> PresetBaseline {
+    let spec = match variant {
+        Variant::Small => preset.spec_small(),
+        _ => preset.spec(),
+    };
+    let workload = GeneratedWorkload::generate(spec).expect("workload generates");
+    let mut matcher = ReteMatcher::compile(&workload.program).expect("compiles");
+    let obs = Obs::new(0);
+    let mut driver = WorkloadDriver::new(workload, 0xBA5E);
+    driver.init(&mut matcher);
+
+    let act = obs.metrics.histogram("phase.act_ns");
+    let match_h = obs.metrics.histogram("phase.match_ns");
+    let select = obs.metrics.histogram("phase.select_ns");
+    let mut wme_changes = 0u64;
+    let mut ran = 0u64;
+    let started = Instant::now();
+    for _ in 0..cycles {
+        let t0 = Instant::now();
+        let batch = driver.next_batch();
+        act.record(t0.elapsed().as_nanos() as u64);
+        if batch.is_empty() {
+            break;
+        }
+        let t0 = Instant::now();
+        matcher.process(driver.working_memory(), &batch);
+        match_h.record(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        driver.commit_batch(&batch);
+        select.record(t0.elapsed().as_nanos() as u64);
+        wme_changes += batch.len() as u64;
+        ran += 1;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let snap = obs.metrics.snapshot();
+    let phase = |k: &str| snap.histograms.get(k).cloned().unwrap_or_default();
+    PresetBaseline {
+        name: preset.name(),
+        cycles: ran,
+        wme_changes,
+        elapsed_s,
+        wme_changes_per_sec: wme_changes as f64 / elapsed_s.max(1e-12),
+        // Each driver batch models one firing's change batch.
+        firings_per_sec: ran as f64 / elapsed_s.max(1e-12),
+        phases: vec![
+            ("match", phase("phase.match_ns")),
+            ("select", phase("phase.select_ns")),
+            ("act", phase("phase.act_ns")),
+        ],
+    }
+}
+
+/// The telemetry on/off throughput delta on one preset: bare matcher
+/// vs live listener + flight ring + per-batch histogram records.
+fn overhead_delta(cycles: u64) -> (f64, f64, f64) {
+    let spec = Preset::Vt.spec_small();
+    let workload = GeneratedWorkload::generate(spec).expect("workload generates");
+
+    let run_once = |telemetry: bool| -> f64 {
+        let mut matcher = ReteMatcher::compile(&workload.program).expect("compiles");
+        let _plane = if telemetry {
+            let obs = Arc::new(Obs::with_flight(1024, 4096));
+            matcher.attach_obs(Arc::clone(&obs));
+            Some(TelemetryServer::start(obs, &TelemetryConfig::default()).expect("listener binds"))
+        } else {
+            None
+        };
+        let mut driver = WorkloadDriver::new(workload.clone(), 0xFEED);
+        driver.init(&mut matcher);
+        let started = Instant::now();
+        driver.run_cycles(&mut matcher, cycles);
+        started.elapsed().as_secs_f64()
+    };
+
+    // Warm up, then interleave and compare best-of-5 so drift hits
+    // both configurations equally.
+    run_once(false);
+    run_once(true);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        off = off.min(run_once(false));
+        on = on.min(run_once(true));
+    }
+    let delta_pct = if off > 0.0 {
+        100.0 * (on - off) / off
+    } else {
+        0.0
+    };
+    (off, on, delta_pct)
+}
+
+fn phase_json(out: &mut String, phases: &[(&'static str, HistogramSnapshot)]) {
+    out.push('{');
+    for (i, (name, h)) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":{}}}",
+            h.count,
+            h.quantile_bound(0.5),
+            h.quantile_bound(0.99),
+            h.sum.checked_div(h.count).unwrap_or(0),
+        ));
+    }
+    out.push('}');
+}
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let out = out_dir();
+    let variant = opts.variant();
+
+    let mut rows = Vec::new();
+    let mut baselines = Vec::new();
+    for preset in Preset::all() {
+        let b = run_preset(preset, variant, opts.cycles);
+        rows.push(vec![
+            b.name.to_string(),
+            b.cycles.to_string(),
+            f(b.wme_changes_per_sec, 0),
+            f(b.firings_per_sec, 0),
+            b.phases[0].1.quantile_bound(0.5).to_string(),
+            b.phases[0].1.quantile_bound(0.99).to_string(),
+        ]);
+        baselines.push(b);
+    }
+    print_table(
+        &format!(
+            "bench_baseline: sequential Rete, {} presets, {} cycles",
+            if matches!(variant, Variant::Small) {
+                "small"
+            } else {
+                "full"
+            },
+            opts.cycles
+        ),
+        &[
+            "system",
+            "cycles",
+            "wme-changes/s",
+            "firings/s",
+            "match p50 ns",
+            "match p99 ns",
+        ],
+        &rows,
+    );
+
+    let (off_s, on_s, delta_pct) = overhead_delta(opts.cycles.clamp(40, 120));
+    println!(
+        "\ntelemetry overhead (vt small): off {} s, on {} s, delta {}%",
+        f(off_s, 4),
+        f(on_s, 4),
+        f(delta_pct, 2)
+    );
+
+    let mut json = String::from("{\"bench\":\"bench_baseline\",\"variant\":\"");
+    json.push_str(if matches!(variant, Variant::Small) {
+        "small"
+    } else {
+        "full"
+    });
+    json.push_str(&format!("\",\"cycles\":{},\"presets\":{{", opts.cycles));
+    for (i, b) in baselines.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\"{}\":{{\"cycles\":{},\"wme_changes\":{},\"elapsed_s\":{},\"wme_changes_per_sec\":{},\"firings_per_sec\":{},\"phases\":",
+            b.name,
+            b.cycles,
+            b.wme_changes,
+            psm_obs::json::number(b.elapsed_s),
+            psm_obs::json::number(b.wme_changes_per_sec),
+            psm_obs::json::number(b.firings_per_sec),
+        ));
+        phase_json(&mut json, &b.phases);
+        json.push('}');
+    }
+    json.push_str(&format!(
+        "}},\"telemetry_overhead\":{{\"off_s\":{},\"on_s\":{},\"delta_pct\":{}}}}}",
+        psm_obs::json::number(off_s),
+        psm_obs::json::number(on_s),
+        psm_obs::json::number(delta_pct)
+    ));
+
+    let path = format!("{out}/bench_baseline.json");
+    if std::fs::create_dir_all(&out).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("wrote {path}");
+    } else {
+        eprintln!("could not write {path}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,371 @@
+//! `psmtop` — a `top`-style terminal dashboard for a running engine,
+//! fed entirely by the telemetry plane's `/snapshot` endpoint.
+//!
+//! Each frame polls `/snapshot`, diffs counters against the previous
+//! frame, and renders:
+//!
+//! * per-worker busy / steal / idle shares (from
+//!   `engine.worker.*{worker="N"}` counter deltas),
+//! * per-phase latency p50/p99 (reconstructed
+//!   [`HistogramSnapshot`]s, windowed between frames when possible),
+//! * conflict-set depth and working-memory size gauges,
+//! * a live §6 estimate: nominal concurrency ≈ (exec + lock-wait) /
+//!   wall, true concurrency ≈ exec / wall, loss factor = their ratio —
+//!   the paper's 15.92 / 8.25 = 1.93 decomposition, computed on the
+//!   fly. When a DES run has published `sim.*{system=…}` gauges those
+//!   exact figures are shown too.
+//!
+//! ```sh
+//! psmtop --demo                      # self-contained: in-process engine + server
+//! psmtop --addr 127.0.0.1:9184      # attach to an existing listener
+//! psmtop --addr … --once            # one frame, no ANSI clear (CI-friendly)
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use psm_obs::{HistogramSnapshot, Obs, HIST_BUCKETS};
+use psm_telemetry::client::{http_get, Json};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+
+struct Options {
+    addr: Option<String>,
+    interval: Duration,
+    once: bool,
+    demo: bool,
+    frames: Option<u64>,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    Options {
+        addr: value("--addr"),
+        interval: Duration::from_millis(
+            value("--interval-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000),
+        ),
+        once: args.iter().any(|a| a == "--once"),
+        demo: args.iter().any(|a| a == "--demo"),
+        frames: value("--frames").and_then(|v| v.parse().ok()),
+    }
+}
+
+/// One polled `/snapshot`, flattened for diffing.
+struct Frame {
+    at: Instant,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn parse_frame(body: &str) -> Option<Frame> {
+    let j = Json::parse(body)?;
+    let m = j.get("metrics")?;
+    let mut counters = BTreeMap::new();
+    for (k, v) in m.get("counters")?.members() {
+        counters.insert(k.clone(), v.as_u64().unwrap_or(0));
+    }
+    let mut gauges = BTreeMap::new();
+    for (k, v) in m.get("gauges")?.members() {
+        gauges.insert(k.clone(), v.as_f64().unwrap_or(0.0) as i64);
+    }
+    let mut hists = BTreeMap::new();
+    for (k, v) in m.get("histograms")?.members() {
+        let mut h = HistogramSnapshot {
+            count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
+            sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
+            ..HistogramSnapshot::default()
+        };
+        for pair in v.get("buckets").map(Json::items).unwrap_or(&[]) {
+            let (Some(i), Some(c)) = (
+                pair.idx(0).and_then(Json::as_u64),
+                pair.idx(1).and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            if (i as usize) < HIST_BUCKETS {
+                h.buckets[i as usize] = c;
+            }
+        }
+        hists.insert(k.clone(), h);
+    }
+    Some(Frame {
+        at: Instant::now(),
+        counters,
+        gauges,
+        hists,
+    })
+}
+
+/// Workers present in the registry, from `engine.worker.tasks{worker=…}`.
+fn worker_ids(frame: &Frame) -> Vec<String> {
+    let mut ids: Vec<String> = frame
+        .counters
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("engine.worker.tasks{worker=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .map(str::to_string)
+        })
+        .collect();
+    ids.sort_by_key(|id| id.parse::<u64>().unwrap_or(u64::MAX));
+    ids
+}
+
+fn worker_counter(frame: &Frame, metric: &str, worker: &str) -> u64 {
+    frame
+        .counters
+        .get(&format!("engine.worker.{metric}{{worker=\"{worker}\"}}"))
+        .copied()
+        .unwrap_or(0)
+}
+
+/// `cur - prev` for one worker counter (0 on first frame or reset).
+fn wdelta(prev: Option<&Frame>, cur: &Frame, metric: &str, worker: &str) -> u64 {
+    let now = worker_counter(cur, metric, worker);
+    let before = prev.map_or(0, |p| worker_counter(p, metric, worker));
+    now.saturating_sub(before)
+}
+
+/// The latency histogram for `key` windowed to the current frame when a
+/// previous frame exists (so quantiles track *recent* behaviour), else
+/// cumulative.
+fn windowed(prev: Option<&Frame>, cur: &Frame, key: &str) -> HistogramSnapshot {
+    let now = cur.hists.get(key).cloned().unwrap_or_default();
+    let Some(before) = prev.and_then(|p| p.hists.get(key)) else {
+        return now;
+    };
+    if before.count > now.count {
+        return now; // engine restarted; window is meaningless
+    }
+    let mut h = HistogramSnapshot {
+        count: now.count - before.count,
+        sum: now.sum.wrapping_sub(before.sum),
+        ..HistogramSnapshot::default()
+    };
+    for i in 0..HIST_BUCKETS {
+        h.buckets[i] = now.buckets[i].saturating_sub(before.buckets[i]);
+    }
+    h
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    let wall_ns = prev
+        .map(|p| cur.at.duration_since(p.at).as_nanos() as u64)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "psmtop — {addr}  (window {:.1}s)\n\n",
+        wall_ns as f64 / 1e9
+    ));
+
+    // Per-worker activity.
+    let workers = worker_ids(cur);
+    if workers.is_empty() {
+        out.push_str("workers: none reported yet (no parallel run in registry)\n");
+    } else {
+        out.push_str("worker     tasks   steals     busy%    lock%    idle-spins\n");
+        let mut exec_total = 0u64;
+        let mut lock_total = 0u64;
+        for w in &workers {
+            let tasks = wdelta(prev, cur, "tasks", w);
+            let steals = wdelta(prev, cur, "steals", w);
+            let exec = wdelta(prev, cur, "exec_ns", w);
+            let lock = wdelta(prev, cur, "lock_wait_ns", w);
+            let spins = wdelta(prev, cur, "idle_spins", w);
+            exec_total += exec;
+            lock_total += lock;
+            let share = |ns: u64| {
+                if wall_ns > 0 {
+                    format!("{:7.1}%", 100.0 * ns as f64 / wall_ns as f64)
+                } else {
+                    "      -".to_string()
+                }
+            };
+            out.push_str(&format!(
+                "{w:>6}  {tasks:>8}  {steals:>7}  {}  {}  {spins:>12}\n",
+                share(exec),
+                share(lock)
+            ));
+        }
+        // Live §6 estimate: lock-wait is work the nominal machine counts
+        // but the true speed-up loses.
+        if wall_ns > 0 && exec_total > 0 {
+            let true_c = exec_total as f64 / wall_ns as f64;
+            let nominal = (exec_total + lock_total) as f64 / wall_ns as f64;
+            out.push_str(&format!(
+                "\nlive §6 estimate: nominal concurrency {:.2}, true {:.2}, loss factor {:.2}\n",
+                nominal,
+                true_c,
+                if true_c > 0.0 { nominal / true_c } else { 0.0 }
+            ));
+        }
+    }
+
+    // DES-published exact §6 figures, when a sim run shares the registry.
+    let sims: Vec<(String, i64)> = cur
+        .gauges
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("sim.concurrency_milli{system=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .map(|sys| (sys.to_string(), *v))
+        })
+        .collect();
+    for (sys, conc) in &sims {
+        let g = |name: &str| {
+            cur.gauges
+                .get(&format!("{name}{{system=\"{sys}\"}}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        out.push_str(&format!(
+            "sim[{sys}]: concurrency {:.2}, true speed-up {:.2}, loss factor {:.2}\n",
+            *conc as f64 / 1e3,
+            g("sim.true_speedup_milli") as f64 / 1e3,
+            g("sim.lost_factor_milli") as f64 / 1e3,
+        ));
+    }
+
+    // Per-phase latency quantiles.
+    out.push_str("\nphase       spans       p50       p99      mean\n");
+    for (label, key) in [
+        ("match", "phase.match_ns"),
+        ("select", "phase.select_ns"),
+        ("act", "phase.act_ns"),
+    ] {
+        let h = windowed(prev, cur, key);
+        let mean = h.sum.checked_div(h.count).unwrap_or(0);
+        out.push_str(&format!(
+            "{label:<9} {:>7}  {:>8}  {:>8}  {:>8}\n",
+            h.count,
+            fmt_ns(h.quantile_bound(0.5)),
+            fmt_ns(h.quantile_bound(0.99)),
+            fmt_ns(mean)
+        ));
+    }
+
+    // Engine state gauges.
+    let gauge = |k: &str| cur.gauges.get(k).copied();
+    let depth = gauge("interp.conflict_size").or_else(|| gauge("fault.conflict_size"));
+    out.push_str(&format!(
+        "\nconflict-set depth {}   wm size {}   firings {}   degradation tier {}\n",
+        depth.map_or("-".to_string(), |v| v.to_string()),
+        gauge("interp.wm_size").map_or("-".to_string(), |v| v.to_string()),
+        cur.counters.get("interp.firings").copied().unwrap_or(0),
+        gauge("fault.tier").map_or("-".to_string(), |v| v.to_string()),
+    ));
+    print!("{out}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// `--demo`: a self-contained live target — a 4-thread parallel engine
+/// churning preset cycles in a background thread, publishing into an
+/// in-process telemetry server.
+fn spawn_demo() -> (TelemetryServer, SocketAddr) {
+    use psm_core::{ParallelOptions, ParallelReteMatcher};
+    use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+    let obs = Arc::new(Obs::with_flight(4096, 16_384));
+    let server = TelemetryServer::start(Arc::clone(&obs), &TelemetryConfig::default())
+        .expect("demo listener binds");
+    let addr = server.local_addr();
+    std::thread::Builder::new()
+        .name("psmtop-demo".to_string())
+        .spawn(move || {
+            let mut seed = 0xD0D0u64;
+            loop {
+                let workload = GeneratedWorkload::generate(Preset::EpSoar.spec_small())
+                    .expect("workload generates");
+                let mut matcher = ParallelReteMatcher::compile(
+                    &workload.program,
+                    ParallelOptions {
+                        threads: 4,
+                        ..ParallelOptions::default()
+                    },
+                )
+                .expect("engine compiles");
+                matcher.attach_obs(Arc::clone(&obs));
+                matcher.enable_timing();
+                let mut driver = WorkloadDriver::new(workload, seed);
+                driver.init(&mut matcher);
+                driver.run_cycles(&mut matcher, 200);
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+        })
+        .expect("demo thread spawns");
+    (server, addr)
+}
+
+fn main() {
+    let opts = parse_args();
+    let (_demo_server, addr) = if opts.demo {
+        let (server, addr) = spawn_demo();
+        (Some(server), addr.to_string())
+    } else {
+        match &opts.addr {
+            Some(a) => (None, a.clone()),
+            None => {
+                eprintln!("usage: psmtop --addr HOST:PORT | --demo  [--interval-ms N] [--once] [--frames N]");
+                std::process::exit(2);
+            }
+        }
+    };
+    let sock: SocketAddr = match addr.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("psmtop: bad --addr {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut prev: Option<Frame> = None;
+    let mut shown = 0u64;
+    loop {
+        let frame = match http_get(sock, "/snapshot", Duration::from_secs(5)) {
+            Ok((200, body)) => parse_frame(&body),
+            Ok((status, _)) => {
+                eprintln!("psmtop: /snapshot returned {status}");
+                None
+            }
+            Err(e) => {
+                eprintln!("psmtop: {addr}: {e}");
+                None
+            }
+        };
+        if let Some(cur) = frame {
+            render(prev.as_ref(), &cur, &addr, !opts.once && shown > 0);
+            prev = Some(cur);
+            shown += 1;
+        } else if opts.once {
+            std::process::exit(1);
+        }
+        if opts.once || opts.frames.is_some_and(|n| shown >= n) {
+            break;
+        }
+        std::thread::sleep(opts.interval);
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end smoke test for the live telemetry plane, wired for CI.
+//!
+//! Runs the real blocks-world program with the flight recorder on, runs
+//! a parallel-engine preset into the same registry, boots the HTTP
+//! listener on an ephemeral port, and asserts over the wire that:
+//!
+//! * `/metrics` returns valid Prometheus exposition including per-worker
+//!   engine counters and per-phase histogram buckets,
+//! * `/healthz` reports engine health as JSON,
+//! * `/explain?rule=put-on` reproduces the causal chain (exact WME time
+//!   tags) for a real firing,
+//! * `/snapshot` returns the full JSON snapshot.
+//!
+//! Exits non-zero on any failed check, so CI can gate on it. Pass
+//! `--serve` to keep the server alive for manual `curl`.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin telemetry_smoke
+//! cargo run --release -p psm-bench --bin telemetry_smoke -- --serve
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ops5::{parse_program, parse_wmes, Interpreter};
+use psm_bench::{capture, Variant};
+use psm_core::{ParallelOptions, ParallelReteMatcher};
+use psm_obs::Obs;
+use psm_sim::{publish_sim_result, simulate_psm, CostModel, PsmSpec};
+use psm_telemetry::client::{http_get, Json};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+use rete::ReteMatcher;
+use workloads::{Preset, WorkloadDriver};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("telemetry_smoke FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Runs `assets/blocks.ops` to quiescence with provenance recording on.
+fn run_blocks_world(obs: &Arc<Obs>) -> u64 {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let src = std::fs::read_to_string(format!("{root}/assets/blocks.ops"))
+        .unwrap_or_else(|e| fail(&format!("read blocks.ops: {e}")));
+    let wm_src = std::fs::read_to_string(format!("{root}/assets/blocks.wm"))
+        .unwrap_or_else(|e| fail(&format!("read blocks.wm: {e}")));
+    let mut program = parse_program(&src).expect("blocks.ops parses");
+    let initial = parse_wmes(&wm_src, &mut program.symbols).expect("blocks.wm parses");
+    let mut matcher = ReteMatcher::compile(&program).expect("blocks compiles");
+    matcher.attach_obs(Arc::clone(obs));
+    let mut interp = Interpreter::new(program, matcher);
+    interp.attach_obs(Arc::clone(obs));
+    interp.insert_all(initial);
+    interp.run(10_000).expect("blocks runs")
+}
+
+/// Runs a small preset on the 4-thread parallel engine so the registry
+/// carries `engine.worker.*{worker="N"}` series.
+fn run_parallel_preset(obs: &Arc<Obs>) {
+    let workload = workloads::GeneratedWorkload::generate(Preset::EpSoar.spec_small())
+        .expect("workload generates");
+    let mut matcher = ParallelReteMatcher::compile(
+        &workload.program,
+        ParallelOptions {
+            threads: 4,
+            ..ParallelOptions::default()
+        },
+    )
+    .expect("engine compiles");
+    matcher.attach_obs(Arc::clone(obs));
+    matcher.enable_timing();
+    let mut driver = WorkloadDriver::new(workload, 0xD1CE);
+    driver.init(&mut matcher);
+    driver.run_cycles(&mut matcher, 40);
+}
+
+/// Replays a short DES run and publishes its §6 figures into the same
+/// registry, so `/metrics` carries `sim_*{system="vt"}` gauges.
+fn run_sim(obs: &Arc<Obs>) {
+    let captured = capture(Preset::Vt, Variant::Small, 20, true);
+    let result = simulate_psm(&captured.trace, &CostModel::default(), &PsmSpec::paper_32());
+    publish_sim_result(obs, "vt", &result);
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http_get(addr, path, Duration::from_secs(5))
+        .unwrap_or_else(|e| fail(&format!("GET {path}: {e}")))
+}
+
+fn check(cond: bool, what: &str) {
+    if cond {
+        println!("  ok: {what}");
+    } else {
+        fail(what);
+    }
+}
+
+fn main() {
+    let serve = std::env::args().any(|a| a == "--serve");
+
+    let obs = Arc::new(Obs::with_flight(4096, 65_536));
+    obs.set_detail(true);
+    let fired = run_blocks_world(&obs);
+    run_parallel_preset(&obs);
+    run_sim(&obs);
+    println!("blocks-world fired {fired} rules; parallel preset + DES ran; starting listener");
+
+    let server = TelemetryServer::start(Arc::clone(&obs), &TelemetryConfig::default())
+        .unwrap_or_else(|e| fail(&format!("bind listener: {e}")));
+    let addr = server.local_addr();
+    println!("listening on http://{addr}/");
+
+    // /metrics: exposition format, per-worker counters, phase buckets.
+    let (status, metrics) = get(addr, "/metrics");
+    check(status == 200, "/metrics returns 200");
+    check(!metrics.is_empty(), "/metrics body is non-empty");
+    check(
+        metrics.contains("# TYPE engine_worker_tasks counter"),
+        "/metrics declares engine_worker_tasks as a counter",
+    );
+    check(
+        metrics.contains("engine_worker_tasks{worker=\"0\"}")
+            && metrics.contains("engine_worker_tasks{worker=\"3\"}"),
+        "/metrics carries per-worker engine counters",
+    );
+    check(
+        metrics.contains("phase_match_ns_bucket{le="),
+        "/metrics carries per-phase histogram buckets",
+    );
+    check(
+        metrics.contains("phase_match_ns_bucket{le=\"+Inf\"}")
+            && metrics.contains("phase_match_ns_sum")
+            && metrics.contains("phase_match_ns_count"),
+        "/metrics histogram families are complete (+Inf, _sum, _count)",
+    );
+    check(
+        metrics.contains("interp_firings"),
+        "/metrics carries the firing counter",
+    );
+    check(
+        metrics.contains("sim_concurrency_milli{system=\"vt\"}")
+            && metrics.contains("sim_lost_factor_milli{system=\"vt\"}"),
+        "/metrics carries the DES \u{a7}6 gauges",
+    );
+
+    // /healthz: valid JSON with an overall status.
+    let (status, health) = get(addr, "/healthz");
+    check(status == 200, "/healthz returns 200");
+    let health = Json::parse(&health).unwrap_or_else(|| fail("/healthz is valid JSON"));
+    check(
+        health.get("status").and_then(Json::as_str) == Some("ok"),
+        "/healthz reports status ok for an unsupervised run",
+    );
+    check(
+        health.get("firings").and_then(Json::as_u64) == Some(fired),
+        "/healthz firing count matches the interpreter",
+    );
+
+    // /explain: causal chain for a real blocks-world firing.
+    let (status, explain) = get(addr, "/explain?rule=put-on&instance=0");
+    check(status == 200, "/explain?rule=put-on returns 200");
+    let explain = Json::parse(&explain).unwrap_or_else(|| fail("/explain is valid JSON"));
+    check(
+        explain.get("found").and_then(Json::as_bool) == Some(true),
+        "/explain finds the put-on firing",
+    );
+    let tags = explain
+        .get("time_tags")
+        .unwrap_or_else(|| fail("/explain carries time_tags"));
+    check(
+        !tags.items().is_empty() && tags.items().iter().all(|t| t.as_u64().is_some()),
+        "/explain lists the matched WME time tags",
+    );
+    check(
+        !explain
+            .get("records")
+            .unwrap_or(&Json::Null)
+            .items()
+            .is_empty(),
+        "/explain reproduces the causal record chain",
+    );
+
+    // /snapshot: full registry + events + flight status.
+    let (status, snapshot) = get(addr, "/snapshot");
+    check(status == 200, "/snapshot returns 200");
+    let snapshot = Json::parse(&snapshot).unwrap_or_else(|| fail("/snapshot is valid JSON"));
+    check(
+        snapshot
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .is_some(),
+        "/snapshot carries the metrics registry",
+    );
+    check(
+        snapshot
+            .get("flight")
+            .and_then(|f| f.get("len"))
+            .and_then(Json::as_u64)
+            .is_some_and(|n| n > 0),
+        "/snapshot shows a populated flight ring",
+    );
+
+    let (status, _) = get(addr, "/nope");
+    check(status == 404, "unknown paths return 404");
+
+    println!("telemetry_smoke PASS");
+    if serve {
+        println!("--serve: listener stays up; Ctrl-C to stop");
+        loop {
+            std::thread::sleep(Duration::from_secs(60));
+        }
+    }
+    server.shutdown();
+}

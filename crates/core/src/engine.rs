@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use psm_obs::Obs;
+use psm_obs::{FlightKind, Obs};
 
 use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
 use rete::network::NodeKind;
@@ -628,6 +628,7 @@ impl ParallelReteMatcher {
         let merged = merged
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let obs = self.obs.clone();
         for (me, local) in merged {
             delta.merge(local.delta);
             self.stats.tasks += local.tasks;
@@ -637,6 +638,29 @@ impl ParallelReteMatcher {
             worker.tasks = local.tasks;
             self.worker_totals[me].merge(&worker);
             phase_total.merge(&worker);
+            if let Some(obs) = &obs {
+                // Per-worker series for the live exporter; the `{...}`
+                // suffix is the telemetry label convention (psm-telemetry
+                // parses it back out when rendering exposition format).
+                obs.metrics
+                    .counter(&format!("engine.worker.tasks{{worker=\"{me}\"}}"))
+                    .add(worker.tasks);
+                obs.metrics
+                    .counter(&format!("engine.worker.steals{{worker=\"{me}\"}}"))
+                    .add(worker.steals);
+                obs.metrics
+                    .counter(&format!("engine.worker.idle_spins{{worker=\"{me}\"}}"))
+                    .add(worker.idle_spins);
+                obs.metrics
+                    .counter(&format!("engine.worker.exec_ns{{worker=\"{me}\"}}"))
+                    .add(worker.exec_ns);
+                obs.metrics
+                    .counter(&format!("engine.worker.lock_wait_ns{{worker=\"{me}\"}}"))
+                    .add(worker.lock_wait_ns);
+                obs.metrics
+                    .gauge(&format!("engine.worker.max_queue_depth{{worker=\"{me}\"}}"))
+                    .fetch_max(worker.max_queue_depth as i64);
+            }
         }
         if let Some(obs) = &self.obs {
             obs.metrics.counter("engine.tasks").add(phase_total.tasks);
@@ -673,6 +697,21 @@ impl ParallelReteMatcher {
     /// child tasks.
     fn exec(&self, task: Task, local: &mut WorkerLocal, poison: bool) -> Vec<Task> {
         local.tasks += 1;
+        if let Some(obs) = &self.obs {
+            if obs.flight.enabled() {
+                obs.flight.record(FlightKind::Activation {
+                    node: task.node.index() as u32,
+                    kind: match task.payload {
+                        Payload::Right(_) => "parallel-right",
+                        Payload::Left(_) => "parallel-left",
+                    },
+                    wme: match task.payload {
+                        Payload::Right(id) => Some(id.index() as u32),
+                        Payload::Left(_) => None,
+                    },
+                });
+            }
+        }
         let spec = self.network.node(task.node);
         let children = &self.topo.token_children[task.node.index()];
         let mut out = Vec::new();

@@ -478,6 +478,7 @@ impl Supervisor {
         let planned_fails = self.plan.as_ref().map_or(0, |p| p.fails_for_cycle(cycle));
         let mut failed = 0u32;
         let mut deadline_degrade = false;
+        let mut deadline_missed = false;
         let delta = loop {
             if failed < planned_fails && self.tier != Tier::Naive {
                 // A planned transient fault burns this attempt.
@@ -500,6 +501,7 @@ impl Supervisor {
                     if started.elapsed() > self.config.deadline {
                         self.report.deadline_misses += 1;
                         self.count("fault.deadline_misses");
+                        deadline_missed = true;
                         // The delta is valid — keep it — but the tier
                         // missed its budget; leave the parallel engine
                         // after this batch commits.
@@ -539,6 +541,13 @@ impl Supervisor {
         }
         if (cycle + 1).is_multiple_of(self.config.checkpoint_every.max(1)) {
             self.take_checkpoint();
+        }
+        if let Some(obs) = &self.obs {
+            // /healthz reads this: whether the most recent batch blew
+            // its match deadline (1) or met it (0).
+            obs.metrics
+                .gauge("fault.last_cycle_deadline_miss")
+                .set(i64::from(deadline_missed));
         }
         self.publish_gauges();
         delta

@@ -1,0 +1,573 @@
+//! The causal flight recorder: a bounded ring of provenance records
+//! linking working-memory changes to the firings they caused.
+//!
+//! The paper's runtime questions — *why did this cycle stall?*, *why
+//! did rule X fire?* — need the causal chain
+//!
+//! > WME change → node activations → token births/deaths →
+//! > conflict-set insert → firing
+//!
+//! available **while the engine runs**, without stopping the matcher
+//! or replaying a trace. The [`FlightRecorder`] keeps the most recent
+//! `capacity` links of that chain in a fixed-size ring and answers
+//! [`FlightRecorder::explain_firing`] / [`FlightRecorder::explain_cycle`]
+//! queries from it.
+//!
+//! Cost discipline mirrors the rest of `psm-obs`: a recorder built
+//! with capacity 0 is permanently off and every record call is a
+//! single relaxed atomic load; an enabled recorder takes a short
+//! mutex per record (the ring never allocates past its capacity).
+//! Instrumented code must guard record construction with
+//! [`FlightRecorder::enabled`] so the disabled path builds no `Vec`s.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// What one provenance record witnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightKind {
+    /// A working-memory change entered the match network.
+    WmeChange {
+        /// Raw WME id.
+        wme: u32,
+        /// The WME's time tag (0 if unknown at the recording site).
+        time_tag: u64,
+        /// Assert (`true`) or retract (`false`).
+        is_add: bool,
+    },
+    /// A match node executed one activation.
+    Activation {
+        /// Network node index.
+        node: u32,
+        /// Activation kind label (e.g. `join-right`).
+        kind: &'static str,
+        /// The WME that triggered the activation (right activations)
+        /// or the newest WME of the arriving token (left activations).
+        wme: Option<u32>,
+    },
+    /// A token (partial instantiation) came into existence.
+    TokenBirth {
+        /// Node whose output the token is.
+        node: u32,
+        /// The WME ids the token binds, in CE order.
+        wmes: Vec<u32>,
+    },
+    /// A token was retracted.
+    TokenDeath {
+        /// Node whose output the token was.
+        node: u32,
+        /// The WME ids the token bound.
+        wmes: Vec<u32>,
+    },
+    /// An instantiation entered the conflict set.
+    ConflictInsert {
+        /// Production name.
+        rule: String,
+        /// Matched WME ids, in CE order.
+        wmes: Vec<u32>,
+        /// The matched WMEs' time tags, aligned with `wmes`.
+        time_tags: Vec<u64>,
+    },
+    /// An instantiation left the conflict set (retracted, not fired).
+    ConflictRemove {
+        /// Production name.
+        rule: String,
+        /// Matched WME ids.
+        wmes: Vec<u32>,
+    },
+    /// A production fired.
+    Firing {
+        /// Production name.
+        rule: String,
+        /// Matched WME ids, in CE order.
+        wmes: Vec<u32>,
+        /// The matched WMEs' time tags, aligned with `wmes`.
+        time_tags: Vec<u64>,
+    },
+}
+
+impl FlightKind {
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightKind::WmeChange { .. } => "wme-change",
+            FlightKind::Activation { .. } => "activation",
+            FlightKind::TokenBirth { .. } => "token-birth",
+            FlightKind::TokenDeath { .. } => "token-death",
+            FlightKind::ConflictInsert { .. } => "conflict-insert",
+            FlightKind::ConflictRemove { .. } => "conflict-remove",
+            FlightKind::Firing { .. } => "firing",
+        }
+    }
+
+    /// The WME ids this record touches (empty for kinds without any).
+    pub fn wmes(&self) -> &[u32] {
+        match self {
+            FlightKind::WmeChange { wme, .. } => std::slice::from_ref(wme),
+            FlightKind::Activation { wme, .. } => {
+                wme.as_ref().map(std::slice::from_ref).unwrap_or(&[])
+            }
+            FlightKind::TokenBirth { wmes, .. }
+            | FlightKind::TokenDeath { wmes, .. }
+            | FlightKind::ConflictInsert { wmes, .. }
+            | FlightKind::ConflictRemove { wmes, .. }
+            | FlightKind::Firing { wmes, .. } => wmes,
+        }
+    }
+}
+
+/// One entry of the provenance ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// The recognize–act cycle the record belongs to (see
+    /// [`FlightRecorder::set_cycle`]).
+    pub cycle: u64,
+    /// The witnessed event.
+    pub kind: FlightKind,
+}
+
+impl FlightRecord {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"cycle\":");
+        out.push_str(&self.cycle.to_string());
+        out.push_str(",\"kind\":");
+        json::push_escaped(&mut out, self.kind.label());
+        match &self.kind {
+            FlightKind::WmeChange {
+                wme,
+                time_tag,
+                is_add,
+            } => {
+                out.push_str(&format!(
+                    ",\"wme\":{wme},\"time_tag\":{time_tag},\"is_add\":{is_add}"
+                ));
+            }
+            FlightKind::Activation { node, kind, wme } => {
+                out.push_str(&format!(",\"node\":{node},\"node_kind\":"));
+                json::push_escaped(&mut out, kind);
+                if let Some(w) = wme {
+                    out.push_str(&format!(",\"wme\":{w}"));
+                }
+            }
+            FlightKind::TokenBirth { node, wmes } | FlightKind::TokenDeath { node, wmes } => {
+                out.push_str(&format!(",\"node\":{node},\"wmes\":{}", ids_json(wmes)));
+            }
+            FlightKind::ConflictRemove { rule, wmes } => {
+                out.push_str(",\"rule\":");
+                json::push_escaped(&mut out, rule);
+                out.push_str(&format!(",\"wmes\":{}", ids_json(wmes)));
+            }
+            FlightKind::ConflictInsert {
+                rule,
+                wmes,
+                time_tags,
+            }
+            | FlightKind::Firing {
+                rule,
+                wmes,
+                time_tags,
+            } => {
+                out.push_str(",\"rule\":");
+                json::push_escaped(&mut out, rule);
+                out.push_str(&format!(
+                    ",\"wmes\":{},\"time_tags\":{}",
+                    ids_json(wmes),
+                    tags_json(time_tags)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn ids_json(ids: &[u32]) -> String {
+    let mut out = String::from("[");
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn tags_json(tags: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// The causal chain justifying one firing, assembled from the ring.
+#[derive(Debug, Clone, Default)]
+pub struct Explanation {
+    /// The firing itself.
+    pub firing: Option<FlightRecord>,
+    /// The conflict-set insert that scheduled it.
+    pub conflict_insert: Option<FlightRecord>,
+    /// The WME changes among the firing's matched WMEs still in the
+    /// ring.
+    pub wme_changes: Vec<FlightRecord>,
+    /// Node activations triggered by those WMEs.
+    pub activations: Vec<FlightRecord>,
+    /// Token births/deaths binding a subset of the firing's WMEs.
+    pub tokens: Vec<FlightRecord>,
+}
+
+impl Explanation {
+    /// The time tags that justified the firing (empty if the firing
+    /// fell out of the ring).
+    pub fn time_tags(&self) -> Vec<u64> {
+        match &self.firing {
+            Some(FlightRecord {
+                kind: FlightKind::Firing { time_tags, .. },
+                ..
+            }) => time_tags.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All records in causal (sequence) order.
+    pub fn records(&self) -> Vec<&FlightRecord> {
+        let mut all: Vec<&FlightRecord> = self
+            .wme_changes
+            .iter()
+            .chain(self.activations.iter())
+            .chain(self.tokens.iter())
+            .chain(self.conflict_insert.iter())
+            .chain(self.firing.iter())
+            .collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// JSON rendering: `{"found":…,"time_tags":[…],"records":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"found\":");
+        out.push_str(if self.firing.is_some() {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"time_tags\":[");
+        for (i, t) in self.time_tags().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_string());
+        }
+        out.push_str("],\"records\":[");
+        for (i, r) in self.records().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable rendering, one record per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&format!(
+                "[cycle {:>4} seq {:>6}] {}\n",
+                r.cycle,
+                r.seq,
+                r.to_json()
+            ));
+        }
+        if self.firing.is_none() {
+            out.push_str("(no matching firing in the flight ring)\n");
+        }
+        out
+    }
+}
+
+/// Fixed-size, lock-light ring of [`FlightRecord`]s.
+///
+/// Capacity 0 disables the recorder permanently: recording is a single
+/// relaxed atomic load and queries return nothing.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<VecDeque<FlightRecord>>,
+    capacity: usize,
+    seq: AtomicU64,
+    cycle: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` records (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity,
+            seq: AtomicU64::new(0),
+            cycle: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether records are being retained. Call sites must guard
+    /// record construction with this so the disabled path allocates
+    /// nothing.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stamps subsequent records with recognize–act cycle `n`.
+    pub fn set_cycle(&self, n: u64) {
+        self.cycle.store(n, Ordering::Relaxed);
+    }
+
+    /// The current cycle stamp.
+    pub fn cycle(&self) -> u64 {
+        self.cycle.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record (dropping the oldest when full).
+    pub fn record(&self, kind: FlightKind) {
+        if !self.enabled() {
+            return;
+        }
+        let rec = FlightRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            cycle: self.cycle.load(Ordering::Relaxed),
+            kind,
+        };
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(rec);
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the retained records, oldest first.
+    pub fn records(&self) -> Vec<FlightRecord> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// All retained records of recognize–act cycle `n`.
+    pub fn explain_cycle(&self, n: u64) -> Vec<FlightRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.cycle == n)
+            .collect()
+    }
+
+    /// Reconstructs the causal chain behind the `instance`-th retained
+    /// firing of `rule` (0-based, oldest first). Returns a default
+    /// (empty) [`Explanation`] if no such firing is in the ring.
+    ///
+    /// The chain is assembled by WME overlap: WME changes for the
+    /// firing's matched ids, activations those WMEs triggered, and
+    /// token births/deaths binding a subset of the matched ids — all
+    /// at sequence numbers up to the firing's.
+    pub fn explain_firing(&self, rule: &str, instance: usize) -> Explanation {
+        let records = self.records();
+        let firing = records
+            .iter()
+            .filter(|r| matches!(&r.kind, FlightKind::Firing { rule: rl, .. } if rl == rule))
+            .nth(instance)
+            .cloned();
+        let Some(firing) = firing else {
+            return Explanation::default();
+        };
+        let fired_wmes: Vec<u32> = firing.kind.wmes().to_vec();
+        let subset = |ws: &[u32]| !ws.is_empty() && ws.iter().all(|w| fired_wmes.contains(w));
+        let mut ex = Explanation {
+            firing: Some(firing.clone()),
+            ..Explanation::default()
+        };
+        for r in records.iter().filter(|r| r.seq <= firing.seq) {
+            match &r.kind {
+                FlightKind::WmeChange { wme, .. } if fired_wmes.contains(wme) => {
+                    ex.wme_changes.push(r.clone());
+                }
+                FlightKind::Activation { wme: Some(w), .. } if fired_wmes.contains(w) => {
+                    ex.activations.push(r.clone());
+                }
+                FlightKind::TokenBirth { wmes, .. } | FlightKind::TokenDeath { wmes, .. }
+                    if subset(wmes) =>
+                {
+                    ex.tokens.push(r.clone());
+                }
+                FlightKind::ConflictInsert { rule: rl, wmes, .. }
+                    if rl == rule && *wmes == fired_wmes =>
+                {
+                    // The latest insert at or before the firing wins.
+                    ex.conflict_insert = Some(r.clone());
+                }
+                _ => {}
+            }
+        }
+        ex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firing(rule: &str, wmes: Vec<u32>, tags: Vec<u64>) -> FlightKind {
+        FlightKind::Firing {
+            rule: rule.into(),
+            wmes,
+            time_tags: tags,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_permanently_off() {
+        let fr = FlightRecorder::new(0);
+        assert!(!fr.enabled());
+        fr.record(firing("r", vec![1], vec![1]));
+        assert!(fr.is_empty());
+        assert!(fr.explain_firing("r", 0).firing.is_none());
+        assert!(fr.explain_cycle(0).is_empty());
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let fr = FlightRecorder::new(2);
+        for i in 0..5u32 {
+            fr.record(FlightKind::WmeChange {
+                wme: i,
+                time_tag: i as u64,
+                is_add: true,
+            });
+        }
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.dropped(), 3);
+        let recs = fr.records();
+        assert_eq!(recs[0].kind.wmes(), &[3]);
+        assert_eq!(recs[1].seq, 4);
+    }
+
+    #[test]
+    fn explain_firing_assembles_causal_chain() {
+        let fr = FlightRecorder::new(64);
+        fr.set_cycle(7);
+        fr.record(FlightKind::WmeChange {
+            wme: 10,
+            time_tag: 3,
+            is_add: true,
+        });
+        fr.record(FlightKind::WmeChange {
+            wme: 99,
+            time_tag: 4,
+            is_add: true,
+        }); // unrelated
+        fr.record(FlightKind::Activation {
+            node: 5,
+            kind: "join-right",
+            wme: Some(10),
+        });
+        fr.record(FlightKind::TokenBirth {
+            node: 5,
+            wmes: vec![10, 11],
+        }); // 11 not matched -> excluded
+        fr.record(FlightKind::TokenBirth {
+            node: 6,
+            wmes: vec![10],
+        });
+        fr.record(FlightKind::ConflictInsert {
+            rule: "r".into(),
+            wmes: vec![10],
+            time_tags: vec![3],
+        });
+        fr.set_cycle(8);
+        fr.record(firing("r", vec![10], vec![3]));
+
+        let ex = fr.explain_firing("r", 0);
+        assert_eq!(ex.time_tags(), vec![3]);
+        assert_eq!(ex.wme_changes.len(), 1);
+        assert_eq!(ex.activations.len(), 1);
+        assert_eq!(ex.tokens.len(), 1, "superset token excluded");
+        assert!(ex.conflict_insert.is_some());
+        let order: Vec<u64> = ex.records().iter().map(|r| r.seq).collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
+        assert!(ex.to_json().contains("\"found\":true"));
+        assert!(ex.to_text().contains("firing"));
+
+        // Second instance does not exist.
+        assert!(fr.explain_firing("r", 1).firing.is_none());
+        assert!(fr.explain_firing("other", 0).firing.is_none());
+        // Cycle query separates the firing from its match work.
+        assert_eq!(fr.explain_cycle(8).len(), 1);
+        assert_eq!(fr.explain_cycle(7).len(), 6);
+    }
+
+    #[test]
+    fn record_json_shapes() {
+        let r = FlightRecord {
+            seq: 1,
+            cycle: 2,
+            kind: FlightKind::ConflictInsert {
+                rule: "a\"b".into(),
+                wmes: vec![1, 2],
+                time_tags: vec![5, 6],
+            },
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"rule\":\"a\\\"b\""));
+        assert!(j.contains("\"wmes\":[1,2]"));
+        assert!(j.contains("\"time_tags\":[5,6]"));
+        let act = FlightRecord {
+            seq: 0,
+            cycle: 0,
+            kind: FlightKind::Activation {
+                node: 3,
+                kind: "join-left",
+                wme: None,
+            },
+        };
+        assert!(!act.to_json().contains("\"wme\""));
+    }
+}

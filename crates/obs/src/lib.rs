@@ -31,6 +31,7 @@
 
 pub mod chrome;
 pub mod events;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod rng;
@@ -38,6 +39,7 @@ pub mod span;
 
 pub use chrome::{ChromeEvent, ChromeTrace};
 pub use events::{Event, EventRing, FieldValue};
+pub use flight::{Explanation, FlightKind, FlightRecord, FlightRecorder};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS,
 };
@@ -47,8 +49,9 @@ pub use span::{Phase, PhaseProfile, SpanTimer};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One shared observability handle: a metrics [`Registry`], an
-/// [`EventRing`], and a detail toggle gating the more expensive span /
-/// event layer. Clone an `Arc<Obs>` into every worker.
+/// [`EventRing`], a causal [`FlightRecorder`], and a detail toggle
+/// gating the more expensive span / event layer. Clone an `Arc<Obs>`
+/// into every worker.
 #[derive(Debug)]
 pub struct Obs {
     /// Named counters / gauges / histograms.
@@ -56,16 +59,30 @@ pub struct Obs {
     /// Bounded structured-event buffer (disabled until
     /// [`Obs::set_detail`]).
     pub events: EventRing,
+    /// Causal provenance ring (capacity 0 — permanently off — unless
+    /// built via [`Obs::with_flight`]). Unlike the event ring, the
+    /// flight recorder is *always on* once given capacity: it does not
+    /// wait for the detail toggle, so `explain` queries work on a
+    /// production run without enabling the expensive span layer.
+    pub flight: FlightRecorder,
     detail: AtomicBool,
 }
 
 impl Obs {
-    /// A fresh handle with an event ring of `ring_capacity` slots.
-    /// Counters are always live; the span/event layer starts off.
+    /// A fresh handle with an event ring of `ring_capacity` slots and
+    /// the flight recorder off. Counters are always live; the
+    /// span/event layer starts off.
     pub fn new(ring_capacity: usize) -> Self {
+        Self::with_flight(ring_capacity, 0)
+    }
+
+    /// A handle whose flight recorder retains `flight_capacity`
+    /// provenance records (0 = off).
+    pub fn with_flight(ring_capacity: usize, flight_capacity: usize) -> Self {
         Obs {
             metrics: Registry::new(),
             events: EventRing::new(ring_capacity),
+            flight: FlightRecorder::new(flight_capacity),
             detail: AtomicBool::new(false),
         }
     }

@@ -175,20 +175,32 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket containing the `q`-quantile
-    /// (`q` in `[0, 1]`), or 0 for an empty histogram.
+    /// (`q` in `[0, 1]`, NaN treated as 0), or 0 for an empty
+    /// histogram.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // `count as f64` can round up past the true total for huge
+        // counts, so the scan must not rely on reaching `rank`: fall
+        // back to the highest *populated* bucket, never the ring's top
+        // bound (a q=1.0 query on a single-bucket snapshot must return
+        // that bucket's bound, not `u64::MAX`).
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut last_populated = 0usize;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            if c == 0 {
+                continue;
+            }
+            last_populated = i;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return Histogram::bucket_bound(i);
             }
         }
-        Histogram::bucket_bound(HIST_BUCKETS - 1)
+        Histogram::bucket_bound(last_populated)
     }
 }
 
@@ -301,6 +313,10 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{k} = {v}");
         }
         for (k, h) in &self.histograms {
+            if h.count == 0 {
+                let _ = writeln!(out, "{k}: count=0 (empty)");
+                continue;
+            }
             let _ = writeln!(
                 out,
                 "{k}: count={} mean={:.1} p50<={} p99<={}",
@@ -310,6 +326,57 @@ impl MetricsSnapshot {
                 h.quantile_bound(0.99),
             );
         }
+        out
+    }
+
+    /// The snapshot as one JSON object:
+    /// `{"counters":{…},"gauges":{…},"histograms":{name:{"count":…,
+    /// "sum":…,"buckets":[[index,count],…]}}}` — buckets are sparse
+    /// `[bucket index, sample count]` pairs (see
+    /// [`Histogram::bucket_bound`] for the index → bound mapping).
+    pub fn to_json(&self) -> String {
+        use crate::json::push_escaped;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            );
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{b},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -426,6 +493,63 @@ mod tests {
         assert!(s.quantile_bound(1.0) >= 1000);
         assert_eq!(HistogramSnapshot::default().quantile_bound(0.5), 0);
         assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN, -3.0, 7.0] {
+            assert_eq!(empty.quantile_bound(q), 0);
+        }
+
+        // q = 1.0 on a single-bucket snapshot returns that bucket's
+        // bound, including when f64 rounding pushes the rank past the
+        // true total (count near 2^60 rounds up in f64).
+        let mut single = HistogramSnapshot::default();
+        single.buckets[3] = (1u64 << 60) + 1; // values in [4, 8)
+        single.count = (1u64 << 60) + 1;
+        assert_eq!(single.quantile_bound(1.0), Histogram::bucket_bound(3));
+        assert_eq!(single.quantile_bound(0.0), Histogram::bucket_bound(3));
+
+        // A literal single-sample snapshot.
+        let h = Histogram::default();
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(1.0), 7); // bucket [4, 8)
+        assert_eq!(s.quantile_bound(0.0), 7);
+
+        // NaN and out-of-range q are clamped, not propagated.
+        assert_eq!(s.quantile_bound(f64::NAN), 7);
+        assert_eq!(s.quantile_bound(-1.0), 7);
+        assert_eq!(s.quantile_bound(2.0), 7);
+    }
+
+    #[test]
+    fn to_text_marks_empty_histograms() {
+        let r = Registry::new();
+        let _ = r.histogram("never_recorded");
+        r.histogram("recorded").record(9);
+        let text = r.snapshot().to_text();
+        assert!(text.contains("never_recorded: count=0 (empty)"));
+        assert!(text.contains("recorded: count=1"));
+        assert!(!text.contains("never_recorded: count=0 mean"));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.counter("c.one").add(3);
+        r.gauge("g\"quoted").set(-2);
+        r.histogram("h").record(0);
+        r.histogram("h").record(1000);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"counters\":{\"c.one\":3}"));
+        assert!(json.contains("\"g\\\"quoted\":-2"));
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"sum\":1000"));
+        assert!(json.contains("[0,1]"), "sparse zero bucket present");
+        assert!(json.contains("[10,1]"), "1000 lands in bucket 10");
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! exactly what the parallel implementations process concurrently.
 
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
-use psm_obs::{Phase, PhaseProfile};
+use psm_obs::{FlightKind, Obs, Phase, PhaseProfile};
 
 use crate::ast::{Action, Production, Program, RhsArg, VarId};
 use crate::conflict::{ConflictSet, Strategy};
@@ -77,6 +79,8 @@ pub struct Interpreter<M> {
     /// Per-phase (match/select/act) latency histograms; `None` (free)
     /// unless [`Interpreter::enable_phase_profiling`] was called.
     phases: Option<Box<PhaseProfile>>,
+    /// Telemetry sink; see [`Interpreter::attach_obs`].
+    obs: Option<Arc<Obs>>,
 }
 
 impl<M: Matcher> Interpreter<M> {
@@ -95,7 +99,92 @@ impl<M: Matcher> Interpreter<M> {
             stats: RunStats::default(),
             firing_log: None,
             phases: None,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle. Per-cycle phase latencies are
+    /// recorded into `phase.{match,select,act}_ns` registry histograms,
+    /// run counters are published under `interp.*` after every cycle,
+    /// and — when the handle's flight recorder has capacity — the
+    /// interpreter records the conflict-set / firing end of the causal
+    /// chain (WME changes with time tags, conflict inserts/removes,
+    /// firings). Matchers take their own handle via their `attach_obs`;
+    /// use the same `Arc` so everything lands in one registry.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Records `ns` into the registry histogram for `phase`.
+    fn obs_phase_ns(&self, phase: Phase, ns: u64) {
+        if let Some(obs) = &self.obs {
+            obs.metrics
+                .histogram(match phase {
+                    Phase::Match => "phase.match_ns",
+                    Phase::Select => "phase.select_ns",
+                    Phase::Act => "phase.act_ns",
+                })
+                .record(ns);
+        }
+    }
+
+    /// Publishes run-level gauges/counters after a cycle.
+    fn obs_publish_cycle(&self) {
+        if let Some(obs) = &self.obs {
+            obs.metrics
+                .gauge("interp.conflict_size")
+                .set(self.conflict.len() as i64);
+            obs.metrics
+                .gauge("interp.wm_size")
+                .set(self.wm.len() as i64);
+            obs.metrics.counter("interp.firings").inc();
+        }
+    }
+
+    /// Flight-records the conflict-set delta of one match, with the
+    /// time tags that justify each instantiation.
+    fn obs_flight_delta(&self, delta: &crate::matcher::MatchDelta) {
+        let Some(obs) = &self.obs else { return };
+        if !obs.flight.enabled() {
+            return;
+        }
+        for inst in &delta.removed {
+            obs.flight.record(FlightKind::ConflictRemove {
+                rule: self.production_name(inst.production),
+                wmes: inst.wmes.iter().map(|id| id.index() as u32).collect(),
+            });
+        }
+        for inst in &delta.added {
+            obs.flight.record(FlightKind::ConflictInsert {
+                rule: self.production_name(inst.production),
+                wmes: inst.wmes.iter().map(|id| id.index() as u32).collect(),
+                time_tags: self.instantiation_time_tags(inst),
+            });
+        }
+    }
+
+    fn production_name(&self, id: crate::ast::ProductionId) -> String {
+        self.program.production(id).name.clone()
+    }
+
+    fn instantiation_time_tags(&self, inst: &Instantiation) -> Vec<u64> {
+        inst.wmes
+            .iter()
+            .map(|id| self.wm.time_tag(*id).map_or(0, |t| t.0))
+            .collect()
+    }
+
+    /// Flight-records a working-memory change (with its time tag).
+    fn obs_flight_wme(&self, id: WmeId, is_add: bool) {
+        let Some(obs) = &self.obs else { return };
+        if !obs.flight.enabled() {
+            return;
+        }
+        obs.flight.record(FlightKind::WmeChange {
+            wme: id.index() as u32,
+            time_tag: self.wm.time_tag(id).map_or(0, |t| t.0),
+            is_add,
+        });
     }
 
     /// Starts recording every fired instantiation (off by default; the
@@ -178,8 +267,14 @@ impl<M: Matcher> Interpreter<M> {
         let (id, _) = self.wm.add(wme);
         self.stats.wme_changes += 1;
         self.stats.inserts += 1;
+        self.obs_flight_wme(id, true);
+        let timer = self.obs.is_some().then(Instant::now);
         let _span = self.phases.as_ref().map(|p| p.span(Phase::Match));
         let delta = self.matcher.process(&self.wm, &[Change::Add(id)]);
+        if let Some(t) = timer {
+            self.obs_phase_ns(Phase::Match, t.elapsed().as_nanos() as u64);
+        }
+        self.obs_flight_delta(&delta);
         self.conflict.apply(&delta);
         id
     }
@@ -200,10 +295,17 @@ impl<M: Matcher> Interpreter<M> {
         if self.halted {
             return Ok(CycleOutcome::Halted);
         }
+        if let Some(obs) = &self.obs {
+            obs.flight.set_cycle(self.stats.firings + 1);
+        }
+        let timer = self.obs.is_some().then(Instant::now);
         let selected = {
             let _span = self.phases.as_ref().map(|p| p.span(Phase::Select));
             self.conflict.select(&self.wm, &self.program, self.strategy)
         };
+        if let Some(t) = timer {
+            self.obs_phase_ns(Phase::Select, t.elapsed().as_nanos() as u64);
+        }
         let Some(inst) = selected else {
             return Ok(CycleOutcome::Quiescent);
         };
@@ -213,6 +315,7 @@ impl<M: Matcher> Interpreter<M> {
         }
         self.fire(&inst)?;
         self.stats.firings += 1;
+        self.obs_publish_cycle();
         Ok(if self.halted {
             CycleOutcome::Halted
         } else {
@@ -245,6 +348,16 @@ impl<M: Matcher> Interpreter<M> {
     /// Executes the RHS of `inst`, producing and applying the change
     /// batch. `bind` actions extend the bindings as the RHS proceeds.
     fn fire(&mut self, inst: &Instantiation) -> Result<(), Error> {
+        if let Some(obs) = &self.obs {
+            if obs.flight.enabled() {
+                obs.flight.record(FlightKind::Firing {
+                    rule: self.production_name(inst.production),
+                    wmes: inst.wmes.iter().map(|id| id.index() as u32).collect(),
+                    time_tags: self.instantiation_time_tags(inst),
+                });
+            }
+        }
+        let act_timer = self.obs.is_some().then(Instant::now);
         let act_span = self.phases.as_ref().map(|p| p.span(Phase::Act));
         let production = self.program.production(inst.production).clone();
         let mut bindings = self.extract_bindings(&production, inst)?;
@@ -317,8 +430,22 @@ impl<M: Matcher> Interpreter<M> {
         self.stats.inserts += (changes.len() - pending_removes.len()) as u64;
 
         drop(act_span);
+        if let Some(t) = act_timer {
+            self.obs_phase_ns(Phase::Act, t.elapsed().as_nanos() as u64);
+        }
+        for change in &changes {
+            match *change {
+                Change::Add(id) => self.obs_flight_wme(id, true),
+                Change::Remove(id) => self.obs_flight_wme(id, false),
+            }
+        }
+        let match_timer = self.obs.is_some().then(Instant::now);
         let _match_span = self.phases.as_ref().map(|p| p.span(Phase::Match));
         let delta = self.matcher.process(&self.wm, &changes);
+        if let Some(t) = match_timer {
+            self.obs_phase_ns(Phase::Match, t.elapsed().as_nanos() as u64);
+        }
+        self.obs_flight_delta(&delta);
         self.conflict.apply(&delta);
 
         for id in pending_removes {

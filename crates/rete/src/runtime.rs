@@ -16,6 +16,7 @@ use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeI
 use std::collections::HashMap;
 
 use ops5::{PredOp, SymbolId, Value};
+use psm_obs::{FlightKind, Obs};
 
 use crate::network::{CompileOptions, JoinTest, Network, NodeId, NodeKind};
 use crate::profile::MatchProfile;
@@ -101,6 +102,8 @@ pub struct ReteMatcher {
     /// Per-node / per-kind activation timing; `None` (free) unless
     /// [`ReteMatcher::enable_profiling`] was called.
     profile: Option<Box<MatchProfile>>,
+    /// Flight-recorder sink; see [`ReteMatcher::attach_obs`].
+    obs: Option<Arc<Obs>>,
 }
 
 impl ReteMatcher {
@@ -213,7 +216,47 @@ impl ReteMatcher {
             stats: MatchStats::default(),
             tracer: None,
             profile: None,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle. When its flight recorder has
+    /// capacity, the matcher records the network end of the causal
+    /// chain — node activations and token births/deaths — so
+    /// [`psm_obs::FlightRecorder::explain_firing`] can trace a firing
+    /// back through the network. Costs one branch per activation when
+    /// the recorder is off.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Flight-records one pending activation.
+    fn obs_flight_task(&self, task: &Task) {
+        let Some(obs) = &self.obs else { return };
+        if !obs.flight.enabled() {
+            return;
+        }
+        obs.flight.record(FlightKind::Activation {
+            node: task.node.0,
+            kind: self.task_kind(task).label(),
+            wme: match task.payload {
+                Payload::Right(id) => Some(id.index() as u32),
+                Payload::Left(_) => None,
+            },
+        });
+    }
+
+    /// Flight-records a token produced (or retracted) at `node`.
+    fn obs_flight_token(&self, node: NodeId, token: &Token, sign: Sign) {
+        let Some(obs) = &self.obs else { return };
+        if !obs.flight.enabled() {
+            return;
+        }
+        let wmes: Vec<u32> = token.wmes().iter().map(|id| id.index() as u32).collect();
+        obs.flight.record(match sign {
+            Sign::Plus => FlightKind::TokenBirth { node: node.0, wmes },
+            Sign::Minus => FlightKind::TokenDeath { node: node.0, wmes },
+        });
     }
 
     /// The compiled network.
@@ -396,6 +439,7 @@ impl ReteMatcher {
             }
         }
         while let Some(task) = queue.pop_front() {
+            self.obs_flight_task(&task);
             if self.profile.is_some() {
                 let kind = self.task_kind(&task);
                 let node = task.node.0;
@@ -464,7 +508,7 @@ impl ReteMatcher {
                     outputs.len() as u32,
                 );
                 for token in outputs {
-                    self.dispatch_children(&spec.children, token, task.sign, act, queue);
+                    self.dispatch_children(task.node, &spec.children, token, task.sign, act, queue);
                 }
             }
             (NodeKind::Join, Payload::Left(token)) => {
@@ -499,7 +543,7 @@ impl ReteMatcher {
                     outputs.len() as u32,
                 );
                 for out in outputs {
-                    self.dispatch_children(&spec.children, out, task.sign, act, queue);
+                    self.dispatch_children(task.node, &spec.children, out, task.sign, act, queue);
                 }
             }
             (NodeKind::BetaMemory, Payload::Left(token)) => {
@@ -636,7 +680,7 @@ impl ReteMatcher {
                     u32::from(propagate),
                 );
                 if propagate {
-                    self.dispatch_children(&spec.children, token, task.sign, act, queue);
+                    self.dispatch_children(task.node, &spec.children, token, task.sign, act, queue);
                 }
             }
             (NodeKind::Negative, Payload::Right(wme_id)) => {
@@ -691,7 +735,7 @@ impl ReteMatcher {
                     Sign::Minus => Sign::Plus,
                 };
                 for token in flips {
-                    self.dispatch_children(&spec.children, token, out_sign, act, queue);
+                    self.dispatch_children(task.node, &spec.children, token, out_sign, act, queue);
                 }
             }
             (NodeKind::Terminal, Payload::Left(token)) => {
@@ -797,15 +841,17 @@ impl ReteMatcher {
         }
     }
 
-    /// Routes a produced token to a two-input node's children.
+    /// Routes a token produced at `from` to a two-input node's children.
     fn dispatch_children(
         &mut self,
+        from: NodeId,
         children: &[NodeId],
         token: Token,
         sign: Sign,
         parent: Option<u32>,
         queue: &mut VecDeque<Task>,
     ) {
+        self.obs_flight_token(from, &token, sign);
         for &child in children {
             queue.push_back(Task {
                 node: child,

@@ -32,6 +32,7 @@ pub mod analysis;
 pub mod cost;
 pub mod des;
 pub mod machines;
+pub mod publish;
 pub mod uniprocessor;
 
 pub use analysis::{granularity_analysis, GranularityReport};
@@ -45,4 +46,5 @@ pub use machines::{
     simulate_dado_rete, simulate_dado_treat, simulate_nonvon, simulate_oflazer_machine,
     MachineEstimate,
 };
+pub use publish::publish_sim_result;
 pub use uniprocessor::{uniprocessor_ladder, UniprocessorEstimate};

@@ -1,0 +1,81 @@
+//! Publishing simulated-machine results into a live metrics registry.
+//!
+//! The telemetry plane (see the `psm-telemetry` crate) scrapes one
+//! shared [`psm_obs::Registry`]; this module is how a DES run lands its
+//! §6 headline numbers — concurrency, true speed-up, loss factor —
+//! next to the real engine's counters so `psmtop` and `/metrics` show
+//! both sides of the nominal-vs-true story at once.
+//!
+//! Gauges are integral, so ratios are published in milli-units
+//! (`concurrency` 15.92 ⇒ `sim.concurrency_milli` 15920). Each metric
+//! carries a `system` label distinguishing concurrent runs.
+
+use psm_obs::Obs;
+
+use crate::des::SimResult;
+
+/// Publishes `result` into `obs` under `sim.*{system="..."}` gauges.
+///
+/// Idempotent per system: re-publishing overwrites the previous run's
+/// values, so a driver loop can call this every report interval.
+pub fn publish_sim_result(obs: &Obs, system: &str, result: &SimResult) {
+    let g = |name: &str, value: i64| {
+        obs.metrics
+            .gauge(&format!("{name}{{system=\"{system}\"}}"))
+            .set(value);
+    };
+    let milli = |x: f64| (x * 1000.0).round() as i64;
+    g("sim.processors", result.processors as i64);
+    g("sim.concurrency_milli", milli(result.concurrency));
+    g("sim.true_speedup_milli", milli(result.true_speedup));
+    g("sim.lost_factor_milli", milli(result.lost_factor()));
+    g(
+        "sim.wme_changes_per_sec",
+        result.wme_changes_per_sec.round() as i64,
+    );
+    g("sim.firings_per_sec", result.firings_per_sec.round() as i64);
+    g("sim.bus_utilization_milli", milli(result.bus_utilization));
+    g(
+        "sim.sched_overhead_us",
+        milli(result.sched_overhead_s * 1e3),
+    );
+    g("sim.makespan_us", milli(result.makespan_s * 1e3));
+    g("sim.cycles", result.cycles as i64);
+    g("sim.changes", result.changes as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_labeled_milli_gauges() {
+        let obs = Obs::new(0);
+        let result = SimResult {
+            processors: 32,
+            makespan_s: 2.0,
+            busy_s: 16.0,
+            concurrency: 15.92,
+            true_speedup: 8.25,
+            wme_changes_per_sec: 1234.6,
+            firings_per_sec: 99.4,
+            sched_overhead_s: 0.5,
+            bus_utilization: 0.75,
+            cycles: 10,
+            changes: 40,
+        };
+        publish_sim_result(&obs, "vt", &result);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.gauges["sim.concurrency_milli{system=\"vt\"}"], 15920);
+        assert_eq!(snap.gauges["sim.true_speedup_milli{system=\"vt\"}"], 8250);
+        // lost factor = 15.92 / 8.25 ≈ 1.930
+        assert_eq!(snap.gauges["sim.lost_factor_milli{system=\"vt\"}"], 1930);
+        assert_eq!(snap.gauges["sim.wme_changes_per_sec{system=\"vt\"}"], 1235);
+        assert_eq!(snap.gauges["sim.processors{system=\"vt\"}"], 32);
+
+        // Re-publishing a system overwrites rather than accumulates.
+        publish_sim_result(&obs, "vt", &result);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.gauges["sim.processors{system=\"vt\"}"], 32);
+    }
+}

@@ -1,0 +1,349 @@
+//! A tiny blocking HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! Scope is deliberately minimal — enough to serve scrapes and
+//! dashboard polls from inside a benchmark or a production run without
+//! any external dependency: GET only, one request per connection
+//! (`Connection: close`), bounded worker threads, and read/write
+//! timeouts so a stalled scraper cannot wedge a worker.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head (request line + headers) accepted, bytes.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A parsed request: method, path, and decoded query pairs.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// HTTP method (`GET`).
+    pub method: String,
+    /// Path without the query string (`/metrics`).
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response to serialize back to the client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes (textual).
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with `text/plain; version=0.0.4` (the exposition format).
+    pub fn exposition(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+        }
+    }
+
+    /// 200 with `application/json`.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n"),
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (space) in a query component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one request head from `stream`.
+fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(Response::error(431, "request head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(Response::error(408, "timed out reading request"))
+            }
+            Err(_) => return Err(Response::error(400, "read error")),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(Response::error(400, "malformed request line"));
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+    })
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    // A dead client is the client's problem; ignore write errors.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(resp.body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    timeout: Duration,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let resp = match read_request(&mut stream) {
+        Ok(req) => handler(&req),
+        Err(resp) => resp,
+    };
+    write_response(&mut stream, &resp);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The listener plus its accept thread and bounded worker pool.
+///
+/// Dropping the server (or calling [`HttpServer::shutdown`]) stops the
+/// accept loop, drains the workers, and joins every thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts `workers` handler threads behind a bounded queue. When
+    /// every worker is busy and the queue is full, new connections get
+    /// an immediate 503 instead of piling up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        timeout: Duration,
+        handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = workers.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<TcpStream>(workers * 2);
+        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("psm-telemetry-{i}"))
+                    .spawn(move || loop {
+                        let conn = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match conn {
+                            Ok(stream) => handle_connection(stream, timeout, handler.as_ref()),
+                            Err(_) => break, // sender gone: shutting down
+                        }
+                    })
+                    .expect("spawn telemetry worker")
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("psm-telemetry-accept".to_string())
+            .spawn(move || {
+                // `tx` lives in this thread; when the loop ends it drops
+                // and every worker's recv() unblocks with Err.
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                            write_response(&mut stream, &Response::error(503, "server busy"));
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })
+            .expect("spawn telemetry accept loop");
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight requests, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("put%2Don"), "put-on");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("rule=put-on&instance=2&flag");
+        assert_eq!(q[0], ("rule".to_string(), "put-on".to_string()));
+        assert_eq!(q[1], ("instance".to_string(), "2".to_string()));
+        assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+}

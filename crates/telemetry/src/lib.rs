@@ -1,0 +1,269 @@
+//! `psm-telemetry` — the live telemetry plane, with **zero external
+//! dependencies**.
+//!
+//! PR 1's `psm-obs` explains a run *after the fact* (Chrome traces,
+//! JSONL events). This crate makes the same registry observable
+//! **while the engine runs**, which is what the ROADMAP's
+//! production-scale north star requires: a scrape endpoint, a health
+//! endpoint, and live "why did rule X fire" answers without stopping
+//! the matcher.
+//!
+//! | Endpoint    | Serves                                               |
+//! |-------------|------------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition of the registry snapshot  |
+//! | `/healthz`  | Engine + supervisor state (degradation tier, last-cycle deadline miss, recoveries) |
+//! | `/snapshot` | Full JSON [`psm_obs::MetricsSnapshot`] + recent event ring + flight-ring status |
+//! | `/explain`  | Flight-recorder queries: `?rule=R&instance=N` or `?cycle=N` |
+//!
+//! The whole plane is optional: don't start a [`TelemetryServer`] and
+//! no listener thread exists; build the [`psm_obs::Obs`] without flight
+//! capacity and provenance recording is a single relaxed atomic load
+//! per would-be record.
+
+pub mod client;
+pub mod http;
+pub mod prom;
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use psm_obs::{MetricsSnapshot, Obs};
+
+use http::{Request, Response};
+
+/// How the listener is bound and provisioned.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Handler threads (connections beyond `2 × workers` queued get an
+    /// immediate 503).
+    pub workers: usize,
+    /// Per-connection read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The running telemetry plane: an [`http::HttpServer`] routing into a
+/// shared [`Obs`] handle.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    server: http::HttpServer,
+}
+
+impl TelemetryServer {
+    /// Binds the listener and starts serving `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, bad address).
+    pub fn start(obs: Arc<Obs>, config: &TelemetryConfig) -> io::Result<TelemetryServer> {
+        let handler: Arc<dyn Fn(&Request) -> Response + Send + Sync> =
+            Arc::new(move |req| route(&obs, req));
+        let server = http::HttpServer::bind(&config.addr, config.workers, config.timeout, handler)?;
+        Ok(TelemetryServer { server })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stops the listener and joins all serving threads.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Routes one request against `obs`. Public (and pure) so tests and
+/// tools can exercise the endpoints without sockets.
+pub fn route(obs: &Obs, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, "only GET is supported");
+    }
+    match req.path.as_str() {
+        "/metrics" => Response::exposition(prom::render(&obs.metrics.snapshot())),
+        "/healthz" => Response::json(healthz_json(&obs.metrics.snapshot())),
+        "/snapshot" => Response::json(snapshot_json(obs)),
+        "/explain" => explain(obs, req),
+        "/" => Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: "psm-telemetry: /metrics /healthz /snapshot /explain\n".to_string(),
+        },
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+/// Health summary derived purely from the metrics snapshot, so the
+/// server needs nothing beyond the shared `Obs` handle. Tier numbering
+/// follows `psm-fault`: 0 = parallel, 1 = sequential, 2 = naive; a run
+/// without a supervisor has no `fault.tier` gauge and reports
+/// `"unsupervised"`.
+pub fn healthz_json(snap: &MetricsSnapshot) -> String {
+    let tier = snap.gauges.get("fault.tier").copied();
+    let tier_name = match tier {
+        None => "unsupervised",
+        Some(0) => "parallel",
+        Some(1) => "sequential",
+        Some(2) => "naive",
+        Some(_) => "unknown",
+    };
+    let last_miss = snap
+        .gauges
+        .get("fault.last_cycle_deadline_miss")
+        .copied()
+        .unwrap_or(0);
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    let degraded = tier.unwrap_or(0) > 0 || last_miss != 0;
+    format!(
+        concat!(
+            "{{\"status\":\"{}\",\"tier\":{},\"tier_name\":\"{}\",",
+            "\"last_cycle_deadline_miss\":{},\"deadline_misses\":{},",
+            "\"recoveries\":{},\"fallbacks\":{},\"checkpoints\":{},",
+            "\"engine_faults\":{},\"firings\":{}}}"
+        ),
+        if degraded { "degraded" } else { "ok" },
+        match tier {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        },
+        tier_name,
+        last_miss,
+        counter("fault.deadline_misses"),
+        counter("fault.recoveries"),
+        counter("fault.fallbacks"),
+        counter("fault.checkpoints"),
+        counter("fault.engine"),
+        counter("interp.firings"),
+    )
+}
+
+/// `/snapshot`: metrics + buffered events (not drained) + flight-ring
+/// status.
+fn snapshot_json(obs: &Obs) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"metrics\":");
+    out.push_str(&obs.metrics.snapshot().to_json());
+    out.push_str(",\"events\":[");
+    for (i, line) in obs.events.to_jsonl().lines().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push_str("],\"flight\":{\"capacity\":");
+    out.push_str(&obs.flight.capacity().to_string());
+    out.push_str(",\"len\":");
+    out.push_str(&obs.flight.len().to_string());
+    out.push_str(",\"dropped\":");
+    out.push_str(&obs.flight.dropped().to_string());
+    out.push_str(",\"cycle\":");
+    out.push_str(&obs.flight.cycle().to_string());
+    out.push_str("}}");
+    out
+}
+
+/// `/explain?rule=R&instance=N` (instance defaults to 0) or
+/// `/explain?cycle=N`.
+fn explain(obs: &Obs, req: &Request) -> Response {
+    if let Some(cycle) = req.param("cycle") {
+        let Ok(n) = cycle.parse::<u64>() else {
+            return Response::error(400, "cycle must be an integer");
+        };
+        let records = obs.flight.explain_cycle(n);
+        let mut body = format!("{{\"cycle\":{n},\"records\":[");
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&r.to_json());
+        }
+        body.push_str("]}");
+        return Response::json(body);
+    }
+    if let Some(rule) = req.param("rule") {
+        let instance = match req.param("instance") {
+            None => 0,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Response::error(400, "instance must be an integer"),
+            },
+        };
+        return Response::json(obs.flight.explain_firing(rule, instance).to_json());
+    }
+    Response::error(400, "expected ?rule=NAME[&instance=N] or ?cycle=N")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn routes_cover_endpoints() {
+        let obs = Obs::with_flight(16, 16);
+        obs.metrics.counter("interp.firings").add(3);
+        obs.metrics.gauge("fault.tier").set(1);
+        assert_eq!(route(&obs, &get("/metrics", &[])).status, 200);
+        let health = route(&obs, &get("/healthz", &[]));
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"tier_name\":\"sequential\""));
+        assert!(health.body.contains("\"status\":\"degraded\""));
+        assert_eq!(route(&obs, &get("/snapshot", &[])).status, 200);
+        assert_eq!(route(&obs, &get("/nope", &[])).status, 404);
+        assert_eq!(route(&obs, &get("/explain", &[])).status, 400);
+        assert_eq!(route(&obs, &get("/explain", &[("cycle", "0")])).status, 200);
+        let mut bad = get("/metrics", &[]);
+        bad.method = "POST".to_string();
+        assert_eq!(route(&obs, &bad).status, 405);
+    }
+
+    #[test]
+    fn healthz_unsupervised_is_ok() {
+        let snap = MetricsSnapshot::default();
+        let body = healthz_json(&snap);
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"tier\":null"));
+        assert!(body.contains("\"tier_name\":\"unsupervised\""));
+        assert!(client::Json::parse(&body).is_some(), "healthz must be JSON");
+    }
+
+    #[test]
+    fn snapshot_is_valid_json() {
+        let obs = Obs::with_flight(8, 8);
+        obs.set_detail(true);
+        obs.events.emit("tick", &[("n", 1u64.into())]);
+        obs.metrics.counter("c").inc();
+        obs.metrics.histogram("h").record(42);
+        let body = snapshot_json(&obs);
+        let j = client::Json::parse(&body).expect("valid JSON");
+        assert_eq!(j.get("events").unwrap().items().len(), 1);
+        assert!(j.get("metrics").unwrap().get("counters").is_some());
+        assert_eq!(
+            j.get("flight").unwrap().get("capacity").unwrap().as_u64(),
+            Some(8)
+        );
+    }
+}

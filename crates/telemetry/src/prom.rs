@@ -1,0 +1,227 @@
+//! Prometheus text exposition format (version 0.0.4) rendering of a
+//! [`MetricsSnapshot`].
+//!
+//! The registry's label convention: a metric name may carry a literal
+//! trailing `{k="v",...}` block (e.g. `engine.worker.tasks{worker="0"}`).
+//! This module splits that block off, sanitizes the base name to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` charset, re-escapes label values, and
+//! groups samples into families so each family gets exactly one
+//! `# TYPE` line. Histograms expand into the standard
+//! `_bucket`/`_sum`/`_count` triplet with cumulative `le` buckets and a
+//! closing `+Inf`.
+
+use psm_obs::{Histogram, HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+
+/// Maps a registry name to a legal Prometheus metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gets a `_` prefix.
+pub fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for (i, c) in raw.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits `engine.tasks{worker="0"}` into the base name and its parsed
+/// `(key, value)` labels. Names without a trailing block parse to an
+/// empty label list; a malformed block is kept as part of the name (and
+/// later sanitized away).
+pub fn split_labels(raw: &str) -> (&str, Vec<(String, String)>) {
+    let Some(open) = raw.find('{') else {
+        return (raw, Vec::new());
+    };
+    if !raw.ends_with('}') {
+        return (raw, Vec::new());
+    }
+    let inner = &raw[open + 1..raw.len() - 1];
+    let mut labels = Vec::new();
+    for pair in inner.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some(eq) = pair.find('=') else {
+            return (raw, Vec::new());
+        };
+        let (k, v) = (pair[..eq].trim(), pair[eq + 1..].trim());
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or(v);
+        labels.push((sanitize_name(k), v.to_string()));
+    }
+    (&raw[..open], labels)
+}
+
+/// Renders a label list (plus an optional extra `le` label) as the
+/// `{...}` sample suffix; empty labels render as nothing.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Emits the `# TYPE` header the first time each family appears.
+fn type_line(out: &mut String, last: &mut String, family: &str, kind: &str) {
+    if last != family {
+        out.push_str("# TYPE ");
+        out.push_str(family);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        last.clear();
+        last.push_str(family);
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    family: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    let mut cum = 0u64;
+    for i in 0..HIST_BUCKETS {
+        let c = h.buckets[i];
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let bound = Histogram::bucket_bound(i);
+        if bound == u64::MAX {
+            // The top bucket is the +Inf bucket emitted below.
+            continue;
+        }
+        out.push_str(family);
+        out.push_str("_bucket");
+        out.push_str(&label_block(labels, Some(&bound.to_string())));
+        out.push(' ');
+        out.push_str(&cum.to_string());
+        out.push('\n');
+    }
+    out.push_str(family);
+    out.push_str("_bucket");
+    out.push_str(&label_block(labels, Some("+Inf")));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+    out.push_str(family);
+    out.push_str("_sum");
+    out.push_str(&label_block(labels, None));
+    out.push(' ');
+    out.push_str(&h.sum.to_string());
+    out.push('\n');
+    out.push_str(family);
+    out.push_str("_count");
+    out.push_str(&label_block(labels, None));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+}
+
+/// Renders the whole snapshot as exposition text. Families appear in
+/// name order (the snapshot maps are sorted); counters first, then
+/// gauges, then histograms.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut last = String::new();
+    for (name, value) in &snapshot.counters {
+        let (base, labels) = split_labels(name);
+        let family = sanitize_name(base);
+        type_line(&mut out, &mut last, &family, "counter");
+        out.push_str(&family);
+        out.push_str(&label_block(&labels, None));
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.gauges {
+        let (base, labels) = split_labels(name);
+        let family = sanitize_name(base);
+        type_line(&mut out, &mut last, &family, "gauge");
+        out.push_str(&family);
+        out.push_str(&label_block(&labels, None));
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, h) in &snapshot.histograms {
+        let (base, labels) = split_labels(name);
+        let family = sanitize_name(base);
+        type_line(&mut out, &mut last, &family, "histogram");
+        render_histogram(&mut out, &family, &labels, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("engine.worker.tasks"), "engine_worker_tasks");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a:b_c"), "a:b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn splits_and_escapes_labels() {
+        let (base, labels) = split_labels("engine.tasks{worker=\"0\"}");
+        assert_eq!(base, "engine.tasks");
+        assert_eq!(labels, vec![("worker".to_string(), "0".to_string())]);
+        let (base, labels) = split_labels("plain.name");
+        assert_eq!(base, "plain.name");
+        assert!(labels.is_empty());
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,100 @@
+//! Golden test for the Prometheus text exposition renderer: exact
+//! output for a representative registry, plus the format's edge rules
+//! (label escaping, name sanitizing, one `# TYPE` per family,
+//! cumulative `_bucket` lines closed by `+Inf`).
+
+use psm_obs::Obs;
+use psm_telemetry::prom;
+
+#[test]
+fn golden_exposition() {
+    let obs = Obs::new(0);
+    obs.metrics
+        .counter("engine.worker.tasks{worker=\"0\"}")
+        .add(10);
+    obs.metrics
+        .counter("engine.worker.tasks{worker=\"1\"}")
+        .add(20);
+    obs.metrics.counter("interp.firings").add(3);
+    obs.metrics.gauge("interp.conflict_size").set(-2);
+    let h = obs.metrics.histogram("phase.match_ns{phase=\"match\"}");
+    h.record(0);
+    h.record(5);
+    h.record(5);
+    h.record(300);
+
+    // Buckets are log2: 0 -> le="0", 5 -> [4,8) -> le="7",
+    // 300 -> [256,512) -> le="511"; cumulative counts close at +Inf.
+    let expected = "\
+# TYPE engine_worker_tasks counter
+engine_worker_tasks{worker=\"0\"} 10
+engine_worker_tasks{worker=\"1\"} 20
+# TYPE interp_firings counter
+interp_firings 3
+# TYPE interp_conflict_size gauge
+interp_conflict_size -2
+# TYPE phase_match_ns histogram
+phase_match_ns_bucket{phase=\"match\",le=\"0\"} 1
+phase_match_ns_bucket{phase=\"match\",le=\"7\"} 3
+phase_match_ns_bucket{phase=\"match\",le=\"511\"} 4
+phase_match_ns_bucket{phase=\"match\",le=\"+Inf\"} 4
+phase_match_ns_sum{phase=\"match\"} 310
+phase_match_ns_count{phase=\"match\"} 4
+";
+    assert_eq!(prom::render(&obs.metrics.snapshot()), expected);
+}
+
+#[test]
+fn one_type_line_per_family() {
+    let obs = Obs::new(0);
+    for w in 0..4 {
+        obs.metrics
+            .counter(&format!("engine.worker.steals{{worker=\"{w}\"}}"))
+            .inc();
+    }
+    let text = prom::render(&obs.metrics.snapshot());
+    assert_eq!(
+        text.matches("# TYPE engine_worker_steals counter").count(),
+        1,
+        "family header must appear exactly once:\n{text}"
+    );
+    assert_eq!(text.matches("engine_worker_steals{worker=").count(), 4);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let obs = Obs::new(0);
+    obs.metrics.counter("weird.metric{path=\"a\\b\"}").inc();
+    let text = prom::render(&obs.metrics.snapshot());
+    assert!(
+        text.contains("weird_metric{path=\"a\\\\b\"} 1"),
+        "backslash must be escaped:\n{text}"
+    );
+}
+
+#[test]
+fn names_are_sanitized() {
+    let obs = Obs::new(0);
+    obs.metrics.counter("9th.metric-with/odd chars").inc();
+    let text = prom::render(&obs.metrics.snapshot());
+    assert!(text.contains("_9th_metric_with_odd_chars 1"), "{text}");
+}
+
+#[test]
+fn top_bucket_folds_into_inf() {
+    let obs = Obs::new(0);
+    let h = obs.metrics.histogram("h");
+    h.record(u64::MAX); // lands in bucket 64, whose bound is u64::MAX
+    let text = prom::render(&obs.metrics.snapshot());
+    assert!(
+        !text.contains(&format!("le=\"{}\"", u64::MAX)),
+        "no finite bucket line for the top bucket:\n{text}"
+    );
+    assert!(text.contains("h_bucket{le=\"+Inf\"} 1"));
+}
+
+#[test]
+fn empty_snapshot_renders_empty() {
+    let obs = Obs::new(0);
+    assert_eq!(prom::render(&obs.metrics.snapshot()), "");
+}

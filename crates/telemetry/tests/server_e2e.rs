@@ -1,0 +1,151 @@
+//! End-to-end: boot the telemetry server on an ephemeral port and
+//! exercise every endpoint over a real TCP connection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use psm_obs::{FlightKind, Obs};
+use psm_telemetry::client::{http_get, Json};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn live_obs() -> Arc<Obs> {
+    let obs = Arc::new(Obs::with_flight(64, 64));
+    obs.set_detail(true);
+    obs.metrics.counter("interp.firings").add(2);
+    obs.metrics
+        .counter("engine.worker.tasks{worker=\"0\"}")
+        .add(11);
+    obs.metrics.gauge("interp.conflict_size").set(4);
+    obs.metrics.histogram("phase.match_ns").record(1000);
+    obs.events.emit("tick", &[("n", 1u64.into())]);
+    obs.flight.set_cycle(1);
+    obs.flight.record(FlightKind::WmeChange {
+        wme: 7,
+        time_tag: 42,
+        is_add: true,
+    });
+    obs.flight.record(FlightKind::Firing {
+        rule: "demo-rule".to_string(),
+        wmes: vec![7],
+        time_tags: vec![42],
+    });
+    obs
+}
+
+#[test]
+fn serves_all_endpoints_over_tcp() {
+    let server = TelemetryServer::start(live_obs(), &TelemetryConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/metrics", TIMEOUT).expect("/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE interp_firings counter"));
+    assert!(body.contains("interp_firings 2"));
+    assert!(body.contains("engine_worker_tasks{worker=\"0\"} 11"));
+    assert!(body.contains("phase_match_ns_bucket{le=\"+Inf\"} 1"));
+
+    let (status, body) = http_get(addr, "/healthz", TIMEOUT).expect("/healthz");
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).expect("healthz is JSON");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("firings").and_then(Json::as_u64), Some(2));
+
+    let (status, body) = http_get(addr, "/snapshot", TIMEOUT).expect("/snapshot");
+    assert_eq!(status, 200);
+    let snap = Json::parse(&body).expect("snapshot is JSON");
+    assert_eq!(snap.get("events").map(|e| e.items().len()), Some(1));
+    assert_eq!(
+        snap.get("flight")
+            .and_then(|f| f.get("len"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    let (status, body) =
+        http_get(addr, "/explain?rule=demo-rule&instance=0", TIMEOUT).expect("/explain");
+    assert_eq!(status, 200);
+    let ex = Json::parse(&body).expect("explain is JSON");
+    assert_eq!(ex.get("found").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        ex.get("time_tags").map(|t| t.items().to_vec()),
+        Some(vec![Json::Num(42.0)])
+    );
+
+    let (status, _) = http_get(addr, "/explain?cycle=1", TIMEOUT).expect("/explain cycle");
+    assert_eq!(status, 200);
+
+    let (status, _) = http_get(addr, "/missing", TIMEOUT).expect("404 path");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn degraded_supervisor_state_flips_healthz() {
+    let obs = live_obs();
+    obs.metrics.gauge("fault.tier").set(2);
+    obs.metrics.gauge("fault.last_cycle_deadline_miss").set(1);
+    obs.metrics.counter("fault.recoveries").inc();
+    let server = TelemetryServer::start(obs, &TelemetryConfig::default()).expect("binds");
+    let (status, body) = http_get(server.local_addr(), "/healthz", TIMEOUT).expect("/healthz");
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).expect("healthz is JSON");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    assert_eq!(
+        health.get("tier_name").and_then(Json::as_str),
+        Some("naive")
+    );
+    assert_eq!(
+        health
+            .get("last_cycle_deadline_miss")
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(health.get("recoveries").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_and_port_closes() {
+    let server = TelemetryServer::start(live_obs(), &TelemetryConfig::default()).expect("binds");
+    let addr = server.local_addr();
+    assert!(http_get(addr, "/metrics", TIMEOUT).is_ok());
+    server.shutdown();
+    // After shutdown either the connect fails or the read returns
+    // nothing useful; a fresh server can rebind immediately on a new
+    // ephemeral port regardless.
+    let again = TelemetryServer::start(live_obs(), &TelemetryConfig::default()).expect("rebinds");
+    assert!(http_get(again.local_addr(), "/healthz", TIMEOUT).is_ok());
+    again.shutdown();
+}
+
+#[test]
+fn concurrent_scrapes_all_answer() {
+    let server = TelemetryServer::start(
+        live_obs(),
+        &TelemetryConfig {
+            workers: 4,
+            ..TelemetryConfig::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, body) = http_get(addr, "/metrics", TIMEOUT).expect("scrape");
+                assert_eq!(status, 200);
+                assert!(body.contains("interp_firings"));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("scraper thread");
+    }
+    server.shutdown();
+}

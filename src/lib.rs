@@ -31,5 +31,6 @@ pub use psm_core as core;
 pub use psm_fault as fault;
 pub use psm_obs as obs;
 pub use psm_sim as sim;
+pub use psm_telemetry as telemetry;
 pub use rete;
 pub use workloads;
