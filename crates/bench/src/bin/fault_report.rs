@@ -326,7 +326,7 @@ fn write_json(out: &str, sweeps: &[KillSweep], chaos: &[ChaosRun]) {
         j.push_str(&format!(
             ",\"engine_faults\":{},\"transient_faults\":{},\"retries\":{},\"fallbacks\":{},\
              \"recoveries\":{},\"checkpoints\":{},\"wal_replayed\":{},\"deadline_misses\":{},\
-             \"exact\":{}}}",
+             \"worker_respawns\":{},\"exact\":{}}}",
             r.engine_faults,
             r.transient_faults,
             r.retries,
@@ -335,6 +335,7 @@ fn write_json(out: &str, sweeps: &[KillSweep], chaos: &[ChaosRun]) {
             r.checkpoints,
             r.wal_replayed,
             r.deadline_misses,
+            r.worker_respawns,
             c.conflict_matches_fault_free
         ));
     }

@@ -327,6 +327,7 @@ fn engine_section() {
             i.to_string(),
             w.tasks.to_string(),
             w.steals.to_string(),
+            w.steal_attempts.to_string(),
             w.idle_spins.to_string(),
             w.max_queue_depth.to_string(),
             f(w.lock_wait_ns as f64 / 1e3, 1),
@@ -338,6 +339,7 @@ fn engine_section() {
         "ALL".into(),
         total.tasks.to_string(),
         total.steals.to_string(),
+        total.steal_attempts.to_string(),
         total.idle_spins.to_string(),
         total.max_queue_depth.to_string(),
         f(total.lock_wait_ns as f64 / 1e3, 1),
@@ -349,12 +351,19 @@ fn engine_section() {
             "worker",
             "tasks",
             "steals",
+            "attempts",
             "idle spins",
             "max depth",
             "lock wait us",
             "exec us",
         ],
         &rows,
+    );
+    let pool = matcher.pool_stats();
+    println!(
+        "\npool: {} threads spawned once for the matcher's lifetime \
+         ({} respawns, {} live)",
+        pool.spawned, pool.respawns, pool.live
     );
     println!("\nmetrics registry snapshot:");
     for line in obs.metrics.snapshot().to_text().lines() {

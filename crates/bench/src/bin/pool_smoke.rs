@@ -1,0 +1,145 @@
+//! Pool smoke gate: the persistent worker pool must come up, match,
+//! and tear down cleanly at every supported width on every preset.
+//!
+//! For each `threads` in {2, 8, 32} and every workload preset this
+//! compiles a [`ParallelReteMatcher`], drives it through a batch
+//! stream, and asserts the pool lifecycle contract:
+//!
+//! * no worker panics escape (`take_faults() == 0` with no plan set);
+//! * the pool spawns exactly `threads` workers for the matcher's whole
+//!   lifetime (`spawned == threads`, `respawns == 0`) — the pre-pool
+//!   engine spawned `threads × phases` and would fail this instantly;
+//! * every configured worker is still live at the end (`live == threads`);
+//! * dropping the matcher joins the crew: the process thread count
+//!   (from `/proc/self/status`) returns to its pre-run level, so a
+//!   deadlocked or leaked worker fails the gate instead of lingering.
+//!
+//! Deadlocks are caught by the CI job's step timeout: a worker stuck
+//! on the phase gate or the drain loop hangs this binary.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin pool_smoke
+//! ```
+
+use psm_bench::print_table;
+use psm_core::{ParallelOptions, ParallelReteMatcher};
+use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+const WIDTHS: [usize; 3] = [2, 8, 32];
+const CYCLES: u64 = 12;
+
+/// Current thread count of this process, from `/proc/self/status`.
+/// Returns `None` off Linux (the join check is then skipped; the
+/// lifecycle asserts still run).
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Waits briefly for the process thread count to drop back to
+/// `baseline`: `Drop` joins the crew synchronously, but the kernel may
+/// report an exiting thread for a moment after `join` returns.
+fn settled_thread_count(baseline: usize) -> Option<usize> {
+    let mut now = process_threads()?;
+    for _ in 0..50 {
+        if now <= baseline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        now = process_threads()?;
+    }
+    Some(now)
+}
+
+fn smoke(preset: Preset, threads: usize) -> Vec<String> {
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    let baseline = process_threads();
+
+    let mut matcher = ParallelReteMatcher::compile(
+        &workload.program,
+        ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        },
+    )
+    .expect("program compiles");
+    let mut driver = WorkloadDriver::new(workload, 0x5E0C + threads as u64);
+    driver.init(&mut matcher);
+    driver.run_cycles(&mut matcher, CYCLES);
+
+    assert_eq!(
+        matcher.take_faults(),
+        0,
+        "{} t{threads}: a worker panicked with no fault plan set",
+        preset.name()
+    );
+    let stats = matcher.pool_stats();
+    assert_eq!(
+        stats.spawned,
+        threads as u64,
+        "{} t{threads}: pool must spawn exactly once per worker per matcher lifetime",
+        preset.name()
+    );
+    assert_eq!(
+        stats.respawns,
+        0,
+        "{} t{threads}: no worker died, so nothing should have been respawned",
+        preset.name()
+    );
+    assert_eq!(
+        stats.live,
+        threads,
+        "{} t{threads}: final worker count must equal the configured threads",
+        preset.name()
+    );
+    let total = matcher.worker_totals_merged();
+
+    drop(matcher);
+    let joined = match baseline {
+        Some(before) => {
+            let after = settled_thread_count(before).unwrap_or(usize::MAX);
+            assert!(
+                after <= before,
+                "{} t{threads}: {} thread(s) leaked past drop (before {before}, after {after})",
+                preset.name(),
+                after - before
+            );
+            "yes".to_string()
+        }
+        None => "n/a".to_string(),
+    };
+
+    vec![
+        preset.name().to_string(),
+        threads.to_string(),
+        total.tasks.to_string(),
+        total.steals.to_string(),
+        stats.spawned.to_string(),
+        stats.live.to_string(),
+        joined,
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &threads in &WIDTHS {
+        for preset in Preset::all() {
+            rows.push(smoke(preset, threads));
+        }
+    }
+    print_table(
+        &format!("pool smoke: {CYCLES} cycles per preset, widths {WIDTHS:?}"),
+        &[
+            "system", "threads", "tasks", "steals", "spawned", "live", "joined",
+        ],
+        &rows,
+    );
+    println!(
+        "\nall {} runs clean: spawn count == threads per matcher lifetime, \
+         no panics, no leaked threads.",
+        rows.len()
+    );
+}

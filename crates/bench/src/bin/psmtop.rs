@@ -186,12 +186,23 @@ fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
     if workers.is_empty() {
         out.push_str("workers: none reported yet (no parallel run in registry)\n");
     } else {
-        out.push_str("worker     tasks   steals     busy%    lock%    idle-spins\n");
+        // Pool lifecycle gauges: spawned is per matcher lifetime, so a
+        // healthy engine shows it flat at the thread count while
+        // batches keep flowing; respawns only move when a worker died.
+        let pool = |name: &str| cur.gauges.get(&format!("engine.pool.{name}")).copied();
+        if let (Some(spawned), Some(live)) = (pool("spawned"), pool("live")) {
+            out.push_str(&format!(
+                "pool: {live} live / {spawned} spawned this matcher, {} respawns\n\n",
+                pool("respawns").unwrap_or(0)
+            ));
+        }
+        out.push_str("worker     tasks   steals  attempts     busy%    lock%    idle-spins\n");
         let mut exec_total = 0u64;
         let mut lock_total = 0u64;
         for w in &workers {
             let tasks = wdelta(prev, cur, "tasks", w);
             let steals = wdelta(prev, cur, "steals", w);
+            let attempts = wdelta(prev, cur, "steal_attempts", w);
             let exec = wdelta(prev, cur, "exec_ns", w);
             let lock = wdelta(prev, cur, "lock_wait_ns", w);
             let spins = wdelta(prev, cur, "idle_spins", w);
@@ -205,7 +216,7 @@ fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
                 }
             };
             out.push_str(&format!(
-                "{w:>6}  {tasks:>8}  {steals:>7}  {}  {}  {spins:>12}\n",
+                "{w:>6}  {tasks:>8}  {steals:>7}  {attempts:>8}  {}  {}  {spins:>12}\n",
                 share(exec),
                 share(lock)
             ));

@@ -2,11 +2,14 @@
 //!
 //! See the crate docs for the consistency protocol. The engine executes
 //! each change batch in two barrier-separated phases (retractions, then
-//! assertions); within a phase, node activations are tasks drained from a
-//! shared injector and per-worker deques by a pool of scoped worker
-//! threads — the software analogue of the paper's hardware task
-//! scheduler. Workers pop their own deque LIFO (locality), refill from
-//! the shared injector, and steal FIFO from peers when both run dry.
+//! assertions); within a phase, node activations are tasks dealt
+//! round-robin into per-worker deques and drained by a persistent
+//! [`WorkerPool`](crate::pool::WorkerPool) — the software analogue of
+//! the paper's hardware task scheduler. Workers park between phases and
+//! are released together through a phase-start barrier (no worker can
+//! pop before all are eligible), pop their own deque LIFO (locality),
+//! and steal FIFO from peers when it runs dry. Threads are spawned once
+//! per matcher lifetime, not per phase, and joined on drop.
 //!
 //! Every worker keeps [`WorkerStats`] counters (tasks, steals, idle
 //! spins, queue depth, lock wait) that are merged after each phase and
@@ -16,7 +19,7 @@
 //! turns them on, keeping the default hot path free of clock reads.
 
 use std::collections::{HashMap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -27,6 +30,7 @@ use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeI
 use rete::network::NodeKind;
 use rete::{CompileOptions, JoinTest, Network, NodeId, Token};
 
+use crate::pool::{PoolStats, WorkerPool};
 use crate::topology::ParallelTopology;
 
 /// Configuration for the parallel engine.
@@ -76,6 +80,10 @@ pub struct WorkerStats {
     pub tasks: u64,
     /// Tasks taken from another worker's deque.
     pub steals: u64,
+    /// Peer deques probed for work (successful or not). Together with
+    /// `tasks` this witnesses participation: a released worker always
+    /// executes a task or probes every peer before it can go idle.
+    pub steal_attempts: u64,
     /// Empty polls (no task anywhere; the worker yielded).
     pub idle_spins: u64,
     /// High-water mark of this worker's local deque.
@@ -91,6 +99,7 @@ impl WorkerStats {
     pub fn merge(&mut self, other: &WorkerStats) {
         self.tasks += other.tasks;
         self.steals += other.steals;
+        self.steal_attempts += other.steal_attempts;
         self.idle_spins += other.idle_spins;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.lock_wait_ns += other.lock_wait_ns;
@@ -248,6 +257,15 @@ pub struct ParallelReteMatcher {
     /// WMEs by id; workers read this immutably during a phase.
     store: Vec<Option<Wme>>,
     threads: usize,
+    /// The persistent worker crew. Spawned lazily on the first
+    /// non-empty phase (a matcher that never runs costs no threads),
+    /// then reused for every subsequent phase and joined on drop.
+    /// `None` only before first use — `run_phase` takes it out while a
+    /// phase borrows `self` and always puts it back.
+    pool: Option<WorkerPool>,
+    /// Pool lifetime counters, mirrored here so they survive pool
+    /// hand-offs and stay readable without a pool (pre-first-phase).
+    pool_stats: PoolStats,
     stats: ParallelStats,
     /// Per-worker counters accumulated across all phases.
     worker_totals: Vec<WorkerStats>,
@@ -376,6 +394,8 @@ impl ParallelReteMatcher {
             states,
             store: Vec::new(),
             threads,
+            pool: None,
+            pool_stats: PoolStats::default(),
             stats: ParallelStats::default(),
             worker_totals: vec![WorkerStats::default(); threads],
             timing: false,
@@ -423,6 +443,17 @@ impl ParallelReteMatcher {
     /// Worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Worker-pool lifetime counters: threads spawned (== `threads` on
+    /// a healthy run, however many phases executed), dead workers
+    /// respawned after injected or genuine panics, and live threads.
+    /// All zeros before the first non-empty phase (the pool is lazy).
+    pub fn pool_stats(&self) -> PoolStats {
+        match &self.pool {
+            Some(pool) => pool.stats(),
+            None => self.pool_stats,
+        }
     }
 
     /// Per-worker scheduler counters accumulated so far (one entry per
@@ -507,15 +538,23 @@ impl ParallelReteMatcher {
     }
 
     /// Runs one phase: drain `tasks` (and their descendants) across the
-    /// worker pool, returning the merged signed delta.
+    /// persistent worker pool, returning the merged signed delta.
     ///
-    /// Scheduling: seed tasks sit in a shared FIFO injector; spawned
+    /// Scheduling: seed tasks are dealt round-robin into the per-worker
+    /// deques (no shared injector — stealing itself is the load
+    /// balancer); spawned
     /// children go to the spawning worker's own deque, popped LIFO for
-    /// locality. A worker with nothing local and an empty injector
-    /// steals FIFO from a peer (oldest task first — the classic
-    /// work-stealing discipline, kept from the previous
-    /// `crossbeam::deque` implementation but built on `std::sync` so
-    /// the workspace has no external dependencies).
+    /// locality. A worker whose deque runs dry steals FIFO from a peer
+    /// (oldest task first — the classic work-stealing discipline,
+    /// built on `std::sync` so the workspace has no external
+    /// dependencies). The pool's phase-start barrier guarantees every
+    /// worker is released before any of them pops, and the drain loop
+    /// attempts a pop (own deque, then every peer)
+    /// *before* consulting the termination flag — so on any non-empty
+    /// phase each worker either executes a task or records a probe of
+    /// every peer deque, never silently exits without looking. This is
+    /// the fix for the worker-0 small-batch drain race the old
+    /// spawn-per-phase design had.
     fn run_phase(&mut self, label: &'static str, tasks: Vec<Task>) -> MatchDelta {
         self.phase_seq += 1;
         if tasks.is_empty() {
@@ -526,99 +565,99 @@ impl ParallelReteMatcher {
         let timing = self.timing;
         let pending = AtomicUsize::new(tasks.len());
         let task_seq = AtomicU64::new(0);
-        let injector: Mutex<VecDeque<Task>> = Mutex::new(tasks.into());
-        let deques: Vec<Mutex<VecDeque<Task>>> =
-            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        let deques: Vec<Mutex<VecDeque<Task>>> = {
+            let mut qs: Vec<VecDeque<Task>> = (0..threads).map(|_| VecDeque::new()).collect();
+            for (i, t) in tasks.into_iter().enumerate() {
+                qs[i % threads].push_back(t);
+            }
+            qs.into_iter().map(Mutex::new).collect()
+        };
         let merged: Mutex<Vec<(usize, WorkerLocal)>> = Mutex::new(Vec::new());
+        // Take the pool out so the phase job below can borrow `self`
+        // shared; spawned lazily on the first non-empty phase.
+        let mut pool = self.pool.take().unwrap_or_else(|| WorkerPool::new(threads));
         let this: &ParallelReteMatcher = self;
-        // A worker panic (injected, or a genuine bug) unwinds out of the
-        // scope only after every sibling has drained the remaining tasks
-        // (the `PendingGuard` keeps the pending count honest). With a
-        // fault injector attached the panic is contained here and
-        // surfaced through `take_faults`; without one it propagates
-        // unchanged.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|scope| {
-                for me in 0..threads {
-                    let (pending, injector, deques, merged) =
-                        (&pending, &injector, &deques, &merged);
-                    let task_seq = &task_seq;
-                    scope.spawn(move || {
-                        let mut local = WorkerLocal::default();
-                        loop {
-                            if pending.load(Ordering::Acquire) == 0 {
-                                break;
-                            }
-                            let recovered = &this.poison_recovered;
-                            let mut next = relock(&deques[me], recovered).pop_back();
-                            if next.is_none() {
-                                next = relock(injector, recovered).pop_front();
-                            }
-                            if next.is_none() {
-                                for k in 1..threads {
-                                    let victim = (me + k) % threads;
-                                    if let Some(t) = relock(&deques[victim], recovered).pop_front()
-                                    {
-                                        local.worker.steals += 1;
-                                        next = Some(t);
-                                        break;
-                                    }
-                                }
-                            }
-                            match next {
-                                Some(task) => {
-                                    // Decrement on drop so a panicking task
-                                    // cannot leave siblings spinning forever.
-                                    let _guard = PendingGuard(pending);
-                                    let action = match &this.fault {
-                                        Some(f) => {
-                                            let seq = task_seq.fetch_add(1, Ordering::Relaxed);
-                                            f.on_task(phase_seq, seq, me)
-                                        }
-                                        None => FaultAction::None,
-                                    };
-                                    match action {
-                                        FaultAction::DropTask => {
-                                            this.injected_faults.fetch_add(1, Ordering::Relaxed);
-                                            continue;
-                                        }
-                                        FaultAction::PanicWorker => {
-                                            this.injected_faults.fetch_add(1, Ordering::Relaxed);
-                                            panic!("injected fault: worker panic");
-                                        }
-                                        FaultAction::None | FaultAction::PoisonLock => {}
-                                    }
-                                    let started = timing.then(Instant::now);
-                                    let children = this.exec(
-                                        task,
-                                        &mut local,
-                                        action == FaultAction::PoisonLock,
-                                    );
-                                    if let Some(t0) = started {
-                                        local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
-                                    }
-                                    if !children.is_empty() {
-                                        pending.fetch_add(children.len(), Ordering::AcqRel);
-                                        let mut q = relock(&deques[me], recovered);
-                                        for c in children {
-                                            q.push_back(c);
-                                        }
-                                        local.worker.max_queue_depth =
-                                            local.worker.max_queue_depth.max(q.len() as u64);
-                                    }
-                                }
-                                None => {
-                                    local.worker.idle_spins += 1;
-                                    std::thread::yield_now();
-                                }
-                            }
+        let job = |me: usize| {
+            let mut local = WorkerLocal::default();
+            loop {
+                let recovered = &this.poison_recovered;
+                let mut next = relock(&deques[me], recovered).pop_back();
+                if next.is_none() {
+                    for k in 1..threads {
+                        let victim = (me + k) % threads;
+                        local.worker.steal_attempts += 1;
+                        if let Some(t) = relock(&deques[victim], recovered).pop_front() {
+                            local.worker.steals += 1;
+                            next = Some(t);
+                            break;
                         }
-                        relock(merged, &this.poison_recovered).push((me, local));
-                    });
+                    }
                 }
-            })
-        }));
-        if let Err(payload) = outcome {
+                match next {
+                    Some(task) => {
+                        // Decrement on drop so a panicking task
+                        // cannot leave siblings spinning forever.
+                        let _guard = PendingGuard(&pending);
+                        let action = match &this.fault {
+                            Some(f) => {
+                                let seq = task_seq.fetch_add(1, Ordering::Relaxed);
+                                f.on_task(phase_seq, seq, me)
+                            }
+                            None => FaultAction::None,
+                        };
+                        match action {
+                            FaultAction::DropTask => {
+                                this.injected_faults.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            FaultAction::PanicWorker => {
+                                this.injected_faults.fetch_add(1, Ordering::Relaxed);
+                                panic!("injected fault: worker panic");
+                            }
+                            FaultAction::None | FaultAction::PoisonLock => {}
+                        }
+                        let started = timing.then(Instant::now);
+                        let children =
+                            this.exec(task, &mut local, action == FaultAction::PoisonLock);
+                        if let Some(t0) = started {
+                            local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        if !children.is_empty() {
+                            pending.fetch_add(children.len(), Ordering::AcqRel);
+                            let mut q = relock(&deques[me], recovered);
+                            for c in children {
+                                q.push_back(c);
+                            }
+                            local.worker.max_queue_depth =
+                                local.worker.max_queue_depth.max(q.len() as u64);
+                        }
+                    }
+                    None => {
+                        // Pops (including a probe of every peer) came up
+                        // empty; only now consult the termination flag.
+                        // `pending` counts queued plus in-flight tasks,
+                        // so zero here means the phase is fully drained.
+                        if pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        local.worker.idle_spins += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            relock(&merged, &this.poison_recovered).push((me, local));
+        };
+        // A worker panic (injected, or a genuine bug) kills that worker
+        // only; its siblings drain the remaining tasks (the
+        // `PendingGuard` keeps the pending count honest) and the pool
+        // respawns the dead at the phase barrier, handing back the
+        // panic payloads. With a fault injector attached the panic is
+        // contained here and surfaced through `take_faults`; without
+        // one it propagates unchanged.
+        let dead = pool.run(&job);
+        self.pool_stats = pool.stats();
+        self.pool = Some(pool);
+        if let Some((_, payload)) = dead.into_iter().next() {
             if self.fault.is_none() {
                 resume_unwind(payload);
             }
@@ -649,6 +688,9 @@ impl ParallelReteMatcher {
                     .counter(&format!("engine.worker.steals{{worker=\"{me}\"}}"))
                     .add(worker.steals);
                 obs.metrics
+                    .counter(&format!("engine.worker.steal_attempts{{worker=\"{me}\"}}"))
+                    .add(worker.steal_attempts);
+                obs.metrics
                     .counter(&format!("engine.worker.idle_spins{{worker=\"{me}\"}}"))
                     .add(worker.idle_spins);
                 obs.metrics
@@ -666,6 +708,9 @@ impl ParallelReteMatcher {
             obs.metrics.counter("engine.tasks").add(phase_total.tasks);
             obs.metrics.counter("engine.steals").add(phase_total.steals);
             obs.metrics
+                .counter("engine.steal_attempts")
+                .add(phase_total.steal_attempts);
+            obs.metrics
                 .counter("engine.idle_spins")
                 .add(phase_total.idle_spins);
             obs.metrics
@@ -680,6 +725,15 @@ impl ParallelReteMatcher {
             obs.metrics
                 .gauge("engine.lock_poison_recovered")
                 .set(self.poison_recovered.load(Ordering::Relaxed) as i64);
+            obs.metrics
+                .gauge("engine.pool.spawned")
+                .set(self.pool_stats.spawned as i64);
+            obs.metrics
+                .gauge("engine.pool.respawns")
+                .set(self.pool_stats.respawns as i64);
+            obs.metrics
+                .gauge("engine.pool.live")
+                .set(self.pool_stats.live as i64);
             obs.events.emit(
                 "engine.phase",
                 &[
@@ -696,6 +750,10 @@ impl ParallelReteMatcher {
     /// Executes one activation under its node's lock, returning spawned
     /// child tasks.
     fn exec(&self, task: Task, local: &mut WorkerLocal, poison: bool) -> Vec<Task> {
+        debug_assert!(
+            self.topo.active[task.node.index()],
+            "only active (two-input/terminal) nodes receive activations"
+        );
         local.tasks += 1;
         if let Some(obs) = &self.obs {
             if obs.flight.enabled() {
@@ -1074,6 +1132,86 @@ mod tests {
         let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
         let _ = m.process(&wm, &[Change::Add(id)]);
         assert_eq!(m.take_faults(), 1);
+    }
+
+    #[test]
+    fn every_worker_participates_on_small_batch() {
+        // The worker-0 drain-race regression: with the old
+        // spawn-per-phase design, worker 0 drained a small injector
+        // before its siblings finished spawning, so they exited with
+        // zero tasks, zero steals, and zero steal attempts — the
+        // counters measured spawn latency, not contention. Under the
+        // pool's release barrier, every worker is eligible before any
+        // pop; the drain loop then guarantees each worker executes at
+        // least one task or probes every peer deque before it can see
+        // the phase as drained.
+        let threads = 4;
+        let (program, mut m) = parallel(EQ_PROGRAM, threads);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        // A batch of >= 2·threads seed tasks.
+        let mut batch = Vec::new();
+        for class in ["a", "b", "c", "goal"] {
+            for x in 0..2 {
+                let (id, _) = wm.add(parse_wme(&format!("({class} ^x {x})"), &mut syms).unwrap());
+                batch.push(Change::Add(id));
+            }
+        }
+        assert!(batch.len() >= 2 * threads);
+        let _ = m.process(&wm, &batch);
+        for (me, w) in m.worker_stats().iter().enumerate() {
+            assert!(
+                w.tasks > 0 || w.steal_attempts > 0,
+                "worker {me} neither executed a task nor probed a peer: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_spawns_once_per_matcher_lifetime() {
+        let (program, mut m) = parallel(EQ_PROGRAM, 3);
+        assert_eq!(m.pool_stats(), crate::PoolStats::default(), "pool is lazy");
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        for x in 0..8 {
+            let (id, _) = wm.add(parse_wme(&format!("(a ^x {x})"), &mut syms).unwrap());
+            let _ = m.add_wme(&wm, id);
+        }
+        let s = m.pool_stats();
+        assert_eq!(s.spawned, 3, "threads spawned once, not per phase");
+        assert_eq!(s.respawns, 0);
+        assert_eq!(s.live, 3);
+        assert_eq!(m.stats().batches, 8, "many batches ran on that one crew");
+    }
+
+    #[test]
+    fn panicked_worker_is_respawned_and_pool_survives() {
+        let (program, mut m) = parallel(EQ_PROGRAM, 2);
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        // Kill a worker mid-phase on the first batch (phase 2 = its
+        // "add" phase), then keep the matcher running.
+        m.set_fault_injector(Some(Arc::new(OneShot {
+            phase: 2,
+            seq: 0,
+            action: FaultAction::PanicWorker,
+        })));
+        let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        let _ = m.process(&wm, &[Change::Add(id)]);
+        assert_eq!(m.take_faults(), 1);
+        let s = m.pool_stats();
+        assert_eq!(s.respawns, 1, "the dead worker was replaced");
+        assert_eq!(s.spawned, 3, "2 initial + 1 respawn");
+        assert_eq!(s.live, 2, "no thread leak");
+        // The pool survives >= 3 subsequent batches with a full crew.
+        for x in 2..6 {
+            let (id, _) = wm.add(parse_wme(&format!("(b ^x {x})"), &mut syms).unwrap());
+            let _ = m.add_wme(&wm, id);
+        }
+        assert_eq!(m.take_faults(), 0, "one-shot plan fired exactly once");
+        let s = m.pool_stats();
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.live, 2, "final worker count equals configured threads");
     }
 
     #[test]

@@ -37,11 +37,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod engine;
+pub mod pool;
 pub mod production_parallel;
 pub mod topology;
 
 pub use engine::{
     FaultAction, FaultInjector, ParallelOptions, ParallelReteMatcher, ParallelStats, WorkerStats,
 };
+pub use pool::{PoolStats, WorkerPool};
 pub use production_parallel::ProductionParallelMatcher;
 pub use topology::ParallelTopology;

@@ -1,0 +1,376 @@
+//! The persistent worker pool behind the parallel engine.
+//!
+//! The paper's hardware task scheduler keeps every processor eligible
+//! the moment activations appear; the previous software analogue
+//! respawned `thread::scope` workers for every barrier-separated phase,
+//! so on small batches worker 0 drained the injector before its
+//! siblings had even been spawned and the steal/idle counters measured
+//! spawn latency, not contention. [`WorkerPool`] is the long-lived
+//! replacement (the persistent-worker model of classic work-stealing
+//! schedulers):
+//!
+//! * **Park** — between phases every worker sleeps on a condvar; a
+//!   parked pool burns no CPU.
+//! * **Release** — [`WorkerPool::run`] publishes a phase job and bumps
+//!   an epoch; woken workers then wait at a *phase-start arrival
+//!   barrier* so no worker can start popping tasks until all of them
+//!   are eligible. This is the fix for the worker-0 drain race: on a
+//!   small batch every worker now gets a look at the injector.
+//! * **Respawn** — a worker that panics mid-phase (an injected
+//!   `PanicWorker`/`PoisonLock` fault, or a genuine bug) dies cleanly;
+//!   the surviving workers finish the phase, and the pool joins the
+//!   dead thread and respawns a replacement with the *same worker
+//!   index* at the phase barrier, so per-worker counters stay stable
+//!   across pool generations. The panic payloads are handed back to
+//!   the caller, which decides whether to contain or propagate them.
+//! * **Join** — workers are joined once, on [`Drop`], not per phase.
+//!
+//! The phase job borrows caller stack state (task queues, counters);
+//! its lifetime is erased to hand it to the long-lived workers. That is
+//! sound because `run` does not return until every live worker has
+//! reported the phase finished and every dead worker has abandoned the
+//! job by unwinding — no worker can touch the job pointer after `run`
+//! returns, and the pointer is cleared at the phase barrier.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// What a worker thread carried out of a panic.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Lifetime-erased phase job (`fn(worker_index)`), shared by pointer.
+///
+/// Safety: the pointer is only dereferenced between the epoch release
+/// and the phase-done barrier, both of which happen inside one
+/// [`WorkerPool::run`] call that outlives the borrow.
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// The raw pointer crosses into worker threads under the gate mutex;
+// the barrier protocol above is what makes that sound.
+unsafe impl Send for JobPtr {}
+
+/// Phase-release state, guarded by one mutex.
+struct Gate {
+    /// Bumped once per phase; workers park until it moves.
+    epoch: u64,
+    /// The job for the current epoch (`None` between phases).
+    job: Option<JobPtr>,
+    /// Workers that have observed the current epoch (arrival barrier).
+    arrived: usize,
+    /// Set once, by `Drop`; parked workers exit.
+    shutdown: bool,
+}
+
+/// Phase-completion state.
+struct Done {
+    /// Workers that finished (or died during) the current phase.
+    finished: usize,
+    /// Workers that panicked this phase, with their payloads.
+    dead: Vec<(usize, PanicPayload)>,
+}
+
+struct Shared {
+    threads: usize,
+    gate: Mutex<Gate>,
+    /// Workers wait here for the epoch bump *and* for the arrival
+    /// barrier; the last arriver broadcasts.
+    release: Condvar,
+    done: Mutex<Done>,
+    /// `run` waits here for `finished == threads`.
+    done_cv: Condvar,
+}
+
+/// Locks `m`, recovering from poison: pool bookkeeping state is only
+/// mutated under short critical sections that cannot unwind mid-update.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Lifetime counters for one pool. `spawned` counts every thread ever
+/// created (initial crew plus respawns); a healthy run therefore shows
+/// `spawned == threads` for the whole matcher lifetime — the old
+/// design paid `threads` spawns *per phase*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads created over the pool's lifetime.
+    pub spawned: u64,
+    /// Dead workers replaced at a phase barrier.
+    pub respawns: u64,
+    /// Live worker threads right now (equals the configured thread
+    /// count whenever the pool is quiescent).
+    pub live: usize,
+}
+
+/// A persistent crew of `threads` workers executing one phase job at a
+/// time. See the module docs for the park / release / respawn
+/// lifecycle.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.shared.threads)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` parked workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            threads,
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                job: None,
+                arrived: 0,
+                shutdown: false,
+            }),
+            release: Condvar::new(),
+            done: Mutex::new(Done {
+                finished: 0,
+                dead: Vec::new(),
+            }),
+            done_cv: Condvar::new(),
+        });
+        let mut pool = WorkerPool {
+            shared,
+            handles: (0..threads).map(|_| None).collect(),
+            stats: PoolStats::default(),
+        };
+        for me in 0..threads {
+            pool.spawn_worker(me, 0);
+        }
+        pool
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Lifetime spawn / respawn / liveness counters.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = self.stats;
+        s.live = self.handles.iter().flatten().count();
+        s
+    }
+
+    fn spawn_worker(&mut self, me: usize, epoch: u64) {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("psm-worker-{me}"))
+            .spawn(move || worker_loop(&shared, me, epoch))
+            .expect("worker thread spawns");
+        self.handles[me] = Some(handle);
+        self.stats.spawned += 1;
+    }
+
+    /// Runs one phase: releases every worker into `job(worker_index)`,
+    /// blocks until all of them have finished (or died), respawns any
+    /// dead workers, and returns the panic payloads of the dead in
+    /// worker order. The phase-start barrier inside guarantees no
+    /// worker executes `job` before every worker is eligible to.
+    pub fn run(&mut self, job: &(dyn Fn(usize) + Sync)) -> Vec<(usize, PanicPayload)> {
+        {
+            let mut d = lock(&self.shared.done);
+            d.finished = 0;
+            d.dead.clear();
+        }
+        // Erase the borrow's lifetime: workers only use the pointer
+        // inside this call (see the protocol note on `JobPtr`), so
+        // pretending it is `'static` while it sits in the gate is sound.
+        let job: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        let job: *const (dyn Fn(usize) + Sync) = job;
+        let epoch = {
+            let mut g = lock(&self.shared.gate);
+            g.arrived = 0;
+            g.job = Some(JobPtr(job));
+            g.epoch += 1;
+            self.shared.release.notify_all();
+            g.epoch
+        };
+        let mut dead = {
+            let mut d = lock(&self.shared.done);
+            while d.finished < self.shared.threads {
+                d = self
+                    .shared
+                    .done_cv
+                    .wait(d)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            std::mem::take(&mut d.dead)
+        };
+        // Reclaim the job pointer before the caller's borrow ends.
+        lock(&self.shared.gate).job = None;
+        // Phase barrier: bury and replace the dead so the next release
+        // starts with a full crew under the same worker indices.
+        dead.sort_by_key(|(me, _)| *me);
+        for (me, _) in &dead {
+            if let Some(h) = self.handles[*me].take() {
+                let _ = h.join();
+            }
+            self.spawn_worker(*me, epoch);
+            self.stats.respawns += 1;
+        }
+        dead
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = lock(&self.shared.gate);
+            g.shutdown = true;
+            self.shared.release.notify_all();
+        }
+        for h in &mut self.handles {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The worker thread body: park → arrive → execute → report, forever.
+fn worker_loop(shared: &Shared, me: usize, mut seen_epoch: u64) {
+    loop {
+        let job = {
+            let mut g = lock(&shared.gate);
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.epoch != seen_epoch {
+                    break;
+                }
+                g = shared
+                    .release
+                    .wait(g)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            seen_epoch = g.epoch;
+            // Phase-start arrival barrier: block until the whole crew
+            // has observed this epoch, so no worker can pop a task
+            // while a sibling is still parked (the worker-0 drain
+            // race). The crew is always full here because dead workers
+            // are respawned at the previous phase's barrier.
+            g.arrived += 1;
+            if g.arrived == shared.threads {
+                shared.release.notify_all();
+            } else {
+                while g.arrived < shared.threads {
+                    g = shared
+                        .release
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+            JobPtr(g.job.as_ref().expect("released epoch carries a job").0)
+        };
+        // Safety: the pointer was published for this epoch and `run`
+        // cannot return (and thus the borrow cannot end) before this
+        // worker reports into `done` below.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(me) }));
+        let died = outcome.is_err();
+        {
+            let mut d = lock(&shared.done);
+            if let Err(payload) = outcome {
+                d.dead.push((me, payload));
+            }
+            d.finished += 1;
+            shared.done_cv.notify_one();
+        }
+        if died {
+            // The thread exits; the pool joins it and respawns a
+            // replacement under the same index at the phase barrier.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_each_phase_and_spawns_stay_flat() {
+        let mut pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        for _ in 0..10 {
+            let dead = pool.run(&|me| {
+                hits.fetch_add(1 << (16 * me as u64), Ordering::Relaxed);
+            });
+            assert!(dead.is_empty());
+        }
+        let h = hits.load(Ordering::Relaxed);
+        for me in 0..4 {
+            assert_eq!((h >> (16 * me)) & 0xFFFF, 10, "worker {me} ran every phase");
+        }
+        let s = pool.stats();
+        assert_eq!(s.spawned, 4, "one spawn per worker per pool lifetime");
+        assert_eq!(s.respawns, 0);
+        assert_eq!(s.live, 4);
+    }
+
+    #[test]
+    fn no_worker_starts_before_all_are_released() {
+        // If any worker could run the job before its siblings were
+        // eligible, it could observe `arrived < threads` here.
+        let mut pool = WorkerPool::new(3);
+        let seen_short = AtomicUsize::new(0);
+        let shared = Arc::clone(&pool.shared);
+        for _ in 0..50 {
+            pool.run(&|_| {
+                if lock(&shared.gate).arrived < 3 {
+                    seen_short.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        assert_eq!(seen_short.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dead_workers_are_respawned_with_stable_indices() {
+        let mut pool = WorkerPool::new(2);
+        let phase = AtomicU64::new(0);
+        let ran: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        for p in 0..6u64 {
+            phase.store(p, Ordering::Relaxed);
+            let dead = pool.run(&|me| {
+                ran[me].fetch_add(1, Ordering::Relaxed);
+                if phase.load(Ordering::Relaxed) == 2 && me == 1 {
+                    panic!("die once");
+                }
+            });
+            if p == 2 {
+                assert_eq!(dead.len(), 1);
+                assert_eq!(dead[0].0, 1, "worker 1 died");
+            } else {
+                assert!(dead.is_empty(), "phase {p} clean");
+            }
+        }
+        for (me, r) in ran.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 6, "worker {me} ran all phases");
+        }
+        let s = pool.stats();
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.spawned, 3, "2 initial + 1 respawn");
+        assert_eq!(s.live, 2, "no thread leak");
+    }
+
+    #[test]
+    fn drop_joins_quietly() {
+        let pool = WorkerPool::new(8);
+        drop(pool); // must not hang or panic
+    }
+}

@@ -24,6 +24,14 @@ pub struct ParallelTopology {
 }
 
 impl ParallelTopology {
+    /// Number of nodes that participate in parallel execution (the
+    /// two-input and terminal nodes) — the upper bound on per-node
+    /// lock contention and the node-level parallelism the §4 analysis
+    /// counts.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
     /// Derives the flattened topology from a compiled network.
     pub fn from_network(network: &Network) -> Self {
         let n = network.nodes.len();
@@ -100,6 +108,21 @@ mod tests {
         assert!(topo.token_children[joins[0]]
             .iter()
             .any(|c| c.index() == joins[1]));
+    }
+
+    #[test]
+    fn active_count_excludes_memories() {
+        let program =
+            parse_program("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))").unwrap();
+        let net = Network::compile(&program).unwrap();
+        let topo = ParallelTopology::from_network(&net);
+        let memories = net
+            .nodes
+            .iter()
+            .filter(|s| s.kind == NodeKind::BetaMemory)
+            .count();
+        assert_eq!(topo.active_count(), net.nodes.len() - memories);
+        assert_eq!(topo.active_count(), 4, "3 joins + 1 terminal");
     }
 
     #[test]

@@ -173,6 +173,12 @@ mod tests {
             assert!(report.engine_faults >= 1, "{action:?} fired");
             assert_eq!(report.recoveries, 1);
             assert_eq!(report.fallbacks, 1);
+            let expect_respawns = u64::from(action != FaultAction::DropTask);
+            assert_eq!(
+                report.worker_respawns, expect_respawns,
+                "{action:?}: a killed worker is respawned at the phase barrier \
+                 and the count survives the engine's retirement"
+            );
             let (reference, conflict) = drive_reference(&w, 11, 10, &sup.network().clone());
             assert_eq!(sup.conflict_set(), conflict, "{action:?}");
             assert_eq!(

@@ -121,6 +121,9 @@ pub struct FaultReport {
     pub deadline_misses: u64,
     /// Poisoned locks transparently recovered inside the engine.
     pub poison_recoveries: u64,
+    /// Worker threads the engine's persistent pool replaced after a
+    /// panic (injected or genuine) at a phase barrier.
+    pub worker_respawns: u64,
 }
 
 /// The supervised matcher. See the module docs for the protocol.
@@ -215,6 +218,7 @@ impl Supervisor {
         let mut r = self.report;
         if let Some(p) = &self.parallel {
             r.poison_recoveries += p.poison_recoveries();
+            r.worker_respawns += p.pool_stats().respawns;
         }
         r
     }
@@ -300,6 +304,7 @@ impl Supervisor {
     fn fall_back_to_sequential(&mut self, recovery: bool) {
         if let Some(p) = self.parallel.take() {
             self.report.poison_recoveries += p.poison_recoveries();
+            self.report.worker_respawns += p.pool_stats().respawns;
         }
         let (m, conflict, replayed) = self.rebuild_sequential();
         debug_assert_eq!(
@@ -429,6 +434,9 @@ impl Supervisor {
             obs.metrics
                 .gauge("fault.conflict_size")
                 .set(self.conflict.len() as i64);
+            obs.metrics
+                .gauge("fault.worker_respawns")
+                .set(self.report().worker_respawns as i64);
         }
     }
 

@@ -301,28 +301,64 @@ impl Explanation {
     }
 }
 
-/// Fixed-size, lock-light ring of [`FlightRecord`]s.
+/// Ring contents plus the per-cycle segment index used for eviction.
+#[derive(Debug, Default)]
+struct FlightRing {
+    records: VecDeque<FlightRecord>,
+    /// `(cycle, record count)` runs, oldest first. Every retained
+    /// record belongs to exactly one segment; consecutive records with
+    /// the same cycle stamp share one (so a non-monotonic cycle clock —
+    /// e.g. two runs sharing an `Obs` — just opens a new segment).
+    segments: VecDeque<(u64, usize)>,
+}
+
+/// Fixed-size, lock-light ring of [`FlightRecord`]s with **per-cycle
+/// eviction**: when space is needed, the oldest *whole* cycle segment
+/// is dropped (never a cycle's tail), so a cycle is either fully
+/// retained or fully gone and `explain_cycle` can never return a
+/// half-evicted chain on long runs. Two budgets apply: `capacity`
+/// bounds retained records (memory), and `max_cycles` bounds retained
+/// distinct cycles (staleness). If a single cycle alone overflows the
+/// whole ring, eviction falls back to per-record within that cycle —
+/// the only case a partial cycle can be observed.
 ///
 /// Capacity 0 disables the recorder permanently: recording is a single
 /// relaxed atomic load and queries return nothing.
 #[derive(Debug)]
 pub struct FlightRecorder {
-    inner: Mutex<VecDeque<FlightRecord>>,
+    inner: Mutex<FlightRing>,
     capacity: usize,
+    max_cycles: usize,
     seq: AtomicU64,
     cycle: AtomicU64,
     dropped: AtomicU64,
+    evicted_cycles: AtomicU64,
 }
 
+/// Default bound on distinct recognize–act cycles the ring retains.
+pub const DEFAULT_MAX_CYCLES: usize = 64;
+
 impl FlightRecorder {
-    /// A recorder retaining at most `capacity` records (0 = disabled).
+    /// A recorder retaining at most `capacity` records (0 = disabled)
+    /// across at most [`DEFAULT_MAX_CYCLES`] distinct cycles.
     pub fn new(capacity: usize) -> Self {
+        Self::with_max_cycles(capacity, DEFAULT_MAX_CYCLES)
+    }
+
+    /// A recorder retaining at most `capacity` records spanning at most
+    /// `max_cycles` distinct recognize–act cycles (clamped to ≥ 1).
+    pub fn with_max_cycles(capacity: usize, max_cycles: usize) -> Self {
         FlightRecorder {
-            inner: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            inner: Mutex::new(FlightRing {
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                segments: VecDeque::new(),
+            }),
             capacity,
+            max_cycles: max_cycles.max(1),
             seq: AtomicU64::new(0),
             cycle: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            evicted_cycles: AtomicU64::new(0),
         }
     }
 
@@ -339,6 +375,25 @@ impl FlightRecorder {
         self.capacity
     }
 
+    /// The bound on distinct cycles retained at once.
+    pub fn max_cycles(&self) -> usize {
+        self.max_cycles
+    }
+
+    /// Distinct cycle segments currently retained.
+    pub fn retained_cycles(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        self.inner.lock().unwrap().segments.len()
+    }
+
+    /// Whole cycle segments evicted so far (each eviction removed every
+    /// record of one cycle at once).
+    pub fn evicted_cycles(&self) -> u64 {
+        self.evicted_cycles.load(Ordering::Relaxed)
+    }
+
     /// Stamps subsequent records with recognize–act cycle `n`.
     pub fn set_cycle(&self, n: u64) {
         self.cycle.store(n, Ordering::Relaxed);
@@ -349,7 +404,10 @@ impl FlightRecorder {
         self.cycle.load(Ordering::Relaxed)
     }
 
-    /// Appends one record (dropping the oldest when full).
+    /// Appends one record, evicting the oldest **whole cycle** when
+    /// either budget (records or distinct cycles) is exceeded; falls
+    /// back to dropping single records only when one cycle alone
+    /// overflows the entire ring.
     pub fn record(&self, kind: FlightKind) {
         if !self.enabled() {
             return;
@@ -360,11 +418,24 @@ impl FlightRecorder {
             kind,
         };
         let mut q = self.inner.lock().unwrap();
-        if q.len() == self.capacity {
-            q.pop_front();
+        match q.segments.back_mut() {
+            Some((c, n)) if *c == rec.cycle => *n += 1,
+            _ => q.segments.push_back((rec.cycle, 1)),
+        }
+        q.records.push_back(rec);
+        while q.segments.len() > 1
+            && (q.records.len() > self.capacity || q.segments.len() > self.max_cycles)
+        {
+            let (_, n) = q.segments.pop_front().expect("checked non-empty");
+            q.records.drain(..n);
+            self.dropped.fetch_add(n as u64, Ordering::Relaxed);
+            self.evicted_cycles.fetch_add(1, Ordering::Relaxed);
+        }
+        while q.records.len() > self.capacity {
+            q.records.pop_front();
+            q.segments.front_mut().expect("records imply a segment").1 -= 1;
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        q.push_back(rec);
     }
 
     /// Records currently retained.
@@ -372,7 +443,7 @@ impl FlightRecorder {
         if !self.enabled() {
             return 0;
         }
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap().records.len()
     }
 
     /// Whether the ring holds no records.
@@ -390,7 +461,7 @@ impl FlightRecorder {
         if !self.enabled() {
             return Vec::new();
         }
-        self.inner.lock().unwrap().iter().cloned().collect()
+        self.inner.lock().unwrap().records.iter().cloned().collect()
     }
 
     /// All retained records of recognize–act cycle `n`.
@@ -488,6 +559,70 @@ mod tests {
         let recs = fr.records();
         assert_eq!(recs[0].kind.wmes(), &[3]);
         assert_eq!(recs[1].seq, 4);
+        // All five records shared cycle 0: the per-record fallback ran,
+        // no whole-cycle eviction happened.
+        assert_eq!(fr.retained_cycles(), 1);
+        assert_eq!(fr.evicted_cycles(), 0);
+    }
+
+    fn change(wme: u32) -> FlightKind {
+        FlightKind::WmeChange {
+            wme,
+            time_tag: wme as u64,
+            is_add: true,
+        }
+    }
+
+    #[test]
+    fn eviction_drops_whole_cycles_never_tails() {
+        let fr = FlightRecorder::new(10);
+        for cycle in 1..=3u64 {
+            fr.set_cycle(cycle);
+            for i in 0..4 {
+                fr.record(change((cycle * 10 + i) as u32));
+            }
+        }
+        // 12 records over capacity 10: the whole of cycle 1 went, not
+        // just its two oldest records.
+        assert_eq!(fr.len(), 8);
+        assert_eq!(fr.dropped(), 4);
+        assert_eq!(fr.evicted_cycles(), 1);
+        assert_eq!(fr.retained_cycles(), 2);
+        assert!(fr.explain_cycle(1).is_empty(), "cycle 1 fully evicted");
+        assert_eq!(fr.explain_cycle(2).len(), 4, "cycle 2 fully retained");
+        assert_eq!(fr.explain_cycle(3).len(), 4);
+    }
+
+    #[test]
+    fn max_cycles_bounds_staleness() {
+        let fr = FlightRecorder::with_max_cycles(1000, 2);
+        assert_eq!(fr.max_cycles(), 2);
+        for cycle in 1..=5u64 {
+            fr.set_cycle(cycle);
+            fr.record(change(cycle as u32));
+            fr.record(change(cycle as u32 + 100));
+        }
+        // Plenty of record capacity, but only the last 2 cycles stay.
+        assert_eq!(fr.retained_cycles(), 2);
+        assert_eq!(fr.evicted_cycles(), 3);
+        assert!(fr.explain_cycle(3).is_empty());
+        assert_eq!(fr.explain_cycle(4).len(), 2);
+        assert_eq!(fr.explain_cycle(5).len(), 2);
+    }
+
+    #[test]
+    fn non_monotonic_cycles_open_fresh_segments() {
+        // Two runs sharing one recorder restart the cycle clock; the
+        // second run's cycle 1 must not merge into the first run's.
+        let fr = FlightRecorder::new(100);
+        fr.set_cycle(1);
+        fr.record(change(1));
+        fr.set_cycle(2);
+        fr.record(change(2));
+        fr.set_cycle(1);
+        fr.record(change(3));
+        assert_eq!(fr.retained_cycles(), 3, "cycle 1 appears as two runs");
+        assert_eq!(fr.explain_cycle(1).len(), 2, "queries still see both");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod span;
 
 pub use chrome::{ChromeEvent, ChromeTrace};
 pub use events::{Event, EventRing, FieldValue};
-pub use flight::{Explanation, FlightKind, FlightRecord, FlightRecorder};
+pub use flight::{Explanation, FlightKind, FlightRecord, FlightRecorder, DEFAULT_MAX_CYCLES};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS,
 };

@@ -171,6 +171,12 @@ fn snapshot_json(obs: &Obs) -> String {
     out.push_str(&obs.flight.dropped().to_string());
     out.push_str(",\"cycle\":");
     out.push_str(&obs.flight.cycle().to_string());
+    out.push_str(",\"max_cycles\":");
+    out.push_str(&obs.flight.max_cycles().to_string());
+    out.push_str(",\"retained_cycles\":");
+    out.push_str(&obs.flight.retained_cycles().to_string());
+    out.push_str(",\"evicted_cycles\":");
+    out.push_str(&obs.flight.evicted_cycles().to_string());
     out.push_str("}}");
     out
 }
@@ -265,5 +271,15 @@ mod tests {
             j.get("flight").unwrap().get("capacity").unwrap().as_u64(),
             Some(8)
         );
+        assert!(
+            j.get("flight")
+                .unwrap()
+                .get("retained_cycles")
+                .unwrap()
+                .as_u64()
+                .is_some(),
+            "snapshot reports per-cycle retention"
+        );
+        assert!(j.get("flight").unwrap().get("evicted_cycles").is_some());
     }
 }

@@ -193,6 +193,66 @@ fn chaos_recovery_converges_on_every_preset() {
 }
 
 #[test]
+fn panic_worker_mid_phase_recovers_and_pool_survives() {
+    use psm::core::{FaultAction, ParallelOptions, ParallelReteMatcher};
+
+    let preset = Preset::EpSoar;
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    // A targeted plan: kill exactly one worker mid-phase (phase 10 is
+    // the add phase of the 5th batch; seq 0 is its first task).
+    let plan = Arc::new(FaultPlan::new(5).with_engine_fault(10, 0, FaultAction::PanicWorker));
+
+    // Supervised: the kill degrades to the sequential tier and the
+    // checkpoint + WAL recovery is byte-exact against the fault-free
+    // reference — the persistent pool changes nothing about parity.
+    let mut sup = run_supervised(&workload, 11, 10, plan.clone());
+    let report = sup.report();
+    assert!(report.engine_faults >= 1, "the planned kill fired");
+    assert_eq!(
+        report.worker_respawns, 1,
+        "the pool respawned the killed worker and reported it"
+    );
+    let (reference, conflict) = drive_reference(&workload, 11, 10, sup.network());
+    assert_eq!(sup.conflict_set(), conflict);
+    assert_eq!(
+        sup.committed_snapshot().as_bytes(),
+        reference.snapshot().as_bytes(),
+        "recovery after a mid-phase worker kill is byte-exact"
+    );
+    drain_recovered(&mut sup, preset);
+
+    // Engine-level survival: the same plan on a raw parallel matcher.
+    // The kill is contained, the dead worker is respawned at the phase
+    // barrier, and the pool keeps matching for >= 3 subsequent batches
+    // with no thread leak.
+    let threads = 2;
+    let mut m = ParallelReteMatcher::compile(
+        &workload.program,
+        ParallelOptions {
+            threads,
+            share: true,
+        },
+    )
+    .expect("program compiles");
+    m.set_fault_injector(Some(plan));
+    let mut driver = WorkloadDriver::new(workload, 11);
+    driver.init(&mut m);
+    for _ in 0..8 {
+        let batch = driver.next_batch();
+        m.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+    assert_eq!(m.take_faults(), 1, "exactly the one planned kill");
+    let s = m.pool_stats();
+    assert_eq!(s.respawns, 1, "one respawn for one kill");
+    assert_eq!(
+        s.live, threads,
+        "final worker count equals configured threads (no leak)"
+    );
+    assert_eq!(s.spawned as usize, threads + 1, "initial crew + 1 respawn");
+}
+
+#[test]
 fn chaos_recovery_survives_a_hostile_fault_rate() {
     // One preset, much denser faults: every other cycle draws a fault.
     let preset = Preset::EpSoar;
