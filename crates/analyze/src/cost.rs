@@ -45,6 +45,11 @@ pub struct CostParams {
     /// observable constant domain (the common case: join attributes are
     /// only ever tested against variables).
     pub default_join_selectivity: f64,
+    /// Measured join selectivities keyed by `(production index, CE
+    /// index)`, overriding the static per-test product for that CE's
+    /// two-input node. Populated by the profiler-driven calibration pass
+    /// ([`crate::calibrate`]); empty means fully static predictions.
+    pub join_selectivity_overrides: HashMap<(usize, usize), f64>,
 }
 
 impl Default for CostParams {
@@ -53,6 +58,7 @@ impl Default for CostParams {
             wm_size: 100.0,
             class_weights: HashMap::new(),
             default_join_selectivity: 0.05,
+            join_selectivity_overrides: HashMap::new(),
         }
     }
 }
@@ -218,6 +224,64 @@ fn alpha_selectivity(network: &Network, alpha: AlphaId, domains: &Domains) -> f6
         .product()
 }
 
+/// Static join selectivity for production `pid_index`'s CE `ce_index`:
+/// the calibrated override when one exists, otherwise the product of
+/// the CE's join-test selectivities.
+fn join_selectivity(
+    network: &Network,
+    params: &CostParams,
+    domains: &Domains,
+    pid_index: usize,
+    ce_index: usize,
+) -> f64 {
+    if let Some(&m) = params
+        .join_selectivity_overrides
+        .get(&(pid_index, ce_index))
+    {
+        return m;
+    }
+    let alpha = network.ce_alpha[pid_index][ce_index];
+    network.ce_tests[pid_index][ce_index]
+        .iter()
+        .map(|t| match t.op {
+            PredOp::Eq => {
+                let d = domains.size(network.alpha.node(alpha).class, t.own_attr);
+                // Join attributes usually have no constant domain; fall
+                // back to the configured prior.
+                if d > 2.0 {
+                    1.0 / d
+                } else {
+                    params.default_join_selectivity
+                }
+            }
+            PredOp::Ne => 1.0 - params.default_join_selectivity,
+            PredOp::SameType => 1.0,
+            _ => 0.5,
+        })
+        .product()
+}
+
+/// The model's per-CE join selectivities, in production order then full
+/// CE order — the quantities the profiler measures directly as
+/// `tokens_out / pairs_compared` and the calibration pass corrects.
+/// Honors any overrides already present in `params`.
+pub fn predicted_join_selectivities(
+    program: &Program,
+    network: &Network,
+    params: &CostParams,
+) -> Vec<Vec<f64>> {
+    let domains = Domains::collect(network);
+    program
+        .productions
+        .iter()
+        .map(|p| {
+            (0..p.ces.len())
+                .map(|i| join_selectivity(network, params, &domains, p.id.index(), i))
+                .collect()
+        })
+        .collect()
+}
+
 /// Runs the static cost model.
 pub fn analyze_cost(program: &Program, network: &Network, params: &CostParams) -> CostReport {
     let domains = Domains::collect(network);
@@ -274,24 +338,7 @@ pub fn analyze_cost(program: &Program, network: &Network, params: &CostParams) -
         for (i, ce) in p.ces.iter().enumerate() {
             let m = alpha_m[alphas[i].index()];
             treat += m;
-            let jsel: f64 = tests[i]
-                .iter()
-                .map(|t| match t.op {
-                    PredOp::Eq => {
-                        let d = domains.size(network.alpha.node(alphas[i]).class, t.own_attr);
-                        // Join attributes usually have no constant
-                        // domain; fall back to the configured prior.
-                        if d > 2.0 {
-                            1.0 / d
-                        } else {
-                            params.default_join_selectivity
-                        }
-                    }
-                    PredOp::Ne => 1.0 - params.default_join_selectivity,
-                    PredOp::SameType => 1.0,
-                    _ => 0.5,
-                })
-                .product();
+            let jsel = join_selectivity(network, params, &domains, pid.index(), i);
             max_join_tests = max_join_tests.max(tests[i].len());
             if !ce.negated {
                 xs.push(m * jsel.min(1.0));

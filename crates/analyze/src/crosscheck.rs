@@ -134,6 +134,7 @@ pub fn params_from_spec(spec: &WorkloadSpec, program: &Program) -> CostParams {
         wm_size: spec.wm_size as f64,
         class_weights: HashMap::new(),
         default_join_selectivity: 1.0 / spec.join_values.max(1) as f64,
+        join_selectivity_overrides: HashMap::new(),
     };
     for i in 0..spec.classes {
         if let Some(sym) = program.symbols.lookup(&format!("c{i}")) {

@@ -20,6 +20,11 @@
 //! * [`crosscheck`] — runs the model's predictions against measured
 //!   traces (synthetic presets and the real blocks-world program) and
 //!   reports the prediction error.
+//! * [`calibrate`] — closes the loop: learns measured join
+//!   selectivities from the per-node profiler on a seeded run, folds
+//!   them back into [`CostParams`] as overrides, validates them against
+//!   an independent seed, and exports folded stacks for flamegraphs.
+//!   The `psmprof` bench binary fronts this pass.
 //!
 //! The `psmlint` binary fronts all three and gates CI: seeded-defect
 //! fixtures in `workloads::fixtures` must each trigger their expected
@@ -29,11 +34,16 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod calibrate;
 pub mod cost;
 pub mod crosscheck;
 pub mod lint;
 
-pub use cost::{analyze_cost, CostParams, CostReport, CostSkew, ProductionCost, StateEstimates};
+pub use calibrate::{calibrate_workload, folded_stacks, CalibrationReport, JoinCalibration};
+pub use cost::{
+    analyze_cost, predicted_join_selectivities, CostParams, CostReport, CostSkew, ProductionCost,
+    StateEstimates,
+};
 pub use crosscheck::{
     crosscheck_blocks, crosscheck_workload, params_from_spec, CrosscheckReport, ShareComparison,
 };

@@ -1,0 +1,117 @@
+//! `psmprof` — profiler-driven cost-model calibration over the presets.
+//!
+//! For each preset this runs a seeded workload under the per-node join
+//! profiler, learns measured join selectivities
+//! (`tokens_out / pairs_compared`, shrunk toward the static prior for
+//! low-count joins), then lets the same run continue for a second
+//! window and reports the static model's predicted-vs-measured drift
+//! before and after calibration against that holdout. Artifacts:
+//!
+//! * `results/calibration.json` — the `CalibratedCostParams` records
+//!   for every preset (per-join predicted/calibrated/validated values
+//!   and error factors).
+//! * `results/<preset>.folded` — the calibration run's profile as
+//!   folded stacks (`production;node;… weight`), directly consumable by
+//!   standard flamegraph tooling.
+//!
+//! Exits non-zero when any preset's post-calibration drift exceeds the
+//! `--gate` factor (default 2.0) — the acceptance bound that replaces
+//! the static model's 4–24× error.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin psmprof -- --small
+//! cargo run --release -p psm-bench --bin psmprof -- --small --preset vt,mud
+//! ```
+
+use psm_analyze::calibrate_workload;
+use psm_bench::{f, print_table, CliOptions};
+use workloads::Preset;
+
+const CALIBRATION_SEED: u64 = 0xCA11;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let opts = CliOptions::parse(900);
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = arg_value(&args, "--out").unwrap_or_else(|| "results".to_string());
+    let gate: f64 = arg_value(&args, "--gate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let filter: Option<Vec<String>> =
+        arg_value(&args, "--preset").map(|s| s.split(',').map(|p| p.trim().to_string()).collect());
+
+    let presets: Vec<Preset> = Preset::all()
+        .into_iter()
+        .filter(|p| {
+            filter
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == p.name()))
+        })
+        .collect();
+    if presets.is_empty() {
+        eprintln!("psmprof: no preset matches --preset filter");
+        std::process::exit(2);
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("results dir");
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    let mut worst_after: f64 = 1.0;
+    for preset in presets {
+        let spec = if opts.small {
+            preset.spec_small()
+        } else {
+            preset.spec()
+        };
+        let report =
+            calibrate_workload(spec, opts.cycles, CALIBRATION_SEED).expect("calibration runs");
+        let folded_path = format!("{out_dir}/{}.folded", preset.name());
+        std::fs::write(&folded_path, &report.folded).expect("writes folded stacks");
+        let before = report.max_before_error();
+        let after = report.max_after_error();
+        worst_after = worst_after.max(after);
+        rows.push(vec![
+            report.name.clone(),
+            report.joins.len().to_string(),
+            report.sampled_joins().to_string(),
+            f(before, 2),
+            f(after, 2),
+            if after <= gate { "ok" } else { "DRIFT" }.to_string(),
+        ]);
+        reports.push(report);
+    }
+
+    print_table(
+        "cost-model calibration (max per-join jsel error factor, sampled joins)",
+        &["workload", "joins", "sampled", "before", "after", "gate"],
+        &rows,
+    );
+
+    let mut json = format!(
+        "{{\"generated_by\":\"psmprof\",\"cycles\":{},\"seed\":{CALIBRATION_SEED},\
+         \"gate\":{gate},\"workloads\":[",
+        reports.first().map_or(0, |r| r.cycles)
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&r.to_json());
+    }
+    json.push_str("]}");
+    let json_path = format!("{out_dir}/calibration.json");
+    std::fs::write(&json_path, &json).expect("writes calibration.json");
+    println!("\nwrote {json_path} and per-preset .folded stacks");
+
+    if worst_after > gate {
+        eprintln!("psmprof: calibrated drift {worst_after:.2}x exceeds gate {gate:.1}x");
+        std::process::exit(1);
+    }
+    println!("calibrated drift within {gate:.1}x on every preset");
+}

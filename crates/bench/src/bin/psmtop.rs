@@ -13,7 +13,10 @@
 //!   wall, true concurrency ≈ exec / wall, loss factor = their ratio —
 //!   the paper's 15.92 / 8.25 = 1.93 decomposition, computed on the
 //!   fly. When a DES run has published `sim.*{system=…}` gauges those
-//!   exact figures are shown too.
+//!   exact figures are shown too,
+//! * a hot-nodes panel (from `/profile`): the top-8 Rete nodes by
+//!   pairs-compared share in the current window, with their measured
+//!   join selectivity.
 //!
 //! ```sh
 //! psmtop --demo                      # self-contained: in-process engine + server
@@ -59,12 +62,23 @@ fn parse_args() -> Options {
     }
 }
 
-/// One polled `/snapshot`, flattened for diffing.
+/// One `/profile` row, keyed by node id in [`Frame::prof_rows`].
+struct ProfRow {
+    kind: String,
+    pairs: u64,
+    selectivity: f64,
+}
+
+/// One polled `/snapshot` (+ `/profile`), flattened for diffing.
 struct Frame {
     at: Instant,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     hists: BTreeMap<String, HistogramSnapshot>,
+    prof_rows: BTreeMap<u64, ProfRow>,
+    prof_retained: u64,
+    prof_overflow: u64,
+    prof_enabled: bool,
 }
 
 fn parse_frame(body: &str) -> Option<Frame> {
@@ -103,7 +117,37 @@ fn parse_frame(body: &str) -> Option<Frame> {
         counters,
         gauges,
         hists,
+        prof_rows: BTreeMap::new(),
+        prof_retained: 0,
+        prof_overflow: 0,
+        prof_enabled: false,
     })
+}
+
+/// Folds a polled `/profile` body into the frame (no-op on parse
+/// failure — the panel simply stays empty).
+fn parse_profile(body: &str, frame: &mut Frame) {
+    let Some(j) = Json::parse(body) else { return };
+    frame.prof_enabled = j.get("capacity").and_then(Json::as_u64).unwrap_or(0) > 0;
+    frame.prof_retained = j.get("retained").and_then(Json::as_u64).unwrap_or(0);
+    frame.prof_overflow = j.get("overflow").and_then(Json::as_u64).unwrap_or(0);
+    for row in j.get("rows").map(Json::items).unwrap_or(&[]) {
+        let Some(node) = row.get("node").and_then(Json::as_u64) else {
+            continue;
+        };
+        frame.prof_rows.insert(
+            node,
+            ProfRow {
+                kind: row
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                pairs: row.get("pairs").and_then(Json::as_u64).unwrap_or(0),
+                selectivity: row.get("selectivity").and_then(Json::as_f64).unwrap_or(0.0),
+            },
+        );
+    }
 }
 
 /// Workers present in the registry, from `engine.worker.tasks{worker=…}`.
@@ -278,6 +322,44 @@ fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
         ));
     }
 
+    // Hot nodes: top-8 by pairs-compared share, windowed against the
+    // previous frame when one exists so the ranking tracks *current*
+    // match effort, not lifetime totals.
+    if cur.prof_enabled {
+        let deltas: Vec<(u64, u64, &ProfRow)> = cur
+            .prof_rows
+            .iter()
+            .map(|(&node, row)| {
+                let before = prev
+                    .and_then(|p| p.prof_rows.get(&node))
+                    .map_or(0, |r| r.pairs);
+                (node, row.pairs.saturating_sub(before), row)
+            })
+            .collect();
+        let total: u64 = deltas.iter().map(|(_, d, _)| *d).sum();
+        let mut top = deltas;
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.push_str(&format!(
+            "\nhot nodes (by pairs compared, {} tracked, {} overflowed)\n",
+            cur.prof_retained, cur.prof_overflow
+        ));
+        out.push_str("node     kind   pairs/win   share     jsel\n");
+        for (node, delta, row) in top.iter().take(8) {
+            if *delta == 0 && total > 0 {
+                break;
+            }
+            let share = if total > 0 {
+                format!("{:5.1}%", 100.0 * *delta as f64 / total as f64)
+            } else {
+                "     -".to_string()
+            };
+            out.push_str(&format!(
+                "{node:>6}  {:>5}  {delta:>9}  {share}  {:.4}\n",
+                row.kind, row.selectivity
+            ));
+        }
+    }
+
     // Engine state gauges.
     let gauge = |k: &str| cur.gauges.get(k).copied();
     let depth = gauge("interp.conflict_size").or_else(|| gauge("fault.conflict_size"));
@@ -300,7 +382,7 @@ fn spawn_demo() -> (TelemetryServer, SocketAddr) {
     use psm_core::{ParallelOptions, ParallelReteMatcher};
     use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
-    let obs = Arc::new(Obs::with_flight(4096, 16_384));
+    let obs = Arc::new(Obs::with_profile(4096, 16_384, 4096));
     let server = TelemetryServer::start(Arc::clone(&obs), &TelemetryConfig::default())
         .expect("demo listener binds");
     let addr = server.local_addr();
@@ -367,7 +449,10 @@ fn main() {
                 None
             }
         };
-        if let Some(cur) = frame {
+        if let Some(mut cur) = frame {
+            if let Ok((200, body)) = http_get(sock, "/profile", Duration::from_secs(5)) {
+                parse_profile(&body, &mut cur);
+            }
             render(prev.as_ref(), &cur, &addr, !opts.once && shown > 0);
             prev = Some(cur);
             shown += 1;

@@ -9,7 +9,9 @@
 //! * `/healthz` reports engine health as JSON,
 //! * `/explain?rule=put-on` reproduces the causal chain (exact WME time
 //!   tags) for a real firing,
-//! * `/snapshot` returns the full JSON snapshot.
+//! * `/snapshot` returns the full JSON snapshot (with profile table),
+//! * `/profile` returns the per-node join profile hottest-first and the
+//!   `profile.node.*` families reach `/metrics`.
 //!
 //! Exits non-zero on any failed check, so CI can gate on it. Pass
 //! `--serve` to keep the server alive for manual `curl`.
@@ -99,7 +101,7 @@ fn check(cond: bool, what: &str) {
 fn main() {
     let serve = std::env::args().any(|a| a == "--serve");
 
-    let obs = Arc::new(Obs::with_flight(4096, 65_536));
+    let obs = Arc::new(Obs::with_profile(4096, 65_536, 4096));
     obs.set_detail(true);
     let fired = run_blocks_world(&obs);
     run_parallel_preset(&obs);
@@ -199,6 +201,46 @@ fn main() {
             .and_then(Json::as_u64)
             .is_some_and(|n| n > 0),
         "/snapshot shows a populated flight ring",
+    );
+
+    // /profile: per-node join profile, hottest first, from real runs.
+    let (status, profile) = get(addr, "/profile");
+    check(status == 200, "/profile returns 200");
+    let profile = Json::parse(&profile).unwrap_or_else(|| fail("/profile is valid JSON"));
+    check(
+        profile
+            .get("capacity")
+            .and_then(Json::as_u64)
+            .is_some_and(|c| c > 0),
+        "/profile reports the configured capacity",
+    );
+    let rows = profile
+        .get("rows")
+        .map(Json::items)
+        .unwrap_or_else(|| fail("/profile carries rows"));
+    check(!rows.is_empty(), "/profile tracked nodes from the runs");
+    check(
+        rows.iter().all(|r| {
+            r.get("node").and_then(Json::as_u64).is_some()
+                && r.get("kind").and_then(Json::as_str).is_some()
+        }),
+        "/profile rows carry node ids and kinds",
+    );
+    let pairs: Vec<u64> = rows
+        .iter()
+        .filter_map(|r| r.get("pairs").and_then(Json::as_u64))
+        .collect();
+    check(
+        pairs.windows(2).all(|w| w[0] >= w[1]),
+        "/profile rows are sorted hottest-first by pairs compared",
+    );
+    check(
+        metrics.contains("profile_node_pairs_compared{"),
+        "/metrics carries the profile.node.* families when the profiler is on",
+    );
+    check(
+        snapshot.get("profile").is_some(),
+        "/snapshot embeds the profile table",
     );
 
     let (status, _) = get(addr, "/nope");

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use psm_obs::{FlightKind, Obs};
+use psm_obs::{FlightKind, NodeDelta, Obs, ProfileKind};
 
 use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
 use rete::network::NodeKind;
@@ -225,6 +225,11 @@ struct WorkerLocal {
     join_tests: u64,
     pairs_scanned: u64,
     worker: WorkerStats,
+    /// Per-node profiler deltas, accumulated locally during the phase
+    /// and flushed into `Obs::profile` once at the merge barrier — the
+    /// same cold-path discipline as the per-worker counters. Empty
+    /// unless the attached `Obs` has profile capacity.
+    prof: HashMap<u32, (ProfileKind, NodeDelta)>,
 }
 
 /// The parallel Rete matcher (node-activation granularity).
@@ -576,6 +581,14 @@ impl ParallelReteMatcher {
         // Take the pool out so the phase job below can borrow `self`
         // shared; spawned lazily on the first non-empty phase.
         let mut pool = self.pool.take().unwrap_or_else(|| WorkerPool::new(threads));
+        // Per-node latency rides the existing per-task timing clock
+        // reads, so it costs nothing extra beyond the histogram add;
+        // like the span layer it waits for the detail toggle.
+        let prof_latency = timing
+            && self
+                .obs
+                .as_ref()
+                .is_some_and(|o| o.profile.enabled() && o.detail());
         let this: &ParallelReteMatcher = self;
         let job = |me: usize| {
             let mut local = WorkerLocal::default();
@@ -617,10 +630,17 @@ impl ParallelReteMatcher {
                             FaultAction::None | FaultAction::PoisonLock => {}
                         }
                         let started = timing.then(Instant::now);
+                        let node = task.node.index() as u32;
                         let children =
                             this.exec(task, &mut local, action == FaultAction::PoisonLock);
                         if let Some(t0) = started {
-                            local.worker.exec_ns += t0.elapsed().as_nanos() as u64;
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            local.worker.exec_ns += ns;
+                            if prof_latency {
+                                if let Some(obs) = &this.obs {
+                                    obs.profile.record_latency(node, ns);
+                                }
+                            }
                         }
                         if !children.is_empty() {
                             pending.fetch_add(children.len(), Ordering::AcqRel);
@@ -673,6 +693,13 @@ impl ParallelReteMatcher {
             self.stats.tasks += local.tasks;
             self.stats.join_tests += local.join_tests;
             self.stats.pairs_scanned += local.pairs_scanned;
+            if let Some(obs) = &obs {
+                // Flush the worker's per-node profile deltas — once per
+                // phase, never per task.
+                for (node, (kind, d)) in &local.prof {
+                    obs.profile.add(*node, *kind, d);
+                }
+            }
             let mut worker = local.worker;
             worker.tasks = local.tasks;
             self.worker_totals[me].merge(&worker);
@@ -755,13 +782,29 @@ impl ParallelReteMatcher {
             "only active (two-input/terminal) nodes receive activations"
         );
         local.tasks += 1;
+        let spec = self.network.node(task.node);
+        let node = task.node.index() as u32;
+        let right_side = matches!(task.payload, Payload::Right(_));
+        // The profiler's node taxonomy; doubles as the activation-kind
+        // label prefix, so flight records and `/profile` rows name
+        // nodes identically across both runtimes.
+        let prof_kind = match spec.kind {
+            NodeKind::Join => ProfileKind::Join,
+            NodeKind::Negative => ProfileKind::Negative,
+            NodeKind::BetaMemory => ProfileKind::BetaMem,
+            NodeKind::Terminal => ProfileKind::Terminal,
+        };
         if let Some(obs) = &self.obs {
             if obs.flight.enabled() {
                 obs.flight.record(FlightKind::Activation {
-                    node: task.node.index() as u32,
-                    kind: match task.payload {
-                        Payload::Right(_) => "parallel-right",
-                        Payload::Left(_) => "parallel-left",
+                    node,
+                    kind: match (prof_kind, right_side) {
+                        (ProfileKind::Join, true) => "join-R",
+                        (ProfileKind::Join, false) => "join-L",
+                        (ProfileKind::Negative, true) => "neg-R",
+                        (ProfileKind::Negative, false) => "neg-L",
+                        (ProfileKind::BetaMem, _) => "bmem",
+                        _ => "term",
                     },
                     wme: match task.payload {
                         Payload::Right(id) => Some(id.index() as u32),
@@ -770,7 +813,8 @@ impl ParallelReteMatcher {
                 });
             }
         }
-        let spec = self.network.node(task.node);
+        let prof_on = self.obs.as_ref().is_some_and(|o| o.profile.enabled());
+        let pairs_before = local.pairs_scanned;
         let children = &self.topo.token_children[task.node.index()];
         let mut out = Vec::new();
         let mutex = &self.states[task.node.index()];
@@ -943,6 +987,23 @@ impl ParallelReteMatcher {
                     Payload::Left(_) => "left",
                 }
             ),
+        }
+        if prof_on {
+            // Every push_token_tasks call emits one token to all
+            // children, so child-task count divides back exactly;
+            // terminals emit conflict-set changes instead of tasks.
+            let tokens_out = if prof_kind == ProfileKind::Terminal {
+                1
+            } else if children.is_empty() {
+                0
+            } else {
+                (out.len() / children.len()) as u64
+            };
+            let (_, d) = local
+                .prof
+                .entry(node)
+                .or_insert((prof_kind, NodeDelta::default()));
+            d.record(right_side, local.pairs_scanned - pairs_before, tokens_out);
         }
         out
     }
@@ -1436,5 +1497,65 @@ mod tests {
             d2.canonicalize();
             assert_eq!(d1, d2);
         }
+    }
+
+    #[test]
+    fn per_node_profiler_collects_in_parallel() {
+        let (program, mut m) = parallel("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))", 2);
+        let obs = Arc::new(Obs::with_profile(16, 64, 64));
+        m.attach_obs(Arc::clone(&obs));
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        for lit in ["(a ^x 1)", "(a ^x 2)", "(b ^x 1)"] {
+            let (id, _) = wm.add(parse_wme(lit, &mut syms).unwrap());
+            m.process(&wm, &[Change::Add(id)]);
+        }
+        let snap = obs.profile.snapshot();
+        assert_eq!(snap.overflow, 0);
+        let joins: Vec<_> = snap.rows.iter().filter(|r| r.kind == "join").collect();
+        assert_eq!(joins.len(), 2, "two join nodes touched");
+        // Top join: both `a`s pass straight through the dummy token.
+        let top = joins.iter().find(|r| r.right == 2).expect("top join");
+        assert_eq!(top.pairs, 2);
+        assert_eq!(top.tokens_out, 2);
+        assert!((top.selectivity - 1.0).abs() < 1e-12);
+        // The b-join: one right transition scanning two left tokens.
+        let b = joins.iter().find(|r| r.right == 1).expect("b join");
+        assert_eq!(b.left, 2);
+        assert_eq!(b.pairs, 2);
+        assert_eq!(b.tokens_out, 1);
+        assert!((b.selectivity - 0.5).abs() < 1e-12);
+        let term = snap
+            .rows
+            .iter()
+            .find(|r| r.kind == "term")
+            .expect("terminal row");
+        assert_eq!(term.tokens_out, 1);
+        // Flight records use the same activation labels as the
+        // sequential matcher, so `/explain` and `/profile` agree.
+        let flight_json: String = obs
+            .flight
+            .explain_cycle(0)
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        assert!(
+            flight_json.contains("join-R"),
+            "unified labels: {flight_json}"
+        );
+        assert!(!flight_json.contains("parallel-right"));
+    }
+
+    #[test]
+    fn parallel_profiler_off_costs_nothing() {
+        let (program, mut m) = parallel("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))", 2);
+        let obs = Arc::new(Obs::with_flight(16, 16));
+        m.attach_obs(Arc::clone(&obs));
+        let mut wm = WorkingMemory::new();
+        let mut syms = program.symbols.clone();
+        let (id, _) = wm.add(parse_wme("(a ^x 1)", &mut syms).unwrap());
+        m.process(&wm, &[Change::Add(id)]);
+        assert!(!obs.profile.enabled());
+        assert_eq!(obs.profile.snapshot().retained, 0);
     }
 }

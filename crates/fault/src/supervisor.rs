@@ -306,7 +306,14 @@ impl Supervisor {
             self.report.poison_recoveries += p.poison_recoveries();
             self.report.worker_respawns += p.pool_stats().respawns;
         }
-        let (m, conflict, replayed) = self.rebuild_sequential();
+        let (mut m, conflict, replayed) = self.rebuild_sequential();
+        // Keep the telemetry plane alive across degradation: the
+        // recovered matcher inherits the flight recorder and per-node
+        // profiler, so `/profile` and `/explain` keep answering at the
+        // sequential tier.
+        if let Some(obs) = &self.obs {
+            m.attach_obs(obs.clone());
+        }
         debug_assert_eq!(
             {
                 let mut v: Vec<_> = conflict.iter().cloned().collect();

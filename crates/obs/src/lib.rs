@@ -34,6 +34,7 @@ pub mod events;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod span;
 
@@ -43,6 +44,7 @@ pub use flight::{Explanation, FlightKind, FlightRecord, FlightRecorder, DEFAULT_
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS,
 };
+pub use profile::{NodeDelta, NodeProfiler, ProfileKind, ProfileRow, ProfileSnapshot};
 pub use rng::Rng64;
 pub use span::{Phase, PhaseProfile, SpanTimer};
 
@@ -65,6 +67,11 @@ pub struct Obs {
     /// wait for the detail toggle, so `explain` queries work on a
     /// production run without enabling the expensive span layer.
     pub flight: FlightRecorder,
+    /// Per-node join profiler (capacity 0 — permanently off — unless
+    /// built via [`Obs::with_profile`]). Like the flight recorder it
+    /// is always on once given capacity; only its latency histograms
+    /// additionally wait for the detail toggle.
+    pub profile: NodeProfiler,
     detail: AtomicBool,
 }
 
@@ -79,10 +86,22 @@ impl Obs {
     /// A handle whose flight recorder retains `flight_capacity`
     /// provenance records (0 = off).
     pub fn with_flight(ring_capacity: usize, flight_capacity: usize) -> Self {
+        Self::with_profile(ring_capacity, flight_capacity, 0)
+    }
+
+    /// A handle with the per-node profiler sized for `profile_capacity`
+    /// network nodes on top of the event ring and flight recorder
+    /// (either may still be 0 = off).
+    pub fn with_profile(
+        ring_capacity: usize,
+        flight_capacity: usize,
+        profile_capacity: usize,
+    ) -> Self {
         Obs {
             metrics: Registry::new(),
             events: EventRing::new(ring_capacity),
             flight: FlightRecorder::new(flight_capacity),
+            profile: NodeProfiler::new(profile_capacity),
             detail: AtomicBool::new(false),
         }
     }

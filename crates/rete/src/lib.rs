@@ -52,7 +52,7 @@ pub mod trace;
 pub use alpha::{AlphaId, AlphaNetwork, AlphaNode, AlphaTest};
 pub use network::{CompileOptions, JoinTest, Network, NetworkStats, NodeId, NodeSpec};
 pub use profile::{HotNode, MatchProfile, NodeCost};
-pub use runtime::{MemoryStrategy, ReteMatcher};
+pub use runtime::{profile_kind, MemoryStrategy, ReteMatcher};
 pub use snapshot::ReteSnapshot;
 pub use stats::MatchStats;
 pub use token::Token;

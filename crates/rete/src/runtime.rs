@@ -16,7 +16,7 @@ use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeI
 use std::collections::HashMap;
 
 use ops5::{PredOp, SymbolId, Value};
-use psm_obs::{FlightKind, Obs};
+use psm_obs::{FlightKind, NodeDelta, Obs, ProfileKind};
 
 use crate::network::{CompileOptions, JoinTest, Network, NodeId, NodeKind};
 use crate::profile::MatchProfile;
@@ -104,6 +104,16 @@ pub struct ReteMatcher {
     profile: Option<Box<MatchProfile>>,
     /// Flight-recorder sink; see [`ReteMatcher::attach_obs`].
     obs: Option<Arc<Obs>>,
+    /// Matcher-local per-node profile accumulators, one per network
+    /// node, flushed into `obs.profile` at the end of each [`Matcher`]
+    /// call. Empty unless the attached `Obs` has profile capacity, so
+    /// `is_empty` doubles as the hot-path enabled check. Activations
+    /// accumulate with plain adds here instead of paying one atomic
+    /// RMW per counter per activation.
+    prof_local: Vec<(ProfileKind, NodeDelta)>,
+    /// Nodes with unflushed deltas (`tokens_in > 0`), so the flush
+    /// walks only touched slots, not the whole network.
+    prof_touched: Vec<u32>,
 }
 
 impl ReteMatcher {
@@ -217,6 +227,8 @@ impl ReteMatcher {
             tracer: None,
             profile: None,
             obs: None,
+            prof_local: Vec::new(),
+            prof_touched: Vec::new(),
         }
     }
 
@@ -227,6 +239,12 @@ impl ReteMatcher {
     /// back through the network. Costs one branch per activation when
     /// the recorder is off.
     pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.prof_local = if obs.profile.enabled() {
+            vec![(ProfileKind::Other, NodeDelta::default()); self.network.nodes.len()]
+        } else {
+            Vec::new()
+        };
+        self.prof_touched.clear();
         self.obs = Some(obs);
     }
 
@@ -257,6 +275,43 @@ impl ReteMatcher {
             Sign::Plus => FlightKind::TokenBirth { node: node.0, wmes },
             Sign::Minus => FlightKind::TokenDeath { node: node.0, wmes },
         });
+    }
+
+    /// Accumulates one activation into the matcher-local profile
+    /// deltas — a no-op (one branch on an empty vec) unless the
+    /// attached `Obs` handle was built with profile capacity. Plain
+    /// non-atomic adds; [`flush_profile`](Self::flush_profile) pays the
+    /// atomics once per touched node per batch.
+    #[inline]
+    fn obs_profile(&mut self, kind: ActivationKind, node: u32, pairs: u32, outputs: u32) {
+        let Some(entry) = self.prof_local.get_mut(node as usize) else {
+            return;
+        };
+        let (pk, right) = profile_kind(kind);
+        if entry.1.tokens_in == 0 {
+            self.prof_touched.push(node);
+        }
+        entry.0 = pk;
+        entry.1.record(right, pairs as u64, outputs as u64);
+    }
+
+    /// Flushes the matcher-local profile deltas into the attached
+    /// [`NodeProfiler`](psm_obs::NodeProfiler) — once per [`Matcher`]
+    /// call, so concurrent `/profile` readers lag by at most one batch.
+    fn flush_profile(&mut self) {
+        if self.prof_touched.is_empty() {
+            return;
+        }
+        let Some(obs) = &self.obs else { return };
+        for &node in &self.prof_touched {
+            let entry = &mut self.prof_local[node as usize];
+            // This matcher is the profiler's only writer (the parallel
+            // engine has its own per-worker flush into a separate Obs
+            // attachment path), so the cheap non-RMW fold is safe.
+            obs.profile.add_single_writer(node, entry.0, &entry.1);
+            entry.1 = NodeDelta::default();
+        }
+        self.prof_touched.clear();
     }
 
     /// The compiled network.
@@ -438,9 +493,17 @@ impl ReteMatcher {
                 p.record(ActivationKind::ConstantTest, 0, ns);
             }
         }
+        // Per-activation latency needs two clock reads, so the obs
+        // profiler's histograms wait for the detail toggle on top of
+        // profile capacity (its counters are recorded inside the
+        // branches of `run_task`, always on with capacity).
+        let obs_latency = self
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.profile.enabled() && o.detail());
         while let Some(task) = queue.pop_front() {
             self.obs_flight_task(&task);
-            if self.profile.is_some() {
+            if self.profile.is_some() || obs_latency {
                 let kind = self.task_kind(&task);
                 let node = task.node.0;
                 let t0 = Instant::now();
@@ -448,6 +511,11 @@ impl ReteMatcher {
                 let ns = t0.elapsed().as_nanos() as u64;
                 if let Some(p) = self.profile.as_mut() {
                     p.record(kind, node, ns);
+                }
+                if obs_latency {
+                    if let Some(obs) = &self.obs {
+                        obs.profile.record_latency(node, ns);
+                    }
                 }
             } else {
                 self.run_task(wm, task, &mut queue, delta);
@@ -499,6 +567,12 @@ impl ReteMatcher {
                 self.stats.join_tests += tests_n as u64;
                 self.stats.pairs_scanned += scanned as u64;
                 self.stats.tokens_created += outputs.len() as u64;
+                self.obs_profile(
+                    ActivationKind::JoinRight,
+                    task.node.0,
+                    scanned,
+                    outputs.len() as u32,
+                );
                 let act = self.trace_record(
                     task.parent,
                     ActivationKind::JoinRight,
@@ -534,6 +608,12 @@ impl ReteMatcher {
                 self.stats.join_tests += tests_n as u64;
                 self.stats.pairs_scanned += scanned as u64;
                 self.stats.tokens_created += outputs.len() as u64;
+                self.obs_profile(
+                    ActivationKind::JoinLeft,
+                    task.node.0,
+                    scanned,
+                    outputs.len() as u32,
+                );
                 let act = self.trace_record(
                     task.parent,
                     ActivationKind::JoinLeft,
@@ -605,6 +685,12 @@ impl ReteMatcher {
                         }
                     }
                 }
+                self.obs_profile(
+                    ActivationKind::BetaMem,
+                    task.node.0,
+                    0,
+                    spec.children.len() as u32,
+                );
                 let act = self.trace_record(
                     task.parent,
                     ActivationKind::BetaMem,
@@ -671,6 +757,12 @@ impl ReteMatcher {
                 };
                 self.stats.join_tests += tests_n as u64;
                 self.stats.pairs_scanned += scanned as u64;
+                self.obs_profile(
+                    ActivationKind::NegativeLeft,
+                    task.node.0,
+                    scanned,
+                    u32::from(propagate),
+                );
                 let act = self.trace_record(
                     task.parent,
                     ActivationKind::NegativeLeft,
@@ -720,6 +812,12 @@ impl ReteMatcher {
                 }
                 self.stats.join_tests += tests_n as u64;
                 self.stats.pairs_scanned += scanned as u64;
+                self.obs_profile(
+                    ActivationKind::NegativeRight,
+                    task.node.0,
+                    scanned,
+                    flips.len() as u32,
+                );
                 let act = self.trace_record(
                     task.parent,
                     ActivationKind::NegativeRight,
@@ -740,6 +838,7 @@ impl ReteMatcher {
             }
             (NodeKind::Terminal, Payload::Left(token)) => {
                 self.stats.conflict_changes += 1;
+                self.obs_profile(ActivationKind::Terminal, task.node.0, 0, 1);
                 self.trace_record(task.parent, ActivationKind::Terminal, task.node.0, 0, 0, 1);
                 let inst = Instantiation::new(
                     spec.production.expect("terminal has production"),
@@ -863,6 +962,22 @@ impl ReteMatcher {
     }
 }
 
+/// Maps an activation kind to the profiler's node taxonomy plus the
+/// input side the activation arrived on. Both runtimes use this so the
+/// profile table, the flight recorder, and `/explain` agree on node
+/// naming.
+pub fn profile_kind(kind: ActivationKind) -> (ProfileKind, bool) {
+    match kind {
+        ActivationKind::JoinRight => (ProfileKind::Join, true),
+        ActivationKind::JoinLeft => (ProfileKind::Join, false),
+        ActivationKind::NegativeRight => (ProfileKind::Negative, true),
+        ActivationKind::NegativeLeft => (ProfileKind::Negative, false),
+        ActivationKind::BetaMem => (ProfileKind::BetaMem, false),
+        ActivationKind::Terminal => (ProfileKind::Terminal, false),
+        ActivationKind::ConstantTest | ActivationKind::AlphaMem => (ProfileKind::Other, true),
+    }
+}
+
 /// Evaluates join tests with short-circuiting, returning success and the
 /// number of tests evaluated.
 fn eval_join_tests(
@@ -891,12 +1006,14 @@ impl Matcher for ReteMatcher {
     fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
         let mut delta = MatchDelta::new();
         self.process_change(wm, id, Sign::Plus, &mut delta);
+        self.flush_profile();
         delta
     }
 
     fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
         let mut delta = MatchDelta::new();
         self.process_change(wm, id, Sign::Minus, &mut delta);
+        self.flush_profile();
         delta
     }
 
@@ -914,6 +1031,7 @@ impl Matcher for ReteMatcher {
         if let Some(t) = self.tracer.as_mut() {
             t.end_cycle();
         }
+        self.flush_profile();
         delta
     }
 
@@ -1399,5 +1517,75 @@ mod tests {
         }
         // Sharing does strictly less constant-test work.
         assert!(shared.stats().constant_tests <= unshared.stats().constant_tests);
+    }
+
+    #[test]
+    fn per_node_profiler_measures_selectivity() {
+        // Hand-built two-join chain: three CEs sharing one variable.
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (remove 1))");
+        let obs = Arc::new(Obs::with_profile(16, 0, 64));
+        m.attach_obs(Arc::clone(&obs));
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(a ^x 2)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        let (_, d) = add(&mut m, &mut wm, &mut syms, "(c ^x 1)");
+        assert_eq!(d.added.len(), 1);
+        let snap = obs.profile.snapshot();
+        let joins: Vec<u32> = m
+            .network()
+            .iter()
+            .filter(|(_, s)| s.kind == NodeKind::Join)
+            .map(|(id, _)| id.0)
+            .collect();
+        assert_eq!(joins.len(), 3);
+        let row = |node: u32| {
+            snap.rows
+                .iter()
+                .find(|r| r.node == node)
+                .unwrap_or_else(|| panic!("node {node} missing from profile"))
+        };
+        // Top join: every `a` passes the dummy-top token through.
+        assert_eq!(row(joins[0]).kind, "join");
+        assert_eq!(row(joins[0]).right, 2);
+        assert_eq!(row(joins[0]).pairs, 2);
+        assert_eq!(row(joins[0]).tokens_out, 2);
+        assert!((row(joins[0]).selectivity - 1.0).abs() < 1e-12);
+        // The b-join: two left activations against an empty alpha
+        // memory, then one right activation scanning two stored tokens
+        // of which one matches — measured selectivity 1/2.
+        assert_eq!(row(joins[1]).left, 2);
+        assert_eq!(row(joins[1]).right, 1);
+        assert_eq!(row(joins[1]).pairs, 2);
+        assert_eq!(row(joins[1]).tokens_out, 1);
+        assert!((row(joins[1]).selectivity - 0.5).abs() < 1e-12);
+        // The c-join: the single surviving token meets the single c WME.
+        assert_eq!(row(joins[2]).pairs, 1);
+        assert_eq!(row(joins[2]).tokens_out, 1);
+        assert!((row(joins[2]).selectivity - 1.0).abs() < 1e-12);
+        // Counters are on, but latency histograms wait for the detail
+        // toggle.
+        assert_eq!(row(joins[1]).latency.count, 0);
+        obs.set_detail(true);
+        add(&mut m, &mut wm, &mut syms, "(b ^x 2)");
+        let snap = obs.profile.snapshot();
+        assert!(
+            snap.rows.iter().any(|r| r.latency.count > 0),
+            "detail toggle enables latency recording"
+        );
+    }
+
+    #[test]
+    fn profiler_off_records_nothing() {
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
+        // Flight capacity but no profile capacity: the profiler stays
+        // off even though obs is attached.
+        let obs = Arc::new(Obs::with_flight(16, 64));
+        m.attach_obs(Arc::clone(&obs));
+        add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        add(&mut m, &mut wm, &mut syms, "(b ^x 1)");
+        assert!(!obs.profile.enabled());
+        assert_eq!(obs.profile.snapshot().retained, 0);
+        assert_eq!(obs.profile.overflow(), 0);
     }
 }

@@ -10,15 +10,20 @@
 //!
 //! | Endpoint    | Serves                                               |
 //! |-------------|------------------------------------------------------|
-//! | `/metrics`  | Prometheus text exposition of the registry snapshot  |
+//! | `/metrics`  | Prometheus text exposition of the registry snapshot (plus `profile.node.*` families when the profiler is on) |
 //! | `/healthz`  | Engine + supervisor state (degradation tier, last-cycle deadline miss, recoveries) |
-//! | `/snapshot` | Full JSON [`psm_obs::MetricsSnapshot`] + recent event ring + flight-ring status |
+//! | `/snapshot` | Full JSON [`psm_obs::MetricsSnapshot`] + recent event ring + flight-ring status + profile table |
 //! | `/explain`  | Flight-recorder queries: `?rule=R&instance=N` or `?cycle=N` |
+//! | `/profile`  | Per-node join profile (JSON, hottest first): activations, pairs compared, measured selectivity, latency summary |
 //!
 //! The whole plane is optional: don't start a [`TelemetryServer`] and
 //! no listener thread exists; build the [`psm_obs::Obs`] without flight
 //! capacity and provenance recording is a single relaxed atomic load
-//! per would-be record.
+//! per would-be record. Likewise the per-node profiler: without
+//! profile capacity, `/profile` reports an empty table and no
+//! `profile.node.*` family reaches `/metrics`. The profile families
+//! are projected from the profiler at scrape time — nothing is
+//! formatted or written into the registry on the matcher's hot path.
 
 pub mod client;
 pub mod http;
@@ -93,17 +98,56 @@ pub fn route(obs: &Obs, req: &Request) -> Response {
         return Response::error(405, "only GET is supported");
     }
     match req.path.as_str() {
-        "/metrics" => Response::exposition(prom::render(&obs.metrics.snapshot())),
+        "/metrics" => {
+            let mut snap = obs.metrics.snapshot();
+            if obs.profile.enabled() {
+                snap.merge(&profile_families(&obs.profile.snapshot()));
+            }
+            Response::exposition(prom::render(&snap))
+        }
         "/healthz" => Response::json(healthz_json(&obs.metrics.snapshot())),
         "/snapshot" => Response::json(snapshot_json(obs)),
         "/explain" => explain(obs, req),
+        "/profile" => Response::json(obs.profile.snapshot().to_json()),
         "/" => Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
-            body: "psm-telemetry: /metrics /healthz /snapshot /explain\n".to_string(),
+            body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile\n".to_string(),
         },
         _ => Response::error(404, "unknown path"),
     }
+}
+
+/// Projects a profile snapshot into `profile.node.*{node="K",kind="join"}`
+/// metric families, using the registry's embedded-label name
+/// convention so [`prom::render`] groups and escapes them like any
+/// other family. Called at scrape time only.
+pub fn profile_families(snap: &psm_obs::ProfileSnapshot) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for r in &snap.rows {
+        let l = format!("{{node=\"{}\",kind=\"{}\"}}", r.node, r.kind);
+        out.counters
+            .insert(format!("profile.node.left_activations{l}"), r.left);
+        out.counters
+            .insert(format!("profile.node.right_activations{l}"), r.right);
+        out.counters
+            .insert(format!("profile.node.tokens_in{l}"), r.tokens_in);
+        out.counters
+            .insert(format!("profile.node.tokens_out{l}"), r.tokens_out);
+        out.counters
+            .insert(format!("profile.node.pairs_compared{l}"), r.pairs);
+        // Gauges are integral; selectivity is exported in parts per
+        // million.
+        out.gauges.insert(
+            format!("profile.node.selectivity_ppm{l}"),
+            (r.selectivity * 1e6).round() as i64,
+        );
+        if r.latency.count > 0 {
+            out.histograms
+                .insert(format!("profile.node.latency_ns{l}"), r.latency.clone());
+        }
+    }
+    out
 }
 
 /// Health summary derived purely from the metrics snapshot, so the
@@ -177,8 +221,41 @@ fn snapshot_json(obs: &Obs) -> String {
     out.push_str(&obs.flight.retained_cycles().to_string());
     out.push_str(",\"evicted_cycles\":");
     out.push_str(&obs.flight.evicted_cycles().to_string());
-    out.push_str("}}");
+    out.push_str("},\"profile\":");
+    out.push_str(&obs.profile.snapshot().to_json());
+    out.push('}');
     out
+}
+
+/// `{"node":"kind", ...}` for every profiled node, in node-id order —
+/// spliced into `/explain` responses so causal traces and profiles use
+/// the same node naming.
+fn node_kinds_json(obs: &Obs) -> String {
+    let mut rows = obs.profile.snapshot().rows;
+    rows.sort_by_key(|r| r.node);
+    let mut out = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&r.node.to_string());
+        out.push_str("\":\"");
+        out.push_str(r.kind);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Appends `"node_kinds":{...}` to a JSON object body.
+fn with_node_kinds(mut body: String, obs: &Obs) -> String {
+    debug_assert!(body.ends_with('}'));
+    body.truncate(body.len() - 1);
+    body.push_str(",\"node_kinds\":");
+    body.push_str(&node_kinds_json(obs));
+    body.push('}');
+    body
 }
 
 /// `/explain?rule=R&instance=N` (instance defaults to 0) or
@@ -197,7 +274,7 @@ fn explain(obs: &Obs, req: &Request) -> Response {
             body.push_str(&r.to_json());
         }
         body.push_str("]}");
-        return Response::json(body);
+        return Response::json(with_node_kinds(body, obs));
     }
     if let Some(rule) = req.param("rule") {
         let instance = match req.param("instance") {
@@ -207,7 +284,10 @@ fn explain(obs: &Obs, req: &Request) -> Response {
                 Err(_) => return Response::error(400, "instance must be an integer"),
             },
         };
-        return Response::json(obs.flight.explain_firing(rule, instance).to_json());
+        return Response::json(with_node_kinds(
+            obs.flight.explain_firing(rule, instance).to_json(),
+            obs,
+        ));
     }
     Response::error(400, "expected ?rule=NAME[&instance=N] or ?cycle=N")
 }
@@ -254,6 +334,70 @@ mod tests {
         assert!(body.contains("\"tier\":null"));
         assert!(body.contains("\"tier_name\":\"unsupervised\""));
         assert!(client::Json::parse(&body).is_some(), "healthz must be JSON");
+    }
+
+    #[test]
+    fn profile_endpoint_and_metric_families() {
+        // Capacity 0: the endpoint answers but reports nothing, and no
+        // profile family leaks into the exposition text.
+        let off = Obs::with_flight(16, 16);
+        off.metrics.counter("interp.firings").inc();
+        let resp = route(&off, &get("/profile", &[]));
+        assert_eq!(resp.status, 200);
+        let j = client::Json::parse(&resp.body).expect("profile is JSON");
+        assert_eq!(j.get("capacity").unwrap().as_u64(), Some(0));
+        assert!(j.get("rows").unwrap().items().is_empty());
+        let text = route(&off, &get("/metrics", &[])).body;
+        assert!(
+            !text.contains("profile_node_"),
+            "capacity 0 keeps profile families out of /metrics"
+        );
+
+        // With capacity and recorded activity, the labeled families
+        // appear and the table is sorted hottest-first.
+        let on = Obs::with_profile(16, 16, 8);
+        on.profile
+            .record(1, psm_obs::ProfileKind::Join, true, 100, 25);
+        on.profile
+            .record(2, psm_obs::ProfileKind::Negative, false, 10, 1);
+        let resp = route(&on, &get("/profile", &[]));
+        let j = client::Json::parse(&resp.body).expect("profile is JSON");
+        let rows = j.get("rows").unwrap().items();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("node").unwrap().as_u64(),
+            Some(1),
+            "hottest first"
+        );
+        assert_eq!(rows[0].get("kind").unwrap().as_str(), Some("join"));
+        let text = route(&on, &get("/metrics", &[])).body;
+        assert!(text.contains("profile_node_pairs_compared{node=\"1\",kind=\"join\"} 100"));
+        assert!(text.contains("profile_node_selectivity_ppm{node=\"1\",kind=\"join\"} 250000"));
+        assert!(text.contains("profile_node_right_activations{node=\"1\",kind=\"join\"} 1"));
+        assert!(text.contains("{node=\"2\",kind=\"neg\"}"));
+
+        // /snapshot carries the same table plus retention status.
+        let snap = client::Json::parse(&route(&on, &get("/snapshot", &[])).body).unwrap();
+        let p = snap.get("profile").unwrap();
+        assert_eq!(p.get("retained").unwrap().as_u64(), Some(2));
+        assert_eq!(p.get("overflow").unwrap().as_u64(), Some(0));
+
+        // /explain reports the profiler's node kinds alongside records.
+        let ex =
+            client::Json::parse(&route(&on, &get("/explain", &[("cycle", "0")])).body).unwrap();
+        let kinds = ex.get("node_kinds").unwrap();
+        assert_eq!(kinds.get("1").unwrap().as_str(), Some("join"));
+        assert_eq!(kinds.get("2").unwrap().as_str(), Some("neg"));
+    }
+
+    #[test]
+    fn profile_overflow_reported() {
+        let obs = Obs::with_profile(16, 0, 2);
+        obs.profile
+            .record(7, psm_obs::ProfileKind::Join, true, 1, 1);
+        let j = client::Json::parse(&route(&obs, &get("/profile", &[])).body).unwrap();
+        assert_eq!(j.get("overflow").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("retained").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -90,6 +90,48 @@ fn explain_cycle_filters_by_cycle() {
 }
 
 #[test]
+fn profiler_survives_tier_fallback() {
+    use psm::fault::{FaultPlan, Supervisor, SupervisorConfig, Tier};
+    use psm::ops5::Matcher;
+    use psm::workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+    let workload = GeneratedWorkload::generate(Preset::Vt.spec_small()).expect("generates");
+    let obs = Arc::new(Obs::with_profile(1024, 4096, 4096));
+    let config = SupervisorConfig {
+        threads: 2,
+        backoff: std::time::Duration::from_micros(10),
+        checkpoint_every: 4,
+        ..SupervisorConfig::default()
+    };
+    let mut sup = Supervisor::new(&workload.program, config).expect("compiles");
+    sup.attach_obs(Arc::clone(&obs));
+    // Exactly enough transient failures at cycle 2 to exhaust the
+    // parallel tier's retry budget (max_retries = 2, so the third
+    // failure degrades) without also knocking out the sequential tier.
+    sup.set_fault_plan(Some(Arc::new(FaultPlan::new(0).with_cycle_fault(2, 3))));
+    let mut driver = WorkloadDriver::new(workload.clone(), 7);
+    driver.init(&mut sup);
+    for _ in 0..3 {
+        let batch = driver.next_batch();
+        sup.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+    assert_eq!(sup.tier(), Tier::Sequential, "plan forces fallback");
+    let before = obs.profile.snapshot().total_pairs();
+    assert!(before > 0, "parallel tier already profiled");
+    for _ in 0..4 {
+        let batch = driver.next_batch();
+        sup.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+    let after = obs.profile.snapshot().total_pairs();
+    assert!(
+        after > before,
+        "recovered sequential matcher keeps profiling ({before} -> {after})"
+    );
+}
+
+#[test]
 fn disabled_flight_records_nothing() {
     let obs = Arc::new(Obs::new(0)); // flight capacity 0: permanently off
     let fired = run_blocks(&obs);
