@@ -1,7 +1,7 @@
 //! `psmlint` — static analysis CLI for OPS5 programs.
 //!
 //! ```text
-//! psmlint [--json] [--cost] [--presets] [--fixtures] [FILES...]
+//! psmlint [--json] [--cost] [--interference] [--presets] [--fixtures] [FILES...]
 //! ```
 //!
 //! * `FILES...` — OPS5 source files to lint (and cost-model with
@@ -11,7 +11,13 @@
 //! * `--fixtures` — build each seeded-defect fixture and require its
 //!   expected lint code to fire (the analyzer's own regression net).
 //! * `--cost` — also print the static cost model per program.
-//! * `--json` — machine-readable output (one JSON object).
+//! * `--interference` — also compute the inter-production interference
+//!   relation and parallel-firing compatibility density per program,
+//!   and write the dependency graph to
+//!   `results/<unit>.interference.dot`.
+//! * `--json` — machine-readable output (one JSON object, carrying a
+//!   stable `schema_version`; units and diagnostics are emitted in a
+//!   deterministic order so CI diffs are stable).
 //!
 //! Exit status: 0 clean, 1 on any error-severity diagnostic, missed
 //! fixture, or unreadable/unparsable input.
@@ -19,13 +25,17 @@
 use std::process::ExitCode;
 
 use ops5::{parse_program_lenient, Program};
-use psm_analyze::{analyze_cost, lint_program, CostParams, Diagnostic, Severity};
+use psm_analyze::{
+    analyze_cost, analyze_interference, lint_program, CostParams, Diagnostic, InterferenceAnalysis,
+    Severity,
+};
 use psm_obs::json::{number, push_escaped};
 use rete::Network;
 
 struct Options {
     json: bool,
     cost: bool,
+    interference: bool,
     presets: bool,
     fixtures: bool,
     files: Vec<String>,
@@ -35,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
         cost: false,
+        interference: false,
         presets: false,
         fixtures: false,
         files: Vec::new(),
@@ -43,11 +54,12 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--cost" => opts.cost = true,
+            "--interference" => opts.interference = true,
             "--presets" => opts.presets = true,
             "--fixtures" => opts.fixtures = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: psmlint [--json] [--cost] [--presets] [--fixtures] [FILES...]"
+                    "usage: psmlint [--json] [--cost] [--interference] [--presets] [--fixtures] [FILES...]"
                         .to_string(),
                 )
             }
@@ -66,9 +78,11 @@ struct Analyzed {
     name: String,
     diagnostics: Vec<Diagnostic>,
     cost_lines: Vec<String>,
+    interference: Option<InterferenceAnalysis>,
 }
 
-fn analyze(name: &str, program: &Program, with_cost: bool) -> Analyzed {
+fn analyze(name: &str, program: &Program, opts: &Options) -> Analyzed {
+    let with_cost = opts.cost;
     let diagnostics = lint_program(program);
     let mut cost_lines = Vec::new();
     if with_cost {
@@ -104,7 +118,16 @@ fn analyze(name: &str, program: &Program, with_cost: bool) -> Analyzed {
         name: name.to_string(),
         diagnostics,
         cost_lines,
+        interference: opts.interference.then(|| analyze_interference(program)),
     }
+}
+
+/// File-name-safe version of a unit name (`preset:vt-small` →
+/// `preset-vt-small`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
 }
 
 fn emit_text(units: &[Analyzed]) {
@@ -121,25 +144,44 @@ fn emit_text(units: &[Analyzed]) {
         for line in &unit.cost_lines {
             println!("{line}");
         }
+        if let Some(ia) = &unit.interference {
+            println!(
+                "interference: {} rules, {} conflicting pairs, compatibility density {:.3}",
+                ia.rules(),
+                ia.pairs.len(),
+                ia.density()
+            );
+        }
     }
 }
 
 fn emit_json(units: &[Analyzed], fixture_failures: &[String]) {
-    let mut out = String::from("{\"units\":[");
-    for (i, unit) in units.iter().enumerate() {
+    // Deterministic CI diffs: units sorted by name, diagnostics by
+    // (code, production, ce) within each unit.
+    let mut ordered: Vec<&Analyzed> = units.iter().collect();
+    ordered.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::from("{\"schema_version\":1,\"units\":[");
+    for (i, unit) in ordered.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str("{\"name\":");
         push_escaped(&mut out, &unit.name);
         out.push_str(",\"diagnostics\":[");
-        for (j, d) in unit.diagnostics.iter().enumerate() {
+        let mut diags: Vec<&Diagnostic> = unit.diagnostics.iter().collect();
+        diags.sort_by(|a, b| (a.code, &a.production, a.ce).cmp(&(b.code, &b.production, b.ce)));
+        for (j, d) in diags.iter().enumerate() {
             if j > 0 {
                 out.push(',');
             }
             out.push_str(&d.to_json());
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(ia) = &unit.interference {
+            out.push_str(",\"interference\":");
+            out.push_str(&ia.to_json(true));
+        }
+        out.push('}');
     }
     out.push_str("],\"fixture_failures\":[");
     for (i, f) in fixture_failures.iter().enumerate() {
@@ -184,7 +226,7 @@ fn main() -> ExitCode {
         // diagnostics (all of them) instead of a parse abort at the
         // first one.
         match parse_program_lenient(&src) {
-            Ok(program) => units.push(analyze(path, &program, opts.cost)),
+            Ok(program) => units.push(analyze(path, &program, &opts)),
             Err(e) => {
                 eprintln!("psmlint: {path}: parse error: {e}");
                 failed = true;
@@ -199,7 +241,7 @@ fn main() -> ExitCode {
                 Ok(w) => units.push(analyze(
                     &format!("preset:{}", preset.name()),
                     &w.program,
-                    opts.cost,
+                    &opts,
                 )),
                 Err(e) => {
                     eprintln!("psmlint: preset {} failed to generate: {e}", preset.name());
@@ -225,7 +267,27 @@ fn main() -> ExitCode {
                 name: format!("fixture:{}", fx.name),
                 diagnostics,
                 cost_lines: Vec::new(),
+                interference: None,
             });
+        }
+    }
+
+    // Dependency graphs ride along as DOT files (CI uploads them as
+    // artifacts next to the JSON report).
+    if opts.interference {
+        if let Err(e) = std::fs::create_dir_all("results") {
+            eprintln!("psmlint: cannot create results/: {e}");
+            failed = true;
+        }
+        for unit in &units {
+            let Some(ia) = &unit.interference else {
+                continue;
+            };
+            let path = format!("results/{}.interference.dot", sanitize(&unit.name));
+            if let Err(e) = std::fs::write(&path, ia.to_dot()) {
+                eprintln!("psmlint: cannot write {path}: {e}");
+                failed = true;
+            }
         }
     }
 

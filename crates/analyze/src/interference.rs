@@ -1,0 +1,1045 @@
+//! Inter-production interference analysis and the parallel-firing
+//! compatibility matrix (§5 of the paper, "parallelism in the act
+//! phase").
+//!
+//! Two productions can fire in parallel only when their effects are
+//! independent: neither retracts or clobbers a WME the other asserts,
+//! reads, or requires absent. This module derives, per production:
+//!
+//! - a static **read set** — one [`Touchprint`] per condition element
+//!   (positive and negated), attribute-by-attribute, with constants
+//!   kept exact and variable/predicate tests widened to "present";
+//! - a static **write set** — one [`Touchprint`] per RHS effect, built
+//!   on [`ops5::effects`]: `make` is exact (unlisted attributes are
+//!   known absent), `modify`/`remove` inherit the designated CE's
+//!   pattern and are conservatively widened (unlisted attributes may
+//!   hold anything).
+//!
+//! Pairwise, three interference kinds are checked ([`InterferencePair`]):
+//! **WW** (a destructive write may touch a WME the other writes), **WR**
+//! (a write may touch a WME matching the other's positive CE), and
+//! **WnR** (a write may touch a pattern the other requires absent). A
+//! pair with no interference of any kind is *compatible*: the firings
+//! commute and may run concurrently. [`InterferenceAnalysis`] collects
+//! the conflicting pairs, the compatibility density, DOT/JSON exports,
+//! and gauges for the telemetry plane.
+//!
+//! The same footprints feed five lints (PSM011–PSM015, see
+//! [`crate::lint`]) and the runtime cross-check
+//! ([`sanitizer_crosscheck`]) that replays a workload with the
+//! [`ops5::effects::WriteSanitizer`] attached and asserts every actual
+//! WME touch fell inside the static write set.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ops5::ast::{PredOp, TestArg, ValueTest};
+use ops5::effects::{for_each_write_effect, EffectKind, WriteSanitizer, WriteValue};
+use ops5::{ConditionElement, Interpreter, Production, Program, SymbolId, Value};
+use psm_obs::json::push_escaped;
+use psm_obs::{Obs, Rng64};
+use rete::ReteMatcher;
+use workloads::{GeneratedWorkload, WorkloadSpec};
+
+use crate::lint::{Diagnostic, Severity};
+
+/// What is statically known about one attribute of a touched WME.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// The attribute holds (or is required to hold) exactly this value.
+    Const(Value),
+    /// The attribute is touched or tested, value unknown statically.
+    Present,
+}
+
+/// The static footprint of one WME touch: a class, an
+/// attribute-by-attribute refinement, and whether unlisted attributes
+/// are known absent (`make` asserts exactly its listed attributes;
+/// patterns and `modify` results may carry arbitrary extra attributes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Touchprint {
+    /// WME class.
+    pub class: SymbolId,
+    /// True when unlisted attributes are known absent.
+    pub exact: bool,
+    /// Attribute refinements, sorted by attribute id.
+    pub attrs: Vec<(SymbolId, Touch)>,
+}
+
+impl Touchprint {
+    fn get(&self, attr: SymbolId) -> Option<&Touch> {
+        self.attrs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// Conservative intersection test: could a single concrete WME fall
+    /// under both prints? Refutation needs positive evidence — two
+    /// different pinned constants at the same attribute, or an
+    /// exact-side-absent attribute the other side requires.
+    pub fn may_intersect(&self, other: &Touchprint) -> bool {
+        if self.class != other.class {
+            return false;
+        }
+        let mut attrs: Vec<SymbolId> = Vec::with_capacity(self.attrs.len() + other.attrs.len());
+        attrs.extend(self.attrs.iter().map(|(a, _)| *a));
+        attrs.extend(other.attrs.iter().map(|(a, _)| *a));
+        attrs.sort_unstable();
+        attrs.dedup();
+        for attr in attrs {
+            match (self.get(attr), other.get(attr)) {
+                (Some(Touch::Const(u)), Some(Touch::Const(v))) if u != v => return false,
+                (None, Some(_)) if self.exact => return false,
+                (Some(_), None) if other.exact => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+/// One condition element of a production's read set.
+#[derive(Debug, Clone)]
+pub struct ReadPattern {
+    /// Index into `production.ces` (over all CEs, negated included).
+    pub ce: usize,
+    /// True for a negated CE (the rule requires the pattern absent).
+    pub negated: bool,
+    /// The pattern's touchprint (never exact: extra attributes match).
+    pub print: Touchprint,
+}
+
+/// One WME the RHS may assert: a `make`, or the re-asserted half of a
+/// `modify`.
+#[derive(Debug, Clone)]
+pub struct AddPrint {
+    /// True when this stems from `make` — the program genuinely creates
+    /// instances of the class (a `modify` only rewrites an instance
+    /// that already existed).
+    pub made: bool,
+    /// Footprint of the asserted WME.
+    pub print: Touchprint,
+}
+
+/// One WME the RHS may retract: a `remove`, or the retracted half of a
+/// `modify`. The footprint is the designated CE's pattern.
+#[derive(Debug, Clone)]
+pub struct DelPrint {
+    /// Which action produced this ([`EffectKind::Remove`] or
+    /// [`EffectKind::Modify`]).
+    pub kind: EffectKind,
+    /// Index into `production.ces` of the designated CE.
+    pub ce: usize,
+    /// Footprint of the retracted WME.
+    pub print: Touchprint,
+}
+
+/// The full static footprint of one production: read patterns, add
+/// prints, del prints, plus class indices for fast pair prefiltering.
+#[derive(Debug, Clone)]
+pub struct ProductionFootprint {
+    /// Production name.
+    pub name: String,
+    /// LEX specificity (total primitive test count).
+    pub specificity: usize,
+    /// One read pattern per CE, positive and negated.
+    pub reads: Vec<ReadPattern>,
+    /// WMEs the RHS may assert.
+    pub adds: Vec<AddPrint>,
+    /// WMEs the RHS may retract.
+    pub dels: Vec<DelPrint>,
+    write_classes: Vec<SymbolId>,
+    read_classes: Vec<SymbolId>,
+}
+
+impl ProductionFootprint {
+    /// All write prints (adds and dels) paired with a "destructive"
+    /// flag — dels retract existing WMEs, adds only assert fresh ones.
+    fn writes(&self) -> impl Iterator<Item = (bool, &Touchprint)> {
+        self.dels
+            .iter()
+            .map(|d| (true, &d.print))
+            .chain(self.adds.iter().map(|a| (false, &a.print)))
+    }
+
+    /// True when the RHS touches working memory at all.
+    pub fn writes_wm(&self) -> bool {
+        !self.adds.is_empty() || !self.dels.is_empty()
+    }
+}
+
+fn sorted_dedup(mut v: Vec<SymbolId>) -> Vec<SymbolId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn sorted_intersects(a: &[SymbolId], b: &[SymbolId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Touchprint of one condition element: each tested attribute becomes
+/// [`Touch::Const`] when some test pins it to a constant (a bare
+/// constant or an `=` predicate against one), else [`Touch::Present`].
+fn ce_print(ce: &ConditionElement) -> Touchprint {
+    let mut map: HashMap<SymbolId, Option<Value>> = HashMap::new();
+    ce.for_each_primitive_test(&mut |attr, test| {
+        let pin = match test {
+            ValueTest::Const(v) => Some(*v),
+            ValueTest::Pred(PredOp::Eq, TestArg::Const(v)) => Some(*v),
+            _ => None,
+        };
+        let entry = map.entry(attr).or_insert(None);
+        if entry.is_none() {
+            *entry = pin;
+        }
+    });
+    let mut attrs: Vec<(SymbolId, Touch)> = map
+        .into_iter()
+        .map(|(a, pin)| (a, pin.map_or(Touch::Present, Touch::Const)))
+        .collect();
+    attrs.sort_unstable_by_key(|(a, _)| *a);
+    Touchprint {
+        class: ce.class,
+        exact: false,
+        attrs,
+    }
+}
+
+/// Computes the static footprint of one production.
+pub fn footprint(p: &Production) -> ProductionFootprint {
+    let reads: Vec<ReadPattern> = p
+        .ces
+        .iter()
+        .enumerate()
+        .map(|(i, ce)| ReadPattern {
+            ce: i,
+            negated: ce.negated,
+            print: ce_print(ce),
+        })
+        .collect();
+    let pos_to_full: Vec<usize> = p
+        .ces
+        .iter()
+        .enumerate()
+        .filter(|(_, ce)| !ce.negated)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut adds = Vec::new();
+    let mut dels = Vec::new();
+    for_each_write_effect(p, &mut |effect| {
+        let explicit: Vec<(SymbolId, Touch)> = effect
+            .attrs
+            .iter()
+            .map(|&(a, v)| {
+                let touch = match v {
+                    WriteValue::Const(c) => Touch::Const(c),
+                    WriteValue::Dynamic => Touch::Present,
+                };
+                (a, touch)
+            })
+            .collect();
+        match effect.kind {
+            EffectKind::Make => {
+                let mut attrs = explicit;
+                attrs.sort_unstable_by_key(|(a, _)| *a);
+                adds.push(AddPrint {
+                    made: true,
+                    print: Touchprint {
+                        class: effect.class,
+                        exact: true,
+                        attrs,
+                    },
+                });
+            }
+            EffectKind::Modify | EffectKind::Remove => {
+                let pos = effect
+                    .positive_ce
+                    .expect("modify/remove effects carry a designated CE");
+                let full = pos_to_full[pos];
+                let base = &reads[full].print;
+                dels.push(DelPrint {
+                    kind: effect.kind,
+                    ce: full,
+                    print: base.clone(),
+                });
+                if effect.kind == EffectKind::Modify {
+                    // Re-asserted WME: the designated CE's pattern with
+                    // the explicit attributes overridden. Not exact —
+                    // untested attributes of the old WME carry over.
+                    let mut attrs = base.attrs.clone();
+                    for (a, touch) in explicit {
+                        match attrs.binary_search_by_key(&a, |(x, _)| *x) {
+                            Ok(i) => attrs[i].1 = touch,
+                            Err(i) => attrs.insert(i, (a, touch)),
+                        }
+                    }
+                    adds.push(AddPrint {
+                        made: false,
+                        print: Touchprint {
+                            class: effect.class,
+                            exact: false,
+                            attrs,
+                        },
+                    });
+                }
+            }
+        }
+    });
+
+    let write_classes = sorted_dedup(
+        adds.iter()
+            .map(|a| a.print.class)
+            .chain(dels.iter().map(|d| d.print.class))
+            .collect(),
+    );
+    let read_classes = sorted_dedup(reads.iter().map(|r| r.print.class).collect());
+    ProductionFootprint {
+        name: p.name.clone(),
+        specificity: p.specificity,
+        reads,
+        adds,
+        dels,
+        write_classes,
+        read_classes,
+    }
+}
+
+/// Footprints for every production in the program, in program order.
+pub fn footprints(program: &Program) -> Vec<ProductionFootprint> {
+    program.productions.iter().map(footprint).collect()
+}
+
+/// One interfering production pair (`a < b`, indices into the
+/// program's production list), with the interference kinds that apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterferencePair {
+    /// Lower production index.
+    pub a: usize,
+    /// Higher production index.
+    pub b: usize,
+    /// Write–write: a destructive touch of one may hit a WME the other
+    /// writes.
+    pub ww: bool,
+    /// Write–read: a write of one may touch a WME matching a positive
+    /// CE of the other.
+    pub wr: bool,
+    /// Write–negated-read: a write of one may touch a pattern the
+    /// other requires absent.
+    pub wnr: bool,
+}
+
+impl InterferencePair {
+    /// Human-readable kind label, e.g. `"WW+WR"`.
+    pub fn kinds(&self) -> String {
+        let mut parts = Vec::new();
+        if self.ww {
+            parts.push("WW");
+        }
+        if self.wr {
+            parts.push("WR");
+        }
+        if self.wnr {
+            parts.push("WnR");
+        }
+        parts.join("+")
+    }
+}
+
+fn pair_ww(a: &ProductionFootprint, b: &ProductionFootprint) -> bool {
+    a.writes().any(|(da, pa)| {
+        b.writes()
+            .any(|(db, pb)| (da || db) && pa.may_intersect(pb))
+    })
+}
+
+fn writes_hit_reads(w: &ProductionFootprint, r: &ProductionFootprint, negated: bool) -> bool {
+    w.writes().any(|(_, wp)| {
+        r.reads
+            .iter()
+            .any(|rp| rp.negated == negated && wp.may_intersect(&rp.print))
+    })
+}
+
+/// The pairwise interference relation over a whole program, plus the
+/// derived compatibility matrix and density.
+#[derive(Debug, Clone)]
+pub struct InterferenceAnalysis {
+    /// Production names, in program order.
+    pub names: Vec<String>,
+    /// Interfering pairs (`a < b`), sorted by `(a, b)`.
+    pub pairs: Vec<InterferencePair>,
+}
+
+/// Computes the interference relation for `program`.
+///
+/// Cost is O(n²) pairs with a class-overlap prefilter: a pair is
+/// examined in detail only when one side's written classes overlap the
+/// other side's read or written classes. Match-only programs (empty
+/// RHS everywhere, like the generated presets by default) short-circuit
+/// to fully compatible.
+pub fn analyze_interference(program: &Program) -> InterferenceAnalysis {
+    let fps = footprints(program);
+    let mut pairs = Vec::new();
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            let (a, b) = (&fps[i], &fps[j]);
+            let a_hits = !a.write_classes.is_empty()
+                && (sorted_intersects(&a.write_classes, &b.write_classes)
+                    || sorted_intersects(&a.write_classes, &b.read_classes));
+            let b_hits =
+                !b.write_classes.is_empty() && sorted_intersects(&b.write_classes, &a.read_classes);
+            if !a_hits && !b_hits {
+                continue;
+            }
+            let ww = pair_ww(a, b);
+            let wr = writes_hit_reads(a, b, false) || writes_hit_reads(b, a, false);
+            let wnr = writes_hit_reads(a, b, true) || writes_hit_reads(b, a, true);
+            if ww || wr || wnr {
+                pairs.push(InterferencePair {
+                    a: i,
+                    b: j,
+                    ww,
+                    wr,
+                    wnr,
+                });
+            }
+        }
+    }
+    InterferenceAnalysis {
+        names: fps.into_iter().map(|f| f.name).collect(),
+        pairs,
+    }
+}
+
+impl InterferenceAnalysis {
+    /// Number of productions analyzed.
+    pub fn rules(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Fraction of unordered pairs that are compatible (may fire in
+    /// parallel). `1.0` for programs with fewer than two productions.
+    pub fn density(&self) -> f64 {
+        let n = self.names.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let total = (n * (n - 1) / 2) as f64;
+        1.0 - self.pairs.len() as f64 / total
+    }
+
+    /// The symmetric compatibility matrix: `m[i][j]` is true when
+    /// productions `i` and `j` may fire in parallel (diagonal is
+    /// false — a production never runs concurrently with itself).
+    pub fn compatibility_matrix(&self) -> Vec<Vec<bool>> {
+        let n = self.names.len();
+        let mut m = vec![vec![true; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = false;
+        }
+        for p in &self.pairs {
+            m[p.a][p.b] = false;
+            m[p.b][p.a] = false;
+        }
+        m
+    }
+
+    /// Renders the production dependency graph in DOT. Nodes are
+    /// productions; edges are interfering pairs labeled with their
+    /// kinds. Only productions participating in at least one conflict
+    /// get explicit node statements, keeping graphs of match-only
+    /// programs tiny.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph interference {\n");
+        out.push_str("  node [shape=box, fontsize=10];\n");
+        out.push_str(&format!(
+            "  label=\"{} rules, {} conflicting pairs, density {:.3}\";\n",
+            self.rules(),
+            self.pairs.len(),
+            self.density()
+        ));
+        let mut in_conflict: Vec<usize> = self.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
+        in_conflict.sort_unstable();
+        in_conflict.dedup();
+        for &i in &in_conflict {
+            out.push_str(&format!("  \"{}\";\n", self.names[i]));
+        }
+        for p in &self.pairs {
+            out.push_str(&format!(
+                "  \"{}\" -- \"{}\" [label=\"{}\"];\n",
+                self.names[p.a],
+                self.names[p.b],
+                p.kinds()
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serializes the analysis as JSON. The full compatibility matrix
+    /// (one `'0'`/`'1'` string per row) is included only when
+    /// `include_matrix` is set and the program has at most 512
+    /// productions; pair lists and density are always present.
+    pub fn to_json(&self, include_matrix: bool) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"rules\":{}", self.rules()));
+        out.push_str(&format!(",\"conflicting_pairs\":{}", self.pairs.len()));
+        out.push_str(&format!(",\"density\":{:.6}", self.density()));
+        out.push_str(",\"pairs\":[");
+        for (k, p) in self.pairs.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"a\":");
+            push_escaped(&mut out, &self.names[p.a]);
+            out.push_str(",\"b\":");
+            push_escaped(&mut out, &self.names[p.b]);
+            out.push_str(",\"kinds\":");
+            push_escaped(&mut out, &p.kinds());
+            out.push('}');
+        }
+        out.push(']');
+        if include_matrix && self.rules() <= 512 {
+            out.push_str(",\"matrix\":[");
+            for (i, row) in self.compatibility_matrix().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let bits: String = row.iter().map(|&c| if c { '1' } else { '0' }).collect();
+                push_escaped(&mut out, &bits);
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Publishes summary gauges (`interference.rules`,
+    /// `interference.conflicting_pairs`, `interference.density_ppm`)
+    /// to the observability plane.
+    pub fn publish(&self, obs: &Obs) {
+        obs.metrics
+            .gauge("interference.rules")
+            .set(self.rules() as i64);
+        obs.metrics
+            .gauge("interference.conflicting_pairs")
+            .set(self.pairs.len() as i64);
+        obs.metrics
+            .gauge("interference.density_ppm")
+            .set((self.density() * 1_000_000.0) as i64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lints PSM011–PSM015.
+// ---------------------------------------------------------------------------
+
+fn warn(code: &'static str, production: &str, ce: Option<usize>, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: Severity::Warning,
+        production: production.to_string(),
+        ce,
+        message,
+    }
+}
+
+/// Runs the five interference lints over the whole program, appending
+/// to `diags`. See the lint table in [`crate::lint`].
+pub(crate) fn lint_interference(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let fps = footprints(program);
+    let made: HashSet<SymbolId> = fps
+        .iter()
+        .flat_map(|f| f.adds.iter().filter(|a| a.made).map(|a| a.print.class))
+        .collect();
+    let all_adds: Vec<&AddPrint> = fps.iter().flat_map(|f| f.adds.iter()).collect();
+
+    for fp in &fps {
+        lint_self_retrigger(fp, diags);
+        lint_dead_rule(fp, &made, &all_adds, diags);
+        lint_negated_retract(fp, diags);
+    }
+
+    // Pairwise lints, with the same class-overlap prefilter the
+    // analysis uses.
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            let (a, b) = (&fps[i], &fps[j]);
+            // PSM011: always-conflicting write sets at identical
+            // specificity — conflict resolution cannot order the pair,
+            // so serial and parallel schedules may diverge.
+            if a.specificity == b.specificity
+                && sorted_intersects(&a.write_classes, &b.write_classes)
+                && pair_ww(a, b)
+            {
+                diags.push(warn(
+                    "PSM011",
+                    &b.name,
+                    None,
+                    format!(
+                        "write set conflicts with `{}` at identical specificity {}; \
+                         firing order is unresolvable and parallel outcomes may diverge",
+                        a.name, a.specificity
+                    ),
+                ));
+            }
+        }
+    }
+    lint_shadowed(program, &fps, diags);
+}
+
+/// PSM012: an RHS write may re-satisfy the production's own LHS —
+/// an add hitting a positive CE, or a retract hitting a negated CE.
+/// Either way the rule can re-trigger itself every cycle (refraction
+/// only suppresses the *same* instantiation, and a rewritten WME gets
+/// a fresh time tag).
+fn lint_self_retrigger(fp: &ProductionFootprint, diags: &mut Vec<Diagnostic>) {
+    for r in &fp.reads {
+        let loops = if r.negated {
+            fp.dels.iter().any(|d| d.print.may_intersect(&r.print))
+        } else {
+            fp.adds.iter().any(|a| a.print.may_intersect(&r.print))
+        };
+        if loops {
+            let how = if r.negated {
+                "a retract may clear this negated CE"
+            } else {
+                "a write may re-create a match for this CE"
+            };
+            diags.push(warn(
+                "PSM012",
+                &fp.name,
+                Some(r.ce),
+                format!("{how}; the rule can re-trigger itself (static loop risk)"),
+            ));
+            return;
+        }
+    }
+}
+
+/// PSM013: a positive CE reads a class the program creates (some rule
+/// `make`s it), yet no RHS write in the program can satisfy the CE's
+/// tests. The rule can only ever fire from WMEs seeded into the
+/// initial working memory. Classes never `make`d anywhere are presumed
+/// externally seeded and are not flagged.
+fn lint_dead_rule(
+    fp: &ProductionFootprint,
+    made: &HashSet<SymbolId>,
+    all_adds: &[&AddPrint],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for r in &fp.reads {
+        if r.negated || !made.contains(&r.print.class) {
+            continue;
+        }
+        if !all_adds.iter().any(|a| a.print.may_intersect(&r.print)) {
+            diags.push(warn(
+                "PSM013",
+                &fp.name,
+                Some(r.ce),
+                "no RHS write in the program can satisfy this CE's tests; \
+                 the rule fires only from initial working memory"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// PSM015: the rule retracts (via `remove`/`modify`) a WME whose
+/// pattern overlaps a CE the same rule requires absent. The negation
+/// already guaranteed no such WME matched, so either the retract is
+/// aimed at the wrong CE or the patterns are wrong.
+fn lint_negated_retract(fp: &ProductionFootprint, diags: &mut Vec<Diagnostic>) {
+    for r in fp.reads.iter().filter(|r| r.negated) {
+        if let Some(d) = fp.dels.iter().find(|d| d.print.may_intersect(&r.print)) {
+            let action = match d.kind {
+                EffectKind::Modify => "modify",
+                _ => "remove",
+            };
+            diags.push(warn(
+                "PSM015",
+                &fp.name,
+                Some(r.ce),
+                format!(
+                    "`{action}` of CE {} overlaps this negated CE's pattern; \
+                     the negation already guarantees no such WME exists",
+                    d.ce + 1
+                ),
+            ));
+        }
+    }
+}
+
+/// How a variable of the shadowed production maps into the shadowing
+/// one during subsumption search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarImage {
+    QVar(ops5::ast::VarId),
+    Val(Value),
+}
+
+fn pred_holds(v: Value, op: PredOp, c: Value) -> bool {
+    match op {
+        PredOp::Eq => v == c,
+        PredOp::Ne => v != c,
+        PredOp::SameType => matches!(
+            (v, c),
+            (Value::Int(_), Value::Int(_)) | (Value::Sym(_), Value::Sym(_))
+        ),
+        PredOp::Lt | PredOp::Le | PredOp::Gt | PredOp::Ge => match (v, c) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                PredOp::Lt => a < b,
+                PredOp::Le => a <= b,
+                PredOp::Gt => a > b,
+                PredOp::Ge => a >= b,
+                _ => unreachable!(),
+            },
+            _ => false,
+        },
+    }
+}
+
+/// Flattens a CE into primitive `(attr, test)` pairs (conjunctions
+/// dissolve; each conjunct must be covered separately).
+fn primitives(ce: &ConditionElement) -> Vec<(SymbolId, ValueTest)> {
+    let mut out = Vec::new();
+    ce.for_each_primitive_test(&mut |attr, t| out.push((attr, t.clone())));
+    out
+}
+
+/// Does some primitive test of `q_prims` at the same attribute imply
+/// `p_test`, under (and extending) the variable mapping?
+fn test_covered(
+    attr: SymbolId,
+    p_test: &ValueTest,
+    q_prims: &[(SymbolId, ValueTest)],
+    map: &mut HashMap<ops5::ast::VarId, VarImage>,
+) -> bool {
+    for (qa, q_test) in q_prims.iter().filter(|(qa, _)| *qa == attr) {
+        debug_assert_eq!(*qa, attr);
+        // The constant `q_test` pins this attribute to, if any.
+        let q_pin = match q_test {
+            ValueTest::Const(v) => Some(*v),
+            ValueTest::Pred(PredOp::Eq, TestArg::Const(v)) => Some(*v),
+            _ => None,
+        };
+        let covered = match p_test {
+            ValueTest::Const(v) | ValueTest::Pred(PredOp::Eq, TestArg::Const(v)) => {
+                q_pin == Some(*v)
+            }
+            ValueTest::Var(pv) | ValueTest::Pred(PredOp::Eq, TestArg::Var(pv)) => {
+                let image = match q_test {
+                    ValueTest::Var(qv) => Some(VarImage::QVar(*qv)),
+                    _ => q_pin.map(VarImage::Val),
+                };
+                match image {
+                    Some(img) => match map.get(pv) {
+                        Some(existing) => *existing == img,
+                        None => {
+                            map.insert(*pv, img);
+                            true
+                        }
+                    },
+                    None => false,
+                }
+            }
+            ValueTest::Pred(op, TestArg::Const(c)) => {
+                q_test == p_test || q_pin.is_some_and(|v| pred_holds(v, *op, *c))
+            }
+            ValueTest::Disj(vals) => match q_test {
+                ValueTest::Disj(qvals) => qvals.iter().all(|v| vals.contains(v)),
+                _ => q_pin.is_some_and(|v| vals.contains(&v)),
+            },
+            // Variable-operand inequalities and conjunctions are
+            // handled structurally (identical test) only.
+            _ => q_test == p_test,
+        };
+        if covered {
+            return true;
+        }
+    }
+    false
+}
+
+/// Backtracking search: map each CE of `p` (all positive) onto some
+/// positive CE of `q` such that every primitive test of the `p` CE is
+/// covered under a globally consistent variable mapping. Mappings need
+/// not be injective — one WME may satisfy several CEs.
+fn subsume_search(
+    p_ces: &[&ConditionElement],
+    q_ces: &[&ConditionElement],
+    idx: usize,
+    map: &HashMap<ops5::ast::VarId, VarImage>,
+) -> bool {
+    let Some(p_ce) = p_ces.get(idx) else {
+        return true;
+    };
+    let p_prims = primitives(p_ce);
+    for q_ce in q_ces.iter().filter(|q| q.class == p_ce.class) {
+        let q_prims = primitives(q_ce);
+        let mut trial = map.clone();
+        if p_prims
+            .iter()
+            .all(|(attr, t)| test_covered(*attr, t, &q_prims, &mut trial))
+            && subsume_search(p_ces, q_ces, idx + 1, &trial)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when any state matching `q` necessarily matches `p` too:
+/// `p` has no negated CEs and each of its CEs is covered by some
+/// positive CE of `q` under a consistent variable mapping.
+fn lhs_subsumed_by(p: &Production, q: &Production) -> bool {
+    if p.ces.iter().any(|ce| ce.negated) {
+        return false;
+    }
+    let p_ces: Vec<&ConditionElement> = p.ces.iter().collect();
+    let q_ces: Vec<&ConditionElement> = q.ces.iter().filter(|ce| !ce.negated).collect();
+    // Cheap prefilter: every p class must appear among q's positive
+    // CE classes.
+    if !p_ces
+        .iter()
+        .all(|pce| q_ces.iter().any(|qce| qce.class == pce.class))
+    {
+        return false;
+    }
+    subsume_search(&p_ces, &q_ces, 0, &HashMap::new())
+}
+
+/// PSM014: the rule's read set is subsumed by a strictly more specific
+/// sibling — whenever the sibling matches, this rule matches too and
+/// loses LEX specificity ordering. Reported once per shadowed rule.
+fn lint_shadowed(program: &Program, fps: &[ProductionFootprint], diags: &mut Vec<Diagnostic>) {
+    for (pi, p) in program.productions.iter().enumerate() {
+        for (qi, q) in program.productions.iter().enumerate() {
+            if pi == qi || q.specificity <= p.specificity {
+                continue;
+            }
+            if lhs_subsumed_by(p, q) {
+                diags.push(warn(
+                    "PSM014",
+                    &fps[pi].name,
+                    None,
+                    format!(
+                        "LHS is subsumed by the strictly more specific `{}`; \
+                         whenever `{}` matches, this rule matches and loses \
+                         specificity ordering",
+                        q.name, q.name
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime cross-check.
+// ---------------------------------------------------------------------------
+
+/// Outcome of replaying a workload with the write-set sanitizer
+/// attached; see [`sanitizer_crosscheck`].
+#[derive(Debug, Clone)]
+pub struct CrosscheckOutcome {
+    /// Production firings executed.
+    pub firings: u64,
+    /// Individual WME-touch checks performed by the sanitizer.
+    pub checks: u64,
+    /// Sanitizer violations recorded (must be zero on a legal run).
+    pub violations: Vec<ops5::effects::SanitizerViolation>,
+}
+
+/// Generates `spec`, seeds its initial working memory, and runs up to
+/// `max_cycles` recognize–act cycles with a [`WriteSanitizer`] attached
+/// to both the interpreter (attribute-level checks around each firing)
+/// and the Rete matcher (batch-level checks inside `process`). Every
+/// actual WME touch is asserted to fall inside the production's static
+/// write set.
+///
+/// # Errors
+///
+/// Returns [`ops5::Error`] if the spec fails to generate, the program
+/// fails to compile, or the run faults.
+pub fn sanitizer_crosscheck(
+    spec: WorkloadSpec,
+    max_cycles: u64,
+) -> Result<CrosscheckOutcome, ops5::Error> {
+    let seed = spec.seed;
+    let workload = GeneratedWorkload::generate(spec)
+        .map_err(|e| ops5::Error::runtime(format!("workload generation failed: {e}")))?;
+    let mut rng = Rng64::new(seed ^ 0x5eed_5a71);
+    let initial = workload.initial_wm(&mut rng);
+    let sanitizer = Arc::new(WriteSanitizer::new(&workload.program));
+    let mut matcher = ReteMatcher::compile(&workload.program)?;
+    matcher.attach_sanitizer(Arc::clone(&sanitizer));
+    let mut interp = Interpreter::new(workload.program, matcher);
+    interp.attach_sanitizer(Arc::clone(&sanitizer));
+    interp.insert_all(initial);
+    let firings = interp.run(max_cycles)?;
+    Ok(CrosscheckOutcome {
+        firings,
+        checks: sanitizer.checks(),
+        violations: sanitizer.violations(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::parse_program;
+
+    fn prog(src: &str) -> Program {
+        parse_program(src).expect("test program parses")
+    }
+
+    #[test]
+    fn make_and_read_of_same_class_interfere_as_wr() {
+        let p = prog(
+            "(p writer (go) --> (make item ^state raw))\
+             (p reader (item ^state raw) --> (make out))",
+        );
+        let a = analyze_interference(&p);
+        assert_eq!(a.pairs.len(), 1);
+        let pair = a.pairs[0];
+        assert!(pair.wr && !pair.ww && !pair.wnr, "{pair:?}");
+        assert_eq!(pair.kinds(), "WR");
+    }
+
+    #[test]
+    fn pinned_constants_refute_interference() {
+        let p = prog(
+            "(p writer (go) --> (make item ^state raw))\
+             (p reader (item ^state cooked) --> (make out))",
+        );
+        let a = analyze_interference(&p);
+        // `make` pins state=raw; the reader needs state=cooked.
+        assert!(a.pairs.is_empty(), "{:?}", a.pairs);
+        assert!((a.density() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_make_refutes_required_attribute() {
+        // `make item ^id 1` asserts exactly {id}; a reader requiring
+        // ^owner present can never match the made WME.
+        let p = prog(
+            "(p writer (go) --> (make item ^id 1))\
+             (p reader (item ^owner <o>) --> (make out))",
+        );
+        assert!(analyze_interference(&p).pairs.is_empty());
+    }
+
+    #[test]
+    fn remove_against_negated_ce_is_wnr() {
+        let p = prog(
+            "(p sweeper (junk ^size 3) --> (remove 1))\
+             (p guard (goal) - (junk ^kind live) --> (make out))",
+        );
+        let a = analyze_interference(&p);
+        assert_eq!(a.pairs.len(), 1);
+        assert!(a.pairs[0].wnr, "{:?}", a.pairs[0]);
+    }
+
+    #[test]
+    fn two_removers_of_one_class_are_ww() {
+        let p = prog(
+            "(p left (slot ^id 1) --> (remove 1))\
+             (p right (slot ^id < 2) --> (remove 1))",
+        );
+        let a = analyze_interference(&p);
+        assert!(a.pairs.iter().any(|p| p.ww));
+        let m = a.compatibility_matrix();
+        assert!(!m[0][1] && !m[1][0] && !m[0][0]);
+    }
+
+    #[test]
+    fn match_only_program_is_fully_compatible() {
+        let p = prog("(p a (x ^v 1) --> (halt))(p b (x ^v 2) --> (halt))");
+        let a = analyze_interference(&p);
+        assert!(a.pairs.is_empty());
+        assert!((a.density() - 1.0).abs() < 1e-9);
+        let m = a.compatibility_matrix();
+        assert!(m[0][1] && m[1][0]);
+    }
+
+    #[test]
+    fn dot_and_json_exports_render() {
+        let p = prog(
+            "(p left (slot ^id 1) --> (remove 1))\
+             (p right (slot ^id 1) --> (modify 1 ^id 2))",
+        );
+        let a = analyze_interference(&p);
+        let dot = a.to_dot();
+        assert!(dot.starts_with("graph interference {"));
+        assert!(dot.contains("\"left\" -- \"right\""));
+        let json = a.to_json(true);
+        assert!(json.contains("\"rules\":2"));
+        assert!(json.contains("\"matrix\":[\"00\",\"00\"]"), "{json}");
+        let no_matrix = a.to_json(false);
+        assert!(!no_matrix.contains("matrix"));
+    }
+
+    #[test]
+    fn modify_print_carries_overridden_constant() {
+        let p = prog("(p step (task ^phase one) --> (modify 1 ^phase two))");
+        let fp = footprint(&p.productions[0]);
+        assert_eq!(fp.adds.len(), 1);
+        assert_eq!(fp.dels.len(), 1);
+        let phase = p.symbols.lookup("phase").expect("interned");
+        let two = p.symbols.lookup("two").expect("interned");
+        assert_eq!(
+            fp.adds[0].print.get(phase),
+            Some(&Touch::Const(Value::Sym(two)))
+        );
+        assert!(!fp.adds[0].made);
+        assert!(!fp.adds[0].print.exact);
+    }
+
+    #[test]
+    fn subsumption_respects_variable_consistency() {
+        // narrow's CEs use one shared variable; broad requires the two
+        // attributes to be independently free, which IS implied.
+        let p = prog(
+            "(p broad (a ^x <u>) (b ^y <w>) --> (halt))\
+             (p narrow (a ^x <v> ^k 1) (b ^y <v>) --> (halt))",
+        );
+        assert!(lhs_subsumed_by(&p.productions[0], &p.productions[1]));
+        // The reverse direction must fail: broad does not pin ^k.
+        assert!(!lhs_subsumed_by(&p.productions[1], &p.productions[0]));
+    }
+
+    #[test]
+    fn shared_variable_join_is_not_implied_by_free_variables() {
+        // joined requires a.x == b.y; loose does not. loose's match
+        // does NOT imply joined's, and joined's DOES imply loose's.
+        let p = prog(
+            "(p joined (a ^x <v>) (b ^y <v> ^k 1) --> (halt))\
+             (p loose (a ^x <u>) (b ^y <w>) --> (halt))",
+        );
+        assert!(lhs_subsumed_by(&p.productions[1], &p.productions[0]));
+        assert!(!lhs_subsumed_by(&p.productions[0], &p.productions[1]));
+    }
+
+    #[test]
+    fn sanitizer_crosscheck_runs_clean_on_a_small_preset() {
+        let spec = workloads::preset("ep-soar")
+            .expect("preset exists")
+            .spec_acting();
+        let outcome = sanitizer_crosscheck(spec, 50).expect("crosscheck runs");
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        assert!(outcome.checks > 0 || outcome.firings == 0);
+    }
+}

@@ -6,11 +6,23 @@
 //! across match algorithms (§3.2). This crate computes those quantities
 //! *statically*, before a program ever runs:
 //!
-//! * [`lint`] — semantic lints over the OPS5 AST. Nine checks
-//!   (`PSM001`–`PSM009`) catch unbound variables, contradictory tests,
+//! * [`lint`] — semantic lints over the OPS5 AST. Fifteen checks
+//!   (`PSM001`–`PSM015`) catch unbound variables, contradictory tests,
 //!   unsatisfiable joins, dead negations, never-fireable productions,
-//!   duplicate/subsumed LHSs, and unused bindings. Each diagnostic has a
-//!   stable code, a severity, and both human-readable and JSON forms.
+//!   duplicate/subsumed LHSs, unused bindings, undeclared attributes,
+//!   and — via the interference footprints — always-conflicting write
+//!   sets, self-retrigger loops, dead rules, shadowed rules, and
+//!   retracts of negated patterns. Each diagnostic has a stable code, a
+//!   severity, and both human-readable and JSON forms.
+//! * [`interference`] — per-production static read/write sets
+//!   ([`interference::Touchprint`]s with conservative widening), the
+//!   pairwise interference relation (write–write, write–read,
+//!   write–negated-read), and the parallel-firing compatibility matrix
+//!   with DOT/JSON exports — the act-phase half of the paper's
+//!   parallelism argument. [`interference::sanitizer_crosscheck`]
+//!   replays a workload with the runtime
+//!   [`ops5::effects::WriteSanitizer`] attached and verifies every
+//!   actual WME touch falls inside the static write set.
 //! * [`cost`] — a static cost model over the compiled [`rete::Network`]:
 //!   per-production affect-set estimates, node-sharing factors, beta
 //!   chain depth, and predicted state for the §3.2 algorithm spectrum
@@ -37,6 +49,7 @@
 pub mod calibrate;
 pub mod cost;
 pub mod crosscheck;
+pub mod interference;
 pub mod lint;
 
 pub use calibrate::{calibrate_workload, folded_stacks, CalibrationReport, JoinCalibration};
@@ -46,5 +59,9 @@ pub use cost::{
 };
 pub use crosscheck::{
     crosscheck_blocks, crosscheck_workload, params_from_spec, CrosscheckReport, ShareComparison,
+};
+pub use interference::{
+    analyze_interference, footprint, footprints, sanitizer_crosscheck, CrosscheckOutcome,
+    InterferenceAnalysis, InterferencePair, ProductionFootprint, Touch, Touchprint,
 };
 pub use lint::{is_clean, lint_program, Diagnostic, Severity, LINT_CODES};

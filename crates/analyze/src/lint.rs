@@ -1,6 +1,6 @@
 //! Semantic lints over the OPS5 AST.
 //!
-//! Each lint has a stable code (`PSM001`–`PSM010`), a severity, and a
+//! Each lint has a stable code (`PSM001`–`PSM015`), a severity, and a
 //! human-readable message. Severities are calibrated so that *hard*
 //! defects — rules that can never behave as written — are errors, while
 //! structural suspicions that legitimately arise in generated rule sets
@@ -19,10 +19,19 @@
 //! | PSM008 | info | LHS is a prefix of another production's LHS |
 //! | PSM009 | info | variable bound but never used |
 //! | PSM010 | error | attribute not declared by the class's `literalize` |
+//! | PSM011 | warning | write sets always conflict at identical specificity |
+//! | PSM012 | warning | RHS write can re-trigger the rule's own LHS (loop risk) |
+//! | PSM013 | warning | read set unsatisfiable by any RHS write (dead rule) |
+//! | PSM014 | warning | LHS subsumed by a strictly more specific sibling |
+//! | PSM015 | warning | remove/modify overlaps a CE the same rule negates |
 //!
 //! PSM010 mirrors the strict parser's `literalize` validation so that
 //! `psmlint` (which parses leniently) can report *all* undeclared
 //! attributes as ordinary diagnostics instead of stopping at the first.
+//! PSM011–PSM015 are derived from the interference footprints of
+//! [`crate::interference`] — static read/write sets with conservative
+//! widening — and are warnings: widening means overlap is *possible*,
+//! not certain.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -110,7 +119,7 @@ impl Diagnostic {
 
 /// `(code, severity, one-line description)` for every lint, in code
 /// order — the table rendered in README.md.
-pub const LINT_CODES: [(&str, Severity, &str); 10] = [
+pub const LINT_CODES: [(&str, Severity, &str); 15] = [
     (
         "PSM001",
         Severity::Error,
@@ -157,6 +166,31 @@ pub const LINT_CODES: [(&str, Severity, &str); 10] = [
         Severity::Error,
         "attribute not declared by the class's `literalize`",
     ),
+    (
+        "PSM011",
+        Severity::Warning,
+        "write sets always conflict at identical specificity (order-dependent outcome)",
+    ),
+    (
+        "PSM012",
+        Severity::Warning,
+        "RHS write can re-trigger the rule's own LHS (static loop risk)",
+    ),
+    (
+        "PSM013",
+        Severity::Warning,
+        "read set unsatisfiable by any RHS write in the program (dead rule)",
+    ),
+    (
+        "PSM014",
+        Severity::Warning,
+        "LHS subsumed by a strictly more specific sibling (shadowed rule)",
+    ),
+    (
+        "PSM015",
+        Severity::Warning,
+        "remove/modify overlaps a CE the same rule negates",
+    ),
 ];
 
 /// Runs every lint over `program`, returning findings ordered by
@@ -173,6 +207,7 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
         lint_literalizations(program, production, &mut diags);
     }
     lint_duplicate_and_subsumed(program, &mut diags);
+    crate::interference::lint_interference(program, &mut diags);
     diags.sort_by(|a, b| (&a.production, a.code).cmp(&(&b.production, b.code)));
     diags
 }
@@ -797,9 +832,10 @@ mod tests {
         let program = parse_program_lenient("(literalize a x) (p r (b ^q 1) --> (halt))").unwrap();
         assert!(lint_program(&program).is_empty());
         // Declared attributes (including via modify) stay clean, and
-        // agree with the strict parser accepting the program.
+        // agree with the strict parser accepting the program. The
+        // modify rewrites ^x so the rule cannot re-trigger itself.
         let program =
-            parse_program("(literalize a x y) (p r (a ^x 1) --> (modify 1 ^y 2))").unwrap();
+            parse_program("(literalize a x y) (p r (a ^x 1) --> (modify 1 ^x 2 ^y 2))").unwrap();
         assert!(lint_program(&program).is_empty());
     }
 

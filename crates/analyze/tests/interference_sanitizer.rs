@@ -1,0 +1,130 @@
+//! Acceptance gates for the interference analysis and the runtime
+//! write-set sanitizer, mirroring the CI `interference-smoke` job:
+//!
+//! 1. **Property**: on legal runs the sanitizer never fires — every
+//!    actual WME touch of every firing falls inside the production's
+//!    static write set, across all six acting presets (deterministic
+//!    Rng64 seeds);
+//! 2. **Detection**: a touch outside the static write set *is* caught
+//!    (the property test would pass vacuously if the sanitizer were
+//!    inert);
+//! 3. **Golden lints**: each seeded-defect fixture for PSM011–PSM015
+//!    triggers exactly its expected warning on the expected production.
+
+use std::sync::Arc;
+
+use ops5::effects::WriteSanitizer;
+use ops5::{parse_program, parse_wme, ProductionId};
+use psm_analyze::{analyze_interference, lint_program, sanitizer_crosscheck, Severity};
+use workloads::Preset;
+
+#[test]
+fn sanitizer_never_fires_on_legal_runs_across_all_presets() {
+    let mut total_firings = 0;
+    for preset in Preset::all() {
+        let spec = preset.spec_acting();
+        let outcome = sanitizer_crosscheck(spec, 30).expect("crosscheck runs");
+        assert!(
+            outcome.violations.is_empty(),
+            "{}: sanitizer violations on a legal run: {:?}",
+            preset.name(),
+            outcome.violations
+        );
+        assert!(
+            outcome.firings == 0 || outcome.checks > 0,
+            "{}: {} firings but zero sanitizer checks",
+            preset.name(),
+            outcome.firings
+        );
+        total_firings += outcome.firings;
+    }
+    assert!(
+        total_firings > 0,
+        "the acting presets must produce real firings to exercise the sanitizer"
+    );
+}
+
+#[test]
+fn sanitizer_detects_touches_outside_the_static_write_set() {
+    let mut program =
+        parse_program("(p writer (a ^x 1) --> (make out ^x 2))").expect("program parses");
+    let rogue = parse_wme("(other ^x 2)", &mut program.symbols).expect("wme parses");
+    let legal = parse_wme("(out ^x 2)", &mut program.symbols).expect("wme parses");
+    let a = program.symbols.lookup("a").expect("interned");
+    let sanitizer = Arc::new(WriteSanitizer::new(&program));
+
+    sanitizer.begin_firing(ProductionId(0));
+    assert!(sanitizer.check_add(ProductionId(0), &legal));
+    assert!(
+        !sanitizer.check_add(ProductionId(0), &rogue),
+        "an add outside the write set must be flagged"
+    );
+    assert!(
+        !sanitizer.check_remove(ProductionId(0), a),
+        "the rule removes nothing; any remove must be flagged"
+    );
+    sanitizer.end_firing();
+
+    assert!(!sanitizer.is_clean());
+    assert_eq!(sanitizer.violation_count(), 2);
+    let violations = sanitizer.violations();
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().all(|v| v.production == "writer"));
+}
+
+#[test]
+fn interference_fixture_lints_fire_on_the_expected_production() {
+    // (expected code, fixture name, production the warning must name)
+    let golden = [
+        ("PSM011", "conflicting-writers", "racer-two"),
+        ("PSM012", "self-retrigger", "spinner"),
+        ("PSM013", "dead-rule", "dead-consumer"),
+        ("PSM014", "shadowed-rule", "broad-shadowed"),
+        ("PSM015", "negated-retract", "sweeper"),
+    ];
+    let fixtures = workloads::fixtures::all();
+    for (code, name, production) in golden {
+        let fx = fixtures
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fixture {name} missing"));
+        assert_eq!(fx.expected_code, code);
+        let diagnostics = lint_program(&(fx.build)());
+        let hit = diagnostics
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{name} did not trigger {code}: {diagnostics:?}"));
+        assert_eq!(hit.severity, Severity::Warning, "{code} must be a warning");
+        assert_eq!(
+            hit.production, production,
+            "{code} must fire on `{production}`"
+        );
+    }
+}
+
+#[test]
+fn acting_presets_have_nontrivial_compatibility() {
+    // The acting variants carry real RHS effects, so some pairs must
+    // interfere — and the skewed class distribution still leaves most
+    // pairs compatible (the paper's act-phase parallelism argument).
+    for preset in Preset::all() {
+        let w =
+            workloads::GeneratedWorkload::generate(preset.spec_acting()).expect("preset generates");
+        let analysis = analyze_interference(&w.program);
+        let density = analysis.density();
+        assert!(
+            !analysis.pairs.is_empty(),
+            "{}: acting preset should have interfering pairs",
+            preset.name()
+        );
+        assert!(
+            (0.5..1.0).contains(&density),
+            "{}: density {density} outside the expected band",
+            preset.name()
+        );
+        // The matrix agrees with the pair list.
+        let m = analysis.compatibility_matrix();
+        let p = analysis.pairs[0];
+        assert!(!m[p.a][p.b] && !m[p.b][p.a]);
+    }
+}

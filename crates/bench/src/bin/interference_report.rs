@@ -1,0 +1,158 @@
+//! Interference report: compatibility matrix density + write-set
+//! sanitizer cross-check per preset.
+//!
+//! For every workload preset this binary generates the *acting* variant
+//! (rules carry real `remove`/`modify`/`make` RHS actions), computes
+//! the inter-production interference relation and parallel-firing
+//! compatibility density, then replays the workload with the runtime
+//! write-set sanitizer attached and verifies every actual WME touch
+//! fell inside the production's static write set. Any sanitizer
+//! violation fails the run — that is the CI gate tying the static
+//! analysis to the engine's real behavior.
+//!
+//! Results are printed as a table and written to
+//! `results/interference_report.json`; each preset's production
+//! dependency graph lands next to it as
+//! `results/<preset>.interference.dot`.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin interference_report -- --small
+//! ```
+
+use psm_analyze::{analyze_interference, sanitizer_crosscheck};
+use psm_bench::{f, print_table, CliOptions};
+use psm_obs::json::{number, push_escaped};
+use workloads::{GeneratedWorkload, Preset};
+
+fn out_dir() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string())
+}
+
+struct Row {
+    name: String,
+    rules: usize,
+    pairs: usize,
+    density: f64,
+    firings: u64,
+    checks: u64,
+    violations: usize,
+}
+
+fn main() {
+    let opts = CliOptions::parse(40);
+    let out = out_dir();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut dots: Vec<(String, String)> = Vec::new();
+
+    for preset in Preset::all() {
+        let spec = if opts.small {
+            preset.spec_acting()
+        } else {
+            let mut spec = preset.spec();
+            spec.name = format!("{}-acting", spec.name);
+            spec.rhs_actions = 0.7;
+            spec
+        };
+
+        let w = GeneratedWorkload::generate(spec.clone()).expect("preset generates");
+        let analysis = analyze_interference(&w.program);
+        dots.push((preset.name().to_string(), analysis.to_dot()));
+
+        let outcome = sanitizer_crosscheck(spec, opts.cycles).expect("crosscheck runs");
+        for v in &outcome.violations {
+            eprintln!(
+                "sanitizer violation [{}] {}: {}",
+                preset.name(),
+                v.production,
+                v.detail
+            );
+        }
+        rows.push(Row {
+            name: preset.name().to_string(),
+            rules: analysis.rules(),
+            pairs: analysis.pairs.len(),
+            density: analysis.density(),
+            firings: outcome.firings,
+            checks: outcome.checks,
+            violations: outcome.violations.len(),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.rules.to_string(),
+                r.pairs.to_string(),
+                f(r.density, 3),
+                r.firings.to_string(),
+                r.checks.to_string(),
+                r.violations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "interference: compatibility matrix + write-set sanitizer cross-check",
+        &[
+            "system",
+            "rules",
+            "conflict pairs",
+            "density",
+            "firings",
+            "checks",
+            "violations",
+        ],
+        &table,
+    );
+
+    // JSON artifact for CI and EXPERIMENTS.md.
+    let mut json = String::from("{\"schema_version\":1,\"presets\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str("{\"name\":");
+        push_escaped(&mut json, &r.name);
+        json.push_str(&format!(
+            ",\"rules\":{},\"conflicting_pairs\":{}",
+            r.rules, r.pairs
+        ));
+        json.push_str(",\"density\":");
+        json.push_str(&format!("{:.6}", r.density));
+        json.push_str(&format!(
+            ",\"sanitizer\":{{\"firings\":{},\"checks\":{},\"violations\":{}}}",
+            r.firings, r.checks, r.violations
+        ));
+        json.push('}');
+    }
+    json.push_str("],\"total_firings\":");
+    let total_firings: u64 = rows.iter().map(|r| r.firings).sum();
+    json.push_str(&number(total_firings as f64));
+    json.push('}');
+    if std::fs::create_dir_all(&out).is_ok() {
+        let path = format!("{out}/interference_report.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("\nwrote {path}");
+        }
+        for (name, dot) in &dots {
+            let path = format!("{out}/{name}.interference.dot");
+            if std::fs::write(&path, dot).is_ok() {
+                println!("wrote {path}");
+            }
+        }
+    }
+
+    // Gate: the sanitizer must have exercised real firings and found
+    // nothing outside the static write sets.
+    let violations: usize = rows.iter().map(|r| r.violations).sum();
+    if violations > 0 || total_firings == 0 {
+        eprintln!("FAIL: {violations} sanitizer violations, {total_firings} total firings");
+        std::process::exit(1);
+    }
+}

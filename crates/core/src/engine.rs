@@ -290,6 +290,9 @@ pub struct ParallelReteMatcher {
     injected_faults: AtomicU64,
     /// Poisoned-lock recoveries performed by [`relock`].
     poison_recovered: AtomicU64,
+    /// Debug write-set sanitizer; see
+    /// [`ParallelReteMatcher::attach_sanitizer`].
+    sanitizer: Option<Arc<ops5::effects::WriteSanitizer>>,
 }
 
 impl std::fmt::Debug for ParallelReteMatcher {
@@ -410,6 +413,7 @@ impl ParallelReteMatcher {
             injected_faults: AtomicU64::new(0),
             poison_recovered: AtomicU64::new(0),
             network,
+            sanitizer: None,
         }
     }
 
@@ -488,6 +492,16 @@ impl ParallelReteMatcher {
     /// handle's detail toggle drives timing collection.
     pub fn attach_obs(&mut self, obs: Arc<Obs>) {
         self.obs = Some(obs);
+    }
+
+    /// Attaches a debug [`ops5::effects::WriteSanitizer`]: every change
+    /// batch handed to [`Matcher::process`] during a firing is checked
+    /// against the firing production's static write set before the
+    /// parallel phases run. Share the same `Arc` with the interpreter's
+    /// `attach_sanitizer` — it owns the firing context; batches seen
+    /// outside a firing are not checked.
+    pub fn attach_sanitizer(&mut self, sanitizer: Arc<ops5::effects::WriteSanitizer>) {
+        self.sanitizer = Some(sanitizer);
     }
 
     /// Tokens resident across all node left stores, excluding the
@@ -1079,6 +1093,9 @@ impl Matcher for ParallelReteMatcher {
     /// Processes a whole firing's batch: retractions in parallel, a
     /// barrier, then assertions in parallel (DESIGN.md §6).
     fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        if let Some(s) = &self.sanitizer {
+            s.check_batch(wm, changes);
+        }
         self.stats.batches += 1;
         self.stats.changes += changes.len() as u64;
         for change in changes {

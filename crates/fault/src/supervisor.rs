@@ -37,7 +37,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use baselines::NaiveMatcher;
-use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
+use ops5::{
+    Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory,
+    WriteSanitizer,
+};
 use psm_core::{FaultInjector, ParallelReteMatcher};
 use psm_obs::Obs;
 use rete::{Network, ReteMatcher, ReteSnapshot};
@@ -147,6 +150,8 @@ pub struct Supervisor {
     wal: Wal,
     cycle: u64,
     report: FaultReport,
+    /// Debug write-set sanitizer; see [`Supervisor::attach_sanitizer`].
+    sanitizer: Option<Arc<WriteSanitizer>>,
 }
 
 impl Supervisor {
@@ -172,7 +177,18 @@ impl Supervisor {
             wal: Wal::new(),
             cycle: 0,
             report: FaultReport::default(),
+            sanitizer: None,
         })
+    }
+
+    /// Attaches a debug [`WriteSanitizer`]: every supervised batch is
+    /// checked against the firing production's static write set before
+    /// the attempt loop runs, so the check holds across retries, tier
+    /// falls, and recovery replays. Share the same `Arc` with the
+    /// interpreter's `attach_sanitizer` — it owns the firing context;
+    /// batches seen outside a firing are not checked.
+    pub fn attach_sanitizer(&mut self, sanitizer: Arc<WriteSanitizer>) {
+        self.sanitizer = Some(sanitizer);
     }
 
     /// Installs (or clears) the fault plan. Engine faults reach the
@@ -448,6 +464,9 @@ impl Supervisor {
     }
 
     fn supervised_process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        if let Some(s) = &self.sanitizer {
+            s.check_batch(wm, changes);
+        }
         let cycle = self.cycle;
         self.cycle += 1;
 

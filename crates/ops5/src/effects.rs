@@ -1,0 +1,568 @@
+//! Static right-hand-side write effects and the runtime write-set
+//! sanitizer.
+//!
+//! The paper caps production-level parallelism by how many rules a WM
+//! change *affects* and by interference between their actions (§4).
+//! Reasoning about that interference statically needs, for every
+//! production, the set of working-memory touches its RHS can perform:
+//! which classes it can `make`, which it can `remove`, and — through
+//! `modify` — which attributes it can rewrite. This module derives that
+//! **write set** from the AST ([`write_effects`], [`production_writes`])
+//! and wires it into the runtime as a debug **sanitizer**
+//! ([`WriteSanitizer`]): the interpreter reports each firing's actual
+//! WME touches and the sanitizer asserts they fall inside the static
+//! set, the same cross-check discipline `psm-analyze`'s calibrator
+//! applies to join selectivities.
+//!
+//! Derivation rules (conservative in the *allowing* direction — the
+//! static set over-approximates, so a violation is always a real bug):
+//!
+//! * `make` writes exactly its listed attributes; a constant argument
+//!   stays a constant, anything else (variable, `compute`) is dynamic.
+//! * `modify` is widened to the whole class: the re-asserted WME carries
+//!   every unmodified attribute of the old one with values only the run
+//!   can know. Explicitly modified attributes keep their refinement.
+//! * `remove` (and the retraction half of `modify`) may retract any WME
+//!   of the designated condition element's class.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use psm_obs::Obs;
+
+use crate::ast::{Action, Production, ProductionId, Program, RhsArg};
+use crate::matcher::Change;
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::wme::{Wme, WorkingMemory};
+
+/// Static knowledge about one written attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteValue {
+    /// The RHS writes this exact constant.
+    Const(crate::value::Value),
+    /// The value is only known at fire time (variable or `compute`).
+    Dynamic,
+}
+
+/// Which RHS action produced a [`WriteEffect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    /// `(make class …)` — asserts a fresh WME with exactly the listed
+    /// attributes.
+    Make,
+    /// `(modify k …)` — retracts the designated WME and re-asserts it
+    /// with the listed attributes overridden (write set widened to the
+    /// class).
+    Modify,
+    /// `(remove k)` — retracts the designated WME.
+    Remove,
+}
+
+/// One static RHS write effect, with the class resolved (element
+/// designators are resolved through the production's positive CEs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteEffect {
+    /// The producing action kind.
+    pub kind: EffectKind,
+    /// Class of the touched WME.
+    pub class: SymbolId,
+    /// Explicitly written attributes with their static refinement
+    /// (empty for `remove`).
+    pub attrs: Vec<(SymbolId, WriteValue)>,
+    /// True when unlisted attributes may also be present with dynamic
+    /// values (`modify` re-asserts the old WME's remaining attributes).
+    pub widened: bool,
+    /// The designated positive CE for `modify`/`remove` (its pattern
+    /// refines which WMEs can be touched); `None` for `make`.
+    pub positive_ce: Option<usize>,
+}
+
+/// Visits every RHS write effect of `p` in action order — the effect
+/// visitor the static interference analysis builds on. `write`, `halt`
+/// and `bind` touch no working memory and produce no effect.
+pub fn for_each_write_effect(p: &Production, f: &mut impl FnMut(WriteEffect)) {
+    let positive_classes: Vec<SymbolId> = p
+        .ces
+        .iter()
+        .filter(|ce| !ce.negated)
+        .map(|ce| ce.class)
+        .collect();
+    let refine = |attrs: &[(SymbolId, RhsArg)]| {
+        attrs
+            .iter()
+            .map(|(a, arg)| {
+                let v = match arg {
+                    RhsArg::Const(v) => WriteValue::Const(*v),
+                    RhsArg::Var(_) | RhsArg::Compute(_) => WriteValue::Dynamic,
+                };
+                (*a, v)
+            })
+            .collect()
+    };
+    for action in &p.actions {
+        match action {
+            Action::Make { class, attrs } => f(WriteEffect {
+                kind: EffectKind::Make,
+                class: *class,
+                attrs: refine(attrs),
+                widened: false,
+                positive_ce: None,
+            }),
+            Action::Modify { positive_ce, attrs } => {
+                if let Some(&class) = positive_classes.get(*positive_ce) {
+                    f(WriteEffect {
+                        kind: EffectKind::Modify,
+                        class,
+                        attrs: refine(attrs),
+                        widened: true,
+                        positive_ce: Some(*positive_ce),
+                    });
+                }
+            }
+            Action::Remove { positive_ce } => {
+                if let Some(&class) = positive_classes.get(*positive_ce) {
+                    f(WriteEffect {
+                        kind: EffectKind::Remove,
+                        class,
+                        attrs: Vec::new(),
+                        widened: false,
+                        positive_ce: Some(*positive_ce),
+                    });
+                }
+            }
+            Action::Write { .. } | Action::Halt | Action::Bind { .. } => {}
+        }
+    }
+}
+
+/// All RHS write effects of `p`, in action order.
+pub fn write_effects(p: &Production) -> Vec<WriteEffect> {
+    let mut out = Vec::new();
+    for_each_write_effect(p, &mut |e| out.push(e));
+    out
+}
+
+/// The attributes one production may write on one class, merged over
+/// all of its `make`/`modify` effects targeting that class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassWrites {
+    /// True when any attribute may appear with a dynamic value (a
+    /// `modify` on this class, or merged `make`s that disagree).
+    pub widened: bool,
+    /// Explicit per-attribute refinements (authoritative only when
+    /// `widened` is false).
+    pub attrs: HashMap<SymbolId, WriteValue>,
+}
+
+impl ClassWrites {
+    fn merge_attr(&mut self, attr: SymbolId, value: WriteValue) {
+        match self.attrs.get(&attr) {
+            None => {
+                self.attrs.insert(attr, value);
+            }
+            Some(existing) if *existing == value => {}
+            // Two effects write different things to one attribute; the
+            // allowance is their union, which we widen to dynamic.
+            Some(_) => {
+                self.attrs.insert(attr, WriteValue::Dynamic);
+            }
+        }
+    }
+
+    /// True when `wme` falls inside this allowance: every attribute it
+    /// carries is either explicitly allowed (with a matching constant
+    /// when pinned) or covered by widening.
+    pub fn allows(&self, wme: &Wme) -> bool {
+        if self.widened {
+            // Widened: unlisted attributes may carry old (dynamic)
+            // values, but an explicitly pinned constant must hold.
+            return wme.attrs().all(|(a, v)| match self.attrs.get(&a) {
+                Some(WriteValue::Const(c)) => v == *c,
+                _ => true,
+            });
+        }
+        wme.attrs().all(|(a, v)| match self.attrs.get(&a) {
+            Some(WriteValue::Const(c)) => v == *c,
+            Some(WriteValue::Dynamic) => true,
+            None => false,
+        })
+    }
+}
+
+/// The complete static write set of one production, in the form the
+/// runtime sanitizer checks against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProductionWrites {
+    /// Classes the production may assert WMEs of, with per-class
+    /// attribute allowances.
+    pub adds: HashMap<SymbolId, ClassWrites>,
+    /// Classes the production may retract WMEs of (`remove` and the
+    /// retraction half of `modify`).
+    pub removes: HashSet<SymbolId>,
+}
+
+impl ProductionWrites {
+    /// True when the production's RHS touches no working memory.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// Derives the static write set of one production.
+pub fn production_writes(p: &Production) -> ProductionWrites {
+    let mut out = ProductionWrites::default();
+    for_each_write_effect(p, &mut |e| match e.kind {
+        EffectKind::Make => {
+            let cw = out.adds.entry(e.class).or_default();
+            for (a, v) in &e.attrs {
+                cw.merge_attr(*a, *v);
+            }
+        }
+        EffectKind::Modify => {
+            let cw = out.adds.entry(e.class).or_default();
+            cw.widened = true;
+            for (a, v) in &e.attrs {
+                cw.merge_attr(*a, *v);
+            }
+            out.removes.insert(e.class);
+        }
+        EffectKind::Remove => {
+            out.removes.insert(e.class);
+        }
+    });
+    out
+}
+
+/// The write-set table for a whole program, indexed by
+/// [`ProductionId`].
+pub fn write_set_table(program: &Program) -> Vec<ProductionWrites> {
+    program.productions.iter().map(production_writes).collect()
+}
+
+/// One recorded sanitizer violation: a firing touched working memory
+/// outside its production's static write set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerViolation {
+    /// Name of the firing production.
+    pub production: String,
+    /// What the illegal touch was.
+    pub detail: String,
+}
+
+/// The runtime write-set sanitizer: a thread-safe, shareable assertion
+/// layer cross-checking actual WME touches against [`write_set_table`].
+///
+/// The interpreter brackets each firing with
+/// [`WriteSanitizer::begin_firing`] / [`WriteSanitizer::end_firing`]
+/// and reports each pending touch; matchers (sequential Rete, the
+/// parallel engine, the fault supervisor) additionally validate the
+/// change batches they are handed via [`WriteSanitizer::check_batch`].
+/// Violations are recorded, counted, and published to an attached
+/// [`Obs`] registry (`sanitizer.checks`, `sanitizer.violations`,
+/// `sanitizer.firings`) — they never panic, so a production run with
+/// the sanitizer left on degrades to bookkeeping, not crashes.
+#[derive(Debug)]
+pub struct WriteSanitizer {
+    table: Vec<ProductionWrites>,
+    names: Vec<String>,
+    symbols: SymbolTable,
+    current: Mutex<Option<ProductionId>>,
+    violations: Mutex<Vec<SanitizerViolation>>,
+    checks: AtomicU64,
+    violation_count: AtomicU64,
+    obs: OnceLock<Arc<Obs>>,
+}
+
+impl WriteSanitizer {
+    /// Builds the sanitizer for `program`, deriving the static write-set
+    /// table.
+    pub fn new(program: &Program) -> Self {
+        WriteSanitizer {
+            table: write_set_table(program),
+            names: program.productions.iter().map(|p| p.name.clone()).collect(),
+            symbols: program.symbols.clone(),
+            current: Mutex::new(None),
+            violations: Mutex::new(Vec::new()),
+            checks: AtomicU64::new(0),
+            violation_count: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches an observability handle; check/violation/firing counts
+    /// are then published as `sanitizer.*` counters. Only the first
+    /// attach wins.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// Marks `production` as the firing whose touches are being checked.
+    pub fn begin_firing(&self, production: ProductionId) {
+        *self.current.lock().expect("sanitizer lock") = Some(production);
+        if let Some(obs) = self.obs.get() {
+            obs.metrics.counter("sanitizer.firings").inc();
+        }
+    }
+
+    /// Clears the firing context (matcher batch checks become no-ops).
+    pub fn end_firing(&self) {
+        *self.current.lock().expect("sanitizer lock") = None;
+    }
+
+    /// The production currently firing, if any.
+    pub fn current_firing(&self) -> Option<ProductionId> {
+        *self.current.lock().expect("sanitizer lock")
+    }
+
+    fn sym(&self, id: SymbolId) -> String {
+        if id.index() < self.symbols.len() {
+            self.symbols.name(id).to_string()
+        } else {
+            format!("sym{}", id.index())
+        }
+    }
+
+    fn production_name(&self, id: ProductionId) -> String {
+        self.names
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| format!("{id}"))
+    }
+
+    fn bump_checks(&self) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.metrics.counter("sanitizer.checks").inc();
+        }
+    }
+
+    fn record_violation(&self, production: ProductionId, detail: String) {
+        self.violation_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.metrics.counter("sanitizer.violations").inc();
+        }
+        self.violations
+            .lock()
+            .expect("sanitizer lock")
+            .push(SanitizerViolation {
+                production: self.production_name(production),
+                detail,
+            });
+    }
+
+    /// Checks one asserted WME against `production`'s static write set
+    /// (attribute-level). Returns false (and records a violation) when
+    /// the touch falls outside.
+    pub fn check_add(&self, production: ProductionId, wme: &Wme) -> bool {
+        self.bump_checks();
+        let ok = self
+            .table
+            .get(production.index())
+            .and_then(|w| w.adds.get(&wme.class()))
+            .is_some_and(|cw| cw.allows(wme));
+        if !ok {
+            self.record_violation(
+                production,
+                format!(
+                    "asserted a `{}` WME outside the static write set",
+                    self.sym(wme.class())
+                ),
+            );
+        }
+        ok
+    }
+
+    /// Checks one retraction against `production`'s static write set
+    /// (class-level). Returns false (and records a violation) when the
+    /// class is not removable by this production.
+    pub fn check_remove(&self, production: ProductionId, class: SymbolId) -> bool {
+        self.bump_checks();
+        let ok = self
+            .table
+            .get(production.index())
+            .is_some_and(|w| w.removes.contains(&class));
+        if !ok {
+            self.record_violation(
+                production,
+                format!(
+                    "retracted a `{}` WME outside the static write set",
+                    self.sym(class)
+                ),
+            );
+        }
+        ok
+    }
+
+    /// Validates a whole change batch against the currently firing
+    /// production — the hook matchers call from `process`. A batch seen
+    /// outside any firing (initial working memory, driver-synthesized
+    /// changes) is not the result of an RHS and is not checked.
+    pub fn check_batch(&self, wm: &WorkingMemory, changes: &[Change]) {
+        let Some(production) = self.current_firing() else {
+            return;
+        };
+        for change in changes {
+            match *change {
+                Change::Add(id) => {
+                    if let Some(wme) = wm.get(id) {
+                        self.check_add(production, wme);
+                    }
+                }
+                Change::Remove(id) => {
+                    if let Some(wme) = wm.get(id) {
+                        self.check_remove(production, wme.class());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total touch checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Total violations recorded.
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count.load(Ordering::Relaxed)
+    }
+
+    /// True when no touch has fallen outside a static write set.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// The recorded violations (clone of the log).
+    pub fn violations(&self) -> Vec<SanitizerViolation> {
+        self.violations.lock().expect("sanitizer lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn make_effect_keeps_constant_refinement() {
+        let prog = program("(p r (a ^x <v>) --> (make out ^tag done ^of <v>))");
+        let effects = write_effects(&prog.productions[0]);
+        assert_eq!(effects.len(), 1);
+        let e = &effects[0];
+        assert_eq!(e.kind, EffectKind::Make);
+        assert!(!e.widened);
+        let tag = prog.symbols.lookup("tag").unwrap();
+        let of = prog.symbols.lookup("of").unwrap();
+        let done = prog.symbols.lookup("done").unwrap();
+        assert!(e
+            .attrs
+            .contains(&(tag, WriteValue::Const(Value::Sym(done)))));
+        assert!(e.attrs.contains(&(of, WriteValue::Dynamic)));
+    }
+
+    #[test]
+    fn modify_widens_to_class_and_removes() {
+        let prog = program("(p r (a ^x 1) (b ^y 2) --> (modify 2 ^y 3) (remove 1))");
+        let w = production_writes(&prog.productions[0]);
+        let a = prog.symbols.lookup("a").unwrap();
+        let b = prog.symbols.lookup("b").unwrap();
+        assert!(w.adds.get(&b).is_some_and(|cw| cw.widened));
+        assert!(w.removes.contains(&b), "modify also retracts");
+        assert!(w.removes.contains(&a));
+        assert!(!w.adds.contains_key(&a));
+    }
+
+    #[test]
+    fn designators_resolve_through_negated_ces() {
+        let prog = program("(p r (a ^x 1) - (n ^q 1) (b ^y 2) --> (remove 3))");
+        let effects = write_effects(&prog.productions[0]);
+        let b = prog.symbols.lookup("b").unwrap();
+        assert_eq!(effects[0].class, b, "designator skips the negated CE");
+        assert_eq!(effects[0].positive_ce, Some(1));
+    }
+
+    #[test]
+    fn class_writes_allowance_checks_attributes() {
+        let prog = program("(p r (a ^x <v>) --> (make out ^tag done ^of <v>))");
+        let w = production_writes(&prog.productions[0]);
+        let out = prog.symbols.lookup("out").unwrap();
+        let tag = prog.symbols.lookup("tag").unwrap();
+        let of = prog.symbols.lookup("of").unwrap();
+        let done = prog.symbols.lookup("done").unwrap();
+        let other = prog.symbols.lookup("x").unwrap();
+        let cw = w.adds.get(&out).unwrap();
+        assert!(cw.allows(&Wme::new(
+            out,
+            vec![(tag, Value::Sym(done)), (of, Value::Int(9))]
+        )));
+        // Wrong pinned constant.
+        assert!(!cw.allows(&Wme::new(out, vec![(tag, Value::Int(1))])));
+        // Attribute the make never writes.
+        assert!(!cw.allows(&Wme::new(out, vec![(other, Value::Int(1))])));
+    }
+
+    #[test]
+    fn sanitizer_accepts_legal_and_flags_illegal_touches() {
+        let prog = program("(p r (a ^x <v>) --> (make out ^of <v>) (remove 1))");
+        let s = WriteSanitizer::new(&prog);
+        let id = prog.productions[0].id;
+        let a = prog.symbols.lookup("a").unwrap();
+        let out = prog.symbols.lookup("out").unwrap();
+        let of = prog.symbols.lookup("of").unwrap();
+        assert!(s.check_add(id, &Wme::new(out, vec![(of, Value::Int(1))])));
+        assert!(s.check_remove(id, a));
+        assert!(s.is_clean());
+        // Illegal: asserting the class it only reads.
+        assert!(!s.check_add(id, &Wme::new(a, vec![])));
+        // Illegal: retracting the class it only makes.
+        assert!(!s.check_remove(id, out));
+        assert_eq!(s.violation_count(), 2);
+        assert_eq!(s.checks(), 4);
+        let v = s.violations();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].production, "r");
+        assert!(v[0].detail.contains("`a`"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn batch_check_is_inert_outside_a_firing() {
+        let prog = program("(p r (a ^x 1) --> (remove 1))");
+        let s = WriteSanitizer::new(&prog);
+        let mut wm = WorkingMemory::new();
+        let a = prog.symbols.lookup("a").unwrap();
+        let (id, _) = wm.add(Wme::new(a, vec![]));
+        // No firing context: driver-synthesized changes are not checked.
+        s.check_batch(&wm, &[Change::Add(id)]);
+        assert_eq!(s.checks(), 0);
+        // Inside a firing the same batch is validated.
+        s.begin_firing(prog.productions[0].id);
+        s.check_batch(&wm, &[Change::Add(id)]);
+        s.end_firing();
+        assert_eq!(s.checks(), 1);
+        assert_eq!(s.violation_count(), 1, "rule `r` cannot assert `a`");
+        assert_eq!(s.current_firing(), None);
+    }
+
+    #[test]
+    fn obs_counters_track_activity() {
+        let prog = program("(p r (a ^x 1) --> (remove 1))");
+        let s = WriteSanitizer::new(&prog);
+        let obs = Arc::new(Obs::with_flight(0, 0));
+        s.attach_obs(Arc::clone(&obs));
+        let a = prog.symbols.lookup("a").unwrap();
+        s.begin_firing(prog.productions[0].id);
+        s.check_remove(prog.productions[0].id, a);
+        s.check_add(prog.productions[0].id, &Wme::new(a, vec![]));
+        s.end_firing();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counters.get("sanitizer.firings"), Some(&1));
+        assert_eq!(snap.counters.get("sanitizer.checks"), Some(&2));
+        assert_eq!(snap.counters.get("sanitizer.violations"), Some(&1));
+    }
+}

@@ -81,6 +81,8 @@ pub struct Interpreter<M> {
     phases: Option<Box<PhaseProfile>>,
     /// Telemetry sink; see [`Interpreter::attach_obs`].
     obs: Option<Arc<Obs>>,
+    /// Debug write-set sanitizer; see [`Interpreter::attach_sanitizer`].
+    sanitizer: Option<Arc<crate::effects::WriteSanitizer>>,
 }
 
 impl<M: Matcher> Interpreter<M> {
@@ -100,7 +102,23 @@ impl<M: Matcher> Interpreter<M> {
             firing_log: None,
             phases: None,
             obs: None,
+            sanitizer: None,
         }
+    }
+
+    /// Attaches a debug [`crate::effects::WriteSanitizer`]: every firing's
+    /// actual WME touches are checked against the production's static
+    /// write set (violations are recorded on the sanitizer, never
+    /// panicked on). Share the same `Arc` with the matcher's own
+    /// `attach_sanitizer` so change batches are cross-checked at both
+    /// layers.
+    pub fn attach_sanitizer(&mut self, sanitizer: Arc<crate::effects::WriteSanitizer>) {
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// The attached write-set sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<crate::effects::WriteSanitizer>> {
+        self.sanitizer.as_ref()
     }
 
     /// Attaches an observability handle. Per-cycle phase latencies are
@@ -415,6 +433,22 @@ impl<M: Matcher> Interpreter<M> {
             }
         }
 
+        // The firing's actual touches are now known; assert they fall
+        // inside the production's static write set. The firing context
+        // stays open across `matcher.process` so matcher-level batch
+        // checks see which production the changes belong to.
+        if let Some(s) = &self.sanitizer {
+            s.begin_firing(inst.production);
+            for wme in &pending_adds {
+                s.check_add(inst.production, wme);
+            }
+            for &id in &pending_removes {
+                if let Some(w) = self.wm.get(id) {
+                    s.check_remove(inst.production, w.class());
+                }
+            }
+        }
+
         // Build the batch: removes first, then adds. This ordering is the
         // batch contract parallel matchers rely on (DESIGN.md §6).
         let mut changes: Vec<Change> = pending_removes
@@ -447,6 +481,9 @@ impl<M: Matcher> Interpreter<M> {
         }
         self.obs_flight_delta(&delta);
         self.conflict.apply(&delta);
+        if let Some(s) = &self.sanitizer {
+            s.end_firing();
+        }
 
         for id in pending_removes {
             self.wm.remove(id);
@@ -850,6 +887,26 @@ mod tests {
         interp.insert(parse_wme("(in ^n red)", syms).unwrap());
         let err = interp.run(5).unwrap_err();
         assert!(err.to_string().contains("bound to a symbol"));
+    }
+
+    #[test]
+    fn sanitizer_stays_clean_on_a_legal_run() {
+        let mut interp = interpreter(
+            r#"
+            (p expand (seed ^n <n>) --> (make leaf ^of <n>) (remove 1))
+            (p relabel (leaf ^of <n>) --> (modify 1 ^of 0))
+            "#,
+        );
+        let sanitizer = Arc::new(crate::effects::WriteSanitizer::new(interp.program()));
+        interp.attach_sanitizer(Arc::clone(&sanitizer));
+        let syms = &mut interp.program.symbols.clone();
+        interp.insert(parse_wme("(seed ^n 7)", syms).unwrap());
+        interp.run(10).unwrap();
+        assert!(interp.stats().firings >= 2);
+        // Interpreter-level touch checks plus matcher-batch context ran.
+        assert!(sanitizer.checks() > 0);
+        assert!(sanitizer.is_clean(), "{:?}", sanitizer.violations());
+        assert_eq!(sanitizer.current_firing(), None, "context closed");
     }
 
     #[test]

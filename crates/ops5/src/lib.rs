@@ -41,6 +41,7 @@ pub mod ast;
 pub mod builder;
 pub mod codec;
 pub mod conflict;
+pub mod effects;
 pub mod error;
 pub mod explain;
 pub mod interp;
@@ -58,6 +59,10 @@ pub use ast::{
 pub use builder::ProductionBuilder;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use conflict::{compare as compare_instantiations, ConflictSet, Strategy};
+pub use effects::{
+    production_writes, write_effects, write_set_table, ClassWrites, EffectKind, ProductionWrites,
+    SanitizerViolation, WriteEffect, WriteSanitizer, WriteValue,
+};
 pub use error::Error;
 pub use explain::explain_instantiation;
 pub use interp::{CycleOutcome, Interpreter, RunStats};

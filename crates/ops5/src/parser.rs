@@ -53,22 +53,28 @@ pub fn parse_program(src: &str) -> Result<Program, Error> {
     Ok(program)
 }
 
-/// Like [`parse_program`], but skips the `literalize` attribute check.
+/// Like [`parse_program`], but skips the `literalize` attribute check
+/// and the RHS variable-binding check.
 ///
 /// Real OPS5 (and [`parse_program`]) hard-rejects a program that tests
-/// or writes an attribute not declared by its class's `literalize`.
-/// Analysis tools such as `psmlint` want to *report* those uses as
-/// diagnostics rather than refuse to look at the program at all, so this
-/// entry point parses the same grammar but leaves the declarations in
-/// [`Program::literalizations`] unvalidated for a lint to inspect.
+/// or writes an attribute not declared by its class's `literalize`, or
+/// whose RHS references a variable never bound by a positive condition
+/// element or an earlier `bind`. Analysis tools such as `psmlint` want
+/// to *report* those uses as diagnostics rather than refuse to look at
+/// the program at all, so this entry point parses the same grammar but
+/// leaves the declarations in [`Program::literalizations`] unvalidated
+/// and unbound RHS variables with an empty binding site (exactly the
+/// shape PSM001 flags).
 ///
 /// # Errors
 ///
 /// Returns [`Error`] for lexical, parse, and all other semantic errors —
-/// only the undeclared-attribute check is skipped.
+/// only the two checks above are skipped.
 pub fn parse_program_lenient(src: &str) -> Result<Program, Error> {
     let mut program = Program::new();
-    Parser::new(src)?.parse_forms(&mut program)?;
+    let mut parser = Parser::new(src)?;
+    parser.lenient = true;
+    parser.parse_forms(&mut program)?;
     Ok(program)
 }
 
@@ -108,6 +114,9 @@ pub fn parse_wmes(src: &str, symbols: &mut SymbolTable) -> Result<Vec<Wme>, Erro
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// When set, defer semantic checks that lints re-report (unbound RHS
+    /// variables); see [`parse_program_lenient`].
+    lenient: bool,
 }
 
 /// Per-production parsing state: variable interning and occurrence
@@ -146,6 +155,7 @@ impl Parser {
         Ok(Parser {
             tokens: Lexer::tokenize(src)?,
             pos: 0,
+            lenient: false,
         })
     }
 
@@ -524,7 +534,7 @@ impl Parser {
     fn parse_rhs_attrs(
         &mut self,
         program: &mut Program,
-        ctx: &ProdCtx,
+        ctx: &mut ProdCtx,
         prod_name: &str,
     ) -> Result<Vec<(crate::symbol::SymbolId, RhsArg)>, Error> {
         let mut attrs = Vec::new();
@@ -561,7 +571,7 @@ impl Parser {
 
     /// Parses `(compute operand {op operand})` after the opening paren
     /// has been consumed.
-    fn parse_compute(&mut self, ctx: &ProdCtx, prod_name: &str) -> Result<ComputeExpr, Error> {
+    fn parse_compute(&mut self, ctx: &mut ProdCtx, prod_name: &str) -> Result<ComputeExpr, Error> {
         let head = self.expect_symbol("`compute`")?;
         if head != "compute" {
             return Err(self.err(format!(
@@ -598,7 +608,7 @@ impl Parser {
 
     fn parse_compute_operand(
         &mut self,
-        ctx: &ProdCtx,
+        ctx: &mut ProdCtx,
         prod_name: &str,
     ) -> Result<ComputeOperand, Error> {
         match self.bump() {
@@ -613,8 +623,13 @@ impl Parser {
     }
 
     /// Resolves an RHS variable reference, requiring it to be bound by a
-    /// positive condition element or by an earlier `bind` action.
-    fn rhs_var(&self, ctx: &ProdCtx, name: &str, prod_name: &str) -> Result<VarId, Error> {
+    /// positive condition element or by an earlier `bind` action. In
+    /// lenient mode an unbound variable is interned with no binding site
+    /// instead of rejected, so lints (PSM001) can report it.
+    fn rhs_var(&self, ctx: &mut ProdCtx, name: &str, prod_name: &str) -> Result<VarId, Error> {
+        if self.lenient {
+            return Ok(ctx.var(name));
+        }
         match ctx.var_ids.get(name) {
             Some(&v) if ctx.first_bare[v.index()].is_some() || ctx.rhs_bound.contains(&v) => Ok(v),
             _ => Err(Error::Semantic {
@@ -968,6 +983,25 @@ mod tests {
         // <tmp> has no LHS binding site.
         let tmp = p.variables.iter().position(|v| v == "tmp").unwrap();
         assert!(p.binding_sites[tmp].is_none());
+    }
+
+    #[test]
+    fn lenient_parse_keeps_unbound_rhs_variable() {
+        let src = "(p unbound-rhs (a ^x 1) --> (make out ^x <v>))";
+        // Strict mode still rejects the program outright.
+        assert!(parse_program(src).is_err());
+        let program = parse_program_lenient(src).unwrap();
+        let p = &program.productions[0];
+        assert_eq!(p.variables, vec!["v"]);
+        // The unbound variable has no binding site — the shape PSM001
+        // reports.
+        assert_eq!(p.binding_sites, vec![None]);
+        match &p.actions[0] {
+            Action::Make { attrs, .. } => {
+                assert!(matches!(attrs[0].1, RhsArg::Var(v) if v.index() == 0));
+            }
+            other => panic!("expected make, got {other:?}"),
+        }
     }
 
     #[test]

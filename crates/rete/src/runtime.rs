@@ -114,6 +114,8 @@ pub struct ReteMatcher {
     /// Nodes with unflushed deltas (`tokens_in > 0`), so the flush
     /// walks only touched slots, not the whole network.
     prof_touched: Vec<u32>,
+    /// Debug write-set sanitizer; see [`ReteMatcher::attach_sanitizer`].
+    sanitizer: Option<Arc<ops5::effects::WriteSanitizer>>,
 }
 
 impl ReteMatcher {
@@ -229,7 +231,18 @@ impl ReteMatcher {
             obs: None,
             prof_local: Vec::new(),
             prof_touched: Vec::new(),
+            sanitizer: None,
         }
+    }
+
+    /// Attaches a debug [`ops5::effects::WriteSanitizer`]: every change
+    /// batch handed to [`Matcher::process`] during a firing is checked
+    /// against the firing production's static write set. Share the same
+    /// `Arc` with the interpreter's `attach_sanitizer` — the interpreter
+    /// owns the firing context this check keys on; batches seen outside
+    /// a firing are not checked.
+    pub fn attach_sanitizer(&mut self, sanitizer: Arc<ops5::effects::WriteSanitizer>) {
+        self.sanitizer = Some(sanitizer);
     }
 
     /// Attaches an observability handle. When its flight recorder has
@@ -1018,6 +1031,9 @@ impl Matcher for ReteMatcher {
     }
 
     fn process(&mut self, wm: &WorkingMemory, changes: &[Change]) -> MatchDelta {
+        if let Some(s) = &self.sanitizer {
+            s.check_batch(wm, changes);
+        }
         if let Some(t) = self.tracer.as_mut() {
             t.begin_cycle();
         }

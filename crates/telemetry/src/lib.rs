@@ -15,6 +15,7 @@
 //! | `/snapshot` | Full JSON [`psm_obs::MetricsSnapshot`] + recent event ring + flight-ring status + profile table |
 //! | `/explain`  | Flight-recorder queries: `?rule=R&instance=N` or `?cycle=N` |
 //! | `/profile`  | Per-node join profile (JSON, hottest first): activations, pairs compared, measured selectivity, latency summary |
+//! | `/interference` | Parallel-firing compatibility summary (rules, conflicting pairs, density) published by `psm-analyze`, plus live write-set sanitizer counters |
 //!
 //! The whole plane is optional: don't start a [`TelemetryServer`] and
 //! no listener thread exists; build the [`psm_obs::Obs`] without flight
@@ -109,10 +110,12 @@ pub fn route(obs: &Obs, req: &Request) -> Response {
         "/snapshot" => Response::json(snapshot_json(obs)),
         "/explain" => explain(obs, req),
         "/profile" => Response::json(obs.profile.snapshot().to_json()),
+        "/interference" => Response::json(interference_json(&obs.metrics.snapshot())),
         "/" => Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
-            body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile\n".to_string(),
+            body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile /interference\n"
+                .to_string(),
         },
         _ => Response::error(404, "unknown path"),
     }
@@ -191,6 +194,37 @@ pub fn healthz_json(snap: &MetricsSnapshot) -> String {
         counter("fault.checkpoints"),
         counter("fault.engine"),
         counter("interp.firings"),
+    )
+}
+
+/// Interference/act-phase summary derived purely from the metrics
+/// snapshot: the `interference.*` gauges that
+/// `psm_analyze::InterferenceAnalysis::publish` sets (density is
+/// exported in parts per million and converted back here) and the
+/// `sanitizer.*` counters the runtime write-set sanitizer maintains. A
+/// run that never published reports `"analyzed":false` with null
+/// fields, so dashboards can distinguish "no analysis" from "fully
+/// compatible".
+pub fn interference_json(snap: &MetricsSnapshot) -> String {
+    let gauge = |k: &str| snap.gauges.get(k).copied();
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    let rules = gauge("interference.rules");
+    let pairs = gauge("interference.conflicting_pairs");
+    let density = gauge("interference.density_ppm").map(|ppm| ppm as f64 / 1e6);
+    let opt = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
+    format!(
+        concat!(
+            "{{\"analyzed\":{},\"rules\":{},\"conflicting_pairs\":{},",
+            "\"density\":{},\"sanitizer\":{{\"checks\":{},\"violations\":{},",
+            "\"firings\":{}}}}}"
+        ),
+        rules.is_some(),
+        opt(rules),
+        opt(pairs),
+        density.map_or("null".to_string(), |d| format!("{d:.6}")),
+        counter("sanitizer.checks"),
+        counter("sanitizer.violations"),
+        counter("sanitizer.firings"),
     )
 }
 
@@ -318,6 +352,8 @@ mod tests {
         assert!(health.body.contains("\"tier_name\":\"sequential\""));
         assert!(health.body.contains("\"status\":\"degraded\""));
         assert_eq!(route(&obs, &get("/snapshot", &[])).status, 200);
+        assert_eq!(route(&obs, &get("/interference", &[])).status, 200);
+        assert!(route(&obs, &get("/", &[])).body.contains("/interference"));
         assert_eq!(route(&obs, &get("/nope", &[])).status, 404);
         assert_eq!(route(&obs, &get("/explain", &[])).status, 400);
         assert_eq!(route(&obs, &get("/explain", &[("cycle", "0")])).status, 200);
@@ -398,6 +434,35 @@ mod tests {
         let j = client::Json::parse(&route(&obs, &get("/profile", &[])).body).unwrap();
         assert_eq!(j.get("overflow").unwrap().as_u64(), Some(1));
         assert_eq!(j.get("retained").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn interference_endpoint_reports_gauges_and_sanitizer() {
+        // Nothing published yet: analyzed=false, null fields, zeroed
+        // sanitizer counters — still valid JSON.
+        let obs = Obs::with_flight(8, 8);
+        let body = route(&obs, &get("/interference", &[])).body;
+        assert!(body.contains("\"analyzed\":false"));
+        assert!(body.contains("\"rules\":null"));
+        assert!(body.contains("\"violations\":0"));
+        assert!(client::Json::parse(&body).is_some(), "must be JSON");
+
+        // After a publish + sanitizer activity, the numbers flow through
+        // (density round-trips from parts per million).
+        obs.metrics.gauge("interference.rules").set(20);
+        obs.metrics.gauge("interference.conflicting_pairs").set(3);
+        obs.metrics.gauge("interference.density_ppm").set(984_211);
+        obs.metrics.counter("sanitizer.checks").add(57);
+        obs.metrics.counter("sanitizer.violations").inc();
+        obs.metrics.counter("sanitizer.firings").add(12);
+        let body = route(&obs, &get("/interference", &[])).body;
+        assert!(body.contains("\"analyzed\":true"));
+        assert!(body.contains("\"rules\":20"));
+        assert!(body.contains("\"conflicting_pairs\":3"));
+        assert!(body.contains("\"density\":0.984211"));
+        assert!(body.contains("\"checks\":57"));
+        assert!(body.contains("\"violations\":1"));
+        assert!(body.contains("\"firings\":12"));
     }
 
     #[test]

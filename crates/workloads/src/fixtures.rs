@@ -5,12 +5,13 @@
 //! `psmlint --fixtures` over this set and fails unless every fixture
 //! triggers its expected code — a regression net for the analyzer itself.
 //!
-//! Most fixtures are OPS5 source text. The unbound-RHS-variable defect
-//! (PSM001) cannot be written as text — the parser rejects it, exactly as
-//! real OPS5 did — so that fixture constructs the AST directly, the route
-//! a buggy rule *generator* would take.
+//! Every fixture is OPS5 source text. Defects the *strict* parser
+//! rejects (PSM001's unbound RHS variable, PSM010's undeclared
+//! attribute) round-trip through the lenient parser instead — the same
+//! mode `psmlint` uses, which keeps the defect in the AST so the lints
+//! can report it.
 
-use ops5::{Action, ConditionElement, Production, ProductionId, Program, RhsArg, ValueTest, VarId};
+use ops5::Program;
 
 /// A defect-seeded program and the lint code expected to fire on it.
 pub struct DefectFixture {
@@ -40,30 +41,11 @@ fn parse_lenient(src: &str) -> Program {
 }
 
 /// PSM001: an RHS `make` reads a variable no positive CE binds. The
-/// parser rejects this in text, so the fixture builds the AST directly —
-/// the defect a rule-generating program could introduce.
+/// strict parser rejects this in text, exactly as real OPS5 did, so the
+/// fixture parses leniently — the variable is interned with an empty
+/// binding site, the shape a buggy rule *generator* would produce.
 fn unbound_rhs_var() -> Program {
-    let mut program = Program::new();
-    let class_a = program.symbols.intern("a");
-    let class_out = program.symbols.intern("out");
-    let attr_x = program.symbols.intern("x");
-    program.productions.push(Production {
-        name: "unbound-rhs".into(),
-        id: ProductionId(0),
-        ces: vec![ConditionElement {
-            class: class_a,
-            tests: vec![(attr_x, ValueTest::Const(ops5::Value::Int(1)))],
-            negated: false,
-        }],
-        actions: vec![Action::Make {
-            class: class_out,
-            attrs: vec![(attr_x, RhsArg::Var(VarId(0)))],
-        }],
-        variables: vec!["v".into()],
-        binding_sites: vec![None],
-        specificity: 2,
-    });
-    program
+    parse_lenient("(p unbound-rhs (a ^x 1) --> (make out ^x <v>))")
 }
 
 fn unbound_pred_var() -> Program {
@@ -125,6 +107,49 @@ fn undeclared_attribute() -> Program {
     )
 }
 
+fn conflicting_writers() -> Program {
+    // Both rules retract the same `slot` WMEs at identical specificity:
+    // conflict resolution cannot order them, so serial and parallel
+    // schedules may diverge.
+    parse(
+        "(p racer-one (slot ^id 1) --> (modify 1 ^id 2))\n\
+         (p racer-two (slot ^id < 2) --> (remove 1))",
+    )
+}
+
+fn self_retrigger() -> Program {
+    // The modify re-asserts the WME with ^busy yes intact; the rewritten
+    // WME gets a fresh time tag and re-matches the LHS forever.
+    parse("(p spinner (counter ^busy yes) --> (modify 1 ^tick 1))")
+}
+
+fn dead_rule() -> Program {
+    // `item` is program-created, but only ever with ^state raw: no RHS
+    // write can satisfy the consumer's ^state cooked test.
+    parse(
+        "(p producer (src ^go yes) --> (make item ^state raw))\n\
+         (p dead-consumer (item ^state cooked) --> (halt))",
+    )
+}
+
+fn shadowed_rule() -> Program {
+    // Whenever `precise` matches, `broad-shadowed` matches too and loses
+    // LEX specificity ordering.
+    parse(
+        "(p broad-shadowed (task ^kind build) --> (make log ^of broad))\n\
+         (p precise (task ^kind build ^urgent yes) --> (make log ^of precise))",
+    )
+}
+
+fn negated_retract() -> Program {
+    // The rule removes a `junk` WME while also requiring a `junk`
+    // pattern absent: the retract overlaps the negation's guarantee.
+    parse(
+        "(p sweeper (goal ^act clean) (junk ^size 3) - (junk ^kind live) \
+         --> (remove 2))",
+    )
+}
+
 /// All seeded-defect fixtures, one per lint code.
 pub fn all() -> Vec<DefectFixture> {
     vec![
@@ -178,6 +203,31 @@ pub fn all() -> Vec<DefectFixture> {
             expected_code: "PSM010",
             build: undeclared_attribute,
         },
+        DefectFixture {
+            name: "conflicting-writers",
+            expected_code: "PSM011",
+            build: conflicting_writers,
+        },
+        DefectFixture {
+            name: "self-retrigger",
+            expected_code: "PSM012",
+            build: self_retrigger,
+        },
+        DefectFixture {
+            name: "dead-rule",
+            expected_code: "PSM013",
+            build: dead_rule,
+        },
+        DefectFixture {
+            name: "shadowed-rule",
+            expected_code: "PSM014",
+            build: shadowed_rule,
+        },
+        DefectFixture {
+            name: "negated-retract",
+            expected_code: "PSM015",
+            build: negated_retract,
+        },
     ]
 }
 
@@ -207,9 +257,13 @@ mod tests {
     }
 
     #[test]
-    fn unbound_rhs_fixture_is_unwritable_as_text() {
-        let err = ops5::parse_program("(p r (a ^x 1) --> (make out ^x <v>))");
-        assert!(err.is_err(), "parser must reject unbound RHS vars");
+    fn unbound_rhs_fixture_needs_the_lenient_parser() {
+        let src = "(p r (a ^x 1) --> (make out ^x <v>))";
+        assert!(
+            ops5::parse_program(src).is_err(),
+            "strict parser must reject unbound RHS vars"
+        );
+        assert!(ops5::parse_program_lenient(src).is_ok());
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct WorkloadSpec {
     /// Class-popularity skew: class `i` is drawn with weight
     /// `1/(i+1)^hot_exponent`. Higher = more affected-set concentration.
     pub hot_exponent: f64,
+    /// Probability that a production gets a real RHS action (`remove`,
+    /// `modify`, or `make`) instead of an empty match-only RHS. At the
+    /// default `0.0` the generator draws **zero** extra RNG values, so
+    /// legacy seeds produce byte-identical programs.
+    pub rhs_actions: f64,
     /// Generation seed (program structure).
     pub seed: u64,
 }
@@ -65,6 +70,7 @@ impl Default for WorkloadSpec {
             max_changes: 4,
             remove_fraction: 0.4,
             hot_exponent: 1.0,
+            rhs_actions: 0.0,
             seed: 1,
         }
     }
@@ -137,10 +143,28 @@ impl GeneratedWorkload {
             let neg = if negated { "- " } else { "" };
             out.push_str(&format!("  {neg}(c{class} {tests})\n"));
         }
-        // Match-only workload: the driver synthesizes WM changes, so the
-        // RHS is empty (the paper's simulator also replays match traces
-        // without executing RHS code).
-        out.push_str("  -->\n)\n");
+        out.push_str("  -->\n");
+        // Match-only by default: the driver synthesizes WM changes, so
+        // the RHS is empty (the paper's simulator also replays match
+        // traces without executing RHS code). `rhs_actions` opts rules
+        // into real act-phase effects for interference/sanitizer runs.
+        // The `> 0.0` guard keeps the RNG stream untouched when off.
+        if spec.rhs_actions > 0.0 && rng.gen_bool(spec.rhs_actions) {
+            match rng.gen_range(0..3u32) {
+                0 => out.push_str("  (remove 1)\n"),
+                1 => out.push_str(&format!(
+                    "  (modify 1 ^a2 {})\n",
+                    rng.gen_range(0..spec.join_values)
+                )),
+                _ => out.push_str(&format!(
+                    "  (make c{} ^a0 k{} ^a1 <j> ^a2 {})\n",
+                    sample_class_raw(spec, rng),
+                    rng.gen_range(0..spec.constants),
+                    rng.gen_range(0..spec.join_values)
+                )),
+            }
+        }
+        out.push_str(")\n");
         out
     }
 
@@ -269,6 +293,30 @@ mod tests {
             .productions
             .iter()
             .all(|p| p.ces.iter().all(|ce| !ce.negated)));
+    }
+
+    #[test]
+    fn rhs_actions_knob_emits_real_actions() {
+        let spec = WorkloadSpec {
+            rhs_actions: 1.0,
+            ..WorkloadSpec::default()
+        };
+        let w = GeneratedWorkload::generate(spec).unwrap();
+        assert!(w.program.productions.iter().all(|p| !p.actions.is_empty()));
+        // Default specs stay match-only (and draw no extra RNG).
+        let plain = GeneratedWorkload::generate(WorkloadSpec::default()).unwrap();
+        assert!(plain
+            .program
+            .productions
+            .iter()
+            .all(|p| p.actions.is_empty()));
+        // Action draws happen after each production's LHS, so the very
+        // first LHS is identical across the two specs; later ones may
+        // diverge because the acting spec consumes extra RNG values.
+        assert_eq!(
+            plain.program.productions[0].ces,
+            w.program.productions[0].ces
+        );
     }
 
     #[test]

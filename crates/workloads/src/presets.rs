@@ -164,6 +164,22 @@ impl Preset {
         spec.classes = (spec.classes / 2).max(8);
         spec
     }
+
+    /// The small spec with real RHS actions (`rhs_actions` 0.7): rules
+    /// remove, modify, and make WMEs instead of matching only. Used by
+    /// the interference analysis and the write-set sanitizer
+    /// cross-check, which need a non-empty act phase to exercise. The
+    /// working memory keeps its full-preset size and the join domain is
+    /// tightened so even the smallest rule sets (whose 3–5-way `^a1`
+    /// joins rarely align by chance) find real matches to fire on.
+    pub fn spec_acting(self) -> WorkloadSpec {
+        let mut spec = self.spec_small();
+        spec.name = format!("{}-acting", spec.name);
+        spec.rhs_actions = 0.7;
+        spec.wm_size = self.spec().wm_size;
+        spec.join_values = (spec.join_values / 4).max(6);
+        spec
+    }
 }
 
 /// Looks a preset up by name (as printed in figures/reports).
