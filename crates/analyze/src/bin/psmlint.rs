@@ -122,11 +122,22 @@ fn analyze(name: &str, program: &Program, opts: &Options) -> Analyzed {
     }
 }
 
-/// File-name-safe version of a unit name (`preset:vt-small` →
-/// `preset-vt-small`).
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+/// File-name-safe artifact stem for a unit name. Preset units drop
+/// their `preset:` prefix so the DOT lands under the same canonical
+/// name `interference_report` uses (`results/<preset>.interference.dot`)
+/// instead of a near-empty `preset-<preset>` duplicate; everything else
+/// is sanitized character-wise (`fixture:x` → `fixture-x`).
+fn artifact_stem(name: &str) -> String {
+    name.strip_prefix("preset:")
+        .unwrap_or(name)
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
         .collect()
 }
 
@@ -283,7 +294,7 @@ fn main() -> ExitCode {
             let Some(ia) = &unit.interference else {
                 continue;
             };
-            let path = format!("results/{}.interference.dot", sanitize(&unit.name));
+            let path = format!("results/{}.interference.dot", artifact_stem(&unit.name));
             if let Err(e) = std::fs::write(&path, ia.to_dot()) {
                 eprintln!("psmlint: cannot write {path}: {e}");
                 failed = true;

@@ -1,0 +1,342 @@
+//! End-to-end failover smoke test over the real HTTP replication
+//! plane, wired for CI.
+//!
+//! For each preset given on the command line (default: `ep-soar` and
+//! `r1-soar`):
+//!
+//! 1. boots a [`psm_telemetry::TelemetryServer`] on an ephemeral port
+//!    with the `/replicate/*` endpoints serving a shared
+//!    [`psm_fault::ReplicationStore`],
+//! 2. runs a [`psm_fault::FailoverPair`] whose standby pulls through
+//!    [`psm_telemetry::replicate::HttpReplicaSource`] — checkpoints and
+//!    WAL segments cross a real socket, not a function call,
+//! 3. kills the primary mid-run per [`psm_fault::FaultPlan`] (with
+//!    background chaos faults at rate 0.1 hitting it first) and
+//!    promotes the standby,
+//! 4. gates on: promotion happened at the planned cycle, replication
+//!    lag at promotion was 0, and the promoted state (conflict set,
+//!    Rete snapshot bytes, working-memory bytes) is byte-identical to
+//!    a never-faulted sequential run of the same change stream.
+//!
+//! Writes `results/failover_report.json` and exits non-zero on any
+//! failed gate, so CI can block on it.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin failover_smoke
+//! cargo run --release -p psm-bench --bin failover_smoke -- ep-soar vt
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ops5::{Instantiation, MatchDelta, Matcher, WmeId, WorkingMemory};
+use psm_fault::{
+    FailoverPair, FaultPlan, ReplicationConfig, ReplicationStore, SupervisorConfig, Tier,
+};
+use psm_obs::json::push_escaped;
+use psm_obs::Obs;
+use psm_telemetry::replicate::{HttpReplicaSource, ReplicaSource};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+use rete::ReteMatcher;
+use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+const CYCLES: u64 = 16;
+
+struct SmokeRun {
+    preset: &'static str,
+    promoted_at: Option<u64>,
+    kill_at: u64,
+    lag_at_promotion: u64,
+    polls: u64,
+    rebases: u64,
+    segments_gced: u64,
+    full_count: u64,
+    delta_count: u64,
+    wire_bytes: usize,
+    exact: bool,
+    elapsed_ms: u128,
+    failures: Vec<String>,
+}
+
+/// Folds matcher deltas into a conflict-set accumulator so the
+/// reference run tracks the same state the supervisor maintains.
+struct Collecting<'a> {
+    inner: &'a mut ReteMatcher,
+    conflict: &'a mut HashSet<Instantiation>,
+}
+
+impl Collecting<'_> {
+    fn fold(&mut self, d: MatchDelta) {
+        for i in &d.removed {
+            self.conflict.remove(i);
+        }
+        for i in &d.added {
+            self.conflict.insert(i.clone());
+        }
+    }
+}
+
+impl Matcher for Collecting<'_> {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        let d = self.inner.add_wme(wm, id);
+        self.fold(d.clone());
+        d
+    }
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> MatchDelta {
+        let d = self.inner.remove_wme(wm, id);
+        self.fold(d.clone());
+        d
+    }
+    fn algorithm_name(&self) -> &'static str {
+        "collecting"
+    }
+}
+
+fn main() {
+    // The chaos plan injects worker panics on purpose; keep their
+    // default-hook backtraces out of CI logs.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        if msg.contains("injected fault") || msg.contains("scoped thread panicked") {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let presets: Vec<Preset> = if requested.is_empty() {
+        vec![Preset::EpSoar, Preset::R1Soar]
+    } else {
+        requested
+            .iter()
+            .map(|name| {
+                Preset::all()
+                    .into_iter()
+                    .find(|p| p.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!("failover_smoke: unknown preset {name}");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    };
+
+    let mut runs = Vec::new();
+    for (i, preset) in presets.iter().enumerate() {
+        let run = smoke_run(*preset, 0xFA11 + i as u64, 0x5EED + i as u64);
+        let verdict = if run.failures.is_empty() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{:<8} {verdict}: promoted at {:?} (kill {}), lag {}, {} polls, {} rebases, \
+             {} full + {} delta checkpoints, {} wal segments gced, {} bytes over the wire, \
+             {} ms",
+            run.preset,
+            run.promoted_at,
+            run.kill_at,
+            run.lag_at_promotion,
+            run.polls,
+            run.rebases,
+            run.full_count,
+            run.delta_count,
+            run.segments_gced,
+            run.wire_bytes,
+            run.elapsed_ms,
+        );
+        for f in &run.failures {
+            eprintln!("  gate failed: {f}");
+        }
+        runs.push(run);
+    }
+
+    write_json("results", &runs);
+
+    if runs.iter().any(|r| !r.failures.is_empty()) {
+        eprintln!("failover_smoke FAIL");
+        std::process::exit(1);
+    }
+    println!(
+        "failover_smoke ok: {} presets byte-exact through HTTP failover",
+        runs.len()
+    );
+}
+
+/// One preset through the full plane: HTTP listener, pull-based
+/// standby, planned kill, promotion, byte-parity check.
+fn smoke_run(preset: Preset, plan_seed: u64, driver_seed: u64) -> SmokeRun {
+    let started = Instant::now();
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    // `WorkloadDriver::init` feeds one supervised cycle per initial
+    // WME, so the kill lands mid-way through the post-init stream.
+    let init_cycles = workload.spec.wm_size as u64;
+    let kill_at = init_cycles + CYCLES / 2;
+    let plan = Arc::new(
+        FaultPlan::randomized(plan_seed, init_cycles + CYCLES, 0.1).with_primary_kill(kill_at),
+    );
+
+    let store = Arc::new(ReplicationStore::new(ReplicationConfig {
+        max_segment_bytes: 4 * 1024, // force rotation so segments ship
+        anchor_every: 4,
+    }));
+    let obs = Arc::new(Obs::new(0));
+    let server = TelemetryServer::start_with_replication(
+        Arc::clone(&obs),
+        &TelemetryConfig::default(),
+        store.clone() as Arc<dyn ReplicaSource>,
+    )
+    .expect("listener binds");
+    let source = Arc::new(HttpReplicaSource::new(
+        server.local_addr(),
+        Duration::from_secs(5),
+    ));
+
+    let config = SupervisorConfig {
+        threads: 2,
+        backoff: Duration::from_micros(10),
+        checkpoint_every: 4,
+        ..SupervisorConfig::default()
+    };
+    let mut pair =
+        FailoverPair::with_source(&workload.program, config, Some(plan), store.clone(), source)
+            .expect("program compiles");
+    pair.set_poll_every(3);
+    pair.attach_obs(Arc::clone(&obs));
+
+    let mut driver = WorkloadDriver::new(workload.clone(), driver_seed);
+    driver.init(&mut pair);
+    for _ in 0..CYCLES {
+        let batch = driver.next_batch();
+        pair.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+
+    let report = pair.report();
+    let stats = store.stats();
+    let mut failures = Vec::new();
+    if report.promoted_at != Some(kill_at) {
+        failures.push(format!(
+            "promotion at {:?}, planned kill at {kill_at}",
+            report.promoted_at
+        ));
+    }
+    if report.lag_at_promotion != 0 {
+        failures.push(format!(
+            "replication lag {} at promotion (must be 0)",
+            report.lag_at_promotion
+        ));
+    }
+    if pair.tier() != Tier::Promoted {
+        failures.push(format!("finished on tier {:?}, not Promoted", pair.tier()));
+    }
+
+    // Byte parity against a never-faulted sequential run of the same
+    // change stream on the same compiled network.
+    let network = pair.active().network().clone();
+    let mut rdriver = WorkloadDriver::new(workload, driver_seed);
+    let mut reference = ReteMatcher::from_network(network);
+    let mut conflict = HashSet::new();
+    {
+        let mut r = Collecting {
+            inner: &mut reference,
+            conflict: &mut conflict,
+        };
+        rdriver.init(&mut r);
+        for _ in 0..CYCLES {
+            let batch = rdriver.next_batch();
+            let d = r.inner.process(rdriver.working_memory(), &batch);
+            r.fold(d);
+            rdriver.commit_batch(&batch);
+        }
+    }
+    let mut sorted: Vec<_> = conflict.into_iter().collect();
+    sorted.sort_by(|a, b| (a.production, &a.wmes).cmp(&(b.production, &b.wmes)));
+    let exact = pair.active().conflict_set() == sorted
+        && pair.active().committed_snapshot().as_bytes() == reference.snapshot().as_bytes()
+        && pair.active().committed_wm_bytes() == rdriver.working_memory().snapshot_bytes();
+    if !exact {
+        failures.push("promoted state is not byte-identical to the fault-free run".to_string());
+    }
+
+    // Everything the standby saw crossed the socket; the wire volume
+    // is a sanity signal that HTTP (not the in-process store) fed it.
+    let metrics = obs.metrics.snapshot();
+    let wire_bytes = metrics
+        .gauges
+        .get("replica.bytes_fetched")
+        .map_or(0, |&v| v.max(0) as usize);
+
+    server.shutdown();
+    SmokeRun {
+        preset: preset.name(),
+        promoted_at: report.promoted_at,
+        kill_at,
+        lag_at_promotion: report.lag_at_promotion,
+        polls: report.polls,
+        rebases: report.rebases,
+        segments_gced: stats.segments_gced,
+        full_count: stats.full_count,
+        delta_count: stats.delta_count,
+        wire_bytes,
+        exact,
+        elapsed_ms: started.elapsed().as_millis(),
+        failures,
+    }
+}
+
+fn write_json(out: &str, runs: &[SmokeRun]) {
+    let mut j = String::from("{\"runs\":[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        j.push_str("{\"preset\":");
+        push_escaped(&mut j, r.preset);
+        j.push_str(&format!(
+            ",\"promoted_at\":{},\"kill_at\":{},\"lag_at_promotion\":{},\"polls\":{},\
+             \"rebases\":{},\"segments_gced\":{},\"full_checkpoints\":{},\
+             \"delta_checkpoints\":{},\"wire_bytes\":{},\"byte_exact\":{},\
+             \"elapsed_ms\":{},\"failures\":[",
+            r.promoted_at.map_or("null".to_string(), |c| c.to_string()),
+            r.kill_at,
+            r.lag_at_promotion,
+            r.polls,
+            r.rebases,
+            r.segments_gced,
+            r.full_count,
+            r.delta_count,
+            r.wire_bytes,
+            r.exact,
+            r.elapsed_ms,
+        ));
+        for (k, f) in r.failures.iter().enumerate() {
+            if k > 0 {
+                j.push(',');
+            }
+            push_escaped(&mut j, f);
+        }
+        j.push_str("]}");
+    }
+    j.push_str("],\"pass\":");
+    j.push_str(if runs.iter().all(|r| r.failures.is_empty()) {
+        "true"
+    } else {
+        "false"
+    });
+    j.push('}');
+    let path = format!("{out}/failover_report.json");
+    if std::fs::create_dir_all(out).is_ok() && std::fs::write(&path, &j).is_ok() {
+        println!("wrote {path}");
+    } else {
+        eprintln!("failover_smoke: cannot write {path}");
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use ops5::{Instantiation, MatchDelta, Matcher, WmeId, WorkingMemory};
 use psm_bench::{capture, f, print_table, CliOptions};
-use psm_fault::{FaultPlan, Supervisor, SupervisorConfig};
+use psm_fault::{FaultPlan, ReplicationConfig, ReplicationStore, Supervisor, SupervisorConfig};
 use psm_obs::json::{number, push_escaped};
 use psm_sim::{
     simulate_psm_faulted, simulate_psm_faulted_timeline, simulate_psm_timeline, CostModel, PsmSpec,
@@ -62,6 +62,17 @@ struct ChaosRun {
     tier: &'static str,
     report: psm_fault::FaultReport,
     conflict_matches_fault_free: bool,
+    /// Wall-clock microseconds for a checkpoint-restore + WAL-replay
+    /// drill on the final state.
+    recovery_us: u128,
+    /// WAL entries that drill replayed.
+    recovery_replayed: u64,
+    /// Mean size of a full (`PSMC`) checkpoint artifact, bytes.
+    full_bytes_mean: u64,
+    /// Mean size of a delta (`PSMD`) checkpoint artifact, bytes.
+    delta_bytes_mean: u64,
+    /// full_bytes_mean / delta_bytes_mean (0 when no deltas shipped).
+    delta_ratio: f64,
 }
 
 /// Folds matcher deltas into a conflict-set accumulator so the
@@ -200,6 +211,10 @@ fn main() {
             r.recoveries.to_string(),
             r.checkpoints.to_string(),
             r.wal_replayed.to_string(),
+            format!("{} us", c.recovery_us),
+            format!("{:.1}", c.full_bytes_mean as f64 / 1024.0),
+            format!("{:.1}", c.delta_bytes_mean as f64 / 1024.0),
+            f(c.delta_ratio, 1),
             if c.conflict_matches_fault_free {
                 "yes".into()
             } else {
@@ -219,13 +234,20 @@ fn main() {
             "recoveries",
             "checkpts",
             "wal replay",
+            "recovery",
+            "full KiB",
+            "delta KiB",
+            "ratio",
             "exact",
         ],
         &rows,
     );
     println!(
         "\n\"exact\" = recovered conflict set and Rete snapshot are byte-identical \
-         to a never-faulted sequential run on the same stream."
+         to a never-faulted sequential run on the same stream.\n\
+         \"recovery\" = wall-clock for a checkpoint-restore + WAL-replay drill; \
+         \"full\"/\"delta\" = mean shipped checkpoint artifact sizes (PSMC vs PSMD), \
+         \"ratio\" = full/delta."
     );
 
     write_json(&out, &sweeps, &chaos);
@@ -247,12 +269,16 @@ fn chaos_run(preset: Preset, plan_seed: u64) -> ChaosRun {
     let mut driver = WorkloadDriver::new(workload.clone(), 0x5EED);
     let mut sup = Supervisor::new(&workload.program, config).expect("program compiles");
     sup.set_fault_plan(Some(plan));
+    let store = Arc::new(ReplicationStore::new(ReplicationConfig::default()));
+    sup.attach_replication(store.clone());
     driver.init(&mut sup);
     for _ in 0..cycles {
         let batch = driver.next_batch();
         sup.process(driver.working_memory(), &batch);
         driver.commit_batch(&batch);
     }
+    let drill = sup.recovery_drill();
+    let stats = store.stats();
 
     // Fault-free reference on the same compiled network.
     let mut rdriver = WorkloadDriver::new(workload, 0x5EED);
@@ -276,11 +302,25 @@ fn chaos_run(preset: Preset, plan_seed: u64) -> ChaosRun {
     let exact = sup.conflict_set() == sorted
         && sup.committed_snapshot().as_bytes() == reference.snapshot().as_bytes();
 
+    let full_bytes_mean = stats.full_bytes.checked_div(stats.full_count).unwrap_or(0);
+    let delta_bytes_mean = stats
+        .delta_bytes
+        .checked_div(stats.delta_count)
+        .unwrap_or(0);
     ChaosRun {
         preset: preset.name(),
         tier: sup.tier().name(),
         report: sup.report(),
         conflict_matches_fault_free: exact,
+        recovery_us: drill.elapsed.as_micros(),
+        recovery_replayed: drill.wal_replayed,
+        full_bytes_mean,
+        delta_bytes_mean,
+        delta_ratio: if delta_bytes_mean == 0 {
+            0.0
+        } else {
+            full_bytes_mean as f64 / delta_bytes_mean as f64
+        },
     }
 }
 
@@ -326,7 +366,9 @@ fn write_json(out: &str, sweeps: &[KillSweep], chaos: &[ChaosRun]) {
         j.push_str(&format!(
             ",\"engine_faults\":{},\"transient_faults\":{},\"retries\":{},\"fallbacks\":{},\
              \"recoveries\":{},\"checkpoints\":{},\"wal_replayed\":{},\"deadline_misses\":{},\
-             \"worker_respawns\":{},\"exact\":{}}}",
+             \"worker_respawns\":{},\"recovery_us\":{},\"recovery_replayed\":{},\
+             \"full_checkpoint_bytes_mean\":{},\"delta_checkpoint_bytes_mean\":{},\
+             \"delta_ratio\":{},\"exact\":{}}}",
             r.engine_faults,
             r.transient_faults,
             r.retries,
@@ -336,6 +378,11 @@ fn write_json(out: &str, sweeps: &[KillSweep], chaos: &[ChaosRun]) {
             r.wal_replayed,
             r.deadline_misses,
             r.worker_respawns,
+            c.recovery_us,
+            c.recovery_replayed,
+            c.full_bytes_mean,
+            c.delta_bytes_mean,
+            number(c.delta_ratio),
             c.conflict_matches_fault_free
         ));
     }

@@ -1,0 +1,565 @@
+//! Delta checkpoints: `PSMD`, a binary diff between two `PSMC` images.
+//!
+//! Full checkpoints scale with working-memory size, so checkpointing
+//! every few cycles on a large preset writes the same hundreds of
+//! kilobytes over and over (Hiperfact's observation: the fact store is
+//! the throughput-critical persistent structure, and delta encoding
+//! against it is what makes frequent persistence affordable). A
+//! [`DeltaCheckpoint`] instead stores only what changed since the
+//! parent checkpoint, as a greedy block-match diff over the canonical
+//! `PSMC` byte encoding:
+//!
+//! * the parent image is indexed in [`BLOCK`]-byte aligned blocks;
+//! * the child image is scanned byte-by-byte, emitting
+//!   [`DiffOp::Copy`] ranges (extended past the block while bytes keep
+//!   matching, rsync-style, so insertions that shift later content
+//!   still re-align) and literal [`DiffOp::Insert`] runs between them;
+//! * the artifact records the parent's and the reconstructed child's
+//!   CRC-32, so applying a delta to the wrong parent — or a corrupt
+//!   delta to the right one — fails loudly instead of producing a
+//!   plausible wrong state. That pair of CRCs is the chain-validity
+//!   check.
+//!
+//! [`CheckpointChain`] strings deltas behind periodic full-snapshot
+//! anchors: every `anchor_every`-th checkpoint is stored whole (and
+//! prunes everything older), the rest as deltas against their
+//! predecessor. [`CheckpointChain::restore_tip`] re-derives the latest
+//! checkpoint purely from stored artifacts — the tests assert it is
+//! byte-identical to the live one.
+
+use ops5::{ByteReader, ByteWriter, CodecError};
+use std::collections::HashMap;
+
+use crate::checkpoint::Checkpoint;
+use crate::segment::crc32;
+
+const MAGIC: [u8; 4] = *b"PSMD";
+const VERSION: u32 = 1;
+/// Diff granularity: parent blocks are indexed at this alignment.
+const BLOCK: usize = 32;
+
+/// One diff instruction over the parent image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Copy `len` bytes from parent offset `off`.
+    Copy {
+        /// Byte offset into the parent image.
+        off: usize,
+        /// Bytes to copy.
+        len: usize,
+    },
+    /// Emit literal bytes present only in the child.
+    Insert(Vec<u8>),
+}
+
+/// Greedy block-match diff from `old` to `new`.
+///
+/// Not minimal — matches only start at [`BLOCK`]-aligned offsets of
+/// `old` — but linear-ish, deterministic, and small whenever most of
+/// `new` already exists in `old`, which is exactly the checkpoint
+/// workload.
+pub fn diff(old: &[u8], new: &[u8]) -> Vec<DiffOp> {
+    let mut index: HashMap<&[u8], usize> = HashMap::new();
+    let mut at = 0;
+    while at + BLOCK <= old.len() {
+        // First occurrence wins; ties don't matter for correctness.
+        index.entry(&old[at..at + BLOCK]).or_insert(at);
+        at += BLOCK;
+    }
+
+    let mut ops: Vec<DiffOp> = Vec::new();
+    let mut pending: Vec<u8> = Vec::new();
+    let mut i = 0;
+    while i < new.len() {
+        let matched = if i + BLOCK <= new.len() {
+            index.get(&new[i..i + BLOCK]).copied()
+        } else {
+            None
+        };
+        match matched {
+            Some(off) => {
+                if !pending.is_empty() {
+                    ops.push(DiffOp::Insert(std::mem::take(&mut pending)));
+                }
+                // Extend the match past the block boundary.
+                let mut len = BLOCK;
+                while off + len < old.len() && i + len < new.len() && old[off + len] == new[i + len]
+                {
+                    len += 1;
+                }
+                // Coalesce with a preceding contiguous copy.
+                if let Some(DiffOp::Copy {
+                    off: prev_off,
+                    len: prev_len,
+                }) = ops.last_mut()
+                {
+                    if *prev_off + *prev_len == off {
+                        *prev_len += len;
+                        i += len;
+                        continue;
+                    }
+                }
+                ops.push(DiffOp::Copy { off, len });
+                i += len;
+            }
+            None => {
+                pending.push(new[i]);
+                i += 1;
+            }
+        }
+    }
+    if !pending.is_empty() {
+        ops.push(DiffOp::Insert(pending));
+    }
+    ops
+}
+
+/// Replays `ops` against `old`, producing the child image.
+///
+/// # Errors
+///
+/// [`CodecError::Invalid`] when a copy range overruns the parent.
+pub fn apply(old: &[u8], ops: &[DiffOp]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Copy { off, len } => {
+                let end = off
+                    .checked_add(*len)
+                    .ok_or(CodecError::Invalid("delta copy range overflows"))?;
+                if end > old.len() {
+                    return Err(CodecError::Invalid("delta copy range overruns parent"));
+                }
+                out.extend_from_slice(&old[*off..end]);
+            }
+            DiffOp::Insert(bytes) => out.extend_from_slice(bytes),
+        }
+    }
+    Ok(out)
+}
+
+/// A delta checkpoint: everything needed to rebuild the child `PSMC`
+/// image given its parent's bytes, plus the CRC pair that validates
+/// the chain link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCheckpoint {
+    /// The child checkpoint's cycle (doubles as its artifact id).
+    pub cycle: u64,
+    /// The parent checkpoint's cycle.
+    pub parent: u64,
+    /// CRC-32 of the parent's full `PSMC` bytes.
+    pub parent_crc: u32,
+    /// CRC-32 of the reconstructed child's full `PSMC` bytes.
+    pub result_crc: u32,
+    /// The diff script, parent → child.
+    pub ops: Vec<DiffOp>,
+}
+
+impl DeltaCheckpoint {
+    /// Diffs `next` against `prev` (both as full checkpoints).
+    pub fn encode(prev: &Checkpoint, next: &Checkpoint) -> DeltaCheckpoint {
+        let old = prev.to_bytes();
+        let new = next.to_bytes();
+        DeltaCheckpoint {
+            cycle: next.cycle,
+            parent: prev.cycle,
+            parent_crc: crc32(&old),
+            result_crc: crc32(&new),
+            ops: diff(&old, &new),
+        }
+    }
+
+    /// Rebuilds the child checkpoint from its parent, enforcing both
+    /// chain-validity CRCs.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when `prev` is not the recorded parent
+    /// (cycle or CRC mismatch) or the reconstruction's CRC disagrees
+    /// with the recorded result; any [`CodecError`] from decoding the
+    /// reconstructed image.
+    pub fn apply(&self, prev: &Checkpoint) -> Result<Checkpoint, CodecError> {
+        if prev.cycle != self.parent {
+            return Err(CodecError::Invalid("delta applied to wrong parent cycle"));
+        }
+        let old = prev.to_bytes();
+        if crc32(&old) != self.parent_crc {
+            return Err(CodecError::Invalid("delta parent CRC mismatch"));
+        }
+        let new = apply(&old, &self.ops)?;
+        if crc32(&new) != self.result_crc {
+            return Err(CodecError::Invalid("delta result CRC mismatch"));
+        }
+        Checkpoint::from_bytes(&new)
+    }
+
+    /// Serializes the delta (`PSMD` v1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_header(MAGIC, VERSION);
+        w.u64(self.cycle);
+        w.u64(self.parent);
+        w.u32(self.parent_crc);
+        w.u32(self.result_crc);
+        w.usize(self.ops.len());
+        for op in &self.ops {
+            match op {
+                DiffOp::Copy { off, len } => {
+                    w.u8(0);
+                    w.usize(*off);
+                    w.usize(*len);
+                }
+                DiffOp::Insert(bytes) => {
+                    w.u8(1);
+                    w.usize(bytes.len());
+                    for &b in bytes {
+                        w.u8(b);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a delta produced by [`DeltaCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a bad header, truncation, an unknown op tag,
+    /// or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DeltaCheckpoint, CodecError> {
+        let (mut r, version) = ByteReader::with_header(bytes, MAGIC)?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion {
+                supported: VERSION,
+                found: version,
+            });
+        }
+        let cycle = r.u64()?;
+        let parent = r.u64()?;
+        let parent_crc = r.u32()?;
+        let result_crc = r.u32()?;
+        let n = r.usize()?;
+        let mut ops = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ops.push(match r.u8()? {
+                0 => DiffOp::Copy {
+                    off: r.usize()?,
+                    len: r.usize()?,
+                },
+                1 => {
+                    let m = r.usize()?;
+                    if m > r.remaining() {
+                        return Err(CodecError::UnexpectedEof);
+                    }
+                    let mut bytes = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        bytes.push(r.u8()?);
+                    }
+                    DiffOp::Insert(bytes)
+                }
+                _ => return Err(CodecError::Invalid("unknown delta op tag")),
+            });
+        }
+        if !r.is_done() {
+            return Err(CodecError::Invalid("trailing bytes after delta"));
+        }
+        Ok(DeltaCheckpoint {
+            cycle,
+            parent,
+            parent_crc,
+            result_crc,
+            ops,
+        })
+    }
+}
+
+/// One stored artifact in a chain, as advertised to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainArtifact {
+    /// Checkpoint cycle (the artifact id).
+    pub cycle: u64,
+    /// Parent cycle for deltas; `None` for full anchors.
+    pub parent: Option<u64>,
+    /// Serialized artifact size in bytes.
+    pub bytes: usize,
+    /// CRC-32 of the serialized artifact.
+    pub crc: u32,
+}
+
+impl ChainArtifact {
+    /// True for full-snapshot anchors.
+    pub fn is_full(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+/// A delta chain: one full anchor plus the deltas committed since,
+/// with the reconstructed tip cached for the next diff.
+#[derive(Debug, Clone)]
+pub struct CheckpointChain {
+    anchor_every: u64,
+    anchor_bytes: Vec<u8>,
+    anchor_cycle: u64,
+    deltas: Vec<DeltaCheckpoint>,
+    tip: Checkpoint,
+    pushed: u64,
+    full_bytes: u64,
+    delta_bytes: u64,
+    full_count: u64,
+    delta_count: u64,
+}
+
+impl CheckpointChain {
+    /// Starts a chain anchored at `genesis`, re-anchoring with a full
+    /// snapshot every `anchor_every` pushes (the pushes in between
+    /// store deltas).
+    pub fn new(genesis: &Checkpoint, anchor_every: u64) -> Self {
+        let bytes = genesis.to_bytes();
+        CheckpointChain {
+            anchor_every: anchor_every.max(1),
+            full_bytes: bytes.len() as u64,
+            full_count: 1,
+            anchor_bytes: bytes,
+            anchor_cycle: genesis.cycle,
+            deltas: Vec::new(),
+            tip: genesis.clone(),
+            pushed: 0,
+            delta_bytes: 0,
+            delta_count: 0,
+        }
+    }
+
+    /// Appends `cp`, storing either a new full anchor (pruning the old
+    /// chain) or a delta against the current tip. Returns the artifact
+    /// descriptor of what was stored.
+    pub fn push(&mut self, cp: &Checkpoint) -> ChainArtifact {
+        self.pushed += 1;
+        let artifact = if self.pushed.is_multiple_of(self.anchor_every) {
+            let bytes = cp.to_bytes();
+            let art = ChainArtifact {
+                cycle: cp.cycle,
+                parent: None,
+                bytes: bytes.len(),
+                crc: crc32(&bytes),
+            };
+            self.full_bytes += bytes.len() as u64;
+            self.full_count += 1;
+            self.anchor_bytes = bytes;
+            self.anchor_cycle = cp.cycle;
+            self.deltas.clear();
+            art
+        } else {
+            let delta = DeltaCheckpoint::encode(&self.tip, cp);
+            let bytes = delta.to_bytes();
+            let art = ChainArtifact {
+                cycle: cp.cycle,
+                parent: Some(delta.parent),
+                bytes: bytes.len(),
+                crc: crc32(&bytes),
+            };
+            self.delta_bytes += bytes.len() as u64;
+            self.delta_count += 1;
+            self.deltas.push(delta);
+            art
+        };
+        self.tip = cp.clone();
+        artifact
+    }
+
+    /// The cached latest checkpoint.
+    pub fn tip(&self) -> &Checkpoint {
+        &self.tip
+    }
+
+    /// The anchor's cycle.
+    pub fn anchor_cycle(&self) -> u64 {
+        self.anchor_cycle
+    }
+
+    /// Serialized artifact bytes for checkpoint `cycle`: the anchor's
+    /// `PSMC` bytes or a stored delta's `PSMD` bytes.
+    pub fn artifact_bytes(&self, cycle: u64) -> Option<Vec<u8>> {
+        if cycle == self.anchor_cycle {
+            return Some(self.anchor_bytes.clone());
+        }
+        self.deltas
+            .iter()
+            .find(|d| d.cycle == cycle)
+            .map(DeltaCheckpoint::to_bytes)
+    }
+
+    /// Descriptors for the anchor plus every stored delta, in replay
+    /// order.
+    pub fn artifacts(&self) -> Vec<ChainArtifact> {
+        let mut out = vec![ChainArtifact {
+            cycle: self.anchor_cycle,
+            parent: None,
+            bytes: self.anchor_bytes.len(),
+            crc: crc32(&self.anchor_bytes),
+        }];
+        for d in &self.deltas {
+            let bytes = d.to_bytes();
+            out.push(ChainArtifact {
+                cycle: d.cycle,
+                parent: Some(d.parent),
+                bytes: bytes.len(),
+                crc: crc32(&bytes),
+            });
+        }
+        out
+    }
+
+    /// Rebuilds the tip purely from stored artifacts: decode the
+    /// anchor, then apply each delta with its CRC pair enforced.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] from a corrupt anchor or a failed chain link.
+    pub fn restore_tip(&self) -> Result<Checkpoint, CodecError> {
+        let mut cp = Checkpoint::from_bytes(&self.anchor_bytes)?;
+        for d in &self.deltas {
+            cp = d.apply(&cp)?;
+        }
+        Ok(cp)
+    }
+
+    /// Cumulative (bytes, count) of full-anchor artifacts stored.
+    pub fn full_stats(&self) -> (u64, u64) {
+        (self.full_bytes, self.full_count)
+    }
+
+    /// Cumulative (bytes, count) of delta artifacts stored.
+    pub fn delta_stats(&self) -> (u64, u64) {
+        (self.delta_bytes, self.delta_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Instantiation, ProductionId, WmeId, WorkingMemory};
+    use rete::ReteSnapshot;
+
+    fn cp(cycle: u64, seed: u8, insts: usize) -> Checkpoint {
+        // Synthetic but realistic shape: a few hundred bytes of
+        // pseudo-state plus a conflict set.
+        let rete: Vec<u8> = (0..600u32).map(|i| (i as u8).wrapping_add(seed)).collect();
+        Checkpoint {
+            cycle,
+            wm: WorkingMemory::new().snapshot_bytes(),
+            rete: ReteSnapshot::from_bytes(rete),
+            conflict: (0..insts)
+                .map(|i| Instantiation::new(ProductionId(i as u32), vec![WmeId::from_index(i)]))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_apply_roundtrips() {
+        let old: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        // Insert in the middle, mutate a byte, append a tail: the diff
+        // must re-align after each disturbance.
+        let mut new = old.clone();
+        new.insert(100, 0xAA);
+        new[300] ^= 0x55;
+        new.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let ops = diff(&old, &new);
+        assert_eq!(apply(&old, &ops).unwrap(), new);
+        let literal: usize = ops
+            .iter()
+            .map(|op| match op {
+                DiffOp::Insert(b) => b.len(),
+                DiffOp::Copy { .. } => 0,
+            })
+            .sum();
+        assert!(
+            literal < 150,
+            "small edits stay small: {literal} literal bytes"
+        );
+        assert_eq!(apply(&[], &diff(&[], &[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn apply_rejects_bad_ranges() {
+        let err = apply(&[0; 8], &[DiffOp::Copy { off: 4, len: 8 }]);
+        assert!(err.is_err());
+        let err = apply(
+            &[0; 8],
+            &[DiffOp::Copy {
+                off: usize::MAX,
+                len: 2,
+            }],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn delta_roundtrips_and_validates_the_chain() {
+        let a = cp(4, 1, 3);
+        let b = cp(8, 2, 5);
+        let d = DeltaCheckpoint::encode(&a, &b);
+        assert_eq!(d.apply(&a).unwrap(), b);
+        let back = DeltaCheckpoint::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(back, d);
+
+        // Wrong parent: cycle mismatch, then CRC mismatch.
+        let c = cp(6, 3, 3);
+        assert!(d.apply(&c).is_err(), "wrong parent cycle");
+        let mut imposter = cp(4, 9, 3);
+        imposter.cycle = 4;
+        assert!(d.apply(&imposter).is_err(), "wrong parent bytes");
+
+        // Tampered delta: result CRC catches it.
+        let mut tampered = d.clone();
+        if let Some(DiffOp::Insert(bytes)) = tampered
+            .ops
+            .iter_mut()
+            .find(|op| matches!(op, DiffOp::Insert(_)))
+        {
+            bytes[0] ^= 0xFF;
+            assert!(tampered.apply(&a).is_err(), "result CRC mismatch");
+        }
+    }
+
+    #[test]
+    fn delta_rejects_corrupt_bytes() {
+        let d = DeltaCheckpoint::encode(&cp(0, 1, 1), &cp(4, 2, 2));
+        let bytes = d.to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(DeltaCheckpoint::from_bytes(&bad).is_err(), "bad magic");
+        let mut bad = bytes.clone();
+        bad.truncate(bad.len() - 1);
+        assert!(DeltaCheckpoint::from_bytes(&bad).is_err(), "eof");
+        let mut bad = bytes;
+        bad.push(0);
+        assert!(DeltaCheckpoint::from_bytes(&bad).is_err(), "trailing");
+    }
+
+    #[test]
+    fn chain_anchors_prunes_and_restores() {
+        let genesis = cp(0, 0, 0);
+        let mut chain = CheckpointChain::new(&genesis, 4);
+        let mut arts = Vec::new();
+        for k in 1..=6u64 {
+            arts.push(chain.push(&cp(k * 4, k as u8, k as usize)));
+        }
+        // Push 4 re-anchored; pushes 5 and 6 are deltas on top of it.
+        assert!(arts[3].is_full());
+        assert!(arts[0].parent.is_some() && arts[4].parent.is_some());
+        assert_eq!(chain.anchor_cycle(), 16);
+        assert_eq!(chain.artifacts().len(), 3, "anchor + two deltas");
+        assert_eq!(chain.restore_tip().unwrap(), *chain.tip());
+        assert!(chain.artifact_bytes(16).is_some());
+        assert!(chain.artifact_bytes(24).is_some());
+        assert!(
+            chain.artifact_bytes(8).is_none(),
+            "pre-anchor artifacts pruned"
+        );
+        let (fb, fc) = chain.full_stats();
+        let (db, dc) = chain.delta_stats();
+        assert_eq!(fc, 2, "genesis + re-anchor");
+        assert_eq!(dc, 5, "pushes 1-3 and 5-6 stored as deltas");
+        assert!(fb > 0 && db > 0);
+    }
+}

@@ -24,18 +24,44 @@
 //!   checkpoint/WAL recovery on engine faults, and monotonic graceful
 //!   degradation. Every fault, retry, fallback, and recovery is
 //!   counted in a [`FaultReport`] and published to `psm-obs`.
+//!
+//! On top of those sits the replication plane:
+//!
+//! * **[`CheckpointChain`]** — delta checkpoints (`PSMD`): each
+//!   checkpoint is stored as a block-level binary diff against its
+//!   parent, with periodic full-snapshot anchors, and every link
+//!   CRC-validated so a chain replays back to the exact (byte-equal)
+//!   full checkpoint.
+//! * **[`SegmentedWal`]** — the WAL split into bounded, CRC-framed
+//!   segments (`PSML` v2) with a manifest; torn tails truncate to the
+//!   longest valid prefix on open, and segments fully covered by a
+//!   checkpoint are garbage-collected.
+//! * **[`ReplicationStore`] + [`StandbyReplica`] + [`FailoverPair`]**
+//!   — a primary publishes chain + segments (optionally over
+//!   `psm-telemetry`'s `/replicate/*` endpoints); a pull-based standby
+//!   streams them into warm state and can be promoted to a live
+//!   [`Supervisor`] after a fail-stop primary kill, byte-exactly.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod checkpoint;
+pub mod delta;
 pub mod plan;
+pub mod replica;
+pub mod segment;
 pub mod supervisor;
 pub mod wal;
 
 pub use checkpoint::Checkpoint;
+pub use delta::{ChainArtifact, CheckpointChain, DeltaCheckpoint};
 pub use plan::{CycleFault, EngineFault, FaultPlan};
-pub use supervisor::{FaultReport, Supervisor, SupervisorConfig, Tier};
+pub use replica::{
+    FailoverPair, FailoverReport, ReplicaStatus, ReplicationConfig, ReplicationStats,
+    ReplicationStore, StandbyReplica,
+};
+pub use segment::{crc32, SegmentMeta, SegmentedWal, WalSegment};
+pub use supervisor::{FaultReport, RecoveryDrill, Supervisor, SupervisorConfig, Tier};
 pub use wal::{Wal, WalChange, WalEntry};
 
 #[cfg(test)]

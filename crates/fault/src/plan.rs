@@ -65,6 +65,11 @@ pub struct FaultPlan {
     pub cycles: Vec<CycleFault>,
     /// Faults for the simulated §6 machine.
     pub sim: SimFaults,
+    /// Fail-stop primary kill: the supervised cycle at which a
+    /// [`crate::FailoverPair`] drops its primary on the floor and
+    /// promotes the warm standby. The killed primary never processes
+    /// this cycle's batch. `None` disables failover.
+    pub primary_kill: Option<u64>,
 }
 
 impl FaultPlan {
@@ -78,7 +83,10 @@ impl FaultPlan {
 
     /// True when nothing is scheduled to fail.
     pub fn is_empty(&self) -> bool {
-        self.engine.is_empty() && self.cycles.is_empty() && self.sim.is_empty()
+        self.engine.is_empty()
+            && self.cycles.is_empty()
+            && self.sim.is_empty()
+            && self.primary_kill.is_none()
     }
 
     /// Adds an engine fault (builder style).
@@ -96,6 +104,12 @@ impl FaultPlan {
     /// Replaces the simulated-machine fault schedule (builder style).
     pub fn with_sim(mut self, sim: SimFaults) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Schedules a fail-stop primary kill at `cycle` (builder style).
+    pub fn with_primary_kill(mut self, cycle: u64) -> Self {
+        self.primary_kill = Some(cycle);
         self
     }
 

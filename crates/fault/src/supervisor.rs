@@ -25,10 +25,21 @@
 //! that.
 //!
 //! Transient cycle-level faults (from the [`FaultPlan`]) are retried
-//! with bounded backoff; past `max_retries` the supervisor degrades
-//! one tier. A per-cycle deadline miss likewise degrades out of the
-//! parallel tier, but keeps the (valid) delta. Degradation is
+//! with bounded, jittered backoff (the jitter is seeded from the fault
+//! plan so chaos runs stay reproducible — a fixed backoff can lockstep
+//! with a periodic fault source); past `max_retries` the supervisor
+//! degrades one tier. A per-cycle deadline miss likewise degrades out
+//! of the parallel tier, but keeps the (valid) delta. Degradation is
 //! monotonic: parallel → sequential → naive, never back up.
+//!
+//! A fourth tier exists only after failover: [`Tier::Promoted`] is a
+//! warm standby ([`crate::StandbyReplica`]) that took over after a
+//! primary kill. It runs the sequential matcher it warmed from the
+//! replicated checkpoint chain + WAL segments, and degrades to naive
+//! like the sequential tier does. When a [`crate::ReplicationStore`]
+//! is attached, every committed batch and every checkpoint is
+//! published to it synchronously, which is what makes the standby's
+//! catch-up byte-exact.
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,14 +53,17 @@ use ops5::{
     WriteSanitizer,
 };
 use psm_core::{FaultInjector, ParallelReteMatcher};
-use psm_obs::Obs;
+use psm_obs::{Obs, Rng64};
 use rete::{Network, ReteMatcher, ReteSnapshot};
 
 use crate::checkpoint::Checkpoint;
 use crate::plan::FaultPlan;
+use crate::replica::ReplicationStore;
 use crate::wal::{Wal, WalChange, WalEntry};
 
 /// The active matcher tier, ordered fastest-and-most-fragile first.
+/// `Promoted` is declared last so the numeric gauge values of the
+/// original ladder stay stable (0/1/2); it behaves like `Sequential`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
     /// Node-activation-parallel Rete on real threads.
@@ -58,6 +72,9 @@ pub enum Tier {
     Sequential,
     /// The stateless naive matcher: nothing saved, nothing to corrupt.
     Naive,
+    /// A promoted warm standby: sequential Rete warmed from replicated
+    /// checkpoints + WAL segments after a primary kill.
+    Promoted,
 }
 
 impl Tier {
@@ -67,7 +84,14 @@ impl Tier {
             Tier::Parallel => "parallel",
             Tier::Sequential => "sequential",
             Tier::Naive => "naive",
+            Tier::Promoted => "promoted",
         }
+    }
+
+    /// True for the tiers backed by a live sequential [`ReteMatcher`]
+    /// (their snapshot *is* the committed state).
+    fn sequential_backed(self) -> bool {
+        matches!(self, Tier::Sequential | Tier::Promoted)
     }
 }
 
@@ -129,6 +153,19 @@ pub struct FaultReport {
     pub worker_respawns: u64,
 }
 
+/// What a [`Supervisor::recovery_drill`] measured: the wall-clock cost
+/// of rebuilding the committed state from the last checkpoint plus WAL
+/// replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryDrill {
+    /// Wall-clock time for restore + replay + snapshot.
+    pub elapsed: Duration,
+    /// WAL entries replayed during the drill.
+    pub wal_replayed: u64,
+    /// Size of the rebuilt sequential snapshot, in bytes.
+    pub snapshot_bytes: usize,
+}
+
 /// The supervised matcher. See the module docs for the protocol.
 pub struct Supervisor {
     program: Program,
@@ -152,6 +189,11 @@ pub struct Supervisor {
     report: FaultReport,
     /// Debug write-set sanitizer; see [`Supervisor::attach_sanitizer`].
     sanitizer: Option<Arc<WriteSanitizer>>,
+    /// Retry-backoff jitter, re-seeded from the fault plan so chaos
+    /// runs stay reproducible.
+    jitter: Rng64,
+    /// Replication sink; see [`Supervisor::attach_replication`].
+    replication: Option<Arc<ReplicationStore>>,
 }
 
 impl Supervisor {
@@ -178,7 +220,53 @@ impl Supervisor {
             cycle: 0,
             report: FaultReport::default(),
             sanitizer: None,
+            jitter: Rng64::new(0),
+            replication: None,
         })
+    }
+
+    /// Builds a supervisor directly on warm state — the promotion path
+    /// out of [`crate::StandbyReplica`]. Starts at [`Tier::Promoted`]
+    /// with the warm sequential matcher live, a checkpoint snapshotted
+    /// from the warm state (so local recovery has a base), and the
+    /// supervised cycle counter continuing at `cycle`.
+    pub(crate) fn from_warm(
+        program: &Program,
+        network: Arc<Network>,
+        config: SupervisorConfig,
+        wm: WorkingMemory,
+        matcher: ReteMatcher,
+        conflict: HashSet<Instantiation>,
+        cycle: u64,
+    ) -> Self {
+        let mut sorted: Vec<Instantiation> = conflict.iter().cloned().collect();
+        sorted.sort_by(|a, b| (a.production, &a.wmes).cmp(&(b.production, &b.wmes)));
+        let checkpoint = Checkpoint {
+            cycle,
+            wm: wm.snapshot_bytes(),
+            rete: matcher.snapshot(),
+            conflict: sorted,
+        };
+        Supervisor {
+            program: program.clone(),
+            network,
+            config,
+            plan: None,
+            obs: None,
+            tier: Tier::Promoted,
+            parallel: None,
+            sequential: Some(matcher),
+            naive: None,
+            shadow: wm,
+            conflict,
+            checkpoint,
+            wal: Wal::new(),
+            cycle,
+            report: FaultReport::default(),
+            sanitizer: None,
+            jitter: Rng64::new(0),
+            replication: None,
+        }
     }
 
     /// Attaches a debug [`WriteSanitizer`]: every supervised batch is
@@ -192,12 +280,28 @@ impl Supervisor {
     }
 
     /// Installs (or clears) the fault plan. Engine faults reach the
-    /// parallel matcher through its injector hook.
+    /// parallel matcher through its injector hook, and the retry
+    /// jitter re-seeds from the plan's seed so equal plans produce
+    /// equal backoff schedules.
     pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
         if let Some(p) = &mut self.parallel {
             p.set_fault_injector(plan.clone().map(|p| p as Arc<dyn FaultInjector>));
         }
+        self.jitter = Rng64::new(plan.as_ref().map_or(0, |p| p.seed));
         self.plan = plan;
+    }
+
+    /// Attaches a replication sink: the current checkpoint is
+    /// published immediately as the chain's anchor, and from here on
+    /// every committed batch and every checkpoint is published
+    /// synchronously — a standby pulling the store can always catch up
+    /// to the committed frontier, byte-exactly.
+    pub fn attach_replication(&mut self, store: Arc<ReplicationStore>) {
+        store.publish_checkpoint(&self.checkpoint);
+        for entry in self.wal.entries() {
+            store.publish_entry(entry);
+        }
+        self.replication = Some(store);
     }
 
     /// Attaches an observability handle; fault/retry/fallback/recovery
@@ -206,6 +310,9 @@ impl Supervisor {
     pub fn attach_obs(&mut self, obs: Arc<Obs>) {
         if let Some(p) = &mut self.parallel {
             p.attach_obs(obs.clone());
+        }
+        if let Some(m) = &mut self.sequential {
+            m.attach_obs(obs.clone());
         }
         self.obs = Some(obs);
     }
@@ -249,6 +356,25 @@ impl Supervisor {
         self.wal.len()
     }
 
+    /// The live WAL (entries since the last checkpoint).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Times a full checkpoint-restore + WAL-replay rebuild without
+    /// mutating supervisor state — the recovery-cost probe behind the
+    /// `fault_report` bench's recovery-time column.
+    pub fn recovery_drill(&self) -> RecoveryDrill {
+        let started = Instant::now();
+        let (m, _conflict, replayed) = self.rebuild_sequential();
+        let snapshot_bytes = m.snapshot().as_bytes().len();
+        RecoveryDrill {
+            elapsed: started.elapsed(),
+            wal_replayed: replayed,
+            snapshot_bytes,
+        }
+    }
+
     /// The last checkpoint (its `cycle` field says how much of history
     /// it covers).
     pub fn last_checkpoint(&self) -> &Checkpoint {
@@ -261,7 +387,7 @@ impl Supervisor {
     /// on [`Supervisor::network`] fed the same batches — the
     /// recovery-exactness audit hangs off this.
     pub fn committed_snapshot(&mut self) -> ReteSnapshot {
-        if self.tier == Tier::Sequential {
+        if self.tier.sequential_backed() {
             return self
                 .sequential
                 .as_ref()
@@ -384,7 +510,7 @@ impl Supervisor {
                 self.emit("fault.fallback", Tier::Sequential, cycle);
                 self.fall_back_to_sequential(false);
             }
-            Tier::Sequential => {
+            Tier::Sequential | Tier::Promoted => {
                 self.emit("fault.fallback", Tier::Naive, cycle);
                 self.fall_back_to_naive(batch_adds);
             }
@@ -407,7 +533,7 @@ impl Supervisor {
                     Err(_) => Err(faults.max(1)),
                 }
             }
-            Tier::Sequential => Ok(self
+            Tier::Sequential | Tier::Promoted => Ok(self
                 .sequential
                 .as_mut()
                 .expect("sequential tier has a matcher")
@@ -426,7 +552,7 @@ impl Supervisor {
         // the §3.1 state-saving bet restated for fault tolerance:
         // saved state (the snapshot) is only worth keeping because
         // re-deriving it from scratch costs a full replay.
-        let rete = if self.tier == Tier::Sequential {
+        let rete = if self.tier.sequential_backed() {
             self.sequential
                 .as_ref()
                 .expect("sequential tier")
@@ -446,6 +572,9 @@ impl Supervisor {
         self.wal.clear();
         self.report.checkpoints += 1;
         self.count("fault.checkpoints");
+        if let Some(store) = &self.replication {
+            store.publish_checkpoint(&self.checkpoint);
+        }
     }
 
     fn publish_gauges(&self) {
@@ -524,8 +653,12 @@ impl Supervisor {
                 } else {
                     self.report.retries += 1;
                     self.count("fault.retries");
+                    // Exponential backoff with ±50% jitter, drawn from
+                    // the plan-seeded RNG so equal plans sleep equally.
                     let factor = 1u32 << (failed - 1).min(3);
-                    thread::sleep(self.config.backoff * factor);
+                    let jittered =
+                        (self.config.backoff * factor).mul_f64(0.5 + self.jitter.gen_f64());
+                    thread::sleep(jittered);
                 }
                 continue;
             }
@@ -565,6 +698,9 @@ impl Supervisor {
                 WalChange::Add(..) => None,
             })
             .collect();
+        if let Some(store) = &self.replication {
+            store.publish_entry(&entry);
+        }
         self.wal.push(entry);
         for id in removes {
             self.shadow.remove(id);
@@ -609,7 +745,7 @@ impl Matcher for Supervisor {
 /// Replays one WAL entry: re-assert the logged WMEs (asserting id
 /// continuity), run the matcher with the original change order, then
 /// retract — exactly the live protocol.
-fn replay_entry<M: Matcher>(
+pub(crate) fn replay_entry<M: Matcher>(
     wm: &mut WorkingMemory,
     matcher: &mut M,
     entry: &WalEntry,
@@ -638,7 +774,7 @@ fn replay_entry<M: Matcher>(
 }
 
 /// Applies a delta to a conflict-set accumulator.
-fn apply_delta(conflict: &mut HashSet<Instantiation>, delta: &MatchDelta) {
+pub(crate) fn apply_delta(conflict: &mut HashSet<Instantiation>, delta: &MatchDelta) {
     for inst in &delta.removed {
         conflict.remove(inst);
     }

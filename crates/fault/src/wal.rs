@@ -89,21 +89,7 @@ impl Wal {
         let mut w = ByteWriter::with_header(MAGIC, VERSION);
         w.usize(self.entries.len());
         for entry in &self.entries {
-            w.u64(entry.cycle);
-            w.usize(entry.changes.len());
-            for change in &entry.changes {
-                match change {
-                    WalChange::Add(wme, id) => {
-                        w.u8(0);
-                        wme.encode(&mut w);
-                        w.usize(id.index());
-                    }
-                    WalChange::Remove(id) => {
-                        w.u8(1);
-                        w.usize(id.index());
-                    }
-                }
-            }
+            encode_entry(&mut w, entry);
         }
         w.finish()
     }
@@ -120,26 +106,56 @@ impl Wal {
         let n = r.usize()?;
         let mut entries = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
-            let cycle = r.u64()?;
-            let m = r.usize()?;
-            let mut changes = Vec::with_capacity(m.min(1 << 16));
-            for _ in 0..m {
-                changes.push(match r.u8()? {
-                    0 => {
-                        let wme = Wme::decode(&mut r)?;
-                        WalChange::Add(wme, WmeId::from_index(r.usize()?))
-                    }
-                    1 => WalChange::Remove(WmeId::from_index(r.usize()?)),
-                    _ => return Err(CodecError::Invalid("unknown WAL change tag")),
-                });
-            }
-            entries.push(WalEntry { cycle, changes });
+            entries.push(decode_entry(&mut r)?);
         }
         if !r.is_done() {
             return Err(CodecError::Invalid("trailing bytes after WAL"));
         }
         Ok(Wal { entries })
     }
+}
+
+/// Encodes one [`WalEntry`] (cycle, then tagged changes) into `w`. The
+/// same payload encoding is shared by the whole-log `PSML` v1 format
+/// and the CRC-framed records inside [`crate::segment::WalSegment`]s.
+pub fn encode_entry(w: &mut ByteWriter, entry: &WalEntry) {
+    w.u64(entry.cycle);
+    w.usize(entry.changes.len());
+    for change in &entry.changes {
+        match change {
+            WalChange::Add(wme, id) => {
+                w.u8(0);
+                wme.encode(w);
+                w.usize(id.index());
+            }
+            WalChange::Remove(id) => {
+                w.u8(1);
+                w.usize(id.index());
+            }
+        }
+    }
+}
+
+/// Decodes one [`WalEntry`] written by [`encode_entry`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated data or an unknown change tag.
+pub fn decode_entry(r: &mut ByteReader<'_>) -> Result<WalEntry, CodecError> {
+    let cycle = r.u64()?;
+    let m = r.usize()?;
+    let mut changes = Vec::with_capacity(m.min(1 << 16));
+    for _ in 0..m {
+        changes.push(match r.u8()? {
+            0 => {
+                let wme = Wme::decode(r)?;
+                WalChange::Add(wme, WmeId::from_index(r.usize()?))
+            }
+            1 => WalChange::Remove(WmeId::from_index(r.usize()?)),
+            _ => return Err(CodecError::Invalid("unknown WAL change tag")),
+        });
+    }
+    Ok(WalEntry { cycle, changes })
 }
 
 #[cfg(test)]

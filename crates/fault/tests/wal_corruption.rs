@@ -1,0 +1,151 @@
+//! Property tests for the torn-tail contract of `PSML` v2 segments:
+//! whatever bytes arrive — truncated, bit-flipped, or garbage — opening
+//! a segment never panics, and anything salvaged is a byte-exact prefix
+//! of the original entry sequence.
+
+use ops5::{SymbolTable, Value, Wme, WmeId};
+use psm_fault::wal::WalChange;
+use psm_fault::{WalEntry, WalSegment};
+use psm_obs::Rng64;
+
+/// Magic + version + seq; corruption below this offset may reject the
+/// whole segment, corruption at or above it must still salvage a
+/// prefix.
+const HEADER_BYTES: usize = 16;
+
+fn build_segment(seed: u64, entries: usize) -> WalSegment {
+    let mut rng = Rng64::new(seed);
+    let mut syms = SymbolTable::new();
+    let class = syms.intern("item");
+    let attrs: Vec<_> = ["size", "kind", "owner"]
+        .iter()
+        .map(|a| syms.intern(a))
+        .collect();
+    let mut seg = WalSegment::new(seed);
+    let mut next_id = 0usize;
+    for cycle in 0..entries as u64 {
+        let mut changes = Vec::new();
+        for _ in 0..rng.gen_range(1..4u32) {
+            let fields: Vec<_> = attrs
+                .iter()
+                .map(|&a| (a, Value::Int(rng.gen_range(0..1000u64) as i64)))
+                .collect();
+            changes.push(WalChange::Add(
+                Wme::new(class, fields),
+                WmeId::from_index(next_id),
+            ));
+            next_id += 1;
+        }
+        if rng.gen_bool(0.4) && next_id > 1 {
+            changes.push(WalChange::Remove(WmeId::from_index(
+                rng.gen_range(0..next_id as u64) as usize,
+            )));
+        }
+        seg.entries.push(WalEntry { cycle, changes });
+    }
+    seg
+}
+
+/// The salvage invariant: decoding yields some prefix of the original
+/// entries (possibly all of them, possibly none), and the open stats
+/// account for every byte.
+fn assert_salvaged_prefix(original: &WalSegment, bytes: &[u8]) {
+    match WalSegment::from_bytes_lossy(bytes) {
+        Ok((back, stats)) => {
+            assert!(
+                back.entries.len() <= original.entries.len(),
+                "salvage cannot invent entries"
+            );
+            assert_eq!(
+                back.entries[..],
+                original.entries[..back.entries.len()],
+                "salvaged entries are a byte-exact prefix"
+            );
+            assert_eq!(stats.recovered, back.entries.len());
+            assert!(stats.truncated_bytes <= bytes.len());
+        }
+        Err(_) => {
+            // Only header damage may reject the segment outright.
+            assert!(
+                bytes.len() < HEADER_BYTES || bytes[..8] != original.to_bytes()[..8],
+                "an intact header must salvage, not error"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_salvages_a_prefix() {
+    let seg = build_segment(1, 12);
+    let bytes = seg.to_bytes();
+    for cut in 0..=bytes.len() {
+        assert_salvaged_prefix(&seg, &bytes[..cut]);
+    }
+    // A clean buffer salvages everything.
+    let (back, stats) = WalSegment::from_bytes_lossy(&bytes).unwrap();
+    assert_eq!(back, seg);
+    assert_eq!(stats.truncated_bytes, 0);
+}
+
+#[test]
+fn single_byte_flips_never_panic_and_never_forge_entries() {
+    let seg = build_segment(2, 8);
+    let clean = seg.to_bytes();
+    let mut rng = Rng64::new(0xF11B);
+    for _ in 0..400 {
+        let mut bytes = clean.clone();
+        let at = rng.gen_range(0..bytes.len() as u64) as usize;
+        let bit = rng.gen_range(0..8u32);
+        bytes[at] ^= 1 << bit;
+        assert_salvaged_prefix(&seg, &bytes);
+        if at >= HEADER_BYTES {
+            // Body damage: the header survives, so decode must too.
+            let (back, _) = WalSegment::from_bytes_lossy(&bytes).expect("header intact");
+            assert!(back.entries.len() <= seg.entries.len());
+        }
+    }
+}
+
+#[test]
+fn flip_plus_truncate_chaos_is_total() {
+    let seg = build_segment(3, 10);
+    let clean = seg.to_bytes();
+    let mut rng = Rng64::new(0xC0FFEE);
+    for _ in 0..300 {
+        let mut bytes = clean.clone();
+        for _ in 0..rng.gen_range(1..4u32) {
+            let at = rng.gen_range(0..bytes.len() as u64) as usize;
+            bytes[at] = bytes[at].wrapping_add(rng.gen_range(1..256u64) as u8);
+        }
+        let cut = rng.gen_range(0..=bytes.len() as u64) as usize;
+        assert_salvaged_prefix(&seg, &bytes[..cut]);
+    }
+}
+
+#[test]
+fn appended_garbage_is_dropped_not_decoded() {
+    let seg = build_segment(4, 6);
+    let mut rng = Rng64::new(0xBAD);
+    for _ in 0..100 {
+        let mut bytes = seg.to_bytes();
+        let junk = rng.gen_range(1..64u64) as usize;
+        for _ in 0..junk {
+            bytes.push(rng.gen_range(0..256u64) as u8);
+        }
+        let (back, stats) = WalSegment::from_bytes_lossy(&bytes).expect("header intact");
+        // All original entries survive; the junk tail either dies at
+        // its first bad frame or (CRC collision, ~2^-32) never here.
+        assert_eq!(back.entries[..seg.entries.len()], seg.entries[..]);
+        assert!(stats.truncated_bytes <= junk);
+    }
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = Rng64::new(0xD1CE);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..200u64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect();
+        let _ = WalSegment::from_bytes_lossy(&bytes); // must not panic
+    }
+}

@@ -16,6 +16,23 @@ use std::time::Duration;
 /// Propagates connect/read/write failures and malformed status lines as
 /// [`std::io::Error`].
 pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let (status, body) = http_get_bytes(addr, path, timeout)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Like [`http_get`], but returns the body as raw bytes — required for
+/// the binary `/replicate/checkpoint/{id}` and `/replicate/wal/{seg}`
+/// artifacts, which are not UTF-8.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed status lines as
+/// [`std::io::Error`].
+pub fn http_get_bytes(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -24,18 +41,20 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Res
         "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     stream.flush()?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let status: u16 = raw
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .unwrap_or(raw.len());
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    let body = match raw.find("\r\n\r\n") {
-        Some(i) => raw[i + 4..].to_string(),
-        None => String::new(),
-    };
-    Ok((status, body))
+    Ok((status, raw[head_end..].to_vec()))
 }
 
 /// A parsed JSON value.

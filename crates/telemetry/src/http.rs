@@ -45,8 +45,11 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Body bytes (textual).
+    /// Body bytes (textual). Ignored when `raw` is set.
     pub body: String,
+    /// Binary body (checkpoint and WAL artifacts); takes precedence
+    /// over `body` when present.
+    pub raw: Option<Vec<u8>>,
 }
 
 impl Response {
@@ -56,6 +59,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body,
+            raw: None,
         }
     }
 
@@ -65,6 +69,17 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body,
+            raw: None,
+        }
+    }
+
+    /// 200 with `application/octet-stream` and a binary body.
+    pub fn binary(bytes: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: String::new(),
+            raw: Some(bytes),
         }
     }
 
@@ -74,6 +89,15 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: format!("{msg}\n"),
+            raw: None,
+        }
+    }
+
+    /// The body as bytes, whichever representation carries it.
+    pub fn body_bytes(&self) -> &[u8] {
+        match &self.raw {
+            Some(raw) => raw,
+            None => self.body.as_bytes(),
         }
     }
 }
@@ -174,17 +198,18 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let body = resp.body_bytes();
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
-        resp.body.len()
+        body.len()
     );
     // A dead client is the client's problem; ignore write errors.
     let _ = stream
         .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(resp.body.as_bytes()))
+        .and_then(|()| stream.write_all(body))
         .and_then(|()| stream.flush());
 }
 

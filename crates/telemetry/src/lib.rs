@@ -16,6 +16,7 @@
 //! | `/explain`  | Flight-recorder queries: `?rule=R&instance=N` or `?cycle=N` |
 //! | `/profile`  | Per-node join profile (JSON, hottest first): activations, pairs compared, measured selectivity, latency summary |
 //! | `/interference` | Parallel-firing compatibility summary (rules, conflicting pairs, density) published by `psm-analyze`, plus live write-set sanitizer counters |
+//! | `/replicate/*`  | Replication artifacts (manifest, checkpoints, WAL segments) when a [`replicate::ReplicaSource`] is attached — see [`TelemetryServer::start_with_replication`] |
 //!
 //! The whole plane is optional: don't start a [`TelemetryServer`] and
 //! no listener thread exists; build the [`psm_obs::Obs`] without flight
@@ -29,6 +30,7 @@
 pub mod client;
 pub mod http;
 pub mod prom;
+pub mod replicate;
 
 use std::io;
 use std::net::SocketAddr;
@@ -81,6 +83,24 @@ impl TelemetryServer {
         Ok(TelemetryServer { server })
     }
 
+    /// Like [`TelemetryServer::start`], but also serves the
+    /// `/replicate/*` endpoints from `source` so a warm standby can
+    /// pull checkpoint and WAL artifacts off the same listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, bad address).
+    pub fn start_with_replication(
+        obs: Arc<Obs>,
+        config: &TelemetryConfig,
+        source: Arc<dyn replicate::ReplicaSource>,
+    ) -> io::Result<TelemetryServer> {
+        let handler: Arc<dyn Fn(&Request) -> Response + Send + Sync> =
+            Arc::new(move |req| route_full(&obs, Some(source.as_ref()), req));
+        let server = http::HttpServer::bind(&config.addr, config.workers, config.timeout, handler)?;
+        Ok(TelemetryServer { server })
+    }
+
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.server.local_addr()
@@ -93,10 +113,26 @@ impl TelemetryServer {
 }
 
 /// Routes one request against `obs`. Public (and pure) so tests and
-/// tools can exercise the endpoints without sockets.
+/// tools can exercise the endpoints without sockets. Equivalent to
+/// [`route_full`] without a replication source.
 pub fn route(obs: &Obs, req: &Request) -> Response {
+    route_full(obs, None, req)
+}
+
+/// Routes one request against `obs`, optionally serving `/replicate/*`
+/// from `source`.
+pub fn route_full(
+    obs: &Obs,
+    source: Option<&dyn replicate::ReplicaSource>,
+    req: &Request,
+) -> Response {
     if req.method != "GET" {
         return Response::error(405, "only GET is supported");
+    }
+    if let Some(source) = source {
+        if let Some(resp) = replicate::route_replication(source, req) {
+            return resp;
+        }
     }
     match req.path.as_str() {
         "/metrics" => {
@@ -114,8 +150,11 @@ pub fn route(obs: &Obs, req: &Request) -> Response {
         "/" => Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
-            body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile /interference\n"
+            body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile \
+                   /interference /replicate/manifest /replicate/checkpoint/{id} \
+                   /replicate/wal/{seg}\n"
                 .to_string(),
+            raw: None,
         },
         _ => Response::error(404, "unknown path"),
     }
@@ -155,7 +194,8 @@ pub fn profile_families(snap: &psm_obs::ProfileSnapshot) -> MetricsSnapshot {
 
 /// Health summary derived purely from the metrics snapshot, so the
 /// server needs nothing beyond the shared `Obs` handle. Tier numbering
-/// follows `psm-fault`: 0 = parallel, 1 = sequential, 2 = naive; a run
+/// follows `psm-fault`: 0 = parallel, 1 = sequential, 2 = naive,
+/// 3 = promoted (a standby that took over after a primary kill); a run
 /// without a supervisor has no `fault.tier` gauge and reports
 /// `"unsupervised"`.
 pub fn healthz_json(snap: &MetricsSnapshot) -> String {
@@ -165,6 +205,7 @@ pub fn healthz_json(snap: &MetricsSnapshot) -> String {
         Some(0) => "parallel",
         Some(1) => "sequential",
         Some(2) => "naive",
+        Some(3) => "promoted",
         Some(_) => "unknown",
     };
     let last_miss = snap

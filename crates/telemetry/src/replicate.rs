@@ -1,0 +1,182 @@
+//! The replication plane: serving checkpoint and WAL artifacts over
+//! the telemetry listener, and fetching them back from a standby.
+//!
+//! The server side is transport-only: anything implementing
+//! [`ReplicaSource`] (in practice `psm-fault`'s `ReplicationStore`) can
+//! be attached to a [`crate::TelemetryServer`] via
+//! [`crate::TelemetryServer::start_with_replication`], which adds three
+//! endpoints to the plane:
+//!
+//! | Endpoint                      | Serves                                    |
+//! |-------------------------------|-------------------------------------------|
+//! | `/replicate/manifest`         | JSON: primary cycle, checkpoint chain, WAL segment list |
+//! | `/replicate/checkpoint/{id}`  | One checkpoint artifact (`PSMC` full or `PSMD` delta), binary |
+//! | `/replicate/wal/{seg}`        | One CRC-framed WAL segment (`PSML` v2), binary |
+//!
+//! The client side is [`HttpReplicaSource`]: the same trait implemented
+//! over [`crate::client::http_get_bytes`], so a standby's pull loop is
+//! written once and runs identically against an in-process store (unit
+//! tests) or a live primary across the wire (the failover smoke job).
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::client::http_get_bytes;
+use crate::http::{Request, Response};
+
+/// A source of replication artifacts. Implementations must be
+/// internally synchronized: the telemetry server calls from its worker
+/// threads while the primary keeps publishing.
+pub trait ReplicaSource: Send + Sync {
+    /// The JSON manifest of available artifacts, or `None` while the
+    /// primary has not published anything yet.
+    fn manifest(&self) -> Option<String>;
+    /// Serialized checkpoint artifact `id` (a `PSMC` full snapshot or
+    /// `PSMD` delta, as listed in the manifest).
+    fn checkpoint(&self, id: u64) -> Option<Vec<u8>>;
+    /// Serialized WAL segment `seq` (`PSML` v2, CRC-framed).
+    fn wal_segment(&self, seq: u64) -> Option<Vec<u8>>;
+}
+
+/// Routes `/replicate/*` requests against a source. Returns `None`
+/// when the path is not a replication path (the caller falls through
+/// to its own routing).
+pub fn route_replication(source: &dyn ReplicaSource, req: &Request) -> Option<Response> {
+    let rest = req.path.strip_prefix("/replicate/")?;
+    Some(match rest {
+        "manifest" => match source.manifest() {
+            Some(json) => Response::json(json),
+            None => Response::error(503, "replication source has no state yet"),
+        },
+        _ => {
+            let (kind, raw_id) = rest.split_once('/')?;
+            let Ok(id) = raw_id.parse::<u64>() else {
+                return Some(Response::error(400, "artifact id must be an integer"));
+            };
+            let artifact = match kind {
+                "checkpoint" => source.checkpoint(id),
+                "wal" => source.wal_segment(id),
+                _ => return None,
+            };
+            match artifact {
+                Some(bytes) => Response::binary(bytes),
+                None => Response::error(404, "unknown artifact"),
+            }
+        }
+    })
+}
+
+/// [`ReplicaSource`] over the wire: each call issues one GET against a
+/// primary's telemetry listener. Transport errors and non-200 statuses
+/// all collapse to `None` — a pull-based standby just retries on its
+/// next poll.
+#[derive(Debug, Clone)]
+pub struct HttpReplicaSource {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpReplicaSource {
+    /// A source reading from the telemetry listener at `addr`.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        HttpReplicaSource { addr, timeout }
+    }
+
+    fn get(&self, path: &str) -> Option<Vec<u8>> {
+        match http_get_bytes(self.addr, path, self.timeout) {
+            Ok((200, body)) => Some(body),
+            _ => None,
+        }
+    }
+}
+
+impl ReplicaSource for HttpReplicaSource {
+    fn manifest(&self) -> Option<String> {
+        self.get("/replicate/manifest")
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    fn checkpoint(&self, id: u64) -> Option<Vec<u8>> {
+        self.get(&format!("/replicate/checkpoint/{id}"))
+    }
+
+    fn wal_segment(&self, seq: u64) -> Option<Vec<u8>> {
+        self.get(&format!("/replicate/wal/{seq}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeSource;
+
+    impl ReplicaSource for FakeSource {
+        fn manifest(&self) -> Option<String> {
+            Some("{\"primary_cycle\":3}".to_string())
+        }
+        fn checkpoint(&self, id: u64) -> Option<Vec<u8>> {
+            (id == 0).then(|| vec![0xDE, 0xAD])
+        }
+        fn wal_segment(&self, seq: u64) -> Option<Vec<u8>> {
+            (seq == 1).then(|| vec![0xBE, 0xEF, 0x00])
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn replication_routes() {
+        let s = FakeSource;
+        let resp = route_replication(&s, &get("/replicate/manifest")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("primary_cycle"));
+
+        let resp = route_replication(&s, &get("/replicate/checkpoint/0")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.raw.as_deref(), Some(&[0xDE, 0xAD][..]));
+        assert_eq!(resp.content_type, "application/octet-stream");
+
+        let resp = route_replication(&s, &get("/replicate/wal/1")).unwrap();
+        assert_eq!(resp.body_bytes(), &[0xBE, 0xEF, 0x00]);
+
+        assert_eq!(
+            route_replication(&s, &get("/replicate/checkpoint/9"))
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            route_replication(&s, &get("/replicate/wal/nope"))
+                .unwrap()
+                .status,
+            400
+        );
+        assert!(route_replication(&s, &get("/metrics")).is_none());
+        assert!(route_replication(&s, &get("/replicate/other/1")).is_none());
+    }
+
+    #[test]
+    fn empty_source_is_503() {
+        struct Empty;
+        impl ReplicaSource for Empty {
+            fn manifest(&self) -> Option<String> {
+                None
+            }
+            fn checkpoint(&self, _: u64) -> Option<Vec<u8>> {
+                None
+            }
+            fn wal_segment(&self, _: u64) -> Option<Vec<u8>> {
+                None
+            }
+        }
+        let resp = route_replication(&Empty, &get("/replicate/manifest")).unwrap();
+        assert_eq!(resp.status, 503);
+    }
+}

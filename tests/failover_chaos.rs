@@ -1,0 +1,293 @@
+//! Chaos-verified failover: on every workload preset, killing the
+//! primary mid-run and promoting the warm standby produces a state
+//! byte-identical to a never-faulted sequential run of the same change
+//! stream.
+//!
+//! Three contracts layered on `chaos_recovery`'s:
+//!
+//! 1. **Failover parity** — a [`psm::fault::FailoverPair`] whose
+//!    [`psm::fault::FaultPlan`] schedules a fail-stop primary kill ends
+//!    at [`psm::fault::Tier::Promoted`] with the same conflict set,
+//!    Rete snapshot bytes, and working-memory bytes as the fault-free
+//!    reference — with background chaos faults hitting the primary
+//!    before it dies.
+//! 2. **Delta-chain restore** — replaying a `PSMD` delta chain from its
+//!    full anchor reconstructs the tip checkpoint byte-for-byte.
+//! 3. **Delta compression** — on the two largest presets, the mean
+//!    delta artifact is at least 3× smaller than the mean full
+//!    checkpoint artifact it replaces.
+
+use std::sync::Arc;
+
+use psm::fault::{
+    CheckpointChain, FailoverPair, FaultPlan, ReplicationConfig, ReplicationStore, Supervisor,
+    SupervisorConfig, Tier,
+};
+use psm::ops5::{Instantiation, Matcher, WmeId, WorkingMemory};
+use psm::rete::{Network, ReteMatcher};
+use psm::workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+struct Collecting<'a> {
+    inner: &'a mut ReteMatcher,
+    conflict: &'a mut std::collections::HashSet<Instantiation>,
+}
+
+impl Collecting<'_> {
+    fn fold(&mut self, d: psm::ops5::MatchDelta) {
+        for i in &d.removed {
+            self.conflict.remove(i);
+        }
+        for i in &d.added {
+            self.conflict.insert(i.clone());
+        }
+    }
+}
+
+impl Matcher for Collecting<'_> {
+    fn add_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> psm::ops5::MatchDelta {
+        let d = self.inner.add_wme(wm, id);
+        self.fold(d.clone());
+        d
+    }
+    fn remove_wme(&mut self, wm: &WorkingMemory, id: WmeId) -> psm::ops5::MatchDelta {
+        let d = self.inner.remove_wme(wm, id);
+        self.fold(d.clone());
+        d
+    }
+    fn algorithm_name(&self) -> &'static str {
+        "collecting"
+    }
+}
+
+/// Fault-free sequential reference. Returns the matcher, the sorted
+/// conflict set, and the final working-memory bytes.
+fn drive_reference(
+    workload: &GeneratedWorkload,
+    seed: u64,
+    cycles: u64,
+    network: &Arc<Network>,
+) -> (ReteMatcher, Vec<Instantiation>, Vec<u8>) {
+    let mut driver = WorkloadDriver::new(workload.clone(), seed);
+    let mut matcher = ReteMatcher::from_network(network.clone());
+    let mut conflict = std::collections::HashSet::new();
+    let mut collecting = Collecting {
+        inner: &mut matcher,
+        conflict: &mut conflict,
+    };
+    driver.init(&mut collecting);
+    for _ in 0..cycles {
+        let batch = driver.next_batch();
+        let delta = collecting.inner.process(driver.working_memory(), &batch);
+        collecting.fold(delta);
+        driver.commit_batch(&batch);
+    }
+    let wm_bytes = driver.working_memory().snapshot_bytes();
+    let mut sorted: Vec<_> = conflict.into_iter().collect();
+    sorted.sort_by(|a, b| (a.production, &a.wmes).cmp(&(b.production, &b.wmes)));
+    (matcher, sorted, wm_bytes)
+}
+
+fn fast_config() -> SupervisorConfig {
+    SupervisorConfig {
+        threads: 2,
+        backoff: std::time::Duration::from_micros(10),
+        checkpoint_every: 4,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn failover_roundtrip(preset: Preset, plan_seed: u64, driver_seed: u64, cycles: u64) {
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    // `WorkloadDriver::init` feeds one supervised cycle per initial
+    // WME, so the kill lands mid-way through the post-init stream.
+    let init_cycles = workload.spec.wm_size as u64;
+    let kill_at = init_cycles + cycles / 2;
+    let plan = Arc::new(
+        FaultPlan::randomized(plan_seed, init_cycles + cycles, 0.1).with_primary_kill(kill_at),
+    );
+
+    let replication = ReplicationConfig {
+        max_segment_bytes: 4 * 1024, // force rotation
+        anchor_every: 4,
+    };
+    let mut pair = FailoverPair::new(&workload.program, fast_config(), replication, Some(plan))
+        .expect("program compiles");
+    pair.set_poll_every(3);
+    let mut driver = WorkloadDriver::new(workload.clone(), driver_seed);
+    driver.init(&mut pair);
+    for _ in 0..cycles {
+        let batch = driver.next_batch();
+        pair.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+
+    // The kill happened, the standby caught up fully, and the promoted
+    // supervisor finished the stream.
+    let report = pair.report();
+    assert_eq!(
+        report.promoted_at,
+        Some(kill_at),
+        "{}: promotion at the planned kill cycle",
+        preset.name()
+    );
+    assert_eq!(
+        report.lag_at_promotion,
+        0,
+        "{}: synchronous publishing means zero lost cycles",
+        preset.name()
+    );
+    assert!(
+        report.rebases >= 1,
+        "{}: standby based itself",
+        preset.name()
+    );
+    assert_eq!(pair.tier(), Tier::Promoted, "{}", preset.name());
+
+    // Byte parity with the never-faulted reference.
+    let network = pair.active().network().clone();
+    let (reference, conflict, wm_bytes) = drive_reference(&workload, driver_seed, cycles, &network);
+    assert_eq!(
+        pair.active().conflict_set(),
+        conflict,
+        "{}: promoted conflict set diverged",
+        preset.name()
+    );
+    assert_eq!(
+        pair.active().committed_snapshot().as_bytes(),
+        reference.snapshot().as_bytes(),
+        "{}: promoted Rete state must be byte-exact",
+        preset.name()
+    );
+    assert_eq!(
+        pair.active().committed_wm_bytes(),
+        wm_bytes,
+        "{}: promoted working memory must be byte-exact",
+        preset.name()
+    );
+}
+
+#[test]
+fn failover_is_byte_exact_on_every_preset() {
+    for (i, preset) in Preset::all().iter().enumerate() {
+        failover_roundtrip(*preset, 0xFA11 + i as u64, 0x5EED + i as u64, 12);
+    }
+}
+
+#[test]
+fn failover_without_a_kill_never_promotes() {
+    let preset = Preset::EpSoar;
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    let mut pair = FailoverPair::new(
+        &workload.program,
+        fast_config(),
+        ReplicationConfig::default(),
+        None,
+    )
+    .expect("program compiles");
+    let mut driver = WorkloadDriver::new(workload.clone(), 7);
+    driver.init(&mut pair);
+    for _ in 0..8 {
+        let batch = driver.next_batch();
+        pair.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+    }
+    assert_eq!(pair.report().promoted_at, None);
+    assert_eq!(pair.tier(), Tier::Parallel, "nothing degraded");
+    let network = pair.active().network().clone();
+    let (reference, conflict, _) = drive_reference(&workload, 7, 8, &network);
+    assert_eq!(pair.active().conflict_set(), conflict);
+    assert_eq!(
+        pair.active().committed_snapshot().as_bytes(),
+        reference.snapshot().as_bytes()
+    );
+}
+
+/// Drives a plain supervisor with a replication store attached and
+/// returns (supervisor, store) for chain inspection.
+fn drive_replicated(
+    preset: Preset,
+    seed: u64,
+    cycles: u64,
+    replication: ReplicationConfig,
+) -> (
+    Supervisor,
+    Arc<ReplicationStore>,
+    Vec<psm::fault::Checkpoint>,
+) {
+    let workload = GeneratedWorkload::generate(preset.spec_small()).expect("workload generates");
+    let store = Arc::new(ReplicationStore::new(replication));
+    let mut sup = Supervisor::new(&workload.program, fast_config()).expect("compiles");
+    sup.attach_replication(store.clone());
+    let mut driver = WorkloadDriver::new(workload, seed);
+    let mut checkpoints = Vec::new();
+    let mut last_cp_cycle = u64::MAX;
+    driver.init(&mut sup);
+    for _ in 0..cycles {
+        let batch = driver.next_batch();
+        sup.process(driver.working_memory(), &batch);
+        driver.commit_batch(&batch);
+        let cp = sup.last_checkpoint();
+        if cp.cycle != last_cp_cycle {
+            last_cp_cycle = cp.cycle;
+            checkpoints.push(cp.clone());
+        }
+    }
+    (sup, store, checkpoints)
+}
+
+#[test]
+fn delta_chain_restore_equals_full_restore() {
+    let (_sup, _store, checkpoints) = drive_replicated(
+        Preset::EpSoar,
+        21,
+        16,
+        ReplicationConfig {
+            anchor_every: 1000, // everything after genesis ships as a delta
+            ..ReplicationConfig::default()
+        },
+    );
+    assert!(checkpoints.len() >= 3, "enough checkpoints to chain");
+
+    let mut chain = CheckpointChain::new(&checkpoints[0], 1000);
+    for cp in &checkpoints[1..] {
+        let artifact = chain.push(cp);
+        assert!(!artifact.is_full(), "anchor_every=1000 ships deltas");
+    }
+    let restored = chain.restore_tip().expect("chain replays");
+    let tip = checkpoints.last().unwrap();
+    assert_eq!(
+        restored.to_bytes(),
+        tip.to_bytes(),
+        "anchor + delta replay reconstructs the tip byte-for-byte"
+    );
+    // And through the store's own chain (which re-anchors periodically).
+    let (sup2, store2, _) = drive_replicated(Preset::EpSoar, 21, 16, ReplicationConfig::default());
+    let stats = store2.stats();
+    assert!(stats.full_count >= 1 && stats.delta_count >= 1);
+    assert_eq!(stats.primary_cycle, sup2.cycles());
+}
+
+#[test]
+fn delta_artifacts_are_3x_smaller_on_the_two_largest_presets() {
+    let mut presets: Vec<Preset> = Preset::all().to_vec();
+    presets.sort_by_key(|p| std::cmp::Reverse(p.spec_small().wm_size));
+    for &preset in &presets[..2] {
+        let (_, store, _) = drive_replicated(preset, 33, 24, ReplicationConfig::default());
+        let stats = store.stats();
+        assert!(
+            stats.full_count >= 1 && stats.delta_count >= 2,
+            "{}: both artifact kinds present (full={}, delta={})",
+            preset.name(),
+            stats.full_count,
+            stats.delta_count
+        );
+        let mean_full = stats.full_bytes as f64 / stats.full_count as f64;
+        let mean_delta = stats.delta_bytes as f64 / stats.delta_count as f64;
+        assert!(
+            mean_full >= 3.0 * mean_delta,
+            "{}: delta checkpoints must be ≥3× smaller (full ≈ {mean_full:.0} B, \
+             delta ≈ {mean_delta:.0} B)",
+            preset.name()
+        );
+    }
+}
