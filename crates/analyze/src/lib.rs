@@ -29,6 +29,12 @@
 //!   (TREAT ≤ Rete ≤ Oflazer — the model guarantees the ordering
 //!   structurally, because Rete's prefix combinations are a subset of
 //!   Oflazer's subset combinations).
+//! * [`regress`] — noise-aware performance-regression detection:
+//!   order-statistic paired deltas, a seeded bootstrap confidence
+//!   interval on the median delta, and a sign criterion, combined so a
+//!   seeded 2× slowdown always trips and unchanged code never flakes.
+//!   The `perf_gate` bench binary fronts this pass against
+//!   `results/bench_history.jsonl`.
 //! * [`crosscheck`] — runs the model's predictions against measured
 //!   traces (synthetic presets and the real blocks-world program) and
 //!   reports the prediction error.
@@ -51,6 +57,7 @@ pub mod cost;
 pub mod crosscheck;
 pub mod interference;
 pub mod lint;
+pub mod regress;
 
 pub use calibrate::{calibrate_workload, folded_stacks, CalibrationReport, JoinCalibration};
 pub use cost::{
@@ -65,3 +72,4 @@ pub use interference::{
     InterferenceAnalysis, InterferencePair, ProductionFootprint, Touch, Touchprint,
 };
 pub use lint::{is_clean, lint_program, Diagnostic, Severity, LINT_CODES};
+pub use regress::{compare_paired, Comparison, RegressConfig, Verdict};

@@ -1,0 +1,354 @@
+//! Noise-aware performance-regression detection over paired samples.
+//!
+//! The trajectory plane records per-rep elapsed times for every preset
+//! (`results/bench_history.jsonl`); the `perf_gate` binary re-measures
+//! the same workloads and asks this module whether the change is a
+//! *confirmed* regression or runner noise. The discipline mirrors the
+//! PR 6 profiler-overhead gate: pair samples, summarize paired deltas
+//! with robust statistics, and demand agreement from several
+//! independent criteria before failing a build.
+//!
+//! Samples from the two runs are paired by **order statistic** (both
+//! vectors sorted, rank *i* against rank *i*): the runs happen at
+//! different times so true repetition pairing is impossible, but
+//! order-statistic pairing compares like against like — fastest vs
+//! fastest, noisiest tail vs noisiest tail — which keeps the paired
+//! deltas tight when the underlying distribution is unchanged. A
+//! confirmed regression requires **all** of:
+//!
+//! 1. the median paired relative delta exceeds
+//!    [`RegressConfig::median_floor`] (the noise floor),
+//! 2. the seeded-bootstrap confidence interval on that median sits
+//!    entirely above [`RegressConfig::ci_floor`] — the observed shift
+//!    is not explained by resampling variation,
+//! 3. at least [`RegressConfig::min_frac_slower`] of the pairs got
+//!    slower (a sign / rank criterion — one polluted rep cannot drag
+//!    the verdict).
+//!
+//! A ≥2× slowdown trips all three criteria by an order of magnitude; a
+//! machine having a noisy minute trips at most one. [`Verdict::Improved`]
+//! applies the same three tests mirrored, so trajectories can celebrate
+//! wins with the same confidence they flag losses.
+
+use psm_obs::Rng64;
+
+/// Thresholds and bootstrap parameters for [`compare_paired`].
+#[derive(Debug, Clone)]
+pub struct RegressConfig {
+    /// Median paired relative delta ((cur − base) / base) above which a
+    /// slowdown is big enough to matter.
+    pub median_floor: f64,
+    /// The bootstrap CI on the median delta must sit entirely above
+    /// this for a regression (below its negation for an improvement).
+    pub ci_floor: f64,
+    /// Minimum fraction of pairs that must agree on the direction.
+    pub min_frac_slower: f64,
+    /// Bootstrap resamples.
+    pub bootstrap_iters: usize,
+    /// Two-sided confidence level of the bootstrap interval (e.g. 0.95).
+    pub confidence: f64,
+    /// Bootstrap RNG seed (fixed → the gate is deterministic given the
+    /// same samples).
+    pub seed: u64,
+    /// Fewer paired samples than this yields [`Verdict::Inconclusive`].
+    pub min_pairs: usize,
+}
+
+impl Default for RegressConfig {
+    fn default() -> Self {
+        RegressConfig {
+            // Shared CI runners routinely jitter single-digit percents;
+            // a real hot-path regression worth failing a build moves
+            // ≥25%, and the acceptance target (2×) moves 100%.
+            median_floor: 0.25,
+            ci_floor: 0.10,
+            min_frac_slower: 0.75,
+            bootstrap_iters: 2000,
+            confidence: 0.95,
+            seed: 0x9E55_1015_D00D_F00D,
+            min_pairs: 4,
+        }
+    }
+}
+
+/// Outcome of one paired comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No confirmed change in either direction.
+    Ok,
+    /// All three criteria agree the workload got slower.
+    Regressed,
+    /// All three criteria agree the workload got faster.
+    Improved,
+    /// Too few samples to say anything.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Stable lowercase label for JSON and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "regressed",
+            Verdict::Improved => "improved",
+            Verdict::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+/// One metric's paired comparison: the numbers behind the verdict, all
+/// preserved so `perf_gate.json` can be audited after the fact.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What was compared (preset name, metric label).
+    pub metric: String,
+    /// Median of the baseline samples.
+    pub baseline_median: f64,
+    /// Median of the current samples.
+    pub current_median: f64,
+    /// Number of order-statistic pairs.
+    pub pairs: usize,
+    /// Median paired relative delta ((cur − base) / base; positive =
+    /// slower when samples are times).
+    pub median_delta: f64,
+    /// Bootstrap CI lower bound on the median delta.
+    pub ci_low: f64,
+    /// Bootstrap CI upper bound on the median delta.
+    pub ci_high: f64,
+    /// Fraction of pairs with a positive delta (slower).
+    pub frac_slower: f64,
+    /// The verdict under the supplied config.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// The comparison as a JSON object.
+    pub fn to_json(&self) -> String {
+        use psm_obs::json::{number, push_escaped};
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"metric\":");
+        push_escaped(&mut out, &self.metric);
+        out.push_str(&format!(
+            ",\"baseline_median\":{},\"current_median\":{},\"pairs\":{},\
+             \"median_delta\":{},\"ci_low\":{},\"ci_high\":{},\
+             \"frac_slower\":{},\"verdict\":\"{}\"}}",
+            number(self.baseline_median),
+            number(self.current_median),
+            self.pairs,
+            number(self.median_delta),
+            number(self.ci_low),
+            number(self.ci_high),
+            number(self.frac_slower),
+            self.verdict.label(),
+        ));
+        out
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Percentile by nearest-rank on a sorted copy, `q` in `[0,1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Compares `current` against `baseline` (both vectors of the same
+/// measurement, e.g. per-rep elapsed seconds where **lower is better**)
+/// and renders a [`Verdict`] under `cfg`. Samples are paired by order
+/// statistic; surplus samples on the longer side are ignored from the
+/// slow tail inward, never the fast edge.
+pub fn compare_paired(
+    metric: &str,
+    baseline: &[f64],
+    current: &[f64],
+    cfg: &RegressConfig,
+) -> Comparison {
+    let mut base: Vec<f64> = baseline.iter().copied().filter(|v| *v > 0.0).collect();
+    let mut cur: Vec<f64> = current.iter().copied().filter(|v| *v > 0.0).collect();
+    base.sort_by(f64::total_cmp);
+    cur.sort_by(f64::total_cmp);
+    let n = base.len().min(cur.len());
+    let baseline_median = median(&base);
+    let current_median = median(&cur);
+    if n < cfg.min_pairs {
+        return Comparison {
+            metric: metric.to_string(),
+            baseline_median,
+            current_median,
+            pairs: n,
+            median_delta: 0.0,
+            ci_low: 0.0,
+            ci_high: 0.0,
+            frac_slower: 0.0,
+            verdict: Verdict::Inconclusive,
+        };
+    }
+    let deltas: Vec<f64> = (0..n).map(|i| (cur[i] - base[i]) / base[i]).collect();
+    let median_delta = median(&deltas);
+    let frac_slower = deltas.iter().filter(|d| **d > 0.0).count() as f64 / n as f64;
+
+    // Seeded bootstrap over the paired deltas: resample n pairs with
+    // replacement, take the median, and read the two-sided interval
+    // off the resampled medians.
+    let mut rng = Rng64::new(cfg.seed);
+    let mut medians = Vec::with_capacity(cfg.bootstrap_iters);
+    let mut resample = vec![0.0f64; n];
+    for _ in 0..cfg.bootstrap_iters {
+        for slot in resample.iter_mut() {
+            *slot = deltas[(rng.next_u64() % n as u64) as usize];
+        }
+        medians.push(median(&resample));
+    }
+    medians.sort_by(f64::total_cmp);
+    let alpha = (1.0 - cfg.confidence) / 2.0;
+    let ci_low = percentile(&medians, alpha);
+    let ci_high = percentile(&medians, 1.0 - alpha);
+
+    let regressed = median_delta >= cfg.median_floor
+        && ci_low >= cfg.ci_floor
+        && frac_slower >= cfg.min_frac_slower;
+    // Mirrored criteria; relative deltas are asymmetric (a 2× slowdown
+    // is +1.0, the matching speed-up is −0.5) so the improvement floors
+    // are halved.
+    let improved = median_delta <= -cfg.median_floor / 2.0
+        && ci_high <= -cfg.ci_floor / 2.0
+        && (1.0 - frac_slower) >= cfg.min_frac_slower;
+    let verdict = if regressed {
+        Verdict::Regressed
+    } else if improved {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    };
+    Comparison {
+        metric: metric.to_string(),
+        baseline_median,
+        current_median,
+        pairs: n,
+        median_delta,
+        ci_low,
+        ci_high,
+        frac_slower,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noisy samples around `center` with ±`jitter`
+    /// relative spread.
+    fn noisy(center: f64, jitter: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                let u = (rng.next_u64() % 10_000) as f64 / 10_000.0; // [0,1)
+                center * (1.0 + jitter * (2.0 * u - 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unchanged_code_is_ok_across_many_seeds() {
+        let cfg = RegressConfig::default();
+        // 40 independent "CI runs" of unchanged code with 8% jitter:
+        // none may flake to Regressed.
+        for seed in 0..40u64 {
+            let base = noisy(0.100, 0.08, 7, 1000 + seed);
+            let cur = noisy(0.100, 0.08, 7, 2000 + seed);
+            let c = compare_paired("same", &base, &cur, &cfg);
+            assert_ne!(c.verdict, Verdict::Regressed, "seed {seed} flaked: {c:?}");
+        }
+    }
+
+    #[test]
+    fn two_x_slowdown_is_confirmed() {
+        let cfg = RegressConfig::default();
+        for seed in 0..10u64 {
+            let base = noisy(0.100, 0.08, 7, 3000 + seed);
+            let cur = noisy(0.200, 0.08, 7, 4000 + seed);
+            let c = compare_paired("slow", &base, &cur, &cfg);
+            assert_eq!(c.verdict, Verdict::Regressed, "seed {seed}: {c:?}");
+            assert!(c.median_delta > 0.5);
+            assert!(c.ci_low > cfg.ci_floor);
+        }
+    }
+
+    #[test]
+    fn halved_time_is_improved() {
+        let cfg = RegressConfig::default();
+        let base = noisy(0.200, 0.05, 9, 7);
+        let cur = noisy(0.100, 0.05, 9, 8);
+        let c = compare_paired("fast", &base, &cur, &cfg);
+        assert_eq!(c.verdict, Verdict::Improved);
+        assert!(c.median_delta < -0.3);
+    }
+
+    #[test]
+    fn single_polluted_rep_does_not_regress() {
+        let cfg = RegressConfig::default();
+        let base = noisy(0.100, 0.03, 7, 11);
+        let mut cur = noisy(0.100, 0.03, 7, 12);
+        cur[3] *= 10.0; // one rep hit a noisy neighbour
+        let c = compare_paired("spike", &base, &cur, &cfg);
+        assert_ne!(c.verdict, Verdict::Regressed, "{c:?}");
+    }
+
+    #[test]
+    fn too_few_pairs_is_inconclusive() {
+        let cfg = RegressConfig::default();
+        let c = compare_paired("tiny", &[0.1, 0.1], &[0.3, 0.3], &cfg);
+        assert_eq!(c.verdict, Verdict::Inconclusive);
+        assert_eq!(c.pairs, 2);
+    }
+
+    #[test]
+    fn comparison_json_is_parseable_and_deterministic() {
+        let cfg = RegressConfig::default();
+        let base = noisy(0.1, 0.05, 7, 21);
+        let cur = noisy(0.25, 0.05, 7, 22);
+        let a = compare_paired("vt", &base, &cur, &cfg);
+        let b = compare_paired("vt", &base, &cur, &cfg);
+        assert_eq!(a.ci_low, b.ci_low, "fixed seed → deterministic CI");
+        let j = a.to_json();
+        assert!(j.contains("\"metric\":\"vt\""));
+        assert!(j.contains("\"verdict\":\"regressed\""));
+        assert!(
+            psm_telemetry_free_parse(&j),
+            "JSON must be machine-readable"
+        );
+    }
+
+    /// Cheap well-formedness check without depending on psm-telemetry's
+    /// parser (analyze must not depend on telemetry).
+    fn psm_telemetry_free_parse(j: &str) -> bool {
+        j.starts_with('{') && j.ends_with('}') && j.matches('{').count() == j.matches('}').count()
+    }
+
+    #[test]
+    fn nonpositive_samples_are_dropped() {
+        let cfg = RegressConfig {
+            min_pairs: 2,
+            ..RegressConfig::default()
+        };
+        let c = compare_paired("z", &[0.0, 0.1, 0.1, -1.0], &[0.1, 0.1], &cfg);
+        assert_eq!(c.pairs, 2);
+    }
+}

@@ -17,15 +17,24 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ops5::{parse_program, parse_wmes, Interpreter, Matcher};
+use psm_bench::trajectory::{
+    append_history, fingerprint, git_commit, measure_reps, read_history, unix_now,
+    write_trajectory_artifact, PresetTrack, TrajectoryRecord,
+};
 use psm_bench::{f, print_table, CliOptions, Variant};
 use psm_core::{ParallelOptions, ParallelReteMatcher, WorkerStats};
-use psm_obs::{HistogramSnapshot, Obs};
+use psm_obs::{HistogramSnapshot, Obs, Sampler};
 use psm_telemetry::{TelemetryConfig, TelemetryServer};
 use rete::ReteMatcher;
 use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
+
+/// Interleaved per-preset reps recorded into the history record; the
+/// `perf_gate` binary re-measures the same count so the paired
+/// comparison in `psm_analyze::regress` lines rank against rank.
+const PERF_GATE_REPS: usize = 7;
 
 fn out_dir() -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -231,40 +240,62 @@ fn run_parallel_engine(threads: usize, iterations: usize) -> EngineBaseline {
 /// production, so its cost over the rest of the plane must stay small.
 const PROFILER_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
+/// Ceiling for the history-ring sampler's marginal overhead on a fully
+/// instrumented run (percent). Sampling happens on a background thread
+/// off the hot path; at a 5 ms cadence its cost must stay in the noise.
+const SAMPLER_OVERHEAD_CEILING_PCT: f64 = 1.0;
+
 /// Measured overheads on one preset:
 ///
 /// * telemetry plane on vs off — bare matcher vs live listener +
 ///   flight ring + per-batch histogram records,
 /// * per-node join profiler on vs the same telemetry-on run with
 ///   profiling disabled (capacity 0) — the marginal cost of keeping
-///   the profiler always on.
+///   the profiler always on,
+/// * history-ring sampler on vs the same profiled run without a ring —
+///   the marginal cost of 5 ms-cadence time-series sampling.
 ///
-/// Returns `(off_s, on_s, delta_pct, prof_s, prof_delta_pct)`.
-fn overhead_delta(cycles: u64) -> (f64, f64, f64, f64, f64) {
+/// Returns `(off_s, on_s, delta_pct, prof_s, prof_delta_pct,
+/// sampled_s, sampler_delta_pct)`.
+#[allow(clippy::type_complexity)]
+fn overhead_delta(cycles: u64) -> (f64, f64, f64, f64, f64, f64, f64) {
     #[derive(Clone, Copy, PartialEq)]
     enum Config {
         Bare,
         Telemetry,
         Profiled,
+        Sampled,
     }
     let spec = Preset::Vt.spec_small();
     let workload = GeneratedWorkload::generate(spec).expect("workload generates");
 
     let run_once = |config: Config| -> f64 {
         let mut matcher = ReteMatcher::compile(&workload.program).expect("compiles");
-        let _plane = if config == Config::Bare {
-            None
+        let (_plane, sampler) = if config == Config::Bare {
+            (None, None)
         } else {
-            let profile = if config == Config::Profiled { 4096 } else { 0 };
-            let obs = Arc::new(Obs::with_profile(1024, 4096, profile));
+            let (profile, history) = match config {
+                Config::Bare | Config::Telemetry => (0, 0),
+                Config::Profiled => (4096, 0),
+                Config::Sampled => (4096, 64),
+            };
+            let obs = Arc::new(Obs::with_history(1024, 4096, profile, history));
             matcher.attach_obs(Arc::clone(&obs));
-            Some(TelemetryServer::start(obs, &TelemetryConfig::default()).expect("listener binds"))
+            let plane = TelemetryServer::start(Arc::clone(&obs), &TelemetryConfig::default())
+                .expect("listener binds");
+            let sampler =
+                (config == Config::Sampled).then(|| Sampler::start(obs, Duration::from_millis(5)));
+            (Some(plane), sampler)
         };
         let mut driver = WorkloadDriver::new(workload.clone(), 0xFEED);
         driver.init(&mut matcher);
         let started = Instant::now();
         driver.run_cycles(&mut matcher, cycles);
-        started.elapsed().as_secs_f64()
+        let elapsed = started.elapsed().as_secs_f64();
+        if let Some(s) = sampler {
+            s.stop();
+        }
+        elapsed
     };
 
     // Warm up, then measure the three configurations back-to-back per
@@ -294,17 +325,22 @@ fn overhead_delta(cycles: u64) -> (f64, f64, f64, f64, f64) {
         xs.sort_by(f64::total_cmp);
         xs[xs.len() / 2]
     };
-    let (mut offs, mut ons, mut profs) = (Vec::new(), Vec::new(), Vec::new());
-    let (mut tel_deltas, mut prof_deltas) = (Vec::new(), Vec::new());
+    let (mut offs, mut ons, mut profs, mut sampleds) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut tel_deltas, mut prof_deltas, mut sampler_deltas) =
+        (Vec::new(), Vec::new(), Vec::new());
     for _ in 0..9 {
         let off = run_once(Config::Bare);
         let on = run_once(Config::Telemetry);
         let prof = run_once(Config::Profiled);
+        let sampled = run_once(Config::Sampled);
         tel_deltas.push(pct(off, on));
         prof_deltas.push(pct(on, prof));
+        sampler_deltas.push(pct(prof, sampled));
         offs.push(off);
         ons.push(on);
         profs.push(prof);
+        sampleds.push(sampled);
     }
     (
         median(offs),
@@ -312,6 +348,8 @@ fn overhead_delta(cycles: u64) -> (f64, f64, f64, f64, f64) {
         quartile(tel_deltas),
         median(profs),
         quartile(prof_deltas),
+        median(sampleds),
+        quartile(sampler_deltas),
     )
 }
 
@@ -391,7 +429,7 @@ fn main() {
 
     // Overhead runs need windows long enough (~100 ms) that scheduler
     // jitter stays small against the per-cent deltas being gated.
-    let (off_s, on_s, delta_pct, prof_s, prof_delta_pct) =
+    let (off_s, on_s, delta_pct, prof_s, prof_delta_pct, sampled_s, sampler_delta_pct) =
         overhead_delta(opts.cycles.clamp(2400, 4800));
     println!(
         "\ntelemetry overhead (vt small): off {} s, on {} s, delta {}%",
@@ -406,11 +444,26 @@ fn main() {
         f(prof_delta_pct, 2),
         PROFILER_OVERHEAD_CEILING_PCT
     );
+    println!(
+        "sampler overhead (vt small, 5 ms cadence): base {} s, sampled {} s, delta {}% (ceiling {}%)",
+        f(prof_s, 4),
+        f(sampled_s, 4),
+        f(sampler_delta_pct, 2),
+        SAMPLER_OVERHEAD_CEILING_PCT
+    );
     if prof_delta_pct > PROFILER_OVERHEAD_CEILING_PCT {
         eprintln!(
             "bench_baseline: profiler overhead {}% above ceiling {}%",
             f(prof_delta_pct, 2),
             PROFILER_OVERHEAD_CEILING_PCT
+        );
+        std::process::exit(1);
+    }
+    if sampler_delta_pct > SAMPLER_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "bench_baseline: history-ring sampler overhead {}% above ceiling {}%",
+            f(sampler_delta_pct, 2),
+            SAMPLER_OVERHEAD_CEILING_PCT
         );
         std::process::exit(1);
     }
@@ -471,14 +524,19 @@ fn main() {
     json.push_str(&format!(
         "]}},\"telemetry_overhead\":{{\"off_s\":{},\"on_s\":{},\"delta_pct\":{}}},\
          \"profiler_overhead\":{{\"base_s\":{},\"profiled_s\":{},\"delta_pct\":{},\
-         \"ceiling_pct\":{}}}}}",
+         \"ceiling_pct\":{}}},\"sampler_overhead\":{{\"base_s\":{},\"sampled_s\":{},\
+         \"delta_pct\":{},\"ceiling_pct\":{}}}}}",
         psm_obs::json::number(off_s),
         psm_obs::json::number(on_s),
         psm_obs::json::number(delta_pct),
         psm_obs::json::number(on_s),
         psm_obs::json::number(prof_s),
         psm_obs::json::number(prof_delta_pct),
-        psm_obs::json::number(PROFILER_OVERHEAD_CEILING_PCT)
+        psm_obs::json::number(PROFILER_OVERHEAD_CEILING_PCT),
+        psm_obs::json::number(prof_s),
+        psm_obs::json::number(sampled_s),
+        psm_obs::json::number(sampler_delta_pct),
+        psm_obs::json::number(SAMPLER_OVERHEAD_CEILING_PCT)
     ));
 
     let path = format!("{out}/bench_baseline.json");
@@ -487,5 +545,57 @@ fn main() {
     } else {
         eprintln!("could not write {path}");
         std::process::exit(1);
+    }
+
+    // Trajectory: interleaved per-rep samples for the regression gate,
+    // appended as one fingerprinted JSONL record, plus the BENCH_9
+    // artifact summarizing the whole history.
+    let rep_cycles = opts.cycles.clamp(600, 2400);
+    let tracks = measure_reps(&Preset::all(), variant, rep_cycles, PERF_GATE_REPS);
+    let presets_json: Vec<PresetTrack> = tracks
+        .into_iter()
+        .map(|(name, reps_s)| {
+            let b = baselines.iter().find(|b| b.name == name);
+            PresetTrack {
+                name,
+                wme_changes_per_sec: b.map(|b| b.wme_changes_per_sec).unwrap_or(0.0),
+                match_p50_ns: b.map(|b| b.phases[0].1.quantile_bound(0.5)).unwrap_or(0),
+                match_p99_ns: b.map(|b| b.phases[0].1.quantile_bound(0.99)).unwrap_or(0),
+                reps_s,
+            }
+        })
+        .collect();
+    let record = TrajectoryRecord {
+        ts: unix_now(),
+        commit: git_commit(),
+        variant: if matches!(variant, Variant::Small) {
+            "small".to_string()
+        } else {
+            "full".to_string()
+        },
+        rep_cycles,
+        fingerprint: fingerprint(),
+        presets: presets_json,
+        idle_share: engine.idle_share(),
+        telemetry_overhead_pct: delta_pct,
+        profiler_overhead_pct: prof_delta_pct,
+        sampler_overhead_pct: sampler_delta_pct,
+    };
+    let history_path = format!("{out}/bench_history.jsonl");
+    match append_history(&history_path, &record) {
+        Ok(()) => println!("appended {history_path} (commit {})", record.commit),
+        Err(e) => {
+            eprintln!("could not append {history_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let artifact_path = format!("{out}/BENCH_9.json");
+    let history = read_history(&history_path);
+    match write_trajectory_artifact(&artifact_path, &history) {
+        Ok(()) => println!("wrote {artifact_path} ({} records)", history.len()),
+        Err(e) => {
+            eprintln!("could not write {artifact_path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

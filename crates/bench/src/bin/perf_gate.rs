@@ -1,0 +1,244 @@
+//! Statistical performance-regression gate against the recorded
+//! trajectory (`results/bench_history.jsonl`).
+//!
+//! Re-measures every preset with the same interleaved-rep discipline
+//! `bench_baseline` used to record the baseline, then asks
+//! `psm_analyze::regress` whether the paired deltas show a *confirmed*
+//! regression: median paired delta over the noise floor, a seeded
+//! bootstrap CI clear of zero, and a sign criterion, all at once. The
+//! design goal is asymmetric: a seeded ≥2× slowdown must always trip,
+//! unchanged code must never flake.
+//!
+//! Cross-host safety: when the baseline's machine fingerprint (CPU
+//! count + model string) differs from this host, verdicts are still
+//! computed and reported but the gate **warns instead of failing** —
+//! different hardware legitimately shifts absolute times.
+//!
+//! ```sh
+//! cargo run --release -p psm-bench --bin perf_gate -- --small
+//! # CI self-test: prove the gate trips on a real slowdown
+//! PSM_PERF_SLOWDOWN=2.0 cargo run --release -p psm-bench \
+//!     --bin perf_gate -- --small --expect-regression
+//! ```
+//!
+//! Exit codes: 0 = ok (or warn-only), 1 = confirmed regression (or a
+//! failed `--expect-regression` self-test). Always writes
+//! `results/perf_gate.json`.
+
+use psm_analyze::regress::{compare_paired, Comparison, RegressConfig, Verdict};
+use psm_bench::trajectory::{
+    fingerprint, git_commit, measure_reps, read_history, slowdown_multiplier, Fingerprint,
+    TrajectoryRecord,
+};
+use psm_bench::{f, print_table, CliOptions, Variant};
+use workloads::Preset;
+
+fn out_dir() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string())
+}
+
+fn fingerprint_json(fp: &Fingerprint) -> String {
+    let mut out = format!("{{\"cpus\":{},\"model\":", fp.cpus);
+    psm_obs::json::push_escaped(&mut out, &fp.model);
+    out.push('}');
+    out
+}
+
+fn write_report(
+    out: &str,
+    status: &str,
+    baseline: Option<&TrajectoryRecord>,
+    comparisons: &[Comparison],
+) {
+    let mut json = format!("{{\"status\":\"{status}\",\"current\":{{\"commit\":");
+    psm_obs::json::push_escaped(&mut json, &git_commit());
+    json.push_str(",\"fingerprint\":");
+    json.push_str(&fingerprint_json(&fingerprint()));
+    json.push_str(&format!(
+        ",\"slowdown_multiplier\":{}}}",
+        psm_obs::json::number(slowdown_multiplier())
+    ));
+    json.push_str(",\"baseline\":");
+    match baseline {
+        Some(b) => {
+            json.push_str(&format!("{{\"ts\":{},\"commit\":", b.ts));
+            psm_obs::json::push_escaped(&mut json, &b.commit);
+            json.push_str(&format!(
+                ",\"variant\":\"{}\",\"rep_cycles\":{},\"fingerprint\":",
+                b.variant, b.rep_cycles
+            ));
+            json.push_str(&fingerprint_json(&b.fingerprint));
+            json.push('}');
+        }
+        None => json.push_str("null"),
+    }
+    json.push_str(",\"comparisons\":[");
+    for (i, c) in comparisons.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&c.to_json());
+    }
+    json.push_str("],\"regressed\":[");
+    let mut first = true;
+    for c in comparisons {
+        if c.verdict == Verdict::Regressed {
+            if !first {
+                json.push(',');
+            }
+            psm_obs::json::push_escaped(&mut json, &c.metric);
+            first = false;
+        }
+    }
+    json.push_str("]}");
+    let path = format!("{out}/perf_gate.json");
+    if std::fs::create_dir_all(out).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("wrote {path}");
+    } else {
+        eprintln!("could not write {path}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let opts = CliOptions::parse(200);
+    let out = out_dir();
+    let expect_regression = std::env::args().any(|a| a == "--expect-regression");
+    let variant_name = if opts.small { "small" } else { "full" };
+
+    // Latest baseline record matching this variant: records from the
+    // other variant measure different workload sizes and never pair.
+    let history = read_history(&format!("{out}/bench_history.jsonl"));
+    let Some(baseline) = history.iter().rev().find(|r| r.variant == variant_name) else {
+        println!(
+            "perf_gate: no {variant_name} baseline in {out}/bench_history.jsonl — \
+             run bench_baseline first; passing"
+        );
+        write_report(&out, "no-baseline", None, &[]);
+        if expect_regression {
+            eprintln!("perf_gate: --expect-regression needs a baseline");
+            std::process::exit(1);
+        }
+        return;
+    };
+
+    let current_fp = fingerprint();
+    let same_host = current_fp == baseline.fingerprint;
+    if !same_host {
+        println!(
+            "perf_gate: fingerprint mismatch — baseline {} cpus \"{}\" vs current {} cpus \"{}\"; \
+             verdicts reported but the gate will only warn",
+            baseline.fingerprint.cpus,
+            baseline.fingerprint.model,
+            current_fp.cpus,
+            current_fp.model
+        );
+    }
+
+    let variant = if opts.small {
+        Variant::Small
+    } else {
+        Variant::Standard
+    };
+    let reps = baseline
+        .presets
+        .iter()
+        .map(|p| p.reps_s.len())
+        .max()
+        .unwrap_or(7);
+    let mult = slowdown_multiplier();
+    if mult > 1.0 {
+        println!("perf_gate: PSM_PERF_SLOWDOWN={mult} — measured windows stretched {mult}x");
+    }
+    let current = measure_reps(&Preset::all(), variant, baseline.rep_cycles, reps);
+
+    let cfg = RegressConfig::default();
+    let mut comparisons = Vec::new();
+    let mut rows = Vec::new();
+    for (name, cur_reps) in &current {
+        let Some(base) = baseline.presets.iter().find(|p| &p.name == name) else {
+            continue;
+        };
+        let c = compare_paired(name, &base.reps_s, cur_reps, &cfg);
+        rows.push(vec![
+            c.metric.clone(),
+            format!("{:.1}ms", c.baseline_median * 1e3),
+            format!("{:.1}ms", c.current_median * 1e3),
+            format!("{:+.1}%", c.median_delta * 100.0),
+            format!("[{:+.1}%, {:+.1}%]", c.ci_low * 100.0, c.ci_high * 100.0),
+            f(c.frac_slower, 2),
+            c.verdict.label().to_string(),
+        ]);
+        comparisons.push(c);
+    }
+    print_table(
+        &format!(
+            "perf_gate: {} presets vs baseline {} ({})",
+            variant_name,
+            &baseline.commit[..baseline.commit.len().min(10)],
+            baseline.variant
+        ),
+        &[
+            "preset", "base med", "cur med", "delta", "95% CI", "frac>", "verdict",
+        ],
+        &rows,
+    );
+
+    let regressed: Vec<&Comparison> = comparisons
+        .iter()
+        .filter(|c| c.verdict == Verdict::Regressed)
+        .collect();
+
+    if expect_regression {
+        // Self-test mode: the CI job injects PSM_PERF_SLOWDOWN and
+        // requires the gate to confirm it on at least two presets.
+        write_report(&out, "self-test", Some(baseline), &comparisons);
+        if regressed.len() >= 2 {
+            println!(
+                "perf_gate self-test: seeded slowdown confirmed on {} presets — gate works",
+                regressed.len()
+            );
+        } else {
+            eprintln!(
+                "perf_gate self-test FAILED: seeded slowdown confirmed on only {} preset(s), need 2",
+                regressed.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let status = if regressed.is_empty() {
+        "ok"
+    } else if same_host {
+        "regressed"
+    } else {
+        "fingerprint-mismatch"
+    };
+    write_report(&out, status, Some(baseline), &comparisons);
+    if regressed.is_empty() {
+        println!("perf_gate: no confirmed regression");
+    } else if !same_host {
+        println!(
+            "perf_gate: {} preset(s) look regressed but the baseline is from different \
+             hardware — warning only",
+            regressed.len()
+        );
+    } else {
+        eprintln!(
+            "perf_gate: CONFIRMED regression on {} preset(s): {}",
+            regressed.len(),
+            regressed
+                .iter()
+                .map(|c| c.metric.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+}

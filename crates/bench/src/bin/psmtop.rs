@@ -16,20 +16,29 @@
 //!   exact figures are shown too,
 //! * a hot-nodes panel (from `/profile`): the top-8 Rete nodes by
 //!   pairs-compared share in the current window, with their measured
-//!   join selectivity.
+//!   join selectivity,
+//! * sparkline trends (from `/timeseries`, when the target runs a
+//!   history ring + sampler): cycle throughput, worker idle share, and
+//!   replica lag per sampling window.
 //!
 //! ```sh
 //! psmtop --demo                      # self-contained: in-process engine + server
 //! psmtop --addr 127.0.0.1:9184      # attach to an existing listener
 //! psmtop --addr … --once            # one frame, no ANSI clear (CI-friendly)
 //! ```
+//!
+//! `--once` is the headless mode: it polls twice, `--interval-ms`
+//! apart, and renders the single *windowed* frame to plain stdout —
+//! deltas and shares are over that window, not process lifetime — so
+//! CI and `telemetry_smoke` capture a meaningful dashboard without a
+//! TTY loop.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use psm_obs::{HistogramSnapshot, Obs, HIST_BUCKETS};
+use psm_obs::{HistogramSnapshot, Obs, Sampler, HIST_BUCKETS};
 use psm_telemetry::client::{http_get, Json};
 use psm_telemetry::{TelemetryConfig, TelemetryServer};
 
@@ -202,6 +211,107 @@ fn windowed(prev: Option<&Frame>, cur: &Frame, key: &str) -> HistogramSnapshot {
     h
 }
 
+/// Eight-level unicode sparkline over `vals`, scaled to their max.
+fn sparkline(vals: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = vals.iter().copied().fold(0.0f64, f64::max);
+    vals.iter()
+        .map(|v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Sums matching `/timeseries` series per timestamp. A counter family
+/// (`engine.worker.tasks{worker=…}`) comes back as one series per
+/// label; the sampler stamps them all with the same `t_ms`, so summing
+/// by timestamp re-aggregates the family. Counter points are already
+/// per-window deltas, so the result reads as a rate series.
+fn summed_series(j: &Json, family: &str) -> Vec<(u64, f64)> {
+    let mut by_t: BTreeMap<u64, f64> = BTreeMap::new();
+    for s in j.get("series").map(Json::items).unwrap_or(&[]) {
+        let Some(n) = s.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let matches = n == family || (n.starts_with(family) && n[family.len()..].starts_with('{'));
+        if !matches {
+            continue;
+        }
+        for p in s.get("points").map(Json::items).unwrap_or(&[]) {
+            let (Some(t), Some(v)) = (
+                p.idx(0).and_then(Json::as_u64),
+                p.idx(1).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            *by_t.entry(t).or_insert(0.0) += v;
+        }
+    }
+    by_t.into_iter().collect()
+}
+
+fn trend_row(out: &mut String, label: &str, vals: &[f64], cur: String) {
+    out.push_str(&format!("{label:<12} {}  cur {cur}\n", sparkline(vals)));
+}
+
+/// Builds the sparkline block from a `/timeseries` response, or `None`
+/// when the target has no history ring (or nothing to show yet).
+fn trends_block(body: &str) -> Option<String> {
+    let j = Json::parse(body)?;
+    if j.get("enabled").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    let interval_ms = j.get("interval_ms").and_then(Json::as_u64).unwrap_or(0);
+    let firings = summed_series(&j, "interp.firings");
+    let tasks = summed_series(&j, "engine.worker.tasks");
+    let idles = summed_series(&j, "engine.worker.idle_spins");
+    let lag = summed_series(&j, "replica.lag");
+
+    let mut out = format!("\ntrends (per {interval_ms} ms sampling window)\n");
+    let mut any = false;
+    // Cycle throughput: interpreter firings when an Interpreter runs,
+    // else worker task completions (driver-based runs).
+    let thr = if firings.iter().any(|(_, v)| *v > 0.0) {
+        &firings
+    } else {
+        &tasks
+    };
+    if !thr.is_empty() {
+        let vals: Vec<f64> = thr.iter().map(|(_, v)| *v).collect();
+        let cur = vals.last().copied().unwrap_or(0.0);
+        trend_row(&mut out, "cycles/win", &vals, format!("{cur:.0}"));
+        any = true;
+    }
+    if !idles.is_empty() {
+        let tmap: BTreeMap<u64, f64> = tasks.iter().copied().collect();
+        let vals: Vec<f64> = idles
+            .iter()
+            .map(|(t, idle)| {
+                let tk = tmap.get(t).copied().unwrap_or(0.0);
+                if idle + tk > 0.0 {
+                    idle / (idle + tk)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let cur = vals.last().copied().unwrap_or(0.0);
+        trend_row(&mut out, "idle share", &vals, format!("{cur:.3}"));
+        any = true;
+    }
+    if !lag.is_empty() {
+        let vals: Vec<f64> = lag.iter().map(|(_, v)| *v).collect();
+        let cur = vals.last().copied().unwrap_or(0.0);
+        trend_row(&mut out, "replica lag", &vals, format!("{cur:.0}"));
+        any = true;
+    }
+    any.then_some(out)
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000 {
         format!("{:.1}ms", ns as f64 / 1e6)
@@ -212,7 +322,7 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
+fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool, trends: Option<&str>) {
     let mut out = String::new();
     if clear {
         out.push_str("\x1b[2J\x1b[H");
@@ -360,6 +470,11 @@ fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
         }
     }
 
+    // Sparkline trends from the history ring, when the target has one.
+    if let Some(t) = trends {
+        out.push_str(t);
+    }
+
     // Engine state gauges.
     let gauge = |k: &str| cur.gauges.get(k).copied();
     let depth = gauge("interp.conflict_size").or_else(|| gauge("fault.conflict_size"));
@@ -377,14 +492,16 @@ fn render(prev: Option<&Frame>, cur: &Frame, addr: &str, clear: bool) {
 
 /// `--demo`: a self-contained live target — a 4-thread parallel engine
 /// churning preset cycles in a background thread, publishing into an
-/// in-process telemetry server.
-fn spawn_demo() -> (TelemetryServer, SocketAddr) {
+/// in-process telemetry server with a history ring sampled at 200 ms
+/// (so the sparkline panel has data).
+fn spawn_demo() -> (TelemetryServer, Sampler, SocketAddr) {
     use psm_core::{ParallelOptions, ParallelReteMatcher};
     use workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
-    let obs = Arc::new(Obs::with_profile(4096, 16_384, 4096));
+    let obs = Arc::new(Obs::with_history(4096, 16_384, 4096, 64));
     let server = TelemetryServer::start(Arc::clone(&obs), &TelemetryConfig::default())
         .expect("demo listener binds");
+    let sampler = Sampler::start(Arc::clone(&obs), Duration::from_millis(200));
     let addr = server.local_addr();
     std::thread::Builder::new()
         .name("psmtop-demo".to_string())
@@ -410,17 +527,17 @@ fn spawn_demo() -> (TelemetryServer, SocketAddr) {
             }
         })
         .expect("demo thread spawns");
-    (server, addr)
+    (server, sampler, addr)
 }
 
 fn main() {
     let opts = parse_args();
-    let (_demo_server, addr) = if opts.demo {
-        let (server, addr) = spawn_demo();
-        (Some(server), addr.to_string())
+    let (_demo_server, _demo_sampler, addr) = if opts.demo {
+        let (server, sampler, addr) = spawn_demo();
+        (Some(server), Some(sampler), addr.to_string())
     } else {
         match &opts.addr {
-            Some(a) => (None, a.clone()),
+            Some(a) => (None, None, a.clone()),
             None => {
                 eprintln!("usage: psmtop --addr HOST:PORT | --demo  [--interval-ms N] [--once] [--frames N]");
                 std::process::exit(2);
@@ -437,6 +554,20 @@ fn main() {
 
     let mut prev: Option<Frame> = None;
     let mut shown = 0u64;
+    if opts.once {
+        // Headless mode: take a silent warm frame, wait one interval,
+        // and render the second poll windowed against it — a single
+        // meaningful frame instead of process-lifetime totals.
+        if let Ok((200, body)) = http_get(sock, "/snapshot", Duration::from_secs(5)) {
+            if let Some(mut warm) = parse_frame(&body) {
+                if let Ok((200, p)) = http_get(sock, "/profile", Duration::from_secs(5)) {
+                    parse_profile(&p, &mut warm);
+                }
+                prev = Some(warm);
+            }
+        }
+        std::thread::sleep(opts.interval);
+    }
     loop {
         let frame = match http_get(sock, "/snapshot", Duration::from_secs(5)) {
             Ok((200, body)) => parse_frame(&body),
@@ -453,7 +584,22 @@ fn main() {
             if let Ok((200, body)) = http_get(sock, "/profile", Duration::from_secs(5)) {
                 parse_profile(&body, &mut cur);
             }
-            render(prev.as_ref(), &cur, &addr, !opts.once && shown > 0);
+            let trends = http_get(
+                sock,
+                "/timeseries?metric=interp.firings,engine.worker.tasks,\
+                 engine.worker.idle_spins,replica.lag&window=24",
+                Duration::from_secs(5),
+            )
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .and_then(|(_, body)| trends_block(&body));
+            render(
+                prev.as_ref(),
+                &cur,
+                &addr,
+                !opts.once && shown > 0,
+                trends.as_deref(),
+            );
             prev = Some(cur);
             shown += 1;
         } else if opts.once {

@@ -9,9 +9,15 @@
 //! * `/healthz` reports engine health as JSON,
 //! * `/explain?rule=put-on` reproduces the causal chain (exact WME time
 //!   tags) for a real firing,
-//! * `/snapshot` returns the full JSON snapshot (with profile table),
+//! * `/snapshot` returns the full JSON snapshot (with profile table
+//!   and history-ring summary),
 //! * `/profile` returns the per-node join profile hottest-first and the
-//!   `profile.node.*` families reach `/metrics`.
+//!   `profile.node.*` families reach `/metrics`,
+//! * `/timeseries` serves the sampled history ring: index, per-metric
+//!   series whose delta decode reproduces the cumulative counter,
+//!   labeled families, and window trimming,
+//! * `/healthz` carries the replication block (absent standby here, so
+//!   `present:false`).
 //!
 //! Exits non-zero on any failed check, so CI can gate on it. Pass
 //! `--serve` to keep the server alive for manual `curl`.
@@ -28,7 +34,7 @@ use std::time::Duration;
 use ops5::{parse_program, parse_wmes, Interpreter};
 use psm_bench::{capture, Variant};
 use psm_core::{ParallelOptions, ParallelReteMatcher};
-use psm_obs::Obs;
+use psm_obs::{Obs, Sampler};
 use psm_sim::{publish_sim_result, simulate_psm, CostModel, PsmSpec};
 use psm_telemetry::client::{http_get, Json};
 use psm_telemetry::{TelemetryConfig, TelemetryServer};
@@ -101,8 +107,11 @@ fn check(cond: bool, what: &str) {
 fn main() {
     let serve = std::env::args().any(|a| a == "--serve");
 
-    let obs = Arc::new(Obs::with_profile(4096, 65_536, 4096));
+    let obs = Arc::new(Obs::with_history(4096, 65_536, 4096, 128));
     obs.set_detail(true);
+    // Sample the registry into the history ring while the workloads
+    // run, like a production deployment would.
+    let sampler = Sampler::start(Arc::clone(&obs), Duration::from_millis(10));
     let fired = run_blocks_world(&obs);
     run_parallel_preset(&obs);
     run_sim(&obs);
@@ -241,6 +250,94 @@ fn main() {
     check(
         snapshot.get("profile").is_some(),
         "/snapshot embeds the profile table",
+    );
+
+    // Give the background sampler time for at least one more pass over
+    // the final counter values, then stop it so the series are stable
+    // for the decode check below.
+    std::thread::sleep(Duration::from_millis(50));
+    sampler.stop();
+
+    // /timeseries: index of sampled series.
+    let (status, ts) = get(addr, "/timeseries");
+    check(status == 200, "/timeseries returns 200");
+    let ts = Json::parse(&ts).unwrap_or_else(|| fail("/timeseries is valid JSON"));
+    check(
+        ts.get("enabled").and_then(Json::as_bool) == Some(true),
+        "/timeseries reports the ring enabled",
+    );
+    check(
+        ts.get("samples")
+            .and_then(Json::as_u64)
+            .is_some_and(|s| s > 0),
+        "/timeseries shows the sampler ran",
+    );
+    check(
+        !ts.get("series").map(Json::items).unwrap_or(&[]).is_empty(),
+        "/timeseries index lists sampled series",
+    );
+
+    // Delta decode: base + Σ window deltas reproduces the cumulative
+    // counter (interp.firings is stable once the runs finish).
+    let (status, body) = get(addr, "/timeseries?metric=interp.firings");
+    check(
+        status == 200,
+        "/timeseries?metric=interp.firings returns 200",
+    );
+    let j = Json::parse(&body).unwrap_or_else(|| fail("/timeseries metric query is valid JSON"));
+    let series = j.get("series").map(Json::items).unwrap_or(&[]);
+    check(series.len() == 1, "metric query returns exactly one series");
+    let s = &series[0];
+    let base = s.get("base").and_then(Json::as_u64).unwrap_or(0);
+    let delta_sum: u64 = s
+        .get("points")
+        .map(Json::items)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|p| p.idx(1).and_then(Json::as_u64))
+        .sum();
+    let cumulative = snapshot
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("interp.firings"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail("snapshot carries interp.firings"));
+    check(
+        base + delta_sum == cumulative,
+        "counter delta decode reproduces the cumulative value",
+    );
+
+    // Labeled family + window trimming.
+    let (status, body) = get(addr, "/timeseries?metric=engine.worker.tasks&window=1");
+    check(status == 200, "/timeseries family query returns 200");
+    let j = Json::parse(&body).unwrap_or_else(|| fail("/timeseries family query is valid JSON"));
+    let fam = j.get("series").map(Json::items).unwrap_or(&[]);
+    check(
+        fam.len() >= 4,
+        "family query returns one series per worker label",
+    );
+    check(
+        fam.iter()
+            .all(|s| s.get("points").map(Json::items).unwrap_or(&[]).len() <= 1),
+        "window=1 trims every series to one point",
+    );
+    check(
+        snapshot
+            .get("history")
+            .and_then(|h| h.get("samples"))
+            .and_then(Json::as_u64)
+            .is_some_and(|s| s > 0),
+        "/snapshot embeds the history-ring summary",
+    );
+
+    // Replication block: no standby in this run, visible as such.
+    check(
+        health
+            .get("replication")
+            .and_then(|r| r.get("present"))
+            .and_then(Json::as_bool)
+            == Some(false),
+        "/healthz replication block reports no standby",
     );
 
     let (status, _) = get(addr, "/nope");

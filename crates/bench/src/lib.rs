@@ -27,6 +27,8 @@ use std::sync::Arc;
 use rete::{CompileOptions, MatchStats, Network, Trace};
 use workloads::{capture_trace_with, GeneratedWorkload, Preset, WorkloadSpec};
 
+pub mod trajectory;
+
 /// A captured workload run ready for simulation.
 pub struct Captured {
     /// The workload (program + distributions).

@@ -1,0 +1,714 @@
+//! Metric time-series: windowed history of the registry, sampled on a
+//! cadence.
+//!
+//! Everything else in `psm-obs` observes *one instant* — `/metrics` and
+//! `/snapshot` expose current cumulative values. The paper's argument
+//! (§4, §6) is about trajectories: throughput over a run, skew as load
+//! shifts, loss factors as the machine saturates. [`HistoryRing`] keeps
+//! the last `capacity` sampling windows of every registered metric so
+//! the telemetry plane can serve `/timeseries` and `psmtop` can draw
+//! sparklines, and so a perf regression is a *curve*, not a point.
+//!
+//! Encoding follows the metric type:
+//!
+//! * **counters** are delta-encoded: each point stores the increase
+//!   over the previous sample. The invariant `base + Σ deltas ==
+//!   current cumulative value` holds at all times (eviction folds the
+//!   dropped delta into `base`), so a decoded series is monotonic and
+//!   lossless even after the ring wraps.
+//! * **gauges** store the sampled level as-is.
+//! * **histograms** store per-window `count`/`sum` deltas plus the
+//!   p50/p99 bucket bounds of the *window's* samples (computed from
+//!   bucket deltas at sampling time), so latency quantiles track recent
+//!   behaviour instead of the whole run.
+//!
+//! Labeled families need no special casing: the registry embeds labels
+//! in the metric name (`engine.worker.tasks{worker="0"}`), so each
+//! label combination is its own series and
+//! [`HistoryRing::series_matching`] groups a family back together by
+//! prefix.
+//!
+//! Gating follows the profiler discipline: a ring built with capacity 0
+//! is permanently off, allocates nothing, and a would-be sample returns
+//! after one check ([`HistoryRing::enabled`]). The engine's hot path is
+//! never involved at all — sampling reads the same relaxed atomics the
+//! scrape endpoint does, from the [`Sampler`] background thread (or a
+//! caller-driven [`HistoryRing::sample`] in tests, which keeps golden
+//! tests deterministic via [`HistoryRing::sample_at`]).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+
+/// What kind of metric a series tracks (fixed at first sample).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Delta-encoded monotonic counter.
+    Counter,
+    /// Sampled gauge level.
+    Gauge,
+    /// Windowed histogram summary.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Short label used in `/timeseries` JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sampled point of a counter or gauge series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Point {
+    /// Milliseconds since the ring was created (or the caller-supplied
+    /// clock in [`HistoryRing::sample_at`]).
+    pub t_ms: u64,
+    /// Counter: increase over the previous sample. Gauge: the level.
+    pub value: i64,
+}
+
+/// One sampled window of a histogram series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistPoint {
+    /// Sample timestamp, as in [`Point::t_ms`].
+    pub t_ms: u64,
+    /// Samples recorded during this window.
+    pub count: u64,
+    /// Sum of samples recorded during this window.
+    pub sum: u64,
+    /// p50 bucket bound of the window's samples (0 for an empty window).
+    pub p50: u64,
+    /// p99 bucket bound of the window's samples (0 for an empty window).
+    pub p99: u64,
+}
+
+/// A decoded copy of one series, as returned by
+/// [`HistoryRing::series_matching`].
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Full metric name, labels included.
+    pub name: String,
+    /// Metric type.
+    pub kind: SeriesKind,
+    /// Cumulative counter value *before* the oldest retained point
+    /// (counters only; 0 for gauges and histograms). The invariant
+    /// `base + Σ point values == current cumulative` lets a reader
+    /// verify lossless decode.
+    pub base: u64,
+    /// Scalar points, oldest first (empty for histogram series).
+    pub points: Vec<Point>,
+    /// Histogram windows, oldest first (empty for scalar series).
+    pub hist_points: Vec<HistPoint>,
+}
+
+impl Series {
+    /// The series as a JSON object. Scalar points are `[t_ms, value]`
+    /// pairs; histogram windows are
+    /// `[t_ms, count, sum, p50, p99]` tuples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * (self.points.len() + self.hist_points.len()));
+        out.push_str("{\"name\":");
+        json::push_escaped(&mut out, &self.name);
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.label());
+        out.push_str("\",\"base\":");
+        out.push_str(&self.base.to_string());
+        out.push_str(",\"points\":[");
+        match self.kind {
+            SeriesKind::Histogram => {
+                for (i, p) in self.hist_points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "[{},{},{},{},{}]",
+                        p.t_ms, p.count, p.sum, p.p50, p.p99
+                    ));
+                }
+            }
+            _ => {
+                for (i, p) in self.points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{},{}]", p.t_ms, p.value));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Per-series ring state. `prev` tracks the last sampled cumulative
+/// value so the next sample can delta-encode against it.
+#[derive(Debug)]
+struct SeriesBuf {
+    kind: SeriesKind,
+    /// Cumulative value folded out of evicted counter points.
+    base: u64,
+    /// Last sampled cumulative counter value (counters only).
+    prev: u64,
+    /// Last sampled full histogram (histograms only), for windowing.
+    prev_hist: HistogramSnapshot,
+    points: VecDeque<Point>,
+    hist_points: VecDeque<HistPoint>,
+}
+
+impl SeriesBuf {
+    fn new(kind: SeriesKind) -> SeriesBuf {
+        SeriesBuf {
+            kind,
+            base: 0,
+            prev: 0,
+            prev_hist: HistogramSnapshot::default(),
+            points: VecDeque::new(),
+            hist_points: VecDeque::new(),
+        }
+    }
+
+    fn push_scalar(&mut self, capacity: usize, p: Point) {
+        while self.points.len() >= capacity {
+            if let Some(old) = self.points.pop_front() {
+                if self.kind == SeriesKind::Counter {
+                    self.base += old.value.max(0) as u64;
+                }
+            }
+        }
+        self.points.push_back(p);
+    }
+
+    fn push_hist(&mut self, capacity: usize, p: HistPoint) {
+        while self.hist_points.len() >= capacity {
+            self.hist_points.pop_front();
+        }
+        self.hist_points.push_back(p);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: BTreeMap<String, SeriesBuf>,
+}
+
+/// Windowed time-series history of a [`Registry`]. Capacity is the
+/// number of sampling windows retained per series; 0 disables the ring
+/// outright. All sampling goes through `&self` — the ring is shared
+/// like the rest of [`Obs`](crate::Obs) — but the lock is only ever
+/// touched by the sampler and by readers, never by the engine's
+/// recording hot path.
+#[derive(Debug)]
+pub struct HistoryRing {
+    capacity: usize,
+    born: Instant,
+    inner: Mutex<Inner>,
+    samples: AtomicU64,
+    /// Sampling cadence hint in milliseconds, published by the
+    /// [`Sampler`] so `/timeseries` consumers can convert per-window
+    /// deltas into rates. 0 until a sampler starts (or a manual caller
+    /// sets it).
+    interval_ms: AtomicU64,
+}
+
+impl HistoryRing {
+    /// A ring retaining `capacity` windows per series; 0 disables it.
+    pub fn new(capacity: usize) -> HistoryRing {
+        HistoryRing {
+            capacity,
+            born: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+            samples: AtomicU64::new(0),
+            interval_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether sampling does anything. The disabled check is the entire
+    /// cost of a would-be sample on a capacity-0 ring.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Windows retained per series (0 = off).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// The published sampling cadence hint (ms), 0 if never set.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the sampling cadence hint (ms).
+    pub fn set_interval_ms(&self, ms: u64) {
+        self.interval_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Number of distinct series currently tracked.
+    pub fn series_count(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        self.inner.lock().unwrap().series.len()
+    }
+
+    /// Takes one sample of `registry` now, stamped with the ring's own
+    /// monotonic clock.
+    pub fn sample(&self, registry: &Registry) {
+        self.sample_at(self.born.elapsed().as_millis() as u64, registry);
+    }
+
+    /// Takes one sample stamped `t_ms` — the deterministic entry point
+    /// golden tests use. A no-op (after one check) on a capacity-0
+    /// ring.
+    pub fn sample_at(&self, t_ms: u64, registry: &Registry) {
+        if !self.enabled() {
+            return;
+        }
+        self.sample_snapshot(t_ms, &registry.snapshot());
+    }
+
+    /// Folds an already-taken snapshot into the ring (the sampler takes
+    /// the snapshot outside the ring lock).
+    pub fn sample_snapshot(&self, t_ms: u64, snap: &MetricsSnapshot) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for (name, &v) in &snap.counters {
+            let buf = inner
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| SeriesBuf::new(SeriesKind::Counter));
+            // A cumulative value that went backwards means the source
+            // restarted; restart the series at the new value rather
+            // than emit a negative delta, so decoded series stay
+            // monotonic.
+            let delta = if v < buf.prev {
+                buf.base = 0;
+                buf.points.clear();
+                v
+            } else {
+                v - buf.prev
+            };
+            buf.prev = v;
+            let p = Point {
+                t_ms,
+                value: delta.min(i64::MAX as u64) as i64,
+            };
+            buf.push_scalar(self.capacity, p);
+        }
+        for (name, &v) in &snap.gauges {
+            let buf = inner
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| SeriesBuf::new(SeriesKind::Gauge));
+            buf.push_scalar(self.capacity, Point { t_ms, value: v });
+        }
+        for (name, h) in &snap.histograms {
+            let buf = inner
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| SeriesBuf::new(SeriesKind::Histogram));
+            let window = hist_window(&buf.prev_hist, h);
+            buf.prev_hist = h.clone();
+            let p = HistPoint {
+                t_ms,
+                count: window.count,
+                sum: window.sum,
+                p50: if window.count > 0 {
+                    window.quantile_bound(0.50)
+                } else {
+                    0
+                },
+                p99: if window.count > 0 {
+                    window.quantile_bound(0.99)
+                } else {
+                    0
+                },
+            };
+            buf.push_hist(self.capacity, p);
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Every series whose name equals `metric`, or starts with
+    /// `metric{` (a labeled family), for each comma-separated entry in
+    /// `metric`. The last `window` points of each (all retained points
+    /// when `window` is 0). An empty `metric` matches nothing.
+    pub fn series_matching(&self, metric: &str, window: usize) -> Vec<Series> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let wanted: Vec<&str> = metric
+            .split(',')
+            .map(str::trim)
+            .filter(|m| !m.is_empty())
+            .collect();
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, buf) in &inner.series {
+            let hit = wanted.iter().any(|m| {
+                name == m
+                    || (name.len() > m.len()
+                        && name.starts_with(m)
+                        && name.as_bytes()[m.len()] == b'{')
+            });
+            if !hit {
+                continue;
+            }
+            out.push(decode(name, buf, window));
+        }
+        out
+    }
+
+    /// Name, kind, and retained length of every tracked series — the
+    /// `/timeseries` index when no metric is asked for.
+    pub fn index(&self) -> Vec<(String, SeriesKind, usize)> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let inner = self.inner.lock().unwrap();
+        inner
+            .series
+            .iter()
+            .map(|(name, buf)| {
+                let len = match buf.kind {
+                    SeriesKind::Histogram => buf.hist_points.len(),
+                    _ => buf.points.len(),
+                };
+                (name.clone(), buf.kind, len)
+            })
+            .collect()
+    }
+
+    /// `{"capacity":…,"samples":…,"series":…,"interval_ms":…}` — the
+    /// summary `/snapshot` embeds.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"capacity\":{},\"samples\":{},\"series\":{},\"interval_ms\":{}}}",
+            self.capacity,
+            self.samples(),
+            self.series_count(),
+            self.interval_ms(),
+        )
+    }
+}
+
+/// The bucket-wise difference `now - prev` (saturating), i.e. the
+/// histogram of samples recorded between the two snapshots. Falls back
+/// to `now` when counts went backwards (source restarted).
+fn hist_window(prev: &HistogramSnapshot, now: &HistogramSnapshot) -> HistogramSnapshot {
+    if now.count < prev.count {
+        return now.clone();
+    }
+    let mut w = HistogramSnapshot {
+        count: now.count - prev.count,
+        sum: now.sum.wrapping_sub(prev.sum),
+        ..HistogramSnapshot::default()
+    };
+    for i in 0..w.buckets.len() {
+        w.buckets[i] = now.buckets[i].saturating_sub(prev.buckets[i]);
+    }
+    w
+}
+
+fn decode(name: &str, buf: &SeriesBuf, window: usize) -> Series {
+    let scalar_len = buf.points.len();
+    let hist_len = buf.hist_points.len();
+    let skip_scalar = if window > 0 {
+        scalar_len.saturating_sub(window)
+    } else {
+        0
+    };
+    let skip_hist = if window > 0 {
+        hist_len.saturating_sub(window)
+    } else {
+        0
+    };
+    // Points sliced off the front by the window act like evictions for
+    // the base invariant.
+    let mut base = buf.base;
+    if buf.kind == SeriesKind::Counter {
+        for p in buf.points.iter().take(skip_scalar) {
+            base += p.value.max(0) as u64;
+        }
+    }
+    Series {
+        name: name.to_string(),
+        kind: buf.kind,
+        base,
+        points: buf.points.iter().skip(skip_scalar).copied().collect(),
+        hist_points: buf.hist_points.iter().skip(skip_hist).copied().collect(),
+    }
+}
+
+/// The background sampler: one thread calling [`HistoryRing::sample`]
+/// every `interval` until dropped (or [`Sampler::stop`]). Shutdown is
+/// prompt — the sleep is a condvar wait, so drop does not block for a
+/// full interval.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling `obs.metrics` into `obs.history` every
+    /// `interval`. Returns a no-thread sampler when the ring is
+    /// disabled (capacity 0) — starting one is then free.
+    pub fn start(obs: Arc<crate::Obs>, interval: Duration) -> Sampler {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        if !obs.history.enabled() {
+            return Sampler { stop, handle: None };
+        }
+        obs.history.set_interval_ms(interval.as_millis() as u64);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("psm-history-sampler".to_string())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    // Snapshot outside the ring lock, then fold in.
+                    let t_ms = obs.history.born.elapsed().as_millis() as u64;
+                    let snap = obs.metrics.snapshot();
+                    obs.history.sample_snapshot(t_ms, &snap);
+                    let guard = lock.lock().unwrap();
+                    let (guard, _) = cv.wait_timeout(guard, interval).unwrap();
+                    if *guard {
+                        return;
+                    }
+                }
+            })
+            .expect("history sampler spawns");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn capacity_zero_is_off_and_allocation_free() {
+        let ring = HistoryRing::new(0);
+        assert!(!ring.enabled());
+        let r = Registry::new();
+        r.counter("c").add(5);
+        ring.sample(&r);
+        ring.sample_at(10, &r);
+        assert_eq!(ring.samples(), 0);
+        assert_eq!(ring.series_count(), 0);
+        assert!(ring.series_matching("c", 0).is_empty());
+        assert!(ring.index().is_empty());
+        assert_eq!(
+            ring.summary_json(),
+            "{\"capacity\":0,\"samples\":0,\"series\":0,\"interval_ms\":0}"
+        );
+    }
+
+    #[test]
+    fn counter_delta_encoding_round_trips() {
+        let ring = HistoryRing::new(8);
+        let r = Registry::new();
+        let c = r.counter("interp.firings");
+        c.add(3);
+        ring.sample_at(100, &r);
+        c.add(7);
+        ring.sample_at(200, &r);
+        c.add(0);
+        ring.sample_at(300, &r);
+        let s = &ring.series_matching("interp.firings", 0)[0];
+        assert_eq!(s.kind, SeriesKind::Counter);
+        assert_eq!(s.base, 0);
+        let deltas: Vec<i64> = s.points.iter().map(|p| p.value).collect();
+        assert_eq!(deltas, vec![3, 7, 0]);
+        assert_eq!(
+            s.base + deltas.iter().sum::<i64>() as u64,
+            c.get(),
+            "base + sum of deltas reconstructs the cumulative value"
+        );
+    }
+
+    #[test]
+    fn eviction_folds_into_base() {
+        let ring = HistoryRing::new(3);
+        let r = Registry::new();
+        let c = r.counter("c");
+        for i in 1..=6u64 {
+            c.add(i);
+            ring.sample_at(i * 10, &r);
+        }
+        let s = &ring.series_matching("c", 0)[0];
+        assert_eq!(s.points.len(), 3, "ring bounded at capacity");
+        // Evicted deltas 1,2,3 → base 6; retained 4,5,6.
+        assert_eq!(s.base, 6);
+        let total: u64 = s.base + s.points.iter().map(|p| p.value as u64).sum::<u64>();
+        assert_eq!(total, c.get());
+        // A narrower read window folds further points into base.
+        let s = &ring.series_matching("c", 2)[0];
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.base, 10);
+        let total: u64 = s.base + s.points.iter().map(|p| p.value as u64).sum::<u64>();
+        assert_eq!(total, c.get());
+    }
+
+    #[test]
+    fn counter_reset_rebases_instead_of_negative_delta() {
+        let ring = HistoryRing::new(8);
+        let r1 = Registry::new();
+        r1.counter("c").add(100);
+        ring.sample_at(10, &r1);
+        // Same name, fresh registry: cumulative value goes backwards.
+        let r2 = Registry::new();
+        r2.counter("c").add(4);
+        ring.sample_at(20, &r2);
+        let s = &ring.series_matching("c", 0)[0];
+        assert!(s.points.iter().all(|p| p.value >= 0));
+        assert_eq!(
+            s.base + s.points.iter().map(|p| p.value as u64).sum::<u64>(),
+            4
+        );
+    }
+
+    #[test]
+    fn gauges_store_levels_and_histograms_window() {
+        let ring = HistoryRing::new(4);
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        let h = r.histogram("lat");
+        g.set(5);
+        h.record(100);
+        h.record(100);
+        ring.sample_at(10, &r);
+        g.set(-2);
+        h.record(1_000_000);
+        ring.sample_at(20, &r);
+        let gs = &ring.series_matching("depth", 0)[0];
+        assert_eq!(gs.kind, SeriesKind::Gauge);
+        assert_eq!(
+            gs.points.iter().map(|p| p.value).collect::<Vec<_>>(),
+            vec![5, -2]
+        );
+        let hs = &ring.series_matching("lat", 0)[0];
+        assert_eq!(hs.kind, SeriesKind::Histogram);
+        assert_eq!(hs.hist_points.len(), 2);
+        assert_eq!(hs.hist_points[0].count, 2);
+        assert_eq!(hs.hist_points[0].sum, 200);
+        // Second window holds only the new 1ms sample, so its p50 bound
+        // reflects that bucket, not the cumulative distribution.
+        assert_eq!(hs.hist_points[1].count, 1);
+        assert_eq!(hs.hist_points[1].sum, 1_000_000);
+        assert_eq!(
+            hs.hist_points[1].p50,
+            Histogram::bucket_bound(Histogram::bucket_index(1_000_000))
+        );
+    }
+
+    #[test]
+    fn family_prefix_and_comma_lists_match() {
+        let ring = HistoryRing::new(4);
+        let r = Registry::new();
+        r.counter("engine.worker.tasks{worker=\"0\"}").add(1);
+        r.counter("engine.worker.tasks{worker=\"1\"}").add(2);
+        r.counter("engine.worker.tasks_total").add(9); // not the family
+        r.gauge("replica.lag").set(3);
+        ring.sample_at(5, &r);
+        let fam = ring.series_matching("engine.worker.tasks", 0);
+        assert_eq!(fam.len(), 2, "family prefix matches labels only");
+        let multi = ring.series_matching("engine.worker.tasks,replica.lag", 0);
+        assert_eq!(multi.len(), 3);
+        let exact = ring.series_matching("engine.worker.tasks_total", 0);
+        assert_eq!(exact.len(), 1);
+        assert!(ring.series_matching("", 0).is_empty());
+    }
+
+    #[test]
+    fn series_json_shape() {
+        let ring = HistoryRing::new(4);
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.histogram("h").record(7);
+        ring.sample_at(50, &r);
+        let c = &ring.series_matching("c", 0)[0];
+        assert_eq!(
+            c.to_json(),
+            "{\"name\":\"c\",\"kind\":\"counter\",\"base\":0,\"points\":[[50,3]]}"
+        );
+        let h = &ring.series_matching("h", 0)[0];
+        assert_eq!(
+            h.to_json(),
+            "{\"name\":\"h\",\"kind\":\"histogram\",\"base\":0,\"points\":[[50,1,7,7,7]]}"
+        );
+    }
+
+    #[test]
+    fn sampler_thread_samples_and_stops_promptly() {
+        let obs = Arc::new(crate::Obs::with_history(16, 0, 0, 64));
+        obs.metrics.counter("tick").add(1);
+        let sampler = Sampler::start(Arc::clone(&obs), Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while obs.history.samples() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(obs.history.samples() >= 3, "sampler took samples");
+        assert_eq!(obs.history.interval_ms(), 5);
+        let t0 = Instant::now();
+        sampler.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "condvar shutdown is prompt"
+        );
+        let taken = obs.history.samples();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(obs.history.samples(), taken, "no samples after stop");
+    }
+
+    #[test]
+    fn disabled_ring_sampler_spawns_no_thread() {
+        let obs = Arc::new(crate::Obs::new(16));
+        assert!(!obs.history.enabled());
+        let sampler = Sampler::start(Arc::clone(&obs), Duration::from_millis(1));
+        assert!(sampler.handle.is_none());
+        sampler.stop();
+    }
+}

@@ -32,6 +32,7 @@
 pub mod chrome;
 pub mod events;
 pub mod flight;
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -41,6 +42,7 @@ pub mod span;
 pub use chrome::{ChromeEvent, ChromeTrace};
 pub use events::{Event, EventRing, FieldValue};
 pub use flight::{Explanation, FlightKind, FlightRecord, FlightRecorder, DEFAULT_MAX_CYCLES};
+pub use history::{HistPoint, HistoryRing, Point, Sampler, Series, SeriesKind};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS,
 };
@@ -72,6 +74,11 @@ pub struct Obs {
     /// is always on once given capacity; only its latency histograms
     /// additionally wait for the detail toggle.
     pub profile: NodeProfiler,
+    /// Metric time-series ring (capacity 0 — permanently off — unless
+    /// built via [`Obs::with_history`]). Nothing samples it by itself:
+    /// start a [`Sampler`] (or call [`HistoryRing::sample`]) to feed
+    /// it on a cadence.
+    pub history: HistoryRing,
     detail: AtomicBool,
 }
 
@@ -97,11 +104,24 @@ impl Obs {
         flight_capacity: usize,
         profile_capacity: usize,
     ) -> Self {
+        Self::with_history(ring_capacity, flight_capacity, profile_capacity, 0)
+    }
+
+    /// A handle with the metric time-series ring retaining
+    /// `history_windows` sampling windows per series on top of the
+    /// event ring, flight recorder, and profiler (any may be 0 = off).
+    pub fn with_history(
+        ring_capacity: usize,
+        flight_capacity: usize,
+        profile_capacity: usize,
+        history_windows: usize,
+    ) -> Self {
         Obs {
             metrics: Registry::new(),
             events: EventRing::new(ring_capacity),
             flight: FlightRecorder::new(flight_capacity),
             profile: NodeProfiler::new(profile_capacity),
+            history: HistoryRing::new(history_windows),
             detail: AtomicBool::new(false),
         }
     }

@@ -1,0 +1,122 @@
+//! Property tests for the history ring under concurrent writers: the
+//! counter delta encoding must stay lossless and monotonic no matter
+//! how sampling interleaves with recording.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use psm_obs::{Obs, Rng64, Sampler, SeriesKind};
+
+/// Writers hammer labeled counters while the ring samples on its own
+/// thread. After everything joins and a final sample lands, every
+/// counter series must decode losslessly (`base + Σ deltas ==` the
+/// final cumulative value) with every delta non-negative.
+#[test]
+fn concurrent_writers_decode_losslessly() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 400;
+
+    let obs = Arc::new(Obs::with_history(0, 0, 0, 32));
+    let sampler = Sampler::start(Arc::clone(&obs), Duration::from_millis(1));
+
+    let mut handles = Vec::new();
+    let mut expected: Vec<u64> = Vec::new();
+    for w in 0..WRITERS {
+        let obs = Arc::clone(&obs);
+        // Deterministic per-writer increments so the final cumulative
+        // value is known without trusting the code under test.
+        let mut rng = Rng64::new(0xC0FFEE ^ w as u64);
+        let increments: Vec<u64> = (0..ROUNDS).map(|_| rng.next_u64() % 7 + 1).collect();
+        expected.push(increments.iter().sum());
+        handles.push(std::thread::spawn(move || {
+            let c = obs
+                .metrics
+                .counter(&format!("test.hammer{{writer=\"{w}\"}}"));
+            for inc in increments {
+                c.add(inc);
+                if inc == 7 {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer joins");
+    }
+    sampler.stop();
+    // One deterministic final sample so the last increments are
+    // captured even if the sampler thread never ran again after the
+    // writers finished.
+    obs.history.sample(&obs.metrics);
+
+    let series = obs.history.series_matching("test.hammer", 0);
+    assert_eq!(series.len(), WRITERS, "one series per writer label");
+    for s in &series {
+        assert_eq!(s.kind, SeriesKind::Counter);
+        let writer: usize = s
+            .name
+            .split("writer=\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .and_then(|n| n.parse().ok())
+            .expect("label parses");
+        assert!(
+            s.points.iter().all(|p| p.value >= 0),
+            "{}: counter deltas must be non-negative, got {:?}",
+            s.name,
+            s.points
+        );
+        let decoded: u64 = s.base + s.points.iter().map(|p| p.value as u64).sum::<u64>();
+        assert_eq!(
+            decoded, expected[writer],
+            "{}: base {} + deltas must reproduce the cumulative value",
+            s.name, s.base
+        );
+        let mut last_t = 0;
+        for p in &s.points {
+            assert!(p.t_ms >= last_t, "{}: timestamps ordered", s.name);
+            last_t = p.t_ms;
+        }
+    }
+}
+
+/// Capacity 0 is the permanently-off fast path: sampling is a no-op,
+/// a sampler spawns no thread, and nothing allocates.
+#[test]
+fn capacity_zero_ring_ignores_everything() {
+    let obs = Arc::new(Obs::new(0));
+    assert!(!obs.history.enabled());
+    obs.metrics.counter("c").add(5);
+    for _ in 0..100 {
+        obs.history.sample(&obs.metrics);
+    }
+    assert_eq!(obs.history.samples(), 0);
+    assert_eq!(obs.history.series_count(), 0);
+    assert!(obs.history.series_matching("c", 0).is_empty());
+    let sampler = Sampler::start(Arc::clone(&obs), Duration::from_micros(1));
+    std::thread::sleep(Duration::from_millis(5));
+    assert_eq!(obs.history.samples(), 0, "disabled ring never samples");
+    sampler.stop();
+}
+
+/// Eviction under a tiny window budget keeps the decode invariant: the
+/// dropped deltas fold into `base`, so `base + retained == cumulative`.
+#[test]
+fn eviction_preserves_decode_invariant() {
+    let obs = Obs::with_history(0, 0, 0, 3);
+    let c = obs.metrics.counter("evict.me");
+    let mut total = 0u64;
+    let mut rng = Rng64::new(42);
+    for t in 0..50u64 {
+        let inc = rng.next_u64() % 100;
+        c.add(inc);
+        total += inc;
+        obs.history.sample_at(t * 10, &obs.metrics);
+    }
+    let s = &obs.history.series_matching("evict.me", 0)[0];
+    assert!(s.points.len() <= 3, "capacity bounds retained windows");
+    assert_eq!(
+        s.base + s.points.iter().map(|p| p.value as u64).sum::<u64>(),
+        total
+    );
+}

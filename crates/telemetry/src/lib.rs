@@ -16,6 +16,7 @@
 //! | `/explain`  | Flight-recorder queries: `?rule=R&instance=N` or `?cycle=N` |
 //! | `/profile`  | Per-node join profile (JSON, hottest first): activations, pairs compared, measured selectivity, latency summary |
 //! | `/interference` | Parallel-firing compatibility summary (rules, conflicting pairs, density) published by `psm-analyze`, plus live write-set sanitizer counters |
+//! | `/timeseries`   | Metric time-series from the [`psm_obs::HistoryRing`]: `?metric=M&window=N` serves delta-decoded windows of a metric or labeled family, no query serves the series index |
 //! | `/replicate/*`  | Replication artifacts (manifest, checkpoints, WAL segments) when a [`replicate::ReplicaSource`] is attached — see [`TelemetryServer::start_with_replication`] |
 //!
 //! The whole plane is optional: don't start a [`TelemetryServer`] and
@@ -147,12 +148,13 @@ pub fn route_full(
         "/explain" => explain(obs, req),
         "/profile" => Response::json(obs.profile.snapshot().to_json()),
         "/interference" => Response::json(interference_json(&obs.metrics.snapshot())),
+        "/timeseries" => timeseries(obs, req),
         "/" => Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body: "psm-telemetry: /metrics /healthz /snapshot /explain /profile \
-                   /interference /replicate/manifest /replicate/checkpoint/{id} \
-                   /replicate/wal/{seg}\n"
+                   /interference /timeseries /replicate/manifest \
+                   /replicate/checkpoint/{id} /replicate/wal/{seg}\n"
                 .to_string(),
             raw: None,
         },
@@ -192,6 +194,64 @@ pub fn profile_families(snap: &psm_obs::ProfileSnapshot) -> MetricsSnapshot {
     out
 }
 
+/// `/timeseries` — the metric time-series endpoint over
+/// [`psm_obs::HistoryRing`].
+///
+/// * `/timeseries` — index of every tracked series (name, kind,
+///   retained points) plus ring status.
+/// * `/timeseries?metric=M[&window=N]` — the last `N` windows (all
+///   retained when omitted or 0) of every series whose name equals `M`
+///   or belongs to the labeled family `M{…}`; `M` may be a
+///   comma-separated list.
+///
+/// Always 200: a capacity-0 ring answers `{"enabled":false,…}` so
+/// pollers can distinguish "history off" from "no data yet".
+fn timeseries(obs: &Obs, req: &Request) -> Response {
+    let window = match req.param("window") {
+        None => 0usize,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "window must be an integer"),
+        },
+    };
+    let h = &obs.history;
+    let head = format!(
+        "{{\"enabled\":{},\"capacity\":{},\"samples\":{},\"interval_ms\":{}",
+        h.enabled(),
+        h.capacity(),
+        h.samples(),
+        h.interval_ms(),
+    );
+    match req.param("metric") {
+        None => {
+            let mut body = head;
+            body.push_str(",\"series\":[");
+            for (i, (name, kind, len)) in h.index().iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str("{\"name\":");
+                psm_obs::json::push_escaped(&mut body, name);
+                body.push_str(&format!(",\"kind\":\"{}\",\"len\":{len}}}", kind.label()));
+            }
+            body.push_str("]}");
+            Response::json(body)
+        }
+        Some(metric) => {
+            let mut body = head;
+            body.push_str(&format!(",\"window\":{window},\"series\":["));
+            for (i, s) in h.series_matching(metric, window).iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&s.to_json());
+            }
+            body.push_str("]}");
+            Response::json(body)
+        }
+    }
+}
+
 /// Health summary derived purely from the metrics snapshot, so the
 /// server needs nothing beyond the shared `Obs` handle. Tier numbering
 /// follows `psm-fault`: 0 = parallel, 1 = sequential, 2 = naive,
@@ -215,12 +275,35 @@ pub fn healthz_json(snap: &MetricsSnapshot) -> String {
         .unwrap_or(0);
     let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
     let degraded = tier.unwrap_or(0) > 0 || last_miss != 0;
+    // Replication state: the `replica.*` gauges a pulling standby
+    // publishes, plus the promotions counter. `present` distinguishes
+    // "no standby attached" from "standby fully caught up" — a
+    // promoted or lagging standby is visible here without scraping
+    // `/metrics`.
+    let rep_gauge = |k: &str| snap.gauges.get(k).copied();
+    let replicating = ["lag", "applied_cycle", "polls", "segments_fetched"]
+        .iter()
+        .any(|g| rep_gauge(&format!("replica.{g}")).is_some())
+        || snap.counters.contains_key("replica.promotions");
+    let opt = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
+    let replication = format!(
+        concat!(
+            "{{\"present\":{},\"lag\":{},\"applied_cycle\":{},",
+            "\"segments_fetched\":{},\"rebases\":{},\"promotions\":{}}}"
+        ),
+        replicating,
+        opt(rep_gauge("replica.lag")),
+        opt(rep_gauge("replica.applied_cycle")),
+        opt(rep_gauge("replica.segments_fetched")),
+        opt(rep_gauge("replica.rebases")),
+        counter("replica.promotions"),
+    );
     format!(
         concat!(
             "{{\"status\":\"{}\",\"tier\":{},\"tier_name\":\"{}\",",
             "\"last_cycle_deadline_miss\":{},\"deadline_misses\":{},",
             "\"recoveries\":{},\"fallbacks\":{},\"checkpoints\":{},",
-            "\"engine_faults\":{},\"firings\":{}}}"
+            "\"engine_faults\":{},\"firings\":{},\"replication\":{}}}"
         ),
         if degraded { "degraded" } else { "ok" },
         match tier {
@@ -235,6 +318,7 @@ pub fn healthz_json(snap: &MetricsSnapshot) -> String {
         counter("fault.checkpoints"),
         counter("fault.engine"),
         counter("interp.firings"),
+        replication,
     )
 }
 
@@ -298,6 +382,8 @@ fn snapshot_json(obs: &Obs) -> String {
     out.push_str(&obs.flight.evicted_cycles().to_string());
     out.push_str("},\"profile\":");
     out.push_str(&obs.profile.snapshot().to_json());
+    out.push_str(",\"history\":");
+    out.push_str(&obs.history.summary_json());
     out.push('}');
     out
 }
@@ -411,6 +497,102 @@ mod tests {
         assert!(body.contains("\"tier\":null"));
         assert!(body.contains("\"tier_name\":\"unsupervised\""));
         assert!(client::Json::parse(&body).is_some(), "healthz must be JSON");
+    }
+
+    #[test]
+    fn healthz_reports_replication_state() {
+        use client::Json;
+        // No standby attached: the block is present but marked absent.
+        let body = healthz_json(&MetricsSnapshot::default());
+        let j = client::Json::parse(&body).expect("healthz is JSON");
+        let rep = j.get("replication").expect("replication block");
+        assert_eq!(rep.get("present").and_then(Json::as_bool), Some(false));
+        assert_eq!(rep.get("lag"), Some(&Json::Null));
+
+        // A lagging standby and a promotion are visible without
+        // scraping /metrics.
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.insert("replica.lag".into(), 7);
+        snap.gauges.insert("replica.applied_cycle".into(), 41);
+        snap.gauges.insert("replica.segments_fetched".into(), 3);
+        snap.gauges.insert("replica.rebases".into(), 1);
+        snap.counters.insert("replica.promotions".into(), 1);
+        snap.gauges.insert("fault.tier".into(), 3);
+        let body = healthz_json(&snap);
+        let j = client::Json::parse(&body).expect("healthz is JSON");
+        assert_eq!(
+            j.get("tier_name").and_then(Json::as_str),
+            Some("promoted"),
+            "the Tier::Promoted rung reaches health"
+        );
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("degraded"));
+        let rep = j.get("replication").unwrap();
+        assert_eq!(rep.get("present").and_then(Json::as_bool), Some(true));
+        assert_eq!(rep.get("lag").and_then(Json::as_u64), Some(7));
+        assert_eq!(rep.get("applied_cycle").and_then(Json::as_u64), Some(41));
+        assert_eq!(rep.get("promotions").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn timeseries_endpoint_serves_index_and_series() {
+        use client::Json;
+        // History off: 200 with enabled:false, never an error.
+        let off = Obs::with_flight(8, 8);
+        let resp = route(&off, &get("/timeseries", &[]));
+        assert_eq!(resp.status, 200);
+        let j = Json::parse(&resp.body).expect("timeseries is JSON");
+        assert_eq!(j.get("enabled").and_then(Json::as_bool), Some(false));
+        assert!(j.get("series").unwrap().items().is_empty());
+
+        // With a sampled ring: index lists series, metric query decodes
+        // deltas, families group by prefix, windows trim.
+        let on = Obs::with_history(8, 8, 0, 16);
+        let c = on.metrics.counter("interp.firings");
+        let w0 = on.metrics.counter("engine.worker.tasks{worker=\"0\"}");
+        let w1 = on.metrics.counter("engine.worker.tasks{worker=\"1\"}");
+        c.add(5);
+        w0.add(2);
+        w1.add(3);
+        on.history.sample_at(100, &on.metrics);
+        c.add(1);
+        on.history.sample_at(200, &on.metrics);
+
+        let j = Json::parse(&route(&on, &get("/timeseries", &[])).body).unwrap();
+        assert_eq!(j.get("enabled").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("samples").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("series").unwrap().items().len(), 3);
+
+        let j = Json::parse(&route(&on, &get("/timeseries", &[("metric", "interp.firings")])).body)
+            .unwrap();
+        let s = &j.get("series").unwrap().items()[0];
+        assert_eq!(s.get("kind").and_then(Json::as_str), Some("counter"));
+        let pts = s.get("points").unwrap().items();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].idx(1).and_then(Json::as_u64), Some(5));
+        assert_eq!(pts[1].idx(1).and_then(Json::as_u64), Some(1));
+
+        let j = Json::parse(
+            &route(
+                &on,
+                &get(
+                    "/timeseries",
+                    &[("metric", "engine.worker.tasks"), ("window", "1")],
+                ),
+            )
+            .body,
+        )
+        .unwrap();
+        let family = j.get("series").unwrap().items();
+        assert_eq!(family.len(), 2, "family prefix matches both workers");
+        for s in family {
+            assert_eq!(s.get("points").unwrap().items().len(), 1, "window trims");
+        }
+
+        assert_eq!(
+            route(&on, &get("/timeseries", &[("window", "x")])).status,
+            400
+        );
+        assert!(route(&on, &get("/", &[])).body.contains("/timeseries"));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Golden `/timeseries` JSON over a real ephemeral-port server. The
+//! ring is fed with `sample_at` (explicit timestamps), so the exact
+//! response bytes are deterministic and the expected strings can be
+//! literal.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use psm_obs::Obs;
+use psm_telemetry::client::{http_get, Json};
+use psm_telemetry::{TelemetryConfig, TelemetryServer};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Two counters (one labeled), one gauge, sampled at t=100 and t=200.
+fn sampled_obs() -> Arc<Obs> {
+    let obs = Arc::new(Obs::with_history(0, 0, 0, 16));
+    let firings = obs.metrics.counter("interp.firings");
+    let tasks = obs.metrics.counter("engine.worker.tasks{worker=\"0\"}");
+    let depth = obs.metrics.gauge("interp.conflict_size");
+    firings.add(5);
+    tasks.add(3);
+    depth.set(4);
+    obs.history.sample_at(100, &obs.metrics);
+    firings.add(2);
+    tasks.add(1);
+    depth.set(6);
+    obs.history.sample_at(200, &obs.metrics);
+    obs
+}
+
+#[test]
+fn golden_timeseries_json() {
+    let server = TelemetryServer::start(sampled_obs(), &TelemetryConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    // Exact series body for one counter: first window carries the
+    // cumulative value at first sample (5), second the delta (2).
+    let (status, body) =
+        http_get(addr, "/timeseries?metric=interp.firings", TIMEOUT).expect("metric query");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(
+            "\"series\":[{\"name\":\"interp.firings\",\"kind\":\"counter\",\
+             \"base\":0,\"points\":[[100,5],[200,2]]}]"
+        ),
+        "golden counter series mismatch: {body}"
+    );
+
+    // Gauge series store levels, not deltas.
+    let (status, body) =
+        http_get(addr, "/timeseries?metric=interp.conflict_size", TIMEOUT).expect("gauge query");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(
+            "{\"name\":\"interp.conflict_size\",\"kind\":\"gauge\",\
+             \"base\":0,\"points\":[[100,4],[200,6]]}"
+        ),
+        "golden gauge series mismatch: {body}"
+    );
+
+    // Labeled family by prefix, trimmed to the last window.
+    let (status, body) = http_get(
+        addr,
+        "/timeseries?metric=engine.worker.tasks&window=1",
+        TIMEOUT,
+    )
+    .expect("family query");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(
+            "{\"name\":\"engine.worker.tasks{worker=\\\"0\\\"}\",\"kind\":\"counter\",\
+             \"base\":3,\"points\":[[200,1]]}"
+        ),
+        "golden family series mismatch: {body}"
+    );
+    assert!(body.contains("\"window\":1"));
+
+    // Index form (no metric): summaries with lengths, no points.
+    let (status, body) = http_get(addr, "/timeseries", TIMEOUT).expect("index");
+    assert_eq!(status, 200);
+    let j = Json::parse(&body).expect("index is JSON");
+    assert_eq!(j.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(j.get("samples").and_then(Json::as_u64), Some(2));
+    assert_eq!(j.get("series").map(|s| s.items().len()), Some(3));
+    assert!(!body.contains("\"points\""));
+
+    // Bad window is a 400, not a panic.
+    let (status, _) = http_get(addr, "/timeseries?window=nope", TIMEOUT).expect("bad window");
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn disabled_ring_reports_off_over_http() {
+    let obs = Arc::new(Obs::new(0));
+    obs.metrics.counter("c").add(1);
+    let server = TelemetryServer::start(obs, &TelemetryConfig::default()).expect("binds");
+    let (status, body) = http_get(server.local_addr(), "/timeseries", TIMEOUT).expect("get");
+    assert_eq!(status, 200);
+    let j = Json::parse(&body).expect("JSON");
+    assert_eq!(j.get("enabled").and_then(Json::as_bool), Some(false));
+    assert_eq!(j.get("series").map(|s| s.items().len()), Some(0));
+    server.shutdown();
+}
