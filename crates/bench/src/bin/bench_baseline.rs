@@ -51,18 +51,28 @@ struct PresetBaseline {
     wme_changes: u64,
     elapsed_s: f64,
     wme_changes_per_sec: f64,
+    /// Same workload and change stream through the linear-scan
+    /// ablation (`ReteMatcher::compile_linear`); the headline number
+    /// above uses the hashed production default.
+    linear_wme_changes_per_sec: f64,
     firings_per_sec: f64,
     phases: Vec<(&'static str, HistogramSnapshot)>,
 }
 
-/// Runs one preset, recording per-phase latencies into `obs`.
-fn run_preset(preset: Preset, variant: Variant, cycles: u64) -> PresetBaseline {
+/// Runs one preset, recording per-phase latencies into `obs`. With
+/// `linear` the matcher is the linear-scan ablation; otherwise the
+/// hashed production default.
+fn run_preset(preset: Preset, variant: Variant, cycles: u64, linear: bool) -> PresetBaseline {
     let spec = match variant {
         Variant::Small => preset.spec_small(),
         _ => preset.spec(),
     };
     let workload = GeneratedWorkload::generate(spec).expect("workload generates");
-    let mut matcher = ReteMatcher::compile(&workload.program).expect("compiles");
+    let mut matcher = if linear {
+        ReteMatcher::compile_linear(&workload.program).expect("compiles")
+    } else {
+        ReteMatcher::compile(&workload.program).expect("compiles")
+    };
     let obs = Obs::new(0);
     let mut driver = WorkloadDriver::new(workload, 0xBA5E);
     driver.init(&mut matcher);
@@ -98,6 +108,7 @@ fn run_preset(preset: Preset, variant: Variant, cycles: u64) -> PresetBaseline {
         wme_changes,
         elapsed_s,
         wme_changes_per_sec: wme_changes as f64 / elapsed_s.max(1e-12),
+        linear_wme_changes_per_sec: 0.0,
         // Each driver batch models one firing's change batch.
         firings_per_sec: ran as f64 / elapsed_s.max(1e-12),
         phases: vec![
@@ -378,11 +389,20 @@ fn main() {
     let mut rows = Vec::new();
     let mut baselines = Vec::new();
     for preset in Preset::all() {
-        let b = run_preset(preset, variant, opts.cycles);
+        // Headline run: hashed join memories (the production default),
+        // then the linear-scan ablation on the same workload/stream.
+        let mut b = run_preset(preset, variant, opts.cycles, false);
+        let lin = run_preset(preset, variant, opts.cycles, true);
+        b.linear_wme_changes_per_sec = lin.wme_changes_per_sec;
         rows.push(vec![
             b.name.to_string(),
             b.cycles.to_string(),
             f(b.wme_changes_per_sec, 0),
+            f(b.linear_wme_changes_per_sec, 0),
+            f(
+                b.wme_changes_per_sec / b.linear_wme_changes_per_sec.max(1e-12),
+                2,
+            ),
             f(b.firings_per_sec, 0),
             b.phases[0].1.quantile_bound(0.5).to_string(),
             b.phases[0].1.quantile_bound(0.99).to_string(),
@@ -391,7 +411,7 @@ fn main() {
     }
     print_table(
         &format!(
-            "bench_baseline: sequential Rete, {} presets, {} cycles",
+            "bench_baseline: sequential Rete (hashed default vs linear ablation), {} presets, {} cycles",
             if matches!(variant, Variant::Small) {
                 "small"
             } else {
@@ -402,7 +422,9 @@ fn main() {
         &[
             "system",
             "cycles",
-            "wme-changes/s",
+            "hashed/s",
+            "linear/s",
+            "speedup",
             "firings/s",
             "match p50 ns",
             "match p99 ns",
@@ -480,12 +502,13 @@ fn main() {
             json.push(',');
         }
         json.push_str(&format!(
-            "\"{}\":{{\"cycles\":{},\"wme_changes\":{},\"elapsed_s\":{},\"wme_changes_per_sec\":{},\"firings_per_sec\":{},\"phases\":",
+            "\"{}\":{{\"cycles\":{},\"wme_changes\":{},\"elapsed_s\":{},\"wme_changes_per_sec\":{},\"linear_wme_changes_per_sec\":{},\"firings_per_sec\":{},\"phases\":",
             b.name,
             b.cycles,
             b.wme_changes,
             psm_obs::json::number(b.elapsed_s),
             psm_obs::json::number(b.wme_changes_per_sec),
+            psm_obs::json::number(b.linear_wme_changes_per_sec),
             psm_obs::json::number(b.firings_per_sec),
         ));
         phase_json(&mut json, &b.phases);
@@ -548,7 +571,7 @@ fn main() {
     }
 
     // Trajectory: interleaved per-rep samples for the regression gate,
-    // appended as one fingerprinted JSONL record, plus the BENCH_9
+    // appended as one fingerprinted JSONL record, plus the BENCH_10
     // artifact summarizing the whole history.
     let rep_cycles = opts.cycles.clamp(600, 2400);
     let tracks = measure_reps(&Preset::all(), variant, rep_cycles, PERF_GATE_REPS);
@@ -559,6 +582,7 @@ fn main() {
             PresetTrack {
                 name,
                 wme_changes_per_sec: b.map(|b| b.wme_changes_per_sec).unwrap_or(0.0),
+                linear_wme_changes_per_sec: b.map(|b| b.linear_wme_changes_per_sec).unwrap_or(0.0),
                 match_p50_ns: b.map(|b| b.phases[0].1.quantile_bound(0.5)).unwrap_or(0),
                 match_p99_ns: b.map(|b| b.phases[0].1.quantile_bound(0.99)).unwrap_or(0),
                 reps_s,
@@ -589,7 +613,7 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let artifact_path = format!("{out}/BENCH_9.json");
+    let artifact_path = format!("{out}/BENCH_10.json");
     let history = read_history(&history_path);
     match write_trajectory_artifact(&artifact_path, &history) {
         Ok(()) => println!("wrote {artifact_path} ({} records)", history.len()),

@@ -1,6 +1,6 @@
 //! Perf-trajectory plumbing: fingerprinted history records in
 //! `results/bench_history.jsonl`, interleaved per-rep measurement for
-//! the statistical regression gate, and the `BENCH_9.json` trajectory
+//! the statistical regression gate, and the `BENCH_10.json` trajectory
 //! artifact.
 //!
 //! A *record* is one `bench_baseline` run: git commit, machine
@@ -84,8 +84,13 @@ pub fn slowdown_multiplier() -> f64 {
 pub struct PresetTrack {
     /// Preset display name (`vt`, `ep-soar`, …).
     pub name: String,
-    /// Headline throughput from the single instrumented run.
+    /// Headline throughput from the single instrumented run (hashed
+    /// join memories — the production default).
     pub wme_changes_per_sec: f64,
+    /// Throughput of the linear-scan ablation on the same workload
+    /// (`ReteMatcher::compile_linear`). Zero in records written before
+    /// the ablation column existed.
+    pub linear_wme_changes_per_sec: f64,
     /// Match-phase p50 from the instrumented run, nanoseconds.
     pub match_p50_ns: u64,
     /// Match-phase p99 from the instrumented run, nanoseconds.
@@ -139,8 +144,10 @@ impl TrajectoryRecord {
             out.push_str("{\"name\":");
             push_escaped(&mut out, &p.name);
             out.push_str(&format!(
-                ",\"wme_changes_per_sec\":{},\"match_p50_ns\":{},\"match_p99_ns\":{},\"reps_s\":[",
+                ",\"wme_changes_per_sec\":{},\"linear_wme_changes_per_sec\":{},\
+                 \"match_p50_ns\":{},\"match_p99_ns\":{},\"reps_s\":[",
                 number(p.wme_changes_per_sec),
+                number(p.linear_wme_changes_per_sec),
                 p.match_p50_ns,
                 p.match_p99_ns
             ));
@@ -179,6 +186,12 @@ impl TrajectoryRecord {
             presets.push(PresetTrack {
                 name: p.get("name")?.as_str()?.to_string(),
                 wme_changes_per_sec: p.get("wme_changes_per_sec")?.as_f64()?,
+                // Absent in pre-ablation records: parse as zero, never
+                // reject the line.
+                linear_wme_changes_per_sec: p
+                    .get("linear_wme_changes_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0),
                 match_p50_ns: p.get("match_p50_ns")?.as_u64()?,
                 match_p99_ns: p.get("match_p99_ns")?.as_u64()?,
                 reps_s,
@@ -288,11 +301,11 @@ pub fn measure_reps(
     out
 }
 
-/// Writes the `BENCH_9.json` trajectory artifact: per-record summaries
+/// Writes the `BENCH_10.json` trajectory artifact: per-record summaries
 /// (oldest first) plus the latest record in full.
 pub fn write_trajectory_artifact(path: &str, records: &[TrajectoryRecord]) -> std::io::Result<()> {
     use psm_obs::json::{number, push_escaped};
-    let mut out = String::from("{\"bench\":\"BENCH_9\",\"kind\":\"perf-trajectory\",\"records\":");
+    let mut out = String::from("{\"bench\":\"BENCH_10\",\"kind\":\"perf-trajectory\",\"records\":");
     out.push_str(&records.len().to_string());
     out.push_str(",\"trajectory\":[");
     for (i, r) in records.iter().enumerate() {
@@ -348,6 +361,7 @@ mod tests {
             presets: vec![PresetTrack {
                 name: "vt".to_string(),
                 wme_changes_per_sec: 123456.5,
+                linear_wme_changes_per_sec: 23456.25,
                 match_p50_ns: 2048,
                 match_p99_ns: 65536,
                 reps_s: vec![0.101, 0.099, 0.1],
@@ -370,6 +384,20 @@ mod tests {
         assert_eq!(back.presets[0].reps_s, r.presets[0].reps_s);
         assert_eq!(back.rep_cycles, 1200);
         assert_eq!(back.sampler_overhead_pct, 0.2);
+        assert_eq!(back.presets[0].linear_wme_changes_per_sec, 23456.25);
+    }
+
+    #[test]
+    fn pre_ablation_records_parse_with_zero_linear_throughput() {
+        let r = sample_record();
+        // Simulate a record written before the linear ablation column
+        // existed by stripping the field from the serialized line.
+        let line = r
+            .to_json()
+            .replace("\"linear_wme_changes_per_sec\":23456.25,", "");
+        let back = TrajectoryRecord::from_json(&line).expect("old shape still parses");
+        assert_eq!(back.presets[0].linear_wme_changes_per_sec, 0.0);
+        assert_eq!(back.presets[0].wme_changes_per_sec, 123456.5);
     }
 
     #[test]
@@ -423,11 +451,11 @@ mod tests {
     #[test]
     fn trajectory_artifact_contains_summary_and_latest() {
         let dir = std::env::temp_dir().join(format!("psm-traj-art-{}", std::process::id()));
-        let path = dir.join("BENCH_9.json");
+        let path = dir.join("BENCH_10.json");
         let path = path.to_str().unwrap().to_string();
         write_trajectory_artifact(&path, &[sample_record()]).unwrap();
         let j = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid json");
-        assert_eq!(j.get("bench").and_then(|b| b.as_str()), Some("BENCH_9"));
+        assert_eq!(j.get("bench").and_then(|b| b.as_str()), Some("BENCH_10"));
         assert_eq!(j.get("records").and_then(|r| r.as_u64()), Some(1));
         assert_eq!(j.get("trajectory").map(|t| t.items().len()), Some(1));
         assert!(j.get("latest").and_then(|l| l.get("presets")).is_some());

@@ -2,8 +2,15 @@
 //!
 //! See the crate docs for the consistency protocol. The engine executes
 //! each change batch in two barrier-separated phases (retractions, then
-//! assertions); within a phase, node activations are tasks dealt
-//! round-robin into per-worker deques and drained by a persistent
+//! assertions); within a phase, activations bound for the same node are
+//! grouped into one task (batched change propagation: dispatch, flight
+//! tracing, and the per-node lock are paid once per node per phase
+//! fragment, not once per WME change), and each two-input node keeps
+//! hashed value-bucket indexes over its memories so an activation
+//! probes the bucket its equality key selects instead of scanning the
+//! whole opposite memory — the same `(position, attribute)` keying as
+//! the sequential matcher's `MemoryStrategy::Hashed` default. Tasks are
+//! dealt round-robin into per-worker deques and drained by a persistent
 //! [`WorkerPool`](crate::pool::WorkerPool) — the software analogue of
 //! the paper's hardware task scheduler. Workers park between phases and
 //! are released together through a phase-start barrier (no worker can
@@ -18,7 +25,7 @@
 //! [`ParallelReteMatcher::enable_timing`] or the obs detail toggle
 //! turns them on, keeping the default hot path free of clock reads.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -26,7 +33,10 @@ use std::time::Instant;
 
 use psm_obs::{FlightKind, NodeDelta, Obs, ProfileKind};
 
-use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
+use ops5::{
+    Change, Error, FxHashMap, Instantiation, MatchDelta, Matcher, PredOp, Program, Value, Wme,
+    WmeId, WorkingMemory,
+};
 use rete::network::NodeKind;
 use rete::{CompileOptions, JoinTest, Network, NodeId, Token};
 
@@ -58,7 +68,8 @@ pub struct ParallelStats {
     pub batches: u64,
     /// Working-memory changes processed.
     pub changes: u64,
-    /// Node-activation tasks executed.
+    /// Grouped node-activation tasks executed (one task carries every
+    /// payload bound for its node in that phase fragment).
     pub tasks: u64,
     /// Join-test evaluations.
     pub join_tests: u64,
@@ -177,18 +188,52 @@ impl Sign {
     }
 }
 
-/// A pending node activation.
+/// A pending node activation: the whole batch of payloads bound for one
+/// node in this phase fragment, executed under a single lock
+/// acquisition. Grouping amortizes dispatch, flight tracing, and the
+/// per-node mutex across the batch instead of paying them per WME
+/// change (DESIGN.md §17).
 #[derive(Debug)]
 struct Task {
     node: NodeId,
-    payload: Payload,
-    sign: Sign,
+    items: Vec<(Payload, Sign)>,
 }
 
 #[derive(Debug)]
 enum Payload {
     Right(WmeId),
     Left(Token),
+}
+
+/// Order-preserving grouping of activations by destination node: the
+/// builder behind batched change propagation. Payloads for the same
+/// node coalesce into one [`Task`] in first-seen node order, so a
+/// phase's task count scales with the touched-node set, not the change
+/// count.
+#[derive(Default)]
+struct TaskGroups {
+    order: Vec<NodeId>,
+    items: FxHashMap<NodeId, Vec<(Payload, Sign)>>,
+}
+
+impl TaskGroups {
+    fn push(&mut self, node: NodeId, payload: Payload, sign: Sign) {
+        let bucket = self.items.entry(node).or_default();
+        if bucket.is_empty() {
+            self.order.push(node);
+        }
+        bucket.push((payload, sign));
+    }
+
+    fn into_tasks(mut self) -> Vec<Task> {
+        self.order
+            .into_iter()
+            .map(|node| Task {
+                node,
+                items: self.items.remove(&node).expect("ordered node has items"),
+            })
+            .collect()
+    }
 }
 
 /// Entry of a negative node's left store.
@@ -201,20 +246,59 @@ struct NegEntry {
 }
 
 /// Lock-protected state of one node.
+///
+/// The `*_idx` maps are the engine-side hashed join memories: value
+/// buckets over the *present* entries of `left`/`right`, keyed by the
+/// node's first equality test (see
+/// [`ParallelReteMatcher::index_tests`]). They are maintained exactly
+/// on presence transitions — debt entries (negative counts) are never
+/// indexed, and a bucket that drains to empty is pruned — so an
+/// activation probes one bucket instead of scanning the whole opposite
+/// memory. Both maps stay empty on nodes without an equality test,
+/// which fall back to the linear scan.
 #[derive(Debug)]
 enum NodeSlot {
     Join {
         /// Signed token presence (debt-tolerant multiset).
-        left: HashMap<Token, i32>,
+        left: FxHashMap<Token, i32>,
+        left_idx: FxHashMap<Value, Vec<Token>>,
         /// Signed WME presence.
-        right: HashMap<WmeId, i32>,
+        right: FxHashMap<WmeId, i32>,
+        right_idx: FxHashMap<Value, Vec<WmeId>>,
     },
     Negative {
-        left: HashMap<Token, NegEntry>,
-        right: HashMap<WmeId, i32>,
+        left: FxHashMap<Token, NegEntry>,
+        left_idx: FxHashMap<Value, Vec<Token>>,
+        right: FxHashMap<WmeId, i32>,
+        right_idx: FxHashMap<Value, Vec<WmeId>>,
     },
     Terminal,
     Inactive,
+}
+
+/// Appends `item` to the value bucket for `key` (no-op for unkeyable
+/// entries — an absent attribute can never satisfy the equality test,
+/// so such entries are invisible to indexed probes by construction).
+fn idx_insert<K>(idx: &mut FxHashMap<Value, Vec<K>>, key: Option<Value>, item: K) {
+    if let Some(k) = key {
+        idx.entry(k).or_default().push(item);
+    }
+}
+
+/// Removes `item` from the value bucket for `key`, pruning the bucket
+/// when it drains to empty so churn workloads cannot grow the index
+/// without bound.
+fn idx_remove<K: PartialEq>(idx: &mut FxHashMap<Value, Vec<K>>, key: Option<Value>, item: &K) {
+    if let Some(k) = key {
+        if let Some(bucket) = idx.get_mut(&k) {
+            if let Some(at) = bucket.iter().position(|x| x == item) {
+                bucket.swap_remove(at);
+            }
+            if bucket.is_empty() {
+                idx.remove(&k);
+            }
+        }
+    }
 }
 
 /// Per-worker scratch, merged after each phase.
@@ -229,7 +313,7 @@ struct WorkerLocal {
     /// and flushed into `Obs::profile` once at the merge barrier — the
     /// same cold-path discipline as the per-worker counters. Empty
     /// unless the attached `Obs` has profile capacity.
-    prof: HashMap<u32, (ProfileKind, NodeDelta)>,
+    prof: FxHashMap<u32, (ProfileKind, NodeDelta)>,
 }
 
 /// The parallel Rete matcher (node-activation granularity).
@@ -258,6 +342,14 @@ pub struct ParallelReteMatcher {
     network: Arc<Network>,
     topo: ParallelTopology,
     states: Vec<Mutex<NodeSlot>>,
+    /// Per-node index key: the first equality test of each two-input
+    /// node, chosen once at build time. A right WME is bucketed by
+    /// `own_attr`'s value, a left token by the value at
+    /// `(token_pos, token_attr)` — the same `(position, attribute)`
+    /// keying as the sequential matcher's hashed memories, so both
+    /// runtimes probe identical candidate sets. `None` (no equality
+    /// test) keeps the node on the linear scan path.
+    index_tests: Vec<Option<JoinTest>>,
     /// The engine's own WME store: tokens and right memories reference
     /// WMEs by id; workers read this immutably during a phase.
     store: Vec<Option<Wme>>,
@@ -330,18 +422,23 @@ impl ParallelReteMatcher {
             .iter()
             .map(|spec| match spec.kind {
                 NodeKind::Join => {
-                    let mut left = HashMap::new();
+                    let mut left = FxHashMap::default();
                     if spec.left.is_none() {
-                        // The dummy top token is always present.
+                        // The dummy top token is always present. It is
+                        // never indexed: a node fed the top token has no
+                        // earlier positive CEs and therefore no equality
+                        // test to key on.
                         left.insert(Token::top(), 1);
                     }
                     NodeSlot::Join {
                         left,
-                        right: HashMap::new(),
+                        left_idx: FxHashMap::default(),
+                        right: FxHashMap::default(),
+                        right_idx: FxHashMap::default(),
                     }
                 }
                 NodeKind::Negative => {
-                    let mut left = HashMap::new();
+                    let mut left = FxHashMap::default();
                     if spec.left.is_none() {
                         left.insert(
                             Token::top(),
@@ -353,7 +450,9 @@ impl ParallelReteMatcher {
                     }
                     NodeSlot::Negative {
                         left,
-                        right: HashMap::new(),
+                        left_idx: FxHashMap::default(),
+                        right: FxHashMap::default(),
+                        right_idx: FxHashMap::default(),
                     }
                 }
                 NodeKind::Terminal => NodeSlot::Terminal,
@@ -396,10 +495,21 @@ impl ParallelReteMatcher {
         }
 
         let states = slots.into_iter().map(Mutex::new).collect();
+        let index_tests = network
+            .nodes
+            .iter()
+            .map(|spec| match spec.kind {
+                NodeKind::Join | NodeKind::Negative => {
+                    spec.tests.iter().copied().find(|t| t.op == PredOp::Eq)
+                }
+                NodeKind::Terminal | NodeKind::BetaMemory => None,
+            })
+            .collect();
         let threads = threads.max(1);
         ParallelReteMatcher {
             topo,
             states,
+            index_tests,
             store: Vec::new(),
             threads,
             pool: None,
@@ -538,8 +648,9 @@ impl ParallelReteMatcher {
         }
     }
 
-    /// Seeds the right-activation tasks for one change.
-    fn seed_tasks(&mut self, id: WmeId, sign: Sign, out: &mut Vec<Task>) {
+    /// Seeds the right activations for one change into the phase's
+    /// per-node task groups.
+    fn seed_tasks(&mut self, id: WmeId, sign: Sign, out: &mut TaskGroups) {
         let wme = self.store[id.index()]
             .as_ref()
             .expect("ingested WME present");
@@ -547,11 +658,7 @@ impl ParallelReteMatcher {
         self.stats.constant_tests += tests;
         for alpha in alphas {
             for &succ in &self.network.alpha_successors[alpha.index()] {
-                out.push(Task {
-                    node: succ,
-                    payload: Payload::Right(id),
-                    sign,
-                });
+                out.push(succ, Payload::Right(id), sign);
             }
         }
     }
@@ -788,8 +895,10 @@ impl ParallelReteMatcher {
         delta
     }
 
-    /// Executes one activation under its node's lock, returning spawned
-    /// child tasks.
+    /// Executes one grouped activation under its node's lock — every
+    /// payload bound for the node this phase fragment, one lock
+    /// acquisition — returning spawned child tasks (one per child node,
+    /// carrying the whole emission batch).
     fn exec(&self, task: Task, local: &mut WorkerLocal, poison: bool) -> Vec<Task> {
         debug_assert!(
             self.topo.active[task.node.index()],
@@ -798,7 +907,7 @@ impl ParallelReteMatcher {
         local.tasks += 1;
         let spec = self.network.node(task.node);
         let node = task.node.index() as u32;
-        let right_side = matches!(task.payload, Payload::Right(_));
+        let key_test = self.index_tests[task.node.index()];
         // The profiler's node taxonomy; doubles as the activation-kind
         // label prefix, so flight records and `/profile` rows name
         // nodes identically across both runtimes.
@@ -808,29 +917,13 @@ impl ParallelReteMatcher {
             NodeKind::BetaMemory => ProfileKind::BetaMem,
             NodeKind::Terminal => ProfileKind::Terminal,
         };
-        if let Some(obs) = &self.obs {
-            if obs.flight.enabled() {
-                obs.flight.record(FlightKind::Activation {
-                    node,
-                    kind: match (prof_kind, right_side) {
-                        (ProfileKind::Join, true) => "join-R",
-                        (ProfileKind::Join, false) => "join-L",
-                        (ProfileKind::Negative, true) => "neg-R",
-                        (ProfileKind::Negative, false) => "neg-L",
-                        (ProfileKind::BetaMem, _) => "bmem",
-                        _ => "term",
-                    },
-                    wme: match task.payload {
-                        Payload::Right(id) => Some(id.index() as u32),
-                        Payload::Left(_) => None,
-                    },
-                });
-            }
-        }
+        let flight_on = self.obs.as_ref().is_some_and(|o| o.flight.enabled());
         let prof_on = self.obs.as_ref().is_some_and(|o| o.profile.enabled());
-        let pairs_before = local.pairs_scanned;
         let children = &self.topo.token_children[task.node.index()];
-        let mut out = Vec::new();
+        // Tokens emitted toward the children, in per-item order. Signs
+        // ride along because a negative node inverts the sign of what it
+        // forwards.
+        let mut emitted: Vec<(Token, Sign)> = Vec::new();
         let mutex = &self.states[task.node.index()];
         let mut slot = if self.timing {
             let t0 = Instant::now();
@@ -847,179 +940,386 @@ impl ParallelReteMatcher {
             self.injected_faults.fetch_add(1, Ordering::Relaxed);
             panic!("injected fault: lock poison");
         }
-        match (&mut *slot, task.payload) {
-            (NodeSlot::Join { left, right }, Payload::Right(wme_id)) => {
-                let (old, new) = bump(right, wme_id, task.sign.delta());
-                // Scan only on a net presence transition.
-                if (old <= 0 && new == 1) || (old == 1 && new == 0) {
-                    let wme = self.wme(wme_id);
-                    for (token, &presence) in left.iter() {
-                        if presence <= 0 {
-                            continue;
-                        }
-                        local.pairs_scanned += 1;
-                        let (ok, n) = self.eval_tests(&spec.tests, token, wme);
-                        local.join_tests += n;
-                        if ok {
-                            push_token_tasks(&mut out, children, token.extended(wme_id), task.sign);
-                        }
-                    }
-                }
-                if new == 0 {
-                    right.remove(&wme_id);
+        for (payload, sign) in task.items {
+            let right_side = matches!(payload, Payload::Right(_));
+            if flight_on {
+                if let Some(obs) = &self.obs {
+                    obs.flight.record(FlightKind::Activation {
+                        node,
+                        kind: match (prof_kind, right_side) {
+                            (ProfileKind::Join, true) => "join-R",
+                            (ProfileKind::Join, false) => "join-L",
+                            (ProfileKind::Negative, true) => "neg-R",
+                            (ProfileKind::Negative, false) => "neg-L",
+                            (ProfileKind::BetaMem, _) => "bmem",
+                            _ => "term",
+                        },
+                        wme: match &payload {
+                            Payload::Right(id) => Some(id.index() as u32),
+                            Payload::Left(_) => None,
+                        },
+                    });
                 }
             }
-            (NodeSlot::Join { left, right }, Payload::Left(token)) => {
-                let (old, new) = bump_token(left, &token, task.sign.delta());
-                if (old <= 0 && new == 1) || (old == 1 && new == 0) {
-                    for (&wme_id, &presence) in right.iter() {
-                        if presence <= 0 {
-                            continue;
-                        }
-                        local.pairs_scanned += 1;
+            let pairs_before = local.pairs_scanned;
+            let emitted_before = emitted.len();
+            match (&mut *slot, payload) {
+                (
+                    NodeSlot::Join {
+                        left,
+                        left_idx,
+                        right,
+                        right_idx,
+                    },
+                    Payload::Right(wme_id),
+                ) => {
+                    let (old, new) = bump(right, wme_id, sign.delta());
+                    // Scan (and maintain the index) only on a net
+                    // presence transition.
+                    if (old <= 0 && new == 1) || (old == 1 && new == 0) {
                         let wme = self.wme(wme_id);
-                        let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
-                        local.join_tests += n;
-                        if ok {
-                            push_token_tasks(&mut out, children, token.extended(wme_id), task.sign);
-                        }
-                    }
-                }
-                if new == 0 {
-                    left.remove(&token);
-                }
-            }
-            (NodeSlot::Negative { left, right }, Payload::Right(wme_id)) => {
-                let (_, new) = bump(right, wme_id, task.sign.delta());
-                if new == 0 {
-                    right.remove(&wme_id);
-                }
-                let wme = self.wme(wme_id);
-                for (token, entry) in left.iter_mut() {
-                    if entry.presence != 1 {
-                        continue;
-                    }
-                    local.pairs_scanned += 1;
-                    let (ok, n) = self.eval_tests(&spec.tests, token, wme);
-                    local.join_tests += n;
-                    if !ok {
-                        continue;
-                    }
-                    let old_blocked = entry.count >= 1;
-                    entry.count += task.sign.delta();
-                    let new_blocked = entry.count >= 1;
-                    if old_blocked != new_blocked {
-                        // Becoming blocked retracts; unblocking asserts.
-                        let sign = if new_blocked { Sign::Minus } else { Sign::Plus };
-                        debug_assert_eq!(sign, task.sign.invert());
-                        push_token_tasks(&mut out, children, token.clone(), sign);
-                    }
-                }
-            }
-            (NodeSlot::Negative { left, right }, Payload::Left(token)) => {
-                match task.sign {
-                    Sign::Plus => {
-                        let entry = left.entry(token.clone()).or_default();
-                        entry.presence += 1;
-                        match entry.presence {
-                            1 => {
-                                // Fresh net insert: count current matches.
-                                let mut count = 0i32;
-                                let mut tests = 0u64;
-                                let mut scanned = 0u64;
-                                for (&wme_id, &mult) in right.iter() {
-                                    if mult <= 0 {
+                        let key = key_test.and_then(|t| wme.get(t.own_attr));
+                        match key_test {
+                            Some(_) => {
+                                // An unkeyable WME (attribute absent)
+                                // fails the equality test against every
+                                // token; probe nothing.
+                                if let Some(k) = &key {
+                                    if let Some(bucket) = left_idx.get(k) {
+                                        for token in bucket {
+                                            local.pairs_scanned += 1;
+                                            let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                                            local.join_tests += n;
+                                            if ok {
+                                                emitted.push((token.extended(wme_id), sign));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            None => {
+                                for (token, &presence) in left.iter() {
+                                    if presence <= 0 {
                                         continue;
                                     }
-                                    scanned += 1;
-                                    let wme = self.wme(wme_id);
-                                    let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
-                                    tests += n;
+                                    local.pairs_scanned += 1;
+                                    let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                                    local.join_tests += n;
                                     if ok {
-                                        count += mult;
+                                        emitted.push((token.extended(wme_id), sign));
                                     }
                                 }
-                                local.pairs_scanned += scanned;
-                                local.join_tests += tests;
-                                entry.count = count;
-                                if count <= 0 {
-                                    push_token_tasks(&mut out, children, token, Sign::Plus);
-                                }
                             }
-                            0 => {
-                                // A debt cancelled; net nothing happened.
-                                left.remove(&token);
-                            }
-                            _ => debug_assert!(false, "duplicate token insert at negative node"),
+                        }
+                        if new == 1 {
+                            idx_insert(right_idx, key, wme_id);
+                        } else {
+                            idx_remove(right_idx, key, &wme_id);
                         }
                     }
-                    Sign::Minus => {
-                        let entry = left.entry(token.clone()).or_default();
-                        entry.presence -= 1;
-                        match entry.presence {
-                            0 => {
-                                let unblocked = entry.count <= 0;
-                                left.remove(&token);
-                                if unblocked {
-                                    push_token_tasks(&mut out, children, token, Sign::Minus);
+                    if new == 0 {
+                        right.remove(&wme_id);
+                    }
+                }
+                (
+                    NodeSlot::Join {
+                        left,
+                        left_idx,
+                        right,
+                        right_idx,
+                    },
+                    Payload::Left(token),
+                ) => {
+                    let (old, new) = bump_token(left, &token, sign.delta());
+                    if (old <= 0 && new == 1) || (old == 1 && new == 0) {
+                        let key = key_test.and_then(|t| self.left_key(t, &token));
+                        match key_test {
+                            Some(_) => {
+                                if let Some(k) = &key {
+                                    if let Some(bucket) = right_idx.get(k) {
+                                        for &wme_id in bucket {
+                                            local.pairs_scanned += 1;
+                                            let wme = self.wme(wme_id);
+                                            let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
+                                            local.join_tests += n;
+                                            if ok {
+                                                emitted.push((token.extended(wme_id), sign));
+                                            }
+                                        }
+                                    }
                                 }
                             }
-                            -1 => { /* deletion raced ahead; keep the debt */ }
-                            _ => debug_assert!(false, "negative-node presence out of range"),
+                            None => {
+                                for (&wme_id, &presence) in right.iter() {
+                                    if presence <= 0 {
+                                        continue;
+                                    }
+                                    local.pairs_scanned += 1;
+                                    let wme = self.wme(wme_id);
+                                    let (ok, n) = self.eval_tests(&spec.tests, &token, wme);
+                                    local.join_tests += n;
+                                    if ok {
+                                        emitted.push((token.extended(wme_id), sign));
+                                    }
+                                }
+                            }
+                        }
+                        if new == 1 {
+                            idx_insert(left_idx, key, token.clone());
+                        } else {
+                            idx_remove(left_idx, key, &token);
+                        }
+                    }
+                    if new == 0 {
+                        left.remove(&token);
+                    }
+                }
+                (
+                    NodeSlot::Negative {
+                        left,
+                        left_idx,
+                        right,
+                        right_idx,
+                    },
+                    Payload::Right(wme_id),
+                ) => {
+                    let (old, new) = bump(right, wme_id, sign.delta());
+                    let wme = self.wme(wme_id);
+                    let key = key_test.and_then(|t| wme.get(t.own_attr));
+                    if old <= 0 && new == 1 {
+                        idx_insert(right_idx, key, wme_id);
+                    } else if old == 1 && new == 0 {
+                        idx_remove(right_idx, key, &wme_id);
+                    }
+                    if new == 0 {
+                        right.remove(&wme_id);
+                    }
+                    // Count adjustment is unconditional (every signed
+                    // right activation shifts the match counts of the
+                    // tokens it joins with).
+                    match key_test {
+                        Some(_) => {
+                            if let Some(k) = &key {
+                                if let Some(bucket) = left_idx.get(k) {
+                                    for token in bucket {
+                                        local.pairs_scanned += 1;
+                                        let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                                        local.join_tests += n;
+                                        if !ok {
+                                            continue;
+                                        }
+                                        let entry =
+                                            left.get_mut(token).expect("indexed token is present");
+                                        let old_blocked = entry.count >= 1;
+                                        entry.count += sign.delta();
+                                        let new_blocked = entry.count >= 1;
+                                        if old_blocked != new_blocked {
+                                            // Becoming blocked retracts;
+                                            // unblocking asserts.
+                                            let s =
+                                                if new_blocked { Sign::Minus } else { Sign::Plus };
+                                            debug_assert_eq!(s, sign.invert());
+                                            emitted.push((token.clone(), s));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            for (token, entry) in left.iter_mut() {
+                                if entry.presence != 1 {
+                                    continue;
+                                }
+                                local.pairs_scanned += 1;
+                                let (ok, n) = self.eval_tests(&spec.tests, token, wme);
+                                local.join_tests += n;
+                                if !ok {
+                                    continue;
+                                }
+                                let old_blocked = entry.count >= 1;
+                                entry.count += sign.delta();
+                                let new_blocked = entry.count >= 1;
+                                if old_blocked != new_blocked {
+                                    let s = if new_blocked { Sign::Minus } else { Sign::Plus };
+                                    debug_assert_eq!(s, sign.invert());
+                                    emitted.push((token.clone(), s));
+                                }
+                            }
                         }
                     }
                 }
+                (
+                    NodeSlot::Negative {
+                        left,
+                        left_idx,
+                        right,
+                        right_idx,
+                    },
+                    Payload::Left(token),
+                ) => {
+                    match sign {
+                        Sign::Plus => {
+                            let entry = left.entry(token.clone()).or_default();
+                            entry.presence += 1;
+                            match entry.presence {
+                                1 => {
+                                    // Fresh net insert: count current matches.
+                                    let key = key_test.and_then(|t| self.left_key(t, &token));
+                                    let mut count = 0i32;
+                                    let mut tests = 0u64;
+                                    let mut scanned = 0u64;
+                                    match key_test {
+                                        Some(_) => {
+                                            if let Some(k) = &key {
+                                                if let Some(bucket) = right_idx.get(k) {
+                                                    for &wme_id in bucket {
+                                                        scanned += 1;
+                                                        let wme = self.wme(wme_id);
+                                                        let (ok, n) = self.eval_tests(
+                                                            &spec.tests,
+                                                            &token,
+                                                            wme,
+                                                        );
+                                                        tests += n;
+                                                        if ok {
+                                                            count += right
+                                                                .get(&wme_id)
+                                                                .copied()
+                                                                .unwrap_or(0);
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                        }
+                                        None => {
+                                            for (&wme_id, &mult) in right.iter() {
+                                                if mult <= 0 {
+                                                    continue;
+                                                }
+                                                scanned += 1;
+                                                let wme = self.wme(wme_id);
+                                                let (ok, n) =
+                                                    self.eval_tests(&spec.tests, &token, wme);
+                                                tests += n;
+                                                if ok {
+                                                    count += mult;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    local.pairs_scanned += scanned;
+                                    local.join_tests += tests;
+                                    entry.count = count;
+                                    idx_insert(left_idx, key, token.clone());
+                                    if count <= 0 {
+                                        emitted.push((token, Sign::Plus));
+                                    }
+                                }
+                                0 => {
+                                    // A debt cancelled; net nothing happened.
+                                    left.remove(&token);
+                                }
+                                _ => {
+                                    debug_assert!(false, "duplicate token insert at negative node")
+                                }
+                            }
+                        }
+                        Sign::Minus => {
+                            let entry = left.entry(token.clone()).or_default();
+                            entry.presence -= 1;
+                            match entry.presence {
+                                0 => {
+                                    let unblocked = entry.count <= 0;
+                                    let key = key_test.and_then(|t| self.left_key(t, &token));
+                                    idx_remove(left_idx, key, &token);
+                                    left.remove(&token);
+                                    if unblocked {
+                                        emitted.push((token, Sign::Minus));
+                                    }
+                                }
+                                -1 => { /* deletion raced ahead; keep the debt */ }
+                                _ => debug_assert!(false, "negative-node presence out of range"),
+                            }
+                        }
+                    }
+                }
+                (NodeSlot::Terminal, Payload::Left(token)) => {
+                    let inst = Instantiation::new(
+                        self.topo.terminal_production[task.node.index()]
+                            .expect("terminal has production"),
+                        token.into_wmes(),
+                    );
+                    let single = match sign {
+                        Sign::Plus => MatchDelta {
+                            added: vec![inst],
+                            removed: vec![],
+                        },
+                        Sign::Minus => MatchDelta {
+                            added: vec![],
+                            removed: vec![inst],
+                        },
+                    };
+                    local.delta.merge(single);
+                }
+                (slot, payload) => unreachable!(
+                    "invalid activation: {slot:?} with {payload:?}",
+                    slot = match slot {
+                        NodeSlot::Join { .. } => "join",
+                        NodeSlot::Negative { .. } => "negative",
+                        NodeSlot::Terminal => "terminal",
+                        NodeSlot::Inactive => "inactive",
+                    },
+                    payload = match payload {
+                        Payload::Right(_) => "right",
+                        Payload::Left(_) => "left",
+                    }
+                ),
             }
-            (NodeSlot::Terminal, Payload::Left(token)) => {
-                let inst = Instantiation::new(
-                    self.topo.terminal_production[task.node.index()]
-                        .expect("terminal has production"),
-                    token.into_wmes(),
-                );
-                let single = match task.sign {
-                    Sign::Plus => MatchDelta {
-                        added: vec![inst],
-                        removed: vec![],
-                    },
-                    Sign::Minus => MatchDelta {
-                        added: vec![],
-                        removed: vec![inst],
-                    },
+            if prof_on {
+                // One profiler delta per payload, so grouped execution
+                // reports the same per-activation rows as per-change
+                // dispatch did; terminals emit conflict-set changes
+                // instead of tokens.
+                let tokens_out = if prof_kind == ProfileKind::Terminal {
+                    1
+                } else {
+                    (emitted.len() - emitted_before) as u64
                 };
-                local.delta.merge(single);
+                let (_, d) = local
+                    .prof
+                    .entry(node)
+                    .or_insert((prof_kind, NodeDelta::default()));
+                d.record(right_side, local.pairs_scanned - pairs_before, tokens_out);
             }
-            (slot, payload) => unreachable!(
-                "invalid activation: {slot:?} with {payload:?}",
-                slot = match slot {
-                    NodeSlot::Join { .. } => "join",
-                    NodeSlot::Negative { .. } => "negative",
-                    NodeSlot::Terminal => "terminal",
-                    NodeSlot::Inactive => "inactive",
-                },
-                payload = match payload {
-                    Payload::Right(_) => "right",
-                    Payload::Left(_) => "left",
-                }
-            ),
         }
-        if prof_on {
-            // Every push_token_tasks call emits one token to all
-            // children, so child-task count divides back exactly;
-            // terminals emit conflict-set changes instead of tasks.
-            let tokens_out = if prof_kind == ProfileKind::Terminal {
-                1
-            } else if children.is_empty() {
-                0
-            } else {
-                (out.len() / children.len()) as u64
-            };
-            let (_, d) = local
-                .prof
-                .entry(node)
-                .or_insert((prof_kind, NodeDelta::default()));
-            d.record(right_side, local.pairs_scanned - pairs_before, tokens_out);
+        drop(slot);
+        if emitted.is_empty() || children.is_empty() {
+            return Vec::new();
         }
-        out
+        // One child task per child node, carrying the whole emission
+        // batch in per-item order (token clones are refcount bumps).
+        children
+            .iter()
+            .map(|&child| Task {
+                node: child,
+                items: emitted
+                    .iter()
+                    .map(|(t, s)| (Payload::Left(t.clone()), *s))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Resolves a left token's index key under `test`: the value at
+    /// `(token_pos, token_attr)`, read from the engine's own WME store.
+    /// The store retains every WME a resident token references until
+    /// the batch that retracts it completes, so the key resolves
+    /// identically at insert and removal time — the engine-side
+    /// analogue of the sequential matcher's captured insert-time keys.
+    fn left_key(&self, test: JoinTest, token: &Token) -> Option<Value> {
+        token
+            .wme_at(test.token_pos)
+            .and_then(|id| self.wme(id).get(test.token_attr))
     }
 
     fn wme(&self, id: WmeId) -> &Wme {
@@ -1057,28 +1357,18 @@ impl Drop for PendingGuard<'_> {
 }
 
 /// Adjusts a signed-count map entry, returning `(old, new)` counts.
-fn bump(map: &mut HashMap<WmeId, i32>, key: WmeId, delta: i32) -> (i32, i32) {
+fn bump(map: &mut FxHashMap<WmeId, i32>, key: WmeId, delta: i32) -> (i32, i32) {
     let e = map.entry(key).or_insert(0);
     let old = *e;
     *e += delta;
     (old, *e)
 }
 
-fn bump_token(map: &mut HashMap<Token, i32>, key: &Token, delta: i32) -> (i32, i32) {
+fn bump_token(map: &mut FxHashMap<Token, i32>, key: &Token, delta: i32) -> (i32, i32) {
     let e = map.entry(key.clone()).or_insert(0);
     let old = *e;
     *e += delta;
     (old, *e)
-}
-
-fn push_token_tasks(out: &mut Vec<Task>, children: &[NodeId], token: Token, sign: Sign) {
-    for &child in children {
-        out.push(Task {
-            node: child,
-            payload: Payload::Left(token.clone()),
-            sign,
-        });
-    }
 }
 
 impl Matcher for ParallelReteMatcher {
@@ -1101,8 +1391,8 @@ impl Matcher for ParallelReteMatcher {
         for change in changes {
             self.ingest(wm, change.wme());
         }
-        let mut removes = Vec::new();
-        let mut adds = Vec::new();
+        let mut removes = TaskGroups::default();
+        let mut adds = TaskGroups::default();
         let mut removed_ids = Vec::new();
         for change in changes {
             match change {
@@ -1116,8 +1406,8 @@ impl Matcher for ParallelReteMatcher {
         if let Some(obs) = &self.obs {
             self.timing = self.timing || obs.detail();
         }
-        let mut delta = self.run_phase("remove", removes);
-        delta.merge(self.run_phase("add", adds));
+        let mut delta = self.run_phase("remove", removes.into_tasks());
+        delta.merge(self.run_phase("add", adds.into_tasks()));
         for id in removed_ids {
             self.store[id.index()] = None;
         }
@@ -1536,12 +1826,14 @@ mod tests {
         assert_eq!(top.pairs, 2);
         assert_eq!(top.tokens_out, 2);
         assert!((top.selectivity - 1.0).abs() < 1e-12);
-        // The b-join: one right transition scanning two left tokens.
+        // The b-join: one right transition probing its value bucket,
+        // which holds exactly the one `^x 1` token (the `^x 2` token
+        // lives in a different bucket and is never scanned).
         let b = joins.iter().find(|r| r.right == 1).expect("b join");
         assert_eq!(b.left, 2);
-        assert_eq!(b.pairs, 2);
+        assert_eq!(b.pairs, 1);
         assert_eq!(b.tokens_out, 1);
-        assert!((b.selectivity - 0.5).abs() < 1e-12);
+        assert!((b.selectivity - 1.0).abs() < 1e-12);
         let term = snap
             .rows
             .iter()

@@ -1,0 +1,128 @@
+//! A fast, non-cryptographic hasher for match-loop hash maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the matcher's internal indexes do not need:
+//! every key is an internal identifier (symbol ids, WME ids, small
+//! value tuples) derived from already-validated input, never attacker-
+//! chosen strings. What the match loop does need is probe cost in the
+//! single-digit-nanosecond range — alpha constant-test dispatch, the
+//! hashed join-memory buckets, and the parallel engine's signed
+//! multisets all sit on the per-change hot path and pay one or more
+//! map operations per node activation.
+//!
+//! `FxHasher` is the word-at-a-time multiply-xor scheme long used by
+//! rustc (hand-rolled here; the container image bakes no external
+//! crates). It is also *unkeyed*, so hashes are stable across
+//! processes — replicas and snapshots see identical bucket layouts,
+//! where `RandomState` would randomize iteration order per process.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`]; construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by [`FxHasher`]; construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Word-at-a-time multiply-xor hasher (the `fxhash` scheme).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's 2^64 / φ multiplicative-hashing constant.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (3usize, 17u32, 42i64);
+        assert_eq!(hash_of(&key), hash_of(&key));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u32, i64), Vec<u32>> = FxHashMap::default();
+        for i in 0..1000 {
+            m.entry((i % 7, i64::from(i))).or_default().push(i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(3, 3)).map(Vec::len), Some(1));
+    }
+}

@@ -44,6 +44,7 @@ pub mod conflict;
 pub mod effects;
 pub mod error;
 pub mod explain;
+pub mod fxhash;
 pub mod interp;
 pub mod lexer;
 pub mod matcher;
@@ -65,6 +66,7 @@ pub use effects::{
 };
 pub use error::Error;
 pub use explain::explain_instantiation;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use interp::{CycleOutcome, Interpreter, RunStats};
 pub use lexer::{Lexer, Token};
 pub use matcher::{Change, Instantiation, MatchDelta, Matcher};

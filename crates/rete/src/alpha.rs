@@ -5,9 +5,7 @@
 //! *"when two left-hand sides require identical nodes, the compiler
 //! shares part of the network rather than building duplicate nodes"*.
 
-use std::collections::HashMap;
-
-use ops5::{PredOp, ProductionId, SymbolId, Value, Wme};
+use ops5::{FxHashMap, PredOp, ProductionId, SymbolId, Value, Wme};
 
 /// Handle to an alpha node (and its alpha memory) within an
 /// [`AlphaNetwork`].
@@ -109,12 +107,12 @@ impl AlphaNode {
 pub struct AlphaNetwork {
     /// All alpha nodes, indexed by [`AlphaId`].
     pub nodes: Vec<AlphaNode>,
-    class_index: HashMap<SymbolId, Vec<AlphaId>>,
+    class_index: FxHashMap<SymbolId, Vec<AlphaId>>,
     /// `(class, attr, value)` → nodes homed on that constant.
-    const_index: HashMap<(SymbolId, SymbolId, Value), Vec<AlphaId>>,
+    const_index: FxHashMap<(SymbolId, SymbolId, Value), Vec<AlphaId>>,
     /// Class → nodes with no equality constant to home on.
-    residual_index: HashMap<SymbolId, Vec<AlphaId>>,
-    dedup: HashMap<(SymbolId, Vec<AlphaTest>), AlphaId>,
+    residual_index: FxHashMap<SymbolId, Vec<AlphaId>>,
+    dedup: FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaId>,
 }
 
 impl AlphaNetwork {
@@ -191,9 +189,18 @@ impl AlphaNetwork {
     /// of primitive tests evaluated (the constant-test work the cost
     /// model charges; one test is charged per index probe).
     pub fn matching(&self, wme: &Wme) -> (Vec<AlphaId>, u64) {
+        let mut out = Vec::new();
+        let tests = self.matching_into(wme, &mut out);
+        (out, tests)
+    }
+
+    /// Like [`AlphaNetwork::matching`], but appends into a caller-owned
+    /// buffer (cleared first) so the per-change hot path can reuse one
+    /// allocation across a whole batch.
+    pub fn matching_into(&self, wme: &Wme, out: &mut Vec<AlphaId>) -> u64 {
+        out.clear();
         let class = wme.class();
         let mut tests_evaluated = 0u64;
-        let mut out = Vec::new();
         let visit = |ids: &[AlphaId], tests_evaluated: &mut u64, out: &mut Vec<AlphaId>| {
             for &id in ids {
                 let node = &self.nodes[id.index()];
@@ -215,13 +222,13 @@ impl AlphaNetwork {
         for (attr, value) in wme.attrs() {
             tests_evaluated += 1; // the index probe itself
             if let Some(ids) = self.const_index.get(&(class, attr, value)) {
-                visit(ids, &mut tests_evaluated, &mut out);
+                visit(ids, &mut tests_evaluated, out);
             }
         }
         if let Some(ids) = self.residual_index.get(&class) {
-            visit(ids, &mut tests_evaluated, &mut out);
+            visit(ids, &mut tests_evaluated, out);
         }
-        (out, tests_evaluated)
+        tests_evaluated
     }
 
     /// Number of alpha nodes.

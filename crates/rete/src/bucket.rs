@@ -1,0 +1,121 @@
+//! Inline-singleton hash-index buckets.
+//!
+//! The alpha and beta hash indexes key memories on join-test values, so
+//! bucket population follows the workload's join-value selectivity —
+//! and the empty-bucket pruning the indexes do on removal means a
+//! heap-allocated `Vec` bucket is created and freed every time a value
+//! transitions between absent and singly-present. On churn-heavy
+//! workloads that malloc/free pair dominates the cost of maintaining
+//! the index. `Bucket` stores the overwhelmingly common one-entry case
+//! inline and only allocates once a second entry arrives.
+
+/// A hash-index bucket: one inline entry, or a spilled vector.
+///
+/// Invariant: a `Many` bucket holds at least one entry while resident
+/// in an index — callers prune a bucket (remove the map entry) when
+/// [`Bucket::remove`] reports it drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Bucket<T> {
+    /// Exactly one entry, stored inline (no heap allocation).
+    One(T),
+    /// Two or more entries.
+    Many(Vec<T>),
+}
+
+impl<T: PartialEq> Bucket<T> {
+    /// Appends `v`, spilling to a vector on the second entry.
+    pub(crate) fn push(&mut self, v: T) {
+        match self {
+            Bucket::Many(vec) => vec.push(v),
+            Bucket::One(_) => {
+                let Bucket::One(first) = std::mem::replace(self, Bucket::Many(Vec::new())) else {
+                    unreachable!("just matched One");
+                };
+                let Bucket::Many(vec) = self else {
+                    unreachable!("just replaced with Many");
+                };
+                vec.reserve(2);
+                vec.push(first);
+                vec.push(v);
+            }
+        }
+    }
+
+    /// Removes the first entry equal to `needle` (swap-remove order).
+    /// Returns `true` when the bucket is empty afterwards — the caller
+    /// must then remove it from the index to uphold the invariant.
+    pub(crate) fn remove(&mut self, needle: &T) -> bool {
+        match self {
+            Bucket::One(v) => *v == *needle,
+            Bucket::Many(vec) => {
+                if let Some(pos) = vec.iter().position(|v| v == needle) {
+                    vec.swap_remove(pos);
+                }
+                vec.is_empty()
+            }
+        }
+    }
+
+    /// The entries as a slice.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            Bucket::One(v) => std::slice::from_ref(v),
+            Bucket::Many(vec) => vec,
+        }
+    }
+
+    /// Number of entries.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Bucket::One(_) => 1,
+            Bucket::Many(vec) => vec.len(),
+        }
+    }
+
+    /// Builds a bucket from a decoded entry list (snapshot restore).
+    /// Returns `None` for an empty list — empty buckets are never
+    /// resident.
+    pub(crate) fn from_vec(mut entries: Vec<T>) -> Option<Self> {
+        match entries.len() {
+            0 => None,
+            1 => Some(Bucket::One(entries.pop().expect("one entry"))),
+            _ => Some(Bucket::Many(entries)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_spills_on_second_entry() {
+        let mut b = Bucket::One(1u32);
+        assert_eq!(b.as_slice(), &[1]);
+        b.push(2);
+        b.push(3);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn remove_reports_drained() {
+        let mut b = Bucket::One(7u32);
+        assert!(b.remove(&7));
+        let mut b = Bucket::One(7u32);
+        b.push(8);
+        assert!(!b.remove(&7));
+        assert_eq!(b.as_slice(), &[8]);
+        assert!(b.remove(&8));
+    }
+
+    #[test]
+    fn from_vec_shapes() {
+        assert_eq!(Bucket::<u32>::from_vec(vec![]), None);
+        assert_eq!(Bucket::from_vec(vec![4u32]), Some(Bucket::One(4)));
+        assert_eq!(
+            Bucket::from_vec(vec![4u32, 5]),
+            Some(Bucket::Many(vec![4, 5]))
+        );
+    }
+}

@@ -41,6 +41,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod alpha;
+mod bucket;
 pub mod network;
 pub mod profile;
 pub mod runtime;

@@ -7,37 +7,40 @@
 //! schedules onto processors, and it gives the trace builder natural
 //! parent/child dependency edges.
 
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 use ops5::{Change, Error, Instantiation, MatchDelta, Matcher, Program, Wme, WmeId, WorkingMemory};
 
-use std::collections::HashMap;
-
-use ops5::{PredOp, SymbolId, Value};
+use ops5::{FxHashMap, PredOp, SymbolId, Value};
 use psm_obs::{FlightKind, NodeDelta, Obs, ProfileKind};
 
+use crate::bucket::Bucket;
 use crate::network::{CompileOptions, JoinTest, Network, NodeId, NodeKind};
 use crate::profile::MatchProfile;
 use crate::stats::MatchStats;
 use crate::token::{Sign, Token};
 use crate::trace::{ActivationKind, Trace, TraceBuilder};
 
-/// How alpha memories are organized.
+/// How alpha and beta memories are organized.
 ///
 /// The 1986 OPS5 interpreters used linear lists; Gupta's parallel design
 /// hashed memories so concurrent activations rarely touch the same
-/// bucket. `Hashed` indexes each alpha memory by `(attribute, value)` so
-/// a left activation whose first join test is an equality probes one
-/// bucket instead of scanning the whole memory. This is the
-/// memory-organization ablation of DESIGN.md §6.
+/// bucket. `Hashed` indexes each alpha memory by `(attribute, value)`
+/// and each beta memory by the `(token position, attribute)` pairs its
+/// downstream equality joins probe, so an activation whose first join
+/// test is an equality probes one bucket instead of scanning the whole
+/// memory. Hashed is the production default; `Linear` survives as the
+/// memory-organization ablation of DESIGN.md §6 (what the paper-era
+/// captured traces model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MemoryStrategy {
-    /// Linear lists (paper-era default; what the captured traces model).
-    #[default]
+    /// Linear lists (paper-era ablation baseline).
     Linear,
-    /// `(attribute, value)`-indexed alpha memories.
+    /// `(attribute, value)`-indexed alpha and beta memories (default).
+    #[default]
     Hashed,
 }
 
@@ -47,9 +50,22 @@ pub(crate) enum NodeState {
     /// Beta memory: resident tokens, plus — under
     /// [`MemoryStrategy::Hashed`] — per-`(token position, attribute)`
     /// value buckets used by downstream equality joins.
+    ///
+    /// `keys` holds the index-key values of each token *captured at
+    /// insert time*, flattened: the chunk
+    /// `keys[i * k .. (i + 1) * k]` (where `k` is this node's
+    /// `mem_keys` count) belongs to `tokens[i]`. The flat layout keeps
+    /// inserts allocation-free — `k` is fixed per node, so no per-token
+    /// boxed slice is needed. Retractions remove bucket entries through
+    /// these captured values rather than re-resolving them from the
+    /// working memory, so a minus arriving when the caller's WM view
+    /// has already dropped a referenced WME still finds (and empties)
+    /// the right bucket. Under [`MemoryStrategy::Linear`] both `keys`
+    /// and `index` stay empty.
     Mem {
         tokens: Vec<Token>,
-        index: HashMap<(usize, SymbolId, Value), Vec<Token>>,
+        keys: Vec<Option<Value>>,
+        index: FxHashMap<(usize, SymbolId, Value), Bucket<Token>>,
     },
     /// Negative node: tokens with their right-match counts.
     Neg(Vec<NegEntry>),
@@ -81,6 +97,17 @@ enum Payload {
     Left(Token),
 }
 
+/// Reusable per-change scratch buffers. Taken out of the matcher at the
+/// start of each change and put back (drained, capacity kept) at the
+/// end, so steady-state change processing allocates nothing for queue
+/// or alpha-match bookkeeping.
+#[derive(Debug, Default)]
+struct Scratch {
+    queue: VecDeque<Task>,
+    deferred: Vec<Task>,
+    alphas: Vec<crate::alpha::AlphaId>,
+}
+
 /// The sequential Rete matcher.
 ///
 /// This is the paper's "best known uniprocessor implementation" against
@@ -91,10 +118,16 @@ pub struct ReteMatcher {
     pub(crate) alpha_mems: Vec<Vec<WmeId>>,
     /// Per-alpha `(attr, value)` buckets, maintained only under
     /// [`MemoryStrategy::Hashed`].
-    pub(crate) alpha_index: Vec<HashMap<(SymbolId, Value), Vec<WmeId>>>,
+    pub(crate) alpha_index: Vec<FxHashMap<(SymbolId, Value), Bucket<WmeId>>>,
+    /// For each alpha memory, the attributes its successor joins
+    /// actually probe by (the `own_attr` of each successor's first
+    /// equality test). Only these attributes are indexed — maintaining
+    /// buckets for every attribute of every WME costs more than the
+    /// probes it could ever save.
+    alpha_keys: Vec<Vec<SymbolId>>,
     /// For each beta memory, the `(token position, attribute)` keys its
     /// downstream equality joins probe by (empty for other node kinds).
-    mem_keys: Vec<Vec<(usize, SymbolId)>>,
+    pub(crate) mem_keys: Vec<Vec<(usize, SymbolId)>>,
     pub(crate) memory: MemoryStrategy,
     pub(crate) states: Vec<NodeState>,
     pub(crate) stats: MatchStats,
@@ -116,6 +149,11 @@ pub struct ReteMatcher {
     prof_touched: Vec<u32>,
     /// Debug write-set sanitizer; see [`ReteMatcher::attach_sanitizer`].
     sanitizer: Option<Arc<ops5::effects::WriteSanitizer>>,
+    /// Reusable per-change buffers; see [`Scratch`].
+    scratch: Scratch,
+    /// `stats.phantom_removes` already published to the attached obs
+    /// counter, so each flush adds only the delta.
+    phantom_published: u64,
 }
 
 impl ReteMatcher {
@@ -140,7 +178,8 @@ impl ReteMatcher {
         )?)))
     }
 
-    /// Compiles with hashed alpha memories (see [`MemoryStrategy`]).
+    /// Compiles with hashed memories — the default; kept as an explicit
+    /// spelling for ablation drivers (see [`MemoryStrategy`]).
     ///
     /// # Errors
     ///
@@ -148,6 +187,18 @@ impl ReteMatcher {
     pub fn compile_hashed(program: &Program) -> Result<Self, Error> {
         let mut m = Self::compile(program)?;
         m.memory = MemoryStrategy::Hashed;
+        Ok(m)
+    }
+
+    /// Compiles with linear (unindexed) memories — the paper-era
+    /// ablation baseline (see [`MemoryStrategy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] as for [`ReteMatcher::compile`].
+    pub fn compile_linear(program: &Program) -> Result<Self, Error> {
+        let mut m = Self::compile(program)?;
+        m.memory = MemoryStrategy::Linear;
         Ok(m)
     }
 
@@ -179,7 +230,8 @@ impl ReteMatcher {
             .map(|(i, spec)| match spec.kind {
                 NodeKind::BetaMemory => NodeState::Mem {
                     tokens: Vec::new(),
-                    index: HashMap::new(),
+                    keys: Vec::new(),
+                    index: FxHashMap::default(),
                 },
                 NodeKind::Negative => NodeState::Neg(if top_reaches[i] {
                     vec![NegEntry {
@@ -218,11 +270,25 @@ impl ReteMatcher {
                 keys
             })
             .collect();
+        // Which attributes each alpha memory must index for the
+        // equality probes of its successor two-input nodes.
+        let mut alpha_keys: Vec<Vec<SymbolId>> = vec![Vec::new(); network.alpha.len()];
+        for spec in &network.nodes {
+            if let (Some(alpha), Some(t)) =
+                (spec.alpha, spec.tests.iter().find(|t| t.op == PredOp::Eq))
+            {
+                let keys = &mut alpha_keys[alpha.index()];
+                if !keys.contains(&t.own_attr) {
+                    keys.push(t.own_attr);
+                }
+            }
+        }
         ReteMatcher {
             alpha_mems: vec![Vec::new(); network.alpha.len()],
-            alpha_index: vec![HashMap::new(); network.alpha.len()],
+            alpha_index: vec![FxHashMap::default(); network.alpha.len()],
+            alpha_keys,
             mem_keys,
-            memory: MemoryStrategy::Linear,
+            memory: MemoryStrategy::default(),
             states,
             network,
             stats: MatchStats::default(),
@@ -232,6 +298,8 @@ impl ReteMatcher {
             prof_local: Vec::new(),
             prof_touched: Vec::new(),
             sanitizer: None,
+            phantom_published: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -327,6 +395,20 @@ impl ReteMatcher {
         self.prof_touched.clear();
     }
 
+    /// Publishes the `rete.token.phantom_removes` counter delta to the
+    /// attached obs registry — once per [`Matcher`] call, and only when
+    /// the count moved (healthy runs never pay the registry lock).
+    fn flush_metrics(&mut self) {
+        if self.stats.phantom_removes == self.phantom_published {
+            return;
+        }
+        let delta = self.stats.phantom_removes - self.phantom_published;
+        self.phantom_published = self.stats.phantom_removes;
+        if let Some(obs) = &self.obs {
+            obs.metrics.counter("rete.token.phantom_removes").add(delta);
+        }
+    }
+
     /// The compiled network.
     pub fn network(&self) -> &Arc<Network> {
         &self.network
@@ -375,6 +457,48 @@ impl ReteMatcher {
         self.alpha_mems.iter().map(Vec::len).sum()
     }
 
+    /// Total entries resident across all hash-index buckets (alpha
+    /// `(attr, value)` buckets plus beta `(pos, attr, value)` buckets).
+    ///
+    /// Under [`MemoryStrategy::Hashed`] this must track residency: after
+    /// a full assert/retract churn cycle it returns to its baseline. A
+    /// value that keeps growing while `resident_tokens` and
+    /// `resident_alpha_entries` are flat is a stale-index leak.
+    pub fn resident_index_entries(&self) -> usize {
+        let alpha: usize = self
+            .alpha_index
+            .iter()
+            .flat_map(|index| index.values().map(Bucket::len))
+            .sum();
+        let beta: usize = self
+            .states
+            .iter()
+            .map(|s| match s {
+                NodeState::Mem { index, .. } => index.values().map(Bucket::len).sum(),
+                _ => 0,
+            })
+            .sum();
+        alpha + beta
+    }
+
+    /// Number of hash-index buckets currently allocated (alpha + beta).
+    ///
+    /// Empty buckets are pruned on removal, so this also returns to its
+    /// baseline after a churn cycle instead of growing with the number
+    /// of distinct values ever seen.
+    pub fn resident_index_buckets(&self) -> usize {
+        let alpha: usize = self.alpha_index.iter().map(FxHashMap::len).sum();
+        let beta: usize = self
+            .states
+            .iter()
+            .map(|s| match s {
+                NodeState::Mem { index, .. } => index.len(),
+                _ => 0,
+            })
+            .sum();
+        alpha + beta
+    }
+
     /// Total tokens resident across beta memories and negative nodes.
     pub fn resident_tokens(&self) -> usize {
         self.states
@@ -421,7 +545,9 @@ impl ReteMatcher {
         }
 
         let net = Arc::clone(&self.network);
-        let (alphas, const_tests) = net.alpha.matching(wme);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let alphas = &mut scratch.alphas;
+        let const_tests = net.alpha.matching_into(wme, alphas);
         self.stats.constant_tests += const_tests;
         let const_act = self.trace_record(
             None,
@@ -432,14 +558,15 @@ impl ReteMatcher {
             alphas.len() as u32,
         );
         if self.tracer.is_some() {
-            let affected = net.affected_productions(&alphas);
+            let affected = net.affected_productions(alphas);
             if let Some(t) = self.tracer.as_mut() {
                 t.set_affected(affected);
             }
         }
 
         let seed_started = self.profile.is_some().then(Instant::now);
-        let mut queue: VecDeque<Task> = VecDeque::new();
+        let queue = &mut scratch.queue;
+        debug_assert!(queue.is_empty() && scratch.deferred.is_empty());
         // Right activations of negative nodes are deferred behind all
         // other right activations of the same change. A negative node
         // mutates its match counts synchronously inside its task, but a
@@ -449,8 +576,8 @@ impl ReteMatcher {
         // conjugate-pair accounting breaks: a WME removal that unblocks a
         // token would make the join emit a minus for a pair that was
         // blocked — hence never built — while the WME was live.
-        let mut deferred: Vec<Task> = Vec::new();
-        for &alpha in &alphas {
+        let deferred = &mut scratch.deferred;
+        for &alpha in alphas.iter() {
             let mem = &mut self.alpha_mems[alpha.index()];
             match sign {
                 Sign::Plus => mem.push(id),
@@ -462,13 +589,25 @@ impl ReteMatcher {
             }
             if self.memory == MemoryStrategy::Hashed {
                 let index = &mut self.alpha_index[alpha.index()];
-                for (attr, value) in wme.attrs() {
-                    let bucket = index.entry((attr, value)).or_default();
+                for &attr in &self.alpha_keys[alpha.index()] {
+                    let Some(value) = wme.get(attr) else {
+                        continue; // unprobeable: an Eq test on it would fail
+                    };
                     match sign {
-                        Sign::Plus => bucket.push(id),
+                        Sign::Plus => match index.entry((attr, value)) {
+                            Entry::Occupied(mut e) => e.get_mut().push(id),
+                            Entry::Vacant(e) => {
+                                e.insert(Bucket::One(id));
+                            }
+                        },
                         Sign::Minus => {
-                            if let Some(pos) = bucket.iter().position(|&w| w == id) {
-                                bucket.swap_remove(pos);
+                            // Prune buckets that drain to empty so churn
+                            // workloads don't grow the map with every
+                            // distinct value ever seen.
+                            if let Some(bucket) = index.get_mut(&(attr, value)) {
+                                if bucket.remove(&id) {
+                                    index.remove(&(attr, value));
+                                }
                             }
                         }
                     }
@@ -493,12 +632,19 @@ impl ReteMatcher {
                 };
                 if net.node(succ).kind == NodeKind::Negative {
                     deferred.push(task);
-                } else {
+                } else if !self.left_input_is_empty(net.node(succ).left) {
+                    // A right activation whose left input holds no
+                    // tokens scans nothing and mutates nothing; seeds
+                    // all run before any same-change memory update (the
+                    // queue is FIFO and updates ride behind every
+                    // seed), so the emptiness seen here is exactly what
+                    // the activation would see. Skipping it only saves
+                    // the dispatch.
                     queue.push_back(task);
                 }
             }
         }
-        queue.extend(deferred);
+        queue.extend(deferred.drain(..));
 
         if let Some(t0) = seed_started {
             let ns = t0.elapsed().as_nanos() as u64;
@@ -520,7 +666,7 @@ impl ReteMatcher {
                 let kind = self.task_kind(&task);
                 let node = task.node.0;
                 let t0 = Instant::now();
-                self.run_task(wm, task, &mut queue, delta);
+                self.run_task(&net, wm, task, queue, delta);
                 let ns = t0.elapsed().as_nanos() as u64;
                 if let Some(p) = self.profile.as_mut() {
                     p.record(kind, node, ns);
@@ -531,8 +677,23 @@ impl ReteMatcher {
                     }
                 }
             } else {
-                self.run_task(wm, task, &mut queue, delta);
+                self.run_task(&net, wm, task, queue, delta);
             }
+        }
+        self.scratch = scratch;
+    }
+
+    /// True when a two-input node's left input can produce no tokens: a
+    /// beta memory with no resident tokens, or a negative node with no
+    /// entries at all. The dummy top input always yields its one token.
+    fn left_input_is_empty(&self, left: Option<NodeId>) -> bool {
+        match left {
+            None => false,
+            Some(id) => match &self.states[id.index()] {
+                NodeState::Mem { tokens, .. } => tokens.is_empty(),
+                NodeState::Neg(entries) => entries.is_empty(),
+                NodeState::Stateless => false,
+            },
         }
     }
 
@@ -550,12 +711,12 @@ impl ReteMatcher {
 
     fn run_task(
         &mut self,
+        net: &Network,
         wm: &WorkingMemory,
         task: Task,
         queue: &mut VecDeque<Task>,
         delta: &mut MatchDelta,
     ) {
-        let net = Arc::clone(&self.network);
         let spec = net.node(task.node);
         match (spec.kind, task.payload) {
             (NodeKind::Join, Payload::Right(wme_id)) => {
@@ -573,7 +734,7 @@ impl ReteMatcher {
                         outputs.push(token.extended(wme_id));
                     }
                 };
-                match &hashed_left {
+                match hashed_left {
                     Some(tokens) => tokens.iter().for_each(&mut body),
                     None => self.for_each_left_token(spec.left, body),
                 }
@@ -595,7 +756,15 @@ impl ReteMatcher {
                     outputs.len() as u32,
                 );
                 for token in outputs {
-                    self.dispatch_children(task.node, &spec.children, token, task.sign, act, queue);
+                    self.dispatch_children(
+                        net,
+                        task.node,
+                        &spec.children,
+                        token,
+                        task.sign,
+                        act,
+                        queue,
+                    );
                 }
             }
             (NodeKind::Join, Payload::Left(token)) => {
@@ -604,11 +773,11 @@ impl ReteMatcher {
                 let mut tests_n = 0u32;
                 let mut scanned = 0u32;
                 let alpha = spec.alpha.expect("join has alpha");
-                let hashed = self.hashed_candidates(alpha, &spec.tests, &token, wm);
-                let candidates: &[WmeId] = match &hashed {
-                    Some(v) => v,
-                    None => &self.alpha_mems[alpha.index()],
-                };
+                let candidates: &[WmeId] =
+                    match self.hashed_candidates(alpha, &spec.tests, &token, wm) {
+                        Some(v) => v,
+                        None => &self.alpha_mems[alpha.index()],
+                    };
                 for &wme_id in candidates {
                     scanned += 1;
                     let wme = wm.get(wme_id).expect("live wme in alpha memory");
@@ -636,65 +805,90 @@ impl ReteMatcher {
                     outputs.len() as u32,
                 );
                 for out in outputs {
-                    self.dispatch_children(task.node, &spec.children, out, task.sign, act, queue);
+                    self.dispatch_children(
+                        net,
+                        task.node,
+                        &spec.children,
+                        out,
+                        task.sign,
+                        act,
+                        queue,
+                    );
                 }
             }
             (NodeKind::BetaMemory, Payload::Left(token)) => {
                 self.stats.beta_mem_ops += 1;
-                // Resolve the token's index-key values before borrowing
-                // the node state mutably.
-                let key_values: Vec<((usize, SymbolId), Option<Value>)> =
-                    if self.memory == MemoryStrategy::Hashed {
-                        self.mem_keys[task.node.index()]
-                            .iter()
-                            .map(|&(pos, attr)| {
-                                (
-                                    (pos, attr),
-                                    token
-                                        .wme_at(pos)
-                                        .and_then(|id| wm.get(id))
-                                        .and_then(|w| w.get(attr)),
-                                )
-                            })
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
-                let NodeState::Mem { tokens, index } = &mut self.states[task.node.index()] else {
+                let hashed = self.memory == MemoryStrategy::Hashed;
+                let node_keys = &self.mem_keys[task.node.index()];
+                let NodeState::Mem {
+                    tokens,
+                    keys,
+                    index,
+                } = &mut self.states[task.node.index()]
+                else {
                     unreachable!("beta memory state")
                 };
                 match task.sign {
                     Sign::Plus => {
+                        // Key values are resolved from the working
+                        // memory exactly once, here at insert time, and
+                        // carried with the entry; the WME is live per
+                        // the matcher contract and immutable after, so
+                        // the captured values stay authoritative for
+                        // the whole residency of the token.
                         tokens.push(token.clone());
-                        self.stats.token_added();
-                        for ((pos, attr), value) in &key_values {
-                            if let Some(v) = value {
-                                index
-                                    .entry((*pos, *attr, *v))
-                                    .or_default()
-                                    .push(token.clone());
-                            }
-                        }
-                    }
-                    Sign::Minus => {
-                        if let Some(pos) = tokens.iter().position(|t| *t == token) {
-                            tokens.swap_remove(pos);
-                            self.stats.token_removed();
-                        } else {
-                            debug_assert!(
-                                false,
-                                "deleting token absent from beta memory: node {:?} token {:?}",
-                                task.node, token
-                            );
-                        }
-                        for ((pos, attr), value) in &key_values {
-                            if let Some(v) = value {
-                                if let Some(bucket) = index.get_mut(&(*pos, *attr, *v)) {
-                                    if let Some(i) = bucket.iter().position(|t| *t == token) {
-                                        bucket.swap_remove(i);
+                        if hashed {
+                            for &(pos, attr) in node_keys {
+                                let value = token
+                                    .wme_at(pos)
+                                    .and_then(|id| wm.get(id))
+                                    .and_then(|w| w.get(attr));
+                                if let Some(v) = value {
+                                    match index.entry((pos, attr, v)) {
+                                        Entry::Occupied(mut e) => e.get_mut().push(token.clone()),
+                                        Entry::Vacant(e) => {
+                                            e.insert(Bucket::One(token.clone()));
+                                        }
                                     }
                                 }
+                                keys.push(value);
                             }
+                        }
+                        self.stats.token_added();
+                    }
+                    Sign::Minus => {
+                        if let Some(at) = tokens.iter().position(|t| *t == token) {
+                            tokens.swap_remove(at);
+                            if hashed {
+                                // Remove bucket entries through the
+                                // captured insert-time keys — never by
+                                // re-resolving from `wm`, whose view may
+                                // already lack the referenced WMEs.
+                                let k = node_keys.len();
+                                for (j, &(pos, attr)) in node_keys.iter().enumerate() {
+                                    if let Some(v) = keys[at * k + j] {
+                                        let key = (pos, attr, v);
+                                        if let Some(bucket) = index.get_mut(&key) {
+                                            if bucket.remove(&token) {
+                                                index.remove(&key);
+                                            }
+                                        }
+                                    }
+                                }
+                                // Swap-remove the captured chunk to
+                                // mirror the token's swap_remove above.
+                                let last = keys.len() - k;
+                                for j in 0..k {
+                                    keys.swap(at * k + j, last + j);
+                                }
+                                keys.truncate(last);
+                            }
+                            self.stats.token_removed();
+                        } else {
+                            // Silent in earlier releases (debug_assert
+                            // only); now counted so chaos/failover
+                            // suites can gate on zero.
+                            self.stats.phantom_removes += 1;
                         }
                     }
                 }
@@ -713,6 +907,13 @@ impl ReteMatcher {
                     spec.children.len() as u32,
                 );
                 for &child in &spec.children {
+                    let child_spec = net.node(child);
+                    if child_spec.kind == NodeKind::Join {
+                        let alpha = child_spec.alpha.expect("join has alpha");
+                        if self.alpha_mems[alpha.index()].is_empty() {
+                            continue; // see dispatch_children
+                        }
+                    }
                     queue.push_back(Task {
                         node: child,
                         payload: Payload::Left(token.clone()),
@@ -729,11 +930,11 @@ impl ReteMatcher {
                         let mut count = 0u32;
                         let mut tests_n = 0u32;
                         let mut scanned = 0u32;
-                        let hashed = self.hashed_candidates(alpha, &spec.tests, &token, wm);
-                        let candidates: &[WmeId] = match &hashed {
-                            Some(v) => v,
-                            None => &self.alpha_mems[alpha.index()],
-                        };
+                        let candidates: &[WmeId] =
+                            match self.hashed_candidates(alpha, &spec.tests, &token, wm) {
+                                Some(v) => v,
+                                None => &self.alpha_mems[alpha.index()],
+                            };
                         for &wme_id in candidates {
                             scanned += 1;
                             let wme = wm.get(wme_id).expect("live wme");
@@ -763,7 +964,7 @@ impl ReteMatcher {
                             entries.swap_remove(pos);
                             self.stats.token_removed();
                         } else {
-                            debug_assert!(false, "deleting token absent from negative node");
+                            self.stats.phantom_removes += 1;
                         }
                         (was_zero, 0, 0)
                     }
@@ -785,7 +986,15 @@ impl ReteMatcher {
                     u32::from(propagate),
                 );
                 if propagate {
-                    self.dispatch_children(task.node, &spec.children, token, task.sign, act, queue);
+                    self.dispatch_children(
+                        net,
+                        task.node,
+                        &spec.children,
+                        token,
+                        task.sign,
+                        act,
+                        queue,
+                    );
                 }
             }
             (NodeKind::Negative, Payload::Right(wme_id)) => {
@@ -846,7 +1055,15 @@ impl ReteMatcher {
                     Sign::Minus => Sign::Plus,
                 };
                 for token in flips {
-                    self.dispatch_children(task.node, &spec.children, token, out_sign, act, queue);
+                    self.dispatch_children(
+                        net,
+                        task.node,
+                        &spec.children,
+                        token,
+                        out_sign,
+                        act,
+                        queue,
+                    );
                 }
             }
             (NodeKind::Terminal, Payload::Left(token)) => {
@@ -857,17 +1074,25 @@ impl ReteMatcher {
                     spec.production.expect("terminal has production"),
                     token.into_wmes(),
                 );
-                let single = match task.sign {
-                    Sign::Plus => MatchDelta {
-                        added: vec![inst],
-                        removed: vec![],
-                    },
-                    Sign::Minus => MatchDelta {
-                        added: vec![],
-                        removed: vec![inst],
-                    },
-                };
-                delta.merge(single);
+                // Equivalent to `delta.merge(..)` with a single-entry
+                // delta — net out an earlier opposite change, without
+                // allocating a throwaway delta per conflict change.
+                match task.sign {
+                    Sign::Plus => {
+                        if let Some(pos) = delta.removed.iter().position(|i| *i == inst) {
+                            delta.removed.swap_remove(pos);
+                        } else {
+                            delta.added.push(inst);
+                        }
+                    }
+                    Sign::Minus => {
+                        if let Some(pos) = delta.added.iter().position(|i| *i == inst) {
+                            delta.added.swap_remove(pos);
+                        } else {
+                            delta.removed.push(inst);
+                        }
+                    }
+                }
             }
             (kind, payload) => unreachable!(
                 "invalid activation: {kind:?} with {payload:?}",
@@ -890,7 +1115,7 @@ impl ReteMatcher {
         left: Option<NodeId>,
         tests: &[JoinTest],
         wme: &Wme,
-    ) -> Option<Vec<Token>> {
+    ) -> Option<&[Token]> {
         if self.memory != MemoryStrategy::Hashed {
             return None;
         }
@@ -902,9 +1127,8 @@ impl ReteMatcher {
         Some(match wme.get(t.own_attr) {
             Some(v) => index
                 .get(&(t.token_pos, t.token_attr, v))
-                .cloned()
-                .unwrap_or_default(),
-            None => Vec::new(),
+                .map_or(&[][..], Bucket::as_slice),
+            None => &[],
         })
     }
 
@@ -919,7 +1143,7 @@ impl ReteMatcher {
         tests: &[JoinTest],
         token: &Token,
         wm: &WorkingMemory,
-    ) -> Option<Vec<WmeId>> {
+    ) -> Option<&[WmeId]> {
         if self.memory != MemoryStrategy::Hashed {
             return None;
         }
@@ -931,9 +1155,8 @@ impl ReteMatcher {
         Some(match value {
             Some(v) => self.alpha_index[alpha.index()]
                 .get(&(t.own_attr, v))
-                .cloned()
-                .unwrap_or_default(),
-            None => Vec::new(),
+                .map_or(&[][..], Bucket::as_slice),
+            None => &[],
         })
     }
 
@@ -954,8 +1177,15 @@ impl ReteMatcher {
     }
 
     /// Routes a token produced at `from` to a two-input node's children.
+    ///
+    /// A left activation of a *join* whose alpha memory is empty scans
+    /// nothing and mutates nothing, so it is not enqueued at all. Alpha
+    /// memories only change in the seed phase, before the queue drains,
+    /// so the emptiness seen here is what the activation would see.
+    /// Negative children always run — they record the token.
     fn dispatch_children(
         &mut self,
+        net: &Network,
         from: NodeId,
         children: &[NodeId],
         token: Token,
@@ -965,6 +1195,13 @@ impl ReteMatcher {
     ) {
         self.obs_flight_token(from, &token, sign);
         for &child in children {
+            let child_spec = net.node(child);
+            if child_spec.kind == NodeKind::Join {
+                let alpha = child_spec.alpha.expect("join has alpha");
+                if self.alpha_mems[alpha.index()].is_empty() {
+                    continue;
+                }
+            }
             queue.push_back(Task {
                 node: child,
                 payload: Payload::Left(token.clone()),
@@ -1020,6 +1257,7 @@ impl Matcher for ReteMatcher {
         let mut delta = MatchDelta::new();
         self.process_change(wm, id, Sign::Plus, &mut delta);
         self.flush_profile();
+        self.flush_metrics();
         delta
     }
 
@@ -1027,6 +1265,7 @@ impl Matcher for ReteMatcher {
         let mut delta = MatchDelta::new();
         self.process_change(wm, id, Sign::Minus, &mut delta);
         self.flush_profile();
+        self.flush_metrics();
         delta
     }
 
@@ -1048,6 +1287,7 @@ impl Matcher for ReteMatcher {
             t.end_cycle();
         }
         self.flush_profile();
+        self.flush_metrics();
         delta
     }
 
@@ -1426,9 +1666,14 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut linear = ReteMatcher::compile(&program).unwrap();
-        let mut hashed = ReteMatcher::compile_hashed(&program).unwrap();
-        assert_eq!(hashed.memory_strategy(), MemoryStrategy::Hashed);
+        let mut linear = ReteMatcher::compile_linear(&program).unwrap();
+        let mut hashed = ReteMatcher::compile(&program).unwrap();
+        assert_eq!(linear.memory_strategy(), MemoryStrategy::Linear);
+        assert_eq!(
+            hashed.memory_strategy(),
+            MemoryStrategy::Hashed,
+            "hashed memories are the production default"
+        );
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();
         let mut ids = Vec::new();
@@ -1475,7 +1720,8 @@ mod tests {
         // right activation on the final CE: linear scans every token,
         // hashed probes one bucket.
         let src = "(p r (g ^x <v>) (h ^x <v>) (i ^x <v>) --> (remove 1))";
-        let (_p, mut lin, mut wm, mut syms) = setup(src);
+        let (program, _m, mut wm, mut syms) = setup(src);
+        let mut lin = ReteMatcher::compile_linear(&program).unwrap();
         let program2 = parse_program(src).unwrap();
         let mut hsh = ReteMatcher::compile_hashed(&program2).unwrap();
 
@@ -1567,14 +1813,17 @@ mod tests {
         assert_eq!(row(joins[0]).pairs, 2);
         assert_eq!(row(joins[0]).tokens_out, 2);
         assert!((row(joins[0]).selectivity - 1.0).abs() < 1e-12);
-        // The b-join: two left activations against an empty alpha
-        // memory, then one right activation scanning two stored tokens
-        // of which one matches — measured selectivity 1/2.
-        assert_eq!(row(joins[1]).left, 2);
+        // The b-join: the two tokens produced by the `a` inserts would
+        // left-activate it, but its alpha memory is empty at that point
+        // and empty-input activations are skipped at dispatch, so only
+        // the one right activation runs. Under the hashed default it
+        // probes the left memory's `(0, x, 1)` bucket, so only the one
+        // matching token is scanned.
+        assert_eq!(row(joins[1]).left, 0);
         assert_eq!(row(joins[1]).right, 1);
-        assert_eq!(row(joins[1]).pairs, 2);
+        assert_eq!(row(joins[1]).pairs, 1);
         assert_eq!(row(joins[1]).tokens_out, 1);
-        assert!((row(joins[1]).selectivity - 0.5).abs() < 1e-12);
+        assert!((row(joins[1]).selectivity - 1.0).abs() < 1e-12);
         // The c-join: the single surviving token meets the single c WME.
         assert_eq!(row(joins[2]).pairs, 1);
         assert_eq!(row(joins[2]).tokens_out, 1);
@@ -1588,6 +1837,98 @@ mod tests {
         assert!(
             snap.rows.iter().any(|r| r.latency.count > 0),
             "detail toggle enables latency recording"
+        );
+    }
+
+    /// Stale-index regression (ISSUE 10): a beta-memory minus must
+    /// remove the token's hash-bucket entries through the key values
+    /// captured at insert time. Re-resolving them from the caller's
+    /// working memory is wrong the moment that view diverges — the
+    /// `Matcher` contract only guarantees the *changed* WME is
+    /// resolvable, not every WME a resident token references. Pre-fix,
+    /// the bucket entry survives the retraction (a phantom join
+    /// candidate) and the index grows without bound under churn.
+    #[test]
+    fn minus_uses_captured_keys_not_the_callers_wm_view() {
+        // `d` probes M3 (the memory after the c-join) on `(1, q)` — a
+        // key living on the *b* WME — while the c-join's own test only
+        // touches position 0 (the `a` WME). Retracting `c` therefore
+        // reaches M3 without ever needing `b` to be resolvable.
+        let (_p, mut m, mut wm, mut syms) =
+            setup("(p r (a ^u <x>) (b ^q <y>) (c ^u <x>) (d ^q <y>) --> (remove 1))");
+        add(&mut m, &mut wm, &mut syms, "(a ^u 1)");
+        let (ib, _) = add(&mut m, &mut wm, &mut syms, "(b ^q 7)");
+        let before = m.resident_index_entries();
+        let (ic, _) = add(&mut m, &mut wm, &mut syms, "(c ^u 1)");
+        // `c` adds one alpha-index entry and one M3 bucket entry.
+        assert_eq!(m.resident_index_entries(), before + 2);
+
+        // The caller's WM view drops `b` without informing the matcher
+        // (divergent replica / crash-recovery edge), then retracts `c`
+        // through the normal path. `c` itself is still resolvable, so
+        // the call is in contract.
+        wm.remove(ib);
+        let d = m.process(&wm, &[Change::Remove(ic)]);
+        assert!(d.is_empty());
+
+        // The (a b c) token is gone from M3's bucket even though its
+        // `(1, q)` key WME was unresolvable at minus time.
+        assert_eq!(
+            m.resident_index_entries(),
+            before,
+            "retraction must clean the hash bucket via captured keys"
+        );
+        assert_eq!(m.stats().phantom_removes, 0);
+    }
+
+    /// Empty buckets are pruned on removal: a full assert/retract churn
+    /// cycle returns both the entry count and the bucket (key) count to
+    /// baseline instead of growing with every distinct value ever seen.
+    #[test]
+    fn index_buckets_prune_to_baseline_after_churn() {
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
+        assert_eq!(m.resident_index_entries(), 0);
+        assert_eq!(m.resident_index_buckets(), 0);
+        for round in 0..3 {
+            let mut ids = Vec::new();
+            for i in 0..10 {
+                let v = round * 100 + i; // fresh values every round
+                let (id, _) = add(&mut m, &mut wm, &mut syms, &format!("(a ^x {v})"));
+                ids.push(id);
+                let (id, _) = add(&mut m, &mut wm, &mut syms, &format!("(b ^x {v})"));
+                ids.push(id);
+            }
+            assert!(m.resident_index_buckets() > 0);
+            for id in ids {
+                remove(&mut m, &mut wm, id);
+            }
+            assert_eq!(m.resident_index_entries(), 0, "round {round}");
+            assert_eq!(m.resident_index_buckets(), 0, "round {round}");
+        }
+        assert_eq!(m.resident_alpha_entries(), 0);
+        assert_eq!(m.stats().phantom_removes, 0);
+    }
+
+    /// Deleting a token absent from a memory is counted (not just
+    /// debug-asserted) and published as `rete.token.phantom_removes`.
+    #[test]
+    fn phantom_removes_are_counted_and_published() {
+        let (_p, mut m, mut wm, mut syms) = setup("(p r (a ^x <v>) (b ^x <v>) --> (remove 1))");
+        let obs = Arc::new(Obs::new(16));
+        m.attach_obs(Arc::clone(&obs));
+        let (ia, _) = add(&mut m, &mut wm, &mut syms, "(a ^x 1)");
+        let d = m.remove_wme(&wm, ia);
+        assert!(d.is_empty());
+        assert_eq!(m.stats().phantom_removes, 0);
+        // A duplicate retraction (API misuse / divergent caller) now
+        // reaches a beta memory that no longer holds the token.
+        let d = m.remove_wme(&wm, ia);
+        assert!(d.is_empty());
+        assert_eq!(m.stats().phantom_removes, 1);
+        assert_eq!(
+            obs.metrics.counter("rete.token.phantom_removes").get(),
+            1,
+            "counter published on flush"
         );
     }
 

@@ -15,18 +15,20 @@
 //! snapshot of a restored-and-replayed matcher byte-for-byte against the
 //! snapshot of a matcher that lived through the same changes.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use ops5::{ByteReader, ByteWriter, CodecError, SymbolId, Value, WmeId};
+use ops5::{ByteReader, ByteWriter, CodecError, FxHashMap, SymbolId, Value, WmeId};
 
+use crate::bucket::Bucket;
 use crate::network::Network;
 use crate::runtime::{MemoryStrategy, NegEntry, NodeState, ReteMatcher};
 use crate::stats::MatchStats;
 use crate::token::Token;
 
 const MAGIC: [u8; 4] = *b"PSMR";
-const VERSION: u32 = 1;
+// v2: `phantom_removes` joined the stats block, and beta-memory entries
+// carry their captured hash-index key values (parallel to the tokens).
+const VERSION: u32 = 2;
 
 /// A serialized matcher state (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +91,7 @@ fn encode_stats(w: &mut ByteWriter, s: &MatchStats) {
         s.conflict_changes,
         s.peak_tokens,
         s.live_tokens,
+        s.phantom_removes,
     ] {
         w.u64(v);
     }
@@ -110,10 +113,37 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<MatchStats, CodecError> {
         &mut s.conflict_changes,
         &mut s.peak_tokens,
         &mut s.live_tokens,
+        &mut s.phantom_removes,
     ] {
         *field = r.u64()?;
     }
     Ok(s)
+}
+
+fn encode_captured_keys(w: &mut ByteWriter, keys: &[Option<Value>]) {
+    w.usize(keys.len());
+    for key in keys {
+        match key {
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+            None => w.u8(0),
+        }
+    }
+}
+
+fn decode_captured_keys(r: &mut ByteReader<'_>) -> Result<Box<[Option<Value>]>, CodecError> {
+    let n = r.usize()?;
+    let mut keys = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        keys.push(match r.u8()? {
+            0 => None,
+            1 => Some(Value::decode(r)?),
+            _ => return Err(CodecError::Invalid("bad captured-key tag")),
+        });
+    }
+    Ok(keys.into_boxed_slice())
 }
 
 impl ReteMatcher {
@@ -147,18 +177,31 @@ impl ReteMatcher {
                 key.1.encode(&mut w);
                 let bucket = &index[key];
                 w.usize(bucket.len());
-                for &id in bucket {
+                for &id in bucket.as_slice() {
                     w.u32(id.index() as u32);
                 }
             }
         }
-        for state in &self.states {
+        for (node, state) in self.states.iter().enumerate() {
             match state {
-                NodeState::Mem { tokens, index } => {
+                NodeState::Mem {
+                    tokens,
+                    keys,
+                    index,
+                } => {
                     w.u8(0);
                     w.usize(tokens.len());
                     for t in tokens {
                         encode_token(&mut w, t);
+                    }
+                    // Captured insert-time key values, one fixed-width
+                    // chunk per token (none under the linear strategy;
+                    // the runtime stores them flattened).
+                    let width = self.mem_keys[node].len();
+                    let chunks = if width == 0 { 0 } else { keys.len() / width };
+                    w.usize(chunks);
+                    for chunk in keys.chunks_exact(width.max(1)).take(chunks) {
+                        encode_captured_keys(&mut w, chunk);
                     }
                     let mut keys: Vec<&(usize, SymbolId, Value)> = index.keys().collect();
                     keys.sort_unstable();
@@ -169,7 +212,7 @@ impl ReteMatcher {
                         key.2.encode(&mut w);
                         let bucket = &index[key];
                         w.usize(bucket.len());
-                        for t in bucket {
+                        for t in bucket.as_slice() {
                             encode_token(&mut w, t);
                         }
                     }
@@ -229,7 +272,7 @@ impl ReteMatcher {
         let mut alpha_index = Vec::with_capacity(alphas);
         for _ in 0..alphas {
             let keys = r.usize()?;
-            let mut index: HashMap<(SymbolId, Value), Vec<WmeId>> = HashMap::new();
+            let mut index: FxHashMap<(SymbolId, Value), Bucket<WmeId>> = FxHashMap::default();
             for _ in 0..keys {
                 let sym = SymbolId::from_index(r.u32()? as usize);
                 let value = Value::decode(&mut r)?;
@@ -238,7 +281,9 @@ impl ReteMatcher {
                 for _ in 0..len {
                     bucket.push(WmeId::from_index(r.u32()? as usize));
                 }
-                index.insert((sym, value), bucket);
+                if let Some(bucket) = Bucket::from_vec(bucket) {
+                    index.insert((sym, value), bucket);
+                }
             }
             alpha_index.push(index);
         }
@@ -251,8 +296,25 @@ impl ReteMatcher {
                     for _ in 0..n {
                         tokens.push(decode_token(&mut r)?);
                     }
+                    let nk = r.usize()?;
+                    if nk != 0 && nk != n {
+                        return Err(CodecError::Invalid("captured keys not parallel to tokens"));
+                    }
+                    // Flatten the per-token chunks into the runtime's
+                    // flat parallel layout; all chunks of one node must
+                    // share a width.
+                    let mut captured: Vec<Option<Value>> = Vec::new();
+                    let mut width: Option<usize> = None;
+                    for _ in 0..nk {
+                        let chunk = decode_captured_keys(&mut r)?;
+                        if *width.get_or_insert(chunk.len()) != chunk.len() {
+                            return Err(CodecError::Invalid("ragged captured-key chunks"));
+                        }
+                        captured.extend(chunk.iter().cloned());
+                    }
                     let keys = r.usize()?;
-                    let mut index: HashMap<(usize, SymbolId, Value), Vec<Token>> = HashMap::new();
+                    let mut index: FxHashMap<(usize, SymbolId, Value), Bucket<Token>> =
+                        FxHashMap::default();
                     for _ in 0..keys {
                         let pos = r.usize()?;
                         let sym = SymbolId::from_index(r.u32()? as usize);
@@ -262,9 +324,15 @@ impl ReteMatcher {
                         for _ in 0..len {
                             bucket.push(decode_token(&mut r)?);
                         }
-                        index.insert((pos, sym, value), bucket);
+                        if let Some(bucket) = Bucket::from_vec(bucket) {
+                            index.insert((pos, sym, value), bucket);
+                        }
                     }
-                    NodeState::Mem { tokens, index }
+                    NodeState::Mem {
+                        tokens,
+                        keys: captured,
+                        index,
+                    }
                 }
                 1 => {
                     let n = r.usize()?;
@@ -315,7 +383,7 @@ mod tests {
         let mut m = if hashed {
             ReteMatcher::compile_hashed(&program).unwrap()
         } else {
-            ReteMatcher::compile(&program).unwrap()
+            ReteMatcher::compile_linear(&program).unwrap()
         };
         let mut wm = WorkingMemory::new();
         let mut syms = program.symbols.clone();

@@ -33,6 +33,14 @@ pub struct MatchStats {
     pub peak_tokens: u64,
     /// Tokens currently resident (internal bookkeeping for `peak_tokens`).
     pub live_tokens: u64,
+    /// Deletions of tokens that were absent from the targeted memory.
+    ///
+    /// A non-zero count means a retraction propagated to a node that held
+    /// no matching state — the signature of a stale index or a divergent
+    /// working-memory view. Healthy runs keep this at zero; the chaos and
+    /// failover suites gate on it via the `rete.token.phantom_removes`
+    /// metric.
+    pub phantom_removes: u64,
 }
 
 impl MatchStats {
@@ -94,6 +102,7 @@ impl MatchStats {
         self.conflict_changes = self.conflict_changes.saturating_add(other.conflict_changes);
         self.peak_tokens = self.peak_tokens.saturating_add(other.peak_tokens);
         self.live_tokens = self.live_tokens.saturating_add(other.live_tokens);
+        self.phantom_removes = self.phantom_removes.saturating_add(other.phantom_removes);
     }
 
     /// [`MatchStats::merge`] over any number of partial stats.

@@ -1,6 +1,7 @@
 //! Tokens: partial matches flowing through the beta network.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ops5::WmeId;
 
@@ -11,27 +12,51 @@ use ops5::WmeId;
 /// to working memory elements that match a subsequence of condition
 /// elements in a left-hand side."* Negated condition elements contribute
 /// no entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Token(Vec<WmeId>);
+///
+/// Storage is a shared immutable pool allocation (`Arc<[WmeId]>`): a
+/// token's WME list is written once at creation and then referenced from
+/// every memory, hash-index bucket, trace record, and conflict-set
+/// instantiation that mentions it. Cloning bumps a refcount instead of
+/// copying the list, so the hash-indexed memories (which hold each token
+/// in both the residency list and its index bucket) do not multiply
+/// allocation churn. The allocation is freed when the last reference
+/// drops — there is no separate arena to reset, so snapshot/restore and
+/// partial retract never dangle.
+#[derive(Debug, Clone, Eq, Hash, Default)]
+pub struct Token(Arc<[WmeId]>);
+
+impl PartialEq for Token {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Retractions carry clones of the originally-inserted token, so
+        // memory-removal scans almost always compare a token against an
+        // `Arc` sharing its own pool allocation. Pointer identity settles
+        // those in two loads; only distinct allocations fall through to
+        // the slice compare.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
 
 impl Token {
     /// The empty token fed to the top of the network (matches the empty
     /// prefix of every production).
     pub fn top() -> Self {
-        Token(Vec::new())
+        Token::default()
     }
 
     /// Creates a token from WMEs in CE order.
     pub fn from_wmes(wmes: Vec<WmeId>) -> Self {
-        Token(wmes)
+        Token(wmes.into())
     }
 
     /// Extends the token with the WME matching the next positive CE.
+    /// The parent's storage is shared, not mutated: the extension is a
+    /// fresh pool allocation referencing the same prefix WMEs.
     pub fn extended(&self, wme: WmeId) -> Token {
         let mut v = Vec::with_capacity(self.0.len() + 1);
         v.extend_from_slice(&self.0);
         v.push(wme);
-        Token(v)
+        Token(v.into())
     }
 
     /// The WME at positive-CE position `i`.
@@ -46,7 +71,7 @@ impl Token {
 
     /// Consumes the token, yielding its WME list.
     pub fn into_wmes(self) -> Vec<WmeId> {
-        self.0
+        self.0.to_vec()
     }
 
     /// Number of matched positive CEs.

@@ -12,7 +12,7 @@
 //! | `min_ces..=max_ces`, `join_values` | variance of per-production processing |
 //! | `wm_size` | stable working-memory size `s` (§3.1 cost model) |
 
-use ops5::{parse_program, parse_wme, Error, Program, Wme};
+use ops5::{parse_program, Error, Program, SymbolId, Value, Wme};
 use psm_obs::Rng64;
 
 /// Parameters of a synthetic production system.
@@ -86,6 +86,14 @@ pub struct GeneratedWorkload {
     pub spec: WorkloadSpec,
     /// Cumulative class weights for sampling.
     class_cdf: Vec<f64>,
+    /// Interned `c{i}` class symbols, indexed by class number, so WME
+    /// synthesis never re-interns (or clones the symbol table) on the
+    /// driver's hot path.
+    class_syms: Vec<SymbolId>,
+    /// Interned `k{i}` constant symbols, indexed by constant number.
+    const_syms: Vec<SymbolId>,
+    /// Interned `a0`/`a1`/`a2` attribute symbols.
+    attr_syms: [SymbolId; 3],
 }
 
 impl GeneratedWorkload {
@@ -104,21 +112,24 @@ impl GeneratedWorkload {
         let mut program = parse_program(&src)?;
         // Pre-intern the full vocabulary so WMEs synthesized later (for
         // classes/constants no production happened to reference) still
-        // get stable symbol identities.
-        for i in 0..spec.classes {
-            program.symbols.intern(&format!("c{i}"));
-        }
-        for k in 0..spec.constants {
-            program.symbols.intern(&format!("k{k}"));
-        }
-        for attr in ["a0", "a1", "a2"] {
-            program.symbols.intern(attr);
-        }
+        // get stable symbol identities, and cache the ids so `gen_wme`
+        // builds elements directly instead of formatting and re-parsing
+        // text per WME.
+        let class_syms: Vec<SymbolId> = (0..spec.classes)
+            .map(|i| program.symbols.intern(&format!("c{i}")))
+            .collect();
+        let const_syms: Vec<SymbolId> = (0..spec.constants)
+            .map(|k| program.symbols.intern(&format!("k{k}")))
+            .collect();
+        let attr_syms = ["a0", "a1", "a2"].map(|attr| program.symbols.intern(attr));
         let class_cdf = class_cdf(&spec);
         Ok(GeneratedWorkload {
             program,
             spec,
             class_cdf,
+            class_syms,
+            const_syms,
+            attr_syms,
         })
     }
 
@@ -174,16 +185,20 @@ impl GeneratedWorkload {
         let constant = rng.gen_range(0..self.spec.constants);
         let j = rng.gen_range(0..self.spec.join_values);
         let j2 = rng.gen_range(0..self.spec.join_values);
-        // Parse through the front end to share the symbol interning path.
-        // Building via `Wme::new` would need a mutable symbol table too,
-        // and this keeps the text round-trip covered.
-        let mut symbols = self.program.symbols.clone();
-        let wme = parse_wme(
-            &format!("(c{class} ^a0 k{constant} ^a1 {j} ^a2 {j2})"),
-            &mut symbols,
+        // Built from the symbol ids cached at generation time — the
+        // structural twin of parsing "(c{class} ^a0 k{constant} ^a1 {j}
+        // ^a2 {j2})", minus the per-WME symbol-table clone and text
+        // round-trip that used to dominate batch-synthesis cost.
+        // `Wme::new` canonicalizes attribute order, so equality with
+        // parsed elements is exact and seeded streams are unchanged.
+        Wme::new(
+            self.class_syms[class],
+            vec![
+                (self.attr_syms[0], Value::Sym(self.const_syms[constant])),
+                (self.attr_syms[1], Value::Int(j)),
+                (self.attr_syms[2], Value::Int(j2)),
+            ],
         )
-        .expect("generated WME parses");
-        wme
     }
 
     fn sample_class(&self, rng: &mut Rng64) -> usize {

@@ -14,7 +14,8 @@
 use psm::baselines::{NaiveMatcher, TreatMatcher};
 use psm::obs::Rng64;
 use psm::ops5::{parse_program, Change, Matcher, Program, Value, Wme, WorkingMemory};
-use psm::rete::ReteMatcher;
+use psm::rete::{MatchStats, ReteMatcher};
+use psm::workloads::{GeneratedWorkload, Preset, WorkloadDriver};
 
 const CLASSES: [&str; 2] = ["s", "t"];
 const VALUE_DOMAIN: i64 = 3;
@@ -62,15 +63,30 @@ fn gen_wme(rng: &mut Rng64, program: &mut Program) -> Wme {
     Wme::new(cls, attrs)
 }
 
-/// Drives Rete, TREAT, and naive through the same random change stream,
-/// asserting identical canonicalized deltas on every batch. Returns the
-/// Rete matcher after the working memory has been fully drained.
+/// Strips the scan-count fields that legitimately differ between the
+/// Linear and Hashed memory strategies: a bucket probe scans (and
+/// join-tests) only the candidates whose key matches, while a linear
+/// scan visits the whole opposite memory. Every other counter — change
+/// and activation flow, memory ops, tokens created, residency peaks,
+/// conflict changes, phantom removes — must be byte-identical across
+/// strategies.
+fn normalized(mut stats: MatchStats) -> MatchStats {
+    stats.join_tests = 0;
+    stats.pairs_scanned = 0;
+    stats
+}
+
+/// Drives Rete (hashed default), Rete (linear ablation), TREAT, and
+/// naive through the same random change stream, asserting identical
+/// canonicalized deltas on every batch. Returns the Rete matcher after
+/// the working memory has been fully drained.
 fn run_property(seed: u64, batches: usize) {
     let mut rng = Rng64::new(seed);
     let src = gen_program(&mut rng, 6);
     let mut program = parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
 
     let mut rete = ReteMatcher::compile(&program).expect("rete compiles");
+    let mut linear = ReteMatcher::compile_linear(&program).expect("linear rete compiles");
     let mut treat = TreatMatcher::compile(&program).expect("treat compiles");
     let mut naive = NaiveMatcher::new(&program);
 
@@ -80,17 +96,38 @@ fn run_property(seed: u64, batches: usize) {
     let check = |wm: &WorkingMemory,
                  batch: &[Change],
                  rete: &mut ReteMatcher,
+                 linear: &mut ReteMatcher,
                  treat: &mut TreatMatcher,
                  naive: &mut NaiveMatcher,
                  step: usize| {
         let mut dr = rete.process(wm, batch);
+        let mut dl = linear.process(wm, batch);
         let mut dt = treat.process(wm, batch);
         let mut dn = naive.process(wm, batch);
         dr.canonicalize();
+        dl.canonicalize();
         dt.canonicalize();
         dn.canonicalize();
+        assert_eq!(dr, dl, "seed {seed} batch {step}: hashed vs linear\n{src}");
         assert_eq!(dr, dt, "seed {seed} batch {step}: rete vs treat\n{src}");
         assert_eq!(dr, dn, "seed {seed} batch {step}: rete vs naive\n{src}");
+        // The two strategies walk identical activation paths — only the
+        // scan counts (stripped by `normalized`) may differ, and hashed
+        // may never scan *more* than linear.
+        assert_eq!(
+            normalized(rete.stats()),
+            normalized(linear.stats()),
+            "seed {seed} batch {step}: strategy-sensitive MatchStats\n{src}"
+        );
+        assert!(
+            rete.stats().pairs_scanned <= linear.stats().pairs_scanned,
+            "seed {seed} batch {step}: hashed scanned more than linear"
+        );
+        assert_eq!(
+            rete.resident_tokens(),
+            linear.resident_tokens(),
+            "seed {seed} batch {step}: resident-token divergence"
+        );
     };
 
     for step in 0..batches {
@@ -114,7 +151,15 @@ fn run_property(seed: u64, batches: usize) {
                 batch.push(Change::Add(id));
             }
         }
-        check(&wm, &batch, &mut rete, &mut treat, &mut naive, step);
+        check(
+            &wm,
+            &batch,
+            &mut rete,
+            &mut linear,
+            &mut treat,
+            &mut naive,
+            step,
+        );
         for &c in &batch {
             if let Change::Remove(id) = c {
                 wm.remove(id);
@@ -123,11 +168,21 @@ fn run_property(seed: u64, batches: usize) {
     }
 
     // Drain: retracting everything must empty all matcher state the
-    // same way, leaving Rete with zero resident tokens.
+    // same way, leaving Rete with zero resident tokens and — for the
+    // hashed default — zero resident index entries and buckets (the
+    // empty-bucket pruning invariant).
     while !live.is_empty() {
         let n = live.len().min(3);
         let batch: Vec<Change> = live.drain(..n).map(Change::Remove).collect();
-        check(&wm, &batch, &mut rete, &mut treat, &mut naive, usize::MAX);
+        check(
+            &wm,
+            &batch,
+            &mut rete,
+            &mut linear,
+            &mut treat,
+            &mut naive,
+            usize::MAX,
+        );
         for &c in &batch {
             if let Change::Remove(id) = c {
                 wm.remove(id);
@@ -135,6 +190,21 @@ fn run_property(seed: u64, batches: usize) {
         }
     }
     assert_eq!(rete.resident_tokens(), 0, "seed {seed}: tokens leaked");
+    assert_eq!(
+        rete.resident_index_entries(),
+        0,
+        "seed {seed}: hash-index entries leaked"
+    );
+    assert_eq!(
+        rete.resident_index_buckets(),
+        0,
+        "seed {seed}: empty hash-index buckets not pruned"
+    );
+    assert_eq!(
+        rete.stats().phantom_removes,
+        0,
+        "seed {seed}: phantom removes on a healthy run"
+    );
 }
 
 #[test]
@@ -147,4 +217,157 @@ fn conjugate_pair_programs_keep_matchers_equivalent() {
 #[test]
 fn conjugate_pair_long_run_single_seed() {
     run_property(101, 250);
+}
+
+/// The deferred negative-node ordering case under both memory
+/// strategies: one WME that blocks a negative CE *and* feeds the join
+/// directly downstream of it in the same change. The runtime defers the
+/// negative node's right activation so the block lands before the join
+/// sees the candidate; hashed bucket probing must preserve exactly that
+/// ordering (and its stats), not just the final conflict set.
+#[test]
+fn deferred_negative_ordering_matches_across_strategies() {
+    let src = "(p r (a ^x <v>) - (b ^block <v>) (b ^val <v>) --> (remove 1))";
+    let program = parse_program(src).expect("parses");
+    let mut hashed = ReteMatcher::compile(&program).expect("hashed compiles");
+    let mut linear = ReteMatcher::compile_linear(&program).expect("linear compiles");
+    let mut wm = WorkingMemory::new();
+    let mut syms = program.symbols.clone();
+    let step = |wm: &mut WorkingMemory,
+                hashed: &mut ReteMatcher,
+                linear: &mut ReteMatcher,
+                batch: Vec<Change>| {
+        let mut dh = hashed.process(wm, &batch);
+        let mut dl = linear.process(wm, &batch);
+        for c in &batch {
+            if let Change::Remove(id) = c {
+                wm.remove(*id);
+            }
+        }
+        dh.canonicalize();
+        dl.canonicalize();
+        assert_eq!(dh, dl, "strategy divergence");
+        assert_eq!(normalized(hashed.stats()), normalized(linear.stats()));
+        (dh.added.len(), dh.removed.len())
+    };
+    let mut add = |wm: &mut WorkingMemory, lit: &str| {
+        let (id, _) = wm.add(psm::ops5::parse_wme(lit, &mut syms).expect("wme parses"));
+        id
+    };
+
+    let ia = add(&mut wm, "(a ^x 1)");
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Add(ia)]),
+        (0, 0)
+    );
+    // The conjugate WME: blocks the negation and satisfies the positive
+    // CE in one change — net nothing, in both directions.
+    let w1 = add(&mut wm, "(b ^block 1 ^val 1)");
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Add(w1)]),
+        (0, 0)
+    );
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Remove(w1)]),
+        (0, 0)
+    );
+    // Pure candidate fires; pure blocker retracts; unblocking re-fires.
+    let c = add(&mut wm, "(b ^val 1)");
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Add(c)]),
+        (1, 0)
+    );
+    let bl = add(&mut wm, "(b ^block 1)");
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Add(bl)]),
+        (0, 1)
+    );
+    assert_eq!(
+        step(&mut wm, &mut hashed, &mut linear, vec![Change::Remove(bl)]),
+        (1, 0)
+    );
+    // Drain and check the purge invariants on both.
+    assert_eq!(
+        step(
+            &mut wm,
+            &mut hashed,
+            &mut linear,
+            vec![Change::Remove(ia), Change::Remove(c)]
+        ),
+        (0, 1)
+    );
+    assert_eq!(hashed.resident_tokens(), 0);
+    assert_eq!(linear.resident_tokens(), 0);
+    assert_eq!(hashed.resident_index_entries(), 0);
+    assert_eq!(hashed.resident_index_buckets(), 0);
+}
+
+/// All six presets, driven through identical synthetic change streams
+/// under both strategies: the per-cycle firing sequences (canonicalized
+/// conflict-set deltas, in order), normalized MatchStats, and resident
+/// token counts must be identical, and the drained hashed matcher must
+/// return its index to the empty baseline.
+#[test]
+fn presets_fire_identically_under_both_strategies() {
+    for preset in Preset::all() {
+        let workload = GeneratedWorkload::generate(preset.spec_small()).expect("generates");
+        let mut hashed = ReteMatcher::compile(&workload.program).expect("hashed compiles");
+        let mut linear = ReteMatcher::compile_linear(&workload.program).expect("linear compiles");
+        // Two drivers with the same seed replay the same stream into
+        // two independent working memories with identical WME ids.
+        let mut dh = WorkloadDriver::new(workload.clone(), 0xD1FF);
+        let mut dl = WorkloadDriver::new(workload, 0xD1FF);
+        dh.init(&mut hashed);
+        dl.init(&mut linear);
+        for cycle in 0..40u32 {
+            let bh = dh.next_batch();
+            let bl = dl.next_batch();
+            assert_eq!(bh, bl, "{}: driver streams diverged", preset.name());
+            let mut delta_h = hashed.process(dh.working_memory(), &bh);
+            let mut delta_l = linear.process(dl.working_memory(), &bl);
+            dh.commit_batch(&bh);
+            dl.commit_batch(&bl);
+            delta_h.canonicalize();
+            delta_l.canonicalize();
+            assert_eq!(
+                delta_h,
+                delta_l,
+                "{} cycle {cycle}: firing sequence divergence",
+                preset.name()
+            );
+            assert_eq!(
+                hashed.resident_tokens(),
+                linear.resident_tokens(),
+                "{} cycle {cycle}: token-count divergence",
+                preset.name()
+            );
+        }
+        assert_eq!(
+            normalized(hashed.stats()),
+            normalized(linear.stats()),
+            "{}: strategy-sensitive MatchStats",
+            preset.name()
+        );
+        assert!(
+            hashed.stats().pairs_scanned <= linear.stats().pairs_scanned,
+            "{}: hashed scanned more than linear",
+            preset.name()
+        );
+        // Full churn: retract every live WME and require the index to
+        // return to its empty baseline.
+        let drain: Vec<Change> = dh
+            .working_memory()
+            .iter()
+            .map(|(id, _, _)| Change::Remove(id))
+            .collect();
+        let mut delta_h = hashed.process(dh.working_memory(), &drain);
+        let mut delta_l = linear.process(dl.working_memory(), &drain);
+        delta_h.canonicalize();
+        delta_l.canonicalize();
+        assert_eq!(delta_h, delta_l, "{}: drain divergence", preset.name());
+        assert_eq!(hashed.resident_tokens(), 0, "{}", preset.name());
+        assert_eq!(hashed.resident_index_entries(), 0, "{}", preset.name());
+        assert_eq!(hashed.resident_index_buckets(), 0, "{}", preset.name());
+        assert_eq!(hashed.stats().phantom_removes, 0, "{}", preset.name());
+    }
 }
